@@ -1,0 +1,358 @@
+//! Deployment controller for the thread-per-node DiBA prototype.
+//!
+//! Spawns one agent thread per server, wires crossbeam channels along the
+//! communication graph's edges, and exposes the deployment-time operations
+//! a cluster operator has: announce a budget, replace a workload, crash a
+//! node, read back power. All *algorithmic* work happens inside the agents;
+//! the controller never sees neighbor traffic.
+
+use crate::node::{run_agent, AgentSeed, Control, Link, Report, RoundMsg};
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use dpc_alg::diba::{DibaConfig, DibaRun};
+use dpc_alg::problem::{AlgError, Allocation, PowerBudgetProblem};
+use dpc_models::units::Watts;
+use dpc_models::QuadraticUtility;
+use dpc_topology::Graph;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running deployment of DiBA agents.
+pub struct AgentCluster {
+    budget: Watts,
+    alive: Vec<bool>,
+    controls: Vec<Sender<Control>>,
+    reports: Receiver<Report>,
+    handles: Vec<Option<JoinHandle<()>>>,
+    last: Vec<Report>,
+    utilities: Vec<QuadraticUtility>,
+}
+
+impl AgentCluster {
+    /// Spawns one agent per server over the given communication graph.
+    ///
+    /// Initial states and resolved parameters are computed exactly as the
+    /// synchronous reference does (via [`DibaRun::new`]), so both start
+    /// from the same point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates problem/graph validation errors.
+    pub fn spawn(
+        problem: PowerBudgetProblem,
+        graph: Graph,
+        config: DibaConfig,
+        neighbor_timeout: Duration,
+    ) -> Result<AgentCluster, AlgError> {
+        let reference = DibaRun::new(problem.clone(), graph.clone(), config)?;
+        let params = reference.params();
+        let states = reference.node_states();
+        let n = problem.len();
+
+        // One channel pair per directed edge.
+        let mut endpoints: Vec<Vec<Link>> = (0..n).map(|_| Vec::new()).collect();
+        for (u, v) in graph.edges() {
+            let (tx_uv, rx_uv) = unbounded::<RoundMsg>();
+            let (tx_vu, rx_vu) = unbounded::<RoundMsg>();
+            endpoints[u].push(Link { neighbor: v, tx: tx_uv, rx: rx_vu });
+            endpoints[v].push(Link { neighbor: u, tx: tx_vu, rx: rx_uv });
+        }
+
+        let (report_tx, report_rx) = bounded::<Report>(n.max(16));
+        let mut controls = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        let mut last = Vec::with_capacity(n);
+        let mut endpoints = endpoints.into_iter();
+        for (id, &(p, e)) in states.iter().enumerate() {
+            let (ctl_tx, ctl_rx) = unbounded::<Control>();
+            let seed = AgentSeed {
+                id,
+                utility: *problem.utility(id),
+                p,
+                e,
+                params,
+                eta_boost: config.eta_boost,
+                boost_decay: config.eta_boost_decay,
+                links: endpoints.next().expect("one endpoint set per node"),
+                control: ctl_rx,
+                report: report_tx.clone(),
+                neighbor_timeout,
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("dpc-agent-{id}"))
+                .spawn(move || run_agent(seed))
+                .expect("spawning an agent thread");
+            controls.push(ctl_tx);
+            handles.push(Some(handle));
+            last.push(Report { node: id, p, e });
+        }
+
+        Ok(AgentCluster {
+            budget: problem.budget(),
+            alive: vec![true; n],
+            controls,
+            reports: report_rx,
+            handles,
+            last,
+            utilities: problem.utilities().to_vec(),
+        })
+    }
+
+    /// Number of nodes (alive or crashed).
+    pub fn len(&self) -> usize {
+        self.controls.len()
+    }
+
+    /// `true` when the deployment has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.controls.is_empty()
+    }
+
+    /// Number of live agents.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Current budget.
+    pub fn budget(&self) -> Watts {
+        self.budget
+    }
+
+    /// Runs `rounds` protocol rounds on every live agent and collects their
+    /// reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a live agent fails to report within 30 s (a deadlocked or
+    /// crashed deployment — a bug, not an operating condition).
+    pub fn run_rounds(&mut self, rounds: usize) {
+        let mut expected = 0usize;
+        for (i, ctl) in self.controls.iter().enumerate() {
+            if self.alive[i] && ctl.send(Control::Run(rounds)).is_ok() {
+                expected += 1;
+            }
+        }
+        for _ in 0..expected {
+            let report = self
+                .reports
+                .recv_timeout(Duration::from_secs(30))
+                .expect("live agent failed to report");
+            self.last[report.node] = report;
+        }
+    }
+
+    /// Announces a new total budget: live agents share the residual shift.
+    ///
+    /// # Errors
+    ///
+    /// [`AlgError::InfeasibleBudget`] when the new budget cannot cover the
+    /// live nodes' idle floor plus the crashed nodes' frozen power.
+    pub fn set_budget(&mut self, budget: Watts) -> Result<(), AlgError> {
+        let mut floor = Watts::ZERO;
+        for (i, u) in self.utilities.iter().enumerate() {
+            floor += if self.alive[i] { u.p_min() } else { Watts(self.last[i].p) };
+        }
+        if budget < floor {
+            return Err(AlgError::InfeasibleBudget { budget, min_required: floor });
+        }
+        let alive = self.alive_count().max(1);
+        let shift = (self.budget.0 - budget.0) / alive as f64;
+        for (i, ctl) in self.controls.iter().enumerate() {
+            if self.alive[i] {
+                let _ = ctl.send(Control::ShiftResidual(shift));
+            }
+        }
+        self.budget = budget;
+        Ok(())
+    }
+
+    /// Replaces node `i`'s workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn replace_utility(&mut self, i: usize, utility: QuadraticUtility) {
+        self.utilities[i] = utility;
+        if self.alive[i] {
+            let _ = self.controls[i].send(Control::ReplaceUtility(utility));
+        }
+    }
+
+    /// Crashes node `i` silently. Its power freezes at the last reported
+    /// value; neighbors detect the silence and route around it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn fail_node(&mut self, i: usize) {
+        if self.alive[i] {
+            let _ = self.controls[i].send(Control::Fail);
+            self.alive[i] = false;
+            if let Some(h) = self.handles[i].take() {
+                let _ = h.join();
+            }
+        }
+    }
+
+    /// Last reported power caps (crashed nodes frozen).
+    pub fn allocation(&self) -> Allocation {
+        self.last.iter().map(|r| Watts(r.p)).collect()
+    }
+
+    /// Total power including crashed nodes' frozen draw.
+    pub fn total_power(&self) -> Watts {
+        self.last.iter().map(|r| Watts(r.p)).sum()
+    }
+
+    /// Total utility at the last reported allocation.
+    pub fn total_utility(&self) -> f64 {
+        self.utilities
+            .iter()
+            .zip(&self.last)
+            .map(|(u, r)| u.value(Watts(r.p)))
+            .sum()
+    }
+
+    /// Residual-invariant drift `|Σe − (Σp − P)|` over live nodes plus
+    /// crashed nodes' frozen residuals (watts).
+    pub fn invariant_drift(&self) -> f64 {
+        let sum_e: f64 = self.last.iter().map(|r| r.e).sum();
+        let sum_p: f64 = self.last.iter().map(|r| r.p).sum();
+        (sum_e - (sum_p - self.budget.0)).abs()
+    }
+
+    /// Stops all live agents and returns their final reports.
+    pub fn shutdown(mut self) -> Vec<Report> {
+        self.shutdown_inner();
+        self.last.clone()
+    }
+
+    fn shutdown_inner(&mut self) {
+        for (i, ctl) in self.controls.iter().enumerate() {
+            if self.alive[i] {
+                let _ = ctl.send(Control::Stop);
+            }
+        }
+        for (i, slot) in self.handles.iter_mut().enumerate() {
+            if let Some(h) = slot.take() {
+                let _ = h.join();
+                self.alive[i] = false;
+            }
+        }
+        // Drain final reports.
+        while let Ok(report) = self.reports.try_recv() {
+            self.last[report.node] = report;
+        }
+    }
+}
+
+impl Drop for AgentCluster {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_alg::centralized;
+    use dpc_models::workload::ClusterBuilder;
+
+    const TIMEOUT: Duration = Duration::from_millis(300);
+
+    fn problem(n: usize, budget: f64, seed: u64) -> PowerBudgetProblem {
+        let c = ClusterBuilder::new(n).seed(seed).build();
+        PowerBudgetProblem::new(c.utilities(), Watts(budget)).unwrap()
+    }
+
+    #[test]
+    fn agents_converge_like_the_reference() {
+        let p = problem(24, 4_000.0, 1);
+        let opt = p.total_utility(&centralized::solve(&p).allocation);
+        let mut agents =
+            AgentCluster::spawn(p.clone(), Graph::ring(24), DibaConfig::default(), TIMEOUT)
+                .unwrap();
+        agents.run_rounds(1_500);
+        assert!(agents.total_power() <= p.budget() + Watts(1e-6));
+        let gap = (opt - agents.total_utility()).abs() / opt;
+        assert!(gap < 0.02, "agents ended {gap:.4} away from optimal");
+        assert!(agents.invariant_drift() < 1e-6);
+        agents.shutdown();
+    }
+
+    #[test]
+    fn budget_cut_is_respected_by_the_deployment() {
+        let p = problem(16, 2_800.0, 2);
+        let mut agents =
+            AgentCluster::spawn(p, Graph::ring(16), DibaConfig::default(), TIMEOUT).unwrap();
+        agents.run_rounds(400);
+        agents.set_budget(Watts(2_600.0)).unwrap();
+        agents.run_rounds(400);
+        assert!(agents.total_power() <= Watts(2_600.0) + Watts(1e-6));
+        assert!(agents.invariant_drift() < 1e-6);
+    }
+
+    #[test]
+    fn single_failure_does_not_stop_the_rest() {
+        let p = problem(12, 2_100.0, 3);
+        // Chorded ring: still connected after one failure.
+        let graph = Graph::ring_with_chords(12, 4);
+        let mut agents = AgentCluster::spawn(p, graph, DibaConfig::default(), TIMEOUT).unwrap();
+        agents.run_rounds(300);
+        let before_utility = agents.total_utility();
+        agents.fail_node(5);
+        assert_eq!(agents.alive_count(), 11);
+        // The survivors keep operating and the budget still holds (the dead
+        // node's draw is frozen).
+        agents.run_rounds(300);
+        assert!(agents.total_power() <= Watts(2_100.0) + Watts(1e-6));
+        assert!(agents.total_utility() > before_utility * 0.9);
+    }
+
+    #[test]
+    fn workload_replacement_shifts_power_toward_the_steeper_curve() {
+        let p = problem(10, 1_660.0, 4);
+        let mut agents =
+            AgentCluster::spawn(p.clone(), Graph::ring(10), DibaConfig::default(), TIMEOUT)
+                .unwrap();
+        agents.run_rounds(800);
+        let before = agents.allocation().power(3);
+        let u = p.utility(3);
+        let steep = dpc_models::throughput::CurveParams::for_memory_boundedness(0.0)
+            .utility(u.p_min(), u.p_max());
+        agents.replace_utility(3, steep);
+        agents.run_rounds(800);
+        let after = agents.allocation().power(3);
+        // The steepest curve ends up near the top of its box (small drifts
+        // from the pre-change point are fine — the global price moves too).
+        assert!(
+            after > u.p_max() * 0.9,
+            "steepest curve should sit near peak: {before} -> {after}"
+        );
+        assert!(agents.total_power() <= Watts(1_660.0) + Watts(1e-6));
+    }
+
+    #[test]
+    fn shutdown_returns_final_reports() {
+        let p = problem(6, 1_050.0, 5);
+        let mut agents =
+            AgentCluster::spawn(p, Graph::ring(6), DibaConfig::default(), TIMEOUT).unwrap();
+        agents.run_rounds(50);
+        let reports = agents.shutdown();
+        assert_eq!(reports.len(), 6);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.node, i);
+            assert!(r.p > 0.0);
+        }
+    }
+
+    #[test]
+    fn infeasible_budget_rejected_live() {
+        let p = problem(6, 1_050.0, 6);
+        let mut agents =
+            AgentCluster::spawn(p, Graph::ring(6), DibaConfig::default(), TIMEOUT).unwrap();
+        assert!(matches!(
+            agents.set_budget(Watts(100.0)),
+            Err(AlgError::InfeasibleBudget { .. })
+        ));
+    }
+}

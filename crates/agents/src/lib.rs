@@ -1,0 +1,37 @@
+//! # dpc-agents — the deployed prototype
+//!
+//! The paper validates DiBA with "a working prototype … on a real
+//! experimental cluster" (Section 4.1). This crate is that prototype's
+//! structure in-process: every server is an independent thread exchanging
+//! messages only with its graph neighbors over channels — no shared state,
+//! no coordinator — with silent-crash detection and live budget / workload
+//! events. The per-round math is literally [`dpc_alg::diba::node_action`],
+//! so the prototype and the synchronous reference cannot drift apart.
+//!
+//! ```
+//! use dpc_agents::AgentCluster;
+//! use dpc_alg::{diba::DibaConfig, problem::PowerBudgetProblem};
+//! use dpc_models::{units::Watts, workload::ClusterBuilder};
+//! use dpc_topology::Graph;
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), dpc_alg::problem::AlgError> {
+//! let cluster = ClusterBuilder::new(8).seed(1).build();
+//! let problem = PowerBudgetProblem::new(cluster.utilities(), Watts(1_400.0))?;
+//! let mut agents = AgentCluster::spawn(
+//!     problem, Graph::ring(8), DibaConfig::default(), Duration::from_millis(300),
+//! )?;
+//! agents.run_rounds(200);
+//! assert!(agents.total_power() <= Watts(1_400.0));
+//! agents.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod node;
+
+pub use cluster::AgentCluster;
+pub use node::{Control, Report, RoundMsg};

@@ -1,0 +1,175 @@
+//! One decentralized agent: a thread owning a server's DiBA state.
+//!
+//! The agent implements the deployed protocol of the paper's prototype:
+//! each round it computes its local action from the last-known neighbor
+//! residuals (see [`dpc_alg::diba::node_action`]), sends one message per
+//! neighbor, and absorbs the messages it receives. Neighbor residuals are
+//! therefore one round stale — the asynchronous variant of the algorithm —
+//! which preserves the residual invariant exactly (transfers are conserved
+//! pairwise) and converges to the same fixed point.
+//!
+//! A silent neighbor (crashed node) is detected by a receive timeout and
+//! dropped from the neighbor set; the rest of the ring keeps operating,
+//! which is the fault-isolation property motivating the decentralized
+//! design (Section 4.2).
+
+use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
+use dpc_alg::diba::{node_action, NodeParams};
+use dpc_models::QuadraticUtility;
+use std::time::Duration;
+
+/// Message exchanged along a graph edge each round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundMsg {
+    /// Sender's residual estimate *before* this round's action.
+    pub e: f64,
+    /// Slack donated to the receiver this round (≤ 0).
+    pub transfer: f64,
+}
+
+/// Commands from the deployment controller to an agent.
+#[derive(Debug, Clone)]
+pub enum Control {
+    /// Execute this many protocol rounds, then report.
+    Run(usize),
+    /// Shift the local residual estimate (a budget announcement; the
+    /// controller computes the per-node share).
+    ShiftResidual(f64),
+    /// Replace the local workload's utility function.
+    ReplaceUtility(QuadraticUtility),
+    /// Crash silently: exit without notifying anyone.
+    Fail,
+    /// Exit cleanly after reporting final state.
+    Stop,
+}
+
+/// A state report sent to the controller after each `Run`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Report {
+    /// Reporting node id.
+    pub node: usize,
+    /// Current power (watts).
+    pub p: f64,
+    /// Current residual estimate (watts).
+    pub e: f64,
+}
+
+/// One edge endpoint as seen by an agent.
+pub struct Link {
+    /// Neighbor node id.
+    pub neighbor: usize,
+    /// Outgoing channel to the neighbor.
+    pub tx: Sender<RoundMsg>,
+    /// Incoming channel from the neighbor.
+    pub rx: Receiver<RoundMsg>,
+}
+
+/// Everything an agent needs at spawn.
+pub struct AgentSeed {
+    /// This node's id.
+    pub id: usize,
+    /// The local utility function.
+    pub utility: QuadraticUtility,
+    /// Initial power.
+    pub p: f64,
+    /// Initial residual estimate.
+    pub e: f64,
+    /// Resolved algorithm parameters.
+    pub params: NodeParams,
+    /// Barrier-continuation boost at start (≥ 1; 1 disables).
+    pub eta_boost: f64,
+    /// Per-round backstop decay of the boost.
+    pub boost_decay: f64,
+    /// Links to graph neighbors.
+    pub links: Vec<Link>,
+    /// Control channel from the controller.
+    pub control: Receiver<Control>,
+    /// Report channel to the controller.
+    pub report: Sender<Report>,
+    /// How long to wait for a neighbor before declaring it dead.
+    pub neighbor_timeout: Duration,
+}
+
+/// The agent main loop. Returns when told to stop or fail, or when the
+/// controller hangs up.
+pub fn run_agent(seed: AgentSeed) {
+    let AgentSeed {
+        id,
+        mut utility,
+        mut p,
+        mut e,
+        params,
+        eta_boost,
+        boost_decay,
+        mut links,
+        control,
+        report,
+        neighbor_timeout,
+    } = seed;
+    // Last-known neighbor residuals, aligned with `links`.
+    let mut neighbor_e: Vec<f64> = vec![e; links.len()];
+    // Node-local barrier continuation, mirroring the reference run:
+    // a boosted barrier accelerates the initial (and post-event)
+    // redistribution, decaying back to the accurate weight. Transfers are
+    // η-free, so per-node boost asymmetry is harmless.
+    let reboost = eta_boost.max(1.0);
+    let decay = boost_decay.clamp(0.0, 1.0);
+    let mut boost = reboost;
+
+    while let Ok(cmd) = control.recv() {
+        match cmd {
+            Control::Run(rounds) => {
+                for _ in 0..rounds {
+                    let round_params = NodeParams { eta: params.eta * boost, ..params };
+                    let action = node_action(&utility, p, e, &neighbor_e, &round_params);
+                    p += action.dp;
+                    e += action.own_residual_delta();
+                    // Send first (non-blocking), then collect.
+                    for (link, &t) in links.iter().zip(&action.transfers) {
+                        // A send failure means the neighbor is gone; the
+                        // receive pass below will confirm and drop it.
+                        let _ = link.tx.send(RoundMsg { e, transfer: t });
+                    }
+                    let mut dead: Vec<usize> = Vec::new();
+                    for (idx, link) in links.iter().enumerate() {
+                        match link.rx.recv_timeout(neighbor_timeout) {
+                            Ok(msg) => {
+                                neighbor_e[idx] = msg.e;
+                                e += msg.transfer;
+                            }
+                            Err(RecvTimeoutError::Timeout)
+                            | Err(RecvTimeoutError::Disconnected) => {
+                                dead.push(idx);
+                            }
+                        }
+                    }
+                    // Drop dead neighbors (highest index first).
+                    for idx in dead.into_iter().rev() {
+                        links.remove(idx);
+                        neighbor_e.remove(idx);
+                    }
+                    boost = (boost * decay).max(1.0);
+                }
+                if report.send(Report { node: id, p, e }).is_err() {
+                    return; // controller gone
+                }
+            }
+            Control::ShiftResidual(shift) => {
+                e += shift;
+                boost = boost.max(reboost);
+            }
+            Control::ReplaceUtility(u) => {
+                let clamped = p.clamp(u.p_min().0, u.p_max().0);
+                e += clamped - p;
+                p = clamped;
+                utility = u;
+                boost = boost.max(reboost.sqrt());
+            }
+            Control::Fail => return,
+            Control::Stop => {
+                let _ = report.send(Report { node: id, p, e });
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Baseline allocators the paper compares against.
+//!
+//! * [`uniform`] — split the budget equally (the baseline in Fig. 4.3 and
+//!   Fig. 3.12).
+//! * [`greedy_throughput_per_watt`] — the prior-work greedy of Chapter 3
+//!   ("previous-greedy", after Nathuji et al. / Rajamani et al.): servers
+//!   with higher current throughput per watt are allocated more power.
+
+use crate::problem::{Allocation, PowerBudgetProblem};
+use dpc_models::units::Watts;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Equal-share allocation with box clamping.
+///
+/// Servers whose box clips the equal share are pinned to the nearest bound
+/// and the residual is re-split among the rest (water-filling on a constant
+/// objective), so the full budget is spent whenever `Σ p_max` allows.
+pub fn uniform(problem: &PowerBudgetProblem) -> Allocation {
+    let n = problem.len();
+    let mut powers = vec![Watts::ZERO; n];
+    let mut fixed = vec![false; n];
+    let mut remaining = problem.budget().min(problem.max_total());
+    let mut active = n;
+
+    // At most n rounds: every round either fixes at least one server or
+    // terminates.
+    while active > 0 {
+        let share = remaining / active as f64;
+        let mut newly_fixed = 0usize;
+        for (i, u) in problem.utilities().iter().enumerate() {
+            if fixed[i] {
+                continue;
+            }
+            let clamped = share.clamp(u.p_min(), u.p_max());
+            if (clamped - share).abs() > Watts(1e-12) {
+                powers[i] = clamped;
+                fixed[i] = true;
+                remaining -= clamped;
+                newly_fixed += 1;
+            }
+        }
+        if newly_fixed == 0 {
+            for (i, u) in problem.utilities().iter().enumerate() {
+                if !fixed[i] {
+                    powers[i] = share.clamp(u.p_min(), u.p_max());
+                }
+            }
+            break;
+        }
+        active -= newly_fixed;
+    }
+    Allocation::new(powers)
+}
+
+#[derive(Debug)]
+struct Candidate {
+    ratio: f64,
+    server: usize,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.ratio == other.ratio && self.server == other.server
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.ratio
+            .total_cmp(&other.ratio)
+            .then_with(|| other.server.cmp(&self.server))
+    }
+}
+
+/// Prior-work greedy: start everyone at `p_min` and hand out `increment`-
+/// sized slices of the remaining budget to the server with the highest
+/// *current throughput per watt*, re-ranking after every slice.
+///
+/// As the paper observes (Section 3.2, observation 3), ranking by the
+/// current ratio ignores curve crossovers, which is exactly why this
+/// baseline underperforms at tight budgets.
+///
+/// # Panics
+///
+/// Panics if `increment` is not strictly positive.
+pub fn greedy_throughput_per_watt(problem: &PowerBudgetProblem, increment: Watts) -> Allocation {
+    assert!(increment > Watts::ZERO, "increment must be positive");
+    let mut powers: Vec<Watts> = problem.utilities().iter().map(|u| u.p_min()).collect();
+    let mut remaining = problem.budget() - powers.iter().copied().sum::<Watts>();
+
+    let ratio = |i: usize, p: Watts| {
+        let u = problem.utility(i);
+        u.value(p) / p.0.max(1e-12)
+    };
+
+    let mut heap: BinaryHeap<Candidate> = (0..problem.len())
+        .filter(|&i| powers[i] < problem.utility(i).p_max())
+        .map(|i| Candidate { ratio: ratio(i, powers[i]), server: i })
+        .collect();
+
+    while remaining > Watts(1e-9) {
+        let Some(best) = heap.pop() else { break };
+        let i = best.server;
+        // Stale entry: the ratio changed since insertion.
+        let current = ratio(i, powers[i]);
+        if (current - best.ratio).abs() > 1e-12 {
+            heap.push(Candidate { ratio: current, server: i });
+            continue;
+        }
+        let u = problem.utility(i);
+        let step = increment.min(u.p_max() - powers[i]).min(remaining);
+        if step <= Watts::ZERO {
+            continue;
+        }
+        powers[i] += step;
+        remaining -= step;
+        if powers[i] < u.p_max() {
+            heap.push(Candidate { ratio: ratio(i, powers[i]), server: i });
+        }
+    }
+    Allocation::new(powers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized;
+    use dpc_models::workload::ClusterBuilder;
+
+    fn problem(n: usize, budget: f64, seed: u64) -> PowerBudgetProblem {
+        let c = ClusterBuilder::new(n).seed(seed).build();
+        PowerBudgetProblem::new(c.utilities(), Watts(budget)).unwrap()
+    }
+
+    #[test]
+    fn uniform_splits_equally_when_inside_boxes() {
+        let p = problem(10, 1600.0, 1);
+        let a = uniform(&p);
+        for &pw in a.powers() {
+            assert!((pw - Watts(160.0)).abs() < Watts(1e-9));
+        }
+        assert!(p.is_feasible(&a, Watts(1e-6)));
+    }
+
+    #[test]
+    fn uniform_clamps_to_peak_and_respects_budget() {
+        let p = problem(10, 50_000.0, 1);
+        let a = uniform(&p);
+        for (&pw, u) in a.powers().iter().zip(p.utilities()) {
+            assert_eq!(pw, u.p_max());
+        }
+        let tight = problem(10, 1550.0, 1); // barely above 10·min_full
+        let a = uniform(&tight);
+        assert!(tight.is_feasible(&a, Watts(1e-6)));
+        assert!((a.total() - tight.budget()).abs() < Watts(1e-6));
+    }
+
+    #[test]
+    fn greedy_is_feasible_and_spends_budget() {
+        let p = problem(50, 8_200.0, 2);
+        let a = greedy_throughput_per_watt(&p, Watts(1.0));
+        assert!(p.is_feasible(&a, Watts(1e-6)));
+        assert!((a.total() - p.budget()).abs() < Watts(1e-6));
+    }
+
+    #[test]
+    fn oracle_dominates_both_baselines() {
+        for &budget in &[8_000.0, 8_500.0, 9_000.0] {
+            let p = problem(50, budget, 3);
+            let best = p.total_utility(&centralized::solve(&p).allocation);
+            let uni = p.total_utility(&uniform(&p));
+            let grd = p.total_utility(&greedy_throughput_per_watt(&p, Watts(1.0)));
+            assert!(best >= uni - 1e-9, "budget {budget}");
+            assert!(best >= grd - 1e-9, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn greedy_differs_from_uniform_on_heterogeneous_workloads() {
+        let p = problem(50, 8_200.0, 4);
+        let a = greedy_throughput_per_watt(&p, Watts(1.0));
+        let u = uniform(&p);
+        assert!(a.max_abs_diff(&u) > Watts(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "increment must be positive")]
+    fn greedy_rejects_zero_increment() {
+        let p = problem(2, 400.0, 1);
+        let _ = greedy_throughput_per_watt(&p, Watts::ZERO);
+    }
+}

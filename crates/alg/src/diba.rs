@@ -1,0 +1,646 @@
+//! DiBA — fully decentralized power-budget allocation (Algorithm 4).
+//!
+//! Every node `i` keeps two state variables: its power `pᵢ` and a local
+//! estimate `eᵢ` of the global constraint residual, maintained so that
+//! `Σ eᵢ = Σ pᵢ − P` holds exactly at all times. Nodes act on *local*
+//! information only:
+//!
+//! * a gradient step on power against the barrier-augmented local utility
+//!   `Rᵢ = rᵢ(pᵢ) + η·log(−eᵢ)` — marginal utility pushes power up, the
+//!   barrier pushes back as the local slack `|eᵢ|` shrinks;
+//! * pairwise slack transfers `ê_{i→j} ≤ 0` to each neighbor (Eq. 4.9),
+//!   diffusing slack toward nodes that need it. Transfers cancel pairwise,
+//!   so the residual invariant is preserved by construction.
+//!
+//! At equilibrium the slack estimates equalize and every unpinned node
+//! satisfies `rᵢ′(pᵢ) = η/|e|` — the KKT condition of the global problem
+//! with price `λ = η/|e|`, so the fixed point is the centralized optimum up
+//! to the barrier gap `n·η/λ` (made small by the auto-tuned η).
+//!
+//! The dissertation's sign convention for the barrier term is
+//! typographically inconsistent (see DESIGN.md); this is the
+//! mathematically-consistent interior-point form with the behaviour the
+//! paper describes: strict feasibility throughout, immediate reaction to
+//! budget changes, and local response to local perturbations.
+
+use crate::problem::{AlgError, Allocation, PowerBudgetProblem};
+use dpc_models::units::Watts;
+use dpc_topology::Graph;
+
+/// Tuning knobs for DiBA. The defaults are calibrated for the paper's
+/// cluster scale (hundreds to thousands of nodes, ring-like topologies).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DibaConfig {
+    /// Barrier weight η; `None` auto-tunes from the problem scale so the
+    /// equilibrium leaves ≈0.4 % of the budget as barrier slack.
+    pub eta: Option<f64>,
+    /// Power gradient step in `(0, 1]` (diagonally preconditioned).
+    pub step_power: f64,
+    /// Slack diffusion step in `(0, 1)`.
+    pub step_transfer: f64,
+    /// Fraction of the per-node budget kept as the hard slack margin
+    /// (own actions never push `eᵢ` above `−margin`).
+    pub margin_frac: f64,
+    /// Barrier continuation: η starts at `eta · eta_boost`. A boosted
+    /// barrier holds a larger slack reservoir at every node, so slack
+    /// differences — and with them the diffusion rate — are proportionally
+    /// larger during the initial redistribution. The boost is *halved each
+    /// time the redistribution stagnates* at the current stage (path
+    /// following), so every stage only re-adjusts locally relative to the
+    /// previous one; this keeps convergence rounds — and hence DiBA's
+    /// communication time — essentially flat in cluster size.
+    pub eta_boost: f64,
+    /// Per-round multiplicative backstop decay of the boost, in `(0, 1]`
+    /// (guarantees the boost eventually vanishes even without stagnation).
+    pub eta_boost_decay: f64,
+}
+
+impl Default for DibaConfig {
+    fn default() -> Self {
+        DibaConfig {
+            eta: None,
+            step_power: 0.7,
+            step_transfer: 1.2,
+            margin_frac: 1e-5,
+            eta_boost: 30.0,
+            eta_boost_decay: 0.995,
+        }
+    }
+}
+
+/// Resolved per-node parameters — what a deployed node actually carries.
+/// Shared by the synchronous reference implementation and the
+/// message-passing prototype in `dpc-agents` so both run identical math.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeParams {
+    /// Barrier weight η.
+    pub eta: f64,
+    /// Hard slack margin (watts): own actions keep `e ≤ −margin`.
+    pub margin: f64,
+    /// Power gradient step.
+    pub step_power: f64,
+    /// Slack diffusion step.
+    pub step_transfer: f64,
+}
+
+/// The local action of one DiBA round: a power move and one (non-positive)
+/// slack transfer per neighbor, aligned with the neighbor list passed to
+/// [`node_action`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeAction {
+    /// Power change to apply (watts).
+    pub dp: f64,
+    /// Slack donated to each neighbor (each ≤ 0), in input order.
+    pub transfers: Vec<f64>,
+}
+
+impl NodeAction {
+    /// Total slack sent (≤ 0).
+    pub fn sent_total(&self) -> f64 {
+        self.transfers.iter().sum()
+    }
+
+    /// The node's own residual change: `dp − Σ transfers` (donations raise
+    /// the residual; incoming transfers are applied by the caller).
+    pub fn own_residual_delta(&self) -> f64 {
+        self.dp - self.sent_total()
+    }
+}
+
+/// Computes one node's DiBA action from purely local information: its
+/// utility, power `p`, residual estimate `e`, and the last-known residuals
+/// of its neighbors.
+///
+/// This is the entire per-round program of a deployed node (Algorithm 4's
+/// step 3): a preconditioned gradient step on the barrier-augmented local
+/// utility, one-directional slack diffusion toward needier neighbors, and
+/// the feasibility backtracking that finances donations by shedding power.
+pub fn node_action(
+    u: &dpc_models::QuadraticUtility,
+    p: f64,
+    e: f64,
+    neighbor_e: &[f64],
+    params: &NodeParams,
+) -> NodeAction {
+    let inv = 1.0 / e.min(-params.margin);
+
+    // Power gradient of Rᵢ with a diagonal preconditioner (utility
+    // curvature + barrier curvature), giving scale-free steps.
+    let (_, _, c) = u.coefficients();
+    let grad = u.slope(Watts(p)) + params.eta * inv;
+    let precond = 2.0 * c.abs() + params.eta * inv * inv;
+    let mut dp = params.step_power * grad / precond.max(1e-12);
+    // Box projection.
+    dp = (p + dp).clamp(u.p_min().0, u.p_max().0) - p;
+
+    // Slack transfers: donate toward neighbors with less slack (consensus
+    // diffusion, one-directional per Algorithm 4).
+    let degree = neighbor_e.len();
+    let mut transfers = Vec::with_capacity(degree);
+    let mut sent_total = 0.0;
+    for &e_j in neighbor_e {
+        let t = (params.step_transfer * (e - e_j) / degree.max(1) as f64 * 0.5).min(0.0);
+        transfers.push(t);
+        sent_total += t;
+    }
+
+    // Feasibility of the own action: it must keep eᵢ ≤ −margin. Own delta
+    // to eᵢ is dp − sent_total (donations raise eᵢ). When the budget is
+    // tight, donations to deficit neighbors are *financed by shedding
+    // power*: lowering dp creates exactly the slack being handed over,
+    // which is how a budget cut propagates through the ring at watts per
+    // round instead of stalling at the barrier.
+    let bound = -params.margin - e;
+    let own_delta = dp - sent_total;
+    if own_delta <= bound {
+        return NodeAction { dp, transfers };
+    }
+    // Shed power to cover the donations (and any violation), as far as the
+    // box allows.
+    let dp_needed = bound + sent_total; // dp ≤ this
+    let dp_shed = (p + dp.min(dp_needed)).clamp(u.p_min().0, u.p_max().0) - p;
+    if dp_shed - sent_total <= bound {
+        return NodeAction { dp: dp_shed, transfers };
+    }
+    // Box-limited: scale donations down to what the margin still affords
+    // (own_delta = dp − sent ≤ bound requires sent ≥ dp − bound, with all
+    // sends non-positive).
+    let allowed = dp_shed - bound;
+    let scale = if allowed < 0.0 && sent_total < 0.0 {
+        (allowed / sent_total).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    for t in &mut transfers {
+        *t *= scale;
+    }
+    NodeAction { dp: dp_shed, transfers }
+}
+
+/// A running DiBA instance: the synchronous-round reference implementation
+/// (the thread-per-node prototype lives in `dpc-agents`).
+#[derive(Debug, Clone)]
+pub struct DibaRun {
+    problem: PowerBudgetProblem,
+    graph: Graph,
+    params: NodeParams,
+    /// Barrier continuation: current multiplicative boost on η (≥ 1).
+    boost: f64,
+    boost_decay: f64,
+    reboost: f64,
+    /// Per-round move below which the current continuation stage is
+    /// considered stagnant and the boost halves (watts).
+    stage_tol: f64,
+    /// Rounds spent in the current continuation stage.
+    stage_rounds: usize,
+    p: Vec<f64>,
+    e: Vec<f64>,
+    iterations: usize,
+    last_max_step: f64,
+}
+
+impl DibaRun {
+    /// Initializes DiBA at a slightly-backed-off uniform allocation with the
+    /// global slack shared equally (`eᵢ = (Σp − P)/n`), which a real
+    /// deployment computes with one gossip round.
+    ///
+    /// # Errors
+    ///
+    /// [`AlgError::DimensionMismatch`] when the graph size differs from the
+    /// problem size. A disconnected graph is accepted but will only
+    /// equalize slack within components.
+    pub fn new(
+        problem: PowerBudgetProblem,
+        graph: Graph,
+        config: DibaConfig,
+    ) -> Result<DibaRun, AlgError> {
+        if graph.len() != problem.len() {
+            return Err(AlgError::DimensionMismatch {
+                expected: problem.len(),
+                got: graph.len(),
+            });
+        }
+        let n = problem.len();
+        let budget = problem.budget().0;
+
+        // Strictly feasible start: back the uniform allocation off toward
+        // the boxes' lower bounds by 0.5 %.
+        let uniform = crate::baselines::uniform(&problem);
+        let p: Vec<f64> = problem
+            .utilities()
+            .iter()
+            .zip(uniform.powers())
+            .map(|(u, &pw)| {
+                let backed = u.p_min().0 + (pw.0 - u.p_min().0) * 0.995;
+                backed.clamp(u.p_min().0, u.p_max().0)
+            })
+            .collect();
+        let residual = p.iter().sum::<f64>() - budget;
+        let e = vec![residual / n as f64; n];
+
+        let margin = (budget / n as f64).abs().max(1.0) * config.margin_frac;
+        let eta = config.eta.unwrap_or_else(|| {
+            // Equilibrium slack target: 0.4 % of the per-node budget;
+            // price estimate: mean marginal utility at the start point.
+            let target = 0.004 * (budget / n as f64).abs().max(1.0);
+            let mean_slope = problem
+                .utilities()
+                .iter()
+                .zip(&p)
+                .map(|(u, &pw)| u.slope(Watts(pw)).max(0.0))
+                .sum::<f64>()
+                / n as f64;
+            target * mean_slope.max(1e-9)
+        });
+
+        Ok(DibaRun {
+            problem,
+            graph,
+            params: NodeParams {
+                eta,
+                margin,
+                step_power: config.step_power,
+                step_transfer: config.step_transfer,
+            },
+            boost: config.eta_boost.max(1.0),
+            boost_decay: config.eta_boost_decay.clamp(0.0, 1.0),
+            reboost: config.eta_boost.max(1.0),
+            stage_tol: 0.002 * (budget / n as f64).abs().max(1.0),
+            stage_rounds: 0,
+            p,
+            e,
+            iterations: 0,
+            last_max_step: f64::INFINITY,
+        })
+    }
+
+    /// The barrier weight in effect (auto-tuned unless overridden).
+    pub fn eta(&self) -> f64 {
+        self.params.eta
+    }
+
+    /// The resolved per-node parameters (for deploying agents).
+    pub fn params(&self) -> NodeParams {
+        self.params
+    }
+
+    /// Per-node state snapshot `(p, e)` for deploying the message-passing
+    /// prototype from the same initial conditions.
+    pub fn node_states(&self) -> Vec<(f64, f64)> {
+        self.p.iter().copied().zip(self.e.iter().copied()).collect()
+    }
+
+    /// Rounds executed so far.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Current power vector as an allocation.
+    pub fn allocation(&self) -> Allocation {
+        self.p.iter().map(|&p| Watts(p)).collect()
+    }
+
+    /// Current total power.
+    pub fn total_power(&self) -> Watts {
+        Watts(self.p.iter().sum())
+    }
+
+    /// Current total utility.
+    pub fn total_utility(&self) -> f64 {
+        self.problem
+            .utilities()
+            .iter()
+            .zip(&self.p)
+            .map(|(u, &p)| u.value(Watts(p)))
+            .sum()
+    }
+
+    /// The local residual estimates `eᵢ` (watts).
+    pub fn residuals(&self) -> &[f64] {
+        &self.e
+    }
+
+    /// Largest per-node power move of the most recent round (watts);
+    /// `+∞` before the first round.
+    pub fn last_max_step(&self) -> f64 {
+        self.last_max_step
+    }
+
+    /// The problem being solved.
+    pub fn problem(&self) -> &PowerBudgetProblem {
+        &self.problem
+    }
+
+    /// One synchronous round: every node computes its action from the
+    /// previous round's neighbor state, then all messages are delivered.
+    pub fn step(&mut self) {
+        let n = self.p.len();
+        let mut p_hat = vec![0.0_f64; n];
+        // Net slack received (sum of incoming transfers minus outgoing).
+        let mut e_delta = vec![0.0_f64; n];
+        let mut neighbor_e: Vec<f64> = Vec::new();
+        let round_params = NodeParams { eta: self.params.eta * self.boost, ..self.params };
+
+        for i in 0..n {
+            let u = self.problem.utility(i);
+            neighbor_e.clear();
+            neighbor_e.extend(self.graph.neighbors(i).iter().map(|&j| self.e[j]));
+            let action = node_action(u, self.p[i], self.e[i], &neighbor_e, &round_params);
+            p_hat[i] = action.dp;
+            for (&j, &t) in self.graph.neighbors(i).iter().zip(&action.transfers) {
+                e_delta[i] -= t; // −t ≥ 0: donating raises own residual
+                e_delta[j] += t; // receiver's residual drops (more slack)
+            }
+        }
+
+        let mut max_step = 0.0_f64;
+        for i in 0..n {
+            self.p[i] += p_hat[i];
+            self.e[i] += p_hat[i] + e_delta[i];
+            max_step = max_step.max(p_hat[i].abs());
+        }
+        self.iterations += 1;
+        self.last_max_step = max_step;
+        // Path following: halve the barrier boost once this stage's
+        // redistribution has stalled or the stage has run its scheduled
+        // length; the backstop decay guarantees the boost vanishes.
+        self.stage_rounds += 1;
+        if self.boost > 1.0 && (max_step < self.stage_tol || self.stage_rounds >= 25) {
+            self.boost = (self.boost * 0.5).max(1.0);
+            self.stage_rounds = 0;
+        }
+        self.boost = (self.boost * self.boost_decay).max(1.0);
+    }
+
+    /// Runs `rounds` synchronous rounds.
+    pub fn run(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Runs until the utility is within `rel_tol` of `reference_utility`
+    /// while feasible (the paper's 99 % criterion, Eq. 4.11). Returns the
+    /// number of rounds used, or `None` when `max_rounds` is exhausted.
+    pub fn run_until_within(
+        &mut self,
+        reference_utility: f64,
+        rel_tol: f64,
+        max_rounds: usize,
+    ) -> Option<usize> {
+        let start = self.iterations;
+        for _ in 0..max_rounds {
+            if self.is_within(reference_utility, rel_tol) {
+                return Some(self.iterations - start);
+            }
+            self.step();
+        }
+        if self.is_within(reference_utility, rel_tol) {
+            Some(self.iterations - start)
+        } else {
+            None
+        }
+    }
+
+    fn is_within(&self, reference_utility: f64, rel_tol: f64) -> bool {
+        let feasible = self.total_power() <= self.problem.budget() + Watts(1e-6);
+        let gap = (reference_utility - self.total_utility()).abs()
+            / reference_utility.abs().max(1e-12);
+        feasible && gap < rel_tol
+    }
+
+    /// Runs until the largest per-node power move stays below `tol_watts`
+    /// for `stable_rounds` consecutive rounds (oracle-free convergence, used
+    /// by the dynamic experiments). Returns rounds used or `None`.
+    pub fn run_to_rest(
+        &mut self,
+        tol_watts: f64,
+        stable_rounds: usize,
+        max_rounds: usize,
+    ) -> Option<usize> {
+        let start = self.iterations;
+        let mut stable = 0usize;
+        for _ in 0..max_rounds {
+            self.step();
+            if self.last_max_step < tol_watts {
+                stable += 1;
+                if stable >= stable_rounds {
+                    return Some(self.iterations - start);
+                }
+            } else {
+                stable = 0;
+            }
+        }
+        None
+    }
+
+    /// Announces a new total budget `P′`. Each node shifts its residual by
+    /// `(P − P′)/n`, which keeps `Σe = Σp − P′` exact; the barrier then
+    /// drives the power response (sharp drop on a cut, gradual fill on a
+    /// raise), reproducing the step responses of Figs. 4.5/4.6.
+    ///
+    /// # Errors
+    ///
+    /// [`AlgError::InfeasibleBudget`] when `P′` cannot cover idle power.
+    pub fn set_budget(&mut self, budget: Watts) -> Result<(), AlgError> {
+        let old = self.problem.budget();
+        self.problem = self.problem.with_budget(budget)?;
+        let shift = (old.0 - budget.0) / self.p.len() as f64;
+        for e in &mut self.e {
+            *e += shift;
+        }
+        // Re-arm the barrier continuation: the new budget needs another
+        // fast-redistribution phase.
+        self.boost = self.boost.max(self.reboost);
+        Ok(())
+    }
+
+    /// Replaces node `i`'s utility (a workload change). The power is
+    /// clamped into the new box and the residual adjusted by the clamp so
+    /// the invariant is preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn replace_utility(&mut self, i: usize, utility: dpc_models::QuadraticUtility) {
+        let mut utilities = self.problem.utilities().to_vec();
+        utilities[i] = utility;
+        let budget = self.problem.budget();
+        self.problem = PowerBudgetProblem::new(utilities, budget)
+            .expect("replacing one utility keeps the problem non-empty");
+        let u = self.problem.utility(i);
+        let clamped = self.p[i].clamp(u.p_min().0, u.p_max().0);
+        self.e[i] += clamped - self.p[i];
+        self.p[i] = clamped;
+        // A single-node change re-arms a mild continuation phase so slack
+        // can flow toward (or away from) the changed node quickly.
+        self.boost = self.boost.max((self.reboost).sqrt());
+    }
+
+    /// Verifies the residual invariant `Σe = Σp − P` (watts of drift).
+    pub fn invariant_drift(&self) -> f64 {
+        let sum_e: f64 = self.e.iter().sum();
+        let sum_p: f64 = self.p.iter().sum();
+        (sum_e - (sum_p - self.problem.budget().0)).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized;
+    use dpc_models::workload::ClusterBuilder;
+
+    fn problem(n: usize, budget: f64, seed: u64) -> PowerBudgetProblem {
+        let c = ClusterBuilder::new(n).seed(seed).build();
+        PowerBudgetProblem::new(c.utilities(), Watts(budget)).unwrap()
+    }
+
+    fn run_on_ring(n: usize, budget: f64, seed: u64) -> (PowerBudgetProblem, DibaRun) {
+        let p = problem(n, budget, seed);
+        let run = DibaRun::new(p.clone(), Graph::ring(n), DibaConfig::default()).unwrap();
+        (p, run)
+    }
+
+    #[test]
+    fn rejects_mismatched_graph() {
+        let p = problem(10, 1700.0, 1);
+        let err = DibaRun::new(p, Graph::ring(5), DibaConfig::default()).unwrap_err();
+        assert!(matches!(err, AlgError::DimensionMismatch { expected: 10, got: 5 }));
+    }
+
+    #[test]
+    fn stays_feasible_every_round() {
+        let (p, mut run) = run_on_ring(60, 10_000.0, 2);
+        for _ in 0..300 {
+            run.step();
+            assert!(run.total_power() <= p.budget() + Watts(1e-6), "budget violated");
+            assert!(run.invariant_drift() < 1e-6, "invariant drifted");
+            for (u, &pw) in p.utilities().iter().zip(run.allocation().powers()) {
+                assert!(pw >= u.p_min() - Watts(1e-9) && pw <= u.p_max() + Watts(1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn converges_to_99_percent_of_oracle_on_a_ring() {
+        let (p, mut run) = run_on_ring(100, 16_600.0, 3);
+        let opt = p.total_utility(&centralized::solve(&p).allocation);
+        let rounds = run.run_until_within(opt, 0.01, 5_000);
+        assert!(rounds.is_some(), "no convergence in 5000 rounds");
+        let rounds = rounds.unwrap();
+        assert!(rounds < 2_000, "too slow: {rounds} rounds");
+    }
+
+    #[test]
+    fn beats_uniform_at_tight_budgets() {
+        let (p, mut run) = run_on_ring(100, 16_600.0, 4);
+        let opt = p.total_utility(&centralized::solve(&p).allocation);
+        run.run_until_within(opt, 0.01, 5_000).expect("converges");
+        let uniform_util = p.total_utility(&crate::baselines::uniform(&p));
+        assert!(run.total_utility() > uniform_util, "DiBA must beat uniform");
+    }
+
+    #[test]
+    fn budget_drop_is_respected_quickly() {
+        let (_, mut run) = run_on_ring(50, 9_500.0, 5);
+        run.run(400);
+        run.set_budget(Watts(8_500.0)).unwrap();
+        // Overshoot is corrected within a modest number of rounds.
+        let mut ok_round = None;
+        for r in 0..300 {
+            run.step();
+            if run.total_power() <= Watts(8_500.0) + Watts(1e-6) {
+                ok_round = Some(r);
+                break;
+            }
+        }
+        let r = ok_round.expect("never met the reduced budget");
+        assert!(r < 200, "took {r} rounds to cap");
+        assert!(run.invariant_drift() < 1e-6);
+    }
+
+    #[test]
+    fn budget_raise_is_filled() {
+        let (_, mut run) = run_on_ring(50, 8_500.0, 6);
+        run.run(400);
+        let before = run.total_power();
+        run.set_budget(Watts(9_500.0)).unwrap();
+        run.run(600);
+        let after = run.total_power();
+        assert!(after > before + Watts(500.0), "budget raise unused: {before} -> {after}");
+        assert!(after <= Watts(9_500.0) + Watts(1e-6));
+    }
+
+    #[test]
+    fn perturbation_response_is_local() {
+        // Ring of 100; change node 50's workload to an extreme CPU-bound
+        // curve; nearby nodes should absorb most of the re-equilibration
+        // (Fig. 4.9). The locality lives in the transient — full diffusion
+        // would eventually spread a (much smaller) uniform shift — so the
+        // comparison is made a modest number of rounds after the change,
+        // exactly as the paper's snapshot does.
+        use dpc_models::throughput::CurveParams;
+        let n = 100;
+        let (_, mut run) = run_on_ring(n, 16_600.0, 7);
+        // Deterministic maximal swing: settle with node 50 memory-bound,
+        // then flip it to the steepest CPU-bound curve.
+        let u = *run.problem().utility(50);
+        let flat = CurveParams::for_memory_boundedness(1.0).utility(u.p_min(), u.p_max());
+        run.replace_utility(50, flat);
+        run.run_to_rest(1e-3, 20, 100_000).expect("settles before perturbation");
+        let before = run.allocation();
+
+        let steep = CurveParams::for_memory_boundedness(0.0).utility(u.p_min(), u.p_max());
+        run.replace_utility(50, steep);
+        run.run(150);
+        let after = run.allocation();
+
+        let delta = |i: usize| (after.power(i) - before.power(i)).abs().0;
+        let near: f64 = (45..=55).filter(|&i| i != 50).map(delta).sum::<f64>() / 10.0;
+        let far: f64 = (0..10).chain(90..100).map(delta).sum::<f64>() / 20.0;
+        assert!(
+            near > 1.5 * far,
+            "perturbation response not local: near {near} vs far {far}"
+        );
+        assert!(run.invariant_drift() < 1e-6);
+    }
+
+    #[test]
+    fn higher_connectivity_converges_no_slower() {
+        let p = problem(60, 10_000.0, 8);
+        let opt = p.total_utility(&centralized::solve(&p).allocation);
+        let mut ring = DibaRun::new(p.clone(), Graph::ring(60), DibaConfig::default()).unwrap();
+        let mut dense =
+            DibaRun::new(p.clone(), Graph::ring_with_chords(60, 12), DibaConfig::default())
+                .unwrap();
+        let r_ring = ring.run_until_within(opt, 0.01, 10_000).expect("ring converges");
+        let r_dense = dense.run_until_within(opt, 0.01, 10_000).expect("dense converges");
+        assert!(
+            r_dense <= r_ring + 50,
+            "chords should not hurt: ring {r_ring}, dense {r_dense}"
+        );
+    }
+
+    #[test]
+    fn unconstrained_budget_drives_everyone_to_peak() {
+        let p = problem(20, 1e6, 9);
+        let mut run = DibaRun::new(p.clone(), Graph::ring(20), DibaConfig::default()).unwrap();
+        run.run(500);
+        for (u, &pw) in p.utilities().iter().zip(run.allocation().powers()) {
+            assert!(pw > u.p_max() - Watts(2.0), "node stuck at {pw} of {}", u.p_max());
+        }
+    }
+
+    #[test]
+    fn run_to_rest_detects_equilibrium() {
+        let (_, mut run) = run_on_ring(40, 6_800.0, 10);
+        // The slack-diffusion tail decays slowly; resting below 10 mW of
+        // per-node movement is equilibrium for all practical purposes.
+        let rounds = run.run_to_rest(1e-2, 10, 10_000);
+        assert!(rounds.is_some(), "never rested");
+        // After rest, further steps barely move.
+        run.step();
+        assert!(run.last_max_step() < 2e-2);
+    }
+}

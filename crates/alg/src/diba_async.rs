@@ -1,0 +1,338 @@
+//! Asynchronous DiBA with an unreliable-timing network.
+//!
+//! The synchronous rounds of [`crate::diba::DibaRun`] are an idealization:
+//! in deployment, nodes act on their own clocks (the paper synchronizes via
+//! NTP, Section 4.3.1) and messages ride TCP — they are never *lost*, but
+//! they arrive late. This module stresses the algorithm under both effects:
+//!
+//! * **partial activation** — each round, every node acts only with
+//!   probability `activation` (a node whose control loop fired late simply
+//!   skips the round);
+//! * **delayed delivery** — every message is independently delayed by a
+//!   geometric number of rounds, so neighbors act on stale residuals and
+//!   slack transfers spend time "in flight".
+//!
+//! The residual invariant becomes an inequality while transfers are in
+//! flight: the donated (negative) mass has left the sender but not reached
+//! the receiver, so `Σ eᵢ ≥ Σ pᵢ − P` on the nodes — feasibility is
+//! preserved *conservatively*, never violated. The tests pin exactly that.
+
+use crate::diba::{node_action, DibaConfig, DibaRun, NodeParams};
+use crate::problem::{AlgError, Allocation, PowerBudgetProblem};
+use dpc_models::units::Watts;
+use dpc_topology::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Network/scheduling imperfections for the asynchronous run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsyncConfig {
+    /// Probability a node takes its action in a given round, in `(0, 1]`.
+    pub activation: f64,
+    /// Probability a message is delayed by (at least) one extra round; the
+    /// delay is geometric with this parameter, capped at `max_delay`.
+    pub delay_prob: f64,
+    /// Hard cap on per-message delay, in rounds.
+    pub max_delay: usize,
+    /// RNG seed (the run is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        AsyncConfig { activation: 0.8, delay_prob: 0.3, max_delay: 5, seed: 0 }
+    }
+}
+
+/// An in-flight message: the sender's residual snapshot plus a slack
+/// transfer, due at `arrival`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct InFlight {
+    arrival: usize,
+    to: usize,
+    from: usize,
+    e_snapshot: f64,
+    transfer: f64,
+}
+
+/// Asynchronous DiBA run over a fixed barrier weight.
+///
+/// Runs the identical per-node program as the synchronous reference
+/// ([`node_action`]); only the scheduling and delivery differ.
+#[derive(Debug, Clone)]
+pub struct AsyncDibaRun {
+    problem: PowerBudgetProblem,
+    graph: Graph,
+    params: NodeParams,
+    net: AsyncConfig,
+    rng: StdRng,
+    p: Vec<f64>,
+    e: Vec<f64>,
+    /// Last residual heard from each neighbor: `last_heard[i]` aligned with
+    /// `graph.neighbors(i)`.
+    last_heard: Vec<Vec<f64>>,
+    in_flight: Vec<InFlight>,
+    round: usize,
+}
+
+impl AsyncDibaRun {
+    /// Builds an asynchronous run with the same initialization as the
+    /// synchronous reference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DibaRun::new`] errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activation` is not in `(0, 1]` or `delay_prob` not in
+    /// `[0, 1)`.
+    pub fn new(
+        problem: PowerBudgetProblem,
+        graph: Graph,
+        config: DibaConfig,
+        net: AsyncConfig,
+    ) -> Result<AsyncDibaRun, AlgError> {
+        assert!(
+            net.activation > 0.0 && net.activation <= 1.0,
+            "activation {} not in (0, 1]",
+            net.activation
+        );
+        assert!(
+            (0.0..1.0).contains(&net.delay_prob),
+            "delay_prob {} not in [0, 1)",
+            net.delay_prob
+        );
+        let reference = DibaRun::new(problem.clone(), graph.clone(), config)?;
+        let params = reference.params();
+        let states = reference.node_states();
+        let p: Vec<f64> = states.iter().map(|s| s.0).collect();
+        let e: Vec<f64> = states.iter().map(|s| s.1).collect();
+        let last_heard = (0..problem.len())
+            .map(|i| graph.neighbors(i).iter().map(|&j| e[j]).collect())
+            .collect();
+        Ok(AsyncDibaRun {
+            problem,
+            graph,
+            params,
+            rng: StdRng::seed_from_u64(net.seed),
+            net,
+            p,
+            e,
+            last_heard,
+            in_flight: Vec::new(),
+            round: 0,
+        })
+    }
+
+    /// Rounds elapsed.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Current allocation.
+    pub fn allocation(&self) -> Allocation {
+        self.p.iter().map(|&p| Watts(p)).collect()
+    }
+
+    /// Current total power.
+    pub fn total_power(&self) -> Watts {
+        Watts(self.p.iter().sum())
+    }
+
+    /// Current total utility.
+    pub fn total_utility(&self) -> f64 {
+        self.problem
+            .utilities()
+            .iter()
+            .zip(&self.p)
+            .map(|(u, &p)| u.value(Watts(p)))
+            .sum()
+    }
+
+    /// Number of messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Residual accounting drift: `Σe_nodes + Σ in-flight − (Σp − P)`, which
+    /// must stay at exactly zero (mass conservation including the network).
+    pub fn conservation_drift(&self) -> f64 {
+        let on_nodes: f64 = self.e.iter().sum();
+        let flying: f64 = self.in_flight.iter().map(|m| m.transfer).sum();
+        let sum_p: f64 = self.p.iter().sum();
+        (on_nodes + flying - (sum_p - self.problem.budget().0)).abs()
+    }
+
+    /// One asynchronous round: deliver due messages, let a random subset of
+    /// nodes act, enqueue their messages with random delays.
+    pub fn step(&mut self) {
+        self.round += 1;
+
+        // Deliver everything due this round.
+        let round = self.round;
+        let mut delivered = Vec::new();
+        self.in_flight.retain(|m| {
+            if m.arrival <= round {
+                delivered.push(*m);
+                false
+            } else {
+                true
+            }
+        });
+        for m in delivered {
+            self.e[m.to] += m.transfer;
+            let slot = self
+                .graph
+                .neighbors(m.to)
+                .iter()
+                .position(|&j| j == m.from)
+                .expect("message along a graph edge");
+            self.last_heard[m.to][slot] = m.e_snapshot;
+        }
+
+        // Random subset of nodes act on last-heard state.
+        for i in 0..self.p.len() {
+            if self.rng.gen_range(0.0..1.0) >= self.net.activation {
+                continue;
+            }
+            let action = node_action(
+                self.problem.utility(i),
+                self.p[i],
+                self.e[i],
+                &self.last_heard[i],
+                &self.params,
+            );
+            self.p[i] += action.dp;
+            self.e[i] += action.own_residual_delta();
+            for (&j, &t) in self.graph.neighbors(i).iter().zip(&action.transfers) {
+                let mut delay = 1usize;
+                while delay < self.net.max_delay
+                    && self.rng.gen_range(0.0..1.0) < self.net.delay_prob
+                {
+                    delay += 1;
+                }
+                self.in_flight.push(InFlight {
+                    arrival: self.round + delay,
+                    to: j,
+                    from: i,
+                    e_snapshot: self.e[i],
+                    transfer: t,
+                });
+            }
+        }
+    }
+
+    /// Runs `rounds` asynchronous rounds.
+    pub fn run(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Runs until feasible and within `rel_tol` of `reference_utility`;
+    /// returns rounds used.
+    pub fn run_until_within(
+        &mut self,
+        reference_utility: f64,
+        rel_tol: f64,
+        max_rounds: usize,
+    ) -> Option<usize> {
+        let start = self.round;
+        for _ in 0..max_rounds {
+            let feasible = self.total_power() <= self.problem.budget() + Watts(1e-6);
+            let gap = (reference_utility - self.total_utility()).abs()
+                / reference_utility.abs().max(1e-12);
+            if feasible && gap < rel_tol {
+                return Some(self.round - start);
+            }
+            self.step();
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized;
+    use dpc_models::workload::ClusterBuilder;
+
+    fn problem(n: usize, per_server: f64, seed: u64) -> PowerBudgetProblem {
+        let c = ClusterBuilder::new(n).seed(seed).build();
+        PowerBudgetProblem::new(c.utilities(), Watts(per_server * n as f64)).unwrap()
+    }
+
+    fn run(n: usize, net: AsyncConfig) -> (PowerBudgetProblem, AsyncDibaRun) {
+        let p = problem(n, 170.0, 3);
+        let r = AsyncDibaRun::new(p.clone(), Graph::ring(n), DibaConfig::default(), net)
+            .unwrap();
+        (p, r)
+    }
+
+    #[test]
+    fn conservation_holds_with_delays_and_partial_activation() {
+        let (_, mut r) = run(40, AsyncConfig::default());
+        for _ in 0..500 {
+            r.step();
+            assert!(r.conservation_drift() < 1e-6, "drift {}", r.conservation_drift());
+        }
+        // Messages really do spend time in flight.
+        assert!(r.in_flight() > 0);
+    }
+
+    #[test]
+    fn budget_never_violated_despite_network_chaos() {
+        let net = AsyncConfig { activation: 0.5, delay_prob: 0.5, max_delay: 8, seed: 9 };
+        let (p, mut r) = run(40, net);
+        for _ in 0..800 {
+            r.step();
+            assert!(r.total_power() <= p.budget() + Watts(1e-6));
+        }
+    }
+
+    #[test]
+    fn still_converges_to_near_optimal() {
+        let (p, mut r) = run(60, AsyncConfig::default());
+        let opt = p.total_utility(&centralized::solve(&p).allocation);
+        let rounds = r.run_until_within(opt, 0.015, 40_000);
+        assert!(rounds.is_some(), "async run failed to converge");
+    }
+
+    #[test]
+    fn synchronous_limit_matches_reference_behaviour() {
+        // activation 1, no delay beyond the mandatory 1-round latency:
+        // behaves like the message-passing prototype (one-round staleness).
+        let net = AsyncConfig { activation: 1.0, delay_prob: 0.0, max_delay: 1, seed: 1 };
+        let (p, mut r) = run(30, net);
+        let opt = p.total_utility(&centralized::solve(&p).allocation);
+        let rounds = r.run_until_within(opt, 0.01, 30_000).expect("converges");
+        // Within small factor of the synchronous reference's budget.
+        assert!(rounds < 20_000, "took {rounds}");
+    }
+
+    #[test]
+    fn degraded_network_slows_but_does_not_break_convergence() {
+        let p = problem(40, 170.0, 5);
+        let opt = p.total_utility(&centralized::solve(&p).allocation);
+        let fast_net = AsyncConfig { activation: 1.0, delay_prob: 0.0, max_delay: 1, seed: 2 };
+        let slow_net = AsyncConfig { activation: 0.4, delay_prob: 0.6, max_delay: 10, seed: 2 };
+        let mut fast =
+            AsyncDibaRun::new(p.clone(), Graph::ring(40), DibaConfig::default(), fast_net)
+                .unwrap();
+        let mut slow =
+            AsyncDibaRun::new(p.clone(), Graph::ring(40), DibaConfig::default(), slow_net)
+                .unwrap();
+        let rf = fast.run_until_within(opt, 0.02, 60_000).expect("fast converges");
+        let rs = slow.run_until_within(opt, 0.02, 60_000).expect("slow converges");
+        assert!(rs >= rf, "degraded network should not be faster: {rs} vs {rf}");
+    }
+
+    #[test]
+    #[should_panic(expected = "activation")]
+    fn rejects_zero_activation() {
+        let p = problem(4, 170.0, 1);
+        let net = AsyncConfig { activation: 0.0, ..Default::default() };
+        let _ = AsyncDibaRun::new(p, Graph::ring(4), DibaConfig::default(), net);
+    }
+}

@@ -1,0 +1,328 @@
+//! Hierarchical decentralized budgeting — the dissertation's future-work
+//! direction of structuring very large facilities as groups (rooms, pods,
+//! rack rows), each running its own decentralized allocation.
+//!
+//! Two timescales:
+//!
+//! * **fast, fully decentralized**: every group runs DiBA on its own small
+//!   communication graph against its group budget — short rings, fast
+//!   mixing, and a failure domain bounded by the group;
+//! * **slow, facility level**: group budgets are periodically rebalanced
+//!   toward equal marginal utility using only one scalar per group (its
+//!   current *demand price*, the mean marginal utility of its members) —
+//!   O(#groups) communication instead of O(N).
+//!
+//! At the joint fixed point all groups share one price, which is the global
+//! KKT condition: the hierarchy converges to the same optimum as flat DiBA
+//! while each ring is a fraction of the size.
+
+use crate::diba::{DibaConfig, DibaRun};
+use crate::problem::{AlgError, Allocation, PowerBudgetProblem};
+use dpc_models::throughput::QuadraticUtility;
+use dpc_models::units::Watts;
+use dpc_topology::Graph;
+
+/// A facility of independently-running groups with a shared total budget.
+#[derive(Debug, Clone)]
+pub struct HierarchicalRun {
+    groups: Vec<DibaRun>,
+    /// Member indices (into the original utility vector) per group.
+    members: Vec<Vec<usize>>,
+    total_budget: Watts,
+    /// Fraction of the inter-group price gap closed per rebalance.
+    rebalance_step: f64,
+}
+
+impl HierarchicalRun {
+    /// Partitions `utilities` into `group_of[i]` groups (ids `0..g`), gives
+    /// each group a budget proportional to its member count, and starts a
+    /// DiBA ring inside every group.
+    ///
+    /// # Errors
+    ///
+    /// [`AlgError::DimensionMismatch`] on length mismatch or an empty
+    /// group; [`AlgError::InfeasibleBudget`] when some group's share cannot
+    /// cover its idle floor.
+    pub fn new(
+        utilities: Vec<QuadraticUtility>,
+        group_of: &[usize],
+        total_budget: Watts,
+        config: DibaConfig,
+    ) -> Result<HierarchicalRun, AlgError> {
+        if utilities.len() != group_of.len() {
+            return Err(AlgError::DimensionMismatch {
+                expected: utilities.len(),
+                got: group_of.len(),
+            });
+        }
+        if utilities.is_empty() {
+            return Err(AlgError::EmptyProblem);
+        }
+        let group_count = group_of.iter().copied().max().map_or(0, |g| g + 1);
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); group_count];
+        for (i, &g) in group_of.iter().enumerate() {
+            members[g].push(i);
+        }
+        if let Some(empty) = members.iter().position(Vec::is_empty) {
+            return Err(AlgError::DimensionMismatch { expected: 1, got: empty });
+        }
+
+        let n = utilities.len();
+        let mut groups = Vec::with_capacity(group_count);
+        for m in &members {
+            let share = total_budget * (m.len() as f64 / n as f64);
+            let group_utilities: Vec<QuadraticUtility> =
+                m.iter().map(|&i| utilities[i]).collect();
+            let problem = PowerBudgetProblem::new(group_utilities, share)?;
+            groups.push(DibaRun::new(problem, Graph::ring(m.len()), config)?);
+        }
+        Ok(HierarchicalRun { groups, members, total_budget, rebalance_step: 0.5 })
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total facility budget.
+    pub fn total_budget(&self) -> Watts {
+        self.total_budget
+    }
+
+    /// Current group budgets.
+    pub fn group_budgets(&self) -> Vec<Watts> {
+        self.groups.iter().map(|g| g.problem().budget()).collect()
+    }
+
+    /// Runs `rounds` DiBA rounds inside every group (groups are fully
+    /// independent — in deployment they run in parallel).
+    pub fn step_local(&mut self, rounds: usize) {
+        for g in &mut self.groups {
+            g.run(rounds);
+        }
+    }
+
+    /// The facility-level rebalance: each group reports its demand price
+    /// (mean marginal utility of its members at their current power); the
+    /// facility shifts budget from below-average-price groups to
+    /// above-average ones. Conserves the total exactly and respects every
+    /// group's feasibility floor/ceiling.
+    pub fn rebalance(&mut self) {
+        let prices: Vec<f64> = self.groups.iter().map(Self::demand_price).collect();
+        let budgets = self.group_budgets();
+        let mean_price = prices.iter().sum::<f64>() / prices.len() as f64;
+        // Scale price gaps into watts: use each group's size as the lever
+        // arm (a one-price-unit gap over a g-member group is worth g·κ W).
+        let mut desired: Vec<f64> = budgets
+            .iter()
+            .zip(&prices)
+            .zip(&self.members)
+            .map(|((b, &pr), m)| {
+                let lever = m.len() as f64 * self.rebalance_step;
+                b.0 + lever * (pr - mean_price) / mean_price.max(1e-12) * (b.0 / m.len() as f64)
+                    * 0.1
+            })
+            .collect();
+        // Clamp to group feasibility and renormalize to the exact total.
+        let floors: Vec<f64> = self.groups.iter().map(|g| g.problem().min_total().0).collect();
+        let ceils: Vec<f64> = self.groups.iter().map(|g| g.problem().max_total().0).collect();
+        for ((d, &lo), &hi) in desired.iter_mut().zip(&floors).zip(&ceils) {
+            *d = d.clamp(lo * 1.001, hi);
+        }
+        let sum: f64 = desired.iter().sum();
+        let total = self.total_budget.0;
+        if sum > 0.0 {
+            // Proportional renormalization of the *slack above floors*.
+            let floor_sum: f64 = floors.iter().map(|f| f * 1.001).sum();
+            let slack_desired = sum - floor_sum;
+            let slack_avail = total - floor_sum;
+            if slack_desired > 1e-9 && slack_avail > 0.0 {
+                let k = slack_avail / slack_desired;
+                for (d, &lo) in desired.iter_mut().zip(&floors) {
+                    let fl = lo * 1.001;
+                    *d = fl + (*d - fl) * k;
+                }
+            }
+        }
+        for (g, &b) in self.groups.iter_mut().zip(&desired) {
+            // Infeasible shares were clamped above; ignore rounding noise.
+            let _ = g.set_budget(Watts(b));
+        }
+    }
+
+    fn demand_price(group: &DibaRun) -> f64 {
+        let alloc = group.allocation();
+        group
+            .problem()
+            .utilities()
+            .iter()
+            .zip(alloc.powers())
+            .map(|(u, &p)| u.slope(p).max(0.0))
+            .sum::<f64>()
+            / group.problem().len() as f64
+    }
+
+    /// Total power across the facility.
+    pub fn total_power(&self) -> Watts {
+        self.groups.iter().map(DibaRun::total_power).sum()
+    }
+
+    /// Total utility across the facility.
+    pub fn total_utility(&self) -> f64 {
+        self.groups.iter().map(DibaRun::total_utility).sum()
+    }
+
+    /// Facility-wide allocation in original server order.
+    pub fn allocation(&self) -> Allocation {
+        let n: usize = self.members.iter().map(Vec::len).sum();
+        let mut powers = vec![Watts::ZERO; n];
+        for (group, m) in self.groups.iter().zip(&self.members) {
+            let alloc = group.allocation();
+            for (slot, &orig) in m.iter().enumerate() {
+                powers[orig] = alloc.power(slot);
+            }
+        }
+        Allocation::new(powers)
+    }
+
+    /// Alternates local rounds and rebalances until the facility is within
+    /// `rel_tol` of `reference_utility` (and feasible); returns the number
+    /// of (local-rounds, rebalance) super-steps used.
+    pub fn run_until_within(
+        &mut self,
+        reference_utility: f64,
+        rel_tol: f64,
+        local_rounds: usize,
+        max_super_steps: usize,
+    ) -> Option<usize> {
+        for s in 0..max_super_steps {
+            let feasible = self.total_power() <= self.total_budget + Watts(1e-6);
+            let gap = (reference_utility - self.total_utility()).abs()
+                / reference_utility.abs().max(1e-12);
+            if feasible && gap < rel_tol {
+                return Some(s);
+            }
+            self.step_local(local_rounds);
+            self.rebalance();
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized;
+    use dpc_models::workload::ClusterBuilder;
+
+    fn utilities(n: usize, seed: u64) -> Vec<QuadraticUtility> {
+        ClusterBuilder::new(n).seed(seed).build().utilities()
+    }
+
+    fn round_robin_groups(n: usize, g: usize) -> Vec<usize> {
+        (0..n).map(|i| i % g).collect()
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let u = utilities(6, 1);
+        assert!(matches!(
+            HierarchicalRun::new(u.clone(), &[0, 1], Watts(1_000.0), DibaConfig::default()),
+            Err(AlgError::DimensionMismatch { .. })
+        ));
+        // Group 1 empty (ids 0 and 2 used).
+        assert!(HierarchicalRun::new(
+            u,
+            &[0, 0, 2, 2, 0, 2],
+            Watts(1_020.0),
+            DibaConfig::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn budgets_are_conserved_across_rebalances() {
+        let n = 48;
+        let total = Watts(170.0 * n as f64);
+        let mut h = HierarchicalRun::new(
+            utilities(n, 2),
+            &round_robin_groups(n, 4),
+            total,
+            DibaConfig::default(),
+        )
+        .unwrap();
+        for _ in 0..20 {
+            h.step_local(50);
+            h.rebalance();
+            let sum: Watts = h.group_budgets().iter().copied().sum();
+            assert!((sum - total).abs() < Watts(1e-6), "budget drifted to {sum}");
+            assert!(h.total_power() <= total + Watts(1e-6));
+        }
+    }
+
+    #[test]
+    fn hierarchy_approaches_the_flat_optimum() {
+        let n = 60;
+        let total = Watts(168.0 * n as f64);
+        let u = utilities(n, 3);
+        let flat = PowerBudgetProblem::new(u.clone(), total).unwrap();
+        let opt = flat.total_utility(&centralized::solve(&flat).allocation);
+
+        let mut h =
+            HierarchicalRun::new(u, &round_robin_groups(n, 5), total, DibaConfig::default())
+                .unwrap();
+        let steps = h.run_until_within(opt, 0.015, 150, 200);
+        assert!(steps.is_some(), "hierarchy failed to approach the flat optimum");
+    }
+
+    #[test]
+    fn rebalance_moves_budget_toward_hungry_groups() {
+        // Group 0: all CPU-bound (steep); group 1: all memory-bound (flat).
+        use dpc_models::throughput::CurveParams;
+        let steep: Vec<QuadraticUtility> = (0..10)
+            .map(|_| CurveParams::for_memory_boundedness(0.05).utility(Watts(110.0), Watts(210.0)))
+            .collect();
+        let flat: Vec<QuadraticUtility> = (0..10)
+            .map(|_| CurveParams::for_memory_boundedness(0.95).utility(Watts(110.0), Watts(210.0)))
+            .collect();
+        let mut all = steep;
+        all.extend(flat);
+        let group_of: Vec<usize> = (0..20).map(|i| i / 10).collect();
+        let total = Watts(160.0 * 20.0);
+        let mut h =
+            HierarchicalRun::new(all, &group_of, total, DibaConfig::default()).unwrap();
+        let before = h.group_budgets();
+        for _ in 0..40 {
+            h.step_local(80);
+            h.rebalance();
+        }
+        let after = h.group_budgets();
+        assert!(
+            after[0] > before[0] + Watts(50.0),
+            "steep group gained only {} -> {}",
+            before[0],
+            after[0]
+        );
+        assert!(after[1] < before[1]);
+    }
+
+    #[test]
+    fn allocation_maps_back_to_original_order() {
+        let n = 12;
+        let u = utilities(n, 4);
+        let mut h = HierarchicalRun::new(
+            u.clone(),
+            &round_robin_groups(n, 3),
+            Watts(170.0 * n as f64),
+            DibaConfig::default(),
+        )
+        .unwrap();
+        h.step_local(100);
+        let alloc = h.allocation();
+        assert_eq!(alloc.len(), n);
+        for (uu, &p) in u.iter().zip(alloc.powers()) {
+            assert!(p >= uu.p_min() - Watts(1e-9) && p <= uu.p_max() + Watts(1e-9));
+        }
+        assert!((alloc.total() - h.total_power()).abs() < Watts(1e-9));
+    }
+}

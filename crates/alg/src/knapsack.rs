@@ -1,0 +1,277 @@
+//! Multiple-choice knapsack power budgeting (Chapter 3, Algorithm 2).
+//!
+//! The centralized predecessor of the decentralized scheme: each server
+//! picks one cap from a discrete ladder (p-states only enforce discrete
+//! power levels), and the geometric-mean SNP objective
+//! `max Π ANPᵢ(pᵢ)` becomes `max Σ ln ANPᵢ(pᵢ)` — a multiple-choice
+//! knapsack over budget units solved by dynamic programming in
+//! `O(n · r · B)`.
+
+use crate::problem::{AlgError, Allocation, PowerBudgetProblem};
+use dpc_models::units::Watts;
+
+/// Result of the knapsack solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnapsackSolution {
+    /// Chosen cap per server.
+    pub allocation: Allocation,
+    /// Index into `levels` chosen per server.
+    pub chosen_levels: Vec<usize>,
+    /// Achieved `Σ ln ANPᵢ` (so `exp(value / n)` is the geometric-mean SNP).
+    pub log_value: f64,
+}
+
+/// Solves the discrete budgeting problem over a shared cap ladder.
+///
+/// `levels` are the enforceable caps, ascending (e.g. the server's p-state
+/// power levels, or the paper's 130 W…165 W in 5 W steps); `unit` is the DP
+/// granularity — weights are rounded *up* to `unit` multiples, so the
+/// returned allocation never exceeds the budget.
+///
+/// # Errors
+///
+/// * [`AlgError::DimensionMismatch`] when `levels` is empty,
+/// * [`AlgError::InfeasibleBudget`] when even the lowest cap everywhere
+///   exceeds the budget.
+///
+/// # Panics
+///
+/// Panics if `levels` is not strictly ascending, a level falls outside some
+/// server's power box, or `unit` is not positive.
+pub fn solve(
+    problem: &PowerBudgetProblem,
+    levels: &[Watts],
+    unit: Watts,
+) -> Result<KnapsackSolution, AlgError> {
+    if !levels.is_empty() {
+        for u in problem.utilities() {
+            assert!(
+                levels[0] >= u.p_min() && *levels.last().unwrap() <= u.p_max(),
+                "cap ladder must lie inside every server's power box"
+            );
+        }
+    }
+    let values: Vec<Vec<f64>> = problem
+        .utilities()
+        .iter()
+        .map(|u| levels.iter().map(|&l| u.anp(l)).collect())
+        .collect();
+    solve_with_values(&values, levels, problem.budget(), unit)
+}
+
+/// Solves the discrete budgeting problem from externally supplied per-server
+/// ANP values (`values[i][j]` = predicted ANP of server `i` at `levels[j]`)
+/// — the entry point for *predictor-driven* budgeting, where the values come
+/// from a runtime throughput predictor rather than the true curves.
+///
+/// # Errors
+///
+/// See [`solve`].
+///
+/// # Panics
+///
+/// See [`solve`]; additionally panics if any value row length differs from
+/// `levels`.
+pub fn solve_with_values(
+    values: &[Vec<f64>],
+    levels: &[Watts],
+    budget: Watts,
+    unit: Watts,
+) -> Result<KnapsackSolution, AlgError> {
+    if levels.is_empty() {
+        return Err(AlgError::DimensionMismatch { expected: 1, got: 0 });
+    }
+    assert!(unit > Watts::ZERO, "DP unit must be positive");
+    assert!(
+        levels.windows(2).all(|w| w[0] < w[1]),
+        "cap levels must be strictly ascending"
+    );
+    assert!(
+        levels.len() <= u8::MAX as usize,
+        "at most {} cap levels supported",
+        u8::MAX
+    );
+    let n = values.len();
+    if n == 0 {
+        return Err(AlgError::EmptyProblem);
+    }
+    for row in values {
+        assert_eq!(row.len(), levels.len(), "value row width must match levels");
+    }
+    let base = levels[0];
+    let floor_total = base * n as f64;
+    if floor_total > budget {
+        return Err(AlgError::InfeasibleBudget { budget, min_required: floor_total });
+    }
+
+    // Budget slack in DP units; weights rounded up keep the result
+    // feasible. Slack beyond every server taking the top cap is useless,
+    // so it is clamped — this bounds the DP table for loose budgets.
+    let weights: Vec<usize> = levels
+        .iter()
+        .map(|&l| ((l - base) / unit).ceil() as usize)
+        .collect();
+    let max_useful = n * weights.last().copied().unwrap_or(0);
+    let slack = (((budget - floor_total) / unit).floor() as usize).min(max_useful);
+
+    // V[k] = best Σ ln ANP using at most k slack units over the servers
+    // processed so far; monotone nondecreasing in k throughout.
+    let mut value = vec![0.0_f64; slack + 1];
+    let mut next = vec![0.0_f64; slack + 1];
+    // choice[i * (slack+1) + k]: the level server i picks when k units
+    // remain, for backtracking.
+    let mut choice = vec![0u8; n * (slack + 1)];
+
+    for (i, anps) in values.iter().enumerate() {
+        let log_anps: Vec<f64> = anps.iter().map(|&a| a.max(1e-300).ln()).collect();
+        for k in 0..=slack {
+            let mut best = f64::NEG_INFINITY;
+            let mut best_j = 0u8;
+            for (j, (&w, &v)) in weights.iter().zip(&log_anps).enumerate() {
+                if w > k {
+                    break; // weights ascend with levels
+                }
+                let cand = value[k - w] + v;
+                if cand > best {
+                    best = cand;
+                    best_j = j as u8;
+                }
+            }
+            next[k] = best;
+            choice[i * (slack + 1) + k] = best_j;
+        }
+        std::mem::swap(&mut value, &mut next);
+    }
+
+    // Backtrack from full slack.
+    let mut k = slack;
+    let mut chosen_levels = vec![0usize; n];
+    for i in (0..n).rev() {
+        let j = choice[i * (slack + 1) + k] as usize;
+        chosen_levels[i] = j;
+        k -= weights[j];
+    }
+    let allocation: Allocation = chosen_levels.iter().map(|&j| levels[j]).collect();
+    Ok(KnapsackSolution { allocation, chosen_levels, log_value: value[slack] })
+}
+
+/// The paper's Chapter 3 cap ladder: 130 W to 165 W in 5 W steps (r = 8).
+pub fn chapter3_levels() -> Vec<Watts> {
+    (0..8).map(|j| Watts(130.0 + 5.0 * j as f64)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_models::metrics::snp_geometric;
+    use dpc_models::workload::ClusterBuilder;
+
+    /// Cap levels inside the default server box [~154.5, 200].
+    fn levels() -> Vec<Watts> {
+        (0..8).map(|j| Watts(160.0 + 5.0 * j as f64)).collect()
+    }
+
+    fn problem(n: usize, budget: f64, seed: u64) -> PowerBudgetProblem {
+        let c = ClusterBuilder::new(n).seed(seed).build();
+        PowerBudgetProblem::new(c.utilities(), Watts(budget)).unwrap()
+    }
+
+    #[test]
+    fn respects_budget_and_ladder() {
+        let p = problem(20, 3_400.0, 1);
+        let s = solve(&p, &levels(), Watts(5.0)).unwrap();
+        assert!(s.allocation.total() <= p.budget());
+        for (&pw, &j) in s.allocation.powers().iter().zip(&s.chosen_levels) {
+            assert_eq!(pw, levels()[j]);
+        }
+    }
+
+    #[test]
+    fn loose_budget_gives_everyone_top_cap() {
+        let p = problem(10, 10_000.0, 2);
+        let s = solve(&p, &levels(), Watts(5.0)).unwrap();
+        for &j in &s.chosen_levels {
+            assert_eq!(j, levels().len() - 1);
+        }
+        // The ladder top (195 W) sits below p_max (200 W), so ANP < 1; the
+        // DP value must equal the sum of the top-cap log-ANPs exactly.
+        let expected: f64 = p
+            .utilities()
+            .iter()
+            .map(|u| u.anp(*levels().last().unwrap()).ln())
+            .sum();
+        assert!((s.log_value - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tight_budget_pins_everyone_to_bottom_cap() {
+        let lv = levels();
+        let p = problem(10, 1_604.0, 3); // 10·160 = 1600, slack < one 5 W step
+        let s = solve(&p, &lv, Watts(5.0)).unwrap();
+        assert!(s.chosen_levels.iter().all(|&j| j == 0));
+    }
+
+    #[test]
+    fn beats_every_uniform_ladder_assignment() {
+        let lv = levels();
+        let p = problem(30, 5_100.0, 4); // 170 W average: uniform fits level 2
+        let s = solve(&p, &lv, Watts(5.0)).unwrap();
+        let snp_dp = snp_geometric(&p.anps(&s.allocation));
+        // Uniform at 170 W (the best whole-ladder uniform under budget).
+        let uniform: Allocation = (0..30).map(|_| Watts(170.0)).collect();
+        let snp_uni = snp_geometric(&p.anps(&uniform));
+        assert!(snp_dp >= snp_uni - 1e-12, "DP {snp_dp} vs uniform {snp_uni}");
+    }
+
+    #[test]
+    fn matches_exhaustive_search_on_small_instance() {
+        let lv: Vec<Watts> = (0..4).map(|j| Watts(160.0 + 10.0 * j as f64)).collect();
+        let p = problem(4, 700.0, 5);
+        let s = solve(&p, &lv, Watts(5.0)).unwrap();
+        // Brute force all 4^4 assignments.
+        let mut best = f64::NEG_INFINITY;
+        for mask in 0..(4usize.pow(4)) {
+            let mut m = mask;
+            let mut total = Watts::ZERO;
+            let mut val = 0.0;
+            for i in 0..4 {
+                let j = m % 4;
+                m /= 4;
+                total += lv[j];
+                val += p.utility(i).anp(lv[j]).ln();
+            }
+            if total <= p.budget() {
+                best = best.max(val);
+            }
+        }
+        assert!(
+            (s.log_value - best).abs() < 1e-9,
+            "DP {} vs brute force {best}",
+            s.log_value
+        );
+    }
+
+    #[test]
+    fn infeasible_floor_is_reported() {
+        let p = problem(10, 1_550.0, 6);
+        let err = solve(&p, &levels(), Watts(5.0)).unwrap_err();
+        assert!(matches!(err, AlgError::InfeasibleBudget { .. }));
+    }
+
+    #[test]
+    fn empty_ladder_is_rejected() {
+        let p = problem(2, 400.0, 7);
+        assert!(matches!(
+            solve(&p, &[], Watts(5.0)),
+            Err(AlgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn chapter3_ladder_matches_the_text() {
+        let lv = chapter3_levels();
+        assert_eq!(lv.len(), 8);
+        assert_eq!(lv[0], Watts(130.0));
+        assert_eq!(*lv.last().unwrap(), Watts(165.0));
+    }
+}

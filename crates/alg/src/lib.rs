@@ -1,0 +1,43 @@
+//! # dpc-alg — power-budget allocation algorithms
+//!
+//! The solvers for the cluster power-budgeting problem (Eqs. 4.1–4.3):
+//!
+//! * [`diba`] — the paper's contribution: fully decentralized allocation
+//!   over an arbitrary connected communication graph (Algorithm 4);
+//! * [`primal_dual`] — the coordinator-based dual decomposition baseline
+//!   (Algorithm 3);
+//! * [`centralized`] — the exact KKT water-filling oracle (the CVX stand-in);
+//! * [`baselines`] — uniform split and the prior-work throughput/W greedy;
+//! * [`knapsack`] — the Chapter 3 multiple-choice knapsack DP (Algorithm 2);
+//! * [`predictor`] — the Chapter 3 runtime throughput predictors (Table 3.2);
+//! * [`problem`] — the shared problem/allocation types.
+//!
+//! ```
+//! use dpc_alg::{centralized, diba::{DibaConfig, DibaRun}, problem::PowerBudgetProblem};
+//! use dpc_models::{units::Watts, workload::ClusterBuilder};
+//! use dpc_topology::Graph;
+//!
+//! # fn main() -> Result<(), dpc_alg::problem::AlgError> {
+//! let cluster = ClusterBuilder::new(50).seed(7).build();
+//! let problem = PowerBudgetProblem::new(cluster.utilities(), Watts(8_400.0))?;
+//! let optimal = problem.total_utility(&centralized::solve(&problem).allocation);
+//!
+//! let mut run = DibaRun::new(problem, Graph::ring(50), DibaConfig::default())?;
+//! run.run_until_within(optimal, 0.01, 5_000).expect("converges on a ring");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod centralized;
+pub mod knapsack;
+pub mod predictor;
+pub mod diba;
+pub mod diba_async;
+pub mod hierarchy;
+pub mod primal_dual;
+pub mod problem;
+
+pub use problem::{AlgError, Allocation, PowerBudgetProblem};

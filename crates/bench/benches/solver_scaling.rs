@@ -1,0 +1,126 @@
+//! Criterion benchmarks behind Table 4.2's computation column: how each
+//! solver's per-invocation cost scales with cluster size, plus the
+//! per-round costs that dominate the dynamic experiments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpc_alg::diba::{DibaConfig, DibaRun};
+use dpc_alg::knapsack;
+use dpc_alg::primal_dual::{self, PrimalDualConfig};
+use dpc_alg::problem::PowerBudgetProblem;
+use dpc_alg::{baselines, centralized};
+use dpc_models::units::Watts;
+use dpc_models::workload::ClusterBuilder;
+use dpc_net::timing::{coordinator_round_sim, LinkTiming};
+use dpc_topology::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const SIZES: [usize; 3] = [400, 1600, 6400];
+
+fn problem(n: usize) -> PowerBudgetProblem {
+    let cluster = ClusterBuilder::new(n).seed(42).build();
+    PowerBudgetProblem::new(cluster.utilities(), Watts(172.0 * n as f64)).unwrap()
+}
+
+/// The centralized oracle solve (Table 4.2 "centralized comp").
+fn bench_centralized(c: &mut Criterion) {
+    let mut g = c.benchmark_group("centralized_solve");
+    for n in SIZES {
+        let p = problem(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| black_box(centralized::solve(p)))
+        });
+    }
+    g.finish();
+}
+
+/// A full primal-dual convergence (Table 4.2 "PD comp", serial over nodes).
+fn bench_primal_dual(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primal_dual_solve");
+    for n in SIZES {
+        let p = problem(n);
+        let opt = p.total_utility(&centralized::solve(&p).allocation);
+        let cfg = PrimalDualConfig::default();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| black_box(primal_dual::solve_with_reference(p, &cfg, opt)))
+        });
+    }
+    g.finish();
+}
+
+/// One synchronous DiBA round over the whole ring (divide by n for the
+/// per-node parallel cost of Table 4.2 "DiBA comp").
+fn bench_diba_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diba_round");
+    for n in SIZES {
+        let p = problem(n);
+        let mut run = DibaRun::new(p, Graph::ring(n), DibaConfig::default()).unwrap();
+        run.run(50); // past the initial transient
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, _| {
+            b.iter(|| {
+                run.step();
+                black_box(run.last_max_step())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The uniform baseline (the re-allocation cost every budget change pays).
+fn bench_uniform(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uniform_allocation");
+    for n in SIZES {
+        let p = problem(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| black_box(baselines::uniform(p)))
+        });
+    }
+    g.finish();
+}
+
+/// The Chapter 3 knapsack DP (Fig. 3.12's per-epoch solve).
+fn bench_knapsack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("knapsack_dp");
+    g.sample_size(10);
+    for n in [400usize, 1600] {
+        let truths: Vec<_> = (0..n)
+            .map(|i| {
+                dpc_models::throughput::CurveParams::for_memory_boundedness(
+                    (i % 10) as f64 / 10.0,
+                )
+                .utility(Watts(125.0), Watts(165.0))
+            })
+            .collect();
+        let p = PowerBudgetProblem::new(truths, Watts(145.0 * n as f64)).unwrap();
+        let levels = knapsack::chapter3_levels();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| black_box(knapsack::solve(p, &levels, Watts(1.0)).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+/// The coordinator queue drain (Table 4.2 "cent/PD comm" per round).
+fn bench_coordinator_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coordinator_queue_sim");
+    let timing = LinkTiming::measured_10gbe();
+    for n in SIZES {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(coordinator_round_sim(n, timing, &mut rng)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_centralized,
+    bench_primal_dual,
+    bench_diba_round,
+    bench_uniform,
+    bench_knapsack,
+    bench_coordinator_queue,
+);
+criterion_main!(benches);

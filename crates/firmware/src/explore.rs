@@ -1,0 +1,221 @@
+//! Configuration search: brute force vs FXplore-S (Algorithm 7).
+//!
+//! Brute force reboots the server `2ᴺ` times. FXplore-S explores
+//! sequentially: starting from all-enabled, each iteration temporarily
+//! disables every still-*free* option, keeps the one whose disabling
+//! helped most, and *locks* it — `N + (N−1) + … + 1 = O(N²)` reboots —
+//! then returns the best configuration seen anywhere along the way.
+
+use crate::config::{FirmwareConfig, FirmwareOption};
+use crate::response::ResponseModel;
+use rand::Rng;
+
+/// Anything that can be rebooted into a configuration and measured —
+/// a single workload ([`ResponseModel`]) or a co-located pair
+/// ([`crate::colocate::CoLocatedPair`]).
+pub trait Testbed {
+    /// One reboot-and-run: `(runtime_seconds, power_watts)`.
+    fn measure_run<R: Rng + ?Sized>(
+        &self,
+        config: FirmwareConfig,
+        noise: f64,
+        rng: &mut R,
+    ) -> (f64, f64);
+}
+
+impl Testbed for ResponseModel {
+    fn measure_run<R: Rng + ?Sized>(
+        &self,
+        config: FirmwareConfig,
+        noise: f64,
+        rng: &mut R,
+    ) -> (f64, f64) {
+        self.measure(config, noise, rng)
+    }
+}
+
+/// What the search optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Minimize runtime.
+    Runtime,
+    /// Minimize energy (runtime × power).
+    Energy,
+}
+
+/// Result of a search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// The chosen configuration.
+    pub config: FirmwareConfig,
+    /// Measured cost of the chosen configuration (seconds or joules).
+    pub cost: f64,
+    /// Server reboots (= measurements) spent.
+    pub reboots: usize,
+}
+
+fn cost<T: Testbed + ?Sized, R: Rng + ?Sized>(
+    model: &T,
+    config: FirmwareConfig,
+    objective: Objective,
+    noise: f64,
+    rng: &mut R,
+) -> f64 {
+    let (rt, pw) = model.measure_run(config, noise, rng);
+    match objective {
+        Objective::Runtime => rt,
+        Objective::Energy => rt * pw,
+    }
+}
+
+/// Brute-force enumeration of all 32 configurations.
+pub fn brute_force<T: Testbed + ?Sized, R: Rng + ?Sized>(
+    model: &T,
+    objective: Objective,
+    noise: f64,
+    rng: &mut R,
+) -> SearchResult {
+    let mut best: Option<(FirmwareConfig, f64)> = None;
+    let mut reboots = 0;
+    for c in FirmwareConfig::all() {
+        let v = cost(model, c, objective, noise, rng);
+        reboots += 1;
+        if best.is_none() || v < best.expect("set").1 {
+            best = Some((c, v));
+        }
+    }
+    let (config, cost) = best.expect("non-empty space");
+    SearchResult { config, cost, reboots }
+}
+
+/// FXplore-S: the sequential-search heuristic (Algorithm 7).
+pub fn fxplore_s<T: Testbed + ?Sized, R: Rng + ?Sized>(
+    model: &T,
+    objective: Objective,
+    noise: f64,
+    rng: &mut R,
+) -> SearchResult {
+    let mut current = FirmwareConfig::all_enabled();
+    let mut free: Vec<FirmwareOption> = FirmwareOption::ALL.to_vec();
+    let mut reboots = 0usize;
+
+    // Global best over everything explored (step 9), seeded with the
+    // all-enabled baseline.
+    let baseline = cost(model, current, objective, noise, rng);
+    reboots += 1;
+    let mut best = (current, baseline);
+
+    while !free.is_empty() {
+        // Try disabling each free option from the current configuration.
+        let mut round_best: Option<(usize, FirmwareConfig, f64)> = None;
+        for (idx, &option) in free.iter().enumerate() {
+            let candidate = current.with(option, false);
+            let v = cost(model, candidate, objective, noise, rng);
+            reboots += 1;
+            if v < best.1 {
+                best = (candidate, v);
+            }
+            match round_best {
+                Some((_, _, rv)) if rv <= v => {}
+                _ => round_best = Some((idx, candidate, v)),
+            }
+        }
+        let (idx, candidate, _) = round_best.expect("free is non-empty");
+        // Lock the option whose disabling scored best and continue from
+        // that configuration.
+        current = candidate;
+        free.remove(idx);
+    }
+    SearchResult { config: best.0, cost: best.1, reboots }
+}
+
+/// Reboots FXplore-S spends for `n` binary options: `n(n+1)/2 + 1`
+/// (including the all-enabled baseline measurement).
+pub fn fxplore_s_reboots(n: usize) -> usize {
+    n * (n + 1) / 2 + 1
+}
+
+/// Reboots brute force spends for `n` binary options: `2ⁿ`.
+pub fn brute_force_reboots(n: usize) -> usize {
+    1 << n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_models::benchmark::Benchmark;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reboot_counts_match_the_complexity_claim() {
+        // 5 options: 16 vs 32 — the paper's 2.2× exploration speedup.
+        assert_eq!(fxplore_s_reboots(5), 16);
+        assert_eq!(brute_force_reboots(5), 32);
+        // The gap explodes with more options (Fig. 6.9's scalability).
+        assert_eq!(fxplore_s_reboots(10), 56);
+        assert_eq!(brute_force_reboots(10), 1024);
+    }
+
+    #[test]
+    fn noiseless_brute_force_finds_the_true_optimum() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for b in Benchmark::ALL {
+            let m = ResponseModel::for_spec(b.spec());
+            let r = brute_force(&m, Objective::Runtime, 0.0, &mut rng);
+            assert_eq!(r.config, m.optimal_runtime_config(), "{b}");
+            assert_eq!(r.reboots, 32);
+        }
+    }
+
+    #[test]
+    fn fxplore_s_lands_close_to_optimal_with_a_third_fewer_reboots() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut worst_gap = 0.0_f64;
+        for b in Benchmark::ALL {
+            let m = ResponseModel::for_spec(b.spec());
+            let r = fxplore_s(&m, Objective::Runtime, 0.0, &mut rng);
+            assert_eq!(r.reboots, 16, "{b}");
+            let optimal = m.runtime(m.optimal_runtime_config());
+            let gap = m.runtime(r.config) / optimal - 1.0;
+            worst_gap = worst_gap.max(gap);
+        }
+        // The heuristic is near-optimal on every workload (the paper
+        // reports matching brute force on most).
+        assert!(worst_gap < 0.05, "worst FXplore-S gap {worst_gap}");
+    }
+
+    #[test]
+    fn fxplore_s_always_beats_or_matches_the_all_enabled_baseline() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for b in Benchmark::ALL {
+            let m = ResponseModel::for_spec(b.spec());
+            let r = fxplore_s(&m, Objective::Runtime, 0.0, &mut rng);
+            assert!(
+                m.runtime(r.config) <= m.runtime(FirmwareConfig::all_enabled()) + 1e-9,
+                "{b}"
+            );
+        }
+    }
+
+    #[test]
+    fn energy_objective_selects_different_configs_somewhere() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let differs = Benchmark::ALL.iter().any(|b| {
+            let m = ResponseModel::for_spec(b.spec());
+            let rt = fxplore_s(&m, Objective::Runtime, 0.0, &mut rng);
+            let en = fxplore_s(&m, Objective::Energy, 0.0, &mut rng);
+            rt.config != en.config
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn search_tolerates_measurement_noise() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = ResponseModel::for_spec(Benchmark::Cg.spec());
+        let optimal = m.runtime(m.optimal_runtime_config());
+        let r = fxplore_s(&m, Objective::Runtime, 0.02, &mut rng);
+        assert!(m.runtime(r.config) / optimal < 1.1);
+    }
+}

@@ -1,0 +1,50 @@
+//! # dpc-firmware — FXplore: soft heterogeneity through firmware (extension)
+//!
+//! Chapter 6 of the dissertation (a sibling publication of the target
+//! paper): instead of *buying* heterogeneous servers, re-configure a
+//! homogeneous cluster's firmware per workload class — the BIOS options
+//! (prefetchers, turbo modes, hyper-threading) move runtime and power by
+//! tens of percent, workload-dependently and non-additively.
+//!
+//! Included because it *feeds* the power-capping story: the soft
+//! heterogeneity FXplore creates is exactly the per-server
+//! throughput-curve diversity the budget allocators exploit.
+//!
+//! * [`config`] — the 2⁵ firmware configuration space (Table 6.1);
+//! * [`response`] — synthetic per-workload response surfaces reproducing
+//!   the paper's three motivating observations (Section 6.2);
+//! * [`explore`] — brute force vs the FXplore-S sequential search
+//!   (Algorithm 7, `O(N²)` reboots instead of `2ᴺ`);
+//! * [`subcluster`] — FXplore-SC *k*-means sub-clustering over PMC
+//!   features plus no-reboot on-line mapping (Algorithm 8);
+//! * [`colocate`] — co-located workload pairs as exploration targets
+//!   (Section 6.3.4, Fig. 6.11).
+//!
+//! ```
+//! use dpc_firmware::{explore::{brute_force, fxplore_s, Objective},
+//!                    response::ResponseModel};
+//! use dpc_models::benchmark::Benchmark;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let model = ResponseModel::for_spec(Benchmark::Cg.spec());
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let exhaustive = brute_force(&model, Objective::Runtime, 0.0, &mut rng);
+//! let sequential = fxplore_s(&model, Objective::Runtime, 0.0, &mut rng);
+//! assert!(sequential.reboots * 2 == exhaustive.reboots);
+//! assert!(model.runtime(sequential.config) <= model.runtime(exhaustive.config) * 1.05);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod colocate;
+pub mod config;
+pub mod explore;
+pub mod response;
+pub mod subcluster;
+
+pub use colocate::CoLocatedPair;
+pub use config::{FirmwareConfig, FirmwareOption};
+pub use explore::{brute_force, fxplore_s, Objective, SearchResult};
+pub use response::ResponseModel;
+pub use subcluster::{fxplore_sc, SubClustering};

@@ -1,0 +1,250 @@
+//! Synthetic workload response to firmware configurations.
+//!
+//! The motivation study (Section 6.2) makes three observations the model
+//! must reproduce:
+//!
+//! 1. configurations move runtime by tens of percent, workload-dependently
+//!    (CG swings 173 %, SP 59 %);
+//! 2. optimal configurations differ per workload, and differ between the
+//!    runtime and energy objectives (Table 6.2); all-enabled is *not*
+//!    optimal;
+//! 3. options *interact*: enabling two options is not the sum of enabling
+//!    each (Fig. 6.3 — e.g. HP alone hurts FT, but HP together with MTB
+//!    helps).
+//!
+//! The model gives each workload a per-option affinity vector derived from
+//! its memory-boundedness plus a deterministic idiosyncratic component, and
+//! explicit pairwise interaction terms (prefetcher×memory-speed synergy,
+//! hyper-threading×turbo contention), then exposes only what a real testbed
+//! exposes: run it at a config, read runtime and power (with noise).
+
+use crate::config::{FirmwareConfig, FirmwareOption};
+use dpc_models::benchmark::WorkloadSpec;
+use rand::Rng;
+
+/// Ground-truth response surface of one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseModel {
+    /// Fractional runtime reduction when option `i` is enabled alone.
+    affinity: [f64; 5],
+    /// Pairwise interaction terms: extra runtime reduction (or penalty)
+    /// when both options of the pair are enabled.
+    interactions: Vec<(usize, usize, f64)>,
+    /// Fractional power increase when option `i` is enabled.
+    power_cost: [f64; 5],
+    /// Runtime at the all-disabled configuration (seconds).
+    base_runtime: f64,
+    /// Power at the all-disabled configuration (watts).
+    base_power: f64,
+}
+
+fn hash01(seed: u64, salt: u64) -> f64 {
+    // SplitMix64 — deterministic idiosyncrasy per (workload, option).
+    let mut z = seed.wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = z ^ (z >> 31);
+    (z % 10_000) as f64 / 10_000.0
+}
+
+impl ResponseModel {
+    /// Builds the ground truth for a catalog workload.
+    pub fn for_spec(spec: &WorkloadSpec) -> ResponseModel {
+        let mb = spec.memory_boundedness();
+        let seed = spec
+            .name
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x1000_0000_01b3));
+        let idio = |salt: u64| hash01(seed, salt) * 2.0 - 1.0; // in [-1, 1]
+
+        // Class-driven affinities plus ±6 % idiosyncrasy:
+        // prefetchers help regular memory traffic (scaled by mb) but a
+        // workload with chaotic access patterns (idiosyncratic) is hurt;
+        // CPU turbo helps compute-bound; memory turbo helps memory-bound;
+        // HT helps throughput workloads but contends on compute-saturated
+        // cores.
+        let affinity = [
+            0.10 * mb + 0.02 * idio(1),                  // HP: regular memory traffic
+            0.05 * mb + 0.015 * idio(2),                 // CP
+            0.12 * (1.0 - mb) + 0.02 * idio(3),          // CTB: compute-bound
+            0.10 * mb + 0.015 * idio(4),                 // MTB: memory-bound
+            0.06 * mb - 0.04 * (1.0 - mb) + 0.02 * idio(5), // HT: hides latency, contends on compute
+        ];
+        // Interactions (Fig. 6.3): HP×MTB synergy for memory traffic —
+        // prefetching is only effective when DRAM keeps up; CTB×HT
+        // contention — two hardware threads fight for the thermal budget.
+        let interactions = vec![
+            (
+                FirmwareOption::Hp.bit(),
+                FirmwareOption::Mtb.bit(),
+                0.06 * mb + 0.015 * idio(6),
+            ),
+            (
+                FirmwareOption::Ctb.bit(),
+                FirmwareOption::Ht.bit(),
+                -0.05 * (1.0 - mb) + 0.01 * idio(7),
+            ),
+            (
+                FirmwareOption::Hp.bit(),
+                FirmwareOption::Cp.bit(),
+                -0.02 + 0.01 * idio(8), // two prefetchers fight for bandwidth
+            ),
+        ];
+        let power_cost = [0.02, 0.01, 0.10, 0.05, 0.06];
+        ResponseModel {
+            affinity,
+            interactions,
+            power_cost,
+            base_runtime: 100.0 * (1.0 + 0.5 * hash01(seed, 9)),
+            base_power: 150.0,
+        }
+    }
+
+    /// True runtime at a configuration (seconds).
+    pub fn runtime(&self, config: FirmwareConfig) -> f64 {
+        let mut reduction = 0.0;
+        for o in FirmwareOption::ALL {
+            if config.enabled(o) {
+                reduction += self.affinity[o.bit()];
+            }
+        }
+        for &(a, b, term) in &self.interactions {
+            if config.bits() & (1 << a) != 0 && config.bits() & (1 << b) != 0 {
+                reduction += term;
+            }
+        }
+        self.base_runtime * (1.0 - reduction).max(0.2)
+    }
+
+    /// True average power at a configuration (watts).
+    pub fn power(&self, config: FirmwareConfig) -> f64 {
+        let mut cost = 0.0;
+        for o in FirmwareOption::ALL {
+            if config.enabled(o) {
+                cost += self.power_cost[o.bit()];
+            }
+        }
+        self.base_power * (1.0 + cost)
+    }
+
+    /// True energy of one run (joules).
+    pub fn energy(&self, config: FirmwareConfig) -> f64 {
+        self.runtime(config) * self.power(config)
+    }
+
+    /// A measured (noisy) run: `(runtime, power)` with multiplicative noise
+    /// of relative amplitude `noise` — one reboot-and-run of the testbed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise` is not in `[0, 0.2]`.
+    pub fn measure<R: Rng + ?Sized>(
+        &self,
+        config: FirmwareConfig,
+        noise: f64,
+        rng: &mut R,
+    ) -> (f64, f64) {
+        assert!((0.0..=0.2).contains(&noise), "noise {noise} not in [0, 0.2]");
+        let j = |rng: &mut R| {
+            if noise == 0.0 {
+                1.0
+            } else {
+                1.0 + rng.gen_range(-noise..=noise)
+            }
+        };
+        (self.runtime(config) * j(rng), self.power(config) * j(rng))
+    }
+
+    /// The configuration minimizing true runtime.
+    pub fn optimal_runtime_config(&self) -> FirmwareConfig {
+        FirmwareConfig::all()
+            .min_by(|&a, &b| self.runtime(a).total_cmp(&self.runtime(b)))
+            .expect("non-empty space")
+    }
+
+    /// The configuration minimizing true energy.
+    pub fn optimal_energy_config(&self) -> FirmwareConfig {
+        FirmwareConfig::all()
+            .min_by(|&a, &b| self.energy(a).total_cmp(&self.energy(b)))
+            .expect("non-empty space")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_models::benchmark::Benchmark;
+
+    #[test]
+    fn observation_1_configs_move_runtime_materially() {
+        // Runtime spread across configs is tens of percent for every HPC
+        // workload.
+        for b in Benchmark::ALL {
+            let m = ResponseModel::for_spec(b.spec());
+            let runtimes: Vec<f64> = FirmwareConfig::all().map(|c| m.runtime(c)).collect();
+            let lo = runtimes.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = runtimes.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let spread = hi / lo - 1.0;
+            assert!(spread > 0.08, "{b}: spread {spread}");
+        }
+    }
+
+    #[test]
+    fn observation_2_optima_differ_per_workload_and_objective() {
+        use std::collections::HashSet;
+        let runtime_optima: HashSet<_> = Benchmark::ALL
+            .iter()
+            .map(|b| ResponseModel::for_spec(b.spec()).optimal_runtime_config())
+            .collect();
+        assert!(runtime_optima.len() >= 3, "only {} distinct optima", runtime_optima.len());
+        // At least one workload's energy optimum differs from its runtime
+        // optimum (Table 6.2's point).
+        let differs = Benchmark::ALL.iter().any(|b| {
+            let m = ResponseModel::for_spec(b.spec());
+            m.optimal_runtime_config() != m.optimal_energy_config()
+        });
+        assert!(differs);
+        // And all-enabled is not universally optimal.
+        let all_on_everywhere = Benchmark::ALL.iter().all(|b| {
+            ResponseModel::for_spec(b.spec()).optimal_runtime_config()
+                == FirmwareConfig::all_enabled()
+        });
+        assert!(!all_on_everywhere);
+    }
+
+    #[test]
+    fn observation_3_interactions_are_non_additive() {
+        // For the memory-bound CG, HP×MTB synergy: the joint improvement
+        // exceeds the sum of the individual ones.
+        let m = ResponseModel::for_spec(Benchmark::Cg.spec());
+        let none = FirmwareConfig::all_disabled();
+        let hp = none.with(FirmwareOption::Hp, true);
+        let mtb = none.with(FirmwareOption::Mtb, true);
+        let both = hp.with(FirmwareOption::Mtb, true);
+        let d_hp = m.runtime(none) - m.runtime(hp);
+        let d_mtb = m.runtime(none) - m.runtime(mtb);
+        let d_both = m.runtime(none) - m.runtime(both);
+        assert!(d_both > d_hp + d_mtb + 1e-9, "no synergy: {d_both} vs {d_hp}+{d_mtb}");
+    }
+
+    #[test]
+    fn model_is_deterministic_per_workload() {
+        let a = ResponseModel::for_spec(Benchmark::Ft.spec());
+        let b = ResponseModel::for_spec(Benchmark::Ft.spec());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn measurement_noise_is_bounded() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let m = ResponseModel::for_spec(Benchmark::Is.spec());
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = FirmwareConfig::all_enabled();
+        for _ in 0..100 {
+            let (rt, pw) = m.measure(c, 0.02, &mut rng);
+            assert!((rt / m.runtime(c) - 1.0).abs() <= 0.02 + 1e-12);
+            assert!((pw / m.power(c) - 1.0).abs() <= 0.02 + 1e-12);
+        }
+    }
+}

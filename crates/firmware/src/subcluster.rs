@@ -1,0 +1,261 @@
+//! Sub-clustering and on-line workload mapping (FXplore-SC, Algorithm 8).
+//!
+//! An administrator cannot afford a dedicated firmware configuration per
+//! workload: κ sub-clusters trade optimality for manageability. Workloads
+//! are grouped by *k*-means over their PMC feature vectors (the insight:
+//! similar system-level behaviour ⇒ similar optimal firmware); one
+//! representative per group is explored with FXplore-S and its
+//! configuration applied to the whole group. New workloads are mapped
+//! on-line by nearest-centroid — no reboot required.
+
+use crate::config::FirmwareConfig;
+use crate::explore::{fxplore_s, Objective, SearchResult};
+use crate::response::ResponseModel;
+use dpc_models::benchmark::WorkloadSpec;
+use dpc_models::pmc::{feature_scales, PmcSignature};
+use rand::Rng;
+
+/// A κ-way grouping of workloads by PMC similarity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubClustering {
+    assignments: Vec<usize>,
+    centroids: Vec<[f64; 5]>,
+    scales: [f64; 5],
+}
+
+fn normalized(sig: &PmcSignature, scales: &[f64; 5]) -> [f64; 5] {
+    let f = sig.feature_vector();
+    let mut out = [0.0; 5];
+    for i in 0..5 {
+        out[i] = f[i] / scales[i];
+    }
+    out
+}
+
+fn dist2(a: &[f64; 5], b: &[f64; 5]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl SubClustering {
+    /// Clusters workloads into `k` groups by seeded k-means (k-means++-
+    /// style farthest-point init, Lloyd iterations to convergence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds the number of workloads.
+    pub fn build<R: Rng + ?Sized>(
+        signatures: &[PmcSignature],
+        k: usize,
+        rng: &mut R,
+    ) -> SubClustering {
+        let n = signatures.len();
+        assert!(k >= 1 && k <= n, "k = {k} invalid for {n} workloads");
+        let scales = feature_scales(signatures.iter());
+        let points: Vec<[f64; 5]> = signatures.iter().map(|s| normalized(s, &scales)).collect();
+
+        // Farthest-point initialization from a random start.
+        let mut centroids: Vec<[f64; 5]> = vec![points[rng.gen_range(0..n)]];
+        while centroids.len() < k {
+            let far = (0..n)
+                .max_by(|&a, &b| {
+                    let da = centroids.iter().map(|c| dist2(&points[a], c)).fold(f64::INFINITY, f64::min);
+                    let db = centroids.iter().map(|c| dist2(&points[b], c)).fold(f64::INFINITY, f64::min);
+                    da.total_cmp(&db)
+                })
+                .expect("non-empty");
+            centroids.push(points[far]);
+        }
+
+        let mut assignments = vec![0usize; n];
+        for _ in 0..100 {
+            let mut changed = false;
+            for (i, p) in points.iter().enumerate() {
+                let best = (0..k)
+                    .min_by(|&a, &b| dist2(p, &centroids[a]).total_cmp(&dist2(p, &centroids[b])))
+                    .expect("k >= 1");
+                if assignments[i] != best {
+                    assignments[i] = best;
+                    changed = true;
+                }
+            }
+            // Recompute centroids (empty clusters keep their position).
+            let mut sums = vec![[0.0f64; 5]; k];
+            let mut counts = vec![0usize; k];
+            for (i, p) in points.iter().enumerate() {
+                let c = assignments[i];
+                counts[c] += 1;
+                for d in 0..5 {
+                    sums[c][d] += p[d];
+                }
+            }
+            for c in 0..k {
+                if counts[c] > 0 {
+                    for d in 0..5 {
+                        centroids[c][d] = sums[c][d] / counts[c] as f64;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        SubClustering { assignments, centroids, scales }
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Cluster id per workload, in input order.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Indices of the members of `cluster`.
+    pub fn members(&self, cluster: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == cluster)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The medoid of `cluster` among the clustering inputs: the member
+    /// closest to the centroid — FXplore-SC's representative.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an empty cluster or out-of-range id.
+    pub fn representative(&self, cluster: usize, signatures: &[PmcSignature]) -> usize {
+        let members = self.members(cluster);
+        assert!(!members.is_empty(), "cluster {cluster} is empty");
+        *members
+            .iter()
+            .min_by(|&&a, &&b| {
+                let da = dist2(&normalized(&signatures[a], &self.scales), &self.centroids[cluster]);
+                let db = dist2(&normalized(&signatures[b], &self.scales), &self.centroids[cluster]);
+                da.total_cmp(&db)
+            })
+            .expect("non-empty members")
+    }
+
+    /// On-line mapping of a *new* workload to its nearest sub-cluster —
+    /// one profiling run on a baseline server, no reboot.
+    pub fn map_new(&self, signature: &PmcSignature) -> usize {
+        let p = normalized(signature, &self.scales);
+        (0..self.k())
+            .min_by(|&a, &b| dist2(&p, &self.centroids[a]).total_cmp(&dist2(&p, &self.centroids[b])))
+            .expect("k >= 1")
+    }
+}
+
+/// Full FXplore-SC: cluster the workloads, explore one representative per
+/// cluster, return each cluster's configuration.
+pub fn fxplore_sc<R: Rng + ?Sized>(
+    specs: &[&WorkloadSpec],
+    k: usize,
+    objective: Objective,
+    noise: f64,
+    rng: &mut R,
+) -> (SubClustering, Vec<(FirmwareConfig, SearchResult)>) {
+    let signatures: Vec<PmcSignature> = specs.iter().map(|s| PmcSignature::for_spec(s)).collect();
+    let clustering = SubClustering::build(&signatures, k, rng);
+    let configs = (0..k)
+        .map(|c| {
+            let rep = clustering.representative(c, &signatures);
+            let model = ResponseModel::for_spec(specs[rep]);
+            let result = fxplore_s(&model, objective, noise, rng);
+            (result.config, result)
+        })
+        .collect();
+    (clustering, configs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_models::benchmark::{Benchmark, HPC_BENCHMARKS};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn signatures() -> Vec<PmcSignature> {
+        HPC_BENCHMARKS.iter().map(PmcSignature::for_spec).collect()
+    }
+
+    #[test]
+    fn kmeans_groups_by_class() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sigs = signatures();
+        let c = SubClustering::build(&sigs, 4, &mut rng);
+        // CPU-bound EP and HPL land together; memory-bound CG and RA land
+        // together; and those two groups differ.
+        let a = c.assignments();
+        assert_eq!(a[Benchmark::Ep as usize], a[Benchmark::Hpl as usize]);
+        assert_eq!(a[Benchmark::Cg as usize], a[Benchmark::Ra as usize]);
+        assert_ne!(a[Benchmark::Ep as usize], a[Benchmark::Ra as usize]);
+    }
+
+    #[test]
+    fn k_equals_n_gives_singletons() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sigs = signatures();
+        let c = SubClustering::build(&sigs, sigs.len(), &mut rng);
+        let mut seen: Vec<usize> = c.assignments().to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), sigs.len());
+    }
+
+    #[test]
+    fn representative_is_a_member() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sigs = signatures();
+        let c = SubClustering::build(&sigs, 3, &mut rng);
+        for cluster in 0..c.k() {
+            let rep = c.representative(cluster, &sigs);
+            assert_eq!(c.assignments()[rep], cluster);
+        }
+    }
+
+    #[test]
+    fn online_mapping_recovers_training_members() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let sigs = signatures();
+        let c = SubClustering::build(&sigs, 4, &mut rng);
+        // A noisy re-profile of a known workload maps to its own cluster.
+        let mut hits = 0;
+        for (i, s) in sigs.iter().enumerate() {
+            let noisy = s.sample(0.03, &mut rng);
+            if c.map_new(&noisy) == c.assignments()[i] {
+                hits += 1;
+            }
+        }
+        // ≥ 90 % mapping accuracy (Table 6.3 reports ~90 % for NN).
+        assert!(hits >= 9, "only {hits}/10 mapped home");
+    }
+
+    #[test]
+    fn fxplore_sc_configs_beat_all_enabled_on_average() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let specs: Vec<&WorkloadSpec> = HPC_BENCHMARKS.iter().collect();
+        let (clustering, configs) = fxplore_sc(&specs, 4, Objective::Runtime, 0.0, &mut rng);
+        let mut sub = 0.0;
+        let mut base = 0.0;
+        for (i, spec) in specs.iter().enumerate() {
+            let m = ResponseModel::for_spec(spec);
+            let cfg = configs[clustering.assignments()[i]].0;
+            sub += m.runtime(cfg);
+            base += m.runtime(FirmwareConfig::all_enabled());
+        }
+        assert!(sub < base, "sub-cluster configs {sub} vs baseline {base}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn rejects_k_zero() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = SubClustering::build(&signatures(), 0, &mut rng);
+    }
+}

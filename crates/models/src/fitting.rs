@@ -1,0 +1,318 @@
+//! Least-squares polynomial fitting.
+//!
+//! The paper learns throughput functions by measuring a workload at a few
+//! DVFS levels and interpolating a quadratic (Section 4.4.1); Chapter 3
+//! compares quadratic, linear and cubic models (Table 3.2). This module
+//! provides the shared fitting machinery: ordinary least squares on the
+//! monomial basis via normal equations, solved with partially pivoted
+//! Gaussian elimination.
+
+use std::fmt;
+
+/// Error fitting a polynomial.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer samples than coefficients.
+    TooFewSamples {
+        /// Samples provided.
+        have: usize,
+        /// Minimum required (`degree + 1`).
+        need: usize,
+    },
+    /// The normal-equation system is singular (e.g. duplicated x values).
+    Singular,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::TooFewSamples { have, need } => {
+                write!(f, "too few samples for fit: have {have}, need {need}")
+            }
+            FitError::Singular => f.write_str("normal equations are singular"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// A fitted polynomial `y = Σ coeffs[k] · x^k`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Builds a polynomial from low-to-high-order coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` is empty.
+    pub fn new(coeffs: Vec<f64>) -> Polynomial {
+        assert!(!coeffs.is_empty(), "polynomial needs at least one coefficient");
+        Polynomial { coeffs }
+    }
+
+    /// Coefficients, constant term first.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Polynomial degree.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Evaluates the polynomial at `x` (Horner's rule).
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Evaluates the derivative at `x`.
+    pub fn eval_derivative(&self, x: f64) -> f64 {
+        self.coeffs
+            .iter()
+            .enumerate()
+            .skip(1)
+            .rev()
+            .fold(0.0, |acc, (k, &c)| acc * x + c * k as f64)
+    }
+}
+
+/// Solves the dense linear system `A·x = b` with partially pivoted Gaussian
+/// elimination. `a` is row-major `n × n`.
+///
+/// # Errors
+///
+/// Returns [`FitError::Singular`] when a pivot underflows.
+#[allow(clippy::needless_range_loop)] // simultaneous two-row access
+pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, FitError> {
+    let n = b.len();
+    debug_assert!(a.len() == n && a.iter().all(|r| r.len() == n));
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty pivot range");
+        if a[pivot_row][col].abs() < 1e-300 {
+            return Err(FitError::Singular);
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Ok(x)
+}
+
+/// Fits a polynomial of the given degree to `(x, y)` samples by ordinary
+/// least squares.
+///
+/// For numerical stability the x values are centred and scaled internally;
+/// the returned coefficients are in the *original* x units.
+///
+/// # Errors
+///
+/// [`FitError::TooFewSamples`] when fewer than `degree + 1` samples are
+/// given, [`FitError::Singular`] when the design matrix is rank deficient
+/// (e.g. all x identical).
+#[allow(clippy::needless_range_loop)] // binomial recurrence indexes two arrays
+pub fn fit_polynomial(samples: &[(f64, f64)], degree: usize) -> Result<Polynomial, FitError> {
+    let m = degree + 1;
+    if samples.len() < m {
+        return Err(FitError::TooFewSamples { have: samples.len(), need: m });
+    }
+    // Centre/scale x for conditioning.
+    let n = samples.len() as f64;
+    let mean = samples.iter().map(|s| s.0).sum::<f64>() / n;
+    let spread = samples
+        .iter()
+        .map(|s| (s.0 - mean).abs())
+        .fold(0.0_f64, f64::max)
+        .max(1e-12);
+
+    // Normal equations on the scaled basis.
+    let mut ata = vec![vec![0.0; m]; m];
+    let mut atb = vec![0.0; m];
+    for &(x, y) in samples {
+        let t = (x - mean) / spread;
+        let mut powers = vec![1.0; m];
+        for k in 1..m {
+            powers[k] = powers[k - 1] * t;
+        }
+        for i in 0..m {
+            atb[i] += powers[i] * y;
+            for j in 0..m {
+                ata[i][j] += powers[i] * powers[j];
+            }
+        }
+    }
+    let scaled = solve_linear(ata, atb)?;
+
+    // Expand Σ s_k ((x-mean)/spread)^k back to the monomial basis in x.
+    let mut coeffs = vec![0.0; m];
+    for (k, &sk) in scaled.iter().enumerate() {
+        // ((x - mean)/spread)^k = Σ_j C(k,j) x^j (-mean)^{k-j} / spread^k
+        let mut binom = 1.0_f64;
+        for j in 0..=k {
+            if j > 0 {
+                binom = binom * (k - j + 1) as f64 / j as f64;
+            }
+            coeffs[j] += sk * binom * (-mean).powi((k - j) as i32) / spread.powi(k as i32);
+        }
+    }
+    Ok(Polynomial::new(coeffs))
+}
+
+/// Coefficient of determination R² of a fitted model on samples.
+///
+/// Returns 1.0 for a perfect fit; can be negative for a fit worse than the
+/// mean predictor. Returns 1.0 when the outputs are constant and matched.
+pub fn r_squared(poly: &Polynomial, samples: &[(f64, f64)]) -> f64 {
+    if samples.is_empty() {
+        return 1.0;
+    }
+    let mean = samples.iter().map(|s| s.1).sum::<f64>() / samples.len() as f64;
+    let ss_tot: f64 = samples.iter().map(|s| (s.1 - mean).powi(2)).sum();
+    let ss_res: f64 = samples.iter().map(|s| (s.1 - poly.eval(s.0)).powi(2)).sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 1.0 } else { f64::NEG_INFINITY };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Mean absolute relative error of predictions against true values, as used
+/// for the Table 3.2 comparison. Pairs with `truth == 0` are skipped.
+pub fn mean_absolute_relative_error(pairs: &[(f64, f64)]) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for &(predicted, truth) in pairs {
+        if truth != 0.0 {
+            total += ((predicted - truth) / truth).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_quadratic() {
+        let truth = |x: f64| 2.0 - 0.3 * x + 0.01 * x * x;
+        let samples: Vec<_> = (0..8).map(|i| {
+            let x = 100.0 + 10.0 * i as f64;
+            (x, truth(x))
+        })
+        .collect();
+        let p = fit_polynomial(&samples, 2).unwrap();
+        assert!((p.coefficients()[0] - 2.0).abs() < 1e-6, "{:?}", p);
+        assert!((p.coefficients()[1] + 0.3).abs() < 1e-8);
+        assert!((p.coefficients()[2] - 0.01).abs() < 1e-10);
+        assert!(r_squared(&p, &samples) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn recovers_cubic_and_linear() {
+        let truth = |x: f64| 1.0 + 0.5 * x - 0.02 * x * x + 1e-4 * x * x * x;
+        let samples: Vec<_> = (0..12).map(|i| {
+            let x = i as f64 * 5.0;
+            (x, truth(x))
+        })
+        .collect();
+        let cubic = fit_polynomial(&samples, 3).unwrap();
+        for (got, want) in cubic.coefficients().iter().zip([1.0, 0.5, -0.02, 1e-4]) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+        let line = fit_polynomial(&[(0.0, 1.0), (2.0, 5.0)], 1).unwrap();
+        assert!((line.eval(1.0) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_underdetermined_and_singular() {
+        assert_eq!(
+            fit_polynomial(&[(0.0, 1.0)], 2),
+            Err(FitError::TooFewSamples { have: 1, need: 3 })
+        );
+        // All x equal: rank deficient.
+        let same = vec![(5.0, 1.0), (5.0, 2.0), (5.0, 3.0)];
+        assert_eq!(fit_polynomial(&same, 2), Err(FitError::Singular));
+    }
+
+    #[test]
+    fn noisy_fit_is_close_and_r2_high() {
+        // Deterministic pseudo-noise to keep the test stable.
+        let truth = |x: f64| 10.0 + 0.2 * x - 5e-4 * x * x;
+        let samples: Vec<_> = (0..20).map(|i| {
+            let x = 100.0 + 5.0 * i as f64;
+            let noise = 0.01 * ((i * 2654435761_usize) % 1000) as f64 / 1000.0 - 0.005;
+            (x, truth(x) * (1.0 + noise))
+        })
+        .collect();
+        let p = fit_polynomial(&samples, 2).unwrap();
+        assert!(r_squared(&p, &samples) > 0.99);
+        for &(x, _) in &samples {
+            let rel = ((p.eval(x) - truth(x)) / truth(x)).abs();
+            assert!(rel < 0.02, "x={x} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn polynomial_eval_and_derivative() {
+        let p = Polynomial::new(vec![1.0, 2.0, 3.0]); // 1 + 2x + 3x²
+        assert_eq!(p.degree(), 2);
+        assert_eq!(p.eval(2.0), 17.0);
+        assert_eq!(p.eval_derivative(2.0), 14.0); // 2 + 6x
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one coefficient")]
+    fn polynomial_rejects_empty() {
+        let _ = Polynomial::new(vec![]);
+    }
+
+    #[test]
+    fn solve_linear_3x3() {
+        let a = vec![
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ];
+        let b = vec![8.0, -11.0, -3.0];
+        let x = solve_linear(a, b).unwrap();
+        for (got, want) in x.iter().zip([2.0, 3.0, -1.0]) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mare_ignores_zero_truth() {
+        let pairs = [(1.1, 1.0), (0.9, 1.0), (5.0, 0.0)];
+        let e = mean_absolute_relative_error(&pairs);
+        assert!((e - 0.1).abs() < 1e-12);
+        assert_eq!(mean_absolute_relative_error(&[]), 0.0);
+    }
+}

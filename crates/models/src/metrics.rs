@@ -1,0 +1,181 @@
+//! Cluster performance metrics.
+//!
+//! The paper reports three normalized metrics (Section 2.2):
+//!
+//! * **ANP** — application normalized performance, the ratio of achieved to
+//!   ideal throughput of one workload.
+//! * **SNP** — system normalized performance. Chapter 4 uses the
+//!   *arithmetic* mean of ANPs; Chapter 3 the *geometric* mean. Both are
+//!   provided.
+//! * **Slowdown norm** — mean of `1/ANP`.
+//! * **Unfairness** — coefficient of variation of the ANPs.
+
+/// Arithmetic-mean SNP over per-workload ANPs (Chapter 4 definition).
+///
+/// Returns 0.0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any ANP is not in `(0, 1 + ε]` — an ANP above 1 means the
+/// "ideal" throughput was not actually the peak.
+pub fn snp_arithmetic(anps: &[f64]) -> f64 {
+    if anps.is_empty() {
+        return 0.0;
+    }
+    validate(anps);
+    anps.iter().sum::<f64>() / anps.len() as f64
+}
+
+/// Geometric-mean SNP over per-workload ANPs (Chapter 3 definition).
+///
+/// Returns 0.0 for an empty slice. Computed through log-space to avoid
+/// underflow for large clusters.
+///
+/// # Panics
+///
+/// Panics on invalid ANPs (see [`snp_arithmetic`]).
+pub fn snp_geometric(anps: &[f64]) -> f64 {
+    if anps.is_empty() {
+        return 0.0;
+    }
+    validate(anps);
+    let log_sum: f64 = anps.iter().map(|a| a.ln()).sum();
+    (log_sum / anps.len() as f64).exp()
+}
+
+/// Slowdown norm: mean of `1 / ANP` (lower is better; 1.0 is ideal).
+///
+/// Returns 0.0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics on invalid ANPs (see [`snp_arithmetic`]).
+pub fn slowdown_norm(anps: &[f64]) -> f64 {
+    if anps.is_empty() {
+        return 0.0;
+    }
+    validate(anps);
+    anps.iter().map(|a| 1.0 / a).sum::<f64>() / anps.len() as f64
+}
+
+/// Unfairness: coefficient of variation (std-dev / mean) of the ANPs.
+///
+/// Returns 0.0 for empty or single-element slices.
+///
+/// # Panics
+///
+/// Panics on invalid ANPs (see [`snp_arithmetic`]).
+pub fn unfairness(anps: &[f64]) -> f64 {
+    if anps.len() < 2 {
+        return 0.0;
+    }
+    validate(anps);
+    let n = anps.len() as f64;
+    let mean = anps.iter().sum::<f64>() / n;
+    let var = anps.iter().map(|a| (a - mean).powi(2)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
+fn validate(anps: &[f64]) {
+    for &a in anps {
+        assert!(
+            a > 0.0 && a <= 1.0 + 1e-9 && a.is_finite(),
+            "ANP {a} outside (0, 1]"
+        );
+    }
+}
+
+/// Summary of all four metrics for one allocation, convenient for tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSummary {
+    /// Arithmetic-mean SNP.
+    pub snp: f64,
+    /// Geometric-mean SNP.
+    pub snp_geometric: f64,
+    /// Mean slowdown.
+    pub slowdown: f64,
+    /// Coefficient of variation of ANPs.
+    pub unfairness: f64,
+}
+
+impl MetricSummary {
+    /// Computes all metrics from per-workload ANPs.
+    pub fn from_anps(anps: &[f64]) -> MetricSummary {
+        MetricSummary {
+            snp: snp_arithmetic(anps),
+            snp_geometric: snp_geometric(anps),
+            slowdown: slowdown_norm(anps),
+            unfairness: unfairness(anps),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_cluster_scores_perfectly() {
+        let anps = vec![1.0; 10];
+        assert_eq!(snp_arithmetic(&anps), 1.0);
+        assert!((snp_geometric(&anps) - 1.0).abs() < 1e-12);
+        assert_eq!(slowdown_norm(&anps), 1.0);
+        assert_eq!(unfairness(&anps), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_is_below_arithmetic_for_unequal_anps() {
+        let anps = [0.5, 1.0];
+        let a = snp_arithmetic(&anps);
+        let g = snp_geometric(&anps);
+        assert!((a - 0.75).abs() < 1e-12);
+        assert!((g - (0.5f64).sqrt()).abs() < 1e-12);
+        assert!(g < a);
+    }
+
+    #[test]
+    fn slowdown_and_unfairness_known_values() {
+        let anps = [0.5, 1.0];
+        assert!((slowdown_norm(&anps) - 1.5).abs() < 1e-12);
+        // mean .75, std .25 (population), CoV = 1/3.
+        assert!((unfairness(&anps) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_survives_large_clusters() {
+        let anps = vec![0.9; 100_000];
+        let g = snp_geometric(&anps);
+        assert!((g - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        assert_eq!(snp_arithmetic(&[]), 0.0);
+        assert_eq!(snp_geometric(&[]), 0.0);
+        assert_eq!(slowdown_norm(&[]), 0.0);
+        assert_eq!(unfairness(&[]), 0.0);
+        assert_eq!(unfairness(&[0.8]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn rejects_anp_above_one() {
+        let _ = snp_arithmetic(&[1.2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn rejects_zero_anp() {
+        let _ = slowdown_norm(&[0.0]);
+    }
+
+    #[test]
+    fn summary_bundles_all_metrics() {
+        let anps = [0.5, 1.0];
+        let s = MetricSummary::from_anps(&anps);
+        assert_eq!(s.snp, snp_arithmetic(&anps));
+        assert_eq!(s.snp_geometric, snp_geometric(&anps));
+        assert_eq!(s.slowdown, slowdown_norm(&anps));
+        assert_eq!(s.unfairness, unfairness(&anps));
+    }
+}

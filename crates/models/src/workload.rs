@@ -1,0 +1,296 @@
+//! Cluster-level workload assembly.
+//!
+//! Builds the population of `N` servers with learned utility functions that
+//! the allocation algorithms operate on, mirroring the paper's setup: "to
+//! simulate a cluster with arbitrary number of servers N, we draw the
+//! throughput functions from a uniform distribution such that each server
+//! hosts at least one type of workload and the entire cluster is fully
+//! utilized" (Section 4.4.1).
+
+use crate::benchmark::Benchmark;
+use crate::characterization::learn_utility;
+use crate::power::ServerSpec;
+use crate::throughput::QuadraticUtility;
+use crate::units::Watts;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How benchmarks are assigned to servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assignment {
+    /// Server `i` runs benchmark `i mod 10`: every benchmark equally
+    /// represented, deterministic.
+    RoundRobin,
+    /// Uniform random draw per server (the paper's setup).
+    UniformRandom,
+}
+
+/// One server's workload and its power→throughput characteristics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerWorkload {
+    /// Index of the server in the cluster.
+    pub server_id: usize,
+    /// Benchmark currently hosted.
+    pub benchmark: Benchmark,
+    /// Ground-truth curve (used by oracle experiments only).
+    pub truth: QuadraticUtility,
+    /// Curve learned from the noisy DVFS sweep (what the algorithms see).
+    pub learned: QuadraticUtility,
+}
+
+/// Configuration for building a [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    n: usize,
+    server: ServerSpec,
+    assignment: Assignment,
+    curve_jitter: f64,
+    measurement_noise: f64,
+    seed: u64,
+}
+
+impl ClusterBuilder {
+    /// Starts a builder for `n` servers of the paper's default server class.
+    ///
+    /// Defaults: uniform random assignment, 8 % curve jitter between
+    /// instances, 1 % measurement noise, seed 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> ClusterBuilder {
+        assert!(n > 0, "cluster must have at least one server");
+        ClusterBuilder {
+            n,
+            server: ServerSpec::dell_c1100(),
+            assignment: Assignment::UniformRandom,
+            curve_jitter: 0.08,
+            measurement_noise: 0.01,
+            seed: 0,
+        }
+    }
+
+    /// Uses a custom server class.
+    pub fn server(mut self, server: ServerSpec) -> ClusterBuilder {
+        self.server = server;
+        self
+    }
+
+    /// Sets the benchmark-to-server assignment policy.
+    pub fn assignment(mut self, assignment: Assignment) -> ClusterBuilder {
+        self.assignment = assignment;
+        self
+    }
+
+    /// Sets the per-instance curve jitter (0 disables).
+    pub fn curve_jitter(mut self, jitter: f64) -> ClusterBuilder {
+        self.curve_jitter = jitter;
+        self
+    }
+
+    /// Sets the DVFS-sweep measurement noise (0 disables).
+    pub fn measurement_noise(mut self, noise: f64) -> ClusterBuilder {
+        self.measurement_noise = noise;
+        self
+    }
+
+    /// Sets the RNG seed; identical seeds reproduce identical clusters.
+    pub fn seed(mut self, seed: u64) -> ClusterBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the cluster, running the synthetic characterization sweep for
+    /// every server.
+    pub fn build(&self) -> Cluster {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let workloads = (0..self.n)
+            .map(|i| {
+                let benchmark = match self.assignment {
+                    Assignment::RoundRobin => Benchmark::from_index(i),
+                    Assignment::UniformRandom => {
+                        Benchmark::ALL[rng.gen_range(0..Benchmark::ALL.len())]
+                    }
+                };
+                let (truth, learned) = learn_utility(
+                    benchmark.spec(),
+                    &self.server,
+                    self.curve_jitter,
+                    self.measurement_noise,
+                    &mut rng,
+                );
+                ServerWorkload { server_id: i, benchmark, truth, learned }
+            })
+            .collect();
+        Cluster { server: self.server.clone(), workloads, rng }
+    }
+}
+
+/// A population of servers with workloads, the unit every experiment starts
+/// from.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    server: ServerSpec,
+    workloads: Vec<ServerWorkload>,
+    rng: StdRng,
+}
+
+impl Cluster {
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.workloads.len()
+    }
+
+    /// `true` when the cluster has no servers (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.workloads.is_empty()
+    }
+
+    /// The server class shared by all nodes.
+    pub fn server(&self) -> &ServerSpec {
+        &self.server
+    }
+
+    /// Per-server workload records.
+    pub fn workloads(&self) -> &[ServerWorkload] {
+        &self.workloads
+    }
+
+    /// The learned utility functions, in server order — the input to every
+    /// allocation algorithm.
+    pub fn utilities(&self) -> Vec<QuadraticUtility> {
+        self.workloads.iter().map(|w| w.learned).collect()
+    }
+
+    /// Ground-truth utilities, for oracle comparisons.
+    pub fn truths(&self) -> Vec<QuadraticUtility> {
+        self.workloads.iter().map(|w| w.truth).collect()
+    }
+
+    /// Lowest enforceable total power (all servers at `p_min`).
+    pub fn min_total_power(&self) -> Watts {
+        self.workloads.iter().map(|w| w.learned.p_min()).sum()
+    }
+
+    /// Highest total power (all servers at `p_max`).
+    pub fn max_total_power(&self) -> Watts {
+        self.workloads.iter().map(|w| w.learned.p_max()).sum()
+    }
+
+    /// Replaces server `i`'s workload with a fresh uniform draw, re-running
+    /// the characterization sweep — the churn event of the dynamic-workload
+    /// experiment (Fig. 4.7). Returns the new benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn churn(&mut self, i: usize) -> Benchmark {
+        let benchmark = Benchmark::ALL[self.rng.gen_range(0..Benchmark::ALL.len())];
+        self.replace(i, benchmark);
+        benchmark
+    }
+
+    /// Replaces server `i`'s workload with a specific benchmark (used by the
+    /// perturbation experiments, Figs. 4.8/4.9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn replace(&mut self, i: usize, benchmark: Benchmark) {
+        let (truth, learned) =
+            learn_utility(benchmark.spec(), &self.server, 0.08, 0.01, &mut self.rng);
+        self.workloads[i] = ServerWorkload { server_id: i, benchmark, truth, learned };
+    }
+
+    /// Draws an exponentially distributed workload duration with the given
+    /// mean, for churn processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_secs` is not positive.
+    pub fn draw_duration(&mut self, mean_secs: f64) -> f64 {
+        assert!(mean_secs > 0.0, "mean duration must be positive");
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        -mean_secs * u.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_is_reproducible() {
+        let a = ClusterBuilder::new(50).seed(42).build();
+        let b = ClusterBuilder::new(50).seed(42).build();
+        assert_eq!(a.workloads(), b.workloads());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ClusterBuilder::new(50).seed(1).build();
+        let b = ClusterBuilder::new(50).seed(2).build();
+        assert_ne!(a.workloads(), b.workloads());
+    }
+
+    #[test]
+    fn round_robin_covers_all_benchmarks() {
+        let c = ClusterBuilder::new(20).assignment(Assignment::RoundRobin).build();
+        for (i, w) in c.workloads().iter().enumerate() {
+            assert_eq!(w.benchmark, Benchmark::from_index(i));
+        }
+    }
+
+    #[test]
+    fn uniform_random_hosts_every_benchmark_eventually() {
+        let c = ClusterBuilder::new(500).seed(7).build();
+        for b in Benchmark::ALL {
+            assert!(
+                c.workloads().iter().any(|w| w.benchmark == b),
+                "{b} not present in 500 draws"
+            );
+        }
+    }
+
+    #[test]
+    fn power_range_is_n_times_server_box() {
+        let c = ClusterBuilder::new(100).build();
+        let lo = c.min_total_power();
+        let hi = c.max_total_power();
+        let srv = c.server();
+        assert!((lo - srv.min_full_power() * 100.0).abs() < Watts(1e-6));
+        assert!((hi - srv.peak * 100.0).abs() < Watts(1e-6));
+    }
+
+    #[test]
+    fn churn_changes_the_record() {
+        let mut c = ClusterBuilder::new(10).seed(3).build();
+        let before = c.workloads()[4].clone();
+        c.churn(4);
+        let after = &c.workloads()[4];
+        assert_eq!(after.server_id, 4);
+        // Curves are re-jittered even if the same benchmark is drawn.
+        assert_ne!(before.truth, after.truth);
+    }
+
+    #[test]
+    fn replace_sets_specific_benchmark() {
+        let mut c = ClusterBuilder::new(10).seed(3).build();
+        c.replace(2, Benchmark::Ra);
+        assert_eq!(c.workloads()[2].benchmark, Benchmark::Ra);
+    }
+
+    #[test]
+    fn durations_are_positive_with_roughly_right_mean() {
+        let mut c = ClusterBuilder::new(1).seed(9).build();
+        let n = 2000;
+        let mean: f64 = (0..n).map(|_| c.draw_duration(120.0)).sum::<f64>() / n as f64;
+        assert!(mean > 100.0 && mean < 140.0, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_size_rejected() {
+        let _ = ClusterBuilder::new(0);
+    }
+}

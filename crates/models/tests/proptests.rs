@@ -1,0 +1,86 @@
+//! Property tests for the model layer's invariants.
+
+use dpc_models::fitting::{fit_polynomial, r_squared};
+use dpc_models::metrics::{slowdown_norm, snp_arithmetic, snp_geometric};
+use dpc_models::pmc::PmcSignature;
+use dpc_models::throughput::CurveParams;
+use dpc_models::units::Watts;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every memory-boundedness and power box yields a valid concave,
+    /// nondecreasing, positive curve with ANP exactly 1 at the top.
+    #[test]
+    fn curve_synthesis_is_total(
+        mb in 0.0f64..=1.0,
+        lo in 50.0f64..200.0,
+        span in 10.0f64..200.0,
+    ) {
+        let u = CurveParams::for_memory_boundedness(mb)
+            .utility(Watts(lo), Watts(lo + span));
+        prop_assert!(u.value(Watts(lo)) > 0.0);
+        prop_assert!(u.slope(Watts(lo + span)) >= 0.0);
+        prop_assert!(u.slope(Watts(lo)) >= u.slope(Watts(lo + span)));
+        prop_assert!((u.anp(Watts(lo + span)) - 1.0).abs() < 1e-12);
+        // Monotone on the box at sampled points.
+        let q = |t: f64| Watts(lo + span * t);
+        prop_assert!(u.value(q(0.3)) <= u.value(q(0.7)) + 1e-12);
+    }
+
+    /// argmax(r(p) − λp) never beats sampled alternatives.
+    #[test]
+    fn argmax_is_a_maximizer(
+        mb in 0.0f64..=1.0,
+        lambda in 0.0f64..0.05,
+        probe in 0.0f64..=1.0,
+    ) {
+        let u = CurveParams::for_memory_boundedness(mb)
+            .utility(Watts(100.0), Watts(200.0));
+        let star = u.argmax_minus_price(lambda);
+        let alt = Watts(100.0 + 100.0 * probe);
+        let obj = |p: Watts| u.value(p) - lambda * p.0;
+        prop_assert!(obj(star) >= obj(alt) - 1e-9);
+    }
+
+    /// A quadratic fit through exact quadratic samples is exact.
+    #[test]
+    fn quadratic_fit_roundtrips(
+        a in -5.0f64..5.0,
+        b in -0.1f64..0.1,
+        c in -1e-3f64..1e-3,
+        x0 in 0.0f64..100.0,
+    ) {
+        let truth = |x: f64| a + b * x + c * x * x;
+        let samples: Vec<_> = (0..7).map(|i| {
+            let x = x0 + 10.0 * i as f64;
+            (x, truth(x))
+        }).collect();
+        let p = fit_polynomial(&samples, 2).unwrap();
+        prop_assert!(r_squared(&p, &samples) > 1.0 - 1e-9);
+        let mid = x0 + 33.0;
+        prop_assert!((p.eval(mid) - truth(mid)).abs() < 1e-6 * (1.0 + truth(mid).abs()));
+    }
+
+    /// AM–GM and slowdown duality hold for any valid ANP vector.
+    #[test]
+    fn metric_inequalities(anps in proptest::collection::vec(0.01f64..=1.0, 1..40)) {
+        let am = snp_arithmetic(&anps);
+        let gm = snp_geometric(&anps);
+        prop_assert!(gm <= am + 1e-12);
+        // Jensen: mean(1/x) ≥ 1/mean(x).
+        prop_assert!(slowdown_norm(&anps) >= 1.0 / am - 1e-12);
+    }
+
+    /// PMC signatures vary monotonically with memory-boundedness in the
+    /// direction the predictor relies on.
+    #[test]
+    fn pmc_monotonicity(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let s_lo = PmcSignature::for_memory_boundedness(lo);
+        let s_hi = PmcSignature::for_memory_boundedness(hi);
+        prop_assert!(s_hi.llc_mpki >= s_lo.llc_mpki - 1e-12);
+        prop_assert!(s_hi.ipc <= s_lo.ipc + 1e-12);
+    }
+}

@@ -1,0 +1,94 @@
+//! Aggregate network-load accounting.
+//!
+//! Beyond wall-clock time, a scheme's viability depends on what it does to
+//! the shared network: packets through the coordinator NIC, bytes on the
+//! wire, and the peak per-device packet rate. Power-management packets are
+//! tiny (a float or two plus headers — 64-byte minimum Ethernet frames),
+//! so the *rate* at single devices, not bandwidth, is the scarce resource,
+//! which is exactly the paper's argument against coordinator designs.
+
+use crate::timing::LinkTiming;
+
+/// Wire size of one power-management message (minimum Ethernet frame).
+pub const PACKET_BYTES: usize = 64;
+
+/// Aggregate load of one scheme's full convergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadSummary {
+    /// Total packets on the wire.
+    pub packets: usize,
+    /// Total bytes on the wire.
+    pub bytes: usize,
+    /// Packets through the single most-loaded device (the coordinator NIC,
+    /// or a single server NIC for DiBA).
+    pub hottest_device_packets: usize,
+}
+
+impl LoadSummary {
+    /// Socket time the hottest device spends on its packets: half of them
+    /// are receives (one `read` each) and half sends (one `write` each).
+    pub fn hottest_device_busy_seconds(&self, timing: LinkTiming) -> f64 {
+        self.hottest_device_packets as f64 * (timing.read.0 + timing.write.0) / 2.0
+    }
+}
+
+/// Load of a coordinator-based scheme (centralized or primal-dual):
+/// `2N` packets per iteration, all of them through the coordinator.
+pub fn coordinator_load(n: usize, iterations: usize) -> LoadSummary {
+    let packets = 2 * n * iterations;
+    LoadSummary { packets, bytes: packets * PACKET_BYTES, hottest_device_packets: packets }
+}
+
+/// Load of DiBA on a graph with `num_edges` undirected edges and maximum
+/// degree `max_degree`: two directed packets per edge per round, spread
+/// over all nodes — the hottest server handles only `2·max_degree` per
+/// round.
+pub fn diba_load(num_edges: usize, max_degree: usize, rounds: usize) -> LoadSummary {
+    let packets = 2 * num_edges * rounds;
+    LoadSummary {
+        packets,
+        bytes: packets * PACKET_BYTES,
+        hottest_device_packets: 2 * max_degree * rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordinator_concentrates_everything_on_one_nic() {
+        let l = coordinator_load(1000, 6);
+        assert_eq!(l.packets, 12_000);
+        assert_eq!(l.hottest_device_packets, l.packets);
+        assert_eq!(l.bytes, 12_000 * PACKET_BYTES);
+    }
+
+    #[test]
+    fn diba_spreads_the_load() {
+        // Ring of 1000 (1000 edges, degree 2), 500 rounds.
+        let l = diba_load(1000, 2, 500);
+        assert_eq!(l.packets, 1_000_000);
+        // 83× more total packets than PD's 6 iterations…
+        let pd = coordinator_load(1000, 6);
+        assert!(l.packets > 80 * pd.packets);
+        // …but the hottest *device* sees 6× fewer than the coordinator.
+        assert_eq!(l.hottest_device_packets, 2_000);
+        assert!(pd.hottest_device_packets > 5 * l.hottest_device_packets);
+    }
+
+    #[test]
+    fn hottest_device_busy_time_matches_timing() {
+        let timing = LinkTiming::measured_10gbe();
+        let l = diba_load(100, 2, 100);
+        let busy = l.hottest_device_busy_seconds(timing);
+        // 400 packets = 200 reads + 200 sends: 200 × (200 + 10) µs.
+        assert!((busy - 200.0 * 210e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cases() {
+        assert_eq!(coordinator_load(0, 5).packets, 0);
+        assert_eq!(diba_load(0, 0, 10).packets, 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! The paper's physical network: a two-tier star of stars.
+//!
+//! "Each rack consists of 40 servers which are connected with one
+//! top-of-rack 10 GbE Ethernet switch. Further, all racks are connected via
+//! a higher-layer core switch" (Section 4.4.1). This module models a
+//! coordinator round through that hierarchy as a three-stage tandem —
+//! rack-local drain at the ToR, ToR→core forwarding, coordinator reads —
+//! and shows why the hierarchy does *not* relieve the coordinator
+//! bottleneck: switch forwarding is an order of magnitude faster than the
+//! endpoint's socket reads, so the read stage dominates regardless of the
+//! tree above it. It also accounts DiBA's per-round core-switch load: a
+//! rack-aligned ring sends only two packets per rack boundary through the
+//! core, leaving it essentially idle.
+
+use crate::timing::LinkTiming;
+use dpc_models::units::Seconds;
+use rand::Rng;
+
+/// Two-tier tree parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoTierNetwork {
+    /// Servers behind each top-of-rack switch.
+    pub servers_per_rack: usize,
+    /// Per-packet forwarding time at a ToR switch.
+    pub tor_forward: Seconds,
+    /// Per-packet forwarding time at the core switch.
+    pub core_forward: Seconds,
+    /// Endpoint socket timings (the coordinator's reads dominate).
+    pub timing: LinkTiming,
+}
+
+impl TwoTierNetwork {
+    /// The paper's cluster: 40 servers/rack, 10 GbE cut-through switches
+    /// (≈10 µs per forwarded packet), measured endpoint timings.
+    pub fn paper() -> TwoTierNetwork {
+        TwoTierNetwork {
+            servers_per_rack: 40,
+            tor_forward: Seconds::from_micros(10.0),
+            core_forward: Seconds::from_micros(10.0),
+            timing: LinkTiming::measured_10gbe(),
+        }
+    }
+
+    /// Number of racks for `n` servers (rounding up).
+    pub fn racks(&self, n: usize) -> usize {
+        n.div_ceil(self.servers_per_rack.max(1))
+    }
+
+    /// One coordinator round through the tree: every server's packet is
+    /// drained by its ToR (racks in parallel), forwarded serially by the
+    /// core, then read serially by the coordinator, followed by the serial
+    /// downlink of `n` replies back down.
+    ///
+    /// The tandem's makespan is the bottleneck stage's busy period plus the
+    /// other stages' single-packet latencies; the uplink arrival jitter is
+    /// queue-simulated like the flat model.
+    pub fn coordinator_round<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Seconds {
+        if n == 0 {
+            return Seconds::ZERO;
+        }
+        // Stage service totals.
+        let per_rack = self.servers_per_rack.max(1).min(n);
+        let tor_stage = self.tor_forward * per_rack as f64; // racks parallel
+        let core_stage = self.core_forward * n as f64;
+        // The read stage with Poisson arrival jitter (same drain as the
+        // flat model).
+        let read_stage = crate::timing::coordinator_round_sim(n, self.timing, rng)
+            - self.timing.write * n as f64;
+        let uplink = tor_stage.max(core_stage).max(read_stage)
+            + self.tor_forward
+            + self.core_forward;
+        let downlink = self.timing.write * n as f64 + self.core_forward + self.tor_forward;
+        uplink + downlink
+    }
+
+    /// Core-switch packets per DiBA round for a rack-aligned ring of `n`
+    /// servers: one boundary between consecutive racks, two directed
+    /// packets per boundary.
+    pub fn diba_core_packets_per_round(&self, n: usize) -> usize {
+        if n <= self.servers_per_rack {
+            0
+        } else {
+            2 * self.racks(n)
+        }
+    }
+
+    /// Wall time of one DiBA ring round over the tree: the neighbor
+    /// exchange plus (for cross-rack edges) two switch traversals.
+    pub fn diba_round(&self) -> Seconds {
+        let exchange = (self.timing.read + self.timing.write) * 2.0;
+        exchange + (self.tor_forward * 2.0 + self.core_forward) * 2.0
+    }
+
+    /// Core utilization of a DiBA round: fraction of the round the core
+    /// spends forwarding DiBA packets.
+    pub fn diba_core_utilization(&self, n: usize) -> f64 {
+        let busy = self.core_forward * self.diba_core_packets_per_round(n) as f64;
+        busy / self.diba_round()
+    }
+}
+
+impl Default for TwoTierNetwork {
+    fn default() -> Self {
+        TwoTierNetwork::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::coordinator_round_expected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rack_count() {
+        let net = TwoTierNetwork::paper();
+        assert_eq!(net.racks(40), 1);
+        assert_eq!(net.racks(41), 2);
+        assert_eq!(net.racks(6400), 160);
+        assert_eq!(net.racks(0), 0);
+    }
+
+    #[test]
+    fn hierarchy_does_not_relieve_the_coordinator() {
+        // The two-tier round is within ~15 % of the flat coordinator model:
+        // endpoint reads dominate switch forwarding.
+        let net = TwoTierNetwork::paper();
+        let mut rng = StdRng::seed_from_u64(2);
+        for &n in &[400usize, 1600, 6400] {
+            let tree = net.coordinator_round(n, &mut rng);
+            let flat = coordinator_round_expected(n, net.timing);
+            let rel = (tree.0 - flat.0).abs() / flat.0;
+            assert!(rel < 0.15, "n={n}: tree {tree} vs flat {flat}");
+        }
+    }
+
+    #[test]
+    fn coordinator_round_grows_linearly_in_the_tree_too() {
+        let net = TwoTierNetwork::paper();
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = net.coordinator_round(800, &mut rng);
+        let b = net.coordinator_round(3200, &mut rng);
+        let ratio = b / a;
+        assert!(ratio > 3.0 && ratio < 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn diba_leaves_the_core_essentially_idle() {
+        let net = TwoTierNetwork::paper();
+        // 6400 servers = 160 racks: 320 core packets per round.
+        assert_eq!(net.diba_core_packets_per_round(6400), 320);
+        // Within one rack, no core traffic at all.
+        assert_eq!(net.diba_core_packets_per_round(30), 0);
+        // The core spends a tiny fraction of each round on DiBA.
+        let util = net.diba_core_utilization(6400);
+        assert!(util > 0.0 && util < 10.0, "utilization {util}");
+        // One distributed round costs sub-millisecond even over the tree.
+        assert!(net.diba_round().millis() < 1.0);
+    }
+
+    #[test]
+    fn zero_servers_edge_case() {
+        let net = TwoTierNetwork::paper();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(net.coordinator_round(0, &mut rng), Seconds::ZERO);
+    }
+}

@@ -1,0 +1,77 @@
+//! Quickstart: allocate a power budget across a heterogeneous cluster with
+//! every scheme the paper compares, and see who wins.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dpc::alg::diba::{DibaConfig, DibaRun};
+use dpc::alg::primal_dual::{self, PrimalDualConfig};
+use dpc::alg::problem::PowerBudgetProblem;
+use dpc::alg::{baselines, centralized};
+use dpc::models::metrics::snp_arithmetic;
+use dpc::models::units::Watts;
+use dpc::models::workload::ClusterBuilder;
+use dpc::topology::Graph;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A cluster of 200 fully utilized servers running a uniform random mix
+    // of the ten HPC benchmarks, with a tight budget of 168 W/server.
+    let n = 200;
+    let cluster = ClusterBuilder::new(n).seed(2024).build();
+    let budget = Watts(168.0 * n as f64);
+    let problem = PowerBudgetProblem::new(cluster.utilities(), budget)?;
+    println!(
+        "cluster: {n} servers, enforceable range {:.0}–{:.0} W each, budget {:.1} kW\n",
+        problem.utilities()[0].p_min().0,
+        problem.utilities()[0].p_max().0,
+        budget.kilowatts(),
+    );
+
+    let snp = |alloc: &dpc::alg::problem::Allocation| snp_arithmetic(&problem.anps(alloc));
+
+    // 1. Equal split — no workload awareness.
+    let uniform = baselines::uniform(&problem);
+
+    // 2. Prior-work greedy by current throughput per watt.
+    let greedy = baselines::greedy_throughput_per_watt(&problem, Watts(1.0));
+
+    // 3. The exact centralized optimum (needs a coordinator that sees all
+    //    utility functions).
+    let oracle = centralized::solve(&problem);
+    let optimal_utility = problem.total_utility(&oracle.allocation);
+
+    // 4. Primal-dual decomposition: distributed computation, centralized
+    //    price coordination.
+    let pd = primal_dual::solve(&problem, &PrimalDualConfig::default());
+
+    // 5. DiBA: fully decentralized — servers gossip only with ring
+    //    neighbors, no coordinator anywhere.
+    let mut diba = DibaRun::new(problem.clone(), Graph::ring(n), DibaConfig::default())?;
+    let rounds = diba
+        .run_until_within(optimal_utility, 0.01, 20_000)
+        .expect("DiBA converges on a connected graph");
+
+    println!("scheme           SNP     total power");
+    println!("------------------------------------");
+    for (name, alloc) in [
+        ("uniform", &uniform),
+        ("greedy", &greedy),
+        ("primal-dual", &pd.allocation),
+        ("DiBA", &diba.allocation()),
+        ("oracle", &oracle.allocation),
+    ] {
+        println!(
+            "{name:<12}  {:.4}    {:>8.1} kW",
+            snp(alloc),
+            alloc.total().kilowatts()
+        );
+    }
+    println!(
+        "\nDiBA reached 99% of the centralized optimum in {rounds} gossip rounds\n\
+         ({} iterations of primal-dual price updates were needed through a\n\
+         coordinator for the same accuracy).",
+        pd.iterations
+    );
+    Ok(())
+}

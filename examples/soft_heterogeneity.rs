@@ -1,0 +1,77 @@
+//! Soft heterogeneity end to end: FXplore tunes the firmware per workload
+//! class, which *widens* the throughput-curve diversity that the
+//! decentralized power budgeter then exploits — the two dissertation
+//! threads composed.
+//!
+//! ```text
+//! cargo run --release --example soft_heterogeneity
+//! ```
+
+use dpc::alg::diba::{DibaConfig, DibaRun};
+use dpc::alg::problem::PowerBudgetProblem;
+use dpc::alg::centralized;
+use dpc::firmware::config::FirmwareConfig;
+use dpc::firmware::explore::Objective;
+use dpc::firmware::response::ResponseModel;
+use dpc::firmware::subcluster::fxplore_sc;
+use dpc::models::benchmark::{WorkloadSpec, HPC_BENCHMARKS};
+use dpc::models::units::Watts;
+use dpc::models::workload::ClusterBuilder;
+use dpc::topology::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Step 1 — FXplore: four firmware sub-clusters over the workload
+    // catalog (offline, 16 reboots per representative).
+    let mut rng = StdRng::seed_from_u64(7);
+    let specs: Vec<&WorkloadSpec> = HPC_BENCHMARKS.iter().collect();
+    let (clustering, configs) = fxplore_sc(&specs, 4, Objective::Runtime, 0.01, &mut rng);
+    println!("firmware sub-clusters:");
+    for (c, (cfg, _)) in configs.iter().enumerate() {
+        let members: Vec<&str> =
+            clustering.members(c).into_iter().map(|i| specs[i].name).collect();
+        println!("  cluster {c}: [{cfg}]  <- {}", members.join(", "));
+    }
+
+    // Step 2 — the tuned cluster: each server's throughput curve is scaled
+    // by its workload's firmware speedup.
+    let n = 400;
+    let budget = Watts(166.0 * n as f64);
+    let cluster = ClusterBuilder::new(n).seed(3).build();
+    let baseline = PowerBudgetProblem::new(cluster.utilities(), budget)?;
+    let tuned_utilities: Vec<_> = cluster
+        .workloads()
+        .iter()
+        .map(|w| {
+            let model = ResponseModel::for_spec(w.benchmark.spec());
+            let cfg = configs[clustering.assignments()[w.benchmark as usize]].0;
+            let speedup = model.runtime(FirmwareConfig::all_enabled()) / model.runtime(cfg);
+            w.learned.scaled(speedup)
+        })
+        .collect();
+    let tuned = PowerBudgetProblem::new(tuned_utilities, budget)?;
+
+    // Step 3 — decentralized budgeting on both clusters.
+    let report = |name: &str, p: &PowerBudgetProblem| -> Result<f64, Box<dyn std::error::Error>> {
+        let opt = p.total_utility(&centralized::solve(p).allocation);
+        let mut diba = DibaRun::new(p.clone(), Graph::ring(n), DibaConfig::default())?;
+        diba.run_until_within(opt, 0.01, 30_000)
+            .expect("DiBA converges on a ring");
+        println!(
+            "{name}: total throughput {:.1} (DiBA, {:.2} kW budget)",
+            diba.total_utility(),
+            budget.kilowatts()
+        );
+        Ok(diba.total_utility())
+    };
+    println!();
+    let before = report("stock firmware   ", &baseline)?;
+    let after = report("FXplore firmware ", &tuned)?;
+    println!(
+        "\nsoft heterogeneity buys {:.1}% more budgeted throughput on top of\n\
+         the allocator's own gains — without buying a single new server.",
+        (after / before - 1.0) * 100.0
+    );
+    Ok(())
+}

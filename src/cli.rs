@@ -1,0 +1,496 @@
+//! The `dpc` command-line interface: solve, simulate, split and plan from a
+//! shell, optionally against an operator's own measurement traces.
+//!
+//! The parser is hand-rolled (`--flag value` pairs after a subcommand) so
+//! the workspace stays dependency-light; every command returns its report
+//! as a `String` so the logic is unit-testable without spawning processes.
+
+use crate::alg::diba::{DibaConfig, DibaRun};
+use crate::alg::primal_dual::{self, PrimalDualConfig};
+use crate::alg::problem::PowerBudgetProblem;
+use crate::alg::{baselines, centralized};
+use crate::models::metrics::snp_arithmetic;
+use crate::models::traces::{parse_trace_csv, utilities_from_traces};
+use crate::models::units::{Seconds, Watts};
+use crate::models::workload::ClusterBuilder;
+use crate::models::QuadraticUtility;
+use crate::sim::budgeter::DibaBudgeter;
+use crate::sim::engine::{DynamicSim, SimConfig};
+use crate::sim::schedule::BudgetSchedule;
+use crate::thermal::partition::{self_consistent_partition, uniform_rack_map};
+use crate::thermal::planning::{evaluate, greedy, local_search, table5_1_rack_classes, Placement};
+use crate::thermal::{RoomLayout, ThermalModel};
+use crate::topology::Graph;
+use std::collections::HashMap;
+use std::fmt;
+
+/// CLI failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(s: String) -> Self {
+        CliError(s)
+    }
+}
+
+/// Parsed `--flag value` options after the subcommand.
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    values: HashMap<String, String>,
+}
+
+impl Options {
+    /// Parses `--key value` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Rejects dangling flags, repeated flags and positional arguments.
+    pub fn parse(args: &[String]) -> Result<Options, CliError> {
+        let mut values = HashMap::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(CliError(format!("unexpected positional argument `{a}`")));
+            };
+            let Some(v) = it.next() else {
+                return Err(CliError(format!("flag --{key} needs a value")));
+            };
+            if values.insert(key.to_string(), v.clone()).is_some() {
+                return Err(CliError(format!("flag --{key} given twice")));
+            }
+        }
+        Ok(Options { values })
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, CliError>
+    where
+        T::Err: fmt::Display,
+    {
+        match self.values.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|e| CliError(format!("bad value for --{key}: {e}"))),
+        }
+    }
+
+    fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError>
+    where
+        T::Err: fmt::Display,
+    {
+        Ok(self.get(key)?.unwrap_or(default))
+    }
+
+    fn string(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "\
+dpc — decentralized power capping toolkit
+
+USAGE: dpc <command> [--flag value ...]
+
+COMMANDS:
+  solve      allocate a budget once and report every scheme
+             --servers N (100)  --budget-watts W (172·N)  --seed S (0)
+             --topology ring|chords|grid (ring)  --trace FILE.csv
+  simulate   run a dynamic DiBA simulation
+             --servers N (100)  --budget-watts W (176·N)  --seconds T (60)
+             --churn-secs S     --phase-secs S            --seed S (0)
+  split      self-consistent computing/cooling split of a facility budget
+             --total-mw X (0.66)
+  plan       thermal-aware rack layout for the heterogeneous paper room
+             --utilization U (1.0)  --iterations K (40000)  --seed S (0)
+  fxplore    firmware sub-cluster exploration over the HPC workload catalog
+             --k K (4)  --objective runtime|energy (runtime)  --seed S (0)
+  help       this text
+"
+    .to_string()
+}
+
+fn load_utilities(opts: &Options, n: usize, seed: u64) -> Result<Vec<QuadraticUtility>, CliError> {
+    match opts.string("trace") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+            let traces =
+                parse_trace_csv(&text).map_err(|e| CliError(format!("{path}: {e}")))?;
+            utilities_from_traces(&traces).map_err(|e| CliError(format!("{path}: fit: {e}")))
+        }
+        None => Ok(ClusterBuilder::new(n).seed(seed).build().utilities()),
+    }
+}
+
+fn graph_for(name: &str, n: usize) -> Result<Graph, CliError> {
+    match name {
+        "ring" => Ok(Graph::ring(n)),
+        "chords" => Ok(Graph::ring_with_chords(n, (n / 8).max(2))),
+        "grid" => {
+            let side = (n as f64).sqrt().floor() as usize;
+            if side < 1 || side * (n / side) != n {
+                return Err(CliError(format!("--topology grid needs a rectangular n, got {n}")));
+            }
+            Ok(Graph::grid(side, n / side))
+        }
+        other => Err(CliError(format!("unknown topology `{other}`"))),
+    }
+}
+
+/// `dpc solve`.
+pub fn cmd_solve(opts: &Options) -> Result<String, CliError> {
+    let seed: u64 = opts.get_or("seed", 0)?;
+    let n: usize = opts.get_or("servers", 100)?;
+    if n == 0 {
+        return Err(CliError("--servers must be positive".into()));
+    }
+    let utilities = load_utilities(opts, n, seed)?;
+    let n = utilities.len();
+    let budget = Watts(opts.get_or("budget-watts", 172.0 * n as f64)?);
+    let problem = PowerBudgetProblem::new(utilities, budget)
+        .map_err(|e| CliError(format!("infeasible problem: {e}")))?;
+    let graph = graph_for(opts.string("topology").unwrap_or("ring"), n)?;
+
+    let oracle = centralized::solve(&problem);
+    let opt_util = problem.total_utility(&oracle.allocation);
+    let uniform = baselines::uniform(&problem);
+    let greedy_alloc = baselines::greedy_throughput_per_watt(&problem, Watts(1.0));
+    let pd = primal_dual::solve(&problem, &PrimalDualConfig::default());
+    let mut diba = DibaRun::new(problem.clone(), graph, DibaConfig::default())
+        .map_err(|e| CliError(e.to_string()))?;
+    let rounds = diba.run_until_within(opt_util, 0.01, 50_000);
+
+    let snp = |a: &crate::alg::problem::Allocation| snp_arithmetic(&problem.anps(a));
+    let mut out = format!(
+        "{n} servers, budget {:.2} kW ({:.1} W/server)\n\n\
+         scheme        SNP      power (kW)\n\
+         ----------------------------------\n",
+        budget.kilowatts(),
+        budget.0 / n as f64
+    );
+    for (name, alloc) in [
+        ("uniform", &uniform),
+        ("greedy", &greedy_alloc),
+        ("primal-dual", &pd.allocation),
+        ("DiBA", &diba.allocation()),
+        ("oracle", &oracle.allocation),
+    ] {
+        out.push_str(&format!(
+            "{name:<12}  {:.4}   {:>9.2}\n",
+            snp(alloc),
+            alloc.total().kilowatts()
+        ));
+    }
+    out.push_str(&match rounds {
+        Some(r) => format!("\nDiBA: 99% of optimal in {r} gossip rounds\n"),
+        None => "\nDiBA: did not reach 99% within 50000 rounds\n".to_string(),
+    });
+    Ok(out)
+}
+
+/// `dpc simulate`.
+pub fn cmd_simulate(opts: &Options) -> Result<String, CliError> {
+    let seed: u64 = opts.get_or("seed", 0)?;
+    let n: usize = opts.get_or("servers", 100)?;
+    if n == 0 {
+        return Err(CliError("--servers must be positive".into()));
+    }
+    let cluster = ClusterBuilder::new(n).seed(seed).build();
+    let budget = Watts(opts.get_or("budget-watts", 176.0 * n as f64)?);
+    let seconds: f64 = opts.get_or("seconds", 60.0)?;
+    let churn: Option<f64> = opts.get("churn-secs")?;
+    let phases: Option<f64> = opts.get("phase-secs")?;
+
+    let problem = PowerBudgetProblem::new(cluster.utilities(), budget)
+        .map_err(|e| CliError(format!("infeasible problem: {e}")))?;
+    let budgeter = DibaBudgeter::new(problem, Graph::ring(n), DibaConfig::default())
+        .map_err(|e| CliError(e.to_string()))?;
+    let config = SimConfig {
+        duration: Seconds(seconds),
+        sample_interval: Seconds(2.0),
+        rounds_per_sample: 300,
+        churn_mean: churn.map(Seconds),
+        phase_mean: phases.map(Seconds),
+        record_allocations: false,
+    };
+    let mut sim = DynamicSim::new(cluster, budgeter, BudgetSchedule::constant(budget), config);
+    let series = sim.run().map_err(|e| CliError(e.to_string()))?;
+    Ok(format!(
+        "{n} servers, budget {:.2} kW, {seconds:.0} s simulated\n\
+         samples: {}  budget respected: {}\n\
+         mean SNP: {:.4}  mean SNP/optimal: {:.4}\n\n{}",
+        budget.kilowatts(),
+        series.len(),
+        series.budget_respected(Watts(1e-6)),
+        series.mean_snp(),
+        series.mean_optimality(),
+        series.to_csv(),
+    ))
+}
+
+/// `dpc split`.
+pub fn cmd_split(opts: &Options) -> Result<String, CliError> {
+    let total_mw: f64 = opts.get_or("total-mw", 0.66)?;
+    if !(0.1..10.0).contains(&total_mw) {
+        return Err(CliError(format!("--total-mw {total_mw} outside the plausible 0.1–10 range")));
+    }
+    let model = ThermalModel::paper_cluster();
+    let map = uniform_rack_map(model.racks());
+    let r = self_consistent_partition(
+        Watts::from_megawatts(total_mw),
+        &model,
+        &map,
+        Watts(50.0),
+        500,
+    )
+    .map_err(|e| CliError(e.to_string()))?;
+    Ok(format!(
+        "total {total_mw:.2} MW -> computing {:.3} MW + cooling {:.3} MW\n\
+         supply temperature {:.1}; cooling share {:.1}%; {} iterations\n",
+        r.computing.megawatts(),
+        r.cooling.megawatts(),
+        r.t_sup,
+        r.cooling_fraction() * 100.0,
+        r.iterations,
+    ))
+}
+
+/// `dpc plan`.
+pub fn cmd_plan(opts: &Options) -> Result<String, CliError> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let utilization: f64 = opts.get_or("utilization", 1.0)?;
+    if !(0.0..=1.0).contains(&utilization) {
+        return Err(CliError("--utilization must be in [0, 1]".into()));
+    }
+    let iterations: usize = opts.get_or("iterations", 40_000)?;
+    let seed: u64 = opts.get_or("seed", 0)?;
+
+    let model = ThermalModel::paper_cluster();
+    let d = RoomLayout::paper_cluster().heat_matrix();
+    let classes = table5_1_rack_classes();
+    let powers: Vec<Watts> = (0..80)
+        .map(|i| {
+            let c = classes[i / 20];
+            c.idle + (c.peak - c.idle) * utilization
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let oblivious = evaluate(&model, &Placement::identity(80), &powers)
+        .map_err(|e| CliError(e.to_string()))?;
+    let mut out = format!(
+        "80 heterogeneous racks at {:.0}% utilization\n\n\
+         method        t_sup       cooling    saving\n\
+         --------------------------------------------\n\
+         oblivious     {:.2} °C  {:>7.1} kW       -\n",
+        utilization * 100.0,
+        oblivious.t_sup.0,
+        oblivious.cooling.kilowatts(),
+    );
+    for (name, placement) in [
+        ("greedy", greedy(&d, &powers)),
+        ("local search", local_search(&d, &powers, iterations, &mut rng)),
+    ] {
+        let e = evaluate(&model, &placement, &powers).map_err(|e| CliError(e.to_string()))?;
+        out.push_str(&format!(
+            "{name:<12}  {:.2} °C  {:>7.1} kW  {:>5.1}%\n",
+            e.t_sup.0,
+            e.cooling.kilowatts(),
+            (1.0 - e.cooling / oblivious.cooling) * 100.0,
+        ));
+    }
+    Ok(out)
+}
+
+/// `dpc fxplore`.
+pub fn cmd_fxplore(opts: &Options) -> Result<String, CliError> {
+    use crate::firmware::config::FirmwareConfig;
+    use crate::firmware::explore::Objective;
+    use crate::firmware::response::ResponseModel;
+    use crate::firmware::subcluster::fxplore_sc;
+    use crate::models::benchmark::{WorkloadSpec, HPC_BENCHMARKS};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let k: usize = opts.get_or("k", 4)?;
+    if !(1..=HPC_BENCHMARKS.len()).contains(&k) {
+        return Err(CliError(format!("--k must be 1..={}", HPC_BENCHMARKS.len())));
+    }
+    let objective = match opts.string("objective").unwrap_or("runtime") {
+        "runtime" => Objective::Runtime,
+        "energy" => Objective::Energy,
+        other => return Err(CliError(format!("unknown objective `{other}`"))),
+    };
+    let seed: u64 = opts.get_or("seed", 0)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let specs: Vec<&WorkloadSpec> = HPC_BENCHMARKS.iter().collect();
+    let (clustering, configs) = fxplore_sc(&specs, k, objective, 0.01, &mut rng);
+
+    let mut out = format!("{k} sub-clusters over {} workloads
+
+", specs.len());
+    for (c, (cfg, result)) in configs.iter().enumerate() {
+        let members: Vec<&str> = clustering
+            .members(c)
+            .into_iter()
+            .map(|i| specs[i].name)
+            .collect();
+        out.push_str(&format!(
+            "cluster {c}: config [{cfg}] ({} reboots)  members: {}
+",
+            result.reboots,
+            members.join(", ")
+        ));
+    }
+    let mut gain = 0.0;
+    for (i, spec) in specs.iter().enumerate() {
+        let m = ResponseModel::for_spec(spec);
+        let cfg = configs[clustering.assignments()[i]].0;
+        gain += 1.0 - m.runtime(cfg) / m.runtime(FirmwareConfig::all_enabled());
+    }
+    out.push_str(&format!(
+        "
+mean runtime improvement over all-enabled: {:.1}%
+",
+        gain / specs.len() as f64 * 100.0
+    ));
+    Ok(out)
+}
+
+/// Dispatches a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns the user-facing error message on bad input.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Ok(usage());
+    };
+    let opts = Options::parse(rest)?;
+    match cmd.as_str() {
+        "solve" => cmd_solve(&opts),
+        "simulate" => cmd_simulate(&opts),
+        "split" => cmd_split(&opts),
+        "plan" => cmd_plan(&opts),
+        "fxplore" => cmd_fxplore(&opts),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(CliError(format!("unknown command `{other}`; try `dpc help`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn options_parse_flags_and_reject_garbage() {
+        let o = Options::parse(&args(&["--servers", "10", "--seed", "3"])).unwrap();
+        assert_eq!(o.get::<usize>("servers").unwrap(), Some(10));
+        assert_eq!(o.get::<u64>("seed").unwrap(), Some(3));
+        assert!(Options::parse(&args(&["positional"])).is_err());
+        assert!(Options::parse(&args(&["--dangling"])).is_err());
+        assert!(Options::parse(&args(&["--a", "1", "--a", "2"])).is_err());
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run(&args(&[])).unwrap().contains("USAGE"));
+        assert!(run(&args(&["help"])).unwrap().contains("COMMANDS"));
+        let err = run(&args(&["frobnicate"])).unwrap_err();
+        assert!(err.0.contains("unknown command"));
+    }
+
+    #[test]
+    fn solve_small_cluster_reports_all_schemes() {
+        let out = run(&args(&["solve", "--servers", "16", "--seed", "1"])).unwrap();
+        for scheme in ["uniform", "greedy", "primal-dual", "DiBA", "oracle"] {
+            assert!(out.contains(scheme), "missing {scheme} in:\n{out}");
+        }
+        assert!(out.contains("gossip rounds"));
+    }
+
+    #[test]
+    fn solve_accepts_a_trace_file() {
+        use crate::models::throughput::CurveParams;
+        use crate::models::traces::{write_trace_csv, ServerTrace};
+        let traces: Vec<ServerTrace> = (0..6)
+            .map(|server| {
+                let truth = CurveParams::for_memory_boundedness(server as f64 / 6.0)
+                    .utility(Watts(120.0), Watts(200.0));
+                ServerTrace {
+                    server,
+                    points: (0..5)
+                        .map(|k| {
+                            let p = 120.0 + 20.0 * k as f64;
+                            (p, truth.value(Watts(p)))
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        let dir = std::env::temp_dir().join("dpc-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        std::fs::write(&path, write_trace_csv(&traces)).unwrap();
+        let out = run(&args(&[
+            "solve",
+            "--trace",
+            path.to_str().unwrap(),
+            "--budget-watts",
+            "1000",
+        ]))
+        .unwrap();
+        assert!(out.contains("6 servers"), "{out}");
+    }
+
+    #[test]
+    fn simulate_produces_csv() {
+        let out = run(&args(&[
+            "simulate",
+            "--servers",
+            "12",
+            "--seconds",
+            "6",
+            "--phase-secs",
+            "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("budget respected: true"), "{out}");
+        assert!(out.contains("t_s,budget_w"), "{out}");
+    }
+
+    #[test]
+    fn fxplore_lists_clusters() {
+        let out = run(&args(&["fxplore", "--k", "3"])).unwrap();
+        assert!(out.contains("cluster 0"));
+        assert!(out.contains("cluster 2"));
+        assert!(out.contains("mean runtime improvement"));
+        assert!(run(&args(&["fxplore", "--k", "99"])).is_err());
+        assert!(run(&args(&["fxplore", "--objective", "frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn split_and_plan_run() {
+        let out = run(&args(&["split", "--total-mw", "0.6"])).unwrap();
+        assert!(out.contains("cooling share"));
+        let out = run(&args(&["plan", "--utilization", "0.5", "--iterations", "2000"])).unwrap();
+        assert!(out.contains("local search"));
+        assert!(run(&args(&["split", "--total-mw", "99"])).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests of the workspace's core invariants.
+
+use dpc::alg::diba::{DibaConfig, DibaRun};
+use dpc::alg::knapsack;
+use dpc::alg::primal_dual::{self, PrimalDualConfig};
+use dpc::alg::problem::{Allocation, PowerBudgetProblem};
+use dpc::alg::{baselines, centralized};
+use dpc::models::metrics::{snp_arithmetic, snp_geometric, unfairness};
+use dpc::models::throughput::{CurveParams, QuadraticUtility};
+use dpc::models::units::Watts;
+use dpc::topology::Graph;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random valid utility on a random power box.
+fn utility_strategy() -> impl Strategy<Value = QuadraticUtility> {
+    (0.02f64..0.95, 110.0f64..140.0, 60.0f64..120.0).prop_map(|(mb, lo, span)| {
+        CurveParams::for_memory_boundedness(mb).utility(Watts(lo), Watts(lo + span))
+    })
+}
+
+/// Strategy: a feasible problem of 3–24 servers with a random tightness.
+fn problem_strategy() -> impl Strategy<Value = PowerBudgetProblem> {
+    (proptest::collection::vec(utility_strategy(), 3..24), 0.02f64..1.2).prop_map(
+        |(utilities, tightness)| {
+            let min: Watts = utilities.iter().map(|u| u.p_min()).sum();
+            let max: Watts = utilities.iter().map(|u| u.p_max()).sum();
+            let budget = min + (max - min) * tightness.min(1.0) + Watts(1.0);
+            PowerBudgetProblem::new(utilities, budget).expect("strictly above floor")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn oracle_dominates_all_other_schemes(p in problem_strategy()) {
+        let oracle = centralized::solve(&p);
+        let opt = p.total_utility(&oracle.allocation);
+        prop_assert!(p.is_feasible(&oracle.allocation, Watts(1e-3)));
+
+        let uniform = baselines::uniform(&p);
+        prop_assert!(p.is_feasible(&uniform, Watts(1e-3)));
+        prop_assert!(p.total_utility(&uniform) <= opt + opt.abs() * 1e-9);
+
+        let greedy = baselines::greedy_throughput_per_watt(&p, Watts(1.0));
+        prop_assert!(p.is_feasible(&greedy, Watts(1e-3)));
+        prop_assert!(p.total_utility(&greedy) <= opt + opt.abs() * 1e-9);
+    }
+
+    #[test]
+    fn primal_dual_lands_feasible_and_near_optimal(p in problem_strategy()) {
+        let r = primal_dual::solve(&p, &PrimalDualConfig::default());
+        prop_assert!(p.is_feasible(&r.allocation, Watts(1e-3)));
+        if r.converged {
+            let opt = p.total_utility(&centralized::solve(&p).allocation);
+            prop_assert!(p.total_utility(&r.allocation) >= opt * 0.985);
+        }
+    }
+
+    #[test]
+    fn diba_preserves_invariants_under_random_problems(p in problem_strategy()) {
+        let n = p.len();
+        let mut run = DibaRun::new(p.clone(), Graph::ring(n), DibaConfig::default()).unwrap();
+        run.run(300);
+        prop_assert!(run.invariant_drift() < 1e-6, "drift {}", run.invariant_drift());
+        prop_assert!(run.total_power() <= p.budget() + Watts(1e-6));
+        let alloc = run.allocation();
+        for (u, &pw) in p.utilities().iter().zip(alloc.powers()) {
+            prop_assert!(pw >= u.p_min() - Watts(1e-9));
+            prop_assert!(pw <= u.p_max() + Watts(1e-9));
+        }
+    }
+
+    #[test]
+    fn diba_survives_random_budget_walks(
+        p in problem_strategy(),
+        deltas in proptest::collection::vec(-0.2f64..0.2, 1..6),
+    ) {
+        let n = p.len();
+        let floor = p.min_total();
+        let mut run = DibaRun::new(p.clone(), Graph::ring(n), DibaConfig::default()).unwrap();
+        run.run(100);
+        let span = p.max_total() - floor;
+        for d in deltas {
+            let target = (run.problem().budget() + span * d)
+                .max(floor + Watts(1.0))
+                .min(p.max_total() + Watts(50.0));
+            run.set_budget(target).unwrap();
+            run.run(200);
+            prop_assert!(run.invariant_drift() < 1e-6);
+        }
+        // After settling, the last announced budget is respected. Walks can
+        // end arbitrarily close to the feasibility floor, where the
+        // residual must diffuse around the whole ring before the last watts
+        // shed — give the settle phase room.
+        run.run(5_000);
+        prop_assert!(
+            run.total_power() <= run.problem().budget() + Watts(1e-6),
+            "total {} over budget {}",
+            run.total_power(),
+            run.problem().budget()
+        );
+    }
+
+    #[test]
+    fn knapsack_respects_budget_and_beats_bottom_caps(p in problem_strategy()) {
+        // Build a ladder inside the common box.
+        let lo = p.utilities().iter().map(|u| u.p_min()).fold(Watts(0.0), Watts::max);
+        let hi = p.utilities().iter().map(|u| u.p_max()).fold(Watts(1e9), Watts::min);
+        prop_assume!(hi > lo + Watts(8.0));
+        let step = (hi - lo) / 4.0;
+        let levels: Vec<Watts> = (0..4).map(|j| lo + step * j as f64).collect();
+        match knapsack::solve(&p, &levels, Watts(1.0)) {
+            Ok(s) => {
+                prop_assert!(s.allocation.total() <= p.budget() + Watts(1e-9));
+                let bottom: f64 = p.utilities().iter().map(|u| u.anp(levels[0]).ln()).sum();
+                prop_assert!(s.log_value >= bottom - 1e-9);
+            }
+            Err(e) => {
+                // Only acceptable failure: the ladder floor exceeds the budget.
+                let infeasible =
+                    matches!(e, dpc::alg::problem::AlgError::InfeasibleBudget { .. });
+                prop_assert!(infeasible, "unexpected error: {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_connected_graphs_are_connected_with_exact_edges(
+        n in 4usize..60,
+        extra in 0usize..40,
+        seed in 0u64..1000,
+    ) {
+        let m = (n - 1 + extra).min(n * (n - 1) / 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Graph::erdos_renyi_connected(n, m, &mut rng, 200).unwrap();
+        prop_assert!(g.is_connected());
+        prop_assert_eq!(g.num_edges(), m);
+    }
+
+    #[test]
+    fn metrics_are_bounded_and_consistent(
+        anps in proptest::collection::vec(0.05f64..=1.0, 1..50),
+    ) {
+        let a = snp_arithmetic(&anps);
+        let g = snp_geometric(&anps);
+        prop_assert!(g <= a + 1e-12, "geometric {g} > arithmetic {a}");
+        prop_assert!(a > 0.0 && a <= 1.0 + 1e-9);
+        prop_assert!(unfairness(&anps) >= 0.0);
+    }
+
+    #[test]
+    fn allocation_permutation_equivariance(p in problem_strategy(), seed in 0u64..100) {
+        // Permuting the servers permutes the oracle allocation.
+        use rand::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = p.len();
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(&mut rng);
+
+        let base = centralized::solve(&p).allocation;
+        let permuted_utilities: Vec<_> = perm.iter().map(|&i| p.utilities()[i]).collect();
+        let permuted_problem =
+            PowerBudgetProblem::new(permuted_utilities, p.budget()).unwrap();
+        let permuted = centralized::solve(&permuted_problem).allocation;
+
+        let expected: Allocation = perm.iter().map(|&i| base.power(i)).collect();
+        prop_assert!(permuted.max_abs_diff(&expected) < Watts(1e-6));
+    }
+}
