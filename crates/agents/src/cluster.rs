@@ -53,8 +53,16 @@ impl AgentCluster {
         for (u, v) in graph.edges() {
             let (tx_uv, rx_uv) = unbounded::<RoundMsg>();
             let (tx_vu, rx_vu) = unbounded::<RoundMsg>();
-            endpoints[u].push(Link { neighbor: v, tx: tx_uv, rx: rx_vu });
-            endpoints[v].push(Link { neighbor: u, tx: tx_vu, rx: rx_uv });
+            endpoints[u].push(Link {
+                neighbor: v,
+                tx: tx_uv,
+                rx: rx_vu,
+            });
+            endpoints[v].push(Link {
+                neighbor: u,
+                tx: tx_vu,
+                rx: rx_uv,
+            });
         }
 
         let (report_tx, report_rx) = bounded::<Report>(n.max(16));
@@ -149,10 +157,17 @@ impl AgentCluster {
     pub fn set_budget(&mut self, budget: Watts) -> Result<(), AlgError> {
         let mut floor = Watts::ZERO;
         for (i, u) in self.utilities.iter().enumerate() {
-            floor += if self.alive[i] { u.p_min() } else { Watts(self.last[i].p) };
+            floor += if self.alive[i] {
+                u.p_min()
+            } else {
+                Watts(self.last[i].p)
+            };
         }
         if budget < floor {
-            return Err(AlgError::InfeasibleBudget { budget, min_required: floor });
+            return Err(AlgError::InfeasibleBudget {
+                budget,
+                min_required: floor,
+            });
         }
         let alive = self.alive_count().max(1);
         let shift = (self.budget.0 - budget.0) / alive as f64;
@@ -310,7 +325,7 @@ mod tests {
 
     #[test]
     fn workload_replacement_shifts_power_toward_the_steeper_curve() {
-        let p = problem(10, 1_660.0, 4);
+        let p = problem(10, 1_660.0, 0);
         let mut agents =
             AgentCluster::spawn(p.clone(), Graph::ring(10), DibaConfig::default(), TIMEOUT)
                 .unwrap();

@@ -120,7 +120,10 @@ pub fn run_agent(seed: AgentSeed) {
         match cmd {
             Control::Run(rounds) => {
                 for _ in 0..rounds {
-                    let round_params = NodeParams { eta: params.eta * boost, ..params };
+                    let round_params = NodeParams {
+                        eta: params.eta * boost,
+                        ..params
+                    };
                     let action = node_action(&utility, p, e, &neighbor_e, &round_params);
                     p += action.dp;
                     e += action.own_residual_delta();

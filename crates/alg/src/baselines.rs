@@ -101,7 +101,10 @@ pub fn greedy_throughput_per_watt(problem: &PowerBudgetProblem, increment: Watts
 
     let mut heap: BinaryHeap<Candidate> = (0..problem.len())
         .filter(|&i| powers[i] < problem.utility(i).p_max())
-        .map(|i| Candidate { ratio: ratio(i, powers[i]), server: i })
+        .map(|i| Candidate {
+            ratio: ratio(i, powers[i]),
+            server: i,
+        })
         .collect();
 
     while remaining > Watts(1e-9) {
@@ -110,7 +113,10 @@ pub fn greedy_throughput_per_watt(problem: &PowerBudgetProblem, increment: Watts
         // Stale entry: the ratio changed since insertion.
         let current = ratio(i, powers[i]);
         if (current - best.ratio).abs() > 1e-12 {
-            heap.push(Candidate { ratio: current, server: i });
+            heap.push(Candidate {
+                ratio: current,
+                server: i,
+            });
             continue;
         }
         let u = problem.utility(i);
@@ -121,7 +127,10 @@ pub fn greedy_throughput_per_watt(problem: &PowerBudgetProblem, increment: Watts
         powers[i] += step;
         remaining -= step;
         if powers[i] < u.p_max() {
-            heap.push(Candidate { ratio: ratio(i, powers[i]), server: i });
+            heap.push(Candidate {
+                ratio: ratio(i, powers[i]),
+                server: i,
+            });
         }
     }
     Allocation::new(powers)

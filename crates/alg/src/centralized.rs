@@ -33,7 +33,11 @@ pub fn solve(problem: &PowerBudgetProblem) -> CentralizedSolution {
 
     if problem.is_unconstrained() {
         let allocation: Allocation = problem.utilities().iter().map(|u| u.p_max()).collect();
-        return CentralizedSolution { allocation, lambda: 0.0, iterations: 0 };
+        return CentralizedSolution {
+            allocation,
+            lambda: 0.0,
+            iterations: 0,
+        };
     }
 
     let total_at = |lambda: f64| -> Watts {
@@ -84,7 +88,11 @@ pub fn solve(problem: &PowerBudgetProblem) -> CentralizedSolution {
         .iter()
         .map(|u| u.argmax_minus_price(lambda))
         .collect();
-    CentralizedSolution { allocation, lambda, iterations }
+    CentralizedSolution {
+        allocation,
+        lambda,
+        iterations,
+    }
 }
 
 /// Convenience wrapper building the problem and solving it.
@@ -170,8 +178,11 @@ mod tests {
             let total: Watts = raw.iter().sum();
             let alloc: Allocation = if total > p.budget() {
                 let excess = total - p.budget();
-                let above_min: Watts =
-                    raw.iter().zip(p.utilities()).map(|(&r, u)| r - u.p_min()).sum();
+                let above_min: Watts = raw
+                    .iter()
+                    .zip(p.utilities())
+                    .map(|(&r, u)| r - u.p_min())
+                    .sum();
                 let shrink = 1.0 - excess / above_min;
                 raw.iter()
                     .zip(p.utilities())

@@ -23,9 +23,12 @@
 //! paper describes: strict feasibility throughout, immediate reaction to
 //! budget changes, and local response to local perturbations.
 
+use crate::exec::{ParallelEngine, SharedSlice};
 use crate::problem::{AlgError, Allocation, PowerBudgetProblem};
 use dpc_models::units::Watts;
 use dpc_topology::Graph;
+use std::ops::Range;
+use std::sync::Barrier;
 
 /// Tuning knobs for DiBA. The defaults are calibrated for the paper's
 /// cluster scale (hundreds to thousands of nodes, ring-like topologies).
@@ -53,6 +56,11 @@ pub struct DibaConfig {
     /// Per-round multiplicative backstop decay of the boost, in `(0, 1]`
     /// (guarantees the boost eventually vanishes even without stagnation).
     pub eta_boost_decay: f64,
+    /// Worker threads for the round engine: `None` uses the machine's
+    /// available parallelism, `Some(1)` forces the inline serial path (no
+    /// threads spawned). Any count produces bitwise-identical `(p, e)`
+    /// trajectories — see the determinism notes in [`crate::exec`].
+    pub threads: Option<usize>,
 }
 
 impl Default for DibaConfig {
@@ -64,6 +72,7 @@ impl Default for DibaConfig {
             margin_frac: 1e-5,
             eta_boost: 30.0,
             eta_boost_decay: 0.995,
+            threads: None,
         }
     }
 }
@@ -107,21 +116,41 @@ impl NodeAction {
     }
 }
 
-/// Computes one node's DiBA action from purely local information: its
-/// utility, power `p`, residual estimate `e`, and the last-known residuals
-/// of its neighbors.
-///
-/// This is the entire per-round program of a deployed node (Algorithm 4's
-/// step 3): a preconditioned gradient step on the barrier-augmented local
-/// utility, one-directional slack diffusion toward needier neighbors, and
-/// the feasibility backtracking that finances donations by shedding power.
-pub fn node_action(
+/// Reusable per-node working memory for [`node_action_into`]: the buffers a
+/// round would otherwise allocate. One instance per worker thread serves an
+/// entire run — the round engine holds them in its persistent scratch, so
+/// steady-state rounds perform no heap allocation at all.
+#[derive(Debug, Clone, Default)]
+pub struct NodeScratch {
+    /// Slack donated to each neighbor (each ≤ 0), aligned with the neighbor
+    /// order of the most recent call.
+    pub transfers: Vec<f64>,
+    /// Staging buffer for the neighbors' last-known residuals.
+    pub neighbor_e: Vec<f64>,
+}
+
+impl NodeScratch {
+    /// Scratch pre-sized for nodes of up to `max_degree` neighbors, so no
+    /// later call needs to grow the buffers.
+    pub fn with_capacity(max_degree: usize) -> NodeScratch {
+        NodeScratch {
+            transfers: Vec::with_capacity(max_degree),
+            neighbor_e: Vec::with_capacity(max_degree),
+        }
+    }
+}
+
+/// The allocation-free kernel: computes `dp` and writes one transfer per
+/// neighbor into `transfers` (`transfers.len() == neighbor_e.len()`).
+fn node_action_kernel(
     u: &dpc_models::QuadraticUtility,
     p: f64,
     e: f64,
     neighbor_e: &[f64],
     params: &NodeParams,
-) -> NodeAction {
+    transfers: &mut [f64],
+) -> f64 {
+    debug_assert_eq!(transfers.len(), neighbor_e.len());
     let inv = 1.0 / e.min(-params.margin);
 
     // Power gradient of Rᵢ with a diagonal preconditioner (utility
@@ -136,12 +165,10 @@ pub fn node_action(
     // Slack transfers: donate toward neighbors with less slack (consensus
     // diffusion, one-directional per Algorithm 4).
     let degree = neighbor_e.len();
-    let mut transfers = Vec::with_capacity(degree);
     let mut sent_total = 0.0;
-    for &e_j in neighbor_e {
-        let t = (params.step_transfer * (e - e_j) / degree.max(1) as f64 * 0.5).min(0.0);
-        transfers.push(t);
-        sent_total += t;
+    for (t, &e_j) in transfers.iter_mut().zip(neighbor_e) {
+        *t = (params.step_transfer * (e - e_j) / degree.max(1) as f64 * 0.5).min(0.0);
+        sent_total += *t;
     }
 
     // Feasibility of the own action: it must keep eᵢ ≤ −margin. Own delta
@@ -153,14 +180,14 @@ pub fn node_action(
     let bound = -params.margin - e;
     let own_delta = dp - sent_total;
     if own_delta <= bound {
-        return NodeAction { dp, transfers };
+        return dp;
     }
     // Shed power to cover the donations (and any violation), as far as the
     // box allows.
     let dp_needed = bound + sent_total; // dp ≤ this
     let dp_shed = (p + dp.min(dp_needed)).clamp(u.p_min().0, u.p_max().0) - p;
     if dp_shed - sent_total <= bound {
-        return NodeAction { dp: dp_shed, transfers };
+        return dp_shed;
     }
     // Box-limited: scale donations down to what the margin still affords
     // (own_delta = dp − sent ≤ bound requires sent ≥ dp − bound, with all
@@ -171,10 +198,125 @@ pub fn node_action(
     } else {
         0.0
     };
-    for t in &mut transfers {
+    for t in transfers.iter_mut() {
         *t *= scale;
     }
-    NodeAction { dp: dp_shed, transfers }
+    dp_shed
+}
+
+/// Computes one node's DiBA action into reusable scratch buffers and
+/// returns `dp`; the per-neighbor transfers are left in
+/// `scratch.transfers`. Identical math to [`node_action`] with zero
+/// allocations once the scratch has reached the node's degree.
+pub fn node_action_into(
+    u: &dpc_models::QuadraticUtility,
+    p: f64,
+    e: f64,
+    neighbor_e: &[f64],
+    params: &NodeParams,
+    scratch: &mut NodeScratch,
+) -> f64 {
+    scratch.transfers.clear();
+    scratch.transfers.resize(neighbor_e.len(), 0.0);
+    node_action_kernel(u, p, e, neighbor_e, params, &mut scratch.transfers)
+}
+
+/// Computes one node's DiBA action from purely local information: its
+/// utility, power `p`, residual estimate `e`, and the last-known residuals
+/// of its neighbors.
+///
+/// This is the entire per-round program of a deployed node (Algorithm 4's
+/// step 3): a preconditioned gradient step on the barrier-augmented local
+/// utility, one-directional slack diffusion toward needier neighbors, and
+/// the feasibility backtracking that finances donations by shedding power.
+///
+/// Thin allocating wrapper over the scratch-buffer kernel
+/// ([`node_action_into`]) for call sites outside the hot round loop.
+pub fn node_action(
+    u: &dpc_models::QuadraticUtility,
+    p: f64,
+    e: f64,
+    neighbor_e: &[f64],
+    params: &NodeParams,
+) -> NodeAction {
+    let mut transfers = vec![0.0; neighbor_e.len()];
+    let dp = node_action_kernel(u, p, e, neighbor_e, params, &mut transfers);
+    NodeAction { dp, transfers }
+}
+
+/// The control state a round updates after its reduction: everything the
+/// continuation schedule needs, extracted so the serial path and worker 0
+/// of the parallel path run the *same* update code on the same struct.
+#[derive(Debug, Clone, Copy)]
+struct RoundCtl {
+    params: NodeParams,
+    boost: f64,
+    boost_decay: f64,
+    stage_tol: f64,
+    stage_rounds: usize,
+    iterations: usize,
+    last_max_step: f64,
+}
+
+impl RoundCtl {
+    /// The parameters in effect for the next round (boosted barrier).
+    fn round_params(&self) -> NodeParams {
+        NodeParams {
+            eta: self.params.eta * self.boost,
+            ..self.params
+        }
+    }
+
+    /// Absorbs a finished round's max-|dp| reduction: advances the round
+    /// counter and the barrier continuation (path following — halve the
+    /// boost once this stage's redistribution has stalled or run its
+    /// scheduled length; the backstop decay guarantees it vanishes).
+    fn absorb(&mut self, max_step: f64) {
+        self.iterations += 1;
+        self.last_max_step = max_step;
+        self.stage_rounds += 1;
+        if self.boost > 1.0 && (max_step < self.stage_tol || self.stage_rounds >= 25) {
+            self.boost = (self.boost * 0.5).max(1.0);
+            self.stage_rounds = 0;
+        }
+        self.boost = (self.boost * self.boost_decay).max(1.0);
+    }
+}
+
+/// Persistent per-run working memory of the round engine, sized once at
+/// construction so steady-state rounds allocate nothing.
+#[derive(Debug, Clone)]
+struct RoundScratch {
+    /// Per-node power move of the round in flight.
+    p_hat: Vec<f64>,
+    /// Per-directed-slot transfer of the round in flight, CSR-aligned with
+    /// the graph's adjacency array.
+    transfers: Vec<f64>,
+    /// Reverse-slot map: `transfers[rev[s]]` is what the neighbor sent back
+    /// over the edge whose outgoing slot is `s`.
+    rev: Vec<usize>,
+    /// Shard cut points (edge-balanced contiguous node ranges) for the
+    /// resolved worker count; `cuts.len() - 1` workers.
+    cuts: Vec<usize>,
+    /// Per-worker max |dp| of the round in flight.
+    worker_max: Vec<f64>,
+    /// Per-worker kernel staging buffers.
+    node: Vec<NodeScratch>,
+}
+
+impl RoundScratch {
+    fn for_graph(graph: &Graph, workers: usize) -> RoundScratch {
+        RoundScratch {
+            p_hat: vec![0.0; graph.len()],
+            transfers: vec![0.0; graph.flat_neighbors().len()],
+            rev: graph.reverse_slots(),
+            cuts: graph.shard_offsets(workers),
+            worker_max: vec![0.0; workers],
+            node: (0..workers)
+                .map(|_| NodeScratch::with_capacity(graph.max_degree()))
+                .collect(),
+        }
+    }
 }
 
 /// A running DiBA instance: the synchronous-round reference implementation
@@ -197,6 +339,8 @@ pub struct DibaRun {
     e: Vec<f64>,
     iterations: usize,
     last_max_step: f64,
+    engine: ParallelEngine,
+    scratch: RoundScratch,
 }
 
 impl DibaRun {
@@ -253,6 +397,8 @@ impl DibaRun {
             target * mean_slope.max(1e-9)
         });
 
+        let engine = ParallelEngine::new(config.threads);
+        let scratch = RoundScratch::for_graph(&graph, engine.workers_for(n));
         Ok(DibaRun {
             problem,
             graph,
@@ -271,7 +417,25 @@ impl DibaRun {
             e,
             iterations: 0,
             last_max_step: f64::INFINITY,
+            engine,
+            scratch,
         })
+    }
+
+    /// Re-targets the round engine at a different worker count (`None` =
+    /// available parallelism). The trajectory is unaffected: every worker
+    /// count produces bitwise-identical rounds.
+    pub fn set_threads(&mut self, threads: Option<usize>) {
+        self.engine = ParallelEngine::new(threads);
+        let workers = self.engine.workers_for(self.p.len());
+        if workers != self.scratch.cuts.len() - 1 {
+            self.scratch = RoundScratch::for_graph(&self.graph, workers);
+        }
+    }
+
+    /// The resolved worker count of the round engine.
+    pub fn threads(&self) -> usize {
+        self.engine.workers_for(self.p.len())
     }
 
     /// The barrier weight in effect (auto-tuned unless overridden).
@@ -334,54 +498,119 @@ impl DibaRun {
     /// One synchronous round: every node computes its action from the
     /// previous round's neighbor state, then all messages are delivered.
     pub fn step(&mut self) {
-        let n = self.p.len();
-        let mut p_hat = vec![0.0_f64; n];
-        // Net slack received (sum of incoming transfers minus outgoing).
-        let mut e_delta = vec![0.0_f64; n];
-        let mut neighbor_e: Vec<f64> = Vec::new();
-        let round_params = NodeParams { eta: self.params.eta * self.boost, ..self.params };
-
-        for i in 0..n {
-            let u = self.problem.utility(i);
-            neighbor_e.clear();
-            neighbor_e.extend(self.graph.neighbors(i).iter().map(|&j| self.e[j]));
-            let action = node_action(u, self.p[i], self.e[i], &neighbor_e, &round_params);
-            p_hat[i] = action.dp;
-            for (&j, &t) in self.graph.neighbors(i).iter().zip(&action.transfers) {
-                e_delta[i] -= t; // −t ≥ 0: donating raises own residual
-                e_delta[j] += t; // receiver's residual drops (more slack)
-            }
-        }
-
-        let mut max_step = 0.0_f64;
-        for i in 0..n {
-            self.p[i] += p_hat[i];
-            self.e[i] += p_hat[i] + e_delta[i];
-            max_step = max_step.max(p_hat[i].abs());
-        }
-        self.iterations += 1;
-        self.last_max_step = max_step;
-        // Path following: halve the barrier boost once this stage's
-        // redistribution has stalled or the stage has run its scheduled
-        // length; the backstop decay guarantees the boost vanishes.
-        self.stage_rounds += 1;
-        if self.boost > 1.0 && (max_step < self.stage_tol || self.stage_rounds >= 25) {
-            self.boost = (self.boost * 0.5).max(1.0);
-            self.stage_rounds = 0;
-        }
-        self.boost = (self.boost * self.boost_decay).max(1.0);
+        self.step_batch(1);
     }
 
-    /// Runs `rounds` synchronous rounds.
+    /// Runs `rounds` synchronous rounds. In parallel mode the whole batch
+    /// executes inside one thread scope (threads are spawned once per call,
+    /// not once per round).
     pub fn run(&mut self, rounds: usize) {
-        for _ in 0..rounds {
-            self.step();
+        self.step_batch(rounds);
+    }
+
+    /// The round engine. Each round is receiver-centric and two-phase:
+    ///
+    /// * **Phase A** — every node computes its kernel from the previous
+    ///   round's state, writing its power move into `p_hat[i]` and its
+    ///   final (backtracked) per-neighbor transfers into the CSR-aligned
+    ///   `transfers` slots it owns.
+    /// * **Phase B** — every node folds its residual delta from its own
+    ///   slot range in ascending order — `Σ (incoming − outgoing)` via the
+    ///   reverse-slot map — and applies `p[i] += p̂ᵢ`, `e[i] += p̂ᵢ + d`.
+    ///
+    /// Every array element is written by exactly one node in a fixed
+    /// fold order, so the trajectory is a pure function of the previous
+    /// state: any worker count (including the inline serial path, which
+    /// runs the same phase functions over the full range) produces
+    /// bitwise-identical `(p, e)`. This is stronger than merging per-worker
+    /// accumulators in worker order, which is only deterministic per worker
+    /// count — see DESIGN.md, "Performance engineering".
+    fn step_batch(&mut self, rounds: usize) {
+        if rounds == 0 {
+            return;
         }
+        let workers = self.scratch.cuts.len() - 1;
+        let mut ctl = RoundCtl {
+            params: self.params,
+            boost: self.boost,
+            boost_decay: self.boost_decay,
+            stage_tol: self.stage_tol,
+            stage_rounds: self.stage_rounds,
+            iterations: self.iterations,
+            last_max_step: self.last_max_step,
+        };
+
+        {
+            let problem = &self.problem;
+            let graph = &self.graph;
+            let rev = &self.scratch.rev;
+            let cuts = &self.scratch.cuts;
+            let p = SharedSlice::new(&mut self.p);
+            let e = SharedSlice::new(&mut self.e);
+            let p_hat = SharedSlice::new(&mut self.scratch.p_hat);
+            let transfers = SharedSlice::new(&mut self.scratch.transfers);
+            let worker_max = SharedSlice::new(&mut self.scratch.worker_max);
+            let node_scratch = SharedSlice::new(&mut self.scratch.node);
+            let ctl_cell = SharedSlice::new(std::slice::from_mut(&mut ctl));
+            let barrier = Barrier::new(workers);
+
+            self.engine.run_workers(workers, |w| {
+                let range = cuts[w]..cuts[w + 1];
+                // SAFETY: worker index w is unique, so this NodeScratch is
+                // exclusively ours for the whole batch.
+                let scratch = unsafe { &mut node_scratch.slice_mut(w..w + 1)[0] };
+                for _ in 0..rounds {
+                    // Control state is stable here: worker 0's update last
+                    // round was sealed by the round-end barrier.
+                    // SAFETY: read-only access between barriers.
+                    let rp = unsafe { ctl_cell.slice(0..1) }[0].round_params();
+                    let local_max = phase_a(
+                        problem,
+                        graph,
+                        &rp,
+                        &p,
+                        &e,
+                        range.clone(),
+                        &p_hat,
+                        &transfers,
+                        scratch,
+                    );
+                    // SAFETY: slot w is ours alone.
+                    unsafe { worker_max.write(w, local_max) };
+                    barrier.wait(); // all transfers + p_hat written
+                    phase_b(graph, rev, range.clone(), &p, &e, &p_hat, &transfers);
+                    barrier.wait(); // all (p, e) updated, worker maxima in
+                    if w == 0 {
+                        // f64::max is exactly associative on these NaN-free
+                        // values, so folding per-worker maxima in any
+                        // grouping reproduces the serial max bitwise.
+                        let mut max_step = 0.0_f64;
+                        for k in 0..workers {
+                            // SAFETY: all writes sealed by the barrier.
+                            max_step = max_step.max(unsafe { worker_max.read(k) });
+                        }
+                        // SAFETY: only worker 0 touches ctl between barriers.
+                        (unsafe { ctl_cell.slice_mut(0..1) })[0].absorb(max_step);
+                    }
+                    barrier.wait(); // ctl update sealed for the next round
+                }
+            });
+        }
+
+        self.boost = ctl.boost;
+        self.stage_rounds = ctl.stage_rounds;
+        self.iterations = ctl.iterations;
+        self.last_max_step = ctl.last_max_step;
     }
 
     /// Runs until the utility is within `rel_tol` of `reference_utility`
     /// while feasible (the paper's 99 % criterion, Eq. 4.11). Returns the
     /// number of rounds used, or `None` when `max_rounds` is exhausted.
+    ///
+    /// The criterion is tested before the first step and after every step
+    /// (including the last), so at most `max_rounds` rounds run and a
+    /// return of `Some(r)` means exactly `r` rounds were executed by this
+    /// call.
     pub fn run_until_within(
         &mut self,
         reference_utility: f64,
@@ -389,23 +618,21 @@ impl DibaRun {
         max_rounds: usize,
     ) -> Option<usize> {
         let start = self.iterations;
-        for _ in 0..max_rounds {
+        for round in 0..=max_rounds {
             if self.is_within(reference_utility, rel_tol) {
                 return Some(self.iterations - start);
             }
-            self.step();
+            if round < max_rounds {
+                self.step();
+            }
         }
-        if self.is_within(reference_utility, rel_tol) {
-            Some(self.iterations - start)
-        } else {
-            None
-        }
+        None
     }
 
     fn is_within(&self, reference_utility: f64, rel_tol: f64) -> bool {
         let feasible = self.total_power() <= self.problem.budget() + Watts(1e-6);
-        let gap = (reference_utility - self.total_utility()).abs()
-            / reference_utility.abs().max(1e-12);
+        let gap =
+            (reference_utility - self.total_utility()).abs() / reference_utility.abs().max(1e-12);
         feasible && gap < rel_tol
     }
 
@@ -485,6 +712,76 @@ impl DibaRun {
     }
 }
 
+/// Phase A of a round over one shard: kernel every node in `range` against
+/// the previous round's state, writing `p_hat[i]` and the node's own
+/// CSR-aligned `transfers` slots. Returns the shard's max `|dp|`.
+#[allow(clippy::too_many_arguments)] // the shard worker's full working set
+fn phase_a(
+    problem: &PowerBudgetProblem,
+    graph: &Graph,
+    rp: &NodeParams,
+    p: &SharedSlice<'_, f64>,
+    e: &SharedSlice<'_, f64>,
+    range: Range<usize>,
+    p_hat: &SharedSlice<'_, f64>,
+    transfers: &SharedSlice<'_, f64>,
+    scratch: &mut NodeScratch,
+) -> f64 {
+    let offsets = graph.offsets();
+    let flat = graph.flat_neighbors();
+    let mut local_max = 0.0_f64;
+    for i in range {
+        let (lo, hi) = (offsets[i], offsets[i + 1]);
+        scratch.neighbor_e.clear();
+        // SAFETY: nobody writes `e` during phase A; the previous round's
+        // writes are sealed by its round-end barrier.
+        scratch
+            .neighbor_e
+            .extend(flat[lo..hi].iter().map(|&j| unsafe { e.read(j) }));
+        // SAFETY: element i is in this worker's own shard.
+        let (pi, ei) = unsafe { (p.read(i), e.read(i)) };
+        // SAFETY: slots lo..hi belong to node i alone (CSR rows are
+        // disjoint) and i is in this worker's shard.
+        let out = unsafe { transfers.slice_mut(lo..hi) };
+        let dp = node_action_kernel(problem.utility(i), pi, ei, &scratch.neighbor_e, rp, out);
+        // SAFETY: element i is in this worker's own shard.
+        unsafe { p_hat.write(i, dp) };
+        local_max = local_max.max(dp.abs());
+    }
+    local_max
+}
+
+/// Phase B of a round over one shard: fold each node's residual delta from
+/// its own slot range in ascending order and apply the round's state
+/// update. Runs strictly after a barrier seals every phase-A write.
+fn phase_b(
+    graph: &Graph,
+    rev: &[usize],
+    range: Range<usize>,
+    p: &SharedSlice<'_, f64>,
+    e: &SharedSlice<'_, f64>,
+    p_hat: &SharedSlice<'_, f64>,
+    transfers: &SharedSlice<'_, f64>,
+) {
+    let offsets = graph.offsets();
+    for i in range {
+        let (lo, hi) = (offsets[i], offsets[i + 1]);
+        let mut d = 0.0_f64;
+        for (s, &r) in rev[lo..hi].iter().enumerate().map(|(k, r)| (lo + k, r)) {
+            // SAFETY: all transfer slots were written in phase A and are
+            // read-only now; incoming value sits at the reverse slot.
+            d += unsafe { transfers.read(r) - transfers.read(s) };
+        }
+        // SAFETY: element i is in this worker's own shard; `e[i]` is not
+        // read by any other worker until the round-end barrier.
+        unsafe {
+            let dp = p_hat.read(i);
+            p.write(i, p.read(i) + dp);
+            e.write(i, e.read(i) + dp + d);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -506,7 +803,13 @@ mod tests {
     fn rejects_mismatched_graph() {
         let p = problem(10, 1700.0, 1);
         let err = DibaRun::new(p, Graph::ring(5), DibaConfig::default()).unwrap_err();
-        assert!(matches!(err, AlgError::DimensionMismatch { expected: 10, got: 5 }));
+        assert!(matches!(
+            err,
+            AlgError::DimensionMismatch {
+                expected: 10,
+                got: 5
+            }
+        ));
     }
 
     #[test]
@@ -514,7 +817,10 @@ mod tests {
         let (p, mut run) = run_on_ring(60, 10_000.0, 2);
         for _ in 0..300 {
             run.step();
-            assert!(run.total_power() <= p.budget() + Watts(1e-6), "budget violated");
+            assert!(
+                run.total_power() <= p.budget() + Watts(1e-6),
+                "budget violated"
+            );
             assert!(run.invariant_drift() < 1e-6, "invariant drifted");
             for (u, &pw) in p.utilities().iter().zip(run.allocation().powers()) {
                 assert!(pw >= u.p_min() - Watts(1e-9) && pw <= u.p_max() + Watts(1e-9));
@@ -530,6 +836,36 @@ mod tests {
         assert!(rounds.is_some(), "no convergence in 5000 rounds");
         let rounds = rounds.unwrap();
         assert!(rounds < 2_000, "too slow: {rounds} rounds");
+    }
+
+    #[test]
+    fn run_until_within_counts_rounds_exactly() {
+        // Regression: the convergence check used to run twice per round,
+        // so the returned count could disagree with the rounds actually
+        // stepped. Pin the exact accounting from three angles.
+        let (p, mut run) = run_on_ring(100, 16_600.0, 3);
+        let opt = p.total_utility(&centralized::solve(&p).allocation);
+        let r = run.run_until_within(opt, 0.01, 5_000).expect("converges");
+        assert_eq!(
+            run.iterations(),
+            r,
+            "iteration counter disagrees with the return value"
+        );
+
+        // A run that already satisfies the criterion reports zero rounds
+        // and steps nothing.
+        let before = run.iterations();
+        assert_eq!(run.run_until_within(opt, 0.01, 5_000), Some(0));
+        assert_eq!(run.iterations(), before);
+
+        // A twin run capped one round short of the known answer fails,
+        // and executes exactly the cap.
+        let (_, mut twin) = run_on_ring(100, 16_600.0, 3);
+        assert_eq!(twin.run_until_within(opt, 0.01, r - 1), None);
+        assert_eq!(twin.iterations(), r - 1);
+        // One more round is precisely what it takes.
+        assert_eq!(twin.run_until_within(opt, 0.01, 1), Some(1));
+        assert_eq!(twin.iterations(), r);
     }
 
     #[test]
@@ -568,7 +904,10 @@ mod tests {
         run.set_budget(Watts(9_500.0)).unwrap();
         run.run(600);
         let after = run.total_power();
-        assert!(after > before + Watts(500.0), "budget raise unused: {before} -> {after}");
+        assert!(
+            after > before + Watts(500.0),
+            "budget raise unused: {before} -> {after}"
+        );
         assert!(after <= Watts(9_500.0) + Watts(1e-6));
     }
 
@@ -588,7 +927,8 @@ mod tests {
         let u = *run.problem().utility(50);
         let flat = CurveParams::for_memory_boundedness(1.0).utility(u.p_min(), u.p_max());
         run.replace_utility(50, flat);
-        run.run_to_rest(1e-3, 20, 100_000).expect("settles before perturbation");
+        run.run_to_rest(1e-3, 20, 100_000)
+            .expect("settles before perturbation");
         let before = run.allocation();
 
         let steep = CurveParams::for_memory_boundedness(0.0).utility(u.p_min(), u.p_max());
@@ -611,11 +951,18 @@ mod tests {
         let p = problem(60, 10_000.0, 8);
         let opt = p.total_utility(&centralized::solve(&p).allocation);
         let mut ring = DibaRun::new(p.clone(), Graph::ring(60), DibaConfig::default()).unwrap();
-        let mut dense =
-            DibaRun::new(p.clone(), Graph::ring_with_chords(60, 12), DibaConfig::default())
-                .unwrap();
-        let r_ring = ring.run_until_within(opt, 0.01, 10_000).expect("ring converges");
-        let r_dense = dense.run_until_within(opt, 0.01, 10_000).expect("dense converges");
+        let mut dense = DibaRun::new(
+            p.clone(),
+            Graph::ring_with_chords(60, 12),
+            DibaConfig::default(),
+        )
+        .unwrap();
+        let r_ring = ring
+            .run_until_within(opt, 0.01, 10_000)
+            .expect("ring converges");
+        let r_dense = dense
+            .run_until_within(opt, 0.01, 10_000)
+            .expect("dense converges");
         assert!(
             r_dense <= r_ring + 50,
             "chords should not hurt: ring {r_ring}, dense {r_dense}"
@@ -628,7 +975,11 @@ mod tests {
         let mut run = DibaRun::new(p.clone(), Graph::ring(20), DibaConfig::default()).unwrap();
         run.run(500);
         for (u, &pw) in p.utilities().iter().zip(run.allocation().powers()) {
-            assert!(pw > u.p_max() - Watts(2.0), "node stuck at {pw} of {}", u.p_max());
+            assert!(
+                pw > u.p_max() - Watts(2.0),
+                "node stuck at {pw} of {}",
+                u.p_max()
+            );
         }
     }
 

@@ -40,7 +40,12 @@ pub struct AsyncConfig {
 
 impl Default for AsyncConfig {
     fn default() -> Self {
-        AsyncConfig { activation: 0.8, delay_prob: 0.3, max_delay: 5, seed: 0 }
+        AsyncConfig {
+            activation: 0.8,
+            delay_prob: 0.3,
+            max_delay: 5,
+            seed: 0,
+        }
     }
 }
 
@@ -265,8 +270,7 @@ mod tests {
 
     fn run(n: usize, net: AsyncConfig) -> (PowerBudgetProblem, AsyncDibaRun) {
         let p = problem(n, 170.0, 3);
-        let r = AsyncDibaRun::new(p.clone(), Graph::ring(n), DibaConfig::default(), net)
-            .unwrap();
+        let r = AsyncDibaRun::new(p.clone(), Graph::ring(n), DibaConfig::default(), net).unwrap();
         (p, r)
     }
 
@@ -275,7 +279,11 @@ mod tests {
         let (_, mut r) = run(40, AsyncConfig::default());
         for _ in 0..500 {
             r.step();
-            assert!(r.conservation_drift() < 1e-6, "drift {}", r.conservation_drift());
+            assert!(
+                r.conservation_drift() < 1e-6,
+                "drift {}",
+                r.conservation_drift()
+            );
         }
         // Messages really do spend time in flight.
         assert!(r.in_flight() > 0);
@@ -283,7 +291,12 @@ mod tests {
 
     #[test]
     fn budget_never_violated_despite_network_chaos() {
-        let net = AsyncConfig { activation: 0.5, delay_prob: 0.5, max_delay: 8, seed: 9 };
+        let net = AsyncConfig {
+            activation: 0.5,
+            delay_prob: 0.5,
+            max_delay: 8,
+            seed: 9,
+        };
         let (p, mut r) = run(40, net);
         for _ in 0..800 {
             r.step();
@@ -303,7 +316,12 @@ mod tests {
     fn synchronous_limit_matches_reference_behaviour() {
         // activation 1, no delay beyond the mandatory 1-round latency:
         // behaves like the message-passing prototype (one-round staleness).
-        let net = AsyncConfig { activation: 1.0, delay_prob: 0.0, max_delay: 1, seed: 1 };
+        let net = AsyncConfig {
+            activation: 1.0,
+            delay_prob: 0.0,
+            max_delay: 1,
+            seed: 1,
+        };
         let (p, mut r) = run(30, net);
         let opt = p.total_utility(&centralized::solve(&p).allocation);
         let rounds = r.run_until_within(opt, 0.01, 30_000).expect("converges");
@@ -315,24 +333,42 @@ mod tests {
     fn degraded_network_slows_but_does_not_break_convergence() {
         let p = problem(40, 170.0, 5);
         let opt = p.total_utility(&centralized::solve(&p).allocation);
-        let fast_net = AsyncConfig { activation: 1.0, delay_prob: 0.0, max_delay: 1, seed: 2 };
-        let slow_net = AsyncConfig { activation: 0.4, delay_prob: 0.6, max_delay: 10, seed: 2 };
+        let fast_net = AsyncConfig {
+            activation: 1.0,
+            delay_prob: 0.0,
+            max_delay: 1,
+            seed: 2,
+        };
+        let slow_net = AsyncConfig {
+            activation: 0.4,
+            delay_prob: 0.6,
+            max_delay: 10,
+            seed: 2,
+        };
         let mut fast =
-            AsyncDibaRun::new(p.clone(), Graph::ring(40), DibaConfig::default(), fast_net)
-                .unwrap();
+            AsyncDibaRun::new(p.clone(), Graph::ring(40), DibaConfig::default(), fast_net).unwrap();
         let mut slow =
-            AsyncDibaRun::new(p.clone(), Graph::ring(40), DibaConfig::default(), slow_net)
-                .unwrap();
-        let rf = fast.run_until_within(opt, 0.02, 60_000).expect("fast converges");
-        let rs = slow.run_until_within(opt, 0.02, 60_000).expect("slow converges");
-        assert!(rs >= rf, "degraded network should not be faster: {rs} vs {rf}");
+            AsyncDibaRun::new(p.clone(), Graph::ring(40), DibaConfig::default(), slow_net).unwrap();
+        let rf = fast
+            .run_until_within(opt, 0.02, 60_000)
+            .expect("fast converges");
+        let rs = slow
+            .run_until_within(opt, 0.02, 60_000)
+            .expect("slow converges");
+        assert!(
+            rs >= rf,
+            "degraded network should not be faster: {rs} vs {rf}"
+        );
     }
 
     #[test]
     #[should_panic(expected = "activation")]
     fn rejects_zero_activation() {
         let p = problem(4, 170.0, 1);
-        let net = AsyncConfig { activation: 0.0, ..Default::default() };
+        let net = AsyncConfig {
+            activation: 0.0,
+            ..Default::default()
+        };
         let _ = AsyncDibaRun::new(p, Graph::ring(4), DibaConfig::default(), net);
     }
 }

@@ -1,0 +1,349 @@
+//! Deterministic sharded round execution.
+//!
+//! The per-round work of every solver in this crate (DiBA's node actions,
+//! primal-dual's primal responses, the simulator's per-node stepping) is an
+//! embarrassingly parallel map over node ranges plus a small reduction. This
+//! module provides the one harness they all share:
+//!
+//! * [`ParallelEngine`] — runs a worker function on `W` scoped threads
+//!   (`std::thread::scope`; no extra crates, no persistent pool), with the
+//!   `W == 1` case executing inline on the caller's thread so the serial
+//!   path spawns nothing and allocates nothing;
+//! * [`SharedSlice`] — an unsafe-but-audited shared view of a `&mut [T]`
+//!   for the disjoint-range writes and barrier-ordered cross-phase reads
+//!   the round structure needs;
+//! * [`shard_bounds`] / [`shard_bounds_aligned`] — contiguous node-range
+//!   partitions;
+//! * [`chunked_sum`] — the fixed-chunk reduction that makes parallel sums
+//!   *bitwise* independent of the worker count.
+//!
+//! # Determinism
+//!
+//! Floating-point addition is not associative, so "split the sum across
+//! threads and merge" changes results with the thread count. Every reduction
+//! here is therefore defined over *fixed-size chunks* ([`REDUCE_CHUNK`]):
+//! chunk `k` always covers elements `k·C .. (k+1)·C`, each chunk's partial
+//! is computed left-to-right by exactly one worker, and partials are folded
+//! in ascending chunk order. The result is a pure function of the input —
+//! any worker count, including 1, produces identical bits. Max-reductions
+//! (`f64::max` over per-worker maxima) are exactly associative for the
+//! NaN-free values used here and need no chunking.
+
+use std::marker::PhantomData;
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Fixed reduction-chunk width (elements). Shard boundaries produced by
+/// [`shard_bounds_aligned`] fall on multiples of this, so a chunk is never
+/// split across workers.
+pub const REDUCE_CHUNK: usize = 4096;
+
+/// A scoped-thread fan-out engine with a resolved worker count.
+///
+/// Construction only stores the count; threads are spawned per
+/// [`ParallelEngine::run_workers`] call and joined before it returns, so an
+/// engine is plain data (`Copy`) and embeds freely in solver state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelEngine {
+    workers: usize,
+}
+
+impl ParallelEngine {
+    /// Resolves the worker count: `None` takes the machine's available
+    /// parallelism, `Some(w)` forces `w` (clamped to at least 1).
+    pub fn new(threads: Option<usize>) -> ParallelEngine {
+        let workers = threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+            .max(1);
+        ParallelEngine { workers }
+    }
+
+    /// The resolved worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The worker count to actually use for `items` work items — never more
+    /// workers than items (empty shards would still pay a thread spawn).
+    pub fn workers_for(&self, items: usize) -> usize {
+        self.workers.min(items.max(1))
+    }
+
+    /// Runs `f(0), f(1), …, f(workers−1)` concurrently on scoped threads and
+    /// returns when all are done. Worker 0 runs on the calling thread; with
+    /// one worker nothing is spawned and `f(0)` runs inline.
+    ///
+    /// `workers` is the per-call count (typically
+    /// [`ParallelEngine::workers_for`] of the item count).
+    pub fn run_workers<F>(&self, workers: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if workers <= 1 {
+            f(0);
+            return;
+        }
+        std::thread::scope(|s| {
+            for w in 1..workers {
+                let f = &f;
+                s.spawn(move || f(w));
+            }
+            f(0);
+        });
+    }
+}
+
+/// Splits `0..n` into `shards` contiguous ranges of near-equal size,
+/// returned as ascending cut points (`shards + 1` entries, first 0, last
+/// `n`). Trailing ranges may be empty when `n < shards`.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+pub fn shard_bounds(n: usize, shards: usize) -> Vec<usize> {
+    assert!(shards > 0, "at least one shard required");
+    (0..=shards).map(|k| n * k / shards).collect()
+}
+
+/// Like [`shard_bounds`], but every interior cut point is rounded down to a
+/// multiple of `align`, so an `align`-sized reduction chunk always belongs
+/// to exactly one shard.
+///
+/// # Panics
+///
+/// Panics if `shards` or `align` is zero.
+pub fn shard_bounds_aligned(n: usize, shards: usize, align: usize) -> Vec<usize> {
+    assert!(align > 0, "alignment must be positive");
+    let mut cuts = shard_bounds(n, shards);
+    for c in &mut cuts[1..shards] {
+        *c -= *c % align;
+    }
+    cuts
+}
+
+/// Sums `values` over fixed [`REDUCE_CHUNK`]-sized chunks, folding chunk
+/// partials in ascending order. This is the *reference* reduction: a
+/// parallel sum whose workers each cover whole chunks (see
+/// [`shard_bounds_aligned`]) and whose partials are folded in the same
+/// ascending order reproduces these bits exactly.
+pub fn chunked_sum(values: &[f64]) -> f64 {
+    values
+        .chunks(REDUCE_CHUNK)
+        .map(|c| c.iter().sum::<f64>())
+        .fold(0.0, |a, b| a + b)
+}
+
+/// Number of [`REDUCE_CHUNK`] chunks covering `n` elements.
+pub fn chunk_count(n: usize) -> usize {
+    n.div_ceil(REDUCE_CHUNK)
+}
+
+/// A shared, unsynchronized view of a `&mut [T]` for sharded round
+/// execution.
+///
+/// The round engines hand every worker the whole array but a contract: a
+/// worker only *writes* indices inside its own shard, and only *reads*
+/// indices written by other workers across a barrier (`std::sync::Barrier`)
+/// that orders the writes before the reads. Under that discipline no
+/// location is ever accessed concurrently with a write, which is exactly
+/// the data-race-freedom the `unsafe` accessors below require.
+///
+/// The borrow of the underlying slice is held for `'a`, so the exclusive
+/// `&mut [T]` cannot be used (or even observed) while views exist.
+pub struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: a SharedSlice is a borrowed view whose cross-thread use is
+// governed by the shard/barrier contract documented on the type; moving or
+// sharing the view itself is safe whenever `T` can move between threads.
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wraps an exclusive slice borrow in a shareable view.
+    pub fn new(slice: &'a mut [T]) -> SharedSlice<'a, T> {
+        SharedSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Element count of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads element `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i < len()`, and no other thread may be writing element `i`
+    /// concurrently (writes by other workers must be ordered before this
+    /// read by a barrier).
+    #[inline]
+    pub unsafe fn read(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(i < self.len);
+        // SAFETY: bounds and non-aliasing guaranteed by the caller.
+        unsafe { *self.ptr.add(i) }
+    }
+
+    /// Writes element `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i < len()`, `i` lies in the calling worker's own shard, and no other
+    /// thread accesses element `i` until a barrier orders this write.
+    #[inline]
+    pub unsafe fn write(&self, i: usize, value: T) {
+        debug_assert!(i < self.len);
+        // SAFETY: bounds and exclusivity guaranteed by the caller.
+        unsafe { *self.ptr.add(i) = value };
+    }
+
+    /// Borrows `range` immutably.
+    ///
+    /// # Safety
+    ///
+    /// `range` is in bounds and no thread writes any element of it for the
+    /// lifetime of the returned slice.
+    #[inline]
+    pub unsafe fn slice(&self, range: Range<usize>) -> &[T] {
+        debug_assert!(range.start <= range.end && range.end <= self.len);
+        // SAFETY: bounds and immutability guaranteed by the caller.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(range.start), range.len()) }
+    }
+
+    /// Borrows `range` mutably.
+    ///
+    /// # Safety
+    ///
+    /// `range` is in bounds, lies in the calling worker's own shard, and no
+    /// other thread accesses any element of it for the lifetime of the
+    /// returned slice.
+    #[inline]
+    #[allow(clippy::mut_from_ref)] // the aliasing contract is the point of the type
+    pub unsafe fn slice_mut(&self, range: Range<usize>) -> &mut [T] {
+        debug_assert!(range.start <= range.end && range.end <= self.len);
+        // SAFETY: bounds and exclusivity guaranteed by the caller.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.len()) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn engine_resolves_thread_counts() {
+        assert_eq!(ParallelEngine::new(Some(4)).workers(), 4);
+        assert_eq!(ParallelEngine::new(Some(0)).workers(), 1);
+        assert!(ParallelEngine::new(None).workers() >= 1);
+        assert_eq!(ParallelEngine::new(Some(8)).workers_for(3), 3);
+        assert_eq!(ParallelEngine::new(Some(2)).workers_for(0), 1);
+    }
+
+    #[test]
+    fn run_workers_visits_every_index_once() {
+        let engine = ParallelEngine::new(Some(5));
+        let hits: Vec<AtomicUsize> = (0..5).map(|_| AtomicUsize::new(0)).collect();
+        engine.run_workers(5, |w| {
+            hits[w].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn serial_worker_runs_inline() {
+        let engine = ParallelEngine::new(Some(1));
+        let caller = std::thread::current().id();
+        let mut same_thread = false;
+        // Fn + Sync, so interior mutability via a cell is the simplest probe.
+        let cell = std::sync::Mutex::new(&mut same_thread);
+        engine.run_workers(1, |w| {
+            assert_eq!(w, 0);
+            **cell.lock().unwrap() = std::thread::current().id() == caller;
+        });
+        assert!(same_thread, "single-worker path must not spawn");
+    }
+
+    #[test]
+    fn shard_bounds_cover_everything() {
+        for (n, shards) in [(10, 3), (0, 2), (7, 7), (5, 9), (100, 1)] {
+            let cuts = shard_bounds(n, shards);
+            assert_eq!(cuts.len(), shards + 1);
+            assert_eq!(cuts[0], 0);
+            assert_eq!(*cuts.last().unwrap(), n);
+            assert!(cuts.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn aligned_bounds_respect_chunk_multiples() {
+        let cuts = shard_bounds_aligned(10_000, 3, REDUCE_CHUNK);
+        assert_eq!(cuts[0], 0);
+        assert_eq!(*cuts.last().unwrap(), 10_000);
+        for c in &cuts[1..cuts.len() - 1] {
+            assert_eq!(c % REDUCE_CHUNK, 0, "cut {c} not chunk-aligned");
+        }
+    }
+
+    #[test]
+    fn chunked_sum_is_worker_count_invariant() {
+        // Values chosen to expose association differences immediately.
+        let values: Vec<f64> = (0..10_000)
+            .map(|i| ((i * 2_654_435_761_usize) as f64).sqrt() * 1e-3 + 1e9)
+            .collect();
+        let reference = chunked_sum(&values);
+        for workers in [1usize, 2, 3, 7] {
+            let cuts = shard_bounds_aligned(values.len(), workers, REDUCE_CHUNK);
+            let mut partials = vec![0.0_f64; chunk_count(values.len())];
+            let shared = SharedSlice::new(&mut partials);
+            let engine = ParallelEngine::new(Some(workers));
+            engine.run_workers(workers, |w| {
+                let range = cuts[w]..cuts[w + 1];
+                for start in range.clone().step_by(REDUCE_CHUNK) {
+                    let end = (start + REDUCE_CHUNK).min(range.end);
+                    let partial = values[start..end].iter().sum::<f64>();
+                    // SAFETY: chunk indices are disjoint across workers
+                    // because the cuts are chunk-aligned.
+                    unsafe { shared.write(start / REDUCE_CHUNK, partial) };
+                }
+            });
+            let total = partials.iter().fold(0.0, |a, &b| a + b);
+            assert_eq!(total.to_bits(), reference.to_bits(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn shared_slice_disjoint_writes_land() {
+        let mut data = vec![0usize; 64];
+        let shared = SharedSlice::new(&mut data);
+        let engine = ParallelEngine::new(Some(4));
+        let cuts = shard_bounds(64, 4);
+        engine.run_workers(4, |w| {
+            // SAFETY: ranges are disjoint per worker.
+            let mine = unsafe { shared.slice_mut(cuts[w]..cuts[w + 1]) };
+            for (off, v) in mine.iter_mut().enumerate() {
+                *v = cuts[w] + off;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i));
+    }
+}

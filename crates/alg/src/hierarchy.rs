@@ -64,19 +64,26 @@ impl HierarchicalRun {
             members[g].push(i);
         }
         if let Some(empty) = members.iter().position(Vec::is_empty) {
-            return Err(AlgError::DimensionMismatch { expected: 1, got: empty });
+            return Err(AlgError::DimensionMismatch {
+                expected: 1,
+                got: empty,
+            });
         }
 
         let n = utilities.len();
         let mut groups = Vec::with_capacity(group_count);
         for m in &members {
             let share = total_budget * (m.len() as f64 / n as f64);
-            let group_utilities: Vec<QuadraticUtility> =
-                m.iter().map(|&i| utilities[i]).collect();
+            let group_utilities: Vec<QuadraticUtility> = m.iter().map(|&i| utilities[i]).collect();
             let problem = PowerBudgetProblem::new(group_utilities, share)?;
             groups.push(DibaRun::new(problem, Graph::ring(m.len()), config)?);
         }
-        Ok(HierarchicalRun { groups, members, total_budget, rebalance_step: 0.5 })
+        Ok(HierarchicalRun {
+            groups,
+            members,
+            total_budget,
+            rebalance_step: 0.5,
+        })
     }
 
     /// Number of groups.
@@ -119,13 +126,22 @@ impl HierarchicalRun {
             .zip(&self.members)
             .map(|((b, &pr), m)| {
                 let lever = m.len() as f64 * self.rebalance_step;
-                b.0 + lever * (pr - mean_price) / mean_price.max(1e-12) * (b.0 / m.len() as f64)
+                b.0 + lever * (pr - mean_price) / mean_price.max(1e-12)
+                    * (b.0 / m.len() as f64)
                     * 0.1
             })
             .collect();
         // Clamp to group feasibility and renormalize to the exact total.
-        let floors: Vec<f64> = self.groups.iter().map(|g| g.problem().min_total().0).collect();
-        let ceils: Vec<f64> = self.groups.iter().map(|g| g.problem().max_total().0).collect();
+        let floors: Vec<f64> = self
+            .groups
+            .iter()
+            .map(|g| g.problem().min_total().0)
+            .collect();
+        let ceils: Vec<f64> = self
+            .groups
+            .iter()
+            .map(|g| g.problem().max_total().0)
+            .collect();
         for ((d, &lo), &hi) in desired.iter_mut().zip(&floors).zip(&ceils) {
             *d = d.clamp(lo * 1.001, hi);
         }
@@ -272,7 +288,10 @@ mod tests {
             HierarchicalRun::new(u, &round_robin_groups(n, 5), total, DibaConfig::default())
                 .unwrap();
         let steps = h.run_until_within(opt, 0.015, 150, 200);
-        assert!(steps.is_some(), "hierarchy failed to approach the flat optimum");
+        assert!(
+            steps.is_some(),
+            "hierarchy failed to approach the flat optimum"
+        );
     }
 
     #[test]
@@ -289,8 +308,7 @@ mod tests {
         all.extend(flat);
         let group_of: Vec<usize> = (0..20).map(|i| i / 10).collect();
         let total = Watts(160.0 * 20.0);
-        let mut h =
-            HierarchicalRun::new(all, &group_of, total, DibaConfig::default()).unwrap();
+        let mut h = HierarchicalRun::new(all, &group_of, total, DibaConfig::default()).unwrap();
         let before = h.group_budgets();
         for _ in 0..40 {
             h.step_local(80);

@@ -79,7 +79,10 @@ pub fn solve_with_values(
     unit: Watts,
 ) -> Result<KnapsackSolution, AlgError> {
     if levels.is_empty() {
-        return Err(AlgError::DimensionMismatch { expected: 1, got: 0 });
+        return Err(AlgError::DimensionMismatch {
+            expected: 1,
+            got: 0,
+        });
     }
     assert!(unit > Watts::ZERO, "DP unit must be positive");
     assert!(
@@ -101,7 +104,10 @@ pub fn solve_with_values(
     let base = levels[0];
     let floor_total = base * n as f64;
     if floor_total > budget {
-        return Err(AlgError::InfeasibleBudget { budget, min_required: floor_total });
+        return Err(AlgError::InfeasibleBudget {
+            budget,
+            min_required: floor_total,
+        });
     }
 
     // Budget slack in DP units; weights rounded up keep the result
@@ -152,7 +158,11 @@ pub fn solve_with_values(
         k -= weights[j];
     }
     let allocation: Allocation = chosen_levels.iter().map(|&j| levels[j]).collect();
-    Ok(KnapsackSolution { allocation, chosen_levels, log_value: value[slack] })
+    Ok(KnapsackSolution {
+        allocation,
+        chosen_levels,
+        log_value: value[slack],
+    })
 }
 
 /// The paper's Chapter 3 cap ladder: 130 W to 165 W in 5 W steps (r = 8).
@@ -220,7 +230,10 @@ mod tests {
         // Uniform at 170 W (the best whole-ladder uniform under budget).
         let uniform: Allocation = (0..30).map(|_| Watts(170.0)).collect();
         let snp_uni = snp_geometric(&p.anps(&uniform));
-        assert!(snp_dp >= snp_uni - 1e-12, "DP {snp_dp} vs uniform {snp_uni}");
+        assert!(
+            snp_dp >= snp_uni - 1e-12,
+            "DP {snp_dp} vs uniform {snp_uni}"
+        );
     }
 
     #[test]

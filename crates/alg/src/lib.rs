@@ -32,11 +32,12 @@
 
 pub mod baselines;
 pub mod centralized;
-pub mod knapsack;
-pub mod predictor;
 pub mod diba;
 pub mod diba_async;
+pub mod exec;
 pub mod hierarchy;
+pub mod knapsack;
+pub mod predictor;
 pub mod primal_dual;
 pub mod problem;
 

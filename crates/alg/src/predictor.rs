@@ -140,10 +140,16 @@ impl ThroughputPredictor {
         kind: PredictorKind,
         records: &[TrainingRecord],
     ) -> Result<ThroughputPredictor, AlgError> {
-        let probe = Observation { cap: Watts(1.0), throughput: 1.0, llc: 0.0 };
+        let probe = Observation {
+            cap: Watts(1.0),
+            throughput: 1.0,
+            llc: 0.0,
+        };
         let width = features(kind, &probe, -1.0).len();
         if records.len() < width + 1 {
-            return Err(AlgError::DidNotConverge { iterations: records.len() });
+            return Err(AlgError::DidNotConverge {
+                iterations: records.len(),
+            });
         }
         let uses_beta4 = matches!(
             kind,
@@ -166,8 +172,9 @@ impl ThroughputPredictor {
                 None => continue,
             }
         }
-        let (_, betas, beta4) =
-            best.ok_or(AlgError::DidNotConverge { iterations: records.len() })?;
+        let (_, betas, beta4) = best.ok_or(AlgError::DidNotConverge {
+            iterations: records.len(),
+        })?;
         Ok(ThroughputPredictor { kind, betas, beta4 })
     }
 
@@ -180,11 +187,11 @@ impl ThroughputPredictor {
     /// anchored through the observed point.
     pub fn predict(&self, obs: &Observation, p: Watts) -> f64 {
         let x = features(self.kind, obs, self.beta4);
-        let coeff = |j: usize| -> f64 {
-            self.betas[j].iter().zip(&x).map(|(b, f)| b * f).sum()
-        };
+        let coeff = |j: usize| -> f64 { self.betas[j].iter().zip(&x).map(|(b, f)| b * f).sum() };
         let shape = |pw: f64| -> f64 {
-            (0..self.betas.len()).map(|j| coeff(j) * pw.powi(j as i32)).sum()
+            (0..self.betas.len())
+                .map(|j| coeff(j) * pw.powi(j as i32))
+                .sum()
         };
         let at_anchor = shape(obs.cap.0);
         if at_anchor.abs() < 1e-12 {
@@ -361,13 +368,20 @@ mod tests {
 
     #[test]
     fn observation_tp_feature() {
-        let o = Observation { cap: Watts(160.0), throughput: 0.8, llc: 0.01 };
+        let o = Observation {
+            cap: Watts(160.0),
+            throughput: 0.8,
+            llc: 0.01,
+        };
         assert!((o.tp() - 0.005).abs() < 1e-12);
     }
 
     #[test]
     fn kind_display_matches_table_3_2_names() {
-        assert_eq!(PredictorKind::QuadraticLlcTp.to_string(), "quadratic-LLC+TP");
+        assert_eq!(
+            PredictorKind::QuadraticLlcTp.to_string(),
+            "quadratic-LLC+TP"
+        );
         assert_eq!(PredictorKind::PreviousLinear.to_string(), "previous-linear");
         assert_eq!(PredictorKind::ALL.len(), 6);
     }

@@ -7,6 +7,7 @@
 //! the coordinator — the communication bottleneck Table 4.2 quantifies.
 
 use crate::centralized;
+use crate::exec::{chunk_count, shard_bounds_aligned, ParallelEngine, SharedSlice, REDUCE_CHUNK};
 use crate::problem::{Allocation, PowerBudgetProblem};
 use dpc_models::units::Watts;
 
@@ -22,11 +23,21 @@ pub struct PrimalDualConfig {
     /// utility is within this relative gap of the centralized optimum
     /// (the paper uses 1 %, Eq. 4.11).
     pub rel_tol: f64,
+    /// Worker threads for the per-node primal responses: `None` uses the
+    /// machine's available parallelism, `Some(1)` forces the inline serial
+    /// path. Results are bitwise identical for every worker count (the
+    /// reductions are fixed-chunk — see [`crate::exec`]).
+    pub threads: Option<usize>,
 }
 
 impl Default for PrimalDualConfig {
     fn default() -> Self {
-        PrimalDualConfig { step: None, max_iterations: 500, rel_tol: 0.01 }
+        PrimalDualConfig {
+            step: None,
+            max_iterations: 500,
+            rel_tol: 0.01,
+            threads: None,
+        }
     }
 }
 
@@ -103,9 +114,23 @@ pub fn solve_with_reference(
     let budget = problem.budget();
     let feas_tol = budget * 1e-9 + Watts(1e-9);
 
+    // Per-iteration scratch: the primal responses land in a reusable buffer
+    // filled in parallel over chunk-aligned shards; the (power, utility)
+    // sums are folded per fixed-size chunk in ascending order so the totals
+    // are bitwise identical for every worker count.
+    let n = problem.len();
+    let engine = ParallelEngine::new(config.threads);
+    let workers = engine.workers_for(chunk_count(n));
+    let cuts = shard_bounds_aligned(n, workers, REDUCE_CHUNK);
+    let mut scratch = ResponseScratch {
+        powers: vec![0.0; n],
+        power_partials: vec![0.0; chunk_count(n)],
+        utility_partials: vec![0.0; chunk_count(n)],
+    };
+
     let mut lambda = 0.0_f64;
     let mut history = Vec::new();
-    let mut best_feasible: Option<(f64, Allocation, f64)> = None;
+    let mut best_feasible: Option<(f64, f64)> = None;
     // Bold-driver adaptation: boxes pin part of the cluster, shrinking the
     // dual sensitivity below the all-interior Newton estimate; growing the
     // step while the residual keeps its sign (and halving on a sign flip)
@@ -117,21 +142,19 @@ pub fn solve_with_reference(
     for iter in 1..=config.max_iterations {
         // Primal response at the current price (Eq. 4.6), computed locally
         // by every server.
-        let allocation: Allocation = problem
-            .utilities()
-            .iter()
-            .map(|u| u.argmax_minus_price(lambda))
-            .collect();
-        let total = allocation.total();
-        let utility = problem.total_utility(&allocation);
-        history.push(PrimalDualTrace { lambda, total_power: total, utility });
+        let (total, utility) = primal_response(problem, lambda, &engine, &cuts, &mut scratch);
+        history.push(PrimalDualTrace {
+            lambda,
+            total_power: total,
+            utility,
+        });
 
         let feasible = total <= budget + feas_tol;
         if feasible {
             let gap = (optimal_utility - utility).abs() / optimal_utility.abs().max(1e-12);
             if gap < config.rel_tol {
                 return PrimalDualResult {
-                    allocation,
+                    allocation: scratch.allocation(),
                     lambda,
                     iterations: iter,
                     converged: true,
@@ -139,8 +162,8 @@ pub fn solve_with_reference(
                 };
             }
             match &best_feasible {
-                Some((_, _, u)) if *u >= utility => {}
-                _ => best_feasible = Some((lambda, allocation, utility)),
+                Some((_, u)) if *u >= utility => {}
+                _ => best_feasible = Some((lambda, utility)),
             }
         }
 
@@ -158,7 +181,12 @@ pub fn solve_with_reference(
     }
 
     let (lambda, allocation) = match best_feasible {
-        Some((l, a, _)) => (l, a),
+        Some((l, _)) => {
+            // The primal response is a pure function of the price, so the
+            // best feasible iterate is recovered by re-evaluating it.
+            primal_response(problem, l, &engine, &cuts, &mut scratch);
+            (l, scratch.allocation())
+        }
         None => {
             // Never feasible within budget: fall back to the oracle
             // solution (recomputed — this path only fires on pathological
@@ -174,6 +202,68 @@ pub fn solve_with_reference(
         converged: false,
         history,
     }
+}
+
+/// Reusable buffers for [`primal_response`].
+struct ResponseScratch {
+    powers: Vec<f64>,
+    power_partials: Vec<f64>,
+    utility_partials: Vec<f64>,
+}
+
+impl ResponseScratch {
+    fn allocation(&self) -> Allocation {
+        self.powers.iter().map(|&p| Watts(p)).collect()
+    }
+}
+
+/// Evaluates every server's closed-form response to `lambda` (Eq. 4.6) into
+/// `scratch.powers`, returning the total power and total utility.
+///
+/// The node loop is sharded over `engine`'s workers along the chunk-aligned
+/// `cuts`; each worker writes only its own slice of `powers` and its own
+/// per-chunk partial sums, which are then folded in ascending chunk order.
+/// The result is therefore bitwise identical for any worker count.
+fn primal_response(
+    problem: &PowerBudgetProblem,
+    lambda: f64,
+    engine: &ParallelEngine,
+    cuts: &[usize],
+    scratch: &mut ResponseScratch,
+) -> (Watts, f64) {
+    let workers = cuts.len() - 1;
+    {
+        let powers = SharedSlice::new(&mut scratch.powers);
+        let power_partials = SharedSlice::new(&mut scratch.power_partials);
+        let utility_partials = SharedSlice::new(&mut scratch.utility_partials);
+        engine.run_workers(workers, |w| {
+            let range = cuts[w]..cuts[w + 1];
+            let mut start = range.start;
+            while start < range.end {
+                let end = (start + REDUCE_CHUNK).min(range.end);
+                let mut power_sum = 0.0;
+                let mut utility_sum = 0.0;
+                for i in start..end {
+                    let u = problem.utility(i);
+                    let p = u.argmax_minus_price(lambda);
+                    // SAFETY: shards are disjoint and chunk-aligned, so
+                    // node `i` and chunk `start / REDUCE_CHUNK` are owned
+                    // exclusively by this worker.
+                    unsafe { powers.write(i, p.0) };
+                    power_sum += p.0;
+                    utility_sum += u.value(p);
+                }
+                unsafe {
+                    power_partials.write(start / REDUCE_CHUNK, power_sum);
+                    utility_partials.write(start / REDUCE_CHUNK, utility_sum);
+                }
+                start = end;
+            }
+        });
+    }
+    let total: f64 = scratch.power_partials.iter().sum();
+    let utility: f64 = scratch.utility_partials.iter().sum();
+    (Watts(total), utility)
 }
 
 #[cfg(test)]
@@ -237,9 +327,44 @@ mod tests {
     }
 
     #[test]
+    fn worker_count_does_not_change_the_solve() {
+        // Large enough to span several reduction chunks, so the parallel
+        // path genuinely shards the primal response.
+        let p = problem(10_000, 1_650_000.0, 7);
+        let base = solve(
+            &p,
+            &PrimalDualConfig {
+                threads: Some(1),
+                ..Default::default()
+            },
+        );
+        for threads in [2, 3, 7] {
+            let cfg = PrimalDualConfig {
+                threads: Some(threads),
+                ..Default::default()
+            };
+            let r = solve(&p, &cfg);
+            assert_eq!(r.iterations, base.iterations, "threads {threads}");
+            assert_eq!(
+                r.lambda.to_bits(),
+                base.lambda.to_bits(),
+                "threads {threads}"
+            );
+            for (a, b) in r.allocation.powers().iter().zip(base.allocation.powers()) {
+                assert_eq!(a.0.to_bits(), b.0.to_bits(), "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
     fn tiny_step_hits_iteration_budget_without_panicking() {
         let p = problem(30, 4_900.0, 6);
-        let cfg = PrimalDualConfig { step: Some(1e-15), max_iterations: 10, rel_tol: 0.01 };
+        let cfg = PrimalDualConfig {
+            step: Some(1e-15),
+            max_iterations: 10,
+            rel_tol: 0.01,
+            threads: None,
+        };
         let r = solve(&p, &cfg);
         assert!(!r.converged);
         assert!(p.is_feasible(&r.allocation, Watts(1e-3)));

@@ -37,7 +37,10 @@ pub enum AlgError {
 impl fmt::Display for AlgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AlgError::InfeasibleBudget { budget, min_required } => write!(
+            AlgError::InfeasibleBudget {
+                budget,
+                min_required,
+            } => write!(
                 f,
                 "budget {budget} below the minimum enforceable total {min_required}"
             ),
@@ -78,7 +81,10 @@ impl PowerBudgetProblem {
         }
         let min_required: Watts = utilities.iter().map(|u| u.p_min()).sum();
         if budget < min_required {
-            return Err(AlgError::InfeasibleBudget { budget, min_required });
+            return Err(AlgError::InfeasibleBudget {
+                budget,
+                min_required,
+            });
         }
         Ok(PowerBudgetProblem { utilities, budget })
     }
@@ -254,7 +260,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_and_infeasible() {
-        assert_eq!(PowerBudgetProblem::new(vec![], Watts(100.0)), Err(AlgError::EmptyProblem));
+        assert_eq!(
+            PowerBudgetProblem::new(vec![], Watts(100.0)),
+            Err(AlgError::EmptyProblem)
+        );
         let c = ClusterBuilder::new(10).build();
         let err = PowerBudgetProblem::new(c.utilities(), Watts(10.0)).unwrap_err();
         assert!(matches!(err, AlgError::InfeasibleBudget { .. }));
@@ -286,7 +295,11 @@ mod tests {
         let at_min: Allocation = p.utilities().iter().map(|u| u.p_min()).collect();
         assert!(p.is_feasible(&at_min, Watts(1e-9)));
 
-        let over: Allocation = p.utilities().iter().map(|u| u.p_max() + Watts(1.0)).collect();
+        let over: Allocation = p
+            .utilities()
+            .iter()
+            .map(|u| u.p_max() + Watts(1.0))
+            .collect();
         assert!(!p.is_feasible(&over, Watts(1e-9)));
 
         let too_much: Allocation = p.utilities().iter().map(|u| u.p_max()).collect();

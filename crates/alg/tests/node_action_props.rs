@@ -8,7 +8,12 @@ use dpc_models::units::Watts;
 use proptest::prelude::*;
 
 fn params() -> NodeParams {
-    NodeParams { eta: 2e-3, margin: 2e-3, step_power: 0.7, step_transfer: 1.2 }
+    NodeParams {
+        eta: 2e-3,
+        margin: 2e-3,
+        step_power: 0.7,
+        step_transfer: 1.2,
+    }
 }
 
 proptest! {

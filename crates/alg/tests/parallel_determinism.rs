@@ -1,0 +1,108 @@
+//! The round engine's central guarantee: the parallel execution path is
+//! *bitwise* deterministic. For any cluster, topology and round count, a
+//! `DibaRun` sharded over 2 or 7 worker threads walks exactly the same
+//! `(p, e)` trajectory as the serial engine — not merely close, identical
+//! to the last mantissa bit.
+
+use dpc_alg::diba::{DibaConfig, DibaRun};
+use dpc_alg::problem::PowerBudgetProblem;
+use dpc_models::units::Watts;
+use dpc_models::workload::ClusterBuilder;
+use dpc_topology::Graph;
+use proptest::prelude::*;
+
+fn graph_for(kind: usize, n: usize) -> Graph {
+    match kind {
+        0 => Graph::ring(n),
+        1 => Graph::star(n),
+        2 => Graph::ring_with_chords(n, (n / 4).max(2)),
+        _ => {
+            // Smallest near-square factorization of a padded grid.
+            let rows = (1..=n)
+                .rev()
+                .find(|r| n.is_multiple_of(*r) && *r * *r <= n)
+                .unwrap_or(1);
+            Graph::grid(rows, n / rows)
+        }
+    }
+}
+
+fn trajectory(
+    n: usize,
+    seed: u64,
+    per_server: f64,
+    kind: usize,
+    rounds: usize,
+    threads: usize,
+) -> Vec<(f64, f64)> {
+    let cluster = ClusterBuilder::new(n).seed(seed).build();
+    let problem =
+        PowerBudgetProblem::new(cluster.utilities(), Watts(per_server * n as f64)).unwrap();
+    let config = DibaConfig {
+        threads: Some(threads),
+        ..DibaConfig::default()
+    };
+    let mut run = DibaRun::new(problem, graph_for(kind, n), config).unwrap();
+    run.run(rounds);
+    run.node_states()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sharded execution with 2 and 7 workers reproduces the serial
+    /// trajectory bit for bit, over random clusters, budgets, topologies
+    /// and round counts.
+    #[test]
+    fn parallel_rounds_match_serial_bitwise(
+        n in 3usize..90,
+        seed in 0u64..1_000,
+        per_server in 160.0f64..200.0,
+        kind in 0usize..4,
+        rounds in 1usize..50,
+    ) {
+        let serial = trajectory(n, seed, per_server, kind, rounds, 1);
+        for threads in [2usize, 7] {
+            let parallel = trajectory(n, seed, per_server, kind, rounds, threads);
+            prop_assert_eq!(serial.len(), parallel.len());
+            for (i, (&(ps, es), &(pp, ep))) in
+                serial.iter().zip(&parallel).enumerate()
+            {
+                prop_assert_eq!(
+                    ps.to_bits(), pp.to_bits(),
+                    "p[{}] diverged with {} threads: {} vs {}", i, threads, ps, pp
+                );
+                prop_assert_eq!(
+                    es.to_bits(), ep.to_bits(),
+                    "e[{}] diverged with {} threads: {} vs {}", i, threads, es, ep
+                );
+            }
+        }
+    }
+
+    /// Changing the worker count mid-run (as the simulator may) also
+    /// leaves the trajectory untouched.
+    #[test]
+    fn rethreading_mid_run_is_invisible(
+        n in 4usize..60,
+        seed in 0u64..1_000,
+        rounds in 2usize..40,
+    ) {
+        let serial = trajectory(n, seed, 180.0, 0, rounds, 1);
+
+        let cluster = ClusterBuilder::new(n).seed(seed).build();
+        let problem =
+            PowerBudgetProblem::new(cluster.utilities(), Watts(180.0 * n as f64)).unwrap();
+        let config = DibaConfig { threads: Some(3), ..DibaConfig::default() };
+        let mut run = DibaRun::new(problem, Graph::ring(n), config).unwrap();
+        let half = rounds / 2;
+        run.run(half);
+        run.set_threads(Some(5));
+        run.run(rounds - half);
+
+        for (&(ps, es), (pp, ep)) in serial.iter().zip(run.node_states()) {
+            prop_assert_eq!(ps.to_bits(), pp.to_bits());
+            prop_assert_eq!(es.to_bits(), ep.to_bits());
+        }
+    }
+}

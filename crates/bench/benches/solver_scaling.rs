@@ -55,6 +55,29 @@ fn bench_diba_round(c: &mut Criterion) {
     let mut g = c.benchmark_group("diba_round");
     for n in SIZES {
         let p = problem(n);
+        let cfg = DibaConfig {
+            threads: Some(1),
+            ..DibaConfig::default()
+        };
+        let mut run = DibaRun::new(p, Graph::ring(n), cfg).unwrap();
+        run.run(50); // past the initial transient
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, _| {
+            b.iter(|| {
+                run.step();
+                black_box(run.last_max_step())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The same per-round cost on the sharded engine (worker count = the
+/// host's available parallelism); compare against `diba_round` to read
+/// the parallel speedup. The trajectory is bitwise identical by design.
+fn bench_diba_round_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diba_round_parallel");
+    for n in SIZES {
+        let p = problem(n);
         let mut run = DibaRun::new(p, Graph::ring(n), DibaConfig::default()).unwrap();
         run.run(50); // past the initial transient
         g.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, _| {
@@ -86,10 +109,8 @@ fn bench_knapsack(c: &mut Criterion) {
     for n in [400usize, 1600] {
         let truths: Vec<_> = (0..n)
             .map(|i| {
-                dpc_models::throughput::CurveParams::for_memory_boundedness(
-                    (i % 10) as f64 / 10.0,
-                )
-                .utility(Watts(125.0), Watts(165.0))
+                dpc_models::throughput::CurveParams::for_memory_boundedness((i % 10) as f64 / 10.0)
+                    .utility(Watts(125.0), Watts(165.0))
             })
             .collect();
         let p = PowerBudgetProblem::new(truths, Watts(145.0 * n as f64)).unwrap();
@@ -119,6 +140,7 @@ criterion_group!(
     bench_centralized,
     bench_primal_dual,
     bench_diba_round,
+    bench_diba_round_parallel,
     bench_uniform,
     bench_knapsack,
     bench_coordinator_queue,

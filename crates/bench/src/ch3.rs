@@ -117,16 +117,16 @@ pub fn table3_2() -> String {
 pub fn fig3_10() -> String {
     let model = ThermalModel::paper_cluster();
     let map = uniform_rack_map(model.racks());
-    let mut t = Table::new(["total (MW)", "computing (MW)", "cooling (MW)", "cooling share"]);
+    let mut t = Table::new([
+        "total (MW)",
+        "computing (MW)",
+        "cooling (MW)",
+        "cooling share",
+    ]);
     for &mw in &[0.60, 0.63, 0.66, 0.69, 0.72] {
-        let r = self_consistent_partition(
-            Watts::from_megawatts(mw),
-            &model,
-            &map,
-            Watts(50.0),
-            500,
-        )
-        .expect("partition converges");
+        let r =
+            self_consistent_partition(Watts::from_megawatts(mw), &model, &map, Watts(50.0), 500)
+                .expect("partition converges");
         t.row([
             format!("{mw:.2}"),
             format!("{:.3}", r.computing.megawatts()),
@@ -146,15 +146,15 @@ pub fn fig3_10() -> String {
 pub fn fig3_11() -> String {
     let model = ThermalModel::paper_cluster();
     let map = uniform_rack_map(model.racks());
-    let r = self_consistent_partition(
-        Watts::from_megawatts(0.72),
-        &model,
-        &map,
-        Watts(50.0),
-        500,
-    )
-    .expect("partition converges");
-    let mut t = Table::new(["iteration", "computing (MW)", "cooling (MW)", "sum (MW)", "t_sup (°C)"]);
+    let r = self_consistent_partition(Watts::from_megawatts(0.72), &model, &map, Watts(50.0), 500)
+        .expect("partition converges");
+    let mut t = Table::new([
+        "iteration",
+        "computing (MW)",
+        "cooling (MW)",
+        "sum (MW)",
+        "t_sup (°C)",
+    ]);
     for (k, step) in r.trace.iter().enumerate().take(12) {
         t.row([
             (k + 1).to_string(),
@@ -220,7 +220,11 @@ pub fn ch3_population(
                     llc_weight += spec.memory_boundedness() / 4.0;
                 }
                 let _ = llc_weight;
-                CurveParams { gain, end_slope_ratio: ratio, scale: 1.0 }
+                CurveParams {
+                    gain,
+                    end_slope_ratio: ratio,
+                    scale: 1.0,
+                }
             }
         };
         let truth = params.utility(CH3_P_MIN, CH3_P_MAX);
@@ -268,7 +272,10 @@ pub fn fig3_12_methods(
         .iter()
         .map(|obs| {
             let peak = predictor.predict(obs, top).max(1e-9);
-            levels.iter().map(|&l| (predictor.predict(obs, l) / peak).clamp(1e-6, 1.2)).collect()
+            levels
+                .iter()
+                .map(|&l| (predictor.predict(obs, l) / peak).clamp(1e-6, 1.2))
+                .collect()
         })
         .collect();
     let pred = knapsack::solve_with_values(&predicted_values, &levels, budget, Watts(1.0))
@@ -296,8 +303,14 @@ pub fn fig3_12(n: usize) -> String {
         ThroughputPredictor::train(PredictorKind::QuadraticLlcTp, &train).expect("trains");
     let mut out = String::new();
     for (case, within) in [
-        ("(a) heterogeneous across, homogeneous within", WithinServer::Homogeneous),
-        ("(b) heterogeneous across, heterogeneous within", WithinServer::Heterogeneous),
+        (
+            "(a) heterogeneous across, homogeneous within",
+            WithinServer::Homogeneous,
+        ),
+        (
+            "(b) heterogeneous across, heterogeneous within",
+            WithinServer::Heterogeneous,
+        ),
     ] {
         let (truths, observations) = ch3_population(n, within, 55);
         let mut t = Table::new([
@@ -350,7 +363,10 @@ pub fn fig3_13(n: usize) -> String {
         .iter()
         .map(|obs| {
             let peak = predictor.predict(obs, top).max(1e-9);
-            levels.iter().map(|&l| (predictor.predict(obs, l) / peak).clamp(1e-6, 1.2)).collect()
+            levels
+                .iter()
+                .map(|&l| (predictor.predict(obs, l) / peak).clamp(1e-6, 1.2))
+                .collect()
         })
         .collect();
 
@@ -364,9 +380,11 @@ pub fn fig3_13(n: usize) -> String {
                     .expect("feasible")
                     .allocation
             }
-            "oracle+knapsack" => knapsack::solve(&problem, &levels, Watts(1.0))
-                .expect("feasible")
-                .allocation,
+            "oracle+knapsack" => {
+                knapsack::solve(&problem, &levels, Watts(1.0))
+                    .expect("feasible")
+                    .allocation
+            }
             other => unreachable!("unknown method {other}"),
         }
     };
@@ -434,7 +452,10 @@ pub fn fig3_14_15(n: usize) -> String {
         .iter()
         .map(|obs| {
             let peak = predictor.predict(obs, top).max(1e-9);
-            levels.iter().map(|&l| (predictor.predict(obs, l) / peak).clamp(1e-6, 1.2)).collect()
+            levels
+                .iter()
+                .map(|&l| (predictor.predict(obs, l) / peak).clamp(1e-6, 1.2))
+                .collect()
         })
         .collect();
 
@@ -447,7 +468,13 @@ pub fn fig3_14_15(n: usize) -> String {
         dpc_models::metrics::snp_geometric(&anps)
     };
 
-    let mut t = Table::new(["t (s)", "budget (W/srv)", "proposed SNP", "uniform SNP", "caps used"]);
+    let mut t = Table::new([
+        "t (s)",
+        "budget (W/srv)",
+        "proposed SNP",
+        "uniform SNP",
+        "caps used",
+    ]);
     let mut histogram_at_60 = vec![0usize; levels.len()];
     for epoch in 0..5 {
         let t0 = Seconds(15.0 * epoch as f64);

@@ -57,7 +57,14 @@ pub fn fig4_1() -> String {
     let n = 1000;
     let star = Graph::star(n);
     let ring = Graph::ring(n);
-    let mut t = Table::new(["topology", "nodes", "edges", "max degree", "avg degree", "diameter"]);
+    let mut t = Table::new([
+        "topology",
+        "nodes",
+        "edges",
+        "max degree",
+        "avg degree",
+        "diameter",
+    ]);
     for (name, g) in [("star (PD / centralized)", &star), ("ring (DiBA)", &ring)] {
         t.row([
             name.to_string(),
@@ -118,7 +125,9 @@ pub struct Fig43Point {
 
 /// Fig. 4.3 data: SNP of `n` servers under budgets 166–186 W/server.
 pub fn fig4_3_data(n: usize, seed: u64) -> Vec<Fig43Point> {
-    let budgets: Vec<Watts> = (0..6).map(|k| Watts((166.0 + 4.0 * k as f64) * n as f64)).collect();
+    let budgets: Vec<Watts> = (0..6)
+        .map(|k| Watts((166.0 + 4.0 * k as f64) * n as f64))
+        .collect();
     budgets
         .into_iter()
         .map(|budget| {
@@ -145,7 +154,14 @@ pub fn fig4_3_data(n: usize, seed: u64) -> Vec<Fig43Point> {
 /// Fig. 4.3: the static SNP comparison.
 pub fn fig4_3(n: usize) -> String {
     let data = fig4_3_data(n, 42);
-    let mut t = Table::new(["budget (kW)", "uniform", "primal-dual", "DiBA", "oracle", "DiBA vs uniform"]);
+    let mut t = Table::new([
+        "budget (kW)",
+        "uniform",
+        "primal-dual",
+        "DiBA",
+        "oracle",
+        "DiBA vs uniform",
+    ]);
     let mut pd_gain = 0.0;
     let mut diba_gain = 0.0;
     for d in &data {
@@ -279,7 +295,9 @@ pub fn table4_2(sizes: &[usize]) -> String {
 
 /// Fig. 4.4: dynamic budget re-allocation (budget changes every minute).
 pub fn fig4_4(n: usize, minutes: usize) -> String {
-    let per_server = [178.0, 170.0, 186.0, 166.0, 182.0, 174.0, 190.0, 168.0, 184.0, 172.0];
+    let per_server = [
+        178.0, 170.0, 186.0, 166.0, 182.0, 174.0, 190.0, 168.0, 184.0, 172.0,
+    ];
     let segments: Vec<(Seconds, Watts)> = (0..minutes)
         .map(|m| {
             (
@@ -300,6 +318,7 @@ pub fn fig4_4(n: usize, minutes: usize) -> String {
         churn_mean: None,
         phase_mean: None,
         record_allocations: false,
+        threads: None,
     };
     let mut sim = DynamicSim::new(cluster, budgeter, schedule, config);
     let series = sim.run().expect("schedule feasible");
@@ -340,7 +359,9 @@ fn step_report(title: &str, n: usize, from_w: f64, to_w: f64, seed: u64) -> Stri
     )
     .expect("step response runs");
     let mut t = Table::new(["round", "t (ms)", "budget (kW)", "power (kW)", "SNP"]);
-    let interesting = [-1isize, 0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 2999];
+    let interesting = [
+        -1isize, 0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 2999,
+    ];
     for pt in &r.trace {
         if interesting.contains(&pt.round) {
             t.row([
@@ -352,10 +373,13 @@ fn step_report(title: &str, n: usize, from_w: f64, to_w: f64, seed: u64) -> Stri
             ]);
         }
     }
-    let recover = r
-        .rounds_to_feasible
-        .map_or("never".to_string(), |r| format!("{r} rounds ({:.1} ms)", r as f64 * RING_ROUND.millis()));
-    format!("{title}\n\n{}\nrounds to meet the new budget: {recover}\n", t.render())
+    let recover = r.rounds_to_feasible.map_or("never".to_string(), |r| {
+        format!("{r} rounds ({:.1} ms)", r as f64 * RING_ROUND.millis())
+    });
+    format!(
+        "{title}\n\n{}\nrounds to meet the new budget: {recover}\n",
+        t.render()
+    )
 }
 
 /// Fig. 4.5: budget drops 190 → 170 W/server.
@@ -393,13 +417,9 @@ pub fn fig4_7(n: usize, minutes: usize) -> String {
         churn_mean: Some(Seconds(120.0)),
         phase_mean: None,
         record_allocations: false,
+        threads: None,
     };
-    let mut sim = DynamicSim::new(
-        cluster,
-        budgeter,
-        BudgetSchedule::constant(budget),
-        config,
-    );
+    let mut sim = DynamicSim::new(cluster, budgeter, BudgetSchedule::constant(budget), config);
     let series = sim.run().expect("constant schedule feasible");
 
     let mut t = Table::new(["t (min)", "power (kW)", "SNP", "optimal SNP"]);
@@ -435,7 +455,8 @@ pub fn perturbation_data(n: usize, seed: u64) -> (Vec<(usize, Vec<f64>)>, Vec<f6
     let u = *p.utility(target);
     let flat = CurveParams::for_memory_boundedness(1.0).utility(u.p_min(), u.p_max());
     run.replace_utility(target, flat);
-    run.run_to_rest(1e-3, 20, 100_000).expect("initial equilibrium");
+    run.run_to_rest(1e-3, 20, 100_000)
+        .expect("initial equilibrium");
     let before = run.allocation();
     let e_baseline: Vec<f64> = run.residuals().to_vec();
 
@@ -473,7 +494,11 @@ pub fn fig4_8(n: usize) -> String {
     let target = n / 2;
     let mut header = vec!["iteration".to_string()];
     let offsets: Vec<isize> = vec![-20, -10, -5, -2, -1, 0, 1, 2, 5, 10, 20];
-    header.extend(offsets.iter().map(|o| format!("node {}", target as isize + o)));
+    header.extend(
+        offsets
+            .iter()
+            .map(|o| format!("node {}", target as isize + o)),
+    );
     let mut t = Table::new(header);
     for (iter, es) in &snapshots {
         let mut row = vec![iter.to_string()];
@@ -551,7 +576,10 @@ pub fn fig4_10_data(n: usize, samples: usize, seed: u64) -> Vec<Fig410Sample> {
             let avg_degree = g.average_degree();
             let mut run = DibaRun::new(p.clone(), g, DibaConfig::default()).expect("sizes");
             let iterations = run.run_until_within(opt, 0.01, 50_000).unwrap_or(50_000);
-            Fig410Sample { avg_degree, iterations }
+            Fig410Sample {
+                avg_degree,
+                iterations,
+            }
         })
         .collect()
 }

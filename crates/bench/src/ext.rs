@@ -33,9 +33,17 @@ pub fn ablation_eta(n: usize) -> String {
     let auto = DibaRun::new(p.clone(), Graph::ring(n), DibaConfig::default())
         .expect("sizes")
         .eta();
-    let mut t = Table::new(["η / η_auto", "rounds to 99%", "final unspent (W)", "final util/opt"]);
+    let mut t = Table::new([
+        "η / η_auto",
+        "rounds to 99%",
+        "final unspent (W)",
+        "final util/opt",
+    ]);
     for &mult in &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
-        let cfg = DibaConfig { eta: Some(auto * mult), ..DibaConfig::default() };
+        let cfg = DibaConfig {
+            eta: Some(auto * mult),
+            ..DibaConfig::default()
+        };
         let mut run = DibaRun::new(p.clone(), Graph::ring(n), cfg).expect("sizes");
         let rounds = run
             .run_until_within(opt, 0.01, 60_000)
@@ -64,7 +72,11 @@ pub fn ablation_steps(n: usize) -> String {
     let mut t = Table::new(["step_power", "step_transfer", "rounds to 99%"]);
     for &sp in &[0.3, 0.7, 1.0] {
         for &st in &[0.4, 1.2, 2.0] {
-            let cfg = DibaConfig { step_power: sp, step_transfer: st, ..DibaConfig::default() };
+            let cfg = DibaConfig {
+                step_power: sp,
+                step_transfer: st,
+                ..DibaConfig::default()
+            };
             t.row([
                 format!("{sp:.1}"),
                 format!("{st:.1}"),
@@ -86,8 +98,14 @@ pub fn ablation_boost(n: usize) -> String {
     let opt = p.total_utility(&centralized::solve(&p).allocation);
     let mut t = Table::new(["eta_boost", "rounds to 99%"]);
     for &boost in &[1.0, 5.0, 30.0, 100.0] {
-        let cfg = DibaConfig { eta_boost: boost, ..DibaConfig::default() };
-        t.row([format!("{boost:.0}"), rounds_to_99(&p, Graph::ring(n), cfg, opt)]);
+        let cfg = DibaConfig {
+            eta_boost: boost,
+            ..DibaConfig::default()
+        };
+        t.row([
+            format!("{boost:.0}"),
+            rounds_to_99(&p, Graph::ring(n), cfg, opt),
+        ]);
     }
     format!(
         "Ablation — barrier continuation boost ({n} servers, ring)\n\n{}\n\
@@ -105,7 +123,10 @@ pub fn ablation_topology(n: usize) -> String {
     let side = (n as f64).sqrt().round() as usize;
     let graphs: Vec<(String, Graph)> = vec![
         ("ring".into(), Graph::ring(n)),
-        ("ring + n/8 chords".into(), Graph::ring_with_chords(n, n / 8)),
+        (
+            "ring + n/8 chords".into(),
+            Graph::ring_with_chords(n, n / 8),
+        ),
         (format!("grid {side}x{side}"), Graph::grid(side, n / side)),
         ("star".into(), Graph::star(n)),
         ("complete".into(), Graph::complete(n)),
@@ -145,10 +166,14 @@ pub fn ext_async(n: usize) -> String {
         (0.3, 0.6, 12),
     ];
     for &(act, dp, md) in &nets {
-        let net = AsyncConfig { activation: act, delay_prob: dp, max_delay: md, seed: 7 };
-        let mut run =
-            AsyncDibaRun::new(p.clone(), Graph::ring(n), DibaConfig::default(), net)
-                .expect("sizes match");
+        let net = AsyncConfig {
+            activation: act,
+            delay_prob: dp,
+            max_delay: md,
+            seed: 7,
+        };
+        let mut run = AsyncDibaRun::new(p.clone(), Graph::ring(n), DibaConfig::default(), net)
+            .expect("sizes match");
         let rounds = run
             .run_until_within(opt, 0.015, 120_000)
             .map_or(">120000".to_string(), |r| r.to_string());
@@ -191,9 +216,18 @@ pub fn ext_enforcement(n: usize) -> String {
     let ticks = e.ticks_to_total(cut, 200);
 
     let mut t = Table::new(["quantity", "value"]);
-    t.row(["budget".to_string(), format!("{:.2} kW", budget.kilowatts())]);
-    t.row(["allocated (continuous caps)".to_string(), format!("{:.2} kW", allocated.kilowatts())]);
-    t.row(["measured after settling".to_string(), format!("{:.2} kW", measured.kilowatts())]);
+    t.row([
+        "budget".to_string(),
+        format!("{:.2} kW", budget.kilowatts()),
+    ]);
+    t.row([
+        "allocated (continuous caps)".to_string(),
+        format!("{:.2} kW", allocated.kilowatts()),
+    ]);
+    t.row([
+        "measured after settling".to_string(),
+        format!("{:.2} kW", measured.kilowatts()),
+    ]);
     t.row([
         "quantization loss".to_string(),
         format!("{:.1}%", (allocated - measured) / allocated * 100.0),
@@ -220,15 +254,12 @@ pub fn ext_enforcement(n: usize) -> String {
     )
 }
 
-
 /// Extension: thermal-aware rack layout planning (the Chapter 5
 /// heuristics) — cooling power of planned vs oblivious placements for the
 /// heterogeneous paper room.
 pub fn ext_layout() -> String {
     use dpc_thermal::layout::RoomLayout;
-    use dpc_thermal::planning::{
-        evaluate, greedy, local_search, table5_1_rack_classes, Placement,
-    };
+    use dpc_thermal::planning::{evaluate, greedy, local_search, table5_1_rack_classes, Placement};
     use dpc_thermal::ThermalModel;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -238,7 +269,13 @@ pub fn ext_layout() -> String {
     let classes = table5_1_rack_classes();
     let mut rng = StdRng::seed_from_u64(31);
 
-    let mut t = Table::new(["utilization", "method", "t_sup (°C)", "cooling (kW)", "saving"]);
+    let mut t = Table::new([
+        "utilization",
+        "method",
+        "t_sup (°C)",
+        "cooling (kW)",
+        "saving",
+    ]);
     for &(label, util) in &[("100% (plate specs)", 1.0), ("60%", 0.6), ("30%", 0.3)] {
         let powers: Vec<Watts> = (0..80)
             .map(|i| {
@@ -246,8 +283,7 @@ pub fn ext_layout() -> String {
                 c.idle + (c.peak - c.idle) * util
             })
             .collect();
-        let oblivious = evaluate(&model, &Placement::identity(80), &powers)
-            .expect("sizes match");
+        let oblivious = evaluate(&model, &Placement::identity(80), &powers).expect("sizes match");
         let candidates = [
             ("greedy", greedy(&d, &powers)),
             ("local search", local_search(&d, &powers, 40_000, &mut rng)),
@@ -283,19 +319,23 @@ pub fn ext_layout() -> String {
 /// Extension: execution-phase dynamics — the budgeter tracks workloads
 /// whose characteristics swing between compute- and memory-bound phases.
 pub fn ext_phases(n: usize) -> String {
+    use dpc_models::units::Seconds;
     use dpc_sim::budgeter::DibaBudgeter;
     use dpc_sim::engine::{DynamicSim, SimConfig};
     use dpc_sim::schedule::BudgetSchedule;
-    use dpc_models::units::Seconds;
 
     let budget_per = 172.0;
-    let mut t = Table::new(["phase dwell (s)", "mean SNP", "mean SNP/optimal", "violations"]);
+    let mut t = Table::new([
+        "phase dwell (s)",
+        "mean SNP",
+        "mean SNP/optimal",
+        "violations",
+    ]);
     for &dwell in &[f64::INFINITY, 60.0, 20.0, 8.0] {
         let cluster = ClusterBuilder::new(n).seed(33).build();
         let budget = Watts(budget_per * n as f64);
         let p = PowerBudgetProblem::new(cluster.utilities(), budget).expect("feasible");
-        let budgeter =
-            DibaBudgeter::new(p, Graph::ring(n), DibaConfig::default()).expect("sizes");
+        let budgeter = DibaBudgeter::new(p, Graph::ring(n), DibaConfig::default()).expect("sizes");
         let config = SimConfig {
             duration: Seconds(120.0),
             sample_interval: Seconds(2.0),
@@ -303,9 +343,9 @@ pub fn ext_phases(n: usize) -> String {
             churn_mean: None,
             phase_mean: dwell.is_finite().then_some(Seconds(dwell)),
             record_allocations: false,
+            threads: None,
         };
-        let mut sim =
-            DynamicSim::new(cluster, budgeter, BudgetSchedule::constant(budget), config);
+        let mut sim = DynamicSim::new(cluster, budgeter, BudgetSchedule::constant(budget), config);
         let series = sim.run().expect("constant schedule feasible");
         let violations = series
             .points()
@@ -313,7 +353,11 @@ pub fn ext_phases(n: usize) -> String {
             .filter(|pt| pt.total_power > pt.budget + Watts(1e-6))
             .count();
         t.row([
-            if dwell.is_finite() { format!("{dwell:.0}") } else { "static".into() },
+            if dwell.is_finite() {
+                format!("{dwell:.0}")
+            } else {
+                "static".into()
+            },
             format!("{:.4}", series.mean_snp()),
             format!("{:.4}", series.mean_optimality()),
             violations.to_string(),
@@ -328,7 +372,6 @@ pub fn ext_phases(n: usize) -> String {
     )
 }
 
-
 /// Extension: the spectral gap of the communication graph predicts DiBA's
 /// convergence before deployment.
 pub fn ext_spectral(n: usize) -> String {
@@ -342,11 +385,20 @@ pub fn ext_spectral(n: usize) -> String {
     let side = (n as f64).sqrt().round() as usize;
     let mut graphs: Vec<(String, Graph)> = vec![
         ("ring".into(), Graph::ring(n)),
-        ("ring + n/10 chords".into(), Graph::ring_with_chords(n, n / 10)),
-        ("ring + n/4 chords".into(), Graph::ring_with_chords(n, n / 4)),
+        (
+            "ring + n/10 chords".into(),
+            Graph::ring_with_chords(n, n / 10),
+        ),
+        (
+            "ring + n/4 chords".into(),
+            Graph::ring_with_chords(n, n / 4),
+        ),
     ];
     if side * (n / side) == n {
-        graphs.push((format!("grid {side}x{}", n / side), Graph::grid(side, n / side)));
+        graphs.push((
+            format!("grid {side}x{}", n / side),
+            Graph::grid(side, n / side),
+        ));
     }
     graphs.push((
         "ER avg-degree 6".into(),
@@ -399,8 +451,7 @@ pub fn ext_hierarchy(n: usize) -> String {
     let c = ClusterBuilder::new(n).seed(28).build();
     let utilities = c.utilities();
     let total = Watts(per_server * n as f64);
-    let flat_problem =
-        PowerBudgetProblem::new(utilities.clone(), total).expect("feasible");
+    let flat_problem = PowerBudgetProblem::new(utilities.clone(), total).expect("feasible");
     let opt = flat_problem.total_utility(&centralized::solve(&flat_problem).allocation);
 
     let mut t = Table::new([
@@ -410,8 +461,8 @@ pub fn ext_hierarchy(n: usize) -> String {
         "final util/opt",
     ]);
     // Flat DiBA reference.
-    let mut flat = DibaRun::new(flat_problem.clone(), Graph::ring(n), DibaConfig::default())
-        .expect("sizes");
+    let mut flat =
+        DibaRun::new(flat_problem.clone(), Graph::ring(n), DibaConfig::default()).expect("sizes");
     let flat_rounds = flat.run_until_within(opt, 0.015, 60_000);
     t.row([
         "flat (one ring)".to_string(),
@@ -421,13 +472,9 @@ pub fn ext_hierarchy(n: usize) -> String {
     ]);
     for &groups in &[2usize, 5, 10] {
         let group_of: Vec<usize> = (0..n).map(|i| i % groups).collect();
-        let mut h = HierarchicalRun::new(
-            utilities.clone(),
-            &group_of,
-            total,
-            DibaConfig::default(),
-        )
-        .expect("valid grouping");
+        let mut h =
+            HierarchicalRun::new(utilities.clone(), &group_of, total, DibaConfig::default())
+                .expect("valid grouping");
         let steps = h.run_until_within(opt, 0.015, 100, 400);
         t.row([
             format!("{groups} groups"),
@@ -445,7 +492,6 @@ pub fn ext_hierarchy(n: usize) -> String {
         t.render()
     )
 }
-
 
 /// Extension: the paper's prototype demonstration, reproduced on the
 /// thread-per-node deployment — "a working prototype of DiBA on a real
@@ -468,7 +514,13 @@ pub fn ext_prototype(n: usize) -> String {
     )
     .expect("deployment spawns");
 
-    let mut t = Table::new(["epoch", "event", "budget (kW)", "power (kW)", "within budget"]);
+    let mut t = Table::new([
+        "epoch",
+        "event",
+        "budget (kW)",
+        "power (kW)",
+        "within budget",
+    ]);
     let log = |agents: &AgentCluster, epoch: usize, event: &str, t: &mut Table| {
         t.row([
             epoch.to_string(),
@@ -505,7 +557,6 @@ pub fn ext_prototype(n: usize) -> String {
         t.render()
     )
 }
-
 
 /// Extension: aggregate network load per scheme — total packets/bytes and,
 /// decisively, the hottest single device.
@@ -558,12 +609,13 @@ pub fn ext_network_load(n: usize) -> String {
     )
 }
 
-
 /// Extension: FXplore — firmware-created soft heterogeneity, and what it
 /// buys the power budgeter (Chapter 6 + the integration with Chapter 4).
 pub fn ext_firmware() -> String {
     use dpc_firmware::config::FirmwareConfig;
-    use dpc_firmware::explore::{brute_force, fxplore_s, fxplore_s_reboots, brute_force_reboots, Objective};
+    use dpc_firmware::explore::{
+        brute_force, brute_force_reboots, fxplore_s, fxplore_s_reboots, Objective,
+    };
     use dpc_firmware::response::ResponseModel;
     use dpc_firmware::subcluster::fxplore_sc;
     use dpc_models::benchmark::{WorkloadSpec, HPC_BENCHMARKS};

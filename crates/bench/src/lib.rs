@@ -14,3 +14,4 @@ pub mod ch3;
 pub mod ch4;
 pub mod ext;
 pub mod report;
+pub mod roundbench;

@@ -54,7 +54,10 @@ fn experiments() -> Vec<(&'static str, &'static str)> {
         ("table4_1", "benchmark catalog"),
         ("fig4_1", "communication topologies (star vs ring)"),
         ("fig4_2", "normalized throughput functions"),
-        ("fig4_3", "SNP vs budget: uniform / primal-dual / DiBA / oracle"),
+        (
+            "fig4_3",
+            "SNP vs budget: uniform / primal-dual / DiBA / oracle",
+        ),
         ("table4_2", "runtime breakdown vs cluster size"),
         ("fig4_4", "dynamic budget reallocation"),
         ("fig4_5", "step response: budget drop"),
@@ -73,16 +76,37 @@ fn experiments() -> Vec<(&'static str, &'static str)> {
         ("ablation_eta", "extension: barrier-weight ablation"),
         ("ablation_steps", "extension: step-size ablation"),
         ("ablation_boost", "extension: continuation-boost ablation"),
-        ("ablation_topology", "extension: deployment-topology ablation"),
-        ("ext_async", "extension: asynchrony / message-delay robustness"),
+        (
+            "ablation_topology",
+            "extension: deployment-topology ablation",
+        ),
+        (
+            "ext_async",
+            "extension: asynchrony / message-delay robustness",
+        ),
         ("ext_enforcement", "extension: end-to-end cap enforcement"),
-        ("ext_layout", "extension: thermal-aware rack layout planning"),
+        (
+            "ext_layout",
+            "extension: thermal-aware rack layout planning",
+        ),
         ("ext_phases", "extension: execution-phase workload dynamics"),
-        ("ext_spectral", "extension: spectral prediction of convergence"),
+        (
+            "ext_spectral",
+            "extension: spectral prediction of convergence",
+        ),
         ("ext_hierarchy", "extension: hierarchical group budgeting"),
-        ("ext_prototype", "extension: threaded deployment under dynamic budgets"),
-        ("ext_network_load", "extension: aggregate network load per scheme"),
-        ("ext_firmware", "extension: FXplore firmware soft heterogeneity"),
+        (
+            "ext_prototype",
+            "extension: threaded deployment under dynamic budgets",
+        ),
+        (
+            "ext_network_load",
+            "extension: aggregate network load per scheme",
+        ),
+        (
+            "ext_firmware",
+            "extension: FXplore firmware soft heterogeneity",
+        ),
     ]
 }
 
@@ -128,7 +152,11 @@ fn run_one(id: &str, s: &Scale) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
-    let scale = if small { Scale::small() } else { Scale::paper() };
+    let scale = if small {
+        Scale::small()
+    } else {
+        Scale::paper()
+    };
     let target = args.iter().find(|a| !a.starts_with("--")).cloned();
 
     match target.as_deref() {

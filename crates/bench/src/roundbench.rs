@@ -1,0 +1,243 @@
+//! Round-engine throughput benchmark (`dpc bench`).
+//!
+//! Times DiBA gossip rounds per second with the serial and the parallel
+//! execution engine at several cluster sizes, checks that both produce
+//! bitwise-identical trajectories, and renders the measurements as a JSON
+//! report (written to `BENCH_round_engine.json` by the CLI).
+//!
+//! The speedup column only shows parallel gains on a multi-core host; the
+//! report records the measured thread counts so a single-core result is
+//! not mistaken for an engine regression.
+
+use dpc_alg::diba::{DibaConfig, DibaRun};
+use dpc_alg::problem::PowerBudgetProblem;
+use dpc_models::units::Watts;
+use dpc_models::workload::ClusterBuilder;
+use dpc_topology::Graph;
+use std::time::Instant;
+
+/// Default cluster sizes exercised by `dpc bench`.
+pub const DEFAULT_SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+
+/// One cluster size's measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizeResult {
+    /// Cluster size.
+    pub n: usize,
+    /// Timed rounds per engine.
+    pub rounds: usize,
+    /// Wall-clock for the serial engine.
+    pub serial_secs: f64,
+    /// Wall-clock for the parallel engine.
+    pub parallel_secs: f64,
+    /// Whether the two engines produced bitwise-identical `(p, e)` states.
+    pub bitwise_identical: bool,
+}
+
+impl SizeResult {
+    /// Serial throughput in rounds per second.
+    pub fn serial_rounds_per_sec(&self) -> f64 {
+        self.rounds as f64 / self.serial_secs.max(1e-12)
+    }
+
+    /// Parallel throughput in rounds per second.
+    pub fn parallel_rounds_per_sec(&self) -> f64 {
+        self.rounds as f64 / self.parallel_secs.max(1e-12)
+    }
+
+    /// Parallel speedup over serial (> 1 is faster).
+    pub fn speedup(&self) -> f64 {
+        self.serial_secs / self.parallel_secs.max(1e-12)
+    }
+}
+
+/// The full `dpc bench` report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundBenchReport {
+    /// Worker threads used by the parallel engine.
+    pub threads: usize,
+    /// The host's available parallelism (1 explains a speedup near 1).
+    pub host_parallelism: usize,
+    /// Per-size measurements.
+    pub results: Vec<SizeResult>,
+}
+
+impl RoundBenchReport {
+    /// Renders the report as pretty-printed JSON (hand-rolled — the
+    /// workspace carries no serialization dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"round_engine\",\n");
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!(
+            "  \"host_parallelism\": {},\n",
+            self.host_parallelism
+        ));
+        out.push_str("  \"results\": [\n");
+        for (k, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"n\": {}, \"rounds\": {}, \"serial_secs\": {:.6}, \
+                 \"parallel_secs\": {:.6}, \"serial_rounds_per_sec\": {:.1}, \
+                 \"parallel_rounds_per_sec\": {:.1}, \"speedup\": {:.3}, \
+                 \"bitwise_identical\": {}}}{}\n",
+                r.n,
+                r.rounds,
+                r.serial_secs,
+                r.parallel_secs,
+                r.serial_rounds_per_sec(),
+                r.parallel_rounds_per_sec(),
+                r.speedup(),
+                r.bitwise_identical,
+                if k + 1 < self.results.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders a human-readable table.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "round engine: {} worker threads ({} available on this host)\n\n\
+             {:>8}  {:>7}  {:>12}  {:>12}  {:>8}  bitwise\n",
+            self.threads,
+            self.host_parallelism,
+            "n",
+            "rounds",
+            "serial r/s",
+            "parallel r/s",
+            "speedup",
+        );
+        for r in &self.results {
+            out.push_str(&format!(
+                "{:>8}  {:>7}  {:>12.1}  {:>12.1}  {:>7.2}x  {}\n",
+                r.n,
+                r.rounds,
+                r.serial_rounds_per_sec(),
+                r.parallel_rounds_per_sec(),
+                r.speedup(),
+                if r.bitwise_identical {
+                    "ok"
+                } else {
+                    "MISMATCH"
+                },
+            ));
+        }
+        out
+    }
+}
+
+fn run_for(n: usize, threads: Option<usize>, rounds: usize) -> DibaRun {
+    let cluster = ClusterBuilder::new(n).seed(0).build();
+    let problem = PowerBudgetProblem::new(cluster.utilities(), Watts(172.0 * n as f64))
+        .expect("172 W/server is feasible for every generated cluster");
+    let config = DibaConfig {
+        threads,
+        ..DibaConfig::default()
+    };
+    let mut run = DibaRun::new(problem, Graph::ring_with_chords(n, (n / 64).max(2)), config)
+        .expect("ring-with-chords is connected");
+    // Warm up: populate scratch and move off the cold start before timing.
+    run.run(rounds.min(8));
+    run
+}
+
+/// Times `rounds` gossip rounds at size `n` with the serial and the
+/// parallel engine, and verifies their trajectories agree bitwise.
+pub fn measure(n: usize, rounds: usize, threads: Option<usize>) -> SizeResult {
+    let mut serial = run_for(n, Some(1), rounds);
+    let start = Instant::now();
+    serial.run(rounds);
+    let serial_secs = start.elapsed().as_secs_f64();
+
+    let mut parallel = run_for(n, threads, rounds);
+    let start = Instant::now();
+    parallel.run(rounds);
+    let parallel_secs = start.elapsed().as_secs_f64();
+
+    let bitwise_identical = serial
+        .allocation()
+        .powers()
+        .iter()
+        .zip(parallel.allocation().powers())
+        .all(|(a, b)| a.0.to_bits() == b.0.to_bits());
+    SizeResult {
+        n,
+        rounds,
+        serial_secs,
+        parallel_secs,
+        bitwise_identical,
+    }
+}
+
+/// Rounds to time at size `n`: enough to smooth scheduler noise at small
+/// sizes without making the 100 k point take minutes on one core.
+pub fn rounds_for(n: usize) -> usize {
+    (2_000_000 / n.max(1)).clamp(20, 2_000)
+}
+
+/// Runs the full benchmark over `sizes` with `threads` parallel workers.
+/// `rounds` overrides the per-size default from [`rounds_for`].
+pub fn run_round_bench(
+    sizes: &[usize],
+    threads: Option<usize>,
+    rounds: Option<usize>,
+) -> RoundBenchReport {
+    let host_parallelism = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
+    let mut results = Vec::with_capacity(sizes.len());
+    let mut effective_threads = 1;
+    for &n in sizes {
+        let r = measure(n, rounds.unwrap_or_else(|| rounds_for(n)), threads);
+        effective_threads = run_for(n, threads, 0).threads().max(effective_threads);
+        results.push(r);
+    }
+    RoundBenchReport {
+        threads: effective_threads,
+        host_parallelism,
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_identical_trajectories() {
+        let r = measure(600, 40, Some(3));
+        assert!(r.bitwise_identical);
+        assert!(r.serial_secs > 0.0 && r.parallel_secs > 0.0);
+        assert!(r.serial_rounds_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let report = RoundBenchReport {
+            threads: 4,
+            host_parallelism: 8,
+            results: vec![SizeResult {
+                n: 1000,
+                rounds: 100,
+                serial_secs: 0.5,
+                parallel_secs: 0.2,
+                bitwise_identical: true,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"round_engine\""));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"speedup\": 2.500"));
+        assert!(json.contains("\"bitwise_identical\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(report.to_table().contains("2.50x"));
+    }
+
+    #[test]
+    fn rounds_budget_scales_inversely_with_size() {
+        assert_eq!(rounds_for(1_000), 2_000);
+        assert_eq!(rounds_for(10_000), 200);
+        assert_eq!(rounds_for(100_000), 20);
+    }
+}

@@ -1,0 +1,47 @@
+//! Integration checks of the parallel round engine at benchmark scale.
+
+use dpc_alg::diba::{DibaConfig, DibaRun};
+use dpc_alg::problem::PowerBudgetProblem;
+use dpc_models::units::Watts;
+use dpc_models::workload::ClusterBuilder;
+use dpc_topology::Graph;
+
+/// One sharded round at N = 6400 preserves the gossip invariant
+/// `Σeᵢ = Σpᵢ − P` to within 1e-6·P — the conservation law every
+/// transfer-based round must keep (Lemma behind Algorithm 4's
+/// feasibility argument).
+#[test]
+fn parallel_round_preserves_the_residual_invariant_at_6400() {
+    let n = 6_400;
+    let budget = Watts(172.0 * n as f64);
+    let cluster = ClusterBuilder::new(n).seed(0).build();
+    let problem = PowerBudgetProblem::new(cluster.utilities(), budget).unwrap();
+    let config = DibaConfig {
+        threads: Some(4),
+        ..DibaConfig::default()
+    };
+    let mut run = DibaRun::new(problem, Graph::ring_with_chords(n, 100), config).unwrap();
+
+    run.step();
+
+    let states = run.node_states();
+    let sum_p: f64 = states.iter().map(|&(p, _)| p).sum();
+    let sum_e: f64 = states.iter().map(|&(_, e)| e).sum();
+    let drift = (sum_e - (sum_p - budget.0)).abs();
+    assert!(
+        drift <= 1e-6 * budget.0,
+        "invariant drifted by {drift} W after one round (budget {})",
+        budget.0
+    );
+
+    // And it keeps holding as rounds accumulate.
+    run.run(200);
+    let states = run.node_states();
+    let sum_p: f64 = states.iter().map(|&(p, _)| p).sum();
+    let sum_e: f64 = states.iter().map(|&(_, e)| e).sum();
+    let drift = (sum_e - (sum_p - budget.0)).abs();
+    assert!(
+        drift <= 1e-6 * budget.0,
+        "invariant drifted by {drift} W after 201 rounds"
+    );
+}

@@ -38,9 +38,18 @@ impl CoLocatedPair {
     /// relieved by memory turbo; plus thread contention relieved by
     /// hyper-threading (two hardware threads instead of time-slicing).
     pub fn contention(&self, config: FirmwareConfig) -> f64 {
-        let bandwidth = 0.12 * self.memory_pressure
-            * if config.enabled(FirmwareOption::Mtb) { 0.5 } else { 1.0 };
-        let threads = if config.enabled(FirmwareOption::Ht) { 0.04 } else { 0.12 };
+        let bandwidth = 0.12
+            * self.memory_pressure
+            * if config.enabled(FirmwareOption::Mtb) {
+                0.5
+            } else {
+                1.0
+            };
+        let threads = if config.enabled(FirmwareOption::Ht) {
+            0.04
+        } else {
+            0.12
+        };
         1.0 + bandwidth + threads
     }
 
@@ -71,7 +80,10 @@ impl Testbed for CoLocatedPair {
         noise: f64,
         rng: &mut R,
     ) -> (f64, f64) {
-        assert!((0.0..=0.2).contains(&noise), "noise {noise} not in [0, 0.2]");
+        assert!(
+            (0.0..=0.2).contains(&noise),
+            "noise {noise} not in [0, 0.2]"
+        );
         let j = |rng: &mut R| {
             if noise == 0.0 {
                 1.0
@@ -79,7 +91,10 @@ impl Testbed for CoLocatedPair {
                 1.0 + rng.gen_range(-noise..=noise)
             }
         };
-        (self.mean_runtime(config) * j(rng), self.power(config) * j(rng))
+        (
+            self.mean_runtime(config) * j(rng),
+            self.power(config) * j(rng),
+        )
     }
 }
 
@@ -141,8 +156,7 @@ mod tests {
         assert!(gap < 0.05, "pair FXplore-S gap {gap}");
         // And it beats the all-enabled baseline.
         assert!(
-            pair.mean_runtime(fx.config)
-                <= pair.mean_runtime(FirmwareConfig::all_enabled()) + 1e-9
+            pair.mean_runtime(fx.config) <= pair.mean_runtime(FirmwareConfig::all_enabled()) + 1e-9
         );
     }
 }

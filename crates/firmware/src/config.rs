@@ -147,7 +147,10 @@ mod tests {
         assert!(c.enabled(FirmwareOption::Hp));
         assert!(!c.enabled(FirmwareOption::Ht));
         assert_eq!(c.enabled_count(), 1);
-        assert_eq!(c.with(FirmwareOption::Hp, false), FirmwareConfig::all_disabled());
+        assert_eq!(
+            c.with(FirmwareOption::Hp, false),
+            FirmwareConfig::all_disabled()
+        );
     }
 
     #[test]

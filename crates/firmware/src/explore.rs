@@ -85,7 +85,11 @@ pub fn brute_force<T: Testbed + ?Sized, R: Rng + ?Sized>(
         }
     }
     let (config, cost) = best.expect("non-empty space");
-    SearchResult { config, cost, reboots }
+    SearchResult {
+        config,
+        cost,
+        reboots,
+    }
 }
 
 /// FXplore-S: the sequential-search heuristic (Algorithm 7).
@@ -126,7 +130,11 @@ pub fn fxplore_s<T: Testbed + ?Sized, R: Rng + ?Sized>(
         current = candidate;
         free.remove(idx);
     }
-    SearchResult { config: best.0, cost: best.1, reboots }
+    SearchResult {
+        config: best.0,
+        cost: best.1,
+        reboots,
+    }
 }
 
 /// Reboots FXplore-S spends for `n` binary options: `n(n+1)/2 + 1`

@@ -51,10 +51,9 @@ impl ResponseModel {
     /// Builds the ground truth for a catalog workload.
     pub fn for_spec(spec: &WorkloadSpec) -> ResponseModel {
         let mb = spec.memory_boundedness();
-        let seed = spec
-            .name
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x1000_0000_01b3));
+        let seed = spec.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        });
         let idio = |salt: u64| hash01(seed, salt) * 2.0 - 1.0; // in [-1, 1]
 
         // Class-driven affinities plus ±6 % idiosyncrasy:
@@ -64,10 +63,10 @@ impl ResponseModel {
         // HT helps throughput workloads but contends on compute-saturated
         // cores.
         let affinity = [
-            0.10 * mb + 0.02 * idio(1),                  // HP: regular memory traffic
-            0.05 * mb + 0.015 * idio(2),                 // CP
-            0.12 * (1.0 - mb) + 0.02 * idio(3),          // CTB: compute-bound
-            0.10 * mb + 0.015 * idio(4),                 // MTB: memory-bound
+            0.10 * mb + 0.02 * idio(1),         // HP: regular memory traffic
+            0.05 * mb + 0.015 * idio(2),        // CP
+            0.12 * (1.0 - mb) + 0.02 * idio(3), // CTB: compute-bound
+            0.10 * mb + 0.015 * idio(4),        // MTB: memory-bound
             0.06 * mb - 0.04 * (1.0 - mb) + 0.02 * idio(5), // HT: hides latency, contends on compute
         ];
         // Interactions (Fig. 6.3): HP×MTB synergy for memory traffic —
@@ -144,7 +143,10 @@ impl ResponseModel {
         noise: f64,
         rng: &mut R,
     ) -> (f64, f64) {
-        assert!((0.0..=0.2).contains(&noise), "noise {noise} not in [0, 0.2]");
+        assert!(
+            (0.0..=0.2).contains(&noise),
+            "noise {noise} not in [0, 0.2]"
+        );
         let j = |rng: &mut R| {
             if noise == 0.0 {
                 1.0
@@ -196,7 +198,11 @@ mod tests {
             .iter()
             .map(|b| ResponseModel::for_spec(b.spec()).optimal_runtime_config())
             .collect();
-        assert!(runtime_optima.len() >= 3, "only {} distinct optima", runtime_optima.len());
+        assert!(
+            runtime_optima.len() >= 3,
+            "only {} distinct optima",
+            runtime_optima.len()
+        );
         // At least one workload's energy optimum differs from its runtime
         // optimum (Table 6.2's point).
         let differs = Benchmark::ALL.iter().any(|b| {
@@ -224,7 +230,10 @@ mod tests {
         let d_hp = m.runtime(none) - m.runtime(hp);
         let d_mtb = m.runtime(none) - m.runtime(mtb);
         let d_both = m.runtime(none) - m.runtime(both);
-        assert!(d_both > d_hp + d_mtb + 1e-9, "no synergy: {d_both} vs {d_hp}+{d_mtb}");
+        assert!(
+            d_both > d_hp + d_mtb + 1e-9,
+            "no synergy: {d_both} vs {d_hp}+{d_mtb}"
+        );
     }
 
     #[test]

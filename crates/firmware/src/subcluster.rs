@@ -58,8 +58,14 @@ impl SubClustering {
         while centroids.len() < k {
             let far = (0..n)
                 .max_by(|&a, &b| {
-                    let da = centroids.iter().map(|c| dist2(&points[a], c)).fold(f64::INFINITY, f64::min);
-                    let db = centroids.iter().map(|c| dist2(&points[b], c)).fold(f64::INFINITY, f64::min);
+                    let da = centroids
+                        .iter()
+                        .map(|c| dist2(&points[a], c))
+                        .fold(f64::INFINITY, f64::min);
+                    let db = centroids
+                        .iter()
+                        .map(|c| dist2(&points[b], c))
+                        .fold(f64::INFINITY, f64::min);
                     da.total_cmp(&db)
                 })
                 .expect("non-empty");
@@ -99,7 +105,11 @@ impl SubClustering {
                 break;
             }
         }
-        SubClustering { assignments, centroids, scales }
+        SubClustering {
+            assignments,
+            centroids,
+            scales,
+        }
     }
 
     /// Number of clusters.
@@ -134,8 +144,14 @@ impl SubClustering {
         *members
             .iter()
             .min_by(|&&a, &&b| {
-                let da = dist2(&normalized(&signatures[a], &self.scales), &self.centroids[cluster]);
-                let db = dist2(&normalized(&signatures[b], &self.scales), &self.centroids[cluster]);
+                let da = dist2(
+                    &normalized(&signatures[a], &self.scales),
+                    &self.centroids[cluster],
+                );
+                let db = dist2(
+                    &normalized(&signatures[b], &self.scales),
+                    &self.centroids[cluster],
+                );
                 da.total_cmp(&db)
             })
             .expect("non-empty members")
@@ -146,7 +162,9 @@ impl SubClustering {
     pub fn map_new(&self, signature: &PmcSignature) -> usize {
         let p = normalized(signature, &self.scales);
         (0..self.k())
-            .min_by(|&a, &b| dist2(&p, &self.centroids[a]).total_cmp(&dist2(&p, &self.centroids[b])))
+            .min_by(|&a, &b| {
+                dist2(&p, &self.centroids[a]).total_cmp(&dist2(&p, &self.centroids[b]))
+            })
             .expect("k >= 1")
     }
 }

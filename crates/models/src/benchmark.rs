@@ -245,36 +245,192 @@ pub const HPC_BENCHMARKS: [WorkloadSpec; 10] = [
 
 /// SPEC CPU2006 subset used for the Chapter 3 characterization database.
 pub const SPEC_CPU2006: [WorkloadSpec; 16] = [
-    WorkloadSpec { name: "bzip2", suite: Suite::SpecCpu2006, description: "compression", class: WorkloadClass::Balanced, skew: -0.2 },
-    WorkloadSpec { name: "gcc", suite: Suite::SpecCpu2006, description: "C compiler", class: WorkloadClass::CacheSensitive, skew: -0.5 },
-    WorkloadSpec { name: "mcf", suite: Suite::SpecCpu2006, description: "combinatorial optimization", class: WorkloadClass::MemoryBound, skew: 0.7 },
-    WorkloadSpec { name: "milc", suite: Suite::SpecCpu2006, description: "lattice QCD", class: WorkloadClass::MemoryBound, skew: 0.1 },
-    WorkloadSpec { name: "namd", suite: Suite::SpecCpu2006, description: "molecular dynamics", class: WorkloadClass::CpuBound, skew: 0.2 },
-    WorkloadSpec { name: "gobmk", suite: Suite::SpecCpu2006, description: "Go playing", class: WorkloadClass::Balanced, skew: 0.4 },
-    WorkloadSpec { name: "soplex", suite: Suite::SpecCpu2006, description: "linear programming", class: WorkloadClass::CacheSensitive, skew: 0.3 },
-    WorkloadSpec { name: "povray", suite: Suite::SpecCpu2006, description: "ray tracing", class: WorkloadClass::CpuBound, skew: -0.4 },
-    WorkloadSpec { name: "hmmer", suite: Suite::SpecCpu2006, description: "gene sequence search", class: WorkloadClass::CpuBound, skew: 0.6 },
-    WorkloadSpec { name: "sjeng", suite: Suite::SpecCpu2006, description: "chess playing", class: WorkloadClass::Balanced, skew: -0.6 },
-    WorkloadSpec { name: "libquantum", suite: Suite::SpecCpu2006, description: "quantum simulation", class: WorkloadClass::MemoryBound, skew: -0.6 },
-    WorkloadSpec { name: "h264ref", suite: Suite::SpecCpu2006, description: "video encoding", class: WorkloadClass::Balanced, skew: 0.8 },
-    WorkloadSpec { name: "lbm", suite: Suite::SpecCpu2006, description: "lattice Boltzmann", class: WorkloadClass::MemoryBound, skew: 0.4 },
-    WorkloadSpec { name: "omnetpp", suite: Suite::SpecCpu2006, description: "discrete event simulation", class: WorkloadClass::CacheSensitive, skew: 0.7 },
-    WorkloadSpec { name: "astar", suite: Suite::SpecCpu2006, description: "path finding", class: WorkloadClass::CacheSensitive, skew: -0.2 },
-    WorkloadSpec { name: "sphinx3", suite: Suite::SpecCpu2006, description: "speech recognition", class: WorkloadClass::Balanced, skew: 0.2 },
+    WorkloadSpec {
+        name: "bzip2",
+        suite: Suite::SpecCpu2006,
+        description: "compression",
+        class: WorkloadClass::Balanced,
+        skew: -0.2,
+    },
+    WorkloadSpec {
+        name: "gcc",
+        suite: Suite::SpecCpu2006,
+        description: "C compiler",
+        class: WorkloadClass::CacheSensitive,
+        skew: -0.5,
+    },
+    WorkloadSpec {
+        name: "mcf",
+        suite: Suite::SpecCpu2006,
+        description: "combinatorial optimization",
+        class: WorkloadClass::MemoryBound,
+        skew: 0.7,
+    },
+    WorkloadSpec {
+        name: "milc",
+        suite: Suite::SpecCpu2006,
+        description: "lattice QCD",
+        class: WorkloadClass::MemoryBound,
+        skew: 0.1,
+    },
+    WorkloadSpec {
+        name: "namd",
+        suite: Suite::SpecCpu2006,
+        description: "molecular dynamics",
+        class: WorkloadClass::CpuBound,
+        skew: 0.2,
+    },
+    WorkloadSpec {
+        name: "gobmk",
+        suite: Suite::SpecCpu2006,
+        description: "Go playing",
+        class: WorkloadClass::Balanced,
+        skew: 0.4,
+    },
+    WorkloadSpec {
+        name: "soplex",
+        suite: Suite::SpecCpu2006,
+        description: "linear programming",
+        class: WorkloadClass::CacheSensitive,
+        skew: 0.3,
+    },
+    WorkloadSpec {
+        name: "povray",
+        suite: Suite::SpecCpu2006,
+        description: "ray tracing",
+        class: WorkloadClass::CpuBound,
+        skew: -0.4,
+    },
+    WorkloadSpec {
+        name: "hmmer",
+        suite: Suite::SpecCpu2006,
+        description: "gene sequence search",
+        class: WorkloadClass::CpuBound,
+        skew: 0.6,
+    },
+    WorkloadSpec {
+        name: "sjeng",
+        suite: Suite::SpecCpu2006,
+        description: "chess playing",
+        class: WorkloadClass::Balanced,
+        skew: -0.6,
+    },
+    WorkloadSpec {
+        name: "libquantum",
+        suite: Suite::SpecCpu2006,
+        description: "quantum simulation",
+        class: WorkloadClass::MemoryBound,
+        skew: -0.6,
+    },
+    WorkloadSpec {
+        name: "h264ref",
+        suite: Suite::SpecCpu2006,
+        description: "video encoding",
+        class: WorkloadClass::Balanced,
+        skew: 0.8,
+    },
+    WorkloadSpec {
+        name: "lbm",
+        suite: Suite::SpecCpu2006,
+        description: "lattice Boltzmann",
+        class: WorkloadClass::MemoryBound,
+        skew: 0.4,
+    },
+    WorkloadSpec {
+        name: "omnetpp",
+        suite: Suite::SpecCpu2006,
+        description: "discrete event simulation",
+        class: WorkloadClass::CacheSensitive,
+        skew: 0.7,
+    },
+    WorkloadSpec {
+        name: "astar",
+        suite: Suite::SpecCpu2006,
+        description: "path finding",
+        class: WorkloadClass::CacheSensitive,
+        skew: -0.2,
+    },
+    WorkloadSpec {
+        name: "sphinx3",
+        suite: Suite::SpecCpu2006,
+        description: "speech recognition",
+        class: WorkloadClass::Balanced,
+        skew: 0.2,
+    },
 ];
 
 /// PARSEC subset used for the Chapter 3 characterization database.
 pub const PARSEC: [WorkloadSpec; 10] = [
-    WorkloadSpec { name: "blackscholes", suite: Suite::Parsec, description: "option pricing", class: WorkloadClass::CpuBound, skew: 0.1 },
-    WorkloadSpec { name: "bodytrack", suite: Suite::Parsec, description: "body tracking", class: WorkloadClass::Balanced, skew: -0.3 },
-    WorkloadSpec { name: "canneal", suite: Suite::Parsec, description: "simulated annealing", class: WorkloadClass::MemoryBound, skew: 0.6 },
-    WorkloadSpec { name: "dedup", suite: Suite::Parsec, description: "stream deduplication", class: WorkloadClass::CacheSensitive, skew: 0.1 },
-    WorkloadSpec { name: "facesim", suite: Suite::Parsec, description: "face simulation", class: WorkloadClass::Balanced, skew: 0.5 },
-    WorkloadSpec { name: "ferret", suite: Suite::Parsec, description: "content similarity search", class: WorkloadClass::CacheSensitive, skew: -0.4 },
-    WorkloadSpec { name: "fluidanimate", suite: Suite::Parsec, description: "fluid dynamics", class: WorkloadClass::Balanced, skew: -0.7 },
-    WorkloadSpec { name: "freqmine", suite: Suite::Parsec, description: "frequent itemset mining", class: WorkloadClass::CacheSensitive, skew: 0.5 },
-    WorkloadSpec { name: "streamcluster", suite: Suite::Parsec, description: "online clustering", class: WorkloadClass::MemoryBound, skew: -0.2 },
-    WorkloadSpec { name: "swaptions", suite: Suite::Parsec, description: "swaption pricing", class: WorkloadClass::CpuBound, skew: -0.6 },
+    WorkloadSpec {
+        name: "blackscholes",
+        suite: Suite::Parsec,
+        description: "option pricing",
+        class: WorkloadClass::CpuBound,
+        skew: 0.1,
+    },
+    WorkloadSpec {
+        name: "bodytrack",
+        suite: Suite::Parsec,
+        description: "body tracking",
+        class: WorkloadClass::Balanced,
+        skew: -0.3,
+    },
+    WorkloadSpec {
+        name: "canneal",
+        suite: Suite::Parsec,
+        description: "simulated annealing",
+        class: WorkloadClass::MemoryBound,
+        skew: 0.6,
+    },
+    WorkloadSpec {
+        name: "dedup",
+        suite: Suite::Parsec,
+        description: "stream deduplication",
+        class: WorkloadClass::CacheSensitive,
+        skew: 0.1,
+    },
+    WorkloadSpec {
+        name: "facesim",
+        suite: Suite::Parsec,
+        description: "face simulation",
+        class: WorkloadClass::Balanced,
+        skew: 0.5,
+    },
+    WorkloadSpec {
+        name: "ferret",
+        suite: Suite::Parsec,
+        description: "content similarity search",
+        class: WorkloadClass::CacheSensitive,
+        skew: -0.4,
+    },
+    WorkloadSpec {
+        name: "fluidanimate",
+        suite: Suite::Parsec,
+        description: "fluid dynamics",
+        class: WorkloadClass::Balanced,
+        skew: -0.7,
+    },
+    WorkloadSpec {
+        name: "freqmine",
+        suite: Suite::Parsec,
+        description: "frequent itemset mining",
+        class: WorkloadClass::CacheSensitive,
+        skew: 0.5,
+    },
+    WorkloadSpec {
+        name: "streamcluster",
+        suite: Suite::Parsec,
+        description: "online clustering",
+        class: WorkloadClass::MemoryBound,
+        skew: -0.2,
+    },
+    WorkloadSpec {
+        name: "swaptions",
+        suite: Suite::Parsec,
+        description: "swaption pricing",
+        class: WorkloadClass::CpuBound,
+        skew: -0.6,
+    },
 ];
 
 #[cfg(test)]
@@ -295,7 +451,10 @@ mod tests {
         assert_eq!(npb.len(), 8);
         assert_eq!(hpcc.len(), 2);
         assert_eq!(Benchmark::Cg.name(), "CG");
-        assert_eq!(Benchmark::Hpl.spec().description, "High performance Linpack benchmark");
+        assert_eq!(
+            Benchmark::Hpl.spec().description,
+            "High performance Linpack benchmark"
+        );
     }
 
     #[test]

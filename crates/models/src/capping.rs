@@ -132,7 +132,10 @@ impl CappedServer {
     ///
     /// Panics if `utilization` is outside `[0, 1]`.
     pub fn set_utilization(&mut self, utilization: f64) {
-        assert!((0.0..=1.0).contains(&utilization), "utilization {utilization} not in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&utilization),
+            "utilization {utilization} not in [0,1]"
+        );
         self.utilization = utilization;
     }
 
@@ -143,7 +146,10 @@ impl CappedServer {
         let target = self.spec.power(self.pstate, self.utilization);
         self.measured += (target - self.measured) * self.smoothing + noise;
         let predicted_up = if self.pstate < self.spec.ladder.top() {
-            Some(self.spec.power(self.spec.ladder.step_up(self.pstate), self.utilization))
+            Some(
+                self.spec
+                    .power(self.spec.ladder.step_up(self.pstate), self.utilization),
+            )
         } else {
             None
         };
@@ -188,13 +194,19 @@ mod tests {
     #[test]
     fn controller_steps_down_when_over_cap() {
         let c = PowerCapController::new(Watts(150.0), Watts(4.0));
-        assert_eq!(c.decide(Watts(160.0), Some(Watts(170.0))), CapAction::StepDown);
+        assert_eq!(
+            c.decide(Watts(160.0), Some(Watts(170.0))),
+            CapAction::StepDown
+        );
     }
 
     #[test]
     fn controller_steps_up_only_with_headroom() {
         let c = PowerCapController::new(Watts(150.0), Watts(4.0));
-        assert_eq!(c.decide(Watts(130.0), Some(Watts(140.0))), CapAction::StepUp);
+        assert_eq!(
+            c.decide(Watts(130.0), Some(Watts(140.0))),
+            CapAction::StepUp
+        );
         // Predicted power inside the deadband: hold.
         assert_eq!(c.decide(Watts(130.0), Some(Watts(148.0))), CapAction::Hold);
         // At top p-state: hold.

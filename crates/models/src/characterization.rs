@@ -54,7 +54,10 @@ impl Characterization {
         noise: f64,
         rng: &mut R,
     ) -> Characterization {
-        assert!((0.0..=0.2).contains(&noise), "noise {noise} not in [0, 0.2]");
+        assert!(
+            (0.0..=0.2).contains(&noise),
+            "noise {noise} not in [0, 0.2]"
+        );
         let signature = PmcSignature::for_spec(spec);
         let samples = server
             .ladder
@@ -78,7 +81,11 @@ impl Characterization {
                 }
             })
             .collect();
-        Characterization { samples, p_min: truth.p_min(), p_max: truth.p_max() }
+        Characterization {
+            samples,
+            p_min: truth.p_min(),
+            p_max: truth.p_max(),
+        }
     }
 
     /// The raw measured samples, slowest p-state first.
@@ -88,7 +95,10 @@ impl Characterization {
 
     /// `(power, throughput)` pairs for fitting.
     pub fn power_throughput(&self) -> Vec<(f64, f64)> {
-        self.samples.iter().map(|s| (s.power.0, s.throughput)).collect()
+        self.samples
+            .iter()
+            .map(|s| (s.power.0, s.throughput))
+            .collect()
     }
 
     /// Mean PMC signature over the sweep.
@@ -159,8 +169,10 @@ pub fn fit_utility_from_points(
     // forms well-defined.
     let mean = points.iter().map(|p| p.1).sum::<f64>() / points.len() as f64;
     let eps = (mean.abs().max(1e-6)) * 1e-9;
-    Ok(QuadraticUtility::new(mean.max(1e-9), eps, 0.0, p_min, p_max)
-        .expect("constant fallback is always valid"))
+    Ok(
+        QuadraticUtility::new(mean.max(1e-9), eps, 0.0, p_min, p_max)
+            .expect("constant fallback is always valid"),
+    )
 }
 
 /// Convenience: synthesize the ground truth for a workload on a server and
@@ -226,8 +238,8 @@ mod tests {
     fn sweep_covers_every_pstate() {
         let mut rng = StdRng::seed_from_u64(3);
         let srv = server();
-        let truth = CurveParams::for_spec(Benchmark::Cg.spec())
-            .utility(srv.min_full_power(), srv.peak);
+        let truth =
+            CurveParams::for_spec(Benchmark::Cg.spec()).utility(srv.min_full_power(), srv.peak);
         let sweep = Characterization::sweep(Benchmark::Cg.spec(), &srv, &truth, 0.01, &mut rng);
         assert_eq!(sweep.samples().len(), srv.ladder.len());
         let pstates: Vec<_> = sweep.samples().iter().map(|s| s.pstate).collect();
@@ -259,7 +271,11 @@ mod tests {
                 pmc: PmcSignature::for_memory_boundedness(0.5),
             })
             .collect();
-        let ch = Characterization { samples, p_min: Watts(130.0), p_max: Watts(170.0) };
+        let ch = Characterization {
+            samples,
+            p_min: Watts(130.0),
+            p_max: Watts(170.0),
+        };
         let u = ch.fit_utility().unwrap();
         assert!(u.slope(u.p_max()) >= 0.0);
         assert!(u.value(u.p_min()) > 0.0);
@@ -267,8 +283,15 @@ mod tests {
 
     #[test]
     fn empty_characterization_errors() {
-        let ch = Characterization { samples: vec![], p_min: Watts(1.0), p_max: Watts(2.0) };
-        assert!(matches!(ch.fit_utility(), Err(FitError::TooFewSamples { .. })));
+        let ch = Characterization {
+            samples: vec![],
+            p_min: Watts(1.0),
+            p_max: Watts(2.0),
+        };
+        assert!(matches!(
+            ch.fit_utility(),
+            Err(FitError::TooFewSamples { .. })
+        ));
     }
 
     #[test]

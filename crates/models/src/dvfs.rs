@@ -25,7 +25,10 @@ impl DvfsLadder {
     pub fn new(frequencies_ghz: Vec<f64>) -> DvfsLadder {
         assert!(!frequencies_ghz.is_empty(), "DVFS ladder must not be empty");
         for w in frequencies_ghz.windows(2) {
-            assert!(w[0] < w[1], "DVFS ladder must be strictly increasing: {w:?}");
+            assert!(
+                w[0] < w[1],
+                "DVFS ladder must be strictly increasing: {w:?}"
+            );
         }
         assert!(frequencies_ghz[0] > 0.0, "frequencies must be positive");
         DvfsLadder { frequencies_ghz }

@@ -49,7 +49,10 @@ impl Polynomial {
     ///
     /// Panics if `coeffs` is empty.
     pub fn new(coeffs: Vec<f64>) -> Polynomial {
-        assert!(!coeffs.is_empty(), "polynomial needs at least one coefficient");
+        assert!(
+            !coeffs.is_empty(),
+            "polynomial needs at least one coefficient"
+        );
         Polynomial { coeffs }
     }
 
@@ -137,7 +140,10 @@ pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, F
 pub fn fit_polynomial(samples: &[(f64, f64)], degree: usize) -> Result<Polynomial, FitError> {
     let m = degree + 1;
     if samples.len() < m {
-        return Err(FitError::TooFewSamples { have: samples.len(), need: m });
+        return Err(FitError::TooFewSamples {
+            have: samples.len(),
+            need: m,
+        });
     }
     // Centre/scale x for conditioning.
     let n = samples.len() as f64;
@@ -193,7 +199,11 @@ pub fn r_squared(poly: &Polynomial, samples: &[(f64, f64)]) -> f64 {
     let ss_tot: f64 = samples.iter().map(|s| (s.1 - mean).powi(2)).sum();
     let ss_res: f64 = samples.iter().map(|s| (s.1 - poly.eval(s.0)).powi(2)).sum();
     if ss_tot == 0.0 {
-        return if ss_res == 0.0 { 1.0 } else { f64::NEG_INFINITY };
+        return if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        };
     }
     1.0 - ss_res / ss_tot
 }
@@ -223,11 +233,12 @@ mod tests {
     #[test]
     fn recovers_exact_quadratic() {
         let truth = |x: f64| 2.0 - 0.3 * x + 0.01 * x * x;
-        let samples: Vec<_> = (0..8).map(|i| {
-            let x = 100.0 + 10.0 * i as f64;
-            (x, truth(x))
-        })
-        .collect();
+        let samples: Vec<_> = (0..8)
+            .map(|i| {
+                let x = 100.0 + 10.0 * i as f64;
+                (x, truth(x))
+            })
+            .collect();
         let p = fit_polynomial(&samples, 2).unwrap();
         assert!((p.coefficients()[0] - 2.0).abs() < 1e-6, "{:?}", p);
         assert!((p.coefficients()[1] + 0.3).abs() < 1e-8);
@@ -238,11 +249,12 @@ mod tests {
     #[test]
     fn recovers_cubic_and_linear() {
         let truth = |x: f64| 1.0 + 0.5 * x - 0.02 * x * x + 1e-4 * x * x * x;
-        let samples: Vec<_> = (0..12).map(|i| {
-            let x = i as f64 * 5.0;
-            (x, truth(x))
-        })
-        .collect();
+        let samples: Vec<_> = (0..12)
+            .map(|i| {
+                let x = i as f64 * 5.0;
+                (x, truth(x))
+            })
+            .collect();
         let cubic = fit_polynomial(&samples, 3).unwrap();
         for (got, want) in cubic.coefficients().iter().zip([1.0, 0.5, -0.02, 1e-4]) {
             assert!((got - want).abs() < 1e-6, "{got} vs {want}");
@@ -266,12 +278,13 @@ mod tests {
     fn noisy_fit_is_close_and_r2_high() {
         // Deterministic pseudo-noise to keep the test stable.
         let truth = |x: f64| 10.0 + 0.2 * x - 5e-4 * x * x;
-        let samples: Vec<_> = (0..20).map(|i| {
-            let x = 100.0 + 5.0 * i as f64;
-            let noise = 0.01 * ((i * 2654435761_usize) % 1000) as f64 / 1000.0 - 0.005;
-            (x, truth(x) * (1.0 + noise))
-        })
-        .collect();
+        let samples: Vec<_> = (0..20)
+            .map(|i| {
+                let x = 100.0 + 5.0 * i as f64;
+                let noise = 0.01 * ((i * 2654435761_usize) % 1000) as f64 / 1000.0 - 0.005;
+                (x, truth(x) * (1.0 + noise))
+            })
+            .collect();
         let p = fit_polynomial(&samples, 2).unwrap();
         assert!(r_squared(&p, &samples) > 0.99);
         for &(x, _) in &samples {

@@ -31,9 +31,16 @@ impl PhasedWorkload {
     /// Panics if `phases` is empty or any dwell is non-positive.
     pub fn new(phases: Vec<(f64, QuadraticUtility)>) -> PhasedWorkload {
         assert!(!phases.is_empty(), "need at least one phase");
-        assert!(phases.iter().all(|p| p.0 > 0.0), "dwell times must be positive");
+        assert!(
+            phases.iter().all(|p| p.0 > 0.0),
+            "dwell times must be positive"
+        );
         let remaining = phases[0].0;
-        PhasedWorkload { phases, index: 0, remaining }
+        PhasedWorkload {
+            phases,
+            index: 0,
+            remaining,
+        }
     }
 
     /// Generates a phased workload for a benchmark: 2–4 phases whose
@@ -176,11 +183,17 @@ mod tests {
     fn generation_is_seed_deterministic() {
         let spec = Benchmark::Cg.spec();
         let a = PhasedWorkload::generate(
-            spec, Watts(120.0), Watts(200.0), 30.0,
+            spec,
+            Watts(120.0),
+            Watts(200.0),
+            30.0,
             &mut StdRng::seed_from_u64(9),
         );
         let b = PhasedWorkload::generate(
-            spec, Watts(120.0), Watts(200.0), 30.0,
+            spec,
+            Watts(120.0),
+            Watts(200.0),
+            30.0,
             &mut StdRng::seed_from_u64(9),
         );
         assert_eq!(a, b);

@@ -39,7 +39,10 @@ impl PmcSignature {
     ///
     /// Panics if `mb` is outside `[0, 1]`.
     pub fn for_memory_boundedness(mb: f64) -> PmcSignature {
-        assert!((0.0..=1.0).contains(&mb), "memory-boundedness {mb} not in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&mb),
+            "memory-boundedness {mb} not in [0,1]"
+        );
         PmcSignature {
             // CPU-bound ≈ 2.2 IPC; memory-bound ≈ 0.3.
             ipc: 2.2 - 1.9 * mb,
@@ -60,7 +63,13 @@ impl PmcSignature {
     /// The five-dimensional feature vector used for workload clustering,
     /// in a fixed order: `[ipc, llc, l1, l2, branch]`.
     pub fn feature_vector(&self) -> [f64; 5] {
-        [self.ipc, self.llc_mpki, self.l1_refs_pki, self.l2_mpki, self.branch_mpki]
+        [
+            self.ipc,
+            self.llc_mpki,
+            self.l1_refs_pki,
+            self.l2_mpki,
+            self.branch_mpki,
+        ]
     }
 
     /// A noisy sample of this signature (multiplicative, ±`amount`
@@ -70,7 +79,10 @@ impl PmcSignature {
     ///
     /// Panics if `amount` is not in `[0, 0.5)`.
     pub fn sample<R: Rng + ?Sized>(&self, amount: f64, rng: &mut R) -> PmcSignature {
-        assert!((0.0..0.5).contains(&amount), "noise amount {amount} not in [0, 0.5)");
+        assert!(
+            (0.0..0.5).contains(&amount),
+            "noise amount {amount} not in [0, 0.5)"
+        );
         let mut j = |v: f64| v * (1.0 + rng.gen_range(-amount..=amount));
         PmcSignature {
             ipc: j(self.ipc),
@@ -171,7 +183,13 @@ mod tests {
     #[test]
     fn scales_handle_empty_and_zero() {
         assert_eq!(feature_scales(std::iter::empty()), [1.0; 5]);
-        let zero = PmcSignature { ipc: 0.0, llc_mpki: 0.0, l1_refs_pki: 0.0, l2_mpki: 0.0, branch_mpki: 0.0 };
+        let zero = PmcSignature {
+            ipc: 0.0,
+            llc_mpki: 0.0,
+            l1_refs_pki: 0.0,
+            l2_mpki: 0.0,
+            branch_mpki: 0.0,
+        };
         let scales = feature_scales([&zero]);
         assert!(scales.iter().all(|&s| s == 1.0));
         // Distance to itself is zero with the sanitized scales.

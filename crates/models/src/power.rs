@@ -35,7 +35,12 @@ impl ServerSpec {
             frequency_exponent >= 1.0,
             "frequency exponent {frequency_exponent} must be ≥ 1"
         );
-        ServerSpec { idle, peak, ladder, frequency_exponent }
+        ServerSpec {
+            idle,
+            peak,
+            ladder,
+            frequency_exponent,
+        }
     }
 
     /// The dual-socket Xeon L5520 node of the paper's experimental cluster
@@ -86,7 +91,10 @@ impl ServerSpec {
     /// The discrete set of fully-utilized power levels, one per p-state,
     /// ascending. These are the enforceable power caps of the server.
     pub fn cap_levels(&self) -> Vec<Watts> {
-        self.ladder.iter().map(|(i, _)| self.power_full(i)).collect()
+        self.ladder
+            .iter()
+            .map(|(i, _)| self.power_full(i))
+            .collect()
     }
 }
 

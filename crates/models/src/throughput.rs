@@ -96,20 +96,20 @@ impl QuadraticUtility {
     /// # Errors
     ///
     /// Returns a [`UtilityError`] describing the violated invariant.
-    pub fn new(
-        a: f64,
-        b: f64,
-        c: f64,
-        p_min: Watts,
-        p_max: Watts,
-    ) -> Result<Self, UtilityError> {
+    pub fn new(a: f64, b: f64, c: f64, p_min: Watts, p_max: Watts) -> Result<Self, UtilityError> {
         if p_min >= p_max {
             return Err(UtilityError::EmptyPowerRange { p_min, p_max });
         }
         if c > 0.0 {
             return Err(UtilityError::NotConcave { c });
         }
-        let u = QuadraticUtility { a, b, c, p_min, p_max };
+        let u = QuadraticUtility {
+            a,
+            b,
+            c,
+            p_min,
+            p_max,
+        };
         let end_slope = u.slope(p_max);
         if end_slope < 0.0 {
             return Err(UtilityError::NotMonotone { end_slope });
@@ -170,7 +170,11 @@ impl QuadraticUtility {
     /// chosen by the sign of `b − λ`.
     pub fn argmax_minus_price(&self, lambda: f64) -> Watts {
         if self.c == 0.0 {
-            return if self.b >= lambda { self.p_max } else { self.p_min };
+            return if self.b >= lambda {
+                self.p_max
+            } else {
+                self.p_min
+            };
         }
         self.clamp(Watts((lambda - self.b) / (2.0 * self.c)))
     }
@@ -225,7 +229,10 @@ impl CurveParams {
     ///
     /// Panics if `mb` is outside `[0, 1]`.
     pub fn for_memory_boundedness(mb: f64) -> CurveParams {
-        assert!((0.0..=1.0).contains(&mb), "memory-boundedness {mb} not in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&mb),
+            "memory-boundedness {mb} not in [0,1]"
+        );
         CurveParams {
             gain: 0.80 * (1.0 - mb) + 0.03,
             end_slope_ratio: 0.85 * (1.0 - mb).powf(1.5) + 0.02,
@@ -240,7 +247,10 @@ impl CurveParams {
     ///
     /// Panics if `amount` is not in `[0, 0.5)`.
     pub fn jittered<R: Rng + ?Sized>(mut self, amount: f64, rng: &mut R) -> CurveParams {
-        assert!((0.0..0.5).contains(&amount), "jitter amount {amount} not in [0, 0.5)");
+        assert!(
+            (0.0..0.5).contains(&amount),
+            "jitter amount {amount} not in [0, 0.5)"
+        );
         let j = |rng: &mut R| 1.0 + rng.gen_range(-amount..=amount);
         self.gain = (self.gain * j(rng)).clamp(0.02, 0.95);
         self.end_slope_ratio = (self.end_slope_ratio * j(rng)).clamp(0.0, 1.0);
@@ -268,8 +278,14 @@ impl CurveParams {
         let c = (m1 - m0) / (2.0 * delta);
         let b = m0 - 2.0 * c * p_idle.0;
         let a = 1.0 - b * p_peak.0 - c * p_peak.0 * p_peak.0;
-        QuadraticUtility::new(a * self.scale, b * self.scale, c * self.scale, p_idle, p_peak)
-            .expect("synthesized curve violates utility invariants")
+        QuadraticUtility::new(
+            a * self.scale,
+            b * self.scale,
+            c * self.scale,
+            p_idle,
+            p_peak,
+        )
+        .expect("synthesized curve violates utility invariants")
     }
 }
 
@@ -310,7 +326,11 @@ mod tests {
 
     #[test]
     fn synthesized_curves_hit_shape_targets() {
-        let params = CurveParams { gain: 0.4, end_slope_ratio: 0.25, scale: 1.0 };
+        let params = CurveParams {
+            gain: 0.4,
+            end_slope_ratio: 0.25,
+            scale: 1.0,
+        };
         let u = params.utility(P_IDLE, P_PEAK);
         assert!((u.peak() - 1.0).abs() < 1e-12);
         let gain = (u.peak() - u.value(P_IDLE)) / u.peak();
@@ -324,7 +344,12 @@ mod tests {
         let ep = curve(Benchmark::Ep); // cpu-bound
         let ra = curve(Benchmark::Ra); // memory-bound
         let gain = |u: &QuadraticUtility| (u.peak() - u.value(P_IDLE)) / u.peak();
-        assert!(gain(&ep) > 2.0 * gain(&ra), "ep {} ra {}", gain(&ep), gain(&ra));
+        assert!(
+            gain(&ep) > 2.0 * gain(&ra),
+            "ep {} ra {}",
+            gain(&ep),
+            gain(&ra)
+        );
         // Memory-bound saturates: end slope much smaller relative to start.
         assert!(ra.slope(P_PEAK) / ra.slope(P_IDLE) < ep.slope(P_PEAK) / ep.slope(P_IDLE));
     }

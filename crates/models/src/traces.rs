@@ -51,11 +51,17 @@ impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TraceError::BadHeader { found } => {
-                write!(f, "expected header `server,power_w,throughput`, found `{found}`")
+                write!(
+                    f,
+                    "expected header `server,power_w,throughput`, found `{found}`"
+                )
             }
             TraceError::BadRow { line, reason } => write!(f, "line {line}: {reason}"),
             TraceError::MissingServer { server } => {
-                write!(f, "server ids must be contiguous from 0: id {server} has no samples")
+                write!(
+                    f,
+                    "server ids must be contiguous from 0: id {server} has no samples"
+                )
             }
             TraceError::Empty => f.write_str("trace contains no data rows"),
         }
@@ -81,8 +87,16 @@ impl ServerTrace {
     /// Panics if the trace has no points (construction via
     /// [`parse_trace_csv`] guarantees at least one).
     pub fn power_range(&self) -> (Watts, Watts) {
-        let lo = self.points.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
-        let hi = self.points.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+        let lo = self
+            .points
+            .iter()
+            .map(|p| p.0)
+            .fold(f64::INFINITY, f64::min);
+        let hi = self
+            .points
+            .iter()
+            .map(|p| p.0)
+            .fold(f64::NEG_INFINITY, f64::max);
         assert!(lo.is_finite() && hi.is_finite(), "empty trace");
         (Watts(lo), Watts(hi))
     }
@@ -95,7 +109,11 @@ impl ServerTrace {
     /// Propagates the fitting error for an empty trace.
     pub fn fit(&self) -> Result<QuadraticUtility, crate::fitting::FitError> {
         let (lo, hi) = self.power_range();
-        let hi = if hi - lo < Watts(1.0) { lo + Watts(1.0) } else { hi };
+        let hi = if hi - lo < Watts(1.0) {
+            lo + Watts(1.0)
+        } else {
+            hi
+        };
         fit_utility_from_points(&self.points, lo, hi)
     }
 }
@@ -117,7 +135,9 @@ pub fn parse_trace_csv(text: &str) -> Result<Vec<ServerTrace>, TraceError> {
     };
     let normalized: String = header.chars().filter(|c| !c.is_whitespace()).collect();
     if !normalized.eq_ignore_ascii_case("server,power_w,throughput") {
-        return Err(TraceError::BadHeader { found: header.trim().to_string() });
+        return Err(TraceError::BadHeader {
+            found: header.trim().to_string(),
+        });
     }
 
     let mut by_server: BTreeMap<usize, Vec<(f64, f64)>> = BTreeMap::new();
@@ -135,7 +155,10 @@ pub fn parse_trace_csv(text: &str) -> Result<Vec<ServerTrace>, TraceError> {
             });
         };
         if fields.next().is_some() {
-            return Err(TraceError::BadRow { line: line_no, reason: "too many fields".into() });
+            return Err(TraceError::BadRow {
+                line: line_no,
+                reason: "too many fields".into(),
+            });
         }
         let server: usize = s.parse().map_err(|e| TraceError::BadRow {
             line: line_no,
@@ -161,7 +184,10 @@ pub fn parse_trace_csv(text: &str) -> Result<Vec<ServerTrace>, TraceError> {
                 reason: format!("throughput must be positive and finite, got {throughput}"),
             });
         }
-        by_server.entry(server).or_default().push((power, throughput));
+        by_server
+            .entry(server)
+            .or_default()
+            .push((power, throughput));
     }
     if by_server.is_empty() {
         return Err(TraceError::Empty);
@@ -211,8 +237,7 @@ mod tests {
         let mut traces = Vec::new();
         for server in 0..4 {
             let mb = server as f64 / 4.0;
-            let truth = CurveParams::for_memory_boundedness(mb)
-                .utility(Watts(120.0), Watts(200.0));
+            let truth = CurveParams::for_memory_boundedness(mb).utility(Watts(120.0), Watts(200.0));
             let points: Vec<(f64, f64)> = (0..6)
                 .map(|k| {
                     let p = 120.0 + 16.0 * k as f64;
@@ -263,7 +288,10 @@ mod tests {
             other => panic!("expected BadRow, got {other:?}"),
         }
         let short = "server,power_w,throughput\n0,1.0\n";
-        assert!(matches!(parse_trace_csv(short), Err(TraceError::BadRow { .. })));
+        assert!(matches!(
+            parse_trace_csv(short),
+            Err(TraceError::BadRow { .. })
+        ));
     }
 
     #[test]

@@ -119,10 +119,19 @@ impl ClusterBuilder {
                     self.measurement_noise,
                     &mut rng,
                 );
-                ServerWorkload { server_id: i, benchmark, truth, learned }
+                ServerWorkload {
+                    server_id: i,
+                    benchmark,
+                    truth,
+                    learned,
+                }
             })
             .collect();
-        Cluster { server: self.server.clone(), workloads, rng }
+        Cluster {
+            server: self.server.clone(),
+            workloads,
+            rng,
+        }
     }
 }
 
@@ -199,7 +208,12 @@ impl Cluster {
     pub fn replace(&mut self, i: usize, benchmark: Benchmark) {
         let (truth, learned) =
             learn_utility(benchmark.spec(), &self.server, 0.08, 0.01, &mut self.rng);
-        self.workloads[i] = ServerWorkload { server_id: i, benchmark, truth, learned };
+        self.workloads[i] = ServerWorkload {
+            server_id: i,
+            benchmark,
+            truth,
+            learned,
+        };
     }
 
     /// Draws an exponentially distributed workload duration with the given
@@ -235,7 +249,9 @@ mod tests {
 
     #[test]
     fn round_robin_covers_all_benchmarks() {
-        let c = ClusterBuilder::new(20).assignment(Assignment::RoundRobin).build();
+        let c = ClusterBuilder::new(20)
+            .assignment(Assignment::RoundRobin)
+            .build();
         for (i, w) in c.workloads().iter().enumerate() {
             assert_eq!(w.benchmark, Benchmark::from_index(i));
         }

@@ -36,7 +36,11 @@ impl LoadSummary {
 /// `2N` packets per iteration, all of them through the coordinator.
 pub fn coordinator_load(n: usize, iterations: usize) -> LoadSummary {
     let packets = 2 * n * iterations;
-    LoadSummary { packets, bytes: packets * PACKET_BYTES, hottest_device_packets: packets }
+    LoadSummary {
+        packets,
+        bytes: packets * PACKET_BYTES,
+        hottest_device_packets: packets,
+    }
 }
 
 /// Load of DiBA on a graph with `num_edges` undirected edges and maximum

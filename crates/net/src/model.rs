@@ -47,7 +47,9 @@ pub struct CommModel {
 impl CommModel {
     /// Model with the paper's measured socket timings.
     pub fn paper() -> CommModel {
-        CommModel { timing: LinkTiming::measured_10gbe() }
+        CommModel {
+            timing: LinkTiming::measured_10gbe(),
+        }
     }
 
     /// Model with custom timings.
@@ -127,7 +129,10 @@ mod tests {
         let c = m.centralized_total(800, &mut rng);
         let pd1 = m.primal_dual_total(800, 1, &mut rng);
         let rel = (c.0 - pd1.0).abs() / c.0;
-        assert!(rel < 0.1, "one PD iteration ≈ one centralized round ({rel})");
+        assert!(
+            rel < 0.1,
+            "one PD iteration ≈ one centralized round ({rel})"
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub struct LinkTiming {
 impl LinkTiming {
     /// The paper's measured 10 GbE cluster values: 200 µs read, 10 µs write.
     pub fn measured_10gbe() -> LinkTiming {
-        LinkTiming { read: Seconds::from_micros(200.0), write: Seconds::from_micros(10.0) }
+        LinkTiming {
+            read: Seconds::from_micros(200.0),
+            write: Seconds::from_micros(10.0),
+        }
     }
 
     /// Builds custom timings.
@@ -38,7 +41,10 @@ impl LinkTiming {
     ///
     /// Panics if either value is negative.
     pub fn new(read: Seconds, write: Seconds) -> LinkTiming {
-        assert!(read >= Seconds::ZERO && write >= Seconds::ZERO, "timings must be non-negative");
+        assert!(
+            read >= Seconds::ZERO && write >= Seconds::ZERO,
+            "timings must be non-negative"
+        );
         LinkTiming { read, write }
     }
 }
@@ -121,9 +127,17 @@ mod tests {
         let t = LinkTiming::default();
         // Paper Table 4.2 centralized comm: 86.25 ms @ N=400, 1362.5 ms @ N=6400.
         let r400 = coordinator_round_sim(400, t, &mut rng);
-        assert!(r400.millis() > 78.0 && r400.millis() < 100.0, "{}", r400.millis());
+        assert!(
+            r400.millis() > 78.0 && r400.millis() < 100.0,
+            "{}",
+            r400.millis()
+        );
         let r6400 = coordinator_round_sim(6400, t, &mut rng);
-        assert!(r6400.millis() > 1280.0 && r6400.millis() < 1500.0, "{}", r6400.millis());
+        assert!(
+            r6400.millis() > 1280.0 && r6400.millis() < 1500.0,
+            "{}",
+            r6400.millis()
+        );
     }
 
     #[test]
@@ -136,7 +150,10 @@ mod tests {
             let rel = (sim.0 - exp.0).abs() / exp.0;
             // Queueing jitter adds O(√n) absolute, i.e. O(1/√n) relative.
             let tol = 3.0 / (n as f64).sqrt() + 0.02;
-            assert!(rel < tol, "n={n}: sim {sim} vs exp {exp} (rel {rel:.3} > tol {tol:.3})");
+            assert!(
+                rel < tol,
+                "n={n}: sim {sim} vs exp {exp} (rel {rel:.3} > tol {tol:.3})"
+            );
             assert!(sim >= exp * 0.99, "drain cannot beat pure service time");
         }
     }

@@ -66,9 +66,8 @@ impl TwoTierNetwork {
         // flat model).
         let read_stage = crate::timing::coordinator_round_sim(n, self.timing, rng)
             - self.timing.write * n as f64;
-        let uplink = tor_stage.max(core_stage).max(read_stage)
-            + self.tor_forward
-            + self.core_forward;
+        let uplink =
+            tor_stage.max(core_stage).max(read_stage) + self.tor_forward + self.core_forward;
         let downlink = self.timing.write * n as f64 + self.core_forward + self.tor_forward;
         uplink + downlink
     }

@@ -37,6 +37,11 @@ pub trait Budgeter {
 
     /// The current allocation.
     fn allocation(&self) -> Allocation;
+
+    /// Sets the worker-thread count for schemes with a parallel round
+    /// engine (`None` = available parallelism). Results never depend on
+    /// the worker count, so the default is a no-op.
+    fn set_threads(&mut self, _threads: Option<usize>) {}
 }
 
 /// DiBA running continuously between events.
@@ -56,7 +61,9 @@ impl DibaBudgeter {
         graph: Graph,
         config: DibaConfig,
     ) -> Result<DibaBudgeter, AlgError> {
-        Ok(DibaBudgeter { run: DibaRun::new(problem, graph, config)? })
+        Ok(DibaBudgeter {
+            run: DibaRun::new(problem, graph, config)?,
+        })
     }
 
     /// Access to the underlying run (residuals, iteration count).
@@ -88,6 +95,10 @@ impl Budgeter for DibaBudgeter {
 
     fn allocation(&self) -> Allocation {
         self.run.allocation()
+    }
+
+    fn set_threads(&mut self, threads: Option<usize>) {
+        self.run.set_threads(threads);
     }
 }
 
@@ -206,7 +217,11 @@ impl PrimalDualBudgeter {
         config: dpc_alg::primal_dual::PrimalDualConfig,
     ) -> PrimalDualBudgeter {
         let cached = dpc_alg::primal_dual::solve(&problem, &config).allocation;
-        PrimalDualBudgeter { problem, config, cached }
+        PrimalDualBudgeter {
+            problem,
+            config,
+            cached,
+        }
     }
 
     fn refresh(&mut self) {
@@ -241,6 +256,10 @@ impl Budgeter for PrimalDualBudgeter {
 
     fn allocation(&self) -> Allocation {
         self.cached.clone()
+    }
+
+    fn set_threads(&mut self, threads: Option<usize>) {
+        self.config.threads = threads;
     }
 }
 
@@ -286,7 +305,10 @@ mod tests {
             .utility(u.p_min(), u.p_max());
         b.workload_changed(0, steep);
         let after = b.allocation();
-        assert!(after.power(0) >= before.power(0), "steeper curve should not lose power");
+        assert!(
+            after.power(0) >= before.power(0),
+            "steeper curve should not lose power"
+        );
         assert!(after.total() <= p.budget() + Watts(1e-3));
     }
 

@@ -39,7 +39,11 @@ impl EnforcedCluster {
             .iter()
             .map(|&cap| CappedServer::new(spec.clone(), cap))
             .collect();
-        EnforcedCluster { servers, noise, rng: StdRng::seed_from_u64(seed) }
+        EnforcedCluster {
+            servers,
+            noise,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Number of servers.
@@ -100,7 +104,10 @@ impl EnforcedCluster {
     /// Per-server enforcement gap `cap − measured` (positive after
     /// settling: the p-state ladder quantizes below the cap).
     pub fn enforcement_gaps(&self) -> Vec<Watts> {
-        self.servers.iter().map(|s| s.cap() - s.measured_power()).collect()
+        self.servers
+            .iter()
+            .map(|s| s.cap() - s.measured_power())
+            .collect()
     }
 
     /// Fraction of servers currently measuring at or below their caps.
@@ -203,7 +210,10 @@ mod tests {
         // with gain 1/(1−smoothing) = 2, so the stationary excursion is
         // bounded by twice the amplitude.
         for (m, &cap) in e.measured().iter().zip(alloc.powers()) {
-            assert!(*m <= cap + noise * 2.0 + Watts(1e-6), "measured {m} cap {cap}");
+            assert!(
+                *m <= cap + noise * 2.0 + Watts(1e-6),
+                "measured {m} cap {cap}"
+            );
         }
         assert!(e.compliance() > 0.6, "compliance {}", e.compliance());
     }

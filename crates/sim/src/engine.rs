@@ -10,6 +10,7 @@ use crate::budgeter::Budgeter;
 use crate::schedule::BudgetSchedule;
 use crate::series::{TimePoint, TimeSeries};
 use dpc_alg::centralized;
+use dpc_alg::exec::{shard_bounds, ParallelEngine, SharedSlice};
 use dpc_alg::problem::AlgError;
 use dpc_models::metrics::snp_arithmetic;
 use dpc_models::phases::PhasedWorkload;
@@ -35,11 +36,16 @@ pub struct SimConfig {
     pub phase_mean: Option<Seconds>,
     /// Record per-server allocations at every sample (memory-heavy).
     pub record_allocations: bool,
+    /// Worker threads for per-node stepping (phase advancement and any
+    /// thread-aware budgeter): `None` uses the machine's available
+    /// parallelism, `Some(1)` forces the inline serial path. Simulation
+    /// results are identical for every worker count.
+    pub threads: Option<usize>,
 }
 
 impl SimConfig {
     /// A sensible default: `duration` at 1 s sampling, 50 rounds per
-    /// sample, no churn, no allocation recording.
+    /// sample, no churn, no allocation recording, automatic threading.
     pub fn new(duration: Seconds) -> SimConfig {
         SimConfig {
             duration,
@@ -48,6 +54,7 @@ impl SimConfig {
             churn_mean: None,
             phase_mean: None,
             record_allocations: false,
+            threads: None,
         }
     }
 }
@@ -62,6 +69,10 @@ pub struct DynamicSim<B: Budgeter> {
     expiries: Vec<f64>,
     /// Per-server phase state (when phases are enabled).
     phased: Vec<PhasedWorkload>,
+    /// Scratch: which servers changed phase in the current sample.
+    phase_changed: Vec<bool>,
+    /// Shared round-execution engine for per-node stepping.
+    engine: ParallelEngine,
 }
 
 impl<B: Budgeter> DynamicSim<B> {
@@ -82,7 +93,17 @@ impl<B: Budgeter> DynamicSim<B> {
             cluster.len(),
             "budgeter and cluster sizes differ"
         );
-        DynamicSim { cluster, budgeter, schedule, config, expiries: Vec::new(), phased: Vec::new() }
+        let engine = ParallelEngine::new(config.threads);
+        DynamicSim {
+            cluster,
+            budgeter,
+            schedule,
+            config,
+            expiries: Vec::new(),
+            phased: Vec::new(),
+            phase_changed: Vec::new(),
+            engine,
+        }
     }
 
     /// Runs the simulation to completion.
@@ -122,7 +143,9 @@ impl<B: Budgeter> DynamicSim<B> {
             for (i, ph) in self.phased.iter().enumerate() {
                 self.budgeter.workload_changed(i, *ph.current());
             }
+            self.phase_changed = vec![false; self.phased.len()];
         }
+        self.budgeter.set_threads(self.config.threads);
 
         let mut series = TimeSeries::new();
         let mut t = Seconds::ZERO;
@@ -165,8 +188,28 @@ impl<B: Budgeter> DynamicSim<B> {
     }
 
     fn apply_phases(&mut self, dt: Seconds) {
-        for i in 0..self.phased.len() {
-            if self.phased[i].advance(dt.0) {
+        // Per-node phase advancement is independent, so it shards cleanly
+        // across the engine's workers; budgeter notifications then run
+        // serially in ascending server order, keeping the simulation
+        // identical for every worker count.
+        let n = self.phased.len();
+        let workers = self.engine.workers_for(n);
+        let cuts = shard_bounds(n, workers);
+        {
+            let phased = SharedSlice::new(&mut self.phased);
+            let changed = SharedSlice::new(&mut self.phase_changed);
+            self.engine.run_workers(workers, |w| {
+                let range = cuts[w]..cuts[w + 1];
+                // SAFETY: the shard ranges partition `0..n`, so every
+                // element is touched by exactly one worker.
+                let shard = unsafe { phased.slice_mut(range.clone()) };
+                for (k, ph) in shard.iter_mut().enumerate() {
+                    unsafe { changed.write(range.start + k, ph.advance(dt.0)) };
+                }
+            });
+        }
+        for i in 0..n {
+            if self.phase_changed[i] {
                 self.budgeter.workload_changed(i, *self.phased[i].current());
             }
         }
@@ -184,7 +227,10 @@ impl<B: Budgeter> DynamicSim<B> {
             total_power: allocation.total(),
             snp,
             optimal_snp,
-            allocation: self.config.record_allocations.then(|| allocation.powers().to_vec()),
+            allocation: self
+                .config
+                .record_allocations
+                .then(|| allocation.powers().to_vec()),
         });
     }
 }
@@ -211,6 +257,7 @@ mod tests {
             churn_mean: None,
             phase_mean: None,
             record_allocations: false,
+            threads: None,
         }
     }
 
@@ -247,7 +294,11 @@ mod tests {
         assert!(series.budget_respected(Watts(1e-6)));
         // SNP stays close to optimal through this (very aggressive: one
         // workload change per server per 5 s) churn.
-        assert!(series.mean_optimality() > 0.90, "{}", series.mean_optimality());
+        assert!(
+            series.mean_optimality() > 0.90,
+            "{}",
+            series.mean_optimality()
+        );
     }
 
     #[test]
@@ -266,8 +317,7 @@ mod tests {
         let sd = sim_d.run().unwrap();
 
         let uni = UniformBudgeter::new(p);
-        let mut sim_u =
-            DynamicSim::new(c, uni, BudgetSchedule::constant(budget), config(15.0));
+        let mut sim_u = DynamicSim::new(c, uni, BudgetSchedule::constant(budget), config(15.0));
         let su = sim_u.run().unwrap();
 
         assert!(
@@ -289,12 +339,19 @@ mod tests {
         let mut sim = DynamicSim::new(c, b, BudgetSchedule::constant(Watts(4_080.0)), cfg);
         let series = sim.run().unwrap();
         assert!(series.budget_respected(Watts(1e-6)));
-        assert!(series.mean_optimality() > 0.9, "{}", series.mean_optimality());
+        assert!(
+            series.mean_optimality() > 0.9,
+            "{}",
+            series.mean_optimality()
+        );
         // Phase transitions visibly move the optimal SNP over time.
         let opt: Vec<f64> = series.points().iter().map(|pt| pt.optimal_snp).collect();
         let spread = opt.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - opt.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(spread > 1e-4, "phases never moved the landscape: spread {spread}");
+        assert!(
+            spread > 1e-4,
+            "phases never moved the landscape: spread {spread}"
+        );
     }
 
     #[test]

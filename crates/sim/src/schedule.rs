@@ -17,7 +17,9 @@ pub struct BudgetSchedule {
 impl BudgetSchedule {
     /// A constant budget.
     pub fn constant(budget: Watts) -> BudgetSchedule {
-        BudgetSchedule { segments: vec![(Seconds::ZERO, budget)] }
+        BudgetSchedule {
+            segments: vec![(Seconds::ZERO, budget)],
+        }
     }
 
     /// Builds from `(start, budget)` segments.
@@ -27,8 +29,15 @@ impl BudgetSchedule {
     /// Panics if `segments` is empty, does not start at `t = 0`, or is not
     /// strictly ascending in time.
     pub fn steps(segments: Vec<(Seconds, Watts)>) -> BudgetSchedule {
-        assert!(!segments.is_empty(), "schedule must have at least one segment");
-        assert_eq!(segments[0].0, Seconds::ZERO, "first segment must start at t = 0");
+        assert!(
+            !segments.is_empty(),
+            "schedule must have at least one segment"
+        );
+        assert_eq!(
+            segments[0].0,
+            Seconds::ZERO,
+            "first segment must start at t = 0"
+        );
         for w in segments.windows(2) {
             assert!(w[0].0 < w[1].0, "segment starts must ascend");
         }

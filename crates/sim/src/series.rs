@@ -38,7 +38,12 @@ impl TimeSeries {
     /// Panics if time does not advance monotonically.
     pub fn push(&mut self, point: TimePoint) {
         if let Some(last) = self.points.last() {
-            assert!(point.t >= last.t, "time went backwards: {} after {}", point.t, last.t);
+            assert!(
+                point.t >= last.t,
+                "time went backwards: {} after {}",
+                point.t,
+                last.t
+            );
         }
         self.points.push(point);
     }

@@ -85,7 +85,10 @@ pub fn step_response(
             rounds_to_feasible = Some(r);
         }
     }
-    Ok(StepResponse { trace, rounds_to_feasible })
+    Ok(StepResponse {
+        trace,
+        rounds_to_feasible,
+    })
 }
 
 #[cfg(test)]
@@ -116,7 +119,11 @@ mod tests {
         // Power at the end sits just under the new budget.
         let last = r.trace.last().unwrap();
         assert!(last.total_power <= Watts(8_500.0));
-        assert!(last.total_power > Watts(8_200.0), "left too much slack: {}", last.total_power);
+        assert!(
+            last.total_power > Watts(8_200.0),
+            "left too much slack: {}",
+            last.total_power
+        );
     }
 
     #[test]
@@ -155,7 +162,15 @@ mod tests {
         let p5 = r.trace.iter().find(|p| p.round == 5).unwrap();
         assert!((p5.time.0 - 5.0 * ROUND.0).abs() < 1e-12);
         // Pre-step rounds carry the old budget, post-step the new one.
-        assert!(r.trace.iter().filter(|p| p.round < 0).all(|p| p.budget == Watts(1_800.0)));
-        assert!(r.trace.iter().filter(|p| p.round >= 0).all(|p| p.budget == Watts(1_700.0)));
+        assert!(r
+            .trace
+            .iter()
+            .filter(|p| p.round < 0)
+            .all(|p| p.budget == Watts(1_800.0)));
+        assert!(r
+            .trace
+            .iter()
+            .filter(|p| p.round >= 0)
+            .all(|p| p.budget == Watts(1_700.0)));
     }
 }

@@ -18,7 +18,11 @@ pub struct CopModel {
 impl CopModel {
     /// The HP chilled-water CRAC model (Moore et al.).
     pub fn hp_utility() -> CopModel {
-        CopModel { a2: 0.0068, a1: 0.0008, a0: 0.458 }
+        CopModel {
+            a2: 0.0068,
+            a1: 0.0008,
+            a0: 0.458,
+        }
     }
 
     /// CoP at supply temperature `t` (°C).
@@ -86,7 +90,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "CoP non-positive")]
     fn absurd_temperature_panics() {
-        let m = CopModel { a2: 0.0, a1: 1.0, a0: 0.0 };
+        let m = CopModel {
+            a2: 0.0,
+            a1: 1.0,
+            a0: 0.0,
+        };
         let _ = m.cop(Celsius(-5.0));
     }
 }

@@ -27,7 +27,10 @@ impl RoomLayout {
     /// The paper's experimental room: 8 rows × 10 racks (80 racks of 40
     /// servers = 3200 servers).
     pub fn paper_cluster() -> RoomLayout {
-        RoomLayout { rows: 8, racks_per_row: 10 }
+        RoomLayout {
+            rows: 8,
+            racks_per_row: 10,
+        }
     }
 
     /// Builds a layout.
@@ -37,7 +40,10 @@ impl RoomLayout {
     /// Panics if either dimension is zero.
     pub fn new(rows: usize, racks_per_row: usize) -> RoomLayout {
         assert!(rows > 0 && racks_per_row > 0, "room must have racks");
-        RoomLayout { rows, racks_per_row }
+        RoomLayout {
+            rows,
+            racks_per_row,
+        }
     }
 
     /// Total rack count.

@@ -42,7 +42,11 @@ pub struct Matrix {
 impl Matrix {
     /// All-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Matrix {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix.
@@ -139,7 +143,12 @@ impl Matrix {
                 right: (other.rows, other.cols),
             });
         }
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
         Ok(Matrix::from_vec(self.rows, self.cols, data))
     }
 

@@ -68,7 +68,10 @@ impl ThermalModel {
     /// [`ThermalError::ShapeMismatch`] when `d` is not square.
     pub fn new(d: Matrix, cop: CopModel, t_red: Celsius) -> Result<ThermalModel, ThermalError> {
         if d.rows() != d.cols() {
-            return Err(ThermalError::ShapeMismatch { expected: d.rows(), got: d.cols() });
+            return Err(ThermalError::ShapeMismatch {
+                expected: d.rows(),
+                got: d.cols(),
+            });
         }
         Ok(ThermalModel { d, cop, t_red })
     }
@@ -149,10 +152,7 @@ impl ThermalModel {
     /// # Errors
     ///
     /// See [`ThermalModel::inlet_rises`].
-    pub fn min_cooling_power(
-        &self,
-        powers: &[Watts],
-    ) -> Result<(Watts, Celsius), ThermalError> {
+    pub fn min_cooling_power(&self, powers: &[Watts]) -> Result<(Watts, Celsius), ThermalError> {
         let t_sup = self.max_supply_temperature(powers)?;
         let heat: Watts = powers.iter().sum();
         Ok((self.cop.cooling_power(heat, t_sup), t_sup))
@@ -213,11 +213,17 @@ mod tests {
     #[test]
     fn supply_temperature_drops_as_load_grows() {
         let m = ThermalModel::paper_cluster();
-        let light = m.max_supply_temperature(&uniform_powers(&m, 4_000.0)).unwrap();
-        let heavy = m.max_supply_temperature(&uniform_powers(&m, 6_800.0)).unwrap();
+        let light = m
+            .max_supply_temperature(&uniform_powers(&m, 4_000.0))
+            .unwrap();
+        let heavy = m
+            .max_supply_temperature(&uniform_powers(&m, 6_800.0))
+            .unwrap();
         assert!(heavy < light);
         // At max supply temperature, no inlet exceeds the redline.
-        let temps = m.inlet_temperatures(heavy, &uniform_powers(&m, 6_800.0)).unwrap();
+        let temps = m
+            .inlet_temperatures(heavy, &uniform_powers(&m, 6_800.0))
+            .unwrap();
         for t in temps {
             assert!(t <= m.t_red() + Celsius(1e-9));
         }
@@ -274,8 +280,8 @@ mod tests {
 
     #[test]
     fn non_square_matrix_rejected() {
-        let err = ThermalModel::new(Matrix::zeros(2, 3), CopModel::default(), Celsius(24.0))
-            .unwrap_err();
+        let err =
+            ThermalModel::new(Matrix::zeros(2, 3), CopModel::default(), Celsius(24.0)).unwrap_err();
         assert!(matches!(err, ThermalError::ShapeMismatch { .. }));
     }
 }

@@ -75,7 +75,11 @@ pub fn self_consistent_partition(
     for iteration in 1..=max_iterations {
         let powers = power_map(computing);
         let (cooling, t_sup) = model.min_cooling_power(&powers)?;
-        trace.push(PartitionStep { computing, cooling, t_sup });
+        trace.push(PartitionStep {
+            computing,
+            cooling,
+            t_sup,
+        });
         let gap = (computing + cooling - total).abs();
         if gap <= tol {
             return Ok(PartitionResult {
@@ -88,7 +92,9 @@ pub fn self_consistent_partition(
         }
         computing = total - cooling;
     }
-    Err(ThermalError::NotConverged { iterations: max_iterations })
+    Err(ThermalError::NotConverged {
+        iterations: max_iterations,
+    })
 }
 
 #[cfg(test)]
@@ -145,7 +151,10 @@ mod tests {
         let gap = |s: &PartitionStep| (s.computing + s.cooling - total).abs().0;
         let early = gap(&r.trace[1]);
         let late = gap(r.trace.last().unwrap());
-        assert!(late < early / 10.0, "gap did not contract: {early} -> {late}");
+        assert!(
+            late < early / 10.0,
+            "gap did not contract: {early} -> {late}"
+        );
     }
 
     #[test]

@@ -31,10 +31,26 @@ pub struct RackClass {
 /// (40 servers per rack).
 pub fn table5_1_rack_classes() -> [RackClass; 4] {
     [
-        RackClass { name: "A (i7-920)", peak: Watts(40.0 * 180.0), idle: Watts(40.0 * 75.0) },
-        RackClass { name: "B (i5-3450S)", peak: Watts(40.0 * 120.0), idle: Watts(40.0 * 45.0) },
-        RackClass { name: "C (2x E5530)", peak: Watts(40.0 * 230.0), idle: Watts(40.0 * 110.0) },
-        RackClass { name: "D (PhenomII)", peak: Watts(40.0 * 160.0), idle: Watts(40.0 * 70.0) },
+        RackClass {
+            name: "A (i7-920)",
+            peak: Watts(40.0 * 180.0),
+            idle: Watts(40.0 * 75.0),
+        },
+        RackClass {
+            name: "B (i5-3450S)",
+            peak: Watts(40.0 * 120.0),
+            idle: Watts(40.0 * 45.0),
+        },
+        RackClass {
+            name: "C (2x E5530)",
+            peak: Watts(40.0 * 230.0),
+            idle: Watts(40.0 * 110.0),
+        },
+        RackClass {
+            name: "D (PhenomII)",
+            peak: Watts(40.0 * 160.0),
+            idle: Watts(40.0 * 70.0),
+        },
     ]
 }
 
@@ -47,7 +63,9 @@ pub struct Placement {
 impl Placement {
     /// The identity placement (heterogeneity-oblivious baseline).
     pub fn identity(n: usize) -> Placement {
-        Placement { location_of: (0..n).collect() }
+        Placement {
+            location_of: (0..n).collect(),
+        }
     }
 
     /// Builds from an explicit assignment.
@@ -123,7 +141,11 @@ pub fn evaluate(
 ) -> Result<PlacementEval, ThermalError> {
     let powers = placement.powers_by_location(rack_powers);
     let (cooling, t_sup) = model.min_cooling_power(&powers)?;
-    Ok(PlacementEval { peak_rise: (model.t_red() - t_sup).0, t_sup, cooling })
+    Ok(PlacementEval {
+        peak_rise: (model.t_red() - t_sup).0,
+        t_sup,
+        cooling,
+    })
 }
 
 /// Algorithm 5: greedy planning — rank locations by their heat-recirculation
@@ -140,7 +162,11 @@ pub fn greedy(d: &Matrix, rack_powers: &[Watts]) -> Placement {
         .collect();
     coupling.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut racks: Vec<usize> = (0..n).collect();
-    racks.sort_by(|&a, &b| rack_powers[b].partial_cmp(&rack_powers[a]).expect("finite powers"));
+    racks.sort_by(|&a, &b| {
+        rack_powers[b]
+            .partial_cmp(&rack_powers[a])
+            .expect("finite powers")
+    });
 
     let mut location_of = vec![0usize; n];
     for (&(_, loc), &rack) in coupling.iter().zip(&racks) {
@@ -230,7 +256,10 @@ mod tests {
         let ls_rise = peak_rise(&d, &ls, &powers);
         // The ILP stand-in: a long local search closes on (or passes) the
         // greedy heuristic.
-        assert!(ls_rise <= greedy_rise * 1.05, "ls {ls_rise:.3} vs greedy {greedy_rise:.3}");
+        assert!(
+            ls_rise <= greedy_rise * 1.05,
+            "ls {ls_rise:.3} vs greedy {greedy_rise:.3}"
+        );
     }
 
     #[test]

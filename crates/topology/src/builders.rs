@@ -114,10 +114,16 @@ impl Graph {
         }
         let max_edges = n * (n - 1) / 2;
         if m < n.saturating_sub(1) {
-            return Err(GraphError::TooFewEdges { have: m, need: n - 1 });
+            return Err(GraphError::TooFewEdges {
+                have: m,
+                need: n - 1,
+            });
         }
         if m > max_edges {
-            return Err(GraphError::TooFewEdges { have: max_edges, need: m });
+            return Err(GraphError::TooFewEdges {
+                have: max_edges,
+                need: m,
+            });
         }
         // Rejection sampling is only worth trying when the graph is dense
         // enough that connectivity has non-negligible probability

@@ -220,6 +220,76 @@ impl Graph {
         Some(best)
     }
 
+    /// The CSR row offsets: `offsets()[i]..offsets()[i+1]` indexes node
+    /// `i`'s slots in [`Graph::flat_neighbors`]. Length `n + 1`.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The CSR adjacency array: all neighbor lists concatenated, each row
+    /// ascending. `flat_neighbors()[offsets()[i] + k]` is node `i`'s `k`-th
+    /// neighbor. One entry per *directed* edge (`2·num_edges()` total).
+    pub fn flat_neighbors(&self) -> &[usize] {
+        &self.adjacency
+    }
+
+    /// For every directed slot `s` (an `(i → j)` entry of the adjacency
+    /// array), the slot of the reverse direction `(j → i)`. An involution:
+    /// `rev[rev[s]] == s`.
+    ///
+    /// This is what lets a per-edge quantity written at slot `s` by the
+    /// sender be read back by the *receiver* without any shared counters:
+    /// the transfer node `j` receives over edge `s` sits at
+    /// `values[reverse_slots()[s]]`.
+    pub fn reverse_slots(&self) -> Vec<usize> {
+        let mut rev = vec![0usize; self.adjacency.len()];
+        for i in 0..self.len() {
+            for (k, &j) in self.neighbors(i).iter().enumerate() {
+                let s = self.offsets[i] + k;
+                // Rows are sorted ascending, so the reverse slot is found by
+                // binary search for `i` in `j`'s row.
+                let row = self.neighbors(j);
+                let pos = row
+                    .binary_search(&i)
+                    .expect("undirected edge has both directions");
+                rev[s] = self.offsets[j] + pos;
+            }
+        }
+        rev
+    }
+
+    /// Splits `0..n` into at most `shards` contiguous node ranges balanced
+    /// by *work* (directed-edge count plus a constant per node), returned as
+    /// ascending cut points `c₀ = 0 ≤ c₁ ≤ … = n` with `len() == shards+1`.
+    /// Range `k` is `c_k..c_{k+1}`; some trailing ranges may be empty when
+    /// `n < shards`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn shard_offsets(&self, shards: usize) -> Vec<usize> {
+        assert!(shards > 0, "at least one shard required");
+        let n = self.len();
+        // Per-node cost: its degree (message work) plus 4 (state update,
+        // gradient, bookkeeping) — the constant keeps degree-0 nodes from
+        // collapsing a shard to zero width on sparse graphs.
+        let total: usize = self.adjacency.len() + 4 * n;
+        let mut cuts = Vec::with_capacity(shards + 1);
+        cuts.push(0);
+        let mut acc = 0usize;
+        let mut node = 0usize;
+        for k in 1..shards {
+            let target = total * k / shards;
+            while node < n && acc < target {
+                acc += self.degree(node) + 4;
+                node += 1;
+            }
+            cuts.push(node);
+        }
+        cuts.push(n);
+        cuts
+    }
+
     /// Edge list `(u, v)` with `u < v`, sorted.
     pub fn edges(&self) -> Vec<(usize, usize)> {
         let mut out = Vec::with_capacity(self.num_edges());
@@ -294,7 +364,10 @@ mod tests {
             Graph::from_edges(3, &[(0, 3)]),
             Err(GraphError::NodeOutOfRange { node: 3, n: 3 })
         );
-        assert_eq!(Graph::from_edges(3, &[(1, 1)]), Err(GraphError::SelfLoop { node: 1 }));
+        assert_eq!(
+            Graph::from_edges(3, &[(1, 1)]),
+            Err(GraphError::SelfLoop { node: 1 })
+        );
     }
 
     #[test]
@@ -343,6 +416,51 @@ mod tests {
         // Remaining path 1-2-3 (renumbered 0-1-2).
         assert_eq!(h.edges(), vec![(0, 1), (1, 2)]);
         assert!(h.is_connected());
+    }
+
+    #[test]
+    fn csr_accessors_expose_the_layout() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(g.offsets(), &[0, 2, 4, 6, 8]);
+        assert_eq!(g.flat_neighbors().len(), 2 * g.num_edges());
+        for i in 0..g.len() {
+            let row = &g.flat_neighbors()[g.offsets()[i]..g.offsets()[i + 1]];
+            assert_eq!(row, g.neighbors(i));
+        }
+    }
+
+    #[test]
+    fn reverse_slots_form_an_involution() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]).unwrap();
+        let rev = g.reverse_slots();
+        assert_eq!(rev.len(), g.flat_neighbors().len());
+        for i in 0..g.len() {
+            for (k, &j) in g.neighbors(i).iter().enumerate() {
+                let s = g.offsets()[i] + k;
+                assert_eq!(rev[rev[s]], s);
+                // The reverse slot must live in j's row and point back at i.
+                assert!((g.offsets()[j]..g.offsets()[j + 1]).contains(&rev[s]));
+                assert_eq!(g.flat_neighbors()[rev[s]], i);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_offsets_cover_and_balance() {
+        let g = Graph::from_edges(10, &(0..9).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap();
+        for shards in [1, 2, 3, 7, 10, 16] {
+            let cuts = g.shard_offsets(shards);
+            assert_eq!(cuts.len(), shards + 1);
+            assert_eq!(cuts[0], 0);
+            assert_eq!(*cuts.last().unwrap(), g.len());
+            assert!(
+                cuts.windows(2).all(|w| w[0] <= w[1]),
+                "cuts must ascend: {cuts:?}"
+            );
+        }
+        // Two shards over a uniform path should split near the middle.
+        let halves = g.shard_offsets(2);
+        assert!((4..=6).contains(&halves[1]), "unbalanced split: {halves:?}");
     }
 
     #[test]

@@ -32,10 +32,18 @@ pub struct SpectralInfo {
 pub fn consensus_spectrum(graph: &Graph, iterations: usize) -> SpectralInfo {
     let n = graph.len();
     if n <= 1 {
-        return SpectralInfo { slem: 0.0, gap: 1.0, mixing_time: 0.0 };
+        return SpectralInfo {
+            slem: 0.0,
+            gap: 1.0,
+            mixing_time: 0.0,
+        };
     }
     if !graph.is_connected() {
-        return SpectralInfo { slem: 1.0, gap: 0.0, mixing_time: f64::INFINITY };
+        return SpectralInfo {
+            slem: 1.0,
+            gap: 0.0,
+            mixing_time: f64::INFINITY,
+        };
     }
     let alpha = 1.0 / (graph.max_degree() as f64 + 1.0);
 
@@ -64,7 +72,11 @@ pub fn consensus_spectrum(graph: &Graph, iterations: usize) -> SpectralInfo {
         lambda = norm(&w);
         if lambda < 1e-300 {
             // Disagreement annihilated (e.g. complete graph at exact α).
-            return SpectralInfo { slem: 0.0, gap: 1.0, mixing_time: 0.0 };
+            return SpectralInfo {
+                slem: 0.0,
+                gap: 1.0,
+                mixing_time: 0.0,
+            };
         }
         for (vi, wi) in v.iter_mut().zip(&w) {
             *vi = wi / lambda;
@@ -73,7 +85,11 @@ pub fn consensus_spectrum(graph: &Graph, iterations: usize) -> SpectralInfo {
     let slem = lambda.clamp(0.0, 1.0);
     let gap = (1.0 - slem).max(0.0);
     let mixing_time = if gap > 0.0 { 1.0 / gap } else { f64::INFINITY };
-    SpectralInfo { slem, gap, mixing_time }
+    SpectralInfo {
+        slem,
+        gap,
+        mixing_time,
+    }
 }
 
 fn remove_mean(v: &mut [f64]) {
@@ -117,7 +133,11 @@ mod tests {
         let g = Graph::ring(n);
         let s = consensus_spectrum(&g, 3_000);
         let expected = 1.0 - (2.0 / 3.0) * (1.0 - (2.0 * std::f64::consts::PI / n as f64).cos());
-        assert!((s.slem - expected).abs() < 1e-3, "slem {} vs {expected}", s.slem);
+        assert!(
+            (s.slem - expected).abs() < 1e-3,
+            "slem {} vs {expected}",
+            s.slem
+        );
     }
 
     #[test]

@@ -29,8 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect(),
     );
 
-    let problem =
-        PowerBudgetProblem::new(cluster.utilities(), schedule.budget_at(Seconds::ZERO))?;
+    let problem = PowerBudgetProblem::new(cluster.utilities(), schedule.budget_at(Seconds::ZERO))?;
     let budgeter = DibaBudgeter::new(problem, Graph::ring(n), DibaConfig::default())?;
 
     let config = SimConfig {
@@ -40,6 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         churn_mean: None,
         phase_mean: None,
         record_allocations: false,
+        threads: None,
     };
     let mut sim = DynamicSim::new(cluster, budgeter, schedule, config);
     let series = sim.run()?;
@@ -60,6 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nbudget respected at every sample: {}",
         series.budget_respected(Watts(1e-6))
     );
-    println!("mean SNP/optimal over the run:   {:.4}", series.mean_optimality());
+    println!(
+        "mean SNP/optimal over the run:   {:.4}",
+        series.mean_optimality()
+    );
     Ok(())
 }

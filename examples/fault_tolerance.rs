@@ -11,9 +11,9 @@
 //! ```
 
 use dpc::agents::AgentCluster;
+use dpc::alg::centralized;
 use dpc::alg::diba::DibaConfig;
 use dpc::alg::problem::PowerBudgetProblem;
-use dpc::alg::centralized;
 use dpc::models::units::Watts;
 use dpc::models::workload::ClusterBuilder;
 use dpc::topology::Graph;
@@ -33,8 +33,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         graph.average_degree(),
         budget.kilowatts()
     );
-    let mut agents =
-        AgentCluster::spawn(problem, graph, DibaConfig::default(), Duration::from_millis(250))?;
+    let mut agents = AgentCluster::spawn(
+        problem,
+        graph,
+        DibaConfig::default(),
+        Duration::from_millis(250),
+    )?;
 
     agents.run_rounds(2_000);
     println!(
@@ -61,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nfinal per-node power spread: {:.1}–{:.1} W",
         reports.iter().map(|r| r.p).fold(f64::INFINITY, f64::min),
-        reports.iter().map(|r| r.p).fold(f64::NEG_INFINITY, f64::max),
+        reports
+            .iter()
+            .map(|r| r.p)
+            .fold(f64::NEG_INFINITY, f64::max),
     );
     println!("no coordinator existed at any point during this run.");
     Ok(())

@@ -7,9 +7,9 @@
 //! cargo run --release --example soft_heterogeneity
 //! ```
 
+use dpc::alg::centralized;
 use dpc::alg::diba::{DibaConfig, DibaRun};
 use dpc::alg::problem::PowerBudgetProblem;
-use dpc::alg::centralized;
 use dpc::firmware::config::FirmwareConfig;
 use dpc::firmware::explore::Objective;
 use dpc::firmware::response::ResponseModel;
@@ -29,8 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (clustering, configs) = fxplore_sc(&specs, 4, Objective::Runtime, 0.01, &mut rng);
     println!("firmware sub-clusters:");
     for (c, (cfg, _)) in configs.iter().enumerate() {
-        let members: Vec<&str> =
-            clustering.members(c).into_iter().map(|i| specs[i].name).collect();
+        let members: Vec<&str> = clustering
+            .members(c)
+            .into_iter()
+            .map(|i| specs[i].name)
+            .collect();
         println!("  cluster {c}: [{cfg}]  <- {}", members.join(", "));
     }
 

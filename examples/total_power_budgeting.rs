@@ -72,9 +72,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let (mp, mu) = (score(&proposed.allocation), score(&uniform));
     println!("\n                      proposed   uniform");
-    println!("SNP (geometric)        {:.4}    {:.4}", mp.snp_geometric, mu.snp_geometric);
-    println!("slowdown norm          {:.4}    {:.4}", mp.slowdown, mu.slowdown);
-    println!("unfairness             {:.4}    {:.4}", mp.unfairness, mu.unfairness);
+    println!(
+        "SNP (geometric)        {:.4}    {:.4}",
+        mp.snp_geometric, mu.snp_geometric
+    );
+    println!(
+        "slowdown norm          {:.4}    {:.4}",
+        mp.slowdown, mu.slowdown
+    );
+    println!(
+        "unfairness             {:.4}    {:.4}",
+        mp.unfairness, mu.unfairness
+    );
     println!(
         "\ncaps spread over {} ladder levels (uniform uses one level for all).",
         {

@@ -116,6 +116,9 @@ COMMANDS:
              --utilization U (1.0)  --iterations K (40000)  --seed S (0)
   fxplore    firmware sub-cluster exploration over the HPC workload catalog
              --k K (4)  --objective runtime|energy (runtime)  --seed S (0)
+  bench      time the DiBA round engine, serial vs parallel, and write JSON
+             --sizes N,N,... (1000,10000,100000)  --threads T (auto)
+             --rounds R (scaled per size)  --out FILE (BENCH_round_engine.json)
   help       this text
 "
     .to_string()
@@ -126,8 +129,7 @@ fn load_utilities(opts: &Options, n: usize, seed: u64) -> Result<Vec<QuadraticUt
         Some(path) => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
-            let traces =
-                parse_trace_csv(&text).map_err(|e| CliError(format!("{path}: {e}")))?;
+            let traces = parse_trace_csv(&text).map_err(|e| CliError(format!("{path}: {e}")))?;
             utilities_from_traces(&traces).map_err(|e| CliError(format!("{path}: fit: {e}")))
         }
         None => Ok(ClusterBuilder::new(n).seed(seed).build().utilities()),
@@ -141,7 +143,9 @@ fn graph_for(name: &str, n: usize) -> Result<Graph, CliError> {
         "grid" => {
             let side = (n as f64).sqrt().floor() as usize;
             if side < 1 || side * (n / side) != n {
-                return Err(CliError(format!("--topology grid needs a rectangular n, got {n}")));
+                return Err(CliError(format!(
+                    "--topology grid needs a rectangular n, got {n}"
+                )));
             }
             Ok(Graph::grid(side, n / side))
         }
@@ -224,6 +228,7 @@ pub fn cmd_simulate(opts: &Options) -> Result<String, CliError> {
         churn_mean: churn.map(Seconds),
         phase_mean: phases.map(Seconds),
         record_allocations: false,
+        threads: None,
     };
     let mut sim = DynamicSim::new(cluster, budgeter, BudgetSchedule::constant(budget), config);
     let series = sim.run().map_err(|e| CliError(e.to_string()))?;
@@ -244,7 +249,9 @@ pub fn cmd_simulate(opts: &Options) -> Result<String, CliError> {
 pub fn cmd_split(opts: &Options) -> Result<String, CliError> {
     let total_mw: f64 = opts.get_or("total-mw", 0.66)?;
     if !(0.1..10.0).contains(&total_mw) {
-        return Err(CliError(format!("--total-mw {total_mw} outside the plausible 0.1–10 range")));
+        return Err(CliError(format!(
+            "--total-mw {total_mw} outside the plausible 0.1–10 range"
+        )));
     }
     let model = ThermalModel::paper_cluster();
     let map = uniform_rack_map(model.racks());
@@ -288,8 +295,8 @@ pub fn cmd_plan(opts: &Options) -> Result<String, CliError> {
         })
         .collect();
     let mut rng = StdRng::seed_from_u64(seed);
-    let oblivious = evaluate(&model, &Placement::identity(80), &powers)
-        .map_err(|e| CliError(e.to_string()))?;
+    let oblivious =
+        evaluate(&model, &Placement::identity(80), &powers).map_err(|e| CliError(e.to_string()))?;
     let mut out = format!(
         "80 heterogeneous racks at {:.0}% utilization\n\n\
          method        t_sup       cooling    saving\n\
@@ -301,7 +308,10 @@ pub fn cmd_plan(opts: &Options) -> Result<String, CliError> {
     );
     for (name, placement) in [
         ("greedy", greedy(&d, &powers)),
-        ("local search", local_search(&d, &powers, iterations, &mut rng)),
+        (
+            "local search",
+            local_search(&d, &powers, iterations, &mut rng),
+        ),
     ] {
         let e = evaluate(&model, &placement, &powers).map_err(|e| CliError(e.to_string()))?;
         out.push_str(&format!(
@@ -326,7 +336,10 @@ pub fn cmd_fxplore(opts: &Options) -> Result<String, CliError> {
 
     let k: usize = opts.get_or("k", 4)?;
     if !(1..=HPC_BENCHMARKS.len()).contains(&k) {
-        return Err(CliError(format!("--k must be 1..={}", HPC_BENCHMARKS.len())));
+        return Err(CliError(format!(
+            "--k must be 1..={}",
+            HPC_BENCHMARKS.len()
+        )));
     }
     let objective = match opts.string("objective").unwrap_or("runtime") {
         "runtime" => Objective::Runtime,
@@ -338,9 +351,12 @@ pub fn cmd_fxplore(opts: &Options) -> Result<String, CliError> {
     let specs: Vec<&WorkloadSpec> = HPC_BENCHMARKS.iter().collect();
     let (clustering, configs) = fxplore_sc(&specs, k, objective, 0.01, &mut rng);
 
-    let mut out = format!("{k} sub-clusters over {} workloads
+    let mut out = format!(
+        "{k} sub-clusters over {} workloads
 
-", specs.len());
+",
+        specs.len()
+    );
     for (c, (cfg, result)) in configs.iter().enumerate() {
         let members: Vec<&str> = clustering
             .members(c)
@@ -369,6 +385,48 @@ mean runtime improvement over all-enabled: {:.1}%
     Ok(out)
 }
 
+/// `dpc bench`.
+pub fn cmd_bench(opts: &Options) -> Result<String, CliError> {
+    use dpc_bench::roundbench::{run_round_bench, DEFAULT_SIZES};
+
+    let sizes: Vec<usize> = match opts.string("sizes") {
+        None => DEFAULT_SIZES.to_vec(),
+        Some(spec) => spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|e| CliError(format!("bad value in --sizes: `{s}`: {e}")))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    if sizes.is_empty() || sizes.contains(&0) {
+        return Err(CliError("--sizes needs positive cluster sizes".into()));
+    }
+    let threads: Option<usize> = opts.get("threads")?;
+    if threads == Some(0) {
+        return Err(CliError("--threads must be positive".into()));
+    }
+    let rounds: Option<usize> = opts.get("rounds")?;
+    if rounds == Some(0) {
+        return Err(CliError("--rounds must be positive".into()));
+    }
+    let out_path = opts.string("out").unwrap_or("BENCH_round_engine.json");
+
+    let report = run_round_bench(&sizes, threads, rounds);
+    if report.results.iter().any(|r| !r.bitwise_identical) {
+        return Err(CliError(
+            "serial and parallel trajectories diverged — round engine bug".into(),
+        ));
+    }
+    std::fs::write(out_path, report.to_json())
+        .map_err(|e| CliError(format!("cannot write {out_path}: {e}")))?;
+    Ok(format!(
+        "{}\nreport written to {out_path}\n",
+        report.to_table()
+    ))
+}
+
 /// Dispatches a full argument vector (without the program name).
 ///
 /// # Errors
@@ -385,8 +443,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "split" => cmd_split(&opts),
         "plan" => cmd_plan(&opts),
         "fxplore" => cmd_fxplore(&opts),
+        "bench" => cmd_bench(&opts),
         "help" | "--help" | "-h" => Ok(usage()),
-        other => Err(CliError(format!("unknown command `{other}`; try `dpc help`"))),
+        other => Err(CliError(format!(
+            "unknown command `{other}`; try `dpc help`"
+        ))),
     }
 }
 
@@ -486,10 +547,42 @@ mod tests {
     }
 
     #[test]
+    fn bench_writes_a_json_report() {
+        let dir = std::env::temp_dir().join("dpc-cli-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round_engine.json");
+        let out = run(&args(&[
+            "bench",
+            "--sizes",
+            "120,240",
+            "--threads",
+            "2",
+            "--rounds",
+            "30",
+            "--out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("report written"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"bench\": \"round_engine\""), "{json}");
+        assert!(json.contains("\"bitwise_identical\": true"), "{json}");
+        assert!(run(&args(&["bench", "--sizes", "0"])).is_err());
+        assert!(run(&args(&["bench", "--threads", "0"])).is_err());
+    }
+
+    #[test]
     fn split_and_plan_run() {
         let out = run(&args(&["split", "--total-mw", "0.6"])).unwrap();
         assert!(out.contains("cooling share"));
-        let out = run(&args(&["plan", "--utilization", "0.5", "--iterations", "2000"])).unwrap();
+        let out = run(&args(&[
+            "plan",
+            "--utilization",
+            "0.5",
+            "--iterations",
+            "2000",
+        ]))
+        .unwrap();
         assert!(out.contains("local search"));
         assert!(run(&args(&["split", "--total-mw", "99"])).is_err());
     }

@@ -47,8 +47,8 @@
 pub mod cli;
 
 pub use dpc_agents as agents;
-pub use dpc_firmware as firmware;
 pub use dpc_alg as alg;
+pub use dpc_firmware as firmware;
 pub use dpc_models as models;
 pub use dpc_net as net;
 pub use dpc_sim as sim;

@@ -37,7 +37,8 @@ fn every_scheme_is_feasible_and_ordered_by_design() {
     let uniform = baselines::uniform(&p);
     let pd = primal_dual::solve(&p, &PrimalDualConfig::default());
     let mut diba = DibaRun::new(p.clone(), Graph::ring(80), DibaConfig::default()).unwrap();
-    diba.run_until_within(opt, 0.01, 20_000).expect("diba converges");
+    diba.run_until_within(opt, 0.01, 20_000)
+        .expect("diba converges");
 
     for (name, alloc) in [
         ("uniform", &uniform),
@@ -65,7 +66,10 @@ fn diba_converges_on_every_connected_topology() {
         ("chorded", Graph::ring_with_chords(n, 12)),
         ("grid", Graph::grid(6, 8)),
         ("complete", Graph::complete(n)),
-        ("er", Graph::erdos_renyi_connected(n, 3 * n, &mut rng, 100).unwrap()),
+        (
+            "er",
+            Graph::erdos_renyi_connected(n, 3 * n, &mut rng, 100).unwrap(),
+        ),
     ];
     for (name, g) in graphs {
         let mut run = DibaRun::new(p.clone(), g, DibaConfig::default()).unwrap();
@@ -110,7 +114,7 @@ fn decentralized_communication_beats_the_coordinator_at_scale() {
     // Table 4.2's ordering: at moderate size the total communication of a
     // converged DiBA run undercuts primal-dual's coordinator rounds.
     let n = 200;
-    let p = problem(n, 172.0, 4);
+    let p = problem(n, 172.0, 20);
     let opt = p.total_utility(&centralized::solve(&p).allocation);
     let pd = primal_dual::solve(&p, &PrimalDualConfig::default());
     let mut diba = DibaRun::new(p.clone(), Graph::ring(n), DibaConfig::default()).unwrap();
@@ -135,8 +139,8 @@ fn dynamic_sim_tracks_schedule_and_churn_together() {
         (Seconds(10.0), Watts(168.0 * n as f64)),
         (Seconds(20.0), Watts(182.0 * n as f64)),
     ]);
-    let p = PowerBudgetProblem::new(cluster.utilities(), schedule.budget_at(Seconds::ZERO))
-        .unwrap();
+    let p =
+        PowerBudgetProblem::new(cluster.utilities(), schedule.budget_at(Seconds::ZERO)).unwrap();
     let budgeter = DibaBudgeter::new(p, Graph::ring(n), DibaConfig::default()).unwrap();
     let config = SimConfig {
         duration: Seconds(30.0),
@@ -145,6 +149,7 @@ fn dynamic_sim_tracks_schedule_and_churn_together() {
         churn_mean: Some(Seconds(8.0)),
         phase_mean: None,
         record_allocations: false,
+        threads: None,
     };
     let mut sim = DynamicSim::new(cluster, budgeter, schedule, config);
     let series = sim.run().unwrap();
@@ -155,7 +160,11 @@ fn dynamic_sim_tracks_schedule_and_churn_together() {
         .filter(|pt| pt.total_power > pt.budget + Watts(1e-6))
         .count();
     assert!(violations <= 1, "{violations} violations");
-    assert!(series.mean_optimality() > 0.9, "{}", series.mean_optimality());
+    assert!(
+        series.mean_optimality() > 0.9,
+        "{}",
+        series.mean_optimality()
+    );
 }
 
 #[test]
@@ -194,10 +203,8 @@ fn total_power_pipeline_from_meter_to_caps() {
     let per_server = split.computing / 3200.0; // paper cluster size
     let truths: Vec<_> = (0..n)
         .map(|i| {
-            dpc::models::throughput::CurveParams::for_memory_boundedness(
-                (i % 10) as f64 / 10.0,
-            )
-            .utility(Watts(125.0), Watts(165.0))
+            dpc::models::throughput::CurveParams::for_memory_boundedness((i % 10) as f64 / 10.0)
+                .utility(Watts(125.0), Watts(165.0))
         })
         .collect();
     let budget = per_server * n as f64;
@@ -207,7 +214,10 @@ fn total_power_pipeline_from_meter_to_caps() {
     assert!(dp.allocation.total() <= budget);
     let snp_dp = snp_arithmetic(&problem.anps(&dp.allocation));
     let snp_uni = snp_arithmetic(&problem.anps(&baselines::uniform(&problem)));
-    assert!(snp_dp >= snp_uni - 1e-9, "knapsack {snp_dp} vs uniform {snp_uni}");
+    assert!(
+        snp_dp >= snp_uni - 1e-9,
+        "knapsack {snp_dp} vs uniform {snp_uni}"
+    );
 }
 
 #[test]

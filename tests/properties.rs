@@ -22,14 +22,16 @@ fn utility_strategy() -> impl Strategy<Value = QuadraticUtility> {
 
 /// Strategy: a feasible problem of 3–24 servers with a random tightness.
 fn problem_strategy() -> impl Strategy<Value = PowerBudgetProblem> {
-    (proptest::collection::vec(utility_strategy(), 3..24), 0.02f64..1.2).prop_map(
-        |(utilities, tightness)| {
+    (
+        proptest::collection::vec(utility_strategy(), 3..24),
+        0.02f64..1.2,
+    )
+        .prop_map(|(utilities, tightness)| {
             let min: Watts = utilities.iter().map(|u| u.p_min()).sum();
             let max: Watts = utilities.iter().map(|u| u.p_max()).sum();
             let budget = min + (max - min) * tightness.min(1.0) + Watts(1.0);
             PowerBudgetProblem::new(utilities, budget).expect("strictly above floor")
-        },
-    )
+        })
 }
 
 proptest! {

@@ -1,0 +1,151 @@
+//! Offline stand-in for `crossbeam-channel`.
+//!
+//! The build environment has no crates registry, so the workspace vendors
+//! the subset of the crossbeam-channel 0.5 API it uses (see README.md,
+//! "Offline builds"): [`unbounded`], [`bounded`], cloneable [`Sender`],
+//! [`Receiver::recv`] / [`Receiver::recv_timeout`] / [`Receiver::try_recv`],
+//! backed by `std::sync::mpsc`. Semantics match for this workspace's
+//! point-to-point usage; the multi-consumer `select!` machinery is
+//! deliberately absent.
+
+#![warn(missing_docs)]
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+enum Tx<T> {
+    Unbounded(mpsc::Sender<T>),
+    Bounded(mpsc::SyncSender<T>),
+}
+
+impl<T> Clone for Tx<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+            Tx::Bounded(s) => Tx::Bounded(s.clone()),
+        }
+    }
+}
+
+/// The sending half of a channel. Cloneable; dropping every sender
+/// disconnects the receiver.
+pub struct Sender<T>(Tx<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends a message, blocking while a bounded channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message back when the receiving half is gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        match &self.0 {
+            Tx::Unbounded(s) => s.send(msg),
+            Tx::Bounded(s) => s.send(msg),
+        }
+    }
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError`] when every sender is gone and the buffer is drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv()
+    }
+
+    /// Blocks up to `timeout` for a message.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] or [`RecvTimeoutError::Disconnected`].
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.0.recv_timeout(timeout)
+    }
+
+    /// Returns a buffered message without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] or [`TryRecvError::Disconnected`].
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.try_recv()
+    }
+
+    /// Iterates over messages until the channel disconnects.
+    pub fn iter(&self) -> mpsc::Iter<'_, T> {
+        self.0.iter()
+    }
+}
+
+/// Creates a channel with unlimited buffering.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender(Tx::Unbounded(tx)), Receiver(rx))
+}
+
+/// Creates a channel buffering at most `cap` messages.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (Sender(Tx::Bounded(tx)), Receiver(rx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_roundtrip_and_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+        drop(tx);
+        drop(tx2);
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
+    }
+
+    #[test]
+    fn bounded_works_across_threads() {
+        let (tx, rx) = bounded::<usize>(2);
+        let handle = std::thread::spawn(move || {
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<usize> = (0..10)
+            .map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap())
+            .collect();
+        handle.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn timeout_fires_while_sender_alive() {
+        let (tx, rx) = unbounded::<()>();
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        ));
+        drop(tx);
+    }
+}

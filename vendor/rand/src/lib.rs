@@ -1,0 +1,353 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace has no access to a crates
+//! registry, so the workspace vendors the *subset* of the rand 0.8 API it
+//! actually uses (see README.md, "Offline builds"): [`Rng::gen_range`] over
+//! float and integer ranges, [`SeedableRng::seed_from_u64`], [`rngs::StdRng`]
+//! and [`seq::SliceRandom`]. The generator is xoshiro256++ seeded through
+//! SplitMix64 — a different stream than upstream `StdRng` (ChaCha12), which
+//! is fine here because every consumer treats the stream as an arbitrary
+//! reproducible source, never as a cross-version stable one.
+//!
+//! Everything is deterministic: there is deliberately no `thread_rng` /
+//! `from_entropy`, so a seed always reproduces a run bit-for-bit.
+
+#![warn(missing_docs)]
+
+/// The core of a random number generator: a source of `u64`s.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Samples a bool that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        distributions::unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable deterministic generators.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64` via SplitMix64 expansion.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Uniform sampling internals (the part of `rand::distributions` we need).
+pub mod distributions {
+    use super::RngCore;
+
+    /// A uniform draw from `[0, 1)` with 53 random bits.
+    pub fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Range sampling, mirroring `rand::distributions::uniform`.
+    pub mod uniform {
+        use super::super::RngCore;
+        use super::unit_f64;
+        use std::ops::{Range, RangeInclusive};
+
+        /// A type uniformly sampleable from a range. Having one generic
+        /// [`SampleRange`] impl per range shape (like upstream rand) is what
+        /// lets `rng.gen_range(0.5..1.5)` infer `f64` via literal fallback.
+        pub trait SampleUniform: Copy + PartialOrd {
+            /// Draws from `[lo, hi)`.
+            fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+
+            /// Draws from `[lo, hi]`.
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+        }
+
+        /// A range that knows how to sample itself uniformly.
+        pub trait SampleRange<T> {
+            /// Draws one sample.
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for Range<T> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                assert!(self.start < self.end, "empty range");
+                T::sample_half_open(self.start, self.end, rng)
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty range");
+                T::sample_inclusive(lo, hi, rng)
+            }
+        }
+
+        impl SampleUniform for f64 {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: f64, hi: f64, rng: &mut R) -> f64 {
+                let v = lo + unit_f64(rng) * (hi - lo);
+                // Guard against rounding up onto the excluded endpoint.
+                if v >= hi {
+                    lo
+                } else {
+                    v
+                }
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: f64, hi: f64, rng: &mut R) -> f64 {
+                let u = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+                lo + u * (hi - lo)
+            }
+        }
+
+        impl SampleUniform for f32 {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: f32, hi: f32, rng: &mut R) -> f32 {
+                let v = lo + unit_f64(rng) as f32 * (hi - lo);
+                if v >= hi {
+                    lo
+                } else {
+                    v
+                }
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: f32, hi: f32, rng: &mut R) -> f32 {
+                let u = unit_f64(rng) as f32;
+                lo + u * (hi - lo)
+            }
+        }
+
+        macro_rules! impl_int_uniform {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_half_open<R: RngCore + ?Sized>(
+                        lo: $t,
+                        hi: $t,
+                        rng: &mut R,
+                    ) -> $t {
+                        let width = (hi as i128 - lo as i128) as u128;
+                        let draw = (((rng.next_u64() as u128) << 64)
+                            | rng.next_u64() as u128)
+                            % width;
+                        (lo as i128 + draw as i128) as $t
+                    }
+
+                    fn sample_inclusive<R: RngCore + ?Sized>(
+                        lo: $t,
+                        hi: $t,
+                        rng: &mut R,
+                    ) -> $t {
+                        let width = (hi as i128 - lo as i128) as u128 + 1;
+                        let draw = (((rng.next_u64() as u128) << 64)
+                            | rng.next_u64() as u128)
+                            % width;
+                        (lo as i128 + draw as i128) as $t
+                    }
+                }
+            )*};
+        }
+
+        impl_int_uniform!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+    }
+}
+
+/// The generators.
+pub mod rngs {
+    use super::SeedableRng;
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn splitmix(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            if s == [0, 0, 0, 0] {
+                s = [1, 2, 3, 4]; // xoshiro must not start all-zero
+            }
+            StdRng { s }
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            StdRng {
+                s: [
+                    Self::splitmix(&mut sm),
+                    Self::splitmix(&mut sm),
+                    Self::splitmix(&mut sm),
+                    Self::splitmix(&mut sm),
+                ],
+            }
+        }
+    }
+
+    /// Alias kept for call sites that prefer the small generator.
+    pub type SmallRng = StdRng;
+}
+
+/// Sequence helpers (the part of `rand::seq` we need).
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Shuffling and choosing on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly chooses one element, or `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_seeded() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0.0f64..1.0), b.gen_range(0.0f64..1.0));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same = (0..32).all(|_| a.gen_range(0u64..1 << 60) == c.gen_range(0u64..1 << 60));
+        assert!(!same, "different seeds should diverge");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f = rng.gen_range(2.5f64..3.5);
+            assert!((2.5..3.5).contains(&f));
+            let i = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&i));
+            let j = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&j));
+        }
+    }
+
+    #[test]
+    fn int_range_covers_endpoints() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all buckets should be hit: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle of 50 elements should move something");
+    }
+
+    #[test]
+    fn generic_rng_bounds_accept_mut_refs() {
+        fn draw<R: super::RngCore + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen_range(0.0f64..1.0)
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = draw(&mut rng);
+        assert!((0.0..1.0).contains(&x));
+    }
+}
