@@ -9,6 +9,7 @@
 use crate::node::{run_agent, AgentSeed, Control, Link, Report, RoundMsg};
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
 use dpc_alg::diba::{DibaConfig, DibaRun};
+use dpc_alg::faults::NodeHealth;
 use dpc_alg::problem::{AlgError, Allocation, PowerBudgetProblem};
 use dpc_models::units::Watts;
 use dpc_models::QuadraticUtility;
@@ -19,7 +20,7 @@ use std::time::Duration;
 /// A running deployment of DiBA agents.
 pub struct AgentCluster {
     budget: Watts,
-    alive: Vec<bool>,
+    health: Vec<NodeHealth>,
     controls: Vec<Sender<Control>>,
     reports: Receiver<Report>,
     handles: Vec<Option<JoinHandle<()>>>,
@@ -96,7 +97,7 @@ impl AgentCluster {
 
         Ok(AgentCluster {
             budget: problem.budget(),
-            alive: vec![true; n],
+            health: vec![NodeHealth::Alive; n],
             controls,
             reports: report_rx,
             handles,
@@ -117,7 +118,19 @@ impl AgentCluster {
 
     /// Number of live agents.
     pub fn alive_count(&self) -> usize {
-        self.alive.iter().filter(|&&a| a).count()
+        self.health
+            .iter()
+            .filter(|&&h| h == NodeHealth::Alive)
+            .count()
+    }
+
+    /// Per-node failure states.
+    pub fn node_health(&self) -> &[NodeHealth] {
+        &self.health
+    }
+
+    fn is_alive(&self, i: usize) -> bool {
+        self.health[i] == NodeHealth::Alive
     }
 
     /// Current budget.
@@ -135,7 +148,7 @@ impl AgentCluster {
     pub fn run_rounds(&mut self, rounds: usize) {
         let mut expected = 0usize;
         for (i, ctl) in self.controls.iter().enumerate() {
-            if self.alive[i] && ctl.send(Control::Run(rounds)).is_ok() {
+            if self.health[i] == NodeHealth::Alive && ctl.send(Control::Run(rounds)).is_ok() {
                 expected += 1;
             }
         }
@@ -157,10 +170,11 @@ impl AgentCluster {
     pub fn set_budget(&mut self, budget: Watts) -> Result<(), AlgError> {
         let mut floor = Watts::ZERO;
         for (i, u) in self.utilities.iter().enumerate() {
-            floor += if self.alive[i] {
-                u.p_min()
-            } else {
-                Watts(self.last[i].p)
+            floor += match self.health[i] {
+                NodeHealth::Alive => u.p_min(),
+                // A crashed node's draw is frozen; a departed one draws 0.
+                NodeHealth::Crashed => Watts(self.last[i].p),
+                NodeHealth::Departed => Watts::ZERO,
             };
         }
         if budget < floor {
@@ -172,7 +186,7 @@ impl AgentCluster {
         let alive = self.alive_count().max(1);
         let shift = (self.budget.0 - budget.0) / alive as f64;
         for (i, ctl) in self.controls.iter().enumerate() {
-            if self.alive[i] {
+            if self.is_alive(i) {
                 let _ = ctl.send(Control::ShiftResidual(shift));
             }
         }
@@ -187,7 +201,7 @@ impl AgentCluster {
     /// Panics if `i` is out of range.
     pub fn replace_utility(&mut self, i: usize, utility: QuadraticUtility) {
         self.utilities[i] = utility;
-        if self.alive[i] {
+        if self.is_alive(i) {
             let _ = self.controls[i].send(Control::ReplaceUtility(utility));
         }
     }
@@ -199,12 +213,40 @@ impl AgentCluster {
     ///
     /// Panics if `i` is out of range.
     pub fn fail_node(&mut self, i: usize) {
-        if self.alive[i] {
+        if self.is_alive(i) {
             let _ = self.controls[i].send(Control::Fail);
-            self.alive[i] = false;
+            self.health[i] = NodeHealth::Crashed;
             if let Some(h) = self.handles[i].take() {
                 let _ = h.join();
             }
+        }
+    }
+
+    /// Removes node `i` permanently and gracefully: the agent donates its
+    /// residual-and-power mass `e − p` to its neighbors in a farewell
+    /// message, so the budget it occupied flows back to the survivors (they
+    /// absorb the transfer on their next round). The controller accounts
+    /// the departed node at 0 W / 0 residual.
+    ///
+    /// The residual invariant is conserved end to end, but the farewell is
+    /// in flight until the next [`AgentCluster::run_rounds`] — measure
+    /// [`AgentCluster::invariant_drift`] after a run, not between.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn depart_node(&mut self, i: usize) {
+        if self.is_alive(i) {
+            let _ = self.controls[i].send(Control::Depart);
+            self.health[i] = NodeHealth::Departed;
+            if let Some(h) = self.handles[i].take() {
+                let _ = h.join();
+            }
+            self.last[i] = Report {
+                node: i,
+                p: 0.0,
+                e: 0.0,
+            };
         }
     }
 
@@ -218,12 +260,17 @@ impl AgentCluster {
         self.last.iter().map(|r| Watts(r.p)).sum()
     }
 
-    /// Total utility at the last reported allocation.
+    /// Total utility at the last reported allocation. Departed nodes are
+    /// excluded (they draw 0 W and do no work; their quadratic is not
+    /// meaningful outside its box), crashed nodes count at their frozen
+    /// draw.
     pub fn total_utility(&self) -> f64 {
         self.utilities
             .iter()
             .zip(&self.last)
-            .map(|(u, r)| u.value(Watts(r.p)))
+            .zip(&self.health)
+            .filter(|&(_, h)| *h != NodeHealth::Departed)
+            .map(|((u, r), _)| u.value(Watts(r.p)))
             .sum()
     }
 
@@ -243,14 +290,16 @@ impl AgentCluster {
 
     fn shutdown_inner(&mut self) {
         for (i, ctl) in self.controls.iter().enumerate() {
-            if self.alive[i] {
+            if self.health[i] == NodeHealth::Alive {
                 let _ = ctl.send(Control::Stop);
             }
         }
         for (i, slot) in self.handles.iter_mut().enumerate() {
             if let Some(h) = slot.take() {
                 let _ = h.join();
-                self.alive[i] = false;
+                if self.health[i] == NodeHealth::Alive {
+                    self.health[i] = NodeHealth::Crashed;
+                }
             }
         }
         // Drain final reports.
@@ -321,6 +370,44 @@ mod tests {
         agents.run_rounds(300);
         assert!(agents.total_power() <= Watts(2_100.0) + Watts(1e-6));
         assert!(agents.total_utility() > before_utility * 0.9);
+    }
+
+    #[test]
+    fn departure_reabsorbs_budget_and_conserves_the_invariant() {
+        let p = problem(12, 2_100.0, 4);
+        let graph = Graph::ring_with_chords(12, 4);
+        let mut agents =
+            AgentCluster::spawn(p.clone(), graph, DibaConfig::default(), TIMEOUT).unwrap();
+        agents.run_rounds(600);
+        agents.depart_node(7);
+        assert_eq!(agents.alive_count(), 11);
+        assert_eq!(agents.node_health()[7], NodeHealth::Departed);
+        // The farewell donation lands during the next rounds; afterwards the
+        // invariant is exact again and the survivors grow into the freed
+        // budget.
+        agents.run_rounds(1_200);
+        assert!(
+            agents.invariant_drift() < 1e-6,
+            "drift {}",
+            agents.invariant_drift()
+        );
+        assert!(agents.total_power() <= Watts(2_100.0) + Watts(1e-6));
+        assert_eq!(agents.allocation().power(7), Watts(0.0));
+        // Survivor oracle: 11 nodes at the full budget.
+        let survivors: Vec<_> = p
+            .utilities()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 7)
+            .map(|(_, u)| *u)
+            .collect();
+        let sp = PowerBudgetProblem::new(survivors, Watts(2_100.0)).unwrap();
+        let opt = sp.total_utility(&centralized::solve(&sp).allocation);
+        let gap = (opt - agents.total_utility()).abs() / opt;
+        assert!(
+            gap < 0.03,
+            "survivors did not re-absorb the budget: gap {gap:.4}"
+        );
     }
 
     #[test]

@@ -39,6 +39,12 @@ pub enum Control {
     ReplaceUtility(QuadraticUtility),
     /// Crash silently: exit without notifying anyone.
     Fail,
+    /// Leave the cluster permanently but gracefully: donate the local
+    /// residual-and-power mass `e − p` to the remaining neighbors in a
+    /// farewell message (so the budget this node occupied is re-absorbed),
+    /// then exit without reporting — the controller accounts the departure
+    /// itself.
+    Depart,
     /// Exit cleanly after reporting final state.
     Stop,
 }
@@ -129,9 +135,14 @@ pub fn run_agent(seed: AgentSeed) {
                     e += action.own_residual_delta();
                     // Send first (non-blocking), then collect.
                     for (link, &t) in links.iter().zip(&action.transfers) {
-                        // A send failure means the neighbor is gone; the
-                        // receive pass below will confirm and drop it.
-                        let _ = link.tx.send(RoundMsg { e, transfer: t });
+                        // A send failure means the neighbor is gone: the
+                        // transport reports the loss, so reclaim the
+                        // transfer (no slack mass is silently destroyed);
+                        // the receive pass below confirms and drops the
+                        // link.
+                        if link.tx.send(RoundMsg { e, transfer: t }).is_err() {
+                            e += t;
+                        }
                     }
                     let mut dead: Vec<usize> = Vec::new();
                     for (idx, link) in links.iter().enumerate() {
@@ -169,6 +180,20 @@ pub fn run_agent(seed: AgentSeed) {
                 boost = boost.max(reboost.sqrt());
             }
             Control::Fail => return,
+            Control::Depart => {
+                // Farewell: split e − p over the remaining links. Receivers
+                // absorb the transfer like any other; the subsequent channel
+                // disconnect makes them prune this node. The residual
+                // snapshot rides along so they do not act on ancient state
+                // during the round the farewell lands.
+                if !links.is_empty() {
+                    let share = (e - p) / links.len() as f64;
+                    for link in &links {
+                        let _ = link.tx.send(RoundMsg { e, transfer: share });
+                    }
+                }
+                return;
+            }
             Control::Stop => {
                 let _ = report.send(Report { node: id, p, e });
                 return;

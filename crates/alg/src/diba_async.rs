@@ -1,23 +1,33 @@
-//! Asynchronous DiBA with an unreliable-timing network.
+//! Asynchronous DiBA under unreliable timing *and* injected faults.
 //!
 //! The synchronous rounds of [`crate::diba::DibaRun`] are an idealization:
 //! in deployment, nodes act on their own clocks (the paper synchronizes via
-//! NTP, Section 4.3.1) and messages ride TCP — they are never *lost*, but
-//! they arrive late. This module stresses the algorithm under both effects:
+//! NTP, Section 4.3.1) and messages ride a real network. This module
+//! stresses the algorithm under two layers of imperfection:
 //!
-//! * **partial activation** — each round, every node acts only with
-//!   probability `activation` (a node whose control loop fired late simply
-//!   skips the round);
-//! * **delayed delivery** — every message is independently delayed by a
-//!   geometric number of rounds, so neighbors act on stale residuals and
-//!   slack transfers spend time "in flight".
+//! * **timing jitter** ([`AsyncConfig`]) — partial activation (a node whose
+//!   control loop fired late skips the round) and geometric per-message
+//!   delivery delay, so neighbors act on stale residuals and slack
+//!   transfers spend time "in flight";
+//! * **injected faults** ([`FaultPlan`], consumed by
+//!   [`AsyncDibaRun::with_faults`]) — per-link message drop / duplication /
+//!   reordering, plus scheduled node crashes, restarts, and permanent
+//!   departures, with neighbor-timeout failure detection and budget
+//!   re-absorption.
 //!
 //! The residual invariant becomes an inequality while transfers are in
 //! flight: the donated (negative) mass has left the sender but not reached
 //! the receiver, so `Σ eᵢ ≥ Σ pᵢ − P` on the nodes — feasibility is
-//! preserved *conservatively*, never violated. The tests pin exactly that.
+//! preserved *conservatively*, never violated. Fault handling extends the
+//! ledger rather than breaking it: dropped and undeliverable transfers
+//! bounce back to their sender after an RTT, a dead node's mass sits in
+//! per-node *escrow* until its silence is detected, and on detection (or a
+//! graceful departure) the escrow is re-absorbed by the node's live
+//! neighbors — see [`AsyncDibaRun::conservation_drift`] for the exact
+//! accounting identity, which the tests pin at zero through every fault.
 
 use crate::diba::{node_action, DibaConfig, DibaRun, NodeParams};
+use crate::faults::{FaultPlan, FaultSampler, NodeFaultKind, NodeHealth};
 use crate::problem::{AlgError, Allocation, PowerBudgetProblem};
 use dpc_models::units::Watts;
 use dpc_topology::Graph;
@@ -49,8 +59,17 @@ impl Default for AsyncConfig {
     }
 }
 
-/// An in-flight message: the sender's residual snapshot plus a slack
-/// transfer, due at `arrival`.
+/// What an in-flight message is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MsgKind {
+    /// A normal gossip message: residual snapshot plus a slack transfer.
+    Data,
+    /// A failed delivery bouncing back: the transport reports the loss and
+    /// the sender reclaims the transfer (no snapshot payload).
+    Bounce,
+}
+
+/// An in-flight message, due at `arrival`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct InFlight {
     arrival: usize,
@@ -58,12 +77,17 @@ struct InFlight {
     from: usize,
     e_snapshot: f64,
     transfer: f64,
+    kind: MsgKind,
 }
 
 /// Asynchronous DiBA run over a fixed barrier weight.
 ///
 /// Runs the identical per-node program as the synchronous reference
-/// ([`node_action`]); only the scheduling and delivery differ.
+/// ([`node_action`]); only the scheduling, delivery, and fault handling
+/// differ. Built fault-free by [`AsyncDibaRun::new`] or with an injected
+/// [`FaultPlan`] by [`AsyncDibaRun::with_faults`]; under the benign plan
+/// ([`FaultPlan::none`]) both paths are trajectory-identical bit for bit
+/// (fault draws come from a separate RNG stream that is never consulted).
 #[derive(Debug, Clone)]
 pub struct AsyncDibaRun {
     problem: PowerBudgetProblem,
@@ -78,11 +102,36 @@ pub struct AsyncDibaRun {
     last_heard: Vec<Vec<f64>>,
     in_flight: Vec<InFlight>,
     round: usize,
+    // --- fault state ---
+    faults: FaultPlan,
+    sampler: FaultSampler,
+    health: Vec<NodeHealth>,
+    /// Residual-minus-power mass of dead nodes awaiting re-absorption,
+    /// plus any transfers that bounced back to a node after it died.
+    escrow: Vec<f64>,
+    /// Escrow already re-absorbed (dead node detected or departed): late
+    /// bounces flush straight to the live neighbors instead of stranding.
+    settled: Vec<bool>,
+    /// Per-node link mask aligned with `graph.neighbors(i)`: `false` once
+    /// the neighbor timed out (pruned); revived on hearing from it again.
+    link_alive: Vec<Vec<bool>>,
+    /// Round each neighbor was last heard from, aligned like `link_alive`.
+    last_heard_round: Vec<Vec<usize>>,
+    /// Crashed nodes whose scheduled restart could not yet gather enough
+    /// slack to boot; retried every round.
+    pending_restarts: Vec<usize>,
+    /// Mass donated by a dying node that had no live neighbor left. Never
+    /// spent (it is non-positive slack), only accounted.
+    stranded: f64,
+    /// `true` while the live subgraph is disconnected (DiBA's convergence
+    /// guarantee needs connectivity; the run keeps going per component).
+    partitioned: bool,
 }
 
 impl AsyncDibaRun {
-    /// Builds an asynchronous run with the same initialization as the
-    /// synchronous reference.
+    /// Builds a fault-free asynchronous run with the same initialization as
+    /// the synchronous reference. Equivalent to [`AsyncDibaRun::with_faults`]
+    /// with [`FaultPlan::none`].
     ///
     /// # Errors
     ///
@@ -98,6 +147,26 @@ impl AsyncDibaRun {
         config: DibaConfig,
         net: AsyncConfig,
     ) -> Result<AsyncDibaRun, AlgError> {
+        Self::with_faults(problem, graph, config, net, FaultPlan::none())
+    }
+
+    /// Builds an asynchronous run with an injected fault plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DibaRun::new`] errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activation` is not in `(0, 1]`, `delay_prob` not in
+    /// `[0, 1)`, or the plan fails [`FaultPlan::validate`].
+    pub fn with_faults(
+        problem: PowerBudgetProblem,
+        graph: Graph,
+        config: DibaConfig,
+        net: AsyncConfig,
+        faults: FaultPlan,
+    ) -> Result<AsyncDibaRun, AlgError> {
         assert!(
             net.activation > 0.0 && net.activation <= 1.0,
             "activation {} not in (0, 1]",
@@ -108,14 +177,25 @@ impl AsyncDibaRun {
             "delay_prob {} not in [0, 1)",
             net.delay_prob
         );
+        if let Err(msg) = faults.validate(problem.len()) {
+            panic!("invalid fault plan: {msg}");
+        }
         let reference = DibaRun::new(problem.clone(), graph.clone(), config)?;
         let params = reference.params();
         let states = reference.node_states();
         let p: Vec<f64> = states.iter().map(|s| s.0).collect();
         let e: Vec<f64> = states.iter().map(|s| s.1).collect();
-        let last_heard = (0..problem.len())
+        let n = problem.len();
+        let last_heard = (0..n)
             .map(|i| graph.neighbors(i).iter().map(|&j| e[j]).collect())
             .collect();
+        let link_alive = (0..n)
+            .map(|i| vec![true; graph.neighbors(i).len()])
+            .collect();
+        let last_heard_round = (0..n)
+            .map(|i| vec![0usize; graph.neighbors(i).len()])
+            .collect();
+        let sampler = FaultSampler::new(&faults);
         Ok(AsyncDibaRun {
             problem,
             graph,
@@ -127,7 +207,45 @@ impl AsyncDibaRun {
             last_heard,
             in_flight: Vec::new(),
             round: 0,
+            faults,
+            sampler,
+            health: vec![NodeHealth::Alive; n],
+            escrow: vec![0.0; n],
+            settled: vec![false; n],
+            link_alive,
+            last_heard_round,
+            pending_restarts: Vec::new(),
+            stranded: 0.0,
+            partitioned: false,
         })
+    }
+
+    /// Replaces the fault plan and resets all fault state (health, escrow,
+    /// pruned links). Intended to be called before the first [`step`]
+    /// — installing a plan mid-run on a cluster that already suffered
+    /// faults is a caller bug.
+    ///
+    /// [`step`]: AsyncDibaRun::step
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    pub fn set_fault_plan(&mut self, faults: FaultPlan) {
+        if let Err(msg) = faults.validate(self.problem.len()) {
+            panic!("invalid fault plan: {msg}");
+        }
+        let n = self.problem.len();
+        self.sampler = FaultSampler::new(&faults);
+        self.faults = faults;
+        self.health = vec![NodeHealth::Alive; n];
+        self.escrow = vec![0.0; n];
+        self.settled = vec![false; n];
+        for row in &mut self.link_alive {
+            row.iter_mut().for_each(|l| *l = true);
+        }
+        self.pending_restarts.clear();
+        self.stranded = 0.0;
+        self.partitioned = false;
     }
 
     /// Rounds elapsed.
@@ -135,7 +253,7 @@ impl AsyncDibaRun {
         self.round
     }
 
-    /// Current allocation.
+    /// Current allocation (dead nodes draw 0 W).
     pub fn allocation(&self) -> Allocation {
         self.p.iter().map(|&p| Watts(p)).collect()
     }
@@ -145,13 +263,16 @@ impl AsyncDibaRun {
         Watts(self.p.iter().sum())
     }
 
-    /// Current total utility.
+    /// Current total utility, summed over live nodes (a dead node produces
+    /// no throughput; evaluating its quadratic at 0 W would be nonsense).
     pub fn total_utility(&self) -> f64 {
         self.problem
             .utilities()
             .iter()
             .zip(&self.p)
-            .map(|(u, &p)| u.value(Watts(p)))
+            .zip(&self.health)
+            .filter(|&(_, h)| *h == NodeHealth::Alive)
+            .map(|((u, &p), _)| u.value(Watts(p)))
             .sum()
     }
 
@@ -160,72 +281,114 @@ impl AsyncDibaRun {
         self.in_flight.len()
     }
 
-    /// Residual accounting drift: `Σe_nodes + Σ in-flight − (Σp − P)`, which
-    /// must stay at exactly zero (mass conservation including the network).
+    /// The problem being solved (utilities and current budget).
+    pub fn problem(&self) -> &PowerBudgetProblem {
+        &self.problem
+    }
+
+    /// The local residual estimates `eᵢ` (watts); dead nodes read 0.
+    pub fn residuals(&self) -> &[f64] {
+        &self.e
+    }
+
+    /// Per-node health under the installed fault plan.
+    pub fn health(&self) -> &[NodeHealth] {
+        &self.health
+    }
+
+    /// Number of live nodes.
+    pub fn live_count(&self) -> usize {
+        self.health
+            .iter()
+            .filter(|&&h| h == NodeHealth::Alive)
+            .count()
+    }
+
+    /// Escrowed residual mass of dead nodes not yet re-absorbed (≤ 0).
+    pub fn escrow_total(&self) -> f64 {
+        self.escrow.iter().sum()
+    }
+
+    /// Slack mass stranded by nodes that died with no live neighbor (≤ 0).
+    pub fn stranded(&self) -> f64 {
+        self.stranded
+    }
+
+    /// `true` while churn has disconnected the live subgraph. DiBA's
+    /// convergence proof requires a connected graph; a partitioned run
+    /// stays feasible but each component equilibrates on its own.
+    pub fn partitioned(&self) -> bool {
+        self.partitioned
+    }
+
+    /// Residual accounting drift:
+    /// `Σe + Σescrow + Σin-flight + stranded − (Σp − P)`, which must stay at
+    /// exactly zero — mass conservation including the network and every
+    /// fault-handling ledger. Because every term on the left is ≤ 0, this
+    /// identity is also the feasibility proof: `Σp ≤ P` at all times.
     pub fn conservation_drift(&self) -> f64 {
         let on_nodes: f64 = self.e.iter().sum();
         let flying: f64 = self.in_flight.iter().map(|m| m.transfer).sum();
+        let escrowed: f64 = self.escrow.iter().sum();
         let sum_p: f64 = self.p.iter().sum();
-        (on_nodes + flying - (sum_p - self.problem.budget().0)).abs()
+        (on_nodes + flying + escrowed + self.stranded - (sum_p - self.problem.budget().0)).abs()
     }
 
-    /// One asynchronous round: deliver due messages, let a random subset of
-    /// nodes act, enqueue their messages with random delays.
+    /// Changes the budget in place: the shift is split across live nodes'
+    /// residuals so the conservation identity is preserved exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`AlgError::InfeasibleBudget`] when the new budget is below `Σp_min`.
+    pub fn set_budget(&mut self, budget: Watts) -> Result<(), AlgError> {
+        let old = self.problem.budget();
+        self.problem = self.problem.with_budget(budget)?;
+        let live: Vec<usize> = (0..self.p.len())
+            .filter(|&i| self.health[i] == NodeHealth::Alive)
+            .collect();
+        let shift = (old.0 - budget.0) / live.len().max(1) as f64;
+        for i in live {
+            self.e[i] += shift;
+        }
+        Ok(())
+    }
+
+    /// Replaces node `i`'s utility (a workload change), clamping its power
+    /// into the new box and adjusting the residual by the clamp so the
+    /// conservation identity is preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn replace_utility(&mut self, i: usize, utility: dpc_models::QuadraticUtility) {
+        let mut utilities = self.problem.utilities().to_vec();
+        utilities[i] = utility;
+        let budget = self.problem.budget();
+        self.problem = PowerBudgetProblem::new(utilities, budget)
+            .expect("replacing one utility keeps the problem non-empty");
+        if self.health[i] != NodeHealth::Alive {
+            return; // a dead node keeps p = 0 until it restarts
+        }
+        let u = self.problem.utility(i);
+        let clamped = self.p[i].clamp(u.p_min().0, u.p_max().0);
+        self.e[i] += clamped - self.p[i];
+        self.p[i] = clamped;
+    }
+
+    /// One asynchronous round: fire scheduled node faults, deliver due
+    /// messages (bouncing undeliverable ones), run failure detection, then
+    /// let a random subset of live nodes act and enqueue their messages
+    /// with random delays and link faults.
     pub fn step(&mut self) {
         self.round += 1;
-
-        // Deliver everything due this round.
-        let round = self.round;
-        let mut delivered = Vec::new();
-        self.in_flight.retain(|m| {
-            if m.arrival <= round {
-                delivered.push(*m);
-                false
-            } else {
-                true
-            }
-        });
-        for m in delivered {
-            self.e[m.to] += m.transfer;
-            let slot = self
-                .graph
-                .neighbors(m.to)
-                .iter()
-                .position(|&j| j == m.from)
-                .expect("message along a graph edge");
-            self.last_heard[m.to][slot] = m.e_snapshot;
+        if !self.faults.schedule.is_empty() || !self.pending_restarts.is_empty() {
+            self.apply_schedule();
         }
-
-        // Random subset of nodes act on last-heard state.
-        for i in 0..self.p.len() {
-            if self.rng.gen_range(0.0..1.0) >= self.net.activation {
-                continue;
-            }
-            let action = node_action(
-                self.problem.utility(i),
-                self.p[i],
-                self.e[i],
-                &self.last_heard[i],
-                &self.params,
-            );
-            self.p[i] += action.dp;
-            self.e[i] += action.own_residual_delta();
-            for (&j, &t) in self.graph.neighbors(i).iter().zip(&action.transfers) {
-                let mut delay = 1usize;
-                while delay < self.net.max_delay
-                    && self.rng.gen_range(0.0..1.0) < self.net.delay_prob
-                {
-                    delay += 1;
-                }
-                self.in_flight.push(InFlight {
-                    arrival: self.round + delay,
-                    to: j,
-                    from: i,
-                    e_snapshot: self.e[i],
-                    transfer: t,
-                });
-            }
+        self.deliver_due();
+        if self.faults.detect_after.is_some() {
+            self.detect_failures();
         }
+        self.act_nodes();
     }
 
     /// Runs `rounds` asynchronous rounds.
@@ -255,12 +418,388 @@ impl AsyncDibaRun {
         }
         None
     }
+
+    // ------------------------------------------------------------------
+    // Fault machinery
+    // ------------------------------------------------------------------
+
+    /// Fires node events scheduled for this round, then retries deferred
+    /// restarts.
+    fn apply_schedule(&mut self) {
+        for idx in 0..self.faults.schedule.len() {
+            let f = self.faults.schedule[idx];
+            if f.round != self.round {
+                continue;
+            }
+            match f.kind {
+                NodeFaultKind::Crash => self.crash(f.node),
+                NodeFaultKind::Depart => self.depart(f.node),
+                NodeFaultKind::Restart => {
+                    if !self.try_restart(f.node) {
+                        self.pending_restarts.push(f.node);
+                    }
+                }
+            }
+        }
+        if !self.pending_restarts.is_empty() {
+            let pending = std::mem::take(&mut self.pending_restarts);
+            for node in pending {
+                if !self.try_restart(node) {
+                    self.pending_restarts.push(node);
+                }
+            }
+        }
+    }
+
+    /// Node `i` powers off silently: its power draw stops and its residual
+    /// mass `e − p` moves to escrow, keeping the conservation ledger exact.
+    fn crash(&mut self, i: usize) {
+        if self.health[i] != NodeHealth::Alive {
+            return;
+        }
+        self.escrow[i] += self.e[i] - self.p[i];
+        self.e[i] = 0.0;
+        self.p[i] = 0.0;
+        self.health[i] = NodeHealth::Crashed;
+        self.settled[i] = false;
+        self.partitioned = !self.live_connected();
+    }
+
+    /// Node `i` leaves permanently. A live node departs gracefully,
+    /// donating `e − p` to its live neighbors in a farewell (so the budget
+    /// it occupied is re-absorbed immediately); a crashed node is removed
+    /// by the management plane, which settles its escrow the same way.
+    fn depart(&mut self, i: usize) {
+        match self.health[i] {
+            NodeHealth::Alive => {
+                let farewell = self.e[i] - self.p[i];
+                self.e[i] = 0.0;
+                self.p[i] = 0.0;
+                self.health[i] = NodeHealth::Departed;
+                self.settled[i] = true;
+                self.donate_to_live_neighbors(i, farewell);
+            }
+            NodeHealth::Crashed => {
+                self.health[i] = NodeHealth::Departed;
+                if !self.settled[i] {
+                    self.settle(i);
+                }
+            }
+            NodeHealth::Departed => return,
+        }
+        // Both directions of every incident link go down for good.
+        for slot in 0..self.graph.neighbors(i).len() {
+            self.link_alive[i][slot] = false;
+        }
+        for (j, row) in self.link_alive.iter_mut().enumerate() {
+            if let Some(slot) = self.graph.neighbors(j).iter().position(|&k| k == i) {
+                row[slot] = false;
+            }
+        }
+        self.partitioned = !self.live_connected();
+    }
+
+    /// Re-absorbs a dead node's escrow into its live neighbors' residuals.
+    fn settle(&mut self, i: usize) {
+        self.settled[i] = true;
+        let amount = std::mem::take(&mut self.escrow[i]);
+        self.donate_to_live_neighbors(i, amount);
+    }
+
+    /// Splits `amount` (≤ 0 slack mass) equally over `i`'s live neighbors;
+    /// strands it when none is left (an island of dead nodes).
+    fn donate_to_live_neighbors(&mut self, i: usize, amount: f64) {
+        if amount == 0.0 {
+            return;
+        }
+        let live: Vec<usize> = self
+            .graph
+            .neighbors(i)
+            .iter()
+            .copied()
+            .filter(|&j| self.health[j] == NodeHealth::Alive)
+            .collect();
+        if live.is_empty() {
+            self.stranded += amount;
+            return;
+        }
+        let share = amount / live.len() as f64;
+        for j in live {
+            self.e[j] += share;
+        }
+    }
+
+    /// Attempts to boot a crashed node at its idle power. The boot needs
+    /// `p_min + margin` watts of headroom: first from the node's own
+    /// escrow (if not yet re-absorbed), then from each live neighbor's
+    /// spare slack, and finally — since a converged cluster has no spare
+    /// slack at all — from neighbors *throttling down* toward their own
+    /// `p_min` to make room (the admission-control handshake; the normal
+    /// diffusion dynamics re-equalize afterwards). Returns `false`
+    /// (deferring to the next round) when not enough headroom exists yet.
+    fn try_restart(&mut self, i: usize) -> bool {
+        match self.health[i] {
+            NodeHealth::Crashed => {}
+            // Restarting a live node is a no-op; a departed node is gone.
+            NodeHealth::Alive | NodeHealth::Departed => return true,
+        }
+        let p_min = self.problem.utility(i).p_min().0;
+        let need = p_min + self.params.margin;
+        let own = if self.settled[i] {
+            0.0
+        } else {
+            -self.escrow[i]
+        };
+        // Pass 1 (read-only): can enough headroom be gathered at all?
+        // `spare` donates existing slack above the margin; `cut` throttles
+        // the donor toward its own box floor, creating new headroom.
+        let mut donations: Vec<(usize, f64, f64)> = Vec::new();
+        let mut have = own;
+        for &j in self.graph.neighbors(i) {
+            if have >= need {
+                break;
+            }
+            if self.health[j] != NodeHealth::Alive {
+                continue;
+            }
+            let spare = ((-self.e[j]) - self.params.margin).max(0.0);
+            let spare_take = spare.min(need - have);
+            have += spare_take;
+            let cut_cap = (self.p[j] - self.problem.utility(j).p_min().0).max(0.0);
+            let cut_take = cut_cap.min(need - have);
+            have += cut_take;
+            if spare_take > 0.0 || cut_take > 0.0 {
+                donations.push((j, spare_take, cut_take));
+            }
+        }
+        if have < need {
+            return false; // admission control: not enough headroom yet
+        }
+        // Pass 2: apply. A spare donation moves slack (e_j += d); a power
+        // cut lowers p_j with e_j unchanged — either way the donor's
+        // `e − p` rises by the donated amount, so with the boot below the
+        // ledger change is exactly `p_min` on both sides of the invariant.
+        for &(j, spare_take, cut_take) in &donations {
+            self.e[j] += spare_take;
+            self.p[j] -= cut_take;
+        }
+        self.escrow[i] = 0.0;
+        self.settled[i] = false;
+        self.health[i] = NodeHealth::Alive;
+        self.p[i] = p_min;
+        self.e[i] = p_min - have;
+        // Fresh boot: revive own links and assume residual parity with the
+        // neighbors until real gossip arrives (prevents blind donations).
+        for slot in 0..self.graph.neighbors(i).len() {
+            self.link_alive[i][slot] = true;
+            self.last_heard[i][slot] = self.e[i];
+            self.last_heard_round[i][slot] = self.round;
+        }
+        self.partitioned = !self.live_connected();
+        true
+    }
+
+    /// `true` when the subgraph induced by live nodes is connected.
+    fn live_connected(&self) -> bool {
+        let alive: Vec<bool> = self
+            .health
+            .iter()
+            .map(|&h| h == NodeHealth::Alive)
+            .collect();
+        self.graph.is_connected_among(&alive)
+    }
+
+    /// Delivers every message due this round. Data for a dead node bounces
+    /// back to its sender after the link RTT; bounced transfers are
+    /// reclaimed by the sender (or its escrow, if it died in the meantime).
+    fn deliver_due(&mut self) {
+        let round = self.round;
+        let mut delivered = Vec::new();
+        self.in_flight.retain(|m| {
+            if m.arrival <= round {
+                delivered.push(*m);
+                false
+            } else {
+                true
+            }
+        });
+        for m in delivered {
+            match m.kind {
+                MsgKind::Data => {
+                    if self.health[m.to] == NodeHealth::Alive {
+                        self.e[m.to] += m.transfer;
+                        let slot = self
+                            .graph
+                            .neighbors(m.to)
+                            .iter()
+                            .position(|&j| j == m.from)
+                            .expect("message along a graph edge");
+                        self.last_heard[m.to][slot] = m.e_snapshot;
+                        self.last_heard_round[m.to][slot] = round;
+                        // Hearing from a pruned neighbor revives the link.
+                        self.link_alive[m.to][slot] = true;
+                    } else if m.transfer != 0.0 {
+                        // Undeliverable: the transport bounces the transfer
+                        // back to the sender after the RTT.
+                        self.in_flight.push(InFlight {
+                            arrival: round + self.faults.link.rtt.max(1),
+                            to: m.from,
+                            from: m.to,
+                            e_snapshot: 0.0,
+                            transfer: m.transfer,
+                            kind: MsgKind::Bounce,
+                        });
+                    }
+                }
+                MsgKind::Bounce => self.reclaim(m.to, m.transfer),
+            }
+        }
+    }
+
+    /// Returns a bounced transfer to node `i`: to its residual while alive,
+    /// to its escrow when dead (flushed onward immediately if the escrow
+    /// was already settled).
+    fn reclaim(&mut self, i: usize, transfer: f64) {
+        if self.health[i] == NodeHealth::Alive {
+            self.e[i] += transfer;
+        } else if self.settled[i] {
+            self.donate_to_live_neighbors(i, transfer);
+        } else {
+            self.escrow[i] += transfer;
+        }
+    }
+
+    /// Neighbor-timeout failure detection: prunes links silent for longer
+    /// than the plan's timeout, and on the first detection of a genuinely
+    /// dead neighbor re-absorbs its escrowed budget. A pruned link to a
+    /// live node (a false positive under heavy loss) revives as soon as a
+    /// message gets through.
+    fn detect_failures(&mut self) {
+        let timeout = match self.faults.detect_after {
+            Some(t) => t,
+            None => return,
+        };
+        let n = self.p.len();
+        for i in 0..n {
+            if self.health[i] != NodeHealth::Alive {
+                continue;
+            }
+            for slot in 0..self.graph.neighbors(i).len() {
+                if !self.link_alive[i][slot] {
+                    continue;
+                }
+                if self.round.saturating_sub(self.last_heard_round[i][slot]) > timeout {
+                    self.link_alive[i][slot] = false;
+                    let j = self.graph.neighbors(i)[slot];
+                    if self.health[j] != NodeHealth::Alive && !self.settled[j] {
+                        self.settle(j);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The acting phase: each live node activates with probability
+    /// `activation`, runs [`node_action`] over its live links, and sends
+    /// one message per live link, subject to delay and link faults.
+    fn act_nodes(&mut self) {
+        let mut pruned_e: Vec<f64> = Vec::new();
+        let mut pruned_slots: Vec<usize> = Vec::new();
+        for i in 0..self.p.len() {
+            if self.health[i] != NodeHealth::Alive {
+                continue;
+            }
+            if self.rng.gen_range(0.0..1.0) >= self.net.activation {
+                continue;
+            }
+            let degree = self.graph.neighbors(i).len();
+            let all_links_up = self.link_alive[i].iter().all(|&l| l);
+            let action = if all_links_up {
+                node_action(
+                    self.problem.utility(i),
+                    self.p[i],
+                    self.e[i],
+                    &self.last_heard[i],
+                    &self.params,
+                )
+            } else {
+                // Pruned links drop out of the local program entirely: the
+                // node re-estimates against its live neighborhood only, so
+                // slack diffusion renormalizes to the surviving degree.
+                pruned_e.clear();
+                pruned_slots.clear();
+                for slot in 0..degree {
+                    if self.link_alive[i][slot] {
+                        pruned_slots.push(slot);
+                        pruned_e.push(self.last_heard[i][slot]);
+                    }
+                }
+                node_action(
+                    self.problem.utility(i),
+                    self.p[i],
+                    self.e[i],
+                    &pruned_e,
+                    &self.params,
+                )
+            };
+            self.p[i] += action.dp;
+            self.e[i] += action.own_residual_delta();
+            for (k, &t) in action.transfers.iter().enumerate() {
+                let slot = if all_links_up { k } else { pruned_slots[k] };
+                let j = self.graph.neighbors(i)[slot];
+                let mut delay = 1usize;
+                while delay < self.net.max_delay
+                    && self.rng.gen_range(0.0..1.0) < self.net.delay_prob
+                {
+                    delay += 1;
+                }
+                let fate = self.sampler.fate();
+                if fate.dropped {
+                    if t != 0.0 {
+                        // The transport reports the loss; the sender gets
+                        // the transfer back one RTT after it would arrive.
+                        self.in_flight.push(InFlight {
+                            arrival: self.round + delay + self.faults.link.rtt.max(1),
+                            to: i,
+                            from: j,
+                            e_snapshot: 0.0,
+                            transfer: t,
+                            kind: MsgKind::Bounce,
+                        });
+                    }
+                    continue;
+                }
+                let arrival = self.round + delay + fate.extra_delay;
+                self.in_flight.push(InFlight {
+                    arrival,
+                    to: j,
+                    from: i,
+                    e_snapshot: self.e[i],
+                    transfer: t,
+                    kind: MsgKind::Data,
+                });
+                if fate.dup_lag > 0 {
+                    // The duplicate re-delivers only the (stale) snapshot:
+                    // the receiver deduplicates the slack payload.
+                    self.in_flight.push(InFlight {
+                        arrival: arrival + fate.dup_lag,
+                        to: j,
+                        from: i,
+                        e_snapshot: self.e[i],
+                        transfer: 0.0,
+                        kind: MsgKind::Data,
+                    });
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::centralized;
+    use crate::faults::LinkFaults;
     use dpc_models::workload::ClusterBuilder;
 
     fn problem(n: usize, per_server: f64, seed: u64) -> PowerBudgetProblem {
@@ -272,6 +811,29 @@ mod tests {
         let p = problem(n, 170.0, 3);
         let r = AsyncDibaRun::new(p.clone(), Graph::ring(n), DibaConfig::default(), net).unwrap();
         (p, r)
+    }
+
+    fn lossy_link(drop: f64) -> LinkFaults {
+        LinkFaults {
+            drop,
+            duplicate: drop / 2.0,
+            reorder: drop,
+            reorder_max: 4,
+            rtt: 3,
+        }
+    }
+
+    /// Oracle utility over the surviving nodes only, at the full budget.
+    fn survivor_optimal(p: &PowerBudgetProblem, dead: &[usize]) -> f64 {
+        let utilities: Vec<_> = p
+            .utilities()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !dead.contains(i))
+            .map(|(_, u)| *u)
+            .collect();
+        let survivors = PowerBudgetProblem::new(utilities, p.budget()).unwrap();
+        survivors.total_utility(&centralized::solve(&survivors).allocation)
     }
 
     #[test]
@@ -370,5 +932,225 @@ mod tests {
             ..Default::default()
         };
         let _ = AsyncDibaRun::new(p, Graph::ring(4), DibaConfig::default(), net);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn rejects_out_of_range_fault_schedule() {
+        let p = problem(4, 170.0, 1);
+        let plan = FaultPlan::none().and(10, 99, NodeFaultKind::Crash);
+        let _ = AsyncDibaRun::with_faults(
+            p,
+            Graph::ring(4),
+            DibaConfig::default(),
+            AsyncConfig::default(),
+            plan,
+        );
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bitwise_inert() {
+        let (_, mut plain) = run(30, AsyncConfig::default());
+        let p = problem(30, 170.0, 3);
+        let mut faulted = AsyncDibaRun::with_faults(
+            p,
+            Graph::ring(30),
+            DibaConfig::default(),
+            AsyncConfig::default(),
+            FaultPlan::none(),
+        )
+        .unwrap();
+        for _ in 0..400 {
+            plain.step();
+            faulted.step();
+        }
+        assert_eq!(plain.allocation(), faulted.allocation());
+        assert_eq!(plain.residuals(), faulted.residuals());
+        assert_eq!(plain.in_flight(), faulted.in_flight());
+    }
+
+    #[test]
+    fn conservation_and_feasibility_survive_lossy_links() {
+        let p = problem(40, 170.0, 3);
+        let plan = FaultPlan::with_link(11, lossy_link(0.2));
+        let mut r = AsyncDibaRun::with_faults(
+            p.clone(),
+            Graph::ring(40),
+            DibaConfig::default(),
+            AsyncConfig::default(),
+            plan,
+        )
+        .unwrap();
+        for _ in 0..1_500 {
+            r.step();
+            assert!(
+                r.conservation_drift() < 1e-6,
+                "drift {} at round {}",
+                r.conservation_drift(),
+                r.round()
+            );
+            assert!(r.total_power() <= p.budget() + Watts(1e-6));
+        }
+        // Still converges (more slowly) despite 20% loss.
+        let opt = p.total_utility(&centralized::solve(&p).allocation);
+        assert!(
+            r.run_until_within(opt, 0.03, 80_000).is_some(),
+            "lossy run failed to converge"
+        );
+    }
+
+    #[test]
+    fn crash_is_detected_escrow_reabsorbed_and_budget_reclaimed() {
+        let p = problem(40, 170.0, 3);
+        let victim = 7usize;
+        let plan = FaultPlan::with_link(5, lossy_link(0.1))
+            .and(100, victim, NodeFaultKind::Crash)
+            .detect_after(Some(30));
+        let mut r = AsyncDibaRun::with_faults(
+            p.clone(),
+            Graph::ring_with_chords(40, 3),
+            DibaConfig::default(),
+            AsyncConfig::default(),
+            plan,
+        )
+        .unwrap();
+        for _ in 0..12_000 {
+            r.step();
+            assert!(
+                r.conservation_drift() < 1e-6,
+                "drift {} at round {}",
+                r.conservation_drift(),
+                r.round()
+            );
+            assert!(r.total_power() <= p.budget() + Watts(1e-6));
+        }
+        assert_eq!(r.health()[victim], NodeHealth::Crashed);
+        assert_eq!(r.escrow_total(), 0.0, "escrow never re-absorbed");
+        assert!(!r.partitioned(), "chorded ring survives one crash");
+        // The freed budget is re-absorbed: survivors approach the oracle
+        // utility of the 39-node problem at the full budget.
+        let opt = survivor_optimal(&p, &[victim]);
+        let gap = (opt - r.total_utility()).abs() / opt;
+        assert!(gap < 0.03, "survivors did not re-absorb budget: gap {gap}");
+    }
+
+    #[test]
+    fn crashed_node_restarts_and_cluster_reconverges() {
+        let p = problem(30, 170.0, 3);
+        let victim = 4usize;
+        let plan = FaultPlan::with_link(5, LinkFaults::none())
+            .and(100, victim, NodeFaultKind::Crash)
+            .and(2_000, victim, NodeFaultKind::Restart)
+            .detect_after(Some(30));
+        let mut r = AsyncDibaRun::with_faults(
+            p.clone(),
+            Graph::ring(30),
+            DibaConfig::default(),
+            AsyncConfig::default(),
+            plan,
+        )
+        .unwrap();
+        r.run(1_500);
+        assert_eq!(r.health()[victim], NodeHealth::Crashed);
+        assert_eq!(r.allocation().power(victim), Watts(0.0));
+        r.run(10_000);
+        assert_eq!(
+            r.health()[victim],
+            NodeHealth::Alive,
+            "restart never booted"
+        );
+        assert!(r.allocation().power(victim) >= Watts(p.utility(victim).p_min().0));
+        assert!(
+            r.conservation_drift() < 1e-6,
+            "drift {}",
+            r.conservation_drift()
+        );
+        // Back to the full-cluster optimum.
+        let opt = p.total_utility(&centralized::solve(&p).allocation);
+        assert!(
+            r.run_until_within(opt, 0.02, 40_000).is_some(),
+            "cluster failed to re-converge after restart"
+        );
+    }
+
+    #[test]
+    fn departure_reabsorbs_budget_immediately() {
+        let p = problem(30, 170.0, 3);
+        let leaver = 12usize;
+        let plan = FaultPlan::none()
+            .and(200, leaver, NodeFaultKind::Depart)
+            .detect_after(Some(40));
+        let mut r = AsyncDibaRun::with_faults(
+            p.clone(),
+            Graph::ring(30),
+            DibaConfig::default(),
+            AsyncConfig::default(),
+            plan,
+        )
+        .unwrap();
+        for _ in 0..300 {
+            r.step();
+            assert!(
+                r.conservation_drift() < 1e-6,
+                "drift {}",
+                r.conservation_drift()
+            );
+        }
+        assert_eq!(r.health()[leaver], NodeHealth::Departed);
+        assert_eq!(r.escrow_total(), 0.0, "graceful departure leaves no escrow");
+        assert!(!r.partitioned(), "ring minus one node is a path: connected");
+        let opt = survivor_optimal(&p, &[leaver]);
+        assert!(
+            r.run_until_within(opt, 0.02, 40_000).is_some(),
+            "survivors failed to absorb the departed budget"
+        );
+    }
+
+    #[test]
+    fn hub_departure_flags_partition() {
+        let p = problem(8, 170.0, 3);
+        let plan = FaultPlan::none().and(50, 0, NodeFaultKind::Depart);
+        let mut r = AsyncDibaRun::with_faults(
+            p,
+            Graph::star(8),
+            DibaConfig::default(),
+            AsyncConfig::default(),
+            plan,
+        )
+        .unwrap();
+        r.run(60);
+        assert!(r.partitioned(), "losing the star hub must partition");
+        // Feasibility still holds per component.
+        assert!(r.conservation_drift() < 1e-6);
+    }
+
+    #[test]
+    fn acceptance_sweep_cell_ten_percent_drop_plus_crash() {
+        // The ISSUE acceptance criterion: 10% message drop + one node
+        // crash still converges to a feasible allocation with the dead
+        // node's budget re-absorbed.
+        let p = problem(40, 170.0, 3);
+        let victim = 19usize;
+        let plan = FaultPlan::with_link(7, lossy_link(0.10))
+            .and(300, victim, NodeFaultKind::Crash)
+            .detect_after(Some(40));
+        let mut r = AsyncDibaRun::with_faults(
+            p.clone(),
+            Graph::ring_with_chords(40, 3),
+            DibaConfig::default(),
+            AsyncConfig::default(),
+            plan,
+        )
+        .unwrap();
+        let opt = survivor_optimal(&p, &[victim]);
+        let rounds = r.run_until_within(opt, 0.03, 60_000);
+        assert!(rounds.is_some(), "faulted sweep cell failed to converge");
+        assert!(r.total_power() <= p.budget() + Watts(1e-6));
+        assert_eq!(r.escrow_total(), 0.0);
+        assert!(r.conservation_drift() < 1e-6);
     }
 }

@@ -1,0 +1,418 @@
+//! Deterministic fault injection for the asynchronous DiBA run.
+//!
+//! The paper's robustness story (Section 4.2) is that a fully decentralized
+//! allocator keeps operating — and keeps the budget — when the datacenter
+//! misbehaves: packets are dropped, duplicated, reordered or delayed, and
+//! servers crash, reboot, or leave for good. [`crate::diba_async`] models
+//! the *timing* imperfections (late activations, delayed delivery); this
+//! module adds the *adversarial* ones as a seeded, bit-reproducible
+//! [`FaultPlan`] consumed by
+//! [`AsyncDibaRun::with_faults`](crate::diba_async::AsyncDibaRun::with_faults).
+//!
+//! The plan has two halves:
+//!
+//! * [`LinkFaults`] — per-message stochastic faults, drawn from the plan's
+//!   own seeded RNG (a stream separate from the timing RNG, so a benign
+//!   plan leaves the fault-free trajectory bitwise untouched);
+//! * a round-indexed schedule of [`NodeFault`]s — crash, restart, and
+//!   permanent departure events.
+//!
+//! Fault semantics are chosen so the residual invariant `Σe = Σp − P`
+//! stays *exactly* accounted at all times (see DESIGN.md, "Fault model &
+//! recovery"): a dropped message is rolled back by its sender (reliable
+//! transport reports the failure after [`LinkFaults::rtt`] rounds), a
+//! duplicate re-delivers only the stale gossip snapshot (receivers
+//! deduplicate the slack payload), and a dead node's residual-and-power
+//! mass is held in escrow until its neighbors detect the silence and
+//! re-absorb the freed budget.
+//!
+//! ```
+//! use dpc_alg::diba::DibaConfig;
+//! use dpc_alg::diba_async::{AsyncConfig, AsyncDibaRun};
+//! use dpc_alg::faults::{FaultPlan, LinkFaults, NodeFaultKind};
+//! use dpc_alg::problem::PowerBudgetProblem;
+//! use dpc_models::{units::Watts, workload::ClusterBuilder};
+//! use dpc_topology::Graph;
+//!
+//! # fn main() -> Result<(), dpc_alg::problem::AlgError> {
+//! let cluster = ClusterBuilder::new(16).seed(1).build();
+//! let problem = PowerBudgetProblem::new(cluster.utilities(), Watts(2_720.0))?;
+//! // 10 % message loss, and node 5 crashes at round 200.
+//! let plan = FaultPlan::with_link(7, LinkFaults { drop: 0.10, ..LinkFaults::none() })
+//!     .and(200, 5, NodeFaultKind::Crash);
+//! let mut run = AsyncDibaRun::with_faults(
+//!     problem, Graph::ring_with_chords(16, 2),
+//!     DibaConfig::default(), AsyncConfig::default(), plan)?;
+//! run.run(1_000);
+//! // Feasible throughout, crash detected, budget re-absorbed exactly.
+//! assert!(run.total_power() <= Watts(2_720.0 + 1e-6));
+//! assert_eq!(run.live_count(), 15);
+//! assert!(run.conservation_drift() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Per-message stochastic link faults. All probabilities are per message
+/// and independent; every draw comes from the plan's seeded RNG, so a run
+/// is bit-reproducible given the seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaults {
+    /// Probability a message is dropped. The transfer it carried is rolled
+    /// back by the sender [`LinkFaults::rtt`] rounds later (reliable
+    /// transport reports the delivery failure), so no slack mass is ever
+    /// silently destroyed.
+    pub drop: f64,
+    /// Probability a message is duplicated. The duplicate arrives later
+    /// (up to [`LinkFaults::reorder_max`] extra rounds) carrying only the
+    /// — by then stale — residual snapshot: receivers deduplicate the
+    /// slack payload, but sequence-number-free gossip state regresses.
+    pub duplicate: f64,
+    /// Probability a message is reordered: it picks up an extra uniform
+    /// delay of `1..=reorder_max` rounds and may overtake or be overtaken
+    /// by its neighbors.
+    pub reorder: f64,
+    /// Bound (rounds) on the extra delay of reordered messages and
+    /// duplicates.
+    pub reorder_max: usize,
+    /// Rounds until a failed delivery is reported back to the sender
+    /// (dropped messages and messages addressed to dead nodes bounce after
+    /// this many rounds).
+    pub rtt: usize,
+}
+
+impl LinkFaults {
+    /// No link faults at all.
+    pub fn none() -> LinkFaults {
+        LinkFaults {
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            reorder_max: 4,
+            rtt: 3,
+        }
+    }
+
+    /// `true` when no message can ever be faulted.
+    pub fn is_benign(&self) -> bool {
+        self.drop == 0.0 && self.duplicate == 0.0 && self.reorder == 0.0
+    }
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults::none()
+    }
+}
+
+/// What happens to a node at a scheduled round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeFaultKind {
+    /// The node powers off silently: its draw goes to zero, its residual
+    /// mass moves to escrow, and it stops sending. Neighbors only learn of
+    /// the crash through silence (see [`FaultPlan::detect_after`]).
+    Crash,
+    /// A crashed node reboots: it re-admits itself at its idle power by
+    /// consuming its own escrowed slack, topped up by neighbor donations
+    /// when the escrow was already re-absorbed. A reboot that cannot
+    /// gather enough slack is retried every round until it can.
+    Restart,
+    /// The node leaves the cluster for good, gracefully: it donates its
+    /// residual-and-power mass `e − p` to its live neighbors in a farewell
+    /// message, so the budget it occupied is re-absorbed immediately.
+    Depart,
+}
+
+impl fmt::Display for NodeFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NodeFaultKind::Crash => "crash",
+            NodeFaultKind::Restart => "restart",
+            NodeFaultKind::Depart => "depart",
+        })
+    }
+}
+
+/// One scheduled node event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeFault {
+    /// The asynchronous round at which the event fires (rounds count from
+    /// 1; round 0 is the initial state).
+    pub round: usize,
+    /// The affected node.
+    pub node: usize,
+    /// What happens.
+    pub kind: NodeFaultKind,
+}
+
+/// Health of a node under fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeHealth {
+    /// Operating normally.
+    Alive,
+    /// Powered off by a [`NodeFaultKind::Crash`]; may restart.
+    Crashed,
+    /// Left permanently via [`NodeFaultKind::Depart`].
+    Departed,
+}
+
+/// A complete, seeded fault-injection plan: link-fault rates, a node event
+/// schedule, and the failure-detection timeout.
+///
+/// A benign plan (the [`FaultPlan::none`] default) injects nothing and is
+/// guaranteed not to perturb the fault-free trajectory — the regression
+/// test `fault_free_regression` pins that bitwise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault-draw RNG (independent of the timing seed in
+    /// [`crate::diba_async::AsyncConfig`]).
+    pub seed: u64,
+    /// Stochastic per-message link faults.
+    pub link: LinkFaults,
+    /// Scheduled node events, in any order (scanned per round).
+    pub schedule: Vec<NodeFault>,
+    /// Neighbor-timeout failure detection: a node that has not been heard
+    /// from for this many rounds is declared dead and its link pruned
+    /// (and, if it really is dead, its escrowed budget re-absorbed).
+    /// `None` disables detection entirely.
+    pub detect_after: Option<usize>,
+}
+
+impl FaultPlan {
+    /// The benign plan: no link faults, no node events, no detection.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            link: LinkFaults::none(),
+            schedule: Vec::new(),
+            detect_after: None,
+        }
+    }
+
+    /// A plan with the given seed and link-fault rates, failure detection
+    /// at 40 silent rounds, and an empty node schedule.
+    pub fn with_link(seed: u64, link: LinkFaults) -> FaultPlan {
+        FaultPlan {
+            seed,
+            link,
+            schedule: Vec::new(),
+            detect_after: Some(40),
+        }
+    }
+
+    /// Appends a node event to the schedule (builder style).
+    pub fn and(mut self, round: usize, node: usize, kind: NodeFaultKind) -> FaultPlan {
+        self.schedule.push(NodeFault { round, node, kind });
+        self
+    }
+
+    /// Overrides the failure-detection timeout (builder style).
+    pub fn detect_after(mut self, rounds: Option<usize>) -> FaultPlan {
+        self.detect_after = rounds;
+        self
+    }
+
+    /// `true` when the plan can never perturb a run: no link faults, no
+    /// node events, and no failure detection (so not even a false-positive
+    /// pruning can occur).
+    pub fn is_benign(&self) -> bool {
+        self.link.is_benign() && self.schedule.is_empty() && self.detect_after.is_none()
+    }
+
+    /// Validates the plan against a cluster of `n` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first offending field: a node id out
+    /// of range, a probability outside `[0, 1)`, or a zero `reorder_max` /
+    /// `rtt` with a nonzero matching rate.
+    pub fn validate(&self, n: usize) -> Result<(), String> {
+        for (name, p) in [
+            ("drop", self.link.drop),
+            ("duplicate", self.link.duplicate),
+            ("reorder", self.link.reorder),
+        ] {
+            if !(0.0..1.0).contains(&p) {
+                return Err(format!("link fault `{name}` = {p} not in [0, 1)"));
+            }
+        }
+        if (self.link.reorder > 0.0 || self.link.duplicate > 0.0) && self.link.reorder_max == 0 {
+            return Err("reorder_max must be positive when reorder/duplicate > 0".into());
+        }
+        if self.link.rtt == 0 {
+            return Err("rtt must be at least 1 round".into());
+        }
+        for f in &self.schedule {
+            if f.node >= n {
+                return Err(format!(
+                    "scheduled {} at round {} targets node {} of {n}",
+                    f.kind, f.round, f.node
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// The fate of one message under a plan's link faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageFate {
+    /// The message never arrives; the sender rolls the transfer back after
+    /// [`LinkFaults::rtt`] rounds.
+    pub dropped: bool,
+    /// A stale, transfer-free duplicate is delivered `dup_lag` extra
+    /// rounds later (0 = no duplicate).
+    pub dup_lag: usize,
+    /// Extra delay from reordering (0 = in order).
+    pub extra_delay: usize,
+}
+
+impl MessageFate {
+    /// The fate of an unfaulted message.
+    pub fn clean() -> MessageFate {
+        MessageFate {
+            dropped: false,
+            dup_lag: 0,
+            extra_delay: 0,
+        }
+    }
+}
+
+/// The seeded sampler turning [`LinkFaults`] rates into per-message
+/// [`MessageFate`]s. Owns its own RNG stream so the timing RNG of the
+/// asynchronous run is never perturbed.
+#[derive(Debug, Clone)]
+pub struct FaultSampler {
+    link: LinkFaults,
+    rng: StdRng,
+    benign: bool,
+}
+
+impl FaultSampler {
+    /// Builds the sampler for a plan.
+    pub fn new(plan: &FaultPlan) -> FaultSampler {
+        FaultSampler {
+            link: plan.link,
+            rng: StdRng::seed_from_u64(plan.seed),
+            benign: plan.link.is_benign(),
+        }
+    }
+
+    /// Draws the fate of the next message. Consumes no randomness at all
+    /// when the link is benign, so a benign plan is draw-for-draw inert.
+    pub fn fate(&mut self) -> MessageFate {
+        if self.benign {
+            return MessageFate::clean();
+        }
+        let dropped = self.link.drop > 0.0 && self.rng.gen_range(0.0..1.0) < self.link.drop;
+        let dup_lag = if !dropped
+            && self.link.duplicate > 0.0
+            && self.rng.gen_range(0.0..1.0) < self.link.duplicate
+        {
+            self.rng.gen_range(1..=self.link.reorder_max.max(1))
+        } else {
+            0
+        };
+        let extra_delay = if !dropped
+            && self.link.reorder > 0.0
+            && self.rng.gen_range(0.0..1.0) < self.link.reorder
+        {
+            self.rng.gen_range(1..=self.link.reorder_max.max(1))
+        } else {
+            0
+        };
+        MessageFate {
+            dropped,
+            dup_lag,
+            extra_delay,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_plan_is_benign() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_benign());
+        assert!(plan.validate(10).is_ok());
+        let mut s = FaultSampler::new(&plan);
+        for _ in 0..100 {
+            assert_eq!(s.fate(), MessageFate::clean());
+        }
+    }
+
+    #[test]
+    fn builder_composes_schedule_and_detection() {
+        let plan = FaultPlan::with_link(
+            7,
+            LinkFaults {
+                drop: 0.1,
+                ..LinkFaults::none()
+            },
+        )
+        .and(50, 3, NodeFaultKind::Crash)
+        .and(200, 3, NodeFaultKind::Restart)
+        .detect_after(Some(25));
+        assert!(!plan.is_benign());
+        assert_eq!(plan.schedule.len(), 2);
+        assert_eq!(plan.detect_after, Some(25));
+        assert!(plan.validate(10).is_ok());
+        assert!(plan.validate(3).is_err(), "node 3 out of range for n=3");
+    }
+
+    #[test]
+    fn validation_rejects_bad_rates() {
+        let mut plan = FaultPlan::none();
+        plan.link.drop = 1.5;
+        assert!(plan.validate(4).unwrap_err().contains("drop"));
+        plan.link.drop = 0.0;
+        plan.link.rtt = 0;
+        assert!(plan.validate(4).unwrap_err().contains("rtt"));
+        plan.link.rtt = 3;
+        plan.link.reorder = 0.2;
+        plan.link.reorder_max = 0;
+        assert!(plan.validate(4).unwrap_err().contains("reorder_max"));
+    }
+
+    #[test]
+    fn sampler_is_seed_deterministic_and_rates_bite() {
+        let plan = FaultPlan::with_link(
+            42,
+            LinkFaults {
+                drop: 0.3,
+                duplicate: 0.2,
+                reorder: 0.25,
+                reorder_max: 4,
+                rtt: 3,
+            },
+        );
+        let mut a = FaultSampler::new(&plan);
+        let mut b = FaultSampler::new(&plan);
+        let fates: Vec<MessageFate> = (0..2_000).map(|_| a.fate()).collect();
+        assert!(fates
+            .iter()
+            .eq((0..2_000).map(|_| b.fate()).collect::<Vec<_>>().iter()));
+        let drops = fates.iter().filter(|f| f.dropped).count();
+        let dups = fates.iter().filter(|f| f.dup_lag > 0).count();
+        let reorders = fates.iter().filter(|f| f.extra_delay > 0).count();
+        assert!((400..800).contains(&drops), "drop rate off: {drops}");
+        assert!(dups > 100, "duplicates never fired: {dups}");
+        assert!(reorders > 100, "reorders never fired: {reorders}");
+        for f in &fates {
+            assert!(f.extra_delay <= 4 && f.dup_lag <= 4);
+            assert!(!(f.dropped && (f.dup_lag > 0 || f.extra_delay > 0)));
+        }
+    }
+}

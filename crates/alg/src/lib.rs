@@ -35,6 +35,7 @@ pub mod centralized;
 pub mod diba;
 pub mod diba_async;
 pub mod exec;
+pub mod faults;
 pub mod hierarchy;
 pub mod knapsack;
 pub mod predictor;

@@ -1,0 +1,76 @@
+//! Regression property: a benign [`FaultPlan`] must not change behaviour.
+//!
+//! The fault-injection layer shares `AsyncDibaRun::step` with the plain
+//! asynchronous run, so the guarantee the rest of the test suite leans on —
+//! fault-free runs are bit-for-bit the same as before the layer existed —
+//! has to be pinned explicitly: for *any* timing configuration and seed,
+//! `with_faults(…, FaultPlan::none())` walks the exact same trajectory as
+//! the `AsyncConfig`-only constructor, state and message queue included.
+
+use dpc_alg::diba::DibaConfig;
+use dpc_alg::diba_async::{AsyncConfig, AsyncDibaRun};
+use dpc_alg::faults::FaultPlan;
+use dpc_alg::problem::PowerBudgetProblem;
+use dpc_models::units::Watts;
+use dpc_models::workload::ClusterBuilder;
+use dpc_topology::Graph;
+use proptest::prelude::*;
+
+fn build(n: usize, net: AsyncConfig, plan: Option<FaultPlan>) -> AsyncDibaRun {
+    let cluster = ClusterBuilder::new(n).seed(11).build();
+    let problem = PowerBudgetProblem::new(cluster.utilities(), Watts(170.0 * n as f64)).unwrap();
+    let graph = Graph::ring_with_chords(n, 2);
+    match plan {
+        None => AsyncDibaRun::new(problem, graph, DibaConfig::default(), net).unwrap(),
+        Some(p) => {
+            AsyncDibaRun::with_faults(problem, graph, DibaConfig::default(), net, p).unwrap()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Bitwise trajectory identity between the legacy constructor and the
+    /// fault-aware one under the benign plan, across timing configs. The
+    /// comparisons are exact (`==` on `f64`), not approximate: the benign
+    /// plan consumes zero fault-RNG draws and takes no fault branches.
+    #[test]
+    fn zero_fault_plan_is_trajectory_identical(
+        seed in 0u64..1_000,
+        activation in 0.3f64..=1.0,
+        delay_prob in 0.0f64..0.7,
+        max_delay in 1usize..8,
+        n in 8usize..40,
+    ) {
+        let net = AsyncConfig { activation, delay_prob, max_delay, seed };
+        let mut plain = build(n, net, None);
+        let mut benign = build(n, net, Some(FaultPlan::none()));
+        for round in 0..150 {
+            plain.step();
+            benign.step();
+            prop_assert_eq!(
+                plain.residuals(), benign.residuals(),
+                "residuals diverged at round {}", round
+            );
+        }
+        prop_assert_eq!(plain.allocation(), benign.allocation());
+        prop_assert_eq!(plain.in_flight(), benign.in_flight());
+        prop_assert_eq!(plain.total_power(), benign.total_power());
+        prop_assert_eq!(plain.total_utility(), benign.total_utility());
+        prop_assert_eq!(plain.conservation_drift(), benign.conservation_drift());
+    }
+
+    /// The default path itself is seed-deterministic (two identical runs
+    /// never diverge) — the property the byte-identical bench relies on.
+    #[test]
+    fn default_path_is_seed_deterministic(seed in 0u64..1_000) {
+        let net = AsyncConfig { seed, ..AsyncConfig::default() };
+        let mut a = build(16, net, None);
+        let mut b = build(16, net, Some(FaultPlan::none()));
+        a.run(300);
+        b.run(300);
+        prop_assert_eq!(a.residuals(), b.residuals());
+        prop_assert_eq!(a.allocation(), b.allocation());
+    }
+}

@@ -319,6 +319,7 @@ pub fn fig4_4(n: usize, minutes: usize) -> String {
         phase_mean: None,
         record_allocations: false,
         threads: None,
+        faults: None,
     };
     let mut sim = DynamicSim::new(cluster, budgeter, schedule, config);
     let series = sim.run().expect("schedule feasible");
@@ -418,6 +419,7 @@ pub fn fig4_7(n: usize, minutes: usize) -> String {
         phase_mean: None,
         record_allocations: false,
         threads: None,
+        faults: None,
     };
     let mut sim = DynamicSim::new(cluster, budgeter, BudgetSchedule::constant(budget), config);
     let series = sim.run().expect("constant schedule feasible");

@@ -344,6 +344,7 @@ pub fn ext_phases(n: usize) -> String {
             phase_mean: dwell.is_finite().then_some(Seconds(dwell)),
             record_allocations: false,
             threads: None,
+            faults: None,
         };
         let mut sim = DynamicSim::new(cluster, budgeter, BudgetSchedule::constant(budget), config);
         let series = sim.run().expect("constant schedule feasible");

@@ -1,0 +1,304 @@
+//! Fault-resilience sweep (`dpc faults`).
+//!
+//! Runs the asynchronous DiBA engine under a grid of message drop rates ×
+//! churn scenarios (no churn / one crash / crash + restart / one graceful
+//! departure) and records, per cell, whether the cluster re-attains a
+//! feasible allocation (`Σp ≤ P`), how much conservation drift the fault
+//! ledger accumulated (must be ~0), and how far the survivors land from the
+//! survivor-optimal allocation.
+//!
+//! Every fault draw comes from the vendored seeded RNG, and the report
+//! carries no wall-clock fields, so the JSON written by the CLI
+//! (`BENCH_fault_resilience.json`) is byte-identical across reruns with the
+//! same flags — the reproducibility contract checked by the CLI tests.
+
+use dpc_alg::centralized;
+use dpc_alg::diba::DibaConfig;
+use dpc_alg::diba_async::{AsyncConfig, AsyncDibaRun};
+use dpc_alg::faults::{FaultPlan, LinkFaults, NodeFaultKind, NodeHealth};
+use dpc_alg::problem::PowerBudgetProblem;
+use dpc_models::units::Watts;
+use dpc_models::workload::ClusterBuilder;
+use dpc_topology::Graph;
+
+/// Default message drop rates swept by `dpc faults`.
+pub const DEFAULT_DROPS: [f64; 4] = [0.0, 0.05, 0.10, 0.20];
+
+/// Churn scenario for one sweep column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Churn {
+    /// No node-level faults; link faults only.
+    None,
+    /// One node crashes silently mid-run.
+    Crash,
+    /// One node crashes, then restarts after the cluster re-converges.
+    CrashRestart,
+    /// One node departs gracefully (farewell donation).
+    Depart,
+}
+
+impl Churn {
+    /// All churn scenarios, in sweep order.
+    pub const ALL: [Churn; 4] = [
+        Churn::None,
+        Churn::Crash,
+        Churn::CrashRestart,
+        Churn::Depart,
+    ];
+
+    /// Stable identifier used in the JSON report.
+    pub fn key(self) -> &'static str {
+        match self {
+            Churn::None => "none",
+            Churn::Crash => "crash",
+            Churn::CrashRestart => "crash_restart",
+            Churn::Depart => "depart",
+        }
+    }
+}
+
+/// One sweep cell's outcome. All fields are deterministic functions of
+/// `(servers, rounds, seed, drop, churn)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Message drop probability for this cell.
+    pub drop: f64,
+    /// Churn scenario for this cell.
+    pub churn: Churn,
+    /// Live nodes at the end of the run.
+    pub live: usize,
+    /// `Σp ≤ P` at the end of the run (within 1 µW).
+    pub feasible: bool,
+    /// Final conservation-ledger drift
+    /// `|Σe + Σescrow + Σin-flight + stranded − (Σp − P)|` (watts).
+    pub drift: f64,
+    /// Escrowed (not yet re-absorbed) residual mass at the end (watts, ≤ 0).
+    pub escrow: f64,
+    /// Relative gap of the survivors' utility to the survivor-optimal
+    /// oracle: `1 − U/U*`.
+    pub oracle_gap: f64,
+    /// Whether churn disconnected the live subgraph.
+    pub partitioned: bool,
+}
+
+/// The full `dpc faults` report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultBenchReport {
+    /// Cluster size.
+    pub servers: usize,
+    /// Rounds simulated per cell.
+    pub rounds: usize,
+    /// Fault RNG seed.
+    pub seed: u64,
+    /// Per-cell outcomes, drop-major then churn order.
+    pub cells: Vec<CellResult>,
+}
+
+impl FaultBenchReport {
+    /// `true` when every cell ends feasible with a clean conservation
+    /// ledger and the dead node's budget re-absorbed — the sweep's
+    /// acceptance condition.
+    pub fn all_recovered(&self) -> bool {
+        self.cells
+            .iter()
+            .all(|c| c.feasible && c.drift < 1e-6 && c.escrow > -1e-9)
+    }
+
+    /// Renders the report as pretty-printed JSON (hand-rolled — the
+    /// workspace carries no serialization dependency). Deterministic:
+    /// no timestamps or wall-clock fields.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"fault_resilience\",\n");
+        out.push_str(&format!("  \"servers\": {},\n", self.servers));
+        out.push_str(&format!("  \"rounds\": {},\n", self.rounds));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"all_recovered\": {},\n", self.all_recovered()));
+        out.push_str("  \"cells\": [\n");
+        for (k, c) in self.cells.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"drop\": {:.3}, \"churn\": \"{}\", \"live\": {}, \
+                 \"feasible\": {}, \"drift_w\": {:.3e}, \"escrow_w\": {:.3e}, \
+                 \"oracle_gap\": {:.5}, \"partitioned\": {}}}{}\n",
+                c.drop,
+                c.churn.key(),
+                c.live,
+                c.feasible,
+                c.drift,
+                c.escrow,
+                c.oracle_gap,
+                c.partitioned,
+                if k + 1 < self.cells.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders a human-readable table.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "fault resilience: {} servers, {} rounds per cell, seed {}\n\n\
+             {:>6}  {:>14}  {:>5}  {:>8}  {:>10}  {:>10}  part\n",
+            self.servers,
+            self.rounds,
+            self.seed,
+            "drop",
+            "churn",
+            "live",
+            "feasible",
+            "drift (W)",
+            "gap",
+        );
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:>5.0}%  {:>14}  {:>5}  {:>8}  {:>10.1e}  {:>9.2}%  {}\n",
+                c.drop * 100.0,
+                c.churn.key(),
+                c.live,
+                if c.feasible { "ok" } else { "OVER" },
+                c.drift,
+                c.oracle_gap * 100.0,
+                if c.partitioned { "SPLIT" } else { "-" },
+            ));
+        }
+        out
+    }
+}
+
+/// Builds the fault plan for one sweep cell. Node faults land a third of
+/// the way in so the cluster has converged once and must re-converge;
+/// restart waits another third.
+fn plan_for(drop: f64, churn: Churn, rounds: usize, servers: usize, seed: u64) -> FaultPlan {
+    let link = LinkFaults {
+        drop,
+        duplicate: drop / 2.0,
+        reorder: drop,
+        ..LinkFaults::none()
+    };
+    let plan = FaultPlan::with_link(seed, link);
+    // The victim is deterministic in the seed, never node 0 (keeps ring
+    // chord anchors intact and the sweep comparable across cells).
+    let victim = 1 + (seed as usize % (servers - 1));
+    let fault_at = rounds / 3;
+    match churn {
+        Churn::None => plan,
+        Churn::Crash => plan.and(fault_at, victim, NodeFaultKind::Crash),
+        Churn::CrashRestart => plan.and(fault_at, victim, NodeFaultKind::Crash).and(
+            2 * rounds / 3,
+            victim,
+            NodeFaultKind::Restart,
+        ),
+        Churn::Depart => plan.and(fault_at, victim, NodeFaultKind::Depart),
+    }
+}
+
+/// Survivor-optimal utility: the centralized oracle re-solved over the
+/// live nodes only, at the full budget (dead budget re-absorbed).
+fn survivor_optimal(run: &AsyncDibaRun) -> f64 {
+    let problem = run.problem();
+    let live: Vec<_> = problem
+        .utilities()
+        .iter()
+        .zip(run.health())
+        .filter(|&(_, &h)| h == NodeHealth::Alive)
+        .map(|(u, _)| *u)
+        .collect();
+    let sub = PowerBudgetProblem::new(live, problem.budget())
+        .expect("survivor subproblem stays feasible at the full budget");
+    let oracle = centralized::solve(&sub);
+    sub.total_utility(&oracle.allocation)
+}
+
+/// Runs one sweep cell.
+pub fn measure_cell(
+    servers: usize,
+    rounds: usize,
+    seed: u64,
+    drop: f64,
+    churn: Churn,
+) -> CellResult {
+    let cluster = ClusterBuilder::new(servers).seed(seed).build();
+    let problem = PowerBudgetProblem::new(cluster.utilities(), Watts(170.0 * servers as f64))
+        .expect("170 W/server is feasible for every generated cluster");
+    let graph = Graph::ring_with_chords(servers, (servers / 16).max(2));
+    let net = AsyncConfig {
+        seed,
+        ..AsyncConfig::default()
+    };
+    let plan = plan_for(drop, churn, rounds, servers, seed);
+    let mut run = AsyncDibaRun::with_faults(problem, graph, DibaConfig::default(), net, plan)
+        .expect("ring-with-chords is connected");
+    run.run(rounds);
+
+    let feasible = run.total_power() <= run.problem().budget() + Watts(1e-6);
+    let optimal = survivor_optimal(&run);
+    let oracle_gap = (1.0 - run.total_utility() / optimal).max(0.0);
+    CellResult {
+        drop,
+        churn,
+        live: run.live_count(),
+        feasible,
+        drift: run.conservation_drift(),
+        escrow: run.escrow_total(),
+        oracle_gap,
+        partitioned: run.partitioned(),
+    }
+}
+
+/// Runs the full drop-rate × churn sweep.
+pub fn run_fault_bench(
+    servers: usize,
+    rounds: usize,
+    seed: u64,
+    drops: &[f64],
+) -> FaultBenchReport {
+    let mut cells = Vec::with_capacity(drops.len() * Churn::ALL.len());
+    for &drop in drops {
+        for churn in Churn::ALL {
+            cells.push(measure_cell(servers, rounds, seed, drop, churn));
+        }
+    }
+    FaultBenchReport {
+        servers,
+        rounds,
+        seed,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_recovers_in_every_cell() {
+        let report = run_fault_bench(24, 1200, 7, &[0.0, 0.10]);
+        assert_eq!(report.cells.len(), 8);
+        for c in &report.cells {
+            assert!(c.feasible, "{:?} infeasible", c);
+            assert!(c.drift < 1e-6, "{:?} leaked mass", c);
+            assert!(c.escrow > -1e-9, "{:?} escrow not re-absorbed", c);
+            assert!(!c.partitioned, "{:?} partitioned", c);
+            let expected_live = match c.churn {
+                Churn::None | Churn::CrashRestart => 24,
+                Churn::Crash | Churn::Depart => 23,
+            };
+            assert_eq!(c.live, expected_live, "{:?}", c);
+            assert!(c.oracle_gap < 0.05, "{:?} too far from oracle", c);
+        }
+        assert!(report.all_recovered());
+    }
+
+    #[test]
+    fn report_is_deterministic_and_well_formed() {
+        let a = run_fault_bench(16, 600, 3, &[0.05]);
+        let b = run_fault_bench(16, 600, 3, &[0.05]);
+        assert_eq!(a.to_json(), b.to_json());
+        let json = a.to_json();
+        assert!(json.contains("\"bench\": \"fault_resilience\""));
+        assert!(json.contains("\"churn\": \"crash_restart\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(a.to_table().contains("crash_restart"));
+    }
+}

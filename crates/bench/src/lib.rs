@@ -13,5 +13,6 @@
 pub mod ch3;
 pub mod ch4;
 pub mod ext;
+pub mod faultbench;
 pub mod report;
 pub mod roundbench;

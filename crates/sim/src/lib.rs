@@ -33,8 +33,10 @@ pub mod schedule;
 pub mod series;
 pub mod step;
 
-pub use budgeter::{Budgeter, DibaBudgeter, OracleBudgeter, PrimalDualBudgeter, UniformBudgeter};
+pub use budgeter::{
+    AsyncDibaBudgeter, Budgeter, DibaBudgeter, OracleBudgeter, PrimalDualBudgeter, UniformBudgeter,
+};
 pub use enforcement::EnforcedCluster;
-pub use engine::{DynamicSim, SimConfig};
+pub use engine::{DynamicSim, SimConfig, SimFaults};
 pub use schedule::BudgetSchedule;
 pub use series::{TimePoint, TimeSeries};

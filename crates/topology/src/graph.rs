@@ -201,6 +201,45 @@ impl Graph {
         self.bfs_distances(0).iter().all(|&d| d != usize::MAX)
     }
 
+    /// `true` when the subgraph induced by the nodes with `include[i] ==
+    /// true` is connected (vacuously true when at most one node is
+    /// included). Runs BFS over the mask without materializing the
+    /// subgraph — this is the churn-time connectivity check of the
+    /// fault-injection layer: DiBA's convergence guarantee requires the
+    /// *live* communication graph to stay connected after node removal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `include` is not exactly one flag per node.
+    pub fn is_connected_among(&self, include: &[bool]) -> bool {
+        assert_eq!(
+            include.len(),
+            self.len(),
+            "mask length {} for graph of {}",
+            include.len(),
+            self.len()
+        );
+        let total = include.iter().filter(|&&b| b).count();
+        if total <= 1 {
+            return true;
+        }
+        let src = include.iter().position(|&b| b).expect("total >= 1");
+        let mut seen = vec![false; self.len()];
+        seen[src] = true;
+        let mut reached = 1usize;
+        let mut queue = VecDeque::from([src]);
+        while let Some(u) = queue.pop_front() {
+            for &v in self.neighbors(u) {
+                if include[v] && !seen[v] {
+                    seen[v] = true;
+                    reached += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        reached == total
+    }
+
     /// Longest shortest-path over all sources (O(N·E); intended for the
     /// N ≤ a-few-thousand experiment graphs). `None` when disconnected or
     /// empty.
@@ -356,6 +395,33 @@ mod tests {
         assert_eq!(g.neighbors(1), &[0, 2]);
         assert_eq!(g.neighbors(0), &[1, 3]);
         assert_eq!(g.degree(2), 1);
+    }
+
+    #[test]
+    fn connected_among_tracks_live_subgraph() {
+        // Ring minus one node is a path: still connected.
+        let ring = Graph::ring(6);
+        let mut alive = vec![true; 6];
+        alive[2] = false;
+        assert!(ring.is_connected_among(&alive));
+        // Two non-adjacent removals split the ring in two.
+        alive[5] = false;
+        assert!(!ring.is_connected_among(&alive));
+        // Losing the star hub isolates every leaf.
+        let star = Graph::star(5);
+        let mut alive = vec![true; 5];
+        assert!(star.is_connected_among(&alive));
+        alive[0] = false;
+        assert!(!star.is_connected_among(&alive));
+        // Degenerate masks are vacuously connected.
+        assert!(star.is_connected_among(&[false; 5]));
+        assert!(ring.is_connected_among(&[false, true, false, false, false, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length")]
+    fn connected_among_rejects_bad_mask() {
+        let _ = Graph::ring(4).is_connected_among(&[true; 3]);
     }
 
     #[test]

@@ -40,6 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         phase_mean: None,
         record_allocations: false,
         threads: None,
+        faults: None,
     };
     let mut sim = DynamicSim::new(cluster, budgeter, schedule, config);
     let series = sim.run()?;

@@ -119,6 +119,10 @@ COMMANDS:
   bench      time the DiBA round engine, serial vs parallel, and write JSON
              --sizes N,N,... (1000,10000,100000)  --threads T (auto)
              --rounds R (scaled per size)  --out FILE (BENCH_round_engine.json)
+  faults     sweep message drop rate x node churn, check recovery, write JSON
+             --servers N (48)  --rounds R (1500)  --seed S (0)
+             --drops P,P,... (0,0.05,0.1,0.2)
+             --out FILE (BENCH_fault_resilience.json)
   help       this text
 "
     .to_string()
@@ -229,6 +233,7 @@ pub fn cmd_simulate(opts: &Options) -> Result<String, CliError> {
         phase_mean: phases.map(Seconds),
         record_allocations: false,
         threads: None,
+        faults: None,
     };
     let mut sim = DynamicSim::new(cluster, budgeter, BudgetSchedule::constant(budget), config);
     let series = sim.run().map_err(|e| CliError(e.to_string()))?;
@@ -427,6 +432,51 @@ pub fn cmd_bench(opts: &Options) -> Result<String, CliError> {
     ))
 }
 
+/// `dpc faults`.
+pub fn cmd_faults(opts: &Options) -> Result<String, CliError> {
+    use dpc_bench::faultbench::{run_fault_bench, DEFAULT_DROPS};
+
+    let servers: usize = opts.get_or("servers", 48)?;
+    if servers < 3 {
+        return Err(CliError("--servers must be at least 3".into()));
+    }
+    let rounds: usize = opts.get_or("rounds", 1_500)?;
+    if rounds == 0 {
+        return Err(CliError("--rounds must be positive".into()));
+    }
+    let seed: u64 = opts.get_or("seed", 0)?;
+    let drops: Vec<f64> = match opts.string("drops") {
+        None => DEFAULT_DROPS.to_vec(),
+        Some(spec) => spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|e| CliError(format!("bad value in --drops: `{s}`: {e}")))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    if drops.is_empty() || drops.iter().any(|d| !(0.0..1.0).contains(d)) {
+        return Err(CliError("--drops needs probabilities in [0, 1)".into()));
+    }
+    let out_path = opts.string("out").unwrap_or("BENCH_fault_resilience.json");
+
+    let report = run_fault_bench(servers, rounds, seed, &drops);
+    if !report.all_recovered() {
+        return Err(CliError(format!(
+            "a sweep cell failed to recover — fault-handling bug:\n{}",
+            report.to_table()
+        )));
+    }
+    std::fs::write(out_path, report.to_json())
+        .map_err(|e| CliError(format!("cannot write {out_path}: {e}")))?;
+    Ok(format!(
+        "{}\nall cells re-attained a feasible allocation with the dead \
+         node's budget re-absorbed\nreport written to {out_path}\n",
+        report.to_table()
+    ))
+}
+
 /// Dispatches a full argument vector (without the program name).
 ///
 /// # Errors
@@ -444,6 +494,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "plan" => cmd_plan(&opts),
         "fxplore" => cmd_fxplore(&opts),
         "bench" => cmd_bench(&opts),
+        "faults" => cmd_faults(&opts),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError(format!(
             "unknown command `{other}`; try `dpc help`"
@@ -569,6 +620,40 @@ mod tests {
         assert!(json.contains("\"bitwise_identical\": true"), "{json}");
         assert!(run(&args(&["bench", "--sizes", "0"])).is_err());
         assert!(run(&args(&["bench", "--threads", "0"])).is_err());
+    }
+
+    #[test]
+    fn faults_report_is_byte_identical_across_reruns() {
+        let dir = std::env::temp_dir().join("dpc-cli-faults-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run_once = |name: &str| {
+            let path = dir.join(name);
+            let out = run(&args(&[
+                "faults",
+                "--servers",
+                "20",
+                "--rounds",
+                "900",
+                "--seed",
+                "7",
+                "--drops",
+                "0.1",
+                "--out",
+                path.to_str().unwrap(),
+            ]))
+            .unwrap();
+            assert!(out.contains("report written"), "{out}");
+            assert!(out.contains("re-absorbed"), "{out}");
+            std::fs::read(path).unwrap()
+        };
+        let first = run_once("a.json");
+        let second = run_once("b.json");
+        assert_eq!(first, second, "fault report not byte-identical");
+        let json = String::from_utf8(first).unwrap();
+        assert!(json.contains("\"bench\": \"fault_resilience\""), "{json}");
+        assert!(json.contains("\"all_recovered\": true"), "{json}");
+        assert!(run(&args(&["faults", "--servers", "2"])).is_err());
+        assert!(run(&args(&["faults", "--drops", "1.5"])).is_err());
     }
 
     #[test]

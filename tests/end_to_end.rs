@@ -150,6 +150,7 @@ fn dynamic_sim_tracks_schedule_and_churn_together() {
         phase_mean: None,
         record_allocations: false,
         threads: None,
+        faults: None,
     };
     let mut sim = DynamicSim::new(cluster, budgeter, schedule, config);
     let series = sim.run().unwrap();
