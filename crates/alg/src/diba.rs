@@ -23,12 +23,14 @@
 //! paper describes: strict feasibility throughout, immediate reaction to
 //! budget changes, and local response to local perturbations.
 
-use crate::exec::{ParallelEngine, SharedSlice};
+use crate::exec::{chunked_sum, ParallelEngine, SharedSlice};
 use crate::problem::{AlgError, Allocation, PowerBudgetProblem};
+use crate::telemetry::{RoundRecord, Telemetry, TelemetryConfig, MAX_TIMED_SHARDS};
 use dpc_models::units::Watts;
 use dpc_topology::Graph;
 use std::ops::Range;
 use std::sync::Barrier;
+use std::time::Instant;
 
 /// Tuning knobs for DiBA. The defaults are calibrated for the paper's
 /// cluster scale (hundreds to thousands of nodes, ring-like topologies).
@@ -61,6 +63,64 @@ pub struct DibaConfig {
     /// threads spawned). Any count produces bitwise-identical `(p, e)`
     /// trajectories — see the determinism notes in [`crate::exec`].
     pub threads: Option<usize>,
+    /// Round-level recording (off by default — the round loop then skips
+    /// telemetry entirely). Recording never perturbs the trajectory.
+    pub telemetry: TelemetryConfig,
+}
+
+impl DibaConfig {
+    /// Checks every knob holds a value the engines can honor, so bad
+    /// configurations fail at construction instead of panicking (or
+    /// silently misbehaving) rounds later deep inside a run.
+    ///
+    /// # Errors
+    ///
+    /// [`AlgError::InvalidConfig`] naming the offending knob: explicit
+    /// zero worker counts (`threads = Some(0)`), non-finite or
+    /// non-positive steps / η, a negative or non-finite margin fraction,
+    /// non-finite continuation knobs, or a zero telemetry capacity.
+    pub fn validate(&self) -> Result<(), AlgError> {
+        let bad = |what: String| Err(AlgError::InvalidConfig { what });
+        if self.threads == Some(0) {
+            return bad(
+                "threads = Some(0): the round engine needs at least one worker (use None for auto)"
+                    .to_string(),
+            );
+        }
+        if !self.step_power.is_finite() || self.step_power <= 0.0 {
+            return bad(format!(
+                "step_power = {} must be finite and positive",
+                self.step_power
+            ));
+        }
+        if !self.step_transfer.is_finite() || self.step_transfer <= 0.0 {
+            return bad(format!(
+                "step_transfer = {} must be finite and positive",
+                self.step_transfer
+            ));
+        }
+        if !self.margin_frac.is_finite() || self.margin_frac < 0.0 {
+            return bad(format!(
+                "margin_frac = {} must be finite and non-negative",
+                self.margin_frac
+            ));
+        }
+        if let Some(eta) = self.eta {
+            if !eta.is_finite() || eta <= 0.0 {
+                return bad(format!("eta = Some({eta}) must be finite and positive"));
+            }
+        }
+        if !self.eta_boost.is_finite() {
+            return bad(format!("eta_boost = {} must be finite", self.eta_boost));
+        }
+        if !self.eta_boost_decay.is_finite() {
+            return bad(format!(
+                "eta_boost_decay = {} must be finite",
+                self.eta_boost_decay
+            ));
+        }
+        self.telemetry.validate()
+    }
 }
 
 impl Default for DibaConfig {
@@ -73,6 +133,7 @@ impl Default for DibaConfig {
             eta_boost: 30.0,
             eta_boost_decay: 0.995,
             threads: None,
+            telemetry: TelemetryConfig::off(),
         }
     }
 }
@@ -300,6 +361,10 @@ struct RoundScratch {
     cuts: Vec<usize>,
     /// Per-worker max |dp| of the round in flight.
     worker_max: Vec<f64>,
+    /// Per-worker phase-A wall-clock nanoseconds of the round in flight
+    /// (only written when timed telemetry is on; always allocated — it is
+    /// one word per worker).
+    phase_nanos: Vec<u64>,
     /// Per-worker kernel staging buffers.
     node: Vec<NodeScratch>,
 }
@@ -312,6 +377,7 @@ impl RoundScratch {
             rev: graph.reverse_slots(),
             cuts: graph.shard_offsets(workers),
             worker_max: vec![0.0; workers],
+            phase_nanos: vec![0; workers],
             node: (0..workers)
                 .map(|_| NodeScratch::with_capacity(graph.max_degree()))
                 .collect(),
@@ -341,6 +407,9 @@ pub struct DibaRun {
     last_max_step: f64,
     engine: ParallelEngine,
     scratch: RoundScratch,
+    /// Round recorder; `None` (the default) skips recording entirely.
+    /// Boxed so the disabled path costs one pointer on the run.
+    telemetry: Option<Box<Telemetry>>,
 }
 
 impl DibaRun {
@@ -358,6 +427,7 @@ impl DibaRun {
         graph: Graph,
         config: DibaConfig,
     ) -> Result<DibaRun, AlgError> {
+        config.validate()?;
         if graph.len() != problem.len() {
             return Err(AlgError::DimensionMismatch {
                 expected: problem.len(),
@@ -399,6 +469,13 @@ impl DibaRun {
 
         let engine = ParallelEngine::new(config.threads);
         let scratch = RoundScratch::for_graph(&graph, engine.workers_for(n));
+        let telemetry = if config.telemetry.enabled {
+            let mut t = Telemetry::new(config.telemetry);
+            t.set_shard_work(graph.shard_work(&scratch.cuts));
+            Some(Box::new(t))
+        } else {
+            None
+        };
         Ok(DibaRun {
             problem,
             graph,
@@ -419,6 +496,7 @@ impl DibaRun {
             last_max_step: f64::INFINITY,
             engine,
             scratch,
+            telemetry,
         })
     }
 
@@ -430,6 +508,27 @@ impl DibaRun {
         let workers = self.engine.workers_for(self.p.len());
         if workers != self.scratch.cuts.len() - 1 {
             self.scratch = RoundScratch::for_graph(&self.graph, workers);
+            if let Some(t) = self.telemetry.as_mut() {
+                t.set_shard_work(self.graph.shard_work(&self.scratch.cuts));
+            }
+        }
+    }
+
+    /// The round recorder, when telemetry is enabled.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Attaches (or, with a disabled config, detaches) a fresh round
+    /// recorder. Recording starts from the next round; the trajectory is
+    /// unaffected either way.
+    pub fn set_telemetry(&mut self, config: TelemetryConfig) {
+        if config.enabled {
+            let mut t = Telemetry::new(config);
+            t.set_shard_work(self.graph.shard_work(&self.scratch.cuts));
+            self.telemetry = Some(Box::new(t));
+        } else {
+            self.telemetry = None;
         }
     }
 
@@ -530,6 +629,11 @@ impl DibaRun {
             return;
         }
         let workers = self.scratch.cuts.len() - 1;
+        let n = self.p.len();
+        // Decided once per batch: a disabled recorder costs the hot loop
+        // exactly this branch (and nothing per round).
+        let tel_on = self.telemetry.is_some();
+        let time_on = self.telemetry.as_ref().is_some_and(|t| t.config().timings);
         let mut ctl = RoundCtl {
             params: self.params,
             boost: self.boost,
@@ -552,6 +656,10 @@ impl DibaRun {
             let worker_max = SharedSlice::new(&mut self.scratch.worker_max);
             let node_scratch = SharedSlice::new(&mut self.scratch.node);
             let ctl_cell = SharedSlice::new(std::slice::from_mut(&mut ctl));
+            let nanos = SharedSlice::new(&mut self.scratch.phase_nanos);
+            let tel_cell = SharedSlice::new(std::slice::from_mut(&mut self.telemetry));
+            let budget = problem.budget().0;
+            let msgs_per_round = graph.flat_neighbors().len() as u64;
             let barrier = Barrier::new(workers);
 
             self.engine.run_workers(workers, |w| {
@@ -564,6 +672,7 @@ impl DibaRun {
                     // round was sealed by the round-end barrier.
                     // SAFETY: read-only access between barriers.
                     let rp = unsafe { ctl_cell.slice(0..1) }[0].round_params();
+                    let t0 = if time_on { Some(Instant::now()) } else { None };
                     let local_max = phase_a(
                         problem,
                         graph,
@@ -575,6 +684,10 @@ impl DibaRun {
                         &transfers,
                         scratch,
                     );
+                    if let Some(t0) = t0 {
+                        // SAFETY: slot w is ours alone.
+                        unsafe { nanos.write(w, t0.elapsed().as_nanos() as u64) };
+                    }
                     // SAFETY: slot w is ours alone.
                     unsafe { worker_max.write(w, local_max) };
                     barrier.wait(); // all transfers + p_hat written
@@ -590,7 +703,50 @@ impl DibaRun {
                             max_step = max_step.max(unsafe { worker_max.read(k) });
                         }
                         // SAFETY: only worker 0 touches ctl between barriers.
-                        (unsafe { ctl_cell.slice_mut(0..1) })[0].absorb(max_step);
+                        let ctl_now = &mut (unsafe { ctl_cell.slice_mut(0..1) })[0];
+                        ctl_now.absorb(max_step);
+                        if tel_on {
+                            // SAFETY: only worker 0 touches the recorder
+                            // between barriers; all phase-B writes (and the
+                            // per-worker timing slots) are sealed by the
+                            // barrier above. Worker 0 computes every
+                            // aggregate serially over the *full* arrays, so
+                            // the record — like the trajectory — is
+                            // identical for every worker count.
+                            let tel = unsafe { &mut tel_cell.slice_mut(0..1)[0] };
+                            if let Some(tel) = tel.as_mut() {
+                                let p_all = unsafe { p.slice(0..n) };
+                                let e_all = unsafe { e.slice(0..n) };
+                                let mut max_abs_e = 0.0_f64;
+                                let mut norm2 = 0.0_f64;
+                                for (&pi, &ei) in p_all.iter().zip(e_all) {
+                                    max_abs_e = max_abs_e.max(ei.abs());
+                                    norm2 += pi * pi;
+                                }
+                                let mut shard_nanos = [0u64; MAX_TIMED_SHARDS];
+                                if time_on {
+                                    for k in 0..workers {
+                                        let slot = k.min(MAX_TIMED_SHARDS - 1);
+                                        // SAFETY: sealed by the barrier.
+                                        shard_nanos[slot] += unsafe { nanos.read(k) };
+                                    }
+                                }
+                                tel.record_round(RoundRecord {
+                                    round: ctl_now.iterations as u64,
+                                    budget,
+                                    sum_p: chunked_sum(p_all),
+                                    norm2_p: norm2.sqrt(),
+                                    sum_e: chunked_sum(e_all),
+                                    max_abs_e,
+                                    max_step,
+                                    msgs_sent: msgs_per_round,
+                                    live: n as u64,
+                                    workers: workers as u32,
+                                    shard_nanos,
+                                    ..RoundRecord::default()
+                                });
+                            }
+                        }
                     }
                     barrier.wait(); // ctl update sealed for the next round
                 }
@@ -797,6 +953,87 @@ mod tests {
         let p = problem(n, budget, seed);
         let run = DibaRun::new(p.clone(), Graph::ring(n), DibaConfig::default()).unwrap();
         (p, run)
+    }
+
+    #[test]
+    fn threads_zero_is_a_typed_error_not_a_panic() {
+        // Regression (satellite bugfix): an explicit zero worker count used
+        // to ride unvalidated toward the sharding layer; it must surface as
+        // a typed error at construction.
+        let p = problem(10, 1700.0, 1);
+        let config = DibaConfig {
+            threads: Some(0),
+            ..DibaConfig::default()
+        };
+        let err = DibaRun::new(p, Graph::ring(10), config).unwrap_err();
+        assert!(matches!(err, AlgError::InvalidConfig { .. }), "{err:?}");
+        assert!(err.to_string().contains("threads"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_knobs_are_typed_errors() {
+        for config in [
+            DibaConfig {
+                step_power: f64::NAN,
+                ..DibaConfig::default()
+            },
+            DibaConfig {
+                step_transfer: 0.0,
+                ..DibaConfig::default()
+            },
+            DibaConfig {
+                margin_frac: -1.0,
+                ..DibaConfig::default()
+            },
+            DibaConfig {
+                eta: Some(f64::INFINITY),
+                ..DibaConfig::default()
+            },
+            DibaConfig {
+                eta_boost: f64::NAN,
+                ..DibaConfig::default()
+            },
+            DibaConfig {
+                telemetry: crate::telemetry::TelemetryConfig {
+                    enabled: true,
+                    capacity: 0,
+                    timings: false,
+                },
+                ..DibaConfig::default()
+            },
+        ] {
+            let p = problem(4, 700.0, 1);
+            let err = DibaRun::new(p, Graph::ring(4), config).unwrap_err();
+            assert!(matches!(err, AlgError::InvalidConfig { .. }), "{config:?}");
+        }
+        assert!(DibaConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn telemetry_records_the_run_it_watches() {
+        use crate::telemetry::TelemetryConfig;
+        let p = problem(30, 5_100.0, 11);
+        let config = DibaConfig {
+            telemetry: TelemetryConfig::on(),
+            ..DibaConfig::default()
+        };
+        let mut run = DibaRun::new(p, Graph::ring(30), config).unwrap();
+        run.run(40);
+        let tel = run.telemetry().expect("recorder attached");
+        assert_eq!(tel.rounds_recorded(), 40);
+        let last = tel.latest().expect("recorded");
+        assert_eq!(last.round, 40);
+        // The record mirrors the run's own aggregates exactly.
+        assert_eq!(last.sum_p, {
+            let powers: Vec<f64> = run.allocation().powers().iter().map(|w| w.0).collect();
+            crate::exec::chunked_sum(&powers)
+        });
+        assert_eq!(last.max_step, run.last_max_step());
+        assert!(last.conservation_drift() < 1e-6);
+        assert_eq!(last.msgs_sent, 60); // one per directed ring edge
+                                        // Sharding metadata is attached; timings stay zero unless opted in.
+        assert!(!tel.shard_work().is_empty());
+        assert!(last.shard_nanos.iter().all(|&ns| ns == 0));
     }
 
     #[test]

@@ -27,8 +27,10 @@
 //! accounting identity, which the tests pin at zero through every fault.
 
 use crate::diba::{node_action, DibaConfig, DibaRun, NodeParams};
+use crate::exec::chunked_sum;
 use crate::faults::{FaultPlan, FaultSampler, NodeFaultKind, NodeHealth};
 use crate::problem::{AlgError, Allocation, PowerBudgetProblem};
+use crate::telemetry::{FaultEvent, FaultEventKind, RoundRecord, Telemetry, TelemetryConfig};
 use dpc_models::units::Watts;
 use dpc_topology::Graph;
 use rand::rngs::StdRng;
@@ -126,6 +128,15 @@ pub struct AsyncDibaRun {
     /// `true` while the live subgraph is disconnected (DiBA's convergence
     /// guarantee needs connectivity; the run keeps going per component).
     partitioned: bool,
+    /// Round recorder; `None` (the default) skips recording entirely.
+    telemetry: Option<Box<Telemetry>>,
+    /// Message accounting of the round in flight (plain counters — they
+    /// never touch solver state or the RNG streams, so telemetry cannot
+    /// perturb the trajectory).
+    round_sent: u64,
+    round_dropped: u64,
+    round_duplicated: u64,
+    round_bounced: u64,
 }
 
 impl AsyncDibaRun {
@@ -180,7 +191,22 @@ impl AsyncDibaRun {
         if let Err(msg) = faults.validate(problem.len()) {
             panic!("invalid fault plan: {msg}");
         }
-        let reference = DibaRun::new(problem.clone(), graph.clone(), config)?;
+        config.validate()?;
+        // The reference run exists only to resolve params and the initial
+        // state; its own recorder would go unread, so build it without one.
+        let reference = DibaRun::new(
+            problem.clone(),
+            graph.clone(),
+            DibaConfig {
+                telemetry: TelemetryConfig::off(),
+                ..config
+            },
+        )?;
+        let telemetry = if config.telemetry.enabled {
+            Some(Box::new(Telemetry::new(config.telemetry)))
+        } else {
+            None
+        };
         let params = reference.params();
         let states = reference.node_states();
         let p: Vec<f64> = states.iter().map(|s| s.0).collect();
@@ -217,7 +243,74 @@ impl AsyncDibaRun {
             pending_restarts: Vec::new(),
             stranded: 0.0,
             partitioned: false,
+            telemetry,
+            round_sent: 0,
+            round_dropped: 0,
+            round_duplicated: 0,
+            round_bounced: 0,
         })
+    }
+
+    /// The round recorder, when telemetry is enabled.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Attaches (or, with a disabled config, detaches) a fresh round
+    /// recorder. Recording starts from the next round; the trajectory is
+    /// unaffected either way.
+    pub fn set_telemetry(&mut self, config: TelemetryConfig) {
+        self.telemetry = if config.enabled {
+            Some(Box::new(Telemetry::new(config)))
+        } else {
+            None
+        };
+    }
+
+    /// Records a fault-machinery event (no-op without a recorder).
+    fn note_event(&mut self, node: usize, kind: FaultEventKind, mass: f64) {
+        if let Some(t) = self.telemetry.as_mut() {
+            t.record_event(FaultEvent {
+                round: self.round as u64,
+                node,
+                kind,
+                mass,
+            });
+        }
+    }
+
+    /// Samples the round that just finished into the recorder. Pure
+    /// observation: every aggregate is read from solver state sealed for
+    /// the round, using the same fixed-chunk reductions as the engines.
+    fn record_round(&mut self) {
+        let mut max_abs_e = 0.0_f64;
+        let mut norm2 = 0.0_f64;
+        for (&pi, &ei) in self.p.iter().zip(&self.e) {
+            max_abs_e = max_abs_e.max(ei.abs());
+            norm2 += pi * pi;
+        }
+        let record = RoundRecord {
+            round: self.round as u64,
+            budget: self.problem.budget().0,
+            sum_p: chunked_sum(&self.p),
+            norm2_p: norm2.sqrt(),
+            sum_e: chunked_sum(&self.e),
+            max_abs_e,
+            msgs_sent: self.round_sent,
+            msgs_dropped: self.round_dropped,
+            msgs_duplicated: self.round_duplicated,
+            msgs_bounced: self.round_bounced,
+            in_flight: self.in_flight.len() as u64,
+            inflight_mass: self.in_flight.iter().map(|m| m.transfer).sum(),
+            escrow_total: self.escrow.iter().sum(),
+            stranded: self.stranded,
+            live: self.live_count() as u64,
+            workers: 1,
+            ..RoundRecord::default()
+        };
+        if let Some(t) = self.telemetry.as_mut() {
+            t.record_round(record);
+        }
     }
 
     /// Replaces the fault plan and resets all fault state (health, escrow,
@@ -381,6 +474,10 @@ impl AsyncDibaRun {
     /// with random delays and link faults.
     pub fn step(&mut self) {
         self.round += 1;
+        self.round_sent = 0;
+        self.round_dropped = 0;
+        self.round_duplicated = 0;
+        self.round_bounced = 0;
         if !self.faults.schedule.is_empty() || !self.pending_restarts.is_empty() {
             self.apply_schedule();
         }
@@ -389,6 +486,9 @@ impl AsyncDibaRun {
             self.detect_failures();
         }
         self.act_nodes();
+        if self.telemetry.is_some() {
+            self.record_round();
+        }
     }
 
     /// Runs `rounds` asynchronous rounds.
@@ -457,12 +557,14 @@ impl AsyncDibaRun {
         if self.health[i] != NodeHealth::Alive {
             return;
         }
-        self.escrow[i] += self.e[i] - self.p[i];
+        let escrowed = self.e[i] - self.p[i];
+        self.escrow[i] += escrowed;
         self.e[i] = 0.0;
         self.p[i] = 0.0;
         self.health[i] = NodeHealth::Crashed;
         self.settled[i] = false;
         self.partitioned = !self.live_connected();
+        self.note_event(i, FaultEventKind::Crash, escrowed);
     }
 
     /// Node `i` leaves permanently. A live node departs gracefully,
@@ -478,12 +580,14 @@ impl AsyncDibaRun {
                 self.health[i] = NodeHealth::Departed;
                 self.settled[i] = true;
                 self.donate_to_live_neighbors(i, farewell);
+                self.note_event(i, FaultEventKind::Depart, farewell);
             }
             NodeHealth::Crashed => {
                 self.health[i] = NodeHealth::Departed;
                 if !self.settled[i] {
                     self.settle(i);
                 }
+                self.note_event(i, FaultEventKind::Depart, 0.0);
             }
             NodeHealth::Departed => return,
         }
@@ -504,6 +608,7 @@ impl AsyncDibaRun {
         self.settled[i] = true;
         let amount = std::mem::take(&mut self.escrow[i]);
         self.donate_to_live_neighbors(i, amount);
+        self.note_event(i, FaultEventKind::Settle, amount);
     }
 
     /// Splits `amount` (≤ 0 slack mass) equally over `i`'s live neighbors;
@@ -596,6 +701,7 @@ impl AsyncDibaRun {
             self.last_heard_round[i][slot] = self.round;
         }
         self.partitioned = !self.live_connected();
+        self.note_event(i, FaultEventKind::Restart, p_min);
         true
     }
 
@@ -641,6 +747,7 @@ impl AsyncDibaRun {
                     } else if m.transfer != 0.0 {
                         // Undeliverable: the transport bounces the transfer
                         // back to the sender after the RTT.
+                        self.round_bounced += 1;
                         self.in_flight.push(InFlight {
                             arrival: round + self.faults.link.rtt.max(1),
                             to: m.from,
@@ -692,6 +799,7 @@ impl AsyncDibaRun {
                     self.link_alive[i][slot] = false;
                     let j = self.graph.neighbors(i)[slot];
                     if self.health[j] != NodeHealth::Alive && !self.settled[j] {
+                        self.note_event(j, FaultEventKind::Detect, 0.0);
                         self.settle(j);
                     }
                 }
@@ -754,8 +862,11 @@ impl AsyncDibaRun {
                     delay += 1;
                 }
                 let fate = self.sampler.fate();
+                self.round_sent += 1;
                 if fate.dropped {
+                    self.round_dropped += 1;
                     if t != 0.0 {
+                        self.round_bounced += 1;
                         // The transport reports the loss; the sender gets
                         // the transfer back one RTT after it would arrive.
                         self.in_flight.push(InFlight {
@@ -781,6 +892,7 @@ impl AsyncDibaRun {
                 if fate.dup_lag > 0 {
                     // The duplicate re-delivers only the (stale) snapshot:
                     // the receiver deduplicates the slack payload.
+                    self.round_duplicated += 1;
                     self.in_flight.push(InFlight {
                         arrival: arrival + fate.dup_lag,
                         to: j,

@@ -10,7 +10,9 @@
 //! * [`baselines`] — uniform split and the prior-work throughput/W greedy;
 //! * [`knapsack`] — the Chapter 3 multiple-choice knapsack DP (Algorithm 2);
 //! * [`predictor`] — the Chapter 3 runtime throughput predictors (Table 3.2);
-//! * [`problem`] — the shared problem/allocation types.
+//! * [`problem`] — the shared problem/allocation types;
+//! * [`telemetry`] — round-level recording (residuals, messages, fault
+//!   events, shard timings) with JSONL/CSV/Prometheus sinks.
 //!
 //! ```
 //! use dpc_alg::{centralized, diba::{DibaConfig, DibaRun}, problem::PowerBudgetProblem};
@@ -41,5 +43,6 @@ pub mod knapsack;
 pub mod predictor;
 pub mod primal_dual;
 pub mod problem;
+pub mod telemetry;
 
 pub use problem::{AlgError, Allocation, PowerBudgetProblem};

@@ -32,6 +32,14 @@ pub enum AlgError {
         /// Iterations performed.
         iterations: usize,
     },
+    /// A configuration knob holds a value the engines cannot honor (for
+    /// example `threads = Some(0)`, a non-finite step size, or a negative
+    /// fault time). Caught at construction so it cannot surface later as a
+    /// panic deep inside a run.
+    InvalidConfig {
+        /// Human-readable description of the offending knob and value.
+        what: String,
+    },
 }
 
 impl fmt::Display for AlgError {
@@ -50,6 +58,9 @@ impl fmt::Display for AlgError {
             }
             AlgError::DidNotConverge { iterations } => {
                 write!(f, "did not converge within {iterations} iterations")
+            }
+            AlgError::InvalidConfig { what } => {
+                write!(f, "invalid configuration: {what}")
             }
         }
     }

@@ -320,6 +320,7 @@ pub fn fig4_4(n: usize, minutes: usize) -> String {
         record_allocations: false,
         threads: None,
         faults: None,
+        telemetry: dpc_alg::telemetry::TelemetryConfig::off(),
     };
     let mut sim = DynamicSim::new(cluster, budgeter, schedule, config);
     let series = sim.run().expect("schedule feasible");
@@ -420,6 +421,7 @@ pub fn fig4_7(n: usize, minutes: usize) -> String {
         record_allocations: false,
         threads: None,
         faults: None,
+        telemetry: dpc_alg::telemetry::TelemetryConfig::off(),
     };
     let mut sim = DynamicSim::new(cluster, budgeter, BudgetSchedule::constant(budget), config);
     let series = sim.run().expect("constant schedule feasible");

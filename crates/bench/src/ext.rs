@@ -345,6 +345,7 @@ pub fn ext_phases(n: usize) -> String {
             record_allocations: false,
             threads: None,
             faults: None,
+            telemetry: dpc_alg::telemetry::TelemetryConfig::off(),
         };
         let mut sim = DynamicSim::new(cluster, budgeter, BudgetSchedule::constant(budget), config);
         let series = sim.run().expect("constant schedule feasible");

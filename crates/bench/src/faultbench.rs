@@ -17,6 +17,7 @@ use dpc_alg::diba::DibaConfig;
 use dpc_alg::diba_async::{AsyncConfig, AsyncDibaRun};
 use dpc_alg::faults::{FaultPlan, LinkFaults, NodeFaultKind, NodeHealth};
 use dpc_alg::problem::PowerBudgetProblem;
+use dpc_alg::telemetry::{Telemetry, TelemetryConfig};
 use dpc_models::units::Watts;
 use dpc_models::workload::ClusterBuilder;
 use dpc_topology::Graph;
@@ -210,14 +211,17 @@ fn survivor_optimal(run: &AsyncDibaRun) -> f64 {
     sub.total_utility(&oracle.allocation)
 }
 
-/// Runs one sweep cell.
-pub fn measure_cell(
+/// Builds the async run for one sweep cell: same cluster, topology, fault
+/// plan, and config for the measured and the traced path, so a trace
+/// always describes exactly the cell `measure_cell` scores.
+fn cell_run(
     servers: usize,
     rounds: usize,
     seed: u64,
     drop: f64,
     churn: Churn,
-) -> CellResult {
+    telemetry: TelemetryConfig,
+) -> AsyncDibaRun {
     let cluster = ClusterBuilder::new(servers).seed(seed).build();
     let problem = PowerBudgetProblem::new(cluster.utilities(), Watts(170.0 * servers as f64))
         .expect("170 W/server is feasible for every generated cluster");
@@ -226,9 +230,42 @@ pub fn measure_cell(
         seed,
         ..AsyncConfig::default()
     };
+    let config = DibaConfig {
+        telemetry,
+        ..DibaConfig::default()
+    };
     let plan = plan_for(drop, churn, rounds, servers, seed);
-    let mut run = AsyncDibaRun::with_faults(problem, graph, DibaConfig::default(), net, plan)
-        .expect("ring-with-chords is connected");
+    AsyncDibaRun::with_faults(problem, graph, config, net, plan)
+        .expect("ring-with-chords is connected")
+}
+
+/// Runs one sweep cell with the round recorder attached and returns the
+/// captured telemetry — the `--trace` path of `dpc faults` and the
+/// `dpc trace --solver async` backend.
+pub fn traced_cell(servers: usize, rounds: usize, seed: u64, drop: f64, churn: Churn) -> Telemetry {
+    let mut run = cell_run(
+        servers,
+        rounds,
+        seed,
+        drop,
+        churn,
+        TelemetryConfig::with_capacity(rounds.max(1)),
+    );
+    run.run(rounds);
+    run.telemetry()
+        .expect("telemetry was enabled in the config")
+        .clone()
+}
+
+/// Runs one sweep cell.
+pub fn measure_cell(
+    servers: usize,
+    rounds: usize,
+    seed: u64,
+    drop: f64,
+    churn: Churn,
+) -> CellResult {
+    let mut run = cell_run(servers, rounds, seed, drop, churn, TelemetryConfig::off());
     run.run(rounds);
 
     let feasible = run.total_power() <= run.problem().budget() + Watts(1e-6);
@@ -270,6 +307,7 @@ pub fn run_fault_bench(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dpc_alg::telemetry::FaultEventKind;
 
     #[test]
     fn sweep_recovers_in_every_cell() {
@@ -288,6 +326,21 @@ mod tests {
             assert!(c.oracle_gap < 0.05, "{:?} too far from oracle", c);
         }
         assert!(report.all_recovered());
+    }
+
+    #[test]
+    fn traced_cell_sees_the_fault_story() {
+        let t = traced_cell(24, 900, 7, 0.05, Churn::CrashRestart);
+        assert_eq!(t.rounds_recorded(), 900);
+        let kinds: Vec<FaultEventKind> = t.events().map(|e| e.kind).collect();
+        assert!(kinds.contains(&FaultEventKind::Crash));
+        assert!(kinds.contains(&FaultEventKind::Detect));
+        assert!(kinds.contains(&FaultEventKind::Settle));
+        assert!(kinds.contains(&FaultEventKind::Restart));
+        let (sent, dropped, _, _) = t.message_totals();
+        assert!(sent > 0 && dropped > 0);
+        let last = t.latest().expect("rounds were recorded");
+        assert!(last.conservation_drift() < 1e-6);
     }
 
     #[test]

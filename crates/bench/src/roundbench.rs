@@ -11,6 +11,7 @@
 
 use dpc_alg::diba::{DibaConfig, DibaRun};
 use dpc_alg::problem::PowerBudgetProblem;
+use dpc_alg::telemetry::{Telemetry, TelemetryConfig};
 use dpc_models::units::Watts;
 use dpc_models::workload::ClusterBuilder;
 use dpc_topology::Graph;
@@ -142,6 +143,27 @@ fn run_for(n: usize, threads: Option<usize>, rounds: usize) -> DibaRun {
     run
 }
 
+/// Runs `rounds` gossip rounds at size `n` with the round recorder
+/// attached and returns the captured telemetry. This is the `--trace`
+/// path of `dpc bench`: same cluster, topology, and config as the timed
+/// benchmark, so the trace describes exactly the run being measured.
+pub fn traced_run(n: usize, rounds: usize, threads: Option<usize>) -> Telemetry {
+    let cluster = ClusterBuilder::new(n).seed(0).build();
+    let problem = PowerBudgetProblem::new(cluster.utilities(), Watts(172.0 * n as f64))
+        .expect("172 W/server is feasible for every generated cluster");
+    let config = DibaConfig {
+        threads,
+        telemetry: TelemetryConfig::with_capacity(rounds.max(1)),
+        ..DibaConfig::default()
+    };
+    let mut run = DibaRun::new(problem, Graph::ring_with_chords(n, (n / 64).max(2)), config)
+        .expect("ring-with-chords is connected");
+    run.run(rounds);
+    run.telemetry()
+        .expect("telemetry was enabled in the config")
+        .clone()
+}
+
 /// Times `rounds` gossip rounds at size `n` with the serial and the
 /// parallel engine, and verifies their trajectories agree bitwise.
 pub fn measure(n: usize, rounds: usize, threads: Option<usize>) -> SizeResult {
@@ -232,6 +254,16 @@ mod tests {
         assert!(json.contains("\"bitwise_identical\": true"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(report.to_table().contains("2.50x"));
+    }
+
+    #[test]
+    fn traced_run_captures_every_round() {
+        let t = traced_run(400, 25, Some(2));
+        assert_eq!(t.rounds_recorded(), 25);
+        let last = t.latest().expect("25 rounds were recorded");
+        assert_eq!(last.round, 25);
+        assert!(last.conservation_drift() < 1e-6);
+        assert!(!t.to_jsonl().is_empty());
     }
 
     #[test]

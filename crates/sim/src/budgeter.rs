@@ -11,6 +11,7 @@ use dpc_alg::diba::{DibaConfig, DibaRun};
 use dpc_alg::diba_async::{AsyncConfig, AsyncDibaRun};
 use dpc_alg::faults::FaultPlan;
 use dpc_alg::problem::{AlgError, Allocation, PowerBudgetProblem};
+use dpc_alg::telemetry::{Telemetry, TelemetryConfig};
 use dpc_models::throughput::QuadraticUtility;
 use dpc_models::units::Watts;
 use dpc_topology::Graph;
@@ -56,6 +57,16 @@ pub trait Budgeter {
     /// nodes so the engine excludes their 0 W draw from SNP and oracle
     /// comparisons.
     fn live_nodes(&self) -> Option<Vec<bool>> {
+        None
+    }
+
+    /// Attaches a round recorder to the underlying engine. The default is
+    /// a no-op, which models one-shot schemes with no rounds to record.
+    fn set_telemetry(&mut self, _config: TelemetryConfig) {}
+
+    /// The engine's round recorder, when telemetry is enabled (the default
+    /// is `None`).
+    fn telemetry(&self) -> Option<&Telemetry> {
         None
     }
 }
@@ -115,6 +126,14 @@ impl Budgeter for DibaBudgeter {
 
     fn set_threads(&mut self, threads: Option<usize>) {
         self.run.set_threads(threads);
+    }
+
+    fn set_telemetry(&mut self, config: TelemetryConfig) {
+        self.run.set_telemetry(config);
+    }
+
+    fn telemetry(&self) -> Option<&Telemetry> {
+        self.run.telemetry()
     }
 }
 
@@ -177,6 +196,14 @@ impl Budgeter for AsyncDibaBudgeter {
 
     fn install_fault_plan(&mut self, plan: &FaultPlan) {
         self.run.set_fault_plan(plan.clone());
+    }
+
+    fn set_telemetry(&mut self, config: TelemetryConfig) {
+        self.run.set_telemetry(config);
+    }
+
+    fn telemetry(&self) -> Option<&Telemetry> {
+        self.run.telemetry()
     }
 
     fn live_nodes(&self) -> Option<Vec<bool>> {

@@ -13,6 +13,7 @@ use dpc_alg::centralized;
 use dpc_alg::exec::{shard_bounds, ParallelEngine, SharedSlice};
 use dpc_alg::faults::{FaultPlan, LinkFaults, NodeFaultKind};
 use dpc_alg::problem::{AlgError, Allocation, PowerBudgetProblem};
+use dpc_alg::telemetry::TelemetryConfig;
 use dpc_models::metrics::snp_arithmetic;
 use dpc_models::phases::PhasedWorkload;
 use dpc_models::units::Seconds;
@@ -84,6 +85,9 @@ pub struct SimConfig {
     /// Fault injection (lossy links, node crash/departure); `None` runs the
     /// cluster fault-free.
     pub faults: Option<SimFaults>,
+    /// Round-level recording, installed on the budgeter's engine before the
+    /// run (off by default; budgeters without an engine ignore it).
+    pub telemetry: TelemetryConfig,
 }
 
 impl SimConfig {
@@ -99,7 +103,67 @@ impl SimConfig {
             record_allocations: false,
             threads: None,
             faults: None,
+            telemetry: TelemetryConfig::off(),
         }
+    }
+
+    /// Checks every knob holds a value the engine can honor, so a bad
+    /// configuration surfaces as a typed error at the top of [`DynamicSim::run`]
+    /// instead of a panic (or a silently corrupted cast) mid-simulation.
+    ///
+    /// # Errors
+    ///
+    /// [`AlgError::InvalidConfig`] naming the offending knob: a non-finite
+    /// or non-positive sample interval, a non-finite or negative duration,
+    /// `threads = Some(0)`, non-positive churn/phase means, a zero
+    /// telemetry capacity, or a non-finite/negative fault time.
+    pub fn validate(&self) -> Result<(), AlgError> {
+        let bad = |what: String| Err(AlgError::InvalidConfig { what });
+        if !self.sample_interval.0.is_finite() || self.sample_interval <= Seconds::ZERO {
+            return bad(format!(
+                "sample_interval = {} s must be finite and positive",
+                self.sample_interval.0
+            ));
+        }
+        if !self.duration.0.is_finite() || self.duration < Seconds::ZERO {
+            return bad(format!(
+                "duration = {} s must be finite and non-negative",
+                self.duration.0
+            ));
+        }
+        if self.threads == Some(0) {
+            return bad(
+                "threads = Some(0): the engine needs at least one worker (use None for auto)"
+                    .to_string(),
+            );
+        }
+        if let Some(mean) = self.churn_mean {
+            if !mean.0.is_finite() || mean <= Seconds::ZERO {
+                return bad(format!(
+                    "churn_mean = Some({} s) must be finite and positive",
+                    mean.0
+                ));
+            }
+        }
+        if let Some(mean) = self.phase_mean {
+            if !mean.0.is_finite() || mean <= Seconds::ZERO {
+                return bad(format!(
+                    "phase_mean = Some({} s) must be finite and positive",
+                    mean.0
+                ));
+            }
+        }
+        if let Some(faults) = &self.faults {
+            for t in [faults.crash_at, faults.depart_at].into_iter().flatten() {
+                if !t.0.is_finite() || t < Seconds::ZERO {
+                    return bad(format!(
+                        "fault time {} s must be finite and non-negative",
+                        t.0
+                    ));
+                }
+            }
+        }
+        self.telemetry.validate()
     }
 }
 
@@ -154,11 +218,12 @@ impl<B: Budgeter> DynamicSim<B> {
     ///
     /// # Errors
     ///
-    /// [`AlgError::InfeasibleBudget`] when the schedule drops below the
-    /// cluster's idle floor.
+    /// [`AlgError::InvalidConfig`] when the configuration fails
+    /// [`SimConfig::validate`]; [`AlgError::InfeasibleBudget`] when the
+    /// schedule drops below the cluster's idle floor.
     pub fn run(&mut self) -> Result<TimeSeries, AlgError> {
+        self.config.validate()?;
         let dt = self.config.sample_interval;
-        assert!(dt > Seconds::ZERO, "sample interval must be positive");
 
         // Initialize churn expiries.
         if let Some(mean) = self.config.churn_mean {
@@ -190,8 +255,11 @@ impl<B: Budgeter> DynamicSim<B> {
             self.phase_changed = vec![false; self.phased.len()];
         }
         self.budgeter.set_threads(self.config.threads);
+        if self.config.telemetry.enabled {
+            self.budgeter.set_telemetry(self.config.telemetry);
+        }
         if let Some(faults) = self.config.faults {
-            let plan = self.build_fault_plan(faults);
+            let plan = self.build_fault_plan(faults)?;
             self.budgeter.install_fault_plan(&plan);
         }
 
@@ -228,10 +296,23 @@ impl<B: Budgeter> DynamicSim<B> {
     /// containing them (the budgeter only advances between samples), and
     /// victims are drawn from the fault seed — the crash and departure
     /// victims are distinct.
-    fn build_fault_plan(&self, faults: SimFaults) -> FaultPlan {
+    ///
+    /// # Errors
+    ///
+    /// [`AlgError::InvalidConfig`] on a non-finite or negative fault time:
+    /// the `f64 → usize` cast would silently saturate (NaN and negatives
+    /// collapse to round 1), corrupting every timing-derived result.
+    fn build_fault_plan(&self, faults: SimFaults) -> Result<FaultPlan, AlgError> {
         use rand::Rng;
         let rounds_per_sec = self.config.rounds_per_sample as f64 / self.config.sample_interval.0;
-        let to_round = |t: Seconds| ((t.0 * rounds_per_sec).ceil() as usize).max(1);
+        let to_round = |t: Seconds| -> Result<usize, AlgError> {
+            if !t.0.is_finite() || t.0 < 0.0 {
+                return Err(AlgError::InvalidConfig {
+                    what: format!("fault time {} s must be finite and non-negative", t.0),
+                });
+            }
+            Ok(((t.0 * rounds_per_sec).ceil() as usize).max(1))
+        };
         let mut rng = StdRng::seed_from_u64(faults.seed);
         let n = self.cluster.len();
         let mut plan = FaultPlan {
@@ -240,27 +321,32 @@ impl<B: Budgeter> DynamicSim<B> {
             schedule: Vec::new(),
             detect_after: Some(faults.detect_after),
         };
-        let crash_victim = faults.crash_at.map(|t| {
-            let victim = rng.gen_range(0..n);
-            plan.schedule.push(dpc_alg::faults::NodeFault {
-                round: to_round(t),
-                node: victim,
-                kind: NodeFaultKind::Crash,
-            });
-            victim
-        });
+        let crash_victim = match faults.crash_at {
+            Some(t) => {
+                let round = to_round(t)?;
+                let victim = rng.gen_range(0..n);
+                plan.schedule.push(dpc_alg::faults::NodeFault {
+                    round,
+                    node: victim,
+                    kind: NodeFaultKind::Crash,
+                });
+                Some(victim)
+            }
+            None => None,
+        };
         if let Some(t) = faults.depart_at {
+            let round = to_round(t)?;
             let mut victim = rng.gen_range(0..n);
             while n > 1 && Some(victim) == crash_victim {
                 victim = rng.gen_range(0..n);
             }
             plan.schedule.push(dpc_alg::faults::NodeFault {
-                round: to_round(t),
+                round,
                 node: victim,
                 kind: NodeFaultKind::Depart,
             });
         }
-        plan
+        Ok(plan)
     }
 
     fn apply_churn(&mut self, now: Seconds) {
@@ -385,7 +471,90 @@ mod tests {
             record_allocations: false,
             threads: None,
             faults: None,
+            telemetry: TelemetryConfig::off(),
         }
+    }
+
+    #[test]
+    fn non_finite_fault_times_are_typed_errors() {
+        // Regression (satellite bugfix): `to_round` used to do
+        // `(t.0 * rounds_per_sec).ceil() as usize` — a NaN, infinite, or
+        // negative fault time silently saturated the cast (NaN and
+        // negatives collapse to round 1), firing the fault at the wrong
+        // time instead of failing. It must be a typed error.
+        for t in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -3.0] {
+            let c = cluster(5, 5);
+            let p = PowerBudgetProblem::new(c.utilities(), Watts(850.0)).unwrap();
+            let b = UniformBudgeter::new(p);
+            let mut cfg = config(5.0);
+            cfg.faults = Some(SimFaults {
+                crash_at: Some(Seconds(t)),
+                ..SimFaults::lossy(0.05, 1)
+            });
+            let mut sim = DynamicSim::new(c, b, BudgetSchedule::constant(Watts(850.0)), cfg);
+            let err = sim.run().unwrap_err();
+            assert!(
+                matches!(err, AlgError::InvalidConfig { .. }),
+                "t = {t}: {err:?}"
+            );
+            assert!(err.to_string().contains("fault time"), "t = {t}: {err}");
+        }
+    }
+
+    #[test]
+    fn bad_engine_knobs_are_typed_errors() {
+        type Poison = Box<dyn Fn(&mut SimConfig)>;
+        let cases: Vec<(&str, Poison)> = vec![
+            ("zero threads", Box::new(|c| c.threads = Some(0))),
+            (
+                "zero interval",
+                Box::new(|c| c.sample_interval = Seconds(0.0)),
+            ),
+            (
+                "nan interval",
+                Box::new(|c| c.sample_interval = Seconds(f64::NAN)),
+            ),
+            (
+                "negative duration",
+                Box::new(|c| c.duration = Seconds(-1.0)),
+            ),
+            (
+                "zero churn mean",
+                Box::new(|c| c.churn_mean = Some(Seconds(0.0))),
+            ),
+            (
+                "nan phase mean",
+                Box::new(|c| c.phase_mean = Some(Seconds(f64::NAN))),
+            ),
+        ];
+        for (name, poison) in cases {
+            let c = cluster(5, 5);
+            let p = PowerBudgetProblem::new(c.utilities(), Watts(850.0)).unwrap();
+            let b = UniformBudgeter::new(p);
+            let mut cfg = config(5.0);
+            poison(&mut cfg);
+            let mut sim = DynamicSim::new(c, b, BudgetSchedule::constant(Watts(850.0)), cfg);
+            assert!(
+                matches!(sim.run(), Err(AlgError::InvalidConfig { .. })),
+                "{name} not rejected"
+            );
+        }
+        assert!(config(5.0).validate().is_ok());
+    }
+
+    #[test]
+    fn sim_telemetry_reaches_the_budgeter_engine() {
+        let c = cluster(20, 2);
+        let p = PowerBudgetProblem::new(c.utilities(), Watts(3_400.0)).unwrap();
+        let b = DibaBudgeter::new(p, Graph::ring(20), DibaConfig::default()).unwrap();
+        let mut cfg = config(5.0);
+        cfg.telemetry = TelemetryConfig::on();
+        let mut sim = DynamicSim::new(c, b, BudgetSchedule::constant(Watts(3_400.0)), cfg);
+        sim.run().unwrap();
+        let tel = sim.budgeter().telemetry().expect("recorder installed");
+        // 5 samples × 40 rounds each.
+        assert_eq!(tel.rounds_recorded(), 200);
+        assert!(tel.latest().unwrap().conservation_drift() < 1e-6);
     }
 
     #[test]

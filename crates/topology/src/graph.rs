@@ -329,6 +329,27 @@ impl Graph {
         cuts
     }
 
+    /// Per-shard work estimate for a set of cut points (as produced by
+    /// [`Graph::shard_offsets`]): directed-edge count plus the same
+    /// constant-per-node cost the balancer uses. Telemetry exposes this so
+    /// a trace shows how even the work-balanced sharding actually is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cuts` is not an ascending `0..=n` cut sequence.
+    pub fn shard_work(&self, cuts: &[usize]) -> Vec<usize> {
+        assert!(
+            cuts.first() == Some(&0) && cuts.last() == Some(&self.len()),
+            "cuts must span 0..=n"
+        );
+        cuts.windows(2)
+            .map(|w| {
+                assert!(w[0] <= w[1], "cuts must be ascending");
+                (w[0]..w[1]).map(|i| self.degree(i) + 4).sum()
+            })
+            .collect()
+    }
+
     /// Edge list `(u, v)` with `u < v`, sorted.
     pub fn edges(&self) -> Vec<(usize, usize)> {
         let mut out = Vec::with_capacity(self.num_edges());

@@ -119,13 +119,41 @@ COMMANDS:
   bench      time the DiBA round engine, serial vs parallel, and write JSON
              --sizes N,N,... (1000,10000,100000)  --threads T (auto)
              --rounds R (scaled per size)  --out FILE (BENCH_round_engine.json)
+             --trace FILE (also record a JSONL round trace at the smallest size)
   faults     sweep message drop rate x node churn, check recovery, write JSON
              --servers N (48)  --rounds R (1500)  --seed S (0)
              --drops P,P,... (0,0.05,0.1,0.2)
              --out FILE (BENCH_fault_resilience.json)
+             --trace FILE (also record a JSONL crash+restart round trace)
+  trace      run one solver with the round recorder attached, write a trace
+             --solver diba|async|primal-dual (diba)  --servers N (64)
+             --budget-watts W (170·N)  --seed S (0)  --rounds R (600)
+             --topology ring|chords|grid (ring)  --threads T (auto)
+             --format jsonl|csv|prom (jsonl)  --capacity C (rounds)
+             --drop P (0, async only)  --crash-round R (async only)
+             --out FILE (TRACE.jsonl)
   help       this text
 "
     .to_string()
+}
+
+/// Writes `contents` to `path`, creating missing parent directories first.
+/// All CLI report and trace writes go through here so a bad `--out`
+/// surfaces as a typed error naming the offending path instead of a bare
+/// "No such file or directory".
+fn write_output(path: &str, contents: &str) -> Result<(), CliError> {
+    let p = std::path::Path::new(path);
+    if let Some(parent) = p.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| {
+                CliError(format!(
+                    "cannot create directory {} for --out {path}: {e}",
+                    parent.display()
+                ))
+            })?;
+        }
+    }
+    std::fs::write(p, contents).map_err(|e| CliError(format!("cannot write {path}: {e}")))
 }
 
 fn load_utilities(opts: &Options, n: usize, seed: u64) -> Result<Vec<QuadraticUtility>, CliError> {
@@ -234,6 +262,7 @@ pub fn cmd_simulate(opts: &Options) -> Result<String, CliError> {
         record_allocations: false,
         threads: None,
         faults: None,
+        telemetry: dpc_alg::telemetry::TelemetryConfig::off(),
     };
     let mut sim = DynamicSim::new(cluster, budgeter, BudgetSchedule::constant(budget), config);
     let series = sim.run().map_err(|e| CliError(e.to_string()))?;
@@ -392,7 +421,7 @@ mean runtime improvement over all-enabled: {:.1}%
 
 /// `dpc bench`.
 pub fn cmd_bench(opts: &Options) -> Result<String, CliError> {
-    use dpc_bench::roundbench::{run_round_bench, DEFAULT_SIZES};
+    use dpc_bench::roundbench::{rounds_for, run_round_bench, traced_run, DEFAULT_SIZES};
 
     let sizes: Vec<usize> = match opts.string("sizes") {
         None => DEFAULT_SIZES.to_vec(),
@@ -424,17 +453,23 @@ pub fn cmd_bench(opts: &Options) -> Result<String, CliError> {
             "serial and parallel trajectories diverged — round engine bug".into(),
         ));
     }
-    std::fs::write(out_path, report.to_json())
-        .map_err(|e| CliError(format!("cannot write {out_path}: {e}")))?;
-    Ok(format!(
-        "{}\nreport written to {out_path}\n",
-        report.to_table()
-    ))
+    write_output(out_path, &report.to_json())?;
+    let mut out = format!("{}\nreport written to {out_path}\n", report.to_table());
+    if let Some(trace_path) = opts.string("trace") {
+        let n = *sizes.iter().min().expect("sizes is non-empty");
+        let t = traced_run(n, rounds.unwrap_or_else(|| rounds_for(n)), threads);
+        write_output(trace_path, &t.to_jsonl())?;
+        out.push_str(&format!(
+            "round trace ({} rounds at n={n}) written to {trace_path}\n",
+            t.rounds_recorded()
+        ));
+    }
+    Ok(out)
 }
 
 /// `dpc faults`.
 pub fn cmd_faults(opts: &Options) -> Result<String, CliError> {
-    use dpc_bench::faultbench::{run_fault_bench, DEFAULT_DROPS};
+    use dpc_bench::faultbench::{run_fault_bench, traced_cell, Churn, DEFAULT_DROPS};
 
     let servers: usize = opts.get_or("servers", 48)?;
     if servers < 3 {
@@ -468,12 +503,147 @@ pub fn cmd_faults(opts: &Options) -> Result<String, CliError> {
             report.to_table()
         )));
     }
-    std::fs::write(out_path, report.to_json())
-        .map_err(|e| CliError(format!("cannot write {out_path}: {e}")))?;
-    Ok(format!(
+    write_output(out_path, &report.to_json())?;
+    let mut out = format!(
         "{}\nall cells re-attained a feasible allocation with the dead \
          node's budget re-absorbed\nreport written to {out_path}\n",
         report.to_table()
+    );
+    if let Some(trace_path) = opts.string("trace") {
+        let t = traced_cell(servers, rounds, seed, drops[0], Churn::CrashRestart);
+        write_output(trace_path, &t.to_jsonl())?;
+        out.push_str(&format!(
+            "crash+restart trace ({} rounds, {} fault events) written to {trace_path}\n",
+            t.rounds_recorded(),
+            t.events_recorded()
+        ));
+    }
+    Ok(out)
+}
+
+/// `dpc trace`: runs one solver with the round recorder attached and
+/// writes the captured telemetry in the requested sink format. The
+/// recorded trajectory is bitwise identical to an untraced run, and the
+/// JSONL/CSV output is byte-identical across reruns with the same flags.
+pub fn cmd_trace(opts: &Options) -> Result<String, CliError> {
+    use crate::alg::diba_async::{AsyncConfig, AsyncDibaRun};
+    use crate::alg::faults::{FaultPlan, LinkFaults, NodeFaultKind};
+    use crate::alg::telemetry::{Telemetry, TelemetryConfig};
+
+    let seed: u64 = opts.get_or("seed", 0)?;
+    let n: usize = opts.get_or("servers", 64)?;
+    if n < 3 {
+        return Err(CliError("--servers must be at least 3".into()));
+    }
+    let rounds: usize = opts.get_or("rounds", 600)?;
+    if rounds == 0 {
+        return Err(CliError("--rounds must be positive".into()));
+    }
+    let capacity: usize = opts.get_or("capacity", rounds)?;
+    if capacity == 0 {
+        return Err(CliError("--capacity must be positive".into()));
+    }
+    let budget = Watts(opts.get_or("budget-watts", 170.0 * n as f64)?);
+    let threads: Option<usize> = opts.get("threads")?;
+    if threads == Some(0) {
+        return Err(CliError("--threads must be positive".into()));
+    }
+    let drop: f64 = opts.get_or("drop", 0.0)?;
+    if !(0.0..1.0).contains(&drop) {
+        return Err(CliError("--drop needs a probability in [0, 1)".into()));
+    }
+    let crash_round: Option<usize> = opts.get("crash-round")?;
+    let solver = opts.string("solver").unwrap_or("diba");
+    let format = opts.string("format").unwrap_or("jsonl");
+    let out_path = opts.string("out").unwrap_or("TRACE.jsonl");
+
+    let utilities = ClusterBuilder::new(n).seed(seed).build().utilities();
+    let problem = PowerBudgetProblem::new(utilities, budget)
+        .map_err(|e| CliError(format!("infeasible problem: {e}")))?;
+    let graph = graph_for(opts.string("topology").unwrap_or("ring"), n)?;
+    let telemetry = TelemetryConfig::with_capacity(capacity);
+
+    let recorder: Telemetry = match solver {
+        "diba" => {
+            let config = DibaConfig {
+                threads,
+                telemetry,
+                ..DibaConfig::default()
+            };
+            let mut run =
+                DibaRun::new(problem, graph, config).map_err(|e| CliError(e.to_string()))?;
+            run.run(rounds);
+            run.telemetry()
+                .expect("telemetry was enabled in the config")
+                .clone()
+        }
+        "async" => {
+            let config = DibaConfig {
+                telemetry,
+                ..DibaConfig::default()
+            };
+            let net = AsyncConfig {
+                seed,
+                ..AsyncConfig::default()
+            };
+            let link = LinkFaults {
+                drop,
+                duplicate: drop / 2.0,
+                reorder: drop,
+                ..LinkFaults::none()
+            };
+            let mut plan = FaultPlan::with_link(seed, link);
+            if let Some(r) = crash_round {
+                // Same victim rule as the fault sweep: deterministic in the
+                // seed, never node 0.
+                let victim = 1 + (seed as usize % (n - 1));
+                plan = plan.and(r, victim, NodeFaultKind::Crash);
+            }
+            let mut run = AsyncDibaRun::with_faults(problem, graph, config, net, plan)
+                .map_err(|e| CliError(e.to_string()))?;
+            run.run(rounds);
+            run.telemetry()
+                .expect("telemetry was enabled in the config")
+                .clone()
+        }
+        "primal-dual" => {
+            let result = primal_dual::solve(&problem, &PrimalDualConfig::default());
+            let mut t = Telemetry::new(telemetry);
+            t.record_primal_dual(n, budget, &result);
+            t
+        }
+        other => {
+            return Err(CliError(format!(
+                "unknown solver `{other}`; expected diba, async or primal-dual"
+            )))
+        }
+    };
+
+    let rendered = match format {
+        "jsonl" => recorder.to_jsonl(),
+        "csv" => recorder.to_csv(),
+        "prom" => recorder.prometheus(),
+        other => {
+            return Err(CliError(format!(
+                "unknown format `{other}`; expected jsonl, csv or prom"
+            )))
+        }
+    };
+    write_output(out_path, &rendered)?;
+
+    let (sent, dropped, duplicated, bounced) = recorder.message_totals();
+    let drift = recorder
+        .latest()
+        .map(|r| r.conservation_drift())
+        .unwrap_or(0.0);
+    Ok(format!(
+        "{solver} trace: {n} servers, {} rounds recorded ({} retained), {} fault events\n\
+         messages: {sent} sent, {dropped} dropped, {duplicated} duplicated, {bounced} bounced\n\
+         final conservation drift: {drift:.3e} W\n\
+         trace written to {out_path}\n",
+        recorder.rounds_recorded(),
+        recorder.rounds_retained(),
+        recorder.events_recorded(),
     ))
 }
 
@@ -495,6 +665,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "fxplore" => cmd_fxplore(&opts),
         "bench" => cmd_bench(&opts),
         "faults" => cmd_faults(&opts),
+        "trace" => cmd_trace(&opts),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError(format!(
             "unknown command `{other}`; try `dpc help`"
@@ -654,6 +825,152 @@ mod tests {
         assert!(json.contains("\"all_recovered\": true"), "{json}");
         assert!(run(&args(&["faults", "--servers", "2"])).is_err());
         assert!(run(&args(&["faults", "--drops", "1.5"])).is_err());
+    }
+
+    #[test]
+    fn trace_is_byte_reproducible_and_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join("dpc-cli-trace-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let run_once = |name: &str| {
+            // The nested path exercises write_output's directory creation:
+            // the parent does not exist before the command runs.
+            let path = dir.join(name).join("deep").join("trace.jsonl");
+            let out = run(&args(&[
+                "trace",
+                "--servers",
+                "24",
+                "--rounds",
+                "80",
+                "--seed",
+                "5",
+                "--out",
+                path.to_str().unwrap(),
+            ]))
+            .unwrap();
+            assert!(out.contains("trace written"), "{out}");
+            assert!(out.contains("80 rounds recorded"), "{out}");
+            std::fs::read(path).unwrap()
+        };
+        let first = run_once("a");
+        let second = run_once("b");
+        assert_eq!(first, second, "trace not byte-identical across reruns");
+        let jsonl = String::from_utf8(first).unwrap();
+        assert!(jsonl.contains("\"type\":\"round\""), "{jsonl}");
+        assert!(jsonl.contains("\"sum_e_w\":"), "{jsonl}");
+    }
+
+    #[test]
+    fn trace_covers_every_solver_and_format() {
+        let dir = std::env::temp_dir().join("dpc-cli-trace-solvers");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("async.jsonl");
+        let out = run(&args(&[
+            "trace",
+            "--solver",
+            "async",
+            "--servers",
+            "20",
+            "--rounds",
+            "300",
+            "--drop",
+            "0.05",
+            "--crash-round",
+            "100",
+            "--out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("async trace"), "{out}");
+        let jsonl = std::fs::read_to_string(&path).unwrap();
+        assert!(jsonl.contains("\"type\":\"fault\""), "{jsonl}");
+        assert!(jsonl.contains("\"kind\":\"crash\""), "{jsonl}");
+
+        let path = dir.join("pd.csv");
+        let out = run(&args(&[
+            "trace",
+            "--solver",
+            "primal-dual",
+            "--servers",
+            "16",
+            "--format",
+            "csv",
+            "--out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("primal-dual trace"), "{out}");
+        let csv = std::fs::read_to_string(&path).unwrap();
+        assert!(csv.starts_with("round,budget_w,"), "{csv}");
+
+        let path = dir.join("snapshot.prom");
+        run(&args(&[
+            "trace",
+            "--servers",
+            "16",
+            "--rounds",
+            "40",
+            "--format",
+            "prom",
+            "--out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let prom = std::fs::read_to_string(&path).unwrap();
+        assert!(prom.contains("dpc_rounds_total 40"), "{prom}");
+
+        assert!(run(&args(&["trace", "--solver", "frobnicate"])).is_err());
+        assert!(run(&args(&["trace", "--format", "xml"])).is_err());
+        assert!(run(&args(&["trace", "--rounds", "0"])).is_err());
+        assert!(run(&args(&["trace", "--threads", "0"])).is_err());
+        assert!(run(&args(&["trace", "--drop", "1.5"])).is_err());
+    }
+
+    #[test]
+    fn bench_and_faults_attach_the_recorder_via_trace_flag() {
+        let dir = std::env::temp_dir().join("dpc-cli-trace-flag");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out_path = dir.join("reports").join("round.json");
+        let trace_path = dir.join("traces").join("round.jsonl");
+        let out = run(&args(&[
+            "bench",
+            "--sizes",
+            "120",
+            "--threads",
+            "2",
+            "--rounds",
+            "25",
+            "--out",
+            out_path.to_str().unwrap(),
+            "--trace",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("round trace"), "{out}");
+        assert!(std::fs::read_to_string(&trace_path)
+            .unwrap()
+            .contains("\"type\":\"round\""));
+
+        let trace_path = dir.join("traces").join("faults.jsonl");
+        let out = run(&args(&[
+            "faults",
+            "--servers",
+            "20",
+            "--rounds",
+            "900",
+            "--seed",
+            "7",
+            "--drops",
+            "0.05",
+            "--out",
+            dir.join("reports").join("faults.json").to_str().unwrap(),
+            "--trace",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("crash+restart trace"), "{out}");
+        let jsonl = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(jsonl.contains("\"kind\":\"crash\""), "{jsonl}");
+        assert!(jsonl.contains("\"kind\":\"restart\""), "{jsonl}");
     }
 
     #[test]

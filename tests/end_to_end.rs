@@ -151,6 +151,7 @@ fn dynamic_sim_tracks_schedule_and_churn_together() {
         record_allocations: false,
         threads: None,
         faults: None,
+        telemetry: dpc_alg::telemetry::TelemetryConfig::off(),
     };
     let mut sim = DynamicSim::new(cluster, budgeter, schedule, config);
     let series = sim.run().unwrap();

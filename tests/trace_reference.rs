@@ -1,0 +1,58 @@
+//! Diff-based trace regression: `dpc trace` must keep producing the exact
+//! bytes checked in at `tests/data/reference_trace.jsonl`.
+//!
+//! The reference was generated with
+//! `dpc trace --servers 16 --rounds 60 --seed 5 --out …`, so this test
+//! pins three contracts at once: the solver trajectory for that seed, the
+//! recorded round aggregates, and the JSONL serialization. Any drift in
+//! engine numerics, record schema, or float formatting shows up as a byte
+//! diff here instead of silently changing every downstream trace.
+
+use dpc::cli::run;
+
+const REFERENCE: &str = include_str!("data/reference_trace.jsonl");
+
+fn args(v: &[&str]) -> Vec<String> {
+    v.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn trace_matches_the_checked_in_reference() {
+    let dir = std::env::temp_dir().join("dpc-trace-reference-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.jsonl");
+    let out = run(&args(&[
+        "trace",
+        "--servers",
+        "16",
+        "--rounds",
+        "60",
+        "--seed",
+        "5",
+        "--out",
+        path.to_str().unwrap(),
+    ]))
+    .unwrap();
+    assert!(out.contains("60 rounds recorded"), "{out}");
+    let produced = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(
+        produced, REFERENCE,
+        "dpc trace no longer reproduces tests/data/reference_trace.jsonl; \
+         if the change is intentional, regenerate the reference with the \
+         command in this test"
+    );
+}
+
+#[test]
+fn reference_trace_is_well_formed() {
+    let lines: Vec<&str> = REFERENCE.lines().collect();
+    assert_eq!(lines.len(), 60, "one JSONL line per recorded round");
+    for (k, line) in lines.iter().enumerate() {
+        assert!(line.starts_with("{\"type\":\"round\""), "line {k}: {line}");
+        assert!(line.ends_with('}'), "line {k}: {line}");
+        assert!(
+            line.contains(&format!("\"round\":{}", k + 1)),
+            "line {k}: {line}"
+        );
+    }
+}

@@ -544,6 +544,9 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "failed at case")]
+    // The macro expands a nested `#[test]` fn that the harness cannot
+    // name; it is invoked by hand on the next line, which is the point.
+    #[allow(unnameable_test_items)]
     fn failures_panic_with_case_number() {
         proptest! {
             #[test]
