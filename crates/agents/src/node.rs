@@ -18,14 +18,7 @@ use dpc_alg::diba::{node_action, NodeParams};
 use dpc_models::QuadraticUtility;
 use std::time::Duration;
 
-/// Message exchanged along a graph edge each round.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct RoundMsg {
-    /// Sender's residual estimate *before* this round's action.
-    pub e: f64,
-    /// Slack donated to the receiver this round (≤ 0).
-    pub transfer: f64,
-}
+pub use dpc_alg::message::RoundMsg;
 
 /// Commands from the deployment controller to an agent.
 #[derive(Debug, Clone)]

@@ -16,3 +16,4 @@ pub mod ext;
 pub mod faultbench;
 pub mod report;
 pub mod roundbench;
+pub mod runtimebench;

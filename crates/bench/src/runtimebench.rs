@@ -1,0 +1,241 @@
+//! Node-runtime throughput benchmark (`dpc cluster --bench`).
+//!
+//! Deploys the same seeded problem on the in-process channel transport and
+//! on TCP loopback sockets at several cluster sizes, and records rounds per
+//! second and messages per second alongside the run's deterministic
+//! counters (rounds to quorum, message totals, heartbeat share, drift).
+//!
+//! The JSON written by the CLI (`BENCH_runtime.json`) keeps the two kinds
+//! of fields on separate lines: every deterministic counter is a pure
+//! function of `(sizes, seed)` and is byte-identical across reruns, while
+//! the wall-clock rates live on their own `"..._per_sec"` lines. Stripping
+//! lines containing `per_sec` or `secs` therefore yields a byte-reproducible
+//! document — the contract the CLI tests check, mirroring how
+//! `BENCH_round_engine.json` treats its timing columns.
+
+use dpc_alg::diba::DibaConfig;
+use dpc_alg::problem::PowerBudgetProblem;
+use dpc_models::units::Watts;
+use dpc_models::workload::ClusterBuilder;
+use dpc_runtime::cluster::{run_cluster, RuntimeConfig, TransportKind};
+use dpc_topology::Graph;
+use std::time::Instant;
+
+/// Default cluster sizes exercised by `dpc cluster --bench`.
+pub const DEFAULT_SIZES: [usize; 2] = [8, 64];
+
+/// One (transport, size) cell's measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeCell {
+    /// Link layer the cell ran on.
+    pub transport: TransportKind,
+    /// Cluster size.
+    pub servers: usize,
+    /// Rounds until convergence quorum (the slowest node's count).
+    pub rounds: usize,
+    /// Whether every node exited through convergence quorum.
+    pub converged: bool,
+    /// Total messages sent across the cluster.
+    pub msgs_sent: u64,
+    /// Heartbeats among the messages sent.
+    pub heartbeats: u64,
+    /// Residual-invariant drift at the end (watts).
+    pub drift: f64,
+    /// Wall-clock for the whole deployment (handshake included).
+    pub secs: f64,
+}
+
+impl RuntimeCell {
+    /// Throughput in gossip rounds per second.
+    pub fn rounds_per_sec(&self) -> f64 {
+        self.rounds as f64 / self.secs.max(1e-12)
+    }
+
+    /// Throughput in delivered messages per second.
+    pub fn msgs_per_sec(&self) -> f64 {
+        self.msgs_sent as f64 / self.secs.max(1e-12)
+    }
+}
+
+/// The full `dpc cluster --bench` report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeBenchReport {
+    /// Workload seed.
+    pub seed: u64,
+    /// Per-cell measurements, size-major then transport order.
+    pub cells: Vec<RuntimeCell>,
+}
+
+impl RuntimeBenchReport {
+    /// `true` when every cell converged with a clean residual invariant —
+    /// the benchmark's acceptance condition.
+    pub fn all_converged(&self) -> bool {
+        self.cells.iter().all(|c| c.converged && c.drift < 1e-3)
+    }
+
+    /// Renders the report as pretty-printed JSON (hand-rolled — the
+    /// workspace carries no serialization dependency). Deterministic
+    /// counters and wall-clock rates are kept on separate lines; see the
+    /// module docs for the reproducibility contract.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"runtime\",\n");
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"all_converged\": {},\n", self.all_converged()));
+        out.push_str("  \"cells\": [\n");
+        for (k, c) in self.cells.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"transport\": \"{}\", \"servers\": {}, \"rounds\": {}, \
+                 \"converged\": {}, \"msgs_sent\": {}, \"heartbeats\": {}, \
+                 \"drift_w\": {:.3e},\n",
+                c.transport.key(),
+                c.servers,
+                c.rounds,
+                c.converged,
+                c.msgs_sent,
+                c.heartbeats,
+                c.drift,
+            ));
+            out.push_str(&format!(
+                "     \"rounds_per_sec\": {:.1}, \"msgs_per_sec\": {:.1}}}{}\n",
+                c.rounds_per_sec(),
+                c.msgs_per_sec(),
+                if k + 1 < self.cells.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders a human-readable table.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "node runtime: seed {}\n\n\
+             {:>7}  {:>9}  {:>7}  {:>9}  {:>10}  {:>12}  {:>12}  conv\n",
+            self.seed, "servers", "transport", "rounds", "msgs", "heartbeats", "rounds/s", "msgs/s",
+        );
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:>7}  {:>9}  {:>7}  {:>9}  {:>10}  {:>12.1}  {:>12.1}  {}\n",
+                c.servers,
+                c.transport.key(),
+                c.rounds,
+                c.msgs_sent,
+                c.heartbeats,
+                c.rounds_per_sec(),
+                c.msgs_per_sec(),
+                if c.converged { "ok" } else { "NO QUORUM" },
+            ));
+        }
+        out
+    }
+}
+
+/// Builds the seeded problem for one cell — same workload generator and
+/// topology family as the fault sweep, so the benchmarks stay comparable.
+fn cell_problem(servers: usize, seed: u64) -> (PowerBudgetProblem, Graph) {
+    let cluster = ClusterBuilder::new(servers).seed(seed).build();
+    let problem = PowerBudgetProblem::new(cluster.utilities(), Watts(170.0 * servers as f64))
+        .expect("170 W/server is feasible for every generated cluster");
+    let graph = Graph::ring_with_chords(servers, (servers / 16).max(2));
+    (problem, graph)
+}
+
+/// Deploys and times one (transport, size) cell.
+pub fn measure_cell(servers: usize, seed: u64, transport: TransportKind) -> RuntimeCell {
+    let (problem, graph) = cell_problem(servers, seed);
+    let rt = RuntimeConfig {
+        transport,
+        ..RuntimeConfig::default()
+    };
+    let start = Instant::now();
+    let outcome = run_cluster(problem, graph, DibaConfig::default(), &rt)
+        .expect("loopback deployment succeeds");
+    let secs = start.elapsed().as_secs_f64();
+    RuntimeCell {
+        transport,
+        servers,
+        rounds: outcome.rounds,
+        converged: outcome.converged,
+        msgs_sent: outcome.msgs_sent,
+        heartbeats: outcome.heartbeats,
+        drift: outcome.drift,
+        secs,
+    }
+}
+
+/// Runs the full size × transport sweep.
+pub fn run_runtime_bench(sizes: &[usize], seed: u64) -> RuntimeBenchReport {
+    let mut cells = Vec::with_capacity(sizes.len() * 2);
+    for &servers in sizes {
+        for transport in [TransportKind::InProcess, TransportKind::Tcp] {
+            cells.push(measure_cell(servers, seed, transport));
+        }
+    }
+    RuntimeBenchReport { seed, cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The deterministic portion of the JSON: every line not carrying a
+    /// wall-clock quantity.
+    fn deterministic_lines(json: &str) -> String {
+        json.lines()
+            .filter(|l| !l.contains("per_sec") && !l.contains("secs"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn bench_converges_on_both_transports() {
+        let report = run_runtime_bench(&[8], 7);
+        assert_eq!(report.cells.len(), 2);
+        assert!(report.all_converged());
+        let [inproc, tcp] = &report.cells[..] else {
+            unreachable!()
+        };
+        assert_eq!(inproc.transport, TransportKind::InProcess);
+        assert_eq!(tcp.transport, TransportKind::Tcp);
+        // The two transports run the identical lockstep program, so their
+        // deterministic counters must agree exactly.
+        assert_eq!(inproc.rounds, tcp.rounds);
+        assert_eq!(inproc.msgs_sent, tcp.msgs_sent);
+        assert!(inproc.secs > 0.0 && tcp.secs > 0.0);
+    }
+
+    #[test]
+    fn deterministic_counters_are_byte_stable() {
+        let a = run_runtime_bench(&[8], 3);
+        let b = run_runtime_bench(&[8], 3);
+        assert_eq!(
+            deterministic_lines(&a.to_json()),
+            deterministic_lines(&b.to_json())
+        );
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let report = RuntimeBenchReport {
+            seed: 7,
+            cells: vec![RuntimeCell {
+                transport: TransportKind::Tcp,
+                servers: 8,
+                rounds: 100,
+                converged: true,
+                msgs_sent: 1600,
+                heartbeats: 40,
+                drift: 1e-12,
+                secs: 0.5,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"runtime\""));
+        assert!(json.contains("\"transport\": \"tcp\""));
+        assert!(json.contains("\"rounds_per_sec\": 200.0"));
+        assert!(json.contains("\"msgs_per_sec\": 3200.0"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(report.to_table().contains("tcp"));
+    }
+}

@@ -1,0 +1,402 @@
+//! In-process transport: one crossbeam channel pair per graph edge.
+//!
+//! Frames travel as encoded payload bytes (channel delivery preserves
+//! message boundaries, so no length prefix is needed), which means the
+//! in-process path exercises the exact encoder/decoder the TCP path uses —
+//! a message that cannot survive the wire format cannot sneak through the
+//! channel mesh either.
+
+use crate::error::{HandshakeFailure, RuntimeError};
+use crate::transport::{Delivery, HandshakeContext, Incoming, Transport};
+use crate::wire::{decode_payload, encode_payload, ClusterIdentity, WireMsg, PROTOCOL_VERSION};
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use dpc_topology::Graph;
+use std::time::Duration;
+
+struct ChanLink {
+    peer: usize,
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    closed: bool,
+}
+
+/// One node's endpoint onto the in-process channel mesh.
+pub struct ChannelTransport {
+    node: usize,
+    links: Vec<ChanLink>,
+}
+
+/// Builds the full mesh for a communication graph: one endpoint per node,
+/// slots in ascending neighbor-id order (matching
+/// [`Graph::neighbors`]).
+pub fn mesh(graph: &Graph) -> Vec<ChannelTransport> {
+    let n = graph.len();
+    let mut endpoints: Vec<Vec<ChanLink>> = (0..n).map(|_| Vec::new()).collect();
+    for (u, v) in graph.edges() {
+        let (tx_uv, rx_uv) = unbounded::<Vec<u8>>();
+        let (tx_vu, rx_vu) = unbounded::<Vec<u8>>();
+        endpoints[u].push(ChanLink {
+            peer: v,
+            tx: tx_uv,
+            rx: rx_vu,
+            closed: false,
+        });
+        endpoints[v].push(ChanLink {
+            peer: u,
+            tx: tx_vu,
+            rx: rx_uv,
+            closed: false,
+        });
+    }
+    endpoints
+        .into_iter()
+        .enumerate()
+        .map(|(node, mut links)| {
+            links.sort_by_key(|l| l.peer);
+            ChannelTransport { node, links }
+        })
+        .collect()
+}
+
+impl ChannelTransport {
+    /// The hello/ack exchange with an explicit version and cluster
+    /// identity, so tests can drive the mismatch paths that can never
+    /// occur between two endpoints built by the same [`mesh`] call.
+    ///
+    /// # Errors
+    ///
+    /// See [`Transport::handshake`].
+    pub fn handshake_as(
+        &mut self,
+        ctx: &HandshakeContext,
+        version: u16,
+        identity: ClusterIdentity,
+    ) -> Result<(), RuntimeError> {
+        let node = self.node;
+        // Dial first: every lower-id endpoint announces itself without
+        // blocking (channels are unbounded), so no accept ordering can
+        // deadlock the mesh.
+        for slot in 0..self.links.len() {
+            if node < self.links[slot].peer {
+                let hello = WireMsg::Hello {
+                    version,
+                    node: node as u32,
+                    n_nodes: identity.n_nodes,
+                    topology_hash: identity.topology_hash,
+                };
+                self.send(slot, &hello);
+            }
+        }
+        // Accept: validate each lower-id dialer's hello.
+        for slot in 0..self.links.len() {
+            let peer = self.links[slot].peer;
+            if node < peer {
+                continue;
+            }
+            match self.recv_handshake(slot, ctx.timeout)? {
+                WireMsg::Hello {
+                    version: their_version,
+                    node: their_node,
+                    n_nodes,
+                    topology_hash,
+                } => {
+                    if their_node as usize != peer {
+                        return Err(self.fail(
+                            slot,
+                            HandshakeFailure::UnexpectedPeer {
+                                expected: Some(peer),
+                                got: their_node as usize,
+                            },
+                        ));
+                    }
+                    if let Err(reason) =
+                        identity.validate_hello(their_version, n_nodes, topology_hash)
+                    {
+                        self.send(slot, &WireMsg::Reject { reason });
+                        return Err(self.fail(
+                            slot,
+                            HandshakeFailure::RejectedPeer {
+                                node: their_node,
+                                reason,
+                            },
+                        ));
+                    }
+                    let ack = WireMsg::HelloAck {
+                        version,
+                        node: node as u32,
+                    };
+                    self.send(slot, &ack);
+                }
+                other => {
+                    return Err(self.fail(
+                        slot,
+                        HandshakeFailure::UnexpectedMessage { got: other.kind() },
+                    ))
+                }
+            }
+        }
+        // Collect the acceptors' answers on every dialed link.
+        for slot in 0..self.links.len() {
+            let peer = self.links[slot].peer;
+            if node > peer {
+                continue;
+            }
+            match self.recv_handshake(slot, ctx.timeout)? {
+                WireMsg::HelloAck {
+                    version: their_version,
+                    node: their_node,
+                } => {
+                    if their_version != version {
+                        return Err(self.fail(
+                            slot,
+                            HandshakeFailure::VersionMismatch {
+                                ours: version,
+                                theirs: their_version,
+                            },
+                        ));
+                    }
+                    if their_node as usize != peer {
+                        return Err(self.fail(
+                            slot,
+                            HandshakeFailure::UnexpectedPeer {
+                                expected: Some(peer),
+                                got: their_node as usize,
+                            },
+                        ));
+                    }
+                }
+                WireMsg::Reject { reason } => {
+                    return Err(self.fail(slot, HandshakeFailure::Rejected(reason)))
+                }
+                other => {
+                    return Err(self.fail(
+                        slot,
+                        HandshakeFailure::UnexpectedMessage { got: other.kind() },
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Testing hook: pushes raw bytes to the peer behind `slot`, bypassing
+    /// the encoder — the way the decode-robustness tests feed an
+    /// established link a corrupt frame.
+    pub fn inject_raw(&mut self, slot: usize, bytes: Vec<u8>) {
+        let _ = self.links[slot].tx.send(bytes);
+    }
+
+    fn recv_handshake(&mut self, slot: usize, timeout: Duration) -> Result<WireMsg, RuntimeError> {
+        match self.recv(slot, timeout)? {
+            Incoming::Msg(msg) => Ok(msg),
+            Incoming::Timeout => Err(self.fail(slot, HandshakeFailure::Timeout)),
+            Incoming::Closed => Err(self.fail(slot, HandshakeFailure::Closed)),
+        }
+    }
+
+    fn fail(&self, slot: usize, reason: HandshakeFailure) -> RuntimeError {
+        RuntimeError::Handshake {
+            peer: self.peer_label(slot),
+            reason,
+        }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn node(&self) -> usize {
+        self.node
+    }
+
+    fn degree(&self) -> usize {
+        self.links.len()
+    }
+
+    fn peer(&self, slot: usize) -> usize {
+        self.links[slot].peer
+    }
+
+    fn peer_label(&self, slot: usize) -> String {
+        format!("node {}", self.links[slot].peer)
+    }
+
+    fn handshake(&mut self, ctx: &HandshakeContext) -> Result<(), RuntimeError> {
+        let identity = ClusterIdentity {
+            n_nodes: ctx.n_nodes as u32,
+            topology_hash: ctx.topology_hash,
+        };
+        self.handshake_as(ctx, PROTOCOL_VERSION, identity)
+    }
+
+    fn send(&mut self, slot: usize, msg: &WireMsg) -> Delivery {
+        let link = &mut self.links[slot];
+        if link.closed {
+            return Delivery::Closed;
+        }
+        let mut bytes = Vec::with_capacity(32);
+        encode_payload(msg, &mut bytes);
+        match link.tx.send(bytes) {
+            Ok(()) => Delivery::Sent,
+            Err(_) => {
+                link.closed = true;
+                Delivery::Closed
+            }
+        }
+    }
+
+    fn recv(&mut self, slot: usize, timeout: Duration) -> Result<Incoming, RuntimeError> {
+        let peer = self.links[slot].peer;
+        match self.links[slot].rx.recv_timeout(timeout) {
+            Ok(bytes) => match decode_payload(&bytes) {
+                Ok(msg) => Ok(Incoming::Msg(msg)),
+                Err(source) => Err(RuntimeError::Decode {
+                    peer: format!("node {peer}"),
+                    source,
+                }),
+            },
+            Err(RecvTimeoutError::Timeout) => Ok(Incoming::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Ok(Incoming::Closed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::RejectReason;
+    use dpc_alg::message::RoundMsg;
+
+    fn ctx(node: usize, graph: &Graph) -> HandshakeContext {
+        HandshakeContext {
+            node,
+            n_nodes: graph.len(),
+            topology_hash: graph.topology_hash(),
+            timeout: Duration::from_millis(500),
+        }
+    }
+
+    #[test]
+    fn mesh_slots_follow_neighbor_order() {
+        let g = Graph::ring_with_chords(8, 2);
+        let mesh = mesh(&g);
+        for (i, t) in mesh.iter().enumerate() {
+            assert_eq!(t.node(), i);
+            let peers: Vec<usize> = (0..t.degree()).map(|s| t.peer(s)).collect();
+            assert_eq!(peers, g.neighbors(i));
+        }
+    }
+
+    #[test]
+    fn handshake_and_data_round_trip() {
+        let g = Graph::ring(3);
+        let mut mesh = mesh(&g);
+        // Run the three handshakes on threads (each blocks on its peers).
+        let handles: Vec<_> = mesh
+            .drain(..)
+            .map(|mut t| {
+                let c = ctx(t.node(), &g);
+                std::thread::spawn(move || {
+                    t.handshake(&c).unwrap();
+                    t
+                })
+            })
+            .collect();
+        let mut mesh: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let msg = WireMsg::Data {
+            round: 1,
+            msg: RoundMsg {
+                e: -2.0,
+                transfer: -0.5,
+            },
+            settled: false,
+        };
+        assert_eq!(mesh[0].send(0, &msg), Delivery::Sent);
+        let peer_slot = mesh[1]
+            .links
+            .iter()
+            .position(|l| l.peer == 0)
+            .expect("1 neighbors 0 on a ring");
+        match mesh[1].recv(peer_slot, Duration::from_millis(200)).unwrap() {
+            Incoming::Msg(got) => assert_eq!(got, msg),
+            other => panic!("expected the data frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_with_a_named_reason() {
+        let g = Graph::ring(2);
+        let mut pair = mesh(&g);
+        let right = pair.pop().unwrap();
+        let mut wrong = pair.pop().unwrap();
+        let c0 = ctx(0, &g);
+        let bad_identity = ClusterIdentity {
+            n_nodes: 2,
+            topology_hash: g.topology_hash(),
+        };
+        let acceptor = std::thread::spawn(move || {
+            let mut right = right;
+            let err = right.handshake(&ctx(1, &g)).unwrap_err();
+            match err {
+                RuntimeError::Handshake {
+                    reason: HandshakeFailure::RejectedPeer { node: 0, reason },
+                    ..
+                } => assert_eq!(reason, RejectReason::VersionMismatch),
+                other => panic!("acceptor saw {other}"),
+            }
+        });
+        let err = wrong
+            .handshake_as(&c0, PROTOCOL_VERSION + 1, bad_identity)
+            .unwrap_err();
+        match err {
+            RuntimeError::Handshake {
+                peer,
+                reason: HandshakeFailure::Rejected(reason),
+            } => {
+                assert_eq!(reason, RejectReason::VersionMismatch);
+                assert_eq!(peer, "node 1");
+            }
+            other => panic!("dialer saw {other}"),
+        }
+        acceptor.join().unwrap();
+    }
+
+    #[test]
+    fn topology_mismatch_is_rejected_with_a_named_reason() {
+        let g = Graph::ring(2);
+        let mut pair = mesh(&g);
+        let right = pair.pop().unwrap();
+        let mut wrong = pair.pop().unwrap();
+        let c0 = ctx(0, &g);
+        let skewed = ClusterIdentity {
+            n_nodes: 2,
+            topology_hash: g.topology_hash() ^ 1,
+        };
+        let acceptor = std::thread::spawn(move || {
+            let mut right = right;
+            right.handshake(&ctx(1, &g)).unwrap_err()
+        });
+        let err = wrong
+            .handshake_as(&c0, PROTOCOL_VERSION, skewed)
+            .unwrap_err();
+        match err {
+            RuntimeError::Handshake {
+                reason: HandshakeFailure::Rejected(RejectReason::TopologyMismatch),
+                ..
+            } => {}
+            other => panic!("dialer saw {other}"),
+        }
+        acceptor.join().unwrap();
+    }
+
+    #[test]
+    fn corrupt_bytes_surface_as_a_decode_error() {
+        let g = Graph::ring(2);
+        let mut pair = mesh(&g);
+        let mut b = pair.pop().unwrap();
+        let mut a = pair.pop().unwrap();
+        a.inject_raw(0, vec![0xFF, 0x00, 0x01]);
+        match b.recv(0, Duration::from_millis(200)) {
+            Err(RuntimeError::Decode { peer, .. }) => assert_eq!(peer, "node 0"),
+            other => panic!("expected decode error, got {other:?}"),
+        }
+    }
+}

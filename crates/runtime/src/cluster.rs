@@ -1,0 +1,329 @@
+//! Cluster harness: spawn N node actors locally and collect the outcome.
+//!
+//! This is the deployment-shaped entry point behind `dpc cluster`: it
+//! computes every node's initial state through the same bridge the thread
+//! prototype and simulator use ([`DibaRun::new`]), wires either the
+//! in-process channel mesh or a TCP loopback mesh, runs every node to
+//! convergence quorum on its own thread, and folds the per-node reports
+//! into a cluster-level outcome (allocation, residual-invariant drift,
+//! message totals, optional merged telemetry).
+
+use crate::channel;
+use crate::error::RuntimeError;
+use crate::node::{run_node, NodeReport, NodeSpec};
+use crate::tcp::{RetryPolicy, TcpTransport};
+use crate::transport::{HandshakeContext, Transport};
+use dpc_alg::diba::{DibaConfig, DibaRun};
+use dpc_alg::problem::{Allocation, PowerBudgetProblem};
+use dpc_alg::telemetry::{RoundRecord, Telemetry, TelemetryConfig};
+use dpc_models::units::Watts;
+use dpc_topology::Graph;
+use std::net::TcpListener;
+use std::time::Duration;
+
+/// Which link layer the cluster runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Crossbeam channels inside this process.
+    InProcess,
+    /// Real TCP sockets on 127.0.0.1.
+    Tcp,
+}
+
+impl TransportKind {
+    /// Stable identifier used in reports and CLI flags.
+    pub fn key(self) -> &'static str {
+        match self {
+            TransportKind::InProcess => "inproc",
+            TransportKind::Tcp => "tcp",
+        }
+    }
+}
+
+/// Runtime knobs for a cluster run (the algorithm knobs live in
+/// [`DibaConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Link layer to deploy on.
+    pub transport: TransportKind,
+    /// A round's power move below this magnitude (watts) counts toward a
+    /// node's settled streak.
+    pub settle_tol: f64,
+    /// Consecutive sub-tolerance rounds before a node declares itself
+    /// settled.
+    pub stable_rounds: usize,
+    /// Consecutive silent rounds before a neighbor is pruned as dead
+    /// (the [`dpc_alg::faults::FaultPlan::detect_after`] semantics).
+    pub detect_after: usize,
+    /// Hard per-node round budget.
+    pub max_rounds: usize,
+    /// Per-link receive deadline each round.
+    pub round_timeout: Duration,
+    /// Deadline for each handshake step (dial retries run under their own
+    /// policy).
+    pub handshake_timeout: Duration,
+    /// Merge a telemetry record every this many rounds (0 = none).
+    pub sample_every: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> RuntimeConfig {
+        RuntimeConfig {
+            transport: TransportKind::InProcess,
+            settle_tol: 1e-4,
+            stable_rounds: 5,
+            detect_after: 40,
+            max_rounds: 20_000,
+            round_timeout: Duration::from_secs(2),
+            handshake_timeout: Duration::from_secs(10),
+            sample_every: 0,
+        }
+    }
+}
+
+/// What a cluster run produced.
+#[derive(Debug)]
+pub struct ClusterOutcome {
+    /// Per-node reports, ordered by node id.
+    pub reports: Vec<NodeReport>,
+    /// The converged power caps.
+    pub allocation: Allocation,
+    /// Budget the cluster was capped to.
+    pub budget: Watts,
+    /// Largest per-node round count.
+    pub rounds: usize,
+    /// `true` when every node exited through convergence quorum.
+    pub converged: bool,
+    /// Total messages sent across the cluster (heartbeats and goodbyes
+    /// included).
+    pub msgs_sent: u64,
+    /// Total messages received.
+    pub msgs_received: u64,
+    /// Heartbeats among the messages sent.
+    pub heartbeats: u64,
+    /// Residual-invariant drift `|Σe − (Σp − P)|` (watts).
+    pub drift: f64,
+    /// Merged round telemetry (when `sample_every > 0`).
+    pub telemetry: Option<Telemetry>,
+}
+
+impl ClusterOutcome {
+    /// Total power of the converged allocation.
+    pub fn total_power(&self) -> Watts {
+        self.reports.iter().map(|r| Watts(r.p)).sum()
+    }
+}
+
+/// Derives every node's launch spec from the shared problem statement —
+/// the same init bridge ([`DibaRun::new`]) all substrates use, so a node
+/// launched in its own process (`dpc node`) starts from exactly the state
+/// its peers assume.
+///
+/// # Errors
+///
+/// Propagates problem/config validation failures ([`RuntimeError::Alg`]).
+pub fn node_specs(
+    problem: &PowerBudgetProblem,
+    graph: &Graph,
+    config: DibaConfig,
+    rt: &RuntimeConfig,
+) -> Result<Vec<NodeSpec>, RuntimeError> {
+    let reference = DibaRun::new(problem.clone(), graph.clone(), config)?;
+    let params = reference.params();
+    let states = reference.node_states();
+    Ok(states
+        .iter()
+        .enumerate()
+        .map(|(id, &(p, e))| NodeSpec {
+            id,
+            utility: *problem.utility(id),
+            p,
+            e,
+            params,
+            eta_boost: config.eta_boost,
+            boost_decay: config.eta_boost_decay,
+            settle_tol: rt.settle_tol,
+            stable_rounds: rt.stable_rounds,
+            detect_after: rt.detect_after,
+            max_rounds: rt.max_rounds,
+            round_timeout: rt.round_timeout,
+            sample_every: rt.sample_every,
+        })
+        .collect())
+}
+
+fn spawn_nodes<T: Transport + 'static>(
+    specs: Vec<NodeSpec>,
+    transports: Vec<T>,
+    topology_hash: u64,
+    handshake_timeout: Duration,
+) -> Result<Vec<NodeReport>, RuntimeError> {
+    let n = specs.len();
+    let handles: Vec<_> = specs
+        .into_iter()
+        .zip(transports)
+        .map(|(spec, mut transport)| {
+            let ctx = HandshakeContext {
+                node: spec.id,
+                n_nodes: n,
+                topology_hash,
+                timeout: handshake_timeout,
+            };
+            std::thread::Builder::new()
+                .name(format!("dpc-node-{}", spec.id))
+                .spawn(move || -> Result<NodeReport, RuntimeError> {
+                    transport.handshake(&ctx)?;
+                    run_node(&spec, &mut transport)
+                })
+                .expect("spawning a node thread")
+        })
+        .collect();
+    let mut reports = Vec::with_capacity(n);
+    let mut first_err = None;
+    for handle in handles {
+        match handle.join().expect("node thread panicked") {
+            Ok(report) => reports.push(report),
+            Err(e) if first_err.is_none() => first_err = Some(e),
+            Err(_) => {}
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => {
+            reports.sort_by_key(|r| r.node);
+            Ok(reports)
+        }
+    }
+}
+
+/// Merges per-node trace samples into cluster-level [`RoundRecord`]s.
+///
+/// Lockstep delivery aligns end-of-round states across nodes (a frame sent
+/// in round `k` is absorbed in the receiver's round `k`), so a merged
+/// record's conservation identity holds to rounding — the runtime's
+/// telemetry bridge reuses the recorder unchanged.
+fn merge_telemetry(reports: &[NodeReport], budget: Watts) -> Telemetry {
+    let mut rounds: Vec<usize> = reports
+        .iter()
+        .flat_map(|r| r.trace.iter().map(|s| s.round))
+        .collect();
+    rounds.sort_unstable();
+    rounds.dedup();
+    let mut telemetry = Telemetry::new(TelemetryConfig::with_capacity(rounds.len().max(1)));
+    let mut prev_msgs = 0u64;
+    for &round in &rounds {
+        let mut sum_p = 0.0;
+        let mut sum_e = 0.0;
+        let mut norm2 = 0.0;
+        let mut max_abs_e = 0.0f64;
+        let mut msgs = 0u64;
+        for report in reports {
+            // The node's state at `round`: its last sample at or before the
+            // round, or its final state if it had already shut down.
+            let (p, e, sent) = if report.rounds < round {
+                (report.p, report.e, report.msgs_sent)
+            } else {
+                report
+                    .trace
+                    .iter()
+                    .rev()
+                    .find(|s| s.round <= round)
+                    .map(|s| (s.p, s.e, s.msgs_sent))
+                    .unwrap_or((report.p, report.e, report.msgs_sent))
+            };
+            sum_p += p;
+            sum_e += e;
+            norm2 += p * p;
+            max_abs_e = max_abs_e.max(e.abs());
+            msgs += sent;
+        }
+        telemetry.record_round(RoundRecord {
+            round: round as u64,
+            budget: budget.0,
+            sum_p,
+            norm2_p: norm2.sqrt(),
+            sum_e,
+            max_abs_e,
+            msgs_sent: msgs.saturating_sub(prev_msgs),
+            live: reports.len() as u64,
+            workers: 1,
+            ..RoundRecord::default()
+        });
+        prev_msgs = msgs;
+    }
+    telemetry
+}
+
+/// Runs a full cluster deployment and waits for the outcome.
+///
+/// # Errors
+///
+/// Validation failures ([`RuntimeError::Alg`]) before anything starts;
+/// transport failures (bind/connect/handshake/decode, each naming the
+/// peer) from the node that hit them first.
+pub fn run_cluster(
+    problem: PowerBudgetProblem,
+    graph: Graph,
+    config: DibaConfig,
+    rt: &RuntimeConfig,
+) -> Result<ClusterOutcome, RuntimeError> {
+    let specs = node_specs(&problem, &graph, config, rt)?;
+    let hash = graph.topology_hash();
+    let reports = match rt.transport {
+        TransportKind::InProcess => {
+            spawn_nodes(specs, channel::mesh(&graph), hash, rt.handshake_timeout)?
+        }
+        TransportKind::Tcp => {
+            let n = graph.len();
+            let mut listeners = Vec::with_capacity(n);
+            let mut addrs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let listener =
+                    TcpListener::bind(("127.0.0.1", 0)).map_err(|source| RuntimeError::Bind {
+                        addr: "127.0.0.1:0".to_string(),
+                        source,
+                    })?;
+                let addr = listener.local_addr().map_err(|source| RuntimeError::Bind {
+                    addr: "127.0.0.1:0".to_string(),
+                    source,
+                })?;
+                listeners.push(listener);
+                addrs.push(addr);
+            }
+            let mut transports = Vec::with_capacity(n);
+            for (i, listener) in listeners.into_iter().enumerate() {
+                let neighbors = graph.neighbors(i);
+                let dial_addrs: Vec<_> = neighbors
+                    .iter()
+                    .filter(|&&j| j > i)
+                    .map(|&j| (j, addrs[j]))
+                    .collect();
+                transports.push(TcpTransport::new(
+                    i,
+                    listener,
+                    neighbors,
+                    &dial_addrs,
+                    RetryPolicy::default(),
+                )?);
+            }
+            spawn_nodes(specs, transports, hash, rt.handshake_timeout)?
+        }
+    };
+
+    let budget = problem.budget();
+    let sum_p: f64 = reports.iter().map(|r| r.p).sum();
+    let sum_e: f64 = reports.iter().map(|r| r.e).sum();
+    let telemetry = (rt.sample_every > 0).then(|| merge_telemetry(&reports, budget));
+    Ok(ClusterOutcome {
+        allocation: reports.iter().map(|r| Watts(r.p)).collect(),
+        budget,
+        rounds: reports.iter().map(|r| r.rounds).max().unwrap_or(0),
+        converged: reports.iter().all(|r| r.converged),
+        msgs_sent: reports.iter().map(|r| r.msgs_sent).sum(),
+        msgs_received: reports.iter().map(|r| r.msgs_received).sum(),
+        heartbeats: reports.iter().map(|r| r.heartbeats_sent).sum(),
+        drift: (sum_e - (sum_p - budget.0)).abs(),
+        telemetry,
+        reports,
+    })
+}

@@ -1,0 +1,180 @@
+//! The runtime's typed error surface.
+//!
+//! Every failure names the peer (address or node id) it happened against,
+//! so a `dpc node` operator sees `handshake with 127.0.0.1:4102 failed:
+//! topology-mismatch …` rather than a bare I/O error bubbled out of a
+//! worker thread.
+
+use crate::wire::{RejectReason, WireError};
+use dpc_alg::problem::AlgError;
+use std::io;
+
+/// Why a handshake did not establish a link.
+#[derive(Debug)]
+pub enum HandshakeFailure {
+    /// The peer never completed the exchange within the timeout.
+    Timeout,
+    /// The peer closed the connection mid-handshake.
+    Closed,
+    /// The remote acceptor turned us away with a named reason.
+    Rejected(RejectReason),
+    /// We turned the remote dialer away with a named reason (its launch
+    /// configuration disagrees with ours).
+    RejectedPeer {
+        /// The dialer's claimed node id.
+        node: u32,
+        /// The named reason we sent back.
+        reason: RejectReason,
+    },
+    /// Version fields disagreed after the hello exchange.
+    VersionMismatch {
+        /// Our [`crate::wire::PROTOCOL_VERSION`].
+        ours: u16,
+        /// The peer's version.
+        theirs: u16,
+    },
+    /// The peer introduced itself with an id we did not expect on this
+    /// link (or one that is not a graph neighbor at all).
+    UnexpectedPeer {
+        /// Node id we expected, when the link pins one.
+        expected: Option<usize>,
+        /// Node id the peer claimed.
+        got: usize,
+    },
+    /// A higher-id neighbor has no dial address, so the link can never be
+    /// established (lower-id nodes dial, so every higher-id neighbor needs
+    /// one).
+    MissingDialAddr {
+        /// The neighbor without an address.
+        node: usize,
+    },
+    /// The peer sent the wrong message kind for the handshake state.
+    UnexpectedMessage {
+        /// Kind of the message actually received.
+        got: &'static str,
+    },
+}
+
+impl std::fmt::Display for HandshakeFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HandshakeFailure::Timeout => f.write_str("timed out"),
+            HandshakeFailure::Closed => f.write_str("peer closed the connection"),
+            HandshakeFailure::Rejected(reason) => write!(f, "rejected by peer: {reason}"),
+            HandshakeFailure::RejectedPeer { node, reason } => {
+                write!(f, "rejected node {node}: {reason}")
+            }
+            HandshakeFailure::VersionMismatch { ours, theirs } => {
+                write!(f, "protocol version mismatch: ours {ours}, theirs {theirs}")
+            }
+            HandshakeFailure::UnexpectedPeer { expected, got } => match expected {
+                Some(want) => write!(f, "expected node {want}, peer claims to be node {got}"),
+                None => write!(f, "node {got} is not a neighbor on this topology"),
+            },
+            HandshakeFailure::MissingDialAddr { node } => {
+                write!(f, "no dial address for higher-id neighbor {node}")
+            }
+            HandshakeFailure::UnexpectedMessage { got } => {
+                write!(f, "unexpected `{got}` message during handshake")
+            }
+        }
+    }
+}
+
+/// A runtime failure, carrying the peer it happened against.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// Could not bind the local listen address.
+    Bind {
+        /// The address we tried to bind.
+        addr: String,
+        /// The OS error.
+        source: io::Error,
+    },
+    /// Could not connect to a peer (after the configured retries).
+    Connect {
+        /// The peer's address.
+        peer: String,
+        /// The OS error from the last attempt.
+        source: io::Error,
+    },
+    /// The link-establishment exchange failed.
+    Handshake {
+        /// The peer's address or node label.
+        peer: String,
+        /// What went wrong.
+        reason: HandshakeFailure,
+    },
+    /// Bytes from an established peer decoded to no valid message.
+    Decode {
+        /// The peer's address or node label.
+        peer: String,
+        /// The wire-level decoding failure.
+        source: WireError,
+    },
+    /// An established peer sent a valid message that is illegal in the
+    /// current protocol state (e.g. a second `Hello` mid-run).
+    Protocol {
+        /// The peer's address or node label.
+        peer: String,
+        /// Kind of the offending message.
+        got: &'static str,
+    },
+    /// I/O failure on an established link.
+    Io {
+        /// The peer's address or node label.
+        peer: String,
+        /// The OS error.
+        source: io::Error,
+    },
+    /// Problem/graph/config validation failed before any node started.
+    Alg(AlgError),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Bind { addr, source } => {
+                write!(f, "could not bind {addr}: {source}")
+            }
+            RuntimeError::Connect { peer, source } => {
+                write!(f, "could not connect to {peer}: {source}")
+            }
+            RuntimeError::Handshake { peer, reason } => {
+                write!(f, "handshake with {peer} failed: {reason}")
+            }
+            RuntimeError::Decode { peer, source } => {
+                write!(f, "bad frame from {peer}: {source}")
+            }
+            RuntimeError::Protocol { peer, got } => {
+                write!(
+                    f,
+                    "protocol violation from {peer}: unexpected `{got}` message"
+                )
+            }
+            RuntimeError::Io { peer, source } => {
+                write!(f, "i/o failure on link to {peer}: {source}")
+            }
+            RuntimeError::Alg(e) => write!(f, "invalid deployment: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Bind { source, .. }
+            | RuntimeError::Connect { source, .. }
+            | RuntimeError::Io { source, .. } => Some(source),
+            RuntimeError::Decode { source, .. } => Some(source),
+            RuntimeError::Alg(source) => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<AlgError> for RuntimeError {
+    fn from(e: AlgError) -> RuntimeError {
+        RuntimeError::Alg(e)
+    }
+}

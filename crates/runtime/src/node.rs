@@ -1,0 +1,352 @@
+//! The node actor: one DiBA agent driven over a [`Transport`].
+//!
+//! The loop is the deployed protocol of the paper's prototype (one message
+//! per neighbor per round, neighbor state one round stale), with three
+//! runtime additions on top of the `dpc-agents` thread prototype:
+//!
+//! * **Silent-peer detection** uses the simulator's
+//!   [`FaultPlan::detect_after`](dpc_alg::faults::FaultPlan) semantics — a
+//!   neighbor is pruned only after `detect_after` *consecutive* silent
+//!   rounds, not on the first late message, so a slow peer is tolerated
+//!   and a crashed one is eventually routed around.
+//! * **Heartbeat suppression**: once a node is settled and a neighbor
+//!   already holds its exact residual (nothing changed since the last
+//!   `Data` and the round's transfer is zero), the node sends the 6-byte
+//!   `Heartbeat` instead of the 22-byte `Data` — same semantics, fewer
+//!   bytes at the converged tail.
+//! * **Convergence-quorum shutdown**: a node exits once it has been
+//!   settled for the configured streak *and* every remaining neighbor has
+//!   declared itself settled (or left). It says `Goodbye` on every live
+//!   link first, so neighbors account the departure instead of burning
+//!   `detect_after` rounds on silence.
+
+use crate::error::RuntimeError;
+use crate::transport::{Delivery, Incoming, Transport};
+use crate::wire::WireMsg;
+use dpc_alg::diba::{node_action, NodeParams};
+use dpc_alg::message::RoundMsg;
+use dpc_models::QuadraticUtility;
+use std::time::Duration;
+
+/// Everything one node needs at launch (the per-node slice of the problem
+/// plus the runtime knobs). Initial `(p, e)` and [`NodeParams`] come from
+/// the same bridge the thread prototype uses
+/// ([`dpc_alg::diba::DibaRun::new`]), so every substrate starts from the
+/// identical state.
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    /// This node's id.
+    pub id: usize,
+    /// The local utility function.
+    pub utility: QuadraticUtility,
+    /// Initial power (watts).
+    pub p: f64,
+    /// Initial residual estimate (watts).
+    pub e: f64,
+    /// Resolved algorithm parameters.
+    pub params: NodeParams,
+    /// Barrier-continuation boost at start (≥ 1; 1 disables).
+    pub eta_boost: f64,
+    /// Per-round multiplicative decay of the boost.
+    pub boost_decay: f64,
+    /// A round's power move below this magnitude (watts) counts toward the
+    /// settled streak.
+    pub settle_tol: f64,
+    /// Consecutive sub-tolerance rounds before the node declares itself
+    /// settled on the wire.
+    pub stable_rounds: usize,
+    /// Consecutive silent rounds before a neighbor is pruned as dead.
+    pub detect_after: usize,
+    /// Hard round budget; the node reports `converged: false` if quorum
+    /// never forms.
+    pub max_rounds: usize,
+    /// Per-link receive deadline each round.
+    pub round_timeout: Duration,
+    /// Record a trace sample every this many rounds (0 = no trace).
+    pub sample_every: usize,
+}
+
+/// One trace sample of a node's local state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSample {
+    /// Round the sample was taken after (1-based).
+    pub round: usize,
+    /// Power (watts).
+    pub p: f64,
+    /// Residual estimate (watts).
+    pub e: f64,
+    /// Messages sent so far (cumulative).
+    pub msgs_sent: u64,
+}
+
+/// What a node came back with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeReport {
+    /// Reporting node id.
+    pub node: usize,
+    /// Final power (watts).
+    pub p: f64,
+    /// Final residual estimate (watts).
+    pub e: f64,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// `true` when the node exited through convergence quorum (rather
+    /// than exhausting `max_rounds`).
+    pub converged: bool,
+    /// Total messages sent (including heartbeats and goodbyes).
+    pub msgs_sent: u64,
+    /// Total messages received.
+    pub msgs_received: u64,
+    /// Heartbeats among the messages sent.
+    pub heartbeats_sent: u64,
+    /// Neighbors pruned as silent (crash suspicion), in detection order.
+    pub pruned: Vec<usize>,
+    /// Trace samples (empty unless `sample_every > 0`).
+    pub trace: Vec<NodeSample>,
+}
+
+/// Per-slot link bookkeeping.
+struct LinkBook {
+    alive: bool,
+    /// Peer said goodbye (graceful) as opposed to being pruned/broken.
+    graceful: bool,
+    peer_settled: bool,
+    silent: usize,
+    /// Last residual heard from the peer.
+    heard_e: f64,
+    /// Last residual we successfully sent in a `Data` frame (NaN until the
+    /// first send, so the first round always sends `Data`).
+    sent_e: f64,
+}
+
+/// Runs one node actor to completion over an established transport.
+/// [`Transport::handshake`] must have succeeded already.
+///
+/// # Errors
+///
+/// Propagates transport failures ([`RuntimeError::Decode`] on corrupt
+/// frames, [`RuntimeError::Protocol`] on a handshake message arriving
+/// mid-run). Peer disappearances are *not* errors — they are operating
+/// conditions handled by pruning.
+pub fn run_node<T: Transport>(
+    spec: &NodeSpec,
+    transport: &mut T,
+) -> Result<NodeReport, RuntimeError> {
+    let degree = transport.degree();
+    let mut p = spec.p;
+    let mut e = spec.e;
+    let mut links: Vec<LinkBook> = (0..degree)
+        .map(|_| LinkBook {
+            alive: true,
+            graceful: false,
+            peer_settled: false,
+            silent: 0,
+            heard_e: spec.e,
+            sent_e: f64::NAN,
+        })
+        .collect();
+
+    let reboost = spec.eta_boost.max(1.0);
+    let decay = spec.boost_decay.clamp(0.0, 1.0);
+    let mut boost = reboost;
+    let mut streak = 0usize;
+    let mut rounds = 0usize;
+    let mut converged = false;
+    let mut msgs_sent = 0u64;
+    let mut msgs_received = 0u64;
+    let mut heartbeats_sent = 0u64;
+    let mut pruned = Vec::new();
+    let mut trace = Vec::new();
+
+    let mut live_slots: Vec<usize> = Vec::with_capacity(degree);
+    let mut neigh_e: Vec<f64> = Vec::with_capacity(degree);
+
+    while rounds < spec.max_rounds {
+        rounds += 1;
+        let round = rounds as u32;
+
+        live_slots.clear();
+        neigh_e.clear();
+        for (slot, link) in links.iter().enumerate() {
+            if link.alive {
+                live_slots.push(slot);
+                neigh_e.push(link.heard_e);
+            }
+        }
+
+        let round_params = NodeParams {
+            eta: spec.params.eta * boost,
+            ..spec.params
+        };
+        let action = node_action(&spec.utility, p, e, &neigh_e, &round_params);
+        p += action.dp;
+        e += action.own_residual_delta();
+        streak = if action.dp.abs() < spec.settle_tol {
+            streak + 1
+        } else {
+            0
+        };
+        let settled = streak >= spec.stable_rounds;
+
+        // Send pass: one frame per live link; reclaim the transfer when
+        // the link turns out to be gone so no slack mass is destroyed.
+        for (k, &slot) in live_slots.iter().enumerate() {
+            let transfer = action.transfers[k];
+            let redundant = settled && transfer == 0.0 && e == links[slot].sent_e;
+            let msg = if redundant {
+                WireMsg::Heartbeat {
+                    round,
+                    settled: true,
+                }
+            } else {
+                WireMsg::Data {
+                    round,
+                    msg: RoundMsg { e, transfer },
+                    settled,
+                }
+            };
+            match transport.send(slot, &msg) {
+                Delivery::Sent => {
+                    msgs_sent += 1;
+                    if redundant {
+                        heartbeats_sent += 1;
+                    } else {
+                        links[slot].sent_e = e;
+                    }
+                }
+                Delivery::Closed => {
+                    e += transfer;
+                    links[slot].alive = false;
+                    if !links[slot].graceful {
+                        pruned.push(transport.peer(slot));
+                    }
+                }
+            }
+        }
+
+        // Receive pass: one frame per (still) live link, slot order.
+        for &slot in &live_slots {
+            if !links[slot].alive {
+                continue;
+            }
+            match transport.recv(slot, spec.round_timeout)? {
+                Incoming::Msg(WireMsg::Data {
+                    msg,
+                    settled: peer_settled,
+                    ..
+                }) => {
+                    links[slot].heard_e = msg.e;
+                    e += msg.transfer;
+                    links[slot].peer_settled = peer_settled;
+                    links[slot].silent = 0;
+                    msgs_received += 1;
+                }
+                Incoming::Msg(WireMsg::Heartbeat {
+                    settled: peer_settled,
+                    ..
+                }) => {
+                    links[slot].peer_settled = peer_settled;
+                    links[slot].silent = 0;
+                    msgs_received += 1;
+                }
+                Incoming::Msg(WireMsg::Goodbye { msg }) => {
+                    e += msg.transfer;
+                    links[slot].alive = false;
+                    links[slot].graceful = true;
+                    links[slot].peer_settled = true;
+                    msgs_received += 1;
+                }
+                Incoming::Msg(other) => {
+                    return Err(RuntimeError::Protocol {
+                        peer: transport.peer_label(slot),
+                        got: other.kind(),
+                    })
+                }
+                Incoming::Timeout => {
+                    links[slot].silent += 1;
+                    if links[slot].silent >= spec.detect_after {
+                        links[slot].alive = false;
+                        pruned.push(transport.peer(slot));
+                    }
+                }
+                Incoming::Closed => {
+                    links[slot].alive = false;
+                    if !links[slot].graceful {
+                        pruned.push(transport.peer(slot));
+                    }
+                }
+            }
+        }
+
+        boost = (boost * decay).max(1.0);
+
+        if spec.sample_every > 0 && rounds.is_multiple_of(spec.sample_every) {
+            trace.push(NodeSample {
+                round: rounds,
+                p,
+                e,
+                msgs_sent,
+            });
+        }
+
+        // Convergence quorum: we are settled and every neighbor is either
+        // settled or gone.
+        if settled && links.iter().all(|l| !l.alive || l.peer_settled) {
+            for (slot, link) in links.iter().enumerate() {
+                if link.alive {
+                    let bye = WireMsg::Goodbye {
+                        msg: RoundMsg { e, transfer: 0.0 },
+                    };
+                    if transport.send(slot, &bye) == Delivery::Sent {
+                        msgs_sent += 1;
+                    }
+                }
+            }
+            // Lame-duck drain: a neighbor may have sent one more round's
+            // frame before it processes our goodbye. Absorb any transfer
+            // mass still in flight so the residual invariant survives the
+            // shutdown, then leave at the first silence/close per link.
+            let drain_timeout = spec.round_timeout.min(Duration::from_millis(100));
+            for (slot, link) in links.iter_mut().enumerate() {
+                if !link.alive {
+                    continue;
+                }
+                loop {
+                    match transport.recv(slot, drain_timeout) {
+                        Ok(Incoming::Msg(WireMsg::Data { msg, .. })) => {
+                            e += msg.transfer;
+                            msgs_received += 1;
+                        }
+                        Ok(Incoming::Msg(WireMsg::Heartbeat { .. })) => {
+                            msgs_received += 1;
+                        }
+                        Ok(Incoming::Msg(WireMsg::Goodbye { msg })) => {
+                            e += msg.transfer;
+                            msgs_received += 1;
+                            break;
+                        }
+                        // Anything else — silence, closure, a handshake
+                        // frame, even a corrupt frame — ends the drain;
+                        // we are leaving either way.
+                        _ => break,
+                    }
+                }
+            }
+            converged = true;
+            break;
+        }
+    }
+
+    Ok(NodeReport {
+        node: spec.id,
+        p,
+        e,
+        rounds,
+        converged,
+        msgs_sent,
+        msgs_received,
+        heartbeats_sent,
+        pruned,
+        trace,
+    })
+}

@@ -1,0 +1,92 @@
+//! The pluggable link layer a DiBA node runs on.
+//!
+//! A [`Transport`] is one node's endpoint: a fixed set of *slots*, one per
+//! graph neighbor in ascending-id order (the same order as
+//! [`dpc_topology::Graph::neighbors`]), each carrying framed
+//! [`WireMsg`]s with FIFO delivery. The node actor in [`crate::node`] is
+//! written against this trait alone, so the in-process channel mesh
+//! ([`crate::channel`]) and real TCP sockets ([`crate::tcp`]) run the
+//! byte-identical protocol loop — the transport-equivalence tests pin it.
+
+use crate::error::RuntimeError;
+use crate::wire::WireMsg;
+use std::time::Duration;
+
+/// What a send did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// The frame was handed to the link.
+    Sent,
+    /// The link is gone (peer exited or connection broke): the frame was
+    /// *not* delivered and any mass it carried must be reclaimed by the
+    /// caller.
+    Closed,
+}
+
+/// What a receive produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Incoming {
+    /// A decoded message.
+    Msg(WireMsg),
+    /// Nothing arrived within the timeout (the peer is silent, not
+    /// necessarily gone — the node loop counts these against
+    /// `detect_after`).
+    Timeout,
+    /// The link is gone.
+    Closed,
+}
+
+/// Everything a transport needs to run the link-establishment exchange.
+#[derive(Debug, Clone, Copy)]
+pub struct HandshakeContext {
+    /// This node's id.
+    pub node: usize,
+    /// Cluster size this node was launched with.
+    pub n_nodes: usize,
+    /// Fingerprint of the communication graph this node was launched with.
+    pub topology_hash: u64,
+    /// Per-step handshake deadline.
+    pub timeout: Duration,
+}
+
+/// One node's endpoint onto the cluster.
+///
+/// Slots are stable for the life of the transport; links that die stay
+/// addressable (sends report [`Delivery::Closed`], receives report
+/// [`Incoming::Closed`]) so the node loop owns all liveness bookkeeping.
+pub trait Transport: Send {
+    /// This endpoint's node id.
+    fn node(&self) -> usize;
+
+    /// Number of neighbor slots.
+    fn degree(&self) -> usize;
+
+    /// Neighbor node id behind `slot`.
+    fn peer(&self, slot: usize) -> usize;
+
+    /// Human-readable peer label for error reporting (`"node 3"` or
+    /// `"127.0.0.1:4102"`).
+    fn peer_label(&self, slot: usize) -> String;
+
+    /// Runs the hello/ack exchange on every slot: the lower-id endpoint of
+    /// each link dials (sends `Hello`), the higher-id endpoint validates
+    /// and answers `HelloAck` or `Reject`.
+    ///
+    /// # Errors
+    ///
+    /// A [`RuntimeError::Handshake`] naming the peer and reason on any
+    /// mismatch, timeout, or protocol confusion.
+    fn handshake(&mut self, ctx: &HandshakeContext) -> Result<(), RuntimeError>;
+
+    /// Sends one message on `slot`.
+    fn send(&mut self, slot: usize, msg: &WireMsg) -> Delivery;
+
+    /// Waits up to `timeout` for one message on `slot`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Decode`] when the peer's bytes are invalid — the
+    /// link is poisoned and the node should abort rather than act on a
+    /// corrupt stream.
+    fn recv(&mut self, slot: usize, timeout: Duration) -> Result<Incoming, RuntimeError>;
+}

@@ -1,0 +1,670 @@
+//! The versioned binary wire protocol for DiBA node links.
+//!
+//! Every message travels as a *frame*: a little-endian `u32` payload length
+//! followed by the payload. The payload is a one-byte tag and the message's
+//! fixed-width little-endian fields — no varints, no padding, nothing
+//! optional — so every message type has exactly one byte representation and
+//! frames are a handful of bytes (a [`WireMsg::Data`] frame is 26 bytes on
+//! the wire, matching the paper's point that DiBA messages fit a single
+//! cache line, let alone a packet).
+//!
+//! | tag | message     | payload layout (after the tag byte)                         |
+//! |-----|-------------|-------------------------------------------------------------|
+//! | 1   | `Hello`     | `version: u16`, `node: u32`, `n_nodes: u32`, `topology: u64`|
+//! | 2   | `HelloAck`  | `version: u16`, `node: u32`                                 |
+//! | 3   | `Reject`    | `reason: u8`                                                |
+//! | 4   | `Data`      | `round: u32`, `e: f64`, `transfer: f64`, `flags: u8`        |
+//! | 5   | `Heartbeat` | `round: u32`, `flags: u8`                                   |
+//! | 6   | `Goodbye`   | `e: f64`, `farewell: f64`                                   |
+//!
+//! The decoder is total: any byte sequence either decodes to exactly one
+//! message or returns a typed [`WireError`] — truncated frames, trailing
+//! bytes, unknown tags, reserved flag bits, and non-finite floats are all
+//! rejected, never panicked on (property-tested in `tests/wire_props.rs`).
+
+use dpc_alg::message::RoundMsg;
+use std::io::{self, Read, Write};
+
+/// Protocol version spoken by this build. Bumped on any change to the
+/// frame layouts above; handshakes reject a peer with a different version.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on an accepted payload length (bytes). Every real payload is
+/// under 32 bytes; the cap keeps a corrupted or hostile length prefix from
+/// turning into an attempted multi-gigabyte allocation.
+pub const MAX_PAYLOAD_LEN: u32 = 64;
+
+/// Why a handshake peer was turned away, carried inside [`WireMsg::Reject`]
+/// so the dialer learns the named reason instead of a bare disconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The peer speaks a different [`PROTOCOL_VERSION`].
+    VersionMismatch,
+    /// The peer was launched against a different communication graph
+    /// (its [`dpc_topology::Graph::topology_hash`] differs).
+    TopologyMismatch,
+    /// The peer believes the cluster has a different node count.
+    ClusterSizeMismatch,
+    /// The peer's node id is not a graph neighbor of this node (or that
+    /// link is already established).
+    UnknownPeer,
+}
+
+impl RejectReason {
+    const ALL: [RejectReason; 4] = [
+        RejectReason::VersionMismatch,
+        RejectReason::TopologyMismatch,
+        RejectReason::ClusterSizeMismatch,
+        RejectReason::UnknownPeer,
+    ];
+
+    fn code(self) -> u8 {
+        match self {
+            RejectReason::VersionMismatch => 1,
+            RejectReason::TopologyMismatch => 2,
+            RejectReason::ClusterSizeMismatch => 3,
+            RejectReason::UnknownPeer => 4,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<RejectReason> {
+        RejectReason::ALL.iter().copied().find(|r| r.code() == code)
+    }
+
+    /// Stable name used in error messages and logs.
+    pub fn key(self) -> &'static str {
+        match self {
+            RejectReason::VersionMismatch => "version-mismatch",
+            RejectReason::TopologyMismatch => "topology-mismatch",
+            RejectReason::ClusterSizeMismatch => "cluster-size-mismatch",
+            RejectReason::UnknownPeer => "unknown-peer",
+        }
+    }
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// A decoded protocol message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireMsg {
+    /// Join: the dialer introduces itself and states the cluster identity
+    /// it was launched with. The acceptor validates every field.
+    Hello {
+        /// Dialer's [`PROTOCOL_VERSION`].
+        version: u16,
+        /// Dialer's node id.
+        node: u32,
+        /// Cluster size the dialer was launched with.
+        n_nodes: u32,
+        /// Fingerprint of the dialer's communication graph.
+        topology_hash: u64,
+    },
+    /// The acceptor's half of the join: it confirms the link and names
+    /// itself so the dialer can verify it reached the intended neighbor.
+    HelloAck {
+        /// Acceptor's [`PROTOCOL_VERSION`].
+        version: u16,
+        /// Acceptor's node id.
+        node: u32,
+    },
+    /// The acceptor turns the dialer away with a named reason; the link is
+    /// closed immediately after.
+    Reject {
+        /// Why the handshake failed.
+        reason: RejectReason,
+    },
+    /// One round's state/residual exchange — the workhorse message.
+    Data {
+        /// Sender's round counter (wraps at `u32::MAX`; used for
+        /// diagnostics, not ordering — links are FIFO).
+        round: u32,
+        /// The algorithm payload: residual snapshot + slack transfer.
+        msg: RoundMsg,
+        /// Sender considers itself settled (|Δp| below tolerance for the
+        /// configured number of consecutive rounds).
+        settled: bool,
+    },
+    /// Keepalive sent instead of [`WireMsg::Data`] when a settled sender's
+    /// state is byte-identical to what the receiver already holds (residual
+    /// unchanged since the last `Data`, zero transfer): the receiver treats
+    /// it exactly like that redundant `Data` frame.
+    Heartbeat {
+        /// Sender's round counter.
+        round: u32,
+        /// Sender considers itself settled (always `true` today, but the
+        /// flag travels so the semantics stay explicit on the wire).
+        settled: bool,
+    },
+    /// Depart: the sender leaves the link for good — either a graceful
+    /// shutdown after convergence quorum (`farewell = 0`) or a departure
+    /// donating its residual-and-power mass to the receiver.
+    Goodbye {
+        /// Final residual snapshot (`msg.e`) and farewell donation
+        /// (`msg.transfer`, ≤ 0 mass like any transfer; 0 on clean
+        /// shutdown).
+        msg: RoundMsg,
+    },
+}
+
+impl WireMsg {
+    /// The message's tag byte.
+    pub fn tag(&self) -> u8 {
+        match self {
+            WireMsg::Hello { .. } => 1,
+            WireMsg::HelloAck { .. } => 2,
+            WireMsg::Reject { .. } => 3,
+            WireMsg::Data { .. } => 4,
+            WireMsg::Heartbeat { .. } => 5,
+            WireMsg::Goodbye { .. } => 6,
+        }
+    }
+
+    /// Human-readable message kind (for error reporting).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WireMsg::Hello { .. } => "hello",
+            WireMsg::HelloAck { .. } => "hello-ack",
+            WireMsg::Reject { .. } => "reject",
+            WireMsg::Data { .. } => "data",
+            WireMsg::Heartbeat { .. } => "heartbeat",
+            WireMsg::Goodbye { .. } => "goodbye",
+        }
+    }
+}
+
+/// A typed decoding failure. Every variant is a *data* problem — the bytes
+/// themselves are wrong — as opposed to the I/O problems reported by
+/// [`FrameError::Io`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the message's fixed layout was complete.
+    Truncated {
+        /// Bytes the tag's layout requires.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The payload continued past the message's fixed layout.
+    TrailingBytes {
+        /// The decoded message's tag.
+        tag: u8,
+        /// Number of surplus bytes.
+        extra: usize,
+    },
+    /// The first payload byte is not a known message tag.
+    UnknownTag(u8),
+    /// A [`WireMsg::Reject`] carried an unassigned reason code.
+    UnknownReason(u8),
+    /// A flags byte had reserved (non-zero) bits set.
+    BadFlags(u8),
+    /// A float field decoded to NaN or ±∞, which no solver ever produces.
+    NonFinite {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// The frame's length prefix exceeds [`MAX_PAYLOAD_LEN`].
+    OversizedFrame(u32),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { expected, got } => {
+                write!(f, "truncated payload: expected {expected} bytes, got {got}")
+            }
+            WireError::TrailingBytes { tag, extra } => {
+                write!(f, "{extra} trailing bytes after tag-{tag} payload")
+            }
+            WireError::UnknownTag(tag) => write!(f, "unknown message tag {tag}"),
+            WireError::UnknownReason(code) => write!(f, "unknown reject reason code {code}"),
+            WireError::BadFlags(flags) => {
+                write!(f, "reserved flag bits set: {flags:#04x}")
+            }
+            WireError::NonFinite { field } => write!(f, "non-finite value in field `{field}`"),
+            WireError::OversizedFrame(len) => write!(
+                f,
+                "frame length {len} exceeds the {MAX_PAYLOAD_LEN}-byte payload cap"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Why a framed read ended without producing a message.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the stream cleanly at a frame boundary.
+    Closed,
+    /// The transport failed mid-frame (includes read timeouts).
+    Io(io::Error),
+    /// The frame arrived but its bytes decode to no valid message.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => f.write_str("peer closed the stream"),
+            FrameError::Io(e) => write!(f, "i/o failure: {e}"),
+            FrameError::Wire(e) => write!(f, "wire decode failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+const FLAG_SETTLED: u8 = 0b0000_0001;
+
+fn flags_byte(settled: bool) -> u8 {
+    if settled {
+        FLAG_SETTLED
+    } else {
+        0
+    }
+}
+
+/// Encodes the payload (tag + fields, no length prefix) into `buf`.
+pub fn encode_payload(msg: &WireMsg, buf: &mut Vec<u8>) {
+    buf.push(msg.tag());
+    match *msg {
+        WireMsg::Hello {
+            version,
+            node,
+            n_nodes,
+            topology_hash,
+        } => {
+            buf.extend_from_slice(&version.to_le_bytes());
+            buf.extend_from_slice(&node.to_le_bytes());
+            buf.extend_from_slice(&n_nodes.to_le_bytes());
+            buf.extend_from_slice(&topology_hash.to_le_bytes());
+        }
+        WireMsg::HelloAck { version, node } => {
+            buf.extend_from_slice(&version.to_le_bytes());
+            buf.extend_from_slice(&node.to_le_bytes());
+        }
+        WireMsg::Reject { reason } => buf.push(reason.code()),
+        WireMsg::Data {
+            round,
+            msg,
+            settled,
+        } => {
+            buf.extend_from_slice(&round.to_le_bytes());
+            buf.extend_from_slice(&msg.e.to_le_bytes());
+            buf.extend_from_slice(&msg.transfer.to_le_bytes());
+            buf.push(flags_byte(settled));
+        }
+        WireMsg::Heartbeat { round, settled } => {
+            buf.extend_from_slice(&round.to_le_bytes());
+            buf.push(flags_byte(settled));
+        }
+        WireMsg::Goodbye { msg } => {
+            buf.extend_from_slice(&msg.e.to_le_bytes());
+            buf.extend_from_slice(&msg.transfer.to_le_bytes());
+        }
+    }
+}
+
+/// A cursor over a payload that pulls fixed-width little-endian fields and
+/// reports exactly how many bytes the layout wanted when it runs short.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    want: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Cursor<'a> {
+        Cursor {
+            bytes,
+            pos: 0,
+            want: 0,
+        }
+    }
+
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        self.want += N;
+        match self.bytes.get(self.pos..self.pos + N) {
+            Some(chunk) => {
+                self.pos += N;
+                let mut out = [0u8; N];
+                out.copy_from_slice(chunk);
+                Ok(out)
+            }
+            None => Err(WireError::Truncated {
+                expected: self.want,
+                got: self.bytes.len(),
+            }),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take::<1>()?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take::<2>()?))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take::<4>()?))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take::<8>()?))
+    }
+
+    fn f64(&mut self, field: &'static str) -> Result<f64, WireError> {
+        let v = f64::from_le_bytes(self.take::<8>()?);
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(WireError::NonFinite { field })
+        }
+    }
+
+    fn flags(&mut self) -> Result<bool, WireError> {
+        let flags = self.u8()?;
+        if flags & !FLAG_SETTLED != 0 {
+            return Err(WireError::BadFlags(flags));
+        }
+        Ok(flags & FLAG_SETTLED != 0)
+    }
+
+    fn finish(self, tag: u8, msg: WireMsg) -> Result<WireMsg, WireError> {
+        if self.pos < self.bytes.len() {
+            Err(WireError::TrailingBytes {
+                tag,
+                extra: self.bytes.len() - self.pos,
+            })
+        } else {
+            Ok(msg)
+        }
+    }
+}
+
+/// Decodes one payload (tag + fields, no length prefix).
+///
+/// # Errors
+///
+/// A [`WireError`] naming exactly what is wrong with the bytes; never
+/// panics on any input.
+pub fn decode_payload(bytes: &[u8]) -> Result<WireMsg, WireError> {
+    let mut c = Cursor::new(bytes);
+    let tag = c.u8().map_err(|_| WireError::Truncated {
+        expected: 1,
+        got: 0,
+    })?;
+    match tag {
+        1 => {
+            let version = c.u16()?;
+            let node = c.u32()?;
+            let n_nodes = c.u32()?;
+            let topology_hash = c.u64()?;
+            c.finish(
+                tag,
+                WireMsg::Hello {
+                    version,
+                    node,
+                    n_nodes,
+                    topology_hash,
+                },
+            )
+        }
+        2 => {
+            let version = c.u16()?;
+            let node = c.u32()?;
+            c.finish(tag, WireMsg::HelloAck { version, node })
+        }
+        3 => {
+            let code = c.u8()?;
+            let reason = RejectReason::from_code(code).ok_or(WireError::UnknownReason(code))?;
+            c.finish(tag, WireMsg::Reject { reason })
+        }
+        4 => {
+            let round = c.u32()?;
+            let e = c.f64("e")?;
+            let transfer = c.f64("transfer")?;
+            let settled = c.flags()?;
+            c.finish(
+                tag,
+                WireMsg::Data {
+                    round,
+                    msg: RoundMsg { e, transfer },
+                    settled,
+                },
+            )
+        }
+        5 => {
+            let round = c.u32()?;
+            let settled = c.flags()?;
+            c.finish(tag, WireMsg::Heartbeat { round, settled })
+        }
+        6 => {
+            let e = c.f64("e")?;
+            let transfer = c.f64("farewell")?;
+            c.finish(
+                tag,
+                WireMsg::Goodbye {
+                    msg: RoundMsg { e, transfer },
+                },
+            )
+        }
+        other => Err(WireError::UnknownTag(other)),
+    }
+}
+
+/// Encodes a full frame (length prefix + payload).
+pub fn encode_frame(msg: &WireMsg) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(32);
+    encode_payload(msg, &mut payload);
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Writes one frame to a byte stream.
+///
+/// # Errors
+///
+/// Propagates the underlying write failure.
+pub fn write_frame(w: &mut impl Write, msg: &WireMsg) -> io::Result<()> {
+    w.write_all(&encode_frame(msg))
+}
+
+/// Reads exactly one frame from a byte stream and decodes it.
+///
+/// # Errors
+///
+/// [`FrameError::Closed`] on EOF at a frame boundary, [`FrameError::Io`]
+/// mid-frame (including read timeouts), [`FrameError::Wire`] when the
+/// bytes are invalid.
+pub fn read_frame(r: &mut impl Read) -> Result<WireMsg, FrameError> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Err(FrameError::Closed),
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream closed mid length prefix",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_PAYLOAD_LEN {
+        return Err(FrameError::Wire(WireError::OversizedFrame(len)));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "stream closed mid payload",
+            ))
+        } else {
+            FrameError::Io(e)
+        }
+    })?;
+    decode_payload(&payload).map_err(FrameError::Wire)
+}
+
+/// The cluster identity a node validates a [`WireMsg::Hello`] against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterIdentity {
+    /// Expected cluster size.
+    pub n_nodes: u32,
+    /// Expected [`dpc_topology::Graph::topology_hash`].
+    pub topology_hash: u64,
+}
+
+impl ClusterIdentity {
+    /// Checks a hello's version and cluster identity, returning the named
+    /// reason a peer must be turned away with.
+    ///
+    /// # Errors
+    ///
+    /// The [`RejectReason`] to send back on any mismatch.
+    pub fn validate_hello(
+        &self,
+        version: u16,
+        n_nodes: u32,
+        topology_hash: u64,
+    ) -> Result<(), RejectReason> {
+        if version != PROTOCOL_VERSION {
+            return Err(RejectReason::VersionMismatch);
+        }
+        if n_nodes != self.n_nodes {
+            return Err(RejectReason::ClusterSizeMismatch);
+        }
+        if topology_hash != self.topology_hash {
+            return Err(RejectReason::TopologyMismatch);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_sizes_match_the_documented_layout() {
+        let data = WireMsg::Data {
+            round: 7,
+            msg: RoundMsg {
+                e: -1.5,
+                transfer: -0.25,
+            },
+            settled: true,
+        };
+        assert_eq!(encode_frame(&data).len(), 4 + 22);
+        let hello = WireMsg::Hello {
+            version: PROTOCOL_VERSION,
+            node: 3,
+            n_nodes: 8,
+            topology_hash: 42,
+        };
+        assert_eq!(encode_frame(&hello).len(), 4 + 19);
+    }
+
+    #[test]
+    fn stream_round_trip() {
+        let msgs = [
+            WireMsg::Hello {
+                version: PROTOCOL_VERSION,
+                node: 1,
+                n_nodes: 8,
+                topology_hash: 0xdead_beef,
+            },
+            WireMsg::HelloAck {
+                version: PROTOCOL_VERSION,
+                node: 2,
+            },
+            WireMsg::Reject {
+                reason: RejectReason::TopologyMismatch,
+            },
+            WireMsg::Data {
+                round: 900,
+                msg: RoundMsg {
+                    e: -0.125,
+                    transfer: -3.5,
+                },
+                settled: false,
+            },
+            WireMsg::Heartbeat {
+                round: 901,
+                settled: true,
+            },
+            WireMsg::Goodbye {
+                msg: RoundMsg {
+                    e: -0.1,
+                    transfer: 0.0,
+                },
+            },
+        ];
+        let mut stream = Vec::new();
+        for m in &msgs {
+            write_frame(&mut stream, m).unwrap();
+        }
+        let mut reader = &stream[..];
+        for m in &msgs {
+            let got = read_frame(&mut reader).unwrap();
+            assert_eq!(&got, m);
+        }
+        assert!(matches!(read_frame(&mut reader), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocating() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &bytes[..]),
+            Err(FrameError::Wire(WireError::OversizedFrame(u32::MAX)))
+        ));
+    }
+
+    #[test]
+    fn non_finite_floats_are_rejected() {
+        let mut payload = vec![4u8];
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&f64::NAN.to_le_bytes());
+        payload.extend_from_slice(&0f64.to_le_bytes());
+        payload.push(0);
+        assert_eq!(
+            decode_payload(&payload),
+            Err(WireError::NonFinite { field: "e" })
+        );
+    }
+
+    #[test]
+    fn hello_validation_names_the_reason() {
+        let id = ClusterIdentity {
+            n_nodes: 8,
+            topology_hash: 99,
+        };
+        assert_eq!(id.validate_hello(PROTOCOL_VERSION, 8, 99), Ok(()));
+        assert_eq!(
+            id.validate_hello(PROTOCOL_VERSION + 1, 8, 99),
+            Err(RejectReason::VersionMismatch)
+        );
+        assert_eq!(
+            id.validate_hello(PROTOCOL_VERSION, 9, 99),
+            Err(RejectReason::ClusterSizeMismatch)
+        );
+        assert_eq!(
+            id.validate_hello(PROTOCOL_VERSION, 8, 98),
+            Err(RejectReason::TopologyMismatch)
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Transport-equivalence regression tests — the headline invariant.
+//!
+//! The same seeded problem must converge to matching allocations whether it
+//! runs on the simulator ([`AsyncDibaRun`] at its synchronous limit), the
+//! in-process channel transport, or real TCP loopback sockets. The two
+//! runtime transports execute bit-identical logic over exact lockstep
+//! delivery, so their allocations must agree *bitwise*; the simulator
+//! differs only in its barrier-boost continuation schedule, so it must
+//! agree within the cross-substrate tolerance the repo already uses for
+//! the thread prototype.
+
+use dpc_alg::diba::DibaConfig;
+use dpc_alg::diba_async::{AsyncConfig, AsyncDibaRun};
+use dpc_alg::problem::PowerBudgetProblem;
+use dpc_models::units::Watts;
+use dpc_models::workload::ClusterBuilder;
+use dpc_runtime::cluster::{run_cluster, ClusterOutcome, RuntimeConfig, TransportKind};
+use dpc_topology::Graph;
+use proptest::prelude::*;
+
+/// Worst per-node disagreement tolerated between the runtime and the
+/// simulator (watts). Same order as the thread-prototype bound in
+/// `tests/end_to_end.rs`; the substrates share the per-round math but not
+/// the boost schedule, so they settle at slightly different barrier points.
+const CROSS_SUBSTRATE_TOL: f64 = 12.0;
+
+fn seeded_problem(n: usize, seed: u64, budget: f64) -> PowerBudgetProblem {
+    let cluster = ClusterBuilder::new(n).seed(seed).build();
+    PowerBudgetProblem::new(cluster.utilities(), Watts(budget)).unwrap()
+}
+
+fn runtime_config(transport: TransportKind) -> RuntimeConfig {
+    RuntimeConfig {
+        transport,
+        ..RuntimeConfig::default()
+    }
+}
+
+/// The simulator pushed to its synchronous limit: every node acts every
+/// round and every message arrives with exactly one round of staleness —
+/// the same information pattern the lockstep runtime produces.
+fn simulator_allocation(problem: &PowerBudgetProblem, graph: &Graph, rounds: usize) -> Vec<f64> {
+    let net = AsyncConfig {
+        activation: 1.0,
+        delay_prob: 0.0,
+        max_delay: 1,
+        seed: 0,
+    };
+    let mut sim = AsyncDibaRun::new(problem.clone(), graph.clone(), DibaConfig::default(), net)
+        .expect("simulator construction");
+    sim.run(rounds);
+    sim.allocation().powers().iter().map(|w| w.0).collect()
+}
+
+fn check_outcome(outcome: &ClusterOutcome, problem: &PowerBudgetProblem, drift_tol: f64) {
+    assert!(
+        outcome.converged,
+        "cluster did not reach convergence quorum"
+    );
+    assert!(
+        outcome.drift <= drift_tol,
+        "residual invariant drifted by {} W (tolerance {drift_tol})",
+        outcome.drift
+    );
+    assert!(
+        problem.is_feasible(&outcome.allocation, Watts(1e-3)),
+        "converged allocation infeasible"
+    );
+}
+
+fn worst_gap(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn inproc_matches_simulator_and_reproduces_exactly() {
+    let n = 8;
+    let problem = seeded_problem(n, 42, 170.0 * n as f64);
+    let graph = Graph::ring(n);
+    let rt = runtime_config(TransportKind::InProcess);
+
+    let first = run_cluster(problem.clone(), graph.clone(), DibaConfig::default(), &rt).unwrap();
+    let second = run_cluster(problem.clone(), graph.clone(), DibaConfig::default(), &rt).unwrap();
+    check_outcome(&first, &problem, 1e-6);
+
+    // Bitwise reproducibility: two invocations of the same seeded problem
+    // take identical trajectories (lockstep delivery leaves no room for
+    // scheduling to leak into the math).
+    let alloc_1: Vec<f64> = first.allocation.powers().iter().map(|w| w.0).collect();
+    let alloc_2: Vec<f64> = second.allocation.powers().iter().map(|w| w.0).collect();
+    assert_eq!(alloc_1, alloc_2, "in-process run is not reproducible");
+    assert_eq!(first.rounds, second.rounds);
+
+    let sim = simulator_allocation(&problem, &graph, first.rounds.max(2_000));
+    let gap = worst_gap(&alloc_1, &sim);
+    assert!(
+        gap < CROSS_SUBSTRATE_TOL,
+        "in-process vs simulator allocations diverge by {gap} W"
+    );
+}
+
+#[test]
+fn headline_three_way_equivalence_inproc_tcp_simulator() {
+    let n = 8;
+    let problem = seeded_problem(n, 7, 170.0 * n as f64);
+    let graph = Graph::ring(n);
+
+    let inproc = run_cluster(
+        problem.clone(),
+        graph.clone(),
+        DibaConfig::default(),
+        &runtime_config(TransportKind::InProcess),
+    )
+    .unwrap();
+    let tcp = run_cluster(
+        problem.clone(),
+        graph.clone(),
+        DibaConfig::default(),
+        &runtime_config(TransportKind::Tcp),
+    )
+    .unwrap();
+    check_outcome(&inproc, &problem, 1e-6);
+    check_outcome(&tcp, &problem, 1e-3);
+
+    // The two transports run the identical program over exact lockstep
+    // delivery, so the trajectories — and thus the allocations — are
+    // bitwise equal.
+    let inproc_alloc: Vec<f64> = inproc.allocation.powers().iter().map(|w| w.0).collect();
+    let tcp_alloc: Vec<f64> = tcp.allocation.powers().iter().map(|w| w.0).collect();
+    assert_eq!(
+        inproc_alloc, tcp_alloc,
+        "in-process and TCP loopback allocations differ"
+    );
+    assert_eq!(inproc.rounds, tcp.rounds);
+
+    let sim = simulator_allocation(&problem, &graph, inproc.rounds.max(2_000));
+    let gap = worst_gap(&inproc_alloc, &sim);
+    assert!(
+        gap < CROSS_SUBSTRATE_TOL,
+        "runtime vs simulator allocations diverge by {gap} W"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn random_seeds_converge_and_match_the_simulator(
+        seed in 0u64..1_000,
+        n in 6usize..=10,
+    ) {
+        let problem = seeded_problem(n, seed, 165.0 * n as f64);
+        let graph = Graph::ring(n);
+        let outcome = run_cluster(
+            problem.clone(),
+            graph.clone(),
+            DibaConfig::default(),
+            &runtime_config(TransportKind::InProcess),
+        )
+        .unwrap();
+        prop_assert!(outcome.converged, "seed {seed} n {n} did not converge");
+        prop_assert!(outcome.drift <= 1e-6, "drift {} W", outcome.drift);
+        let total = outcome.total_power().0;
+        prop_assert!(
+            total <= 165.0 * n as f64 + 1e-6,
+            "budget violated: {total}"
+        );
+
+        let alloc: Vec<f64> = outcome.allocation.powers().iter().map(|w| w.0).collect();
+        let sim = simulator_allocation(&problem, &graph, outcome.rounds.max(2_000));
+        let gap = worst_gap(&alloc, &sim);
+        prop_assert!(
+            gap < CROSS_SUBSTRATE_TOL,
+            "seed {} n {}: runtime vs simulator diverge by {} W",
+            seed,
+            n,
+            gap
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Wire-format fuzz/property tests (offline proptest stand-in).
+//!
+//! The decoder contract under test: *any* byte sequence either decodes to
+//! exactly one message or returns a typed [`WireError`] — it never panics.
+//! Round-tripping is exercised for every message type, and the encoding is
+//! shown to be canonical (decode ∘ encode = id, and any bytes that decode
+//! re-encode to themselves byte for byte).
+
+use dpc_alg::message::RoundMsg;
+use dpc_runtime::wire::{
+    decode_payload, encode_frame, encode_payload, read_frame, FrameError, RejectReason, WireError,
+    WireMsg, MAX_PAYLOAD_LEN,
+};
+use proptest::prelude::*;
+
+const ALL_REASONS: [RejectReason; 4] = [
+    RejectReason::VersionMismatch,
+    RejectReason::TopologyMismatch,
+    RejectReason::ClusterSizeMismatch,
+    RejectReason::UnknownPeer,
+];
+
+/// Builds one message of each of the six wire types from a generated field
+/// pool, selected by `kind`.
+fn build_msg(kind: u8, a: u32, hash: u64, e: f64, transfer: f64, settled: bool) -> WireMsg {
+    match kind {
+        0 => WireMsg::Hello {
+            version: (a % 65_536) as u16,
+            node: a,
+            n_nodes: a.rotate_left(13),
+            topology_hash: hash,
+        },
+        1 => WireMsg::HelloAck {
+            version: (hash % 65_536) as u16,
+            node: a,
+        },
+        2 => WireMsg::Reject {
+            reason: ALL_REASONS[(a % 4) as usize],
+        },
+        3 => WireMsg::Data {
+            round: a,
+            msg: RoundMsg { e, transfer },
+            settled,
+        },
+        4 => WireMsg::Heartbeat { round: a, settled },
+        _ => WireMsg::Goodbye {
+            msg: RoundMsg { e, transfer },
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn every_message_type_round_trips(
+        kind in 0u8..6,
+        a in 0u32..=u32::MAX,
+        hash in 0u64..=u64::MAX,
+        e in -1e9f64..1e9,
+        transfer in -1e9f64..1e9,
+        settled in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        let msg = build_msg(kind, a, hash, e, transfer, settled);
+
+        let mut payload = Vec::new();
+        encode_payload(&msg, &mut payload);
+        prop_assert!(payload.len() <= MAX_PAYLOAD_LEN as usize);
+        prop_assert_eq!(decode_payload(&payload), Ok(msg));
+
+        // The framed path agrees with the payload path.
+        let frame = encode_frame(&msg);
+        prop_assert_eq!(&frame[4..], &payload[..]);
+        let mut reader = &frame[..];
+        match read_frame(&mut reader) {
+            Ok(got) => prop_assert_eq!(got, msg),
+            Err(err) => prop_assert!(false, "framed round trip failed: {err}"),
+        }
+        prop_assert!(reader.is_empty());
+    }
+
+    #[test]
+    fn truncated_payloads_error_never_panic(
+        kind in 0u8..6,
+        a in 0u32..=u32::MAX,
+        hash in 0u64..=u64::MAX,
+        e in -1e9f64..1e9,
+        transfer in -1e9f64..1e9,
+        settled in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        let msg = build_msg(kind, a, hash, e, transfer, settled);
+        let mut payload = Vec::new();
+        encode_payload(&msg, &mut payload);
+        // Every strict prefix must be rejected as truncated: the layouts
+        // are fixed-width, so no shorter byte string of the same tag is a
+        // valid message.
+        for cut in 0..payload.len() {
+            match decode_payload(&payload[..cut]) {
+                Err(WireError::Truncated { expected, got }) => {
+                    prop_assert_eq!(got, cut);
+                    prop_assert!(expected > cut);
+                }
+                other => prop_assert!(false, "prefix of {cut} bytes decoded to {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected(
+        kind in 0u8..6,
+        a in 0u32..=u32::MAX,
+        e in -1e9f64..1e9,
+        extra in collection::vec(0u8..=255, 1..8),
+    ) {
+        let msg = build_msg(kind, a, 7, e, -e, false);
+        let mut payload = Vec::new();
+        encode_payload(&msg, &mut payload);
+        let tag = payload[0];
+        let want_extra = extra.len();
+        payload.extend_from_slice(&extra);
+        prop_assert_eq!(
+            decode_payload(&payload),
+            Err(WireError::TrailingBytes { tag, extra: want_extra })
+        );
+    }
+
+    #[test]
+    fn byte_soup_never_panics_and_decodes_are_canonical(
+        bytes in collection::vec(0u8..=255, 0..40),
+    ) {
+        // Total decoder: arbitrary bytes produce a message or a typed
+        // error, and anything that *does* decode re-encodes to the exact
+        // input bytes (the encoding is canonical — no two byte strings
+        // decode to the same message).
+        if let Ok(msg) = decode_payload(&bytes) {
+            let mut reencoded = Vec::new();
+            encode_payload(&msg, &mut reencoded);
+            prop_assert_eq!(reencoded, bytes);
+        }
+    }
+
+    #[test]
+    fn corrupted_frames_error_or_stay_canonical(
+        kind in 0u8..6,
+        a in 0u32..=u32::MAX,
+        e in -1e9f64..1e9,
+        flip_at in 0usize..64,
+        flip_bits in 1u8..=255,
+    ) {
+        let msg = build_msg(kind, a, 3, e, e / 2.0, true);
+        let mut frame = encode_frame(&msg);
+        let idx = flip_at % frame.len();
+        frame[idx] ^= flip_bits;
+        // A corrupted frame must never panic the reader; when it still
+        // parses (the flip hit a don't-care field like `round`), the
+        // result must be a well-formed message that re-frames canonically.
+        match read_frame(&mut &frame[..]) {
+            Ok(got) => {
+                let reframed = encode_frame(&got);
+                prop_assert_eq!(reframed, frame);
+            }
+            Err(FrameError::Closed | FrameError::Io(_) | FrameError::Wire(_)) => {}
+        }
+    }
+
+    #[test]
+    fn mid_frame_stream_cuts_are_io_errors(
+        a in 0u32..=u32::MAX,
+        e in -1e9f64..1e9,
+        cut in 1usize..26,
+    ) {
+        let msg = WireMsg::Data {
+            round: a,
+            msg: RoundMsg { e, transfer: -e },
+            settled: false,
+        };
+        let frame = encode_frame(&msg);
+        prop_assert_eq!(frame.len(), 26);
+        match read_frame(&mut &frame[..cut]) {
+            Err(FrameError::Io(err)) => {
+                prop_assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+            }
+            other => prop_assert!(false, "cut at {cut} gave {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn unknown_tags_and_reason_codes_are_named() {
+    for tag in [0u8, 7, 8, 42, 255] {
+        assert_eq!(decode_payload(&[tag]), Err(WireError::UnknownTag(tag)));
+    }
+    for code in [0u8, 5, 9, 255] {
+        assert_eq!(
+            decode_payload(&[3, code]),
+            Err(WireError::UnknownReason(code))
+        );
+    }
+}
+
+#[test]
+fn reserved_flag_bits_are_rejected() {
+    let msg = WireMsg::Heartbeat {
+        round: 1,
+        settled: true,
+    };
+    let mut payload = Vec::new();
+    encode_payload(&msg, &mut payload);
+    let flags_at = payload.len() - 1;
+    for bad in [0b10u8, 0b100, 0xfe, 0xff] {
+        payload[flags_at] = bad;
+        assert_eq!(decode_payload(&payload), Err(WireError::BadFlags(bad)));
+    }
+}

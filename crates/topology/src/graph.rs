@@ -265,6 +265,30 @@ impl Graph {
         &self.offsets
     }
 
+    /// A stable 64-bit fingerprint of the topology (FNV-1a over the node
+    /// count and the CSR arrays). Two `Graph`s hash equal iff they compare
+    /// equal, so distributed peers can cheaply verify they were launched
+    /// with the same communication graph during a handshake.
+    pub fn topology_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let eat = |h: &mut u64, x: u64| {
+            for byte in x.to_le_bytes() {
+                *h ^= u64::from(byte);
+                *h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(&mut h, self.len() as u64);
+        for &o in &self.offsets {
+            eat(&mut h, o as u64);
+        }
+        for &a in &self.adjacency {
+            eat(&mut h, a as u64);
+        }
+        h
+    }
+
     /// The CSR adjacency array: all neighbor lists concatenated, each row
     /// ascending. `flat_neighbors()[offsets()[i] + k]` is node `i`'s `k`-th
     /// neighbor. One entry per *directed* edge (`2·num_edges()` total).
@@ -554,5 +578,34 @@ mod tests {
     fn display_summary() {
         let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
         assert_eq!(format!("{g}"), "Graph(n=3, edges=2, avg-degree=1.33)");
+    }
+
+    #[test]
+    fn topology_hash_separates_graphs_and_is_stable() {
+        let ring = Graph::ring(8);
+        assert_eq!(ring.topology_hash(), Graph::ring(8).topology_hash());
+        // Edge-list construction order does not matter, only the topology.
+        let same = Graph::from_edges(
+            8,
+            &[
+                (7, 0),
+                (0, 1),
+                (2, 1),
+                (2, 3),
+                (4, 3),
+                (4, 5),
+                (6, 5),
+                (6, 7),
+            ],
+        )
+        .unwrap();
+        assert_eq!(ring.topology_hash(), same.topology_hash());
+        // Different size, different wiring, different hash.
+        assert_ne!(ring.topology_hash(), Graph::ring(9).topology_hash());
+        assert_ne!(
+            ring.topology_hash(),
+            Graph::ring_with_chords(8, 2).topology_hash()
+        );
+        assert_ne!(ring.topology_hash(), Graph::star(8).topology_hash());
     }
 }

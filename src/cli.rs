@@ -132,6 +132,19 @@ COMMANDS:
              --format jsonl|csv|prom (jsonl)  --capacity C (rounds)
              --drop P (0, async only)  --crash-round R (async only)
              --out FILE (TRACE.jsonl)
+  cluster    deploy N DiBA node agents locally and report the allocation
+             --servers N (8)  --transport inproc|tcp (inproc)
+             --budget-watts W (170·N)  --seed S (0)
+             --topology ring|chords|grid (ring)  --tol W (1e-4)
+             --max-rounds R (20000)  --sample-every K (0, merge telemetry)
+             --bench [FILE]  run the inproc-vs-tcp throughput sweep instead
+             over --sizes N,N,... (8,64); FILE defaults to BENCH_runtime.json
+  node       run ONE DiBA agent over TCP (one process per server)
+             --id I (required)  --servers N (4)  --listen IP:PORT (127.0.0.1:0)
+             --peers j=ip:port,... (dial addresses of the HIGHER-id neighbors;
+             lower-id neighbors dial this node's --listen address)
+             --budget-watts W (170·N)  --seed S (0)  --topology ring|chords|grid
+             --tol W (1e-4)  --max-rounds R (20000)  --timeout-secs T (10)
   help       this text
 "
     .to_string()
@@ -647,6 +660,275 @@ pub fn cmd_trace(opts: &Options) -> Result<String, CliError> {
     ))
 }
 
+/// Maps a runtime failure into the CLI's error type, keeping the typed
+/// error's peer address and named reason in the message.
+fn runtime_err(e: crate::runtime::RuntimeError) -> CliError {
+    CliError(format!("runtime: {e}"))
+}
+
+fn parse_transport(name: &str) -> Result<crate::runtime::TransportKind, CliError> {
+    match name {
+        "inproc" => Ok(crate::runtime::TransportKind::InProcess),
+        "tcp" => Ok(crate::runtime::TransportKind::Tcp),
+        other => Err(CliError(format!(
+            "unknown transport `{other}`; expected inproc or tcp"
+        ))),
+    }
+}
+
+/// Shared problem/graph/runtime-config derivation for `dpc cluster` and
+/// `dpc node` — both must resolve the identical deployment from the same
+/// flags or the handshake's topology check will (correctly) refuse to pair
+/// them.
+fn deployment_for(
+    opts: &Options,
+    n: usize,
+    seed: u64,
+) -> Result<
+    (
+        PowerBudgetProblem,
+        Graph,
+        crate::runtime::cluster::RuntimeConfig,
+    ),
+    CliError,
+> {
+    let budget = Watts(opts.get_or("budget-watts", 170.0 * n as f64)?);
+    let utilities = ClusterBuilder::new(n).seed(seed).build().utilities();
+    let problem = PowerBudgetProblem::new(utilities, budget)
+        .map_err(|e| CliError(format!("infeasible problem: {e}")))?;
+    let graph = graph_for(opts.string("topology").unwrap_or("ring"), n)?;
+    let tol: f64 = opts.get_or("tol", 1e-4)?;
+    if !tol.is_finite() || tol <= 0.0 {
+        return Err(CliError("--tol must be positive".into()));
+    }
+    let max_rounds: usize = opts.get_or("max-rounds", 20_000)?;
+    if max_rounds == 0 {
+        return Err(CliError("--max-rounds must be positive".into()));
+    }
+    let timeout_secs: f64 = opts.get_or("timeout-secs", 10.0)?;
+    if !timeout_secs.is_finite() || timeout_secs <= 0.0 {
+        return Err(CliError("--timeout-secs must be positive".into()));
+    }
+    let rt = crate::runtime::cluster::RuntimeConfig {
+        settle_tol: tol,
+        max_rounds,
+        handshake_timeout: std::time::Duration::from_secs_f64(timeout_secs),
+        sample_every: opts.get_or("sample-every", 0)?,
+        ..crate::runtime::cluster::RuntimeConfig::default()
+    };
+    Ok((problem, graph, rt))
+}
+
+/// `dpc cluster`: spawn N node agents locally (in-process channels or TCP
+/// loopback sockets) and report the converged allocation, or run the
+/// transport throughput sweep with `--bench`.
+pub fn cmd_cluster(opts: &Options) -> Result<String, CliError> {
+    use dpc_bench::runtimebench::{run_runtime_bench, DEFAULT_SIZES};
+
+    if let Some(bench_path) = opts.string("bench") {
+        let sizes: Vec<usize> = match opts.string("sizes") {
+            None => DEFAULT_SIZES.to_vec(),
+            Some(spec) => spec
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .map_err(|e| CliError(format!("bad value in --sizes: `{s}`: {e}")))
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        if sizes.is_empty() || sizes.iter().any(|&n| n < 3) {
+            return Err(CliError("--sizes needs cluster sizes of at least 3".into()));
+        }
+        let seed: u64 = opts.get_or("seed", 0)?;
+        let report = run_runtime_bench(&sizes, seed);
+        if !report.all_converged() {
+            return Err(CliError(format!(
+                "a bench cell failed to reach convergence quorum:\n{}",
+                report.to_table()
+            )));
+        }
+        write_output(bench_path, &report.to_json())?;
+        return Ok(format!(
+            "{}\nreport written to {bench_path}\n",
+            report.to_table()
+        ));
+    }
+
+    let seed: u64 = opts.get_or("seed", 0)?;
+    let n: usize = opts.get_or("servers", 8)?;
+    if n < 3 {
+        return Err(CliError("--servers must be at least 3".into()));
+    }
+    let transport = parse_transport(opts.string("transport").unwrap_or("inproc"))?;
+    let (problem, graph, rt) = deployment_for(opts, n, seed)?;
+    let rt = crate::runtime::cluster::RuntimeConfig { transport, ..rt };
+
+    let outcome = crate::runtime::run_cluster(problem, graph, DibaConfig::default(), &rt)
+        .map_err(runtime_err)?;
+
+    let budget = outcome.budget;
+    let mut out = format!(
+        "cluster: {n} nodes on {} transport, budget {:.2} kW\n{} in {} rounds, \
+         residual drift {:.3e} W\nmessages: {} sent ({} heartbeats), {} received\n\n\
+         node   cap (W)    residual (W)  rounds   msgs\n",
+        rt.transport.key(),
+        budget.kilowatts(),
+        if outcome.converged {
+            "convergence quorum"
+        } else {
+            "NO QUORUM (round budget exhausted)"
+        },
+        outcome.rounds,
+        outcome.drift,
+        outcome.msgs_sent,
+        outcome.heartbeats,
+        outcome.msgs_received,
+    );
+    for r in &outcome.reports {
+        out.push_str(&format!(
+            "{:>4}   {:>8.3}   {:>11.3e}  {:>6}  {:>5}{}\n",
+            r.node,
+            r.p,
+            r.e,
+            r.rounds,
+            r.msgs_sent,
+            if r.pruned.is_empty() {
+                String::new()
+            } else {
+                format!("  pruned {:?}", r.pruned)
+            },
+        ));
+    }
+    out.push_str(&format!(
+        "\ntotal power {:.2} W, budget {:.2} W: {}\n",
+        outcome.total_power().0,
+        budget.0,
+        if outcome.total_power() <= budget + Watts(1e-6) {
+            "respected"
+        } else {
+            "VIOLATED"
+        },
+    ));
+    Ok(out)
+}
+
+/// `dpc node`: run one DiBA agent over TCP — one invocation per server in
+/// a real deployment. Blocks until the agent reaches convergence quorum
+/// (or exhausts its round budget) and then reports its final state.
+pub fn cmd_node(opts: &Options) -> Result<String, CliError> {
+    use crate::runtime::cluster::node_specs;
+    use crate::runtime::node::run_node;
+    use crate::runtime::tcp::{RetryPolicy, TcpTransport};
+    use crate::runtime::transport::HandshakeContext;
+    use crate::runtime::Transport;
+    use std::net::ToSocketAddrs;
+
+    let id: usize = opts
+        .get("id")?
+        .ok_or_else(|| CliError("--id is required (which node this process is)".into()))?;
+    let seed: u64 = opts.get_or("seed", 0)?;
+    let n: usize = opts.get_or("servers", 4)?;
+    if n < 3 {
+        return Err(CliError("--servers must be at least 3".into()));
+    }
+    if id >= n {
+        return Err(CliError(format!("--id {id} out of range for {n} servers")));
+    }
+    let (problem, graph, rt) = deployment_for(opts, n, seed)?;
+    let rt = crate::runtime::cluster::RuntimeConfig {
+        transport: crate::runtime::TransportKind::Tcp,
+        ..rt
+    };
+    let spec = node_specs(&problem, &graph, DibaConfig::default(), &rt)
+        .map_err(runtime_err)?
+        .swap_remove(id);
+
+    let listen = opts.string("listen").unwrap_or("127.0.0.1:0");
+    let listener = std::net::TcpListener::bind(listen)
+        .map_err(|e| CliError(format!("cannot listen on {listen}: {e}")))?;
+
+    let mut dial_addrs = Vec::new();
+    if let Some(peers) = opts.string("peers") {
+        for part in peers.split(',').filter(|p| !p.trim().is_empty()) {
+            let Some((peer, addr)) = part.split_once('=') else {
+                return Err(CliError(format!(
+                    "bad --peers entry `{part}`; expected id=ip:port"
+                )));
+            };
+            let peer: usize = peer
+                .trim()
+                .parse()
+                .map_err(|e| CliError(format!("bad peer id in --peers entry `{part}`: {e}")))?;
+            let addr = addr
+                .trim()
+                .to_socket_addrs()
+                .map_err(|e| CliError(format!("bad address in --peers entry `{part}`: {e}")))?
+                .next()
+                .ok_or_else(|| CliError(format!("--peers entry `{part}` resolves to nothing")))?;
+            dial_addrs.push((peer, addr));
+        }
+    }
+
+    let mut transport = TcpTransport::new(
+        id,
+        listener,
+        graph.neighbors(id),
+        &dial_addrs,
+        RetryPolicy::default(),
+    )
+    .map_err(runtime_err)?;
+    let ctx = HandshakeContext {
+        node: id,
+        n_nodes: n,
+        topology_hash: graph.topology_hash(),
+        timeout: rt.handshake_timeout,
+    };
+    transport.handshake(&ctx).map_err(runtime_err)?;
+    let report = run_node(&spec, &mut transport).map_err(runtime_err)?;
+
+    Ok(format!(
+        "node {}: {} after {} rounds\ncap {:.3} W, residual {:.3e} W\n\
+         messages: {} sent ({} heartbeats), {} received{}\n",
+        report.node,
+        if report.converged {
+            "convergence quorum"
+        } else {
+            "NO QUORUM (round budget exhausted)"
+        },
+        report.rounds,
+        report.p,
+        report.e,
+        report.msgs_sent,
+        report.heartbeats_sent,
+        report.msgs_received,
+        if report.pruned.is_empty() {
+            String::new()
+        } else {
+            format!("\npruned silent neighbors: {:?}", report.pruned)
+        },
+    ))
+}
+
+/// `dpc cluster` accepts `--bench` both bare (report to the conventional
+/// `BENCH_runtime.json`) and with an explicit file value; the general
+/// parser wants every flag to carry a value, so a bare `--bench` gets the
+/// default path spliced in before parsing.
+fn normalize_cluster_args(rest: &[String]) -> Vec<String> {
+    let mut out = Vec::with_capacity(rest.len() + 1);
+    let mut it = rest.iter().peekable();
+    while let Some(a) = it.next() {
+        out.push(a.clone());
+        if a == "--bench" {
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {}
+                _ => out.push("BENCH_runtime.json".to_string()),
+            }
+        }
+    }
+    out
+}
+
 /// Dispatches a full argument vector (without the program name).
 ///
 /// # Errors
@@ -656,7 +938,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let Some((cmd, rest)) = args.split_first() else {
         return Ok(usage());
     };
-    let opts = Options::parse(rest)?;
+    let rest = if cmd == "cluster" {
+        normalize_cluster_args(rest)
+    } else {
+        rest.to_vec()
+    };
+    let opts = Options::parse(&rest)?;
     match cmd.as_str() {
         "solve" => cmd_solve(&opts),
         "simulate" => cmd_simulate(&opts),
@@ -666,6 +953,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "bench" => cmd_bench(&opts),
         "faults" => cmd_faults(&opts),
         "trace" => cmd_trace(&opts),
+        "cluster" => cmd_cluster(&opts),
+        "node" => cmd_node(&opts),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError(format!(
             "unknown command `{other}`; try `dpc help`"
@@ -971,6 +1260,175 @@ mod tests {
         let jsonl = std::fs::read_to_string(&trace_path).unwrap();
         assert!(jsonl.contains("\"kind\":\"crash\""), "{jsonl}");
         assert!(jsonl.contains("\"kind\":\"restart\""), "{jsonl}");
+    }
+
+    #[test]
+    fn cluster_inproc_deploys_and_reports_quorum() {
+        let out = run(&args(&["cluster", "--servers", "6", "--seed", "1"])).unwrap();
+        assert!(out.contains("6 nodes on inproc transport"), "{out}");
+        assert!(out.contains("convergence quorum"), "{out}");
+        assert!(out.contains("respected"), "{out}");
+        assert!(run(&args(&["cluster", "--servers", "2"])).is_err());
+        assert!(run(&args(&["cluster", "--transport", "carrier-pigeon"])).is_err());
+        assert!(run(&args(&["cluster", "--tol", "0"])).is_err());
+    }
+
+    #[test]
+    fn cluster_tcp_matches_inproc_allocation() {
+        let inproc = run(&args(&["cluster", "--servers", "5", "--seed", "3"])).unwrap();
+        let tcp = run(&args(&[
+            "cluster",
+            "--servers",
+            "5",
+            "--seed",
+            "3",
+            "--transport",
+            "tcp",
+        ]))
+        .unwrap();
+        // The per-node table is identical across transports; only the
+        // header line naming the transport differs.
+        let table = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("node"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(table(&inproc), table(&tcp), "\n{inproc}\nvs\n{tcp}");
+    }
+
+    #[test]
+    fn cluster_bench_report_is_reproducible_modulo_timing() {
+        let dir = std::env::temp_dir().join("dpc-cli-runtime-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run_once = |name: &str| {
+            let path = dir.join(name);
+            let out = run(&args(&[
+                "cluster",
+                "--bench",
+                path.to_str().unwrap(),
+                "--sizes",
+                "6",
+                "--seed",
+                "7",
+            ]))
+            .unwrap();
+            assert!(out.contains("report written"), "{out}");
+            std::fs::read_to_string(path).unwrap()
+        };
+        let deterministic = |json: &str| {
+            json.lines()
+                .filter(|l| !l.contains("per_sec") && !l.contains("secs"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let first = run_once("a.json");
+        let second = run_once("b.json");
+        assert_eq!(
+            deterministic(&first),
+            deterministic(&second),
+            "runtime bench counters not byte-identical"
+        );
+        assert!(first.contains("\"bench\": \"runtime\""), "{first}");
+        assert!(first.contains("\"transport\": \"inproc\""), "{first}");
+        assert!(first.contains("\"transport\": \"tcp\""), "{first}");
+        assert!(first.contains("\"all_converged\": true"), "{first}");
+        assert!(run(&args(&["cluster", "--bench", "x.json", "--sizes", "0"])).is_err());
+    }
+
+    #[test]
+    fn bare_bench_flag_gets_the_conventional_path() {
+        let normalized = normalize_cluster_args(&args(&["--bench", "--sizes", "8"]));
+        assert_eq!(
+            normalized,
+            args(&["--bench", "BENCH_runtime.json", "--sizes", "8"])
+        );
+        let normalized = normalize_cluster_args(&args(&["--sizes", "8", "--bench"]));
+        assert_eq!(
+            normalized,
+            args(&["--sizes", "8", "--bench", "BENCH_runtime.json"])
+        );
+        let untouched = normalize_cluster_args(&args(&["--bench", "custom.json"]));
+        assert_eq!(untouched, args(&["--bench", "custom.json"]));
+    }
+
+    #[test]
+    fn node_processes_form_a_tcp_cluster() {
+        // Four `dpc node` invocations — the per-process deployment path —
+        // wired over pre-assigned loopback ports on a 4-ring. Each node
+        // dials its higher-id neighbors and listens for the lower ones.
+        let ports: Vec<u16> = (0..4)
+            .map(|_| {
+                let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+                l.local_addr().unwrap().port()
+            })
+            .collect();
+        let peer = |j: usize| format!("{j}=127.0.0.1:{}", ports[j]);
+        let peers_for = |i: usize| -> String {
+            // Ring neighbors of i with a higher id.
+            [(i + 1) % 4, (i + 3) % 4]
+                .into_iter()
+                .filter(|&j| j > i)
+                .map(peer)
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let listen = format!("127.0.0.1:{}", ports[i]);
+                let peers = peers_for(i);
+                std::thread::spawn(move || {
+                    let mut a = vec![
+                        "node".to_string(),
+                        "--id".to_string(),
+                        i.to_string(),
+                        "--servers".to_string(),
+                        "4".to_string(),
+                        "--seed".to_string(),
+                        "7".to_string(),
+                        "--listen".to_string(),
+                        listen,
+                    ];
+                    if !peers.is_empty() {
+                        a.push("--peers".to_string());
+                        a.push(peers);
+                    }
+                    run(&a)
+                })
+            })
+            .collect();
+        let outputs: Vec<String> = handles
+            .into_iter()
+            .map(|h| h.join().unwrap().unwrap())
+            .collect();
+        for (i, out) in outputs.iter().enumerate() {
+            assert!(out.contains(&format!("node {i}:")), "{out}");
+            assert!(out.contains("convergence quorum"), "{out}");
+        }
+    }
+
+    #[test]
+    fn node_rejects_bad_launch_configs() {
+        let err = run(&args(&["node", "--servers", "4"])).unwrap_err();
+        assert!(err.0.contains("--id is required"), "{err}");
+        let err = run(&args(&["node", "--id", "9", "--servers", "4"])).unwrap_err();
+        assert!(err.0.contains("out of range"), "{err}");
+        let err = run(&args(&[
+            "node",
+            "--id",
+            "0",
+            "--servers",
+            "4",
+            "--peers",
+            "oops",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("expected id=ip:port"), "{err}");
+        // Node 0 on a 4-ring has higher neighbors 1 and 3; giving it no
+        // dial addresses is a typed runtime error naming the peer.
+        let err = run(&args(&["node", "--id", "0", "--servers", "4"])).unwrap_err();
+        assert!(err.0.contains("runtime:"), "{err}");
+        assert!(err.0.contains("no dial address"), "{err}");
     }
 
     #[test]

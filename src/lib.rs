@@ -17,6 +17,9 @@
 //! * [`sim`] — the dynamic cluster simulator (budget schedules, churn,
 //!   step responses);
 //! * [`agents`] — the thread-per-node message-passing prototype;
+//! * [`runtime`] — the deployable node runtime: DiBA agents behind a
+//!   pluggable transport (in-process channels or TCP sockets) speaking a
+//!   versioned binary wire protocol;
 //! * [`firmware`] — FXplore soft-heterogeneity extension (Ch. 6).
 //!
 //! # Quickstart
@@ -51,6 +54,7 @@ pub use dpc_alg as alg;
 pub use dpc_firmware as firmware;
 pub use dpc_models as models;
 pub use dpc_net as net;
+pub use dpc_runtime as runtime;
 pub use dpc_sim as sim;
 pub use dpc_thermal as thermal;
 pub use dpc_topology as topology;
