@@ -14,7 +14,7 @@
 //! design (Section 4.2).
 
 use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
-use dpc_alg::diba::{node_action, NodeParams};
+use dpc_alg::diba::{node_action_into, NodeParams, NodeScratch};
 use dpc_models::QuadraticUtility;
 use std::time::Duration;
 
@@ -107,6 +107,8 @@ pub fn run_agent(seed: AgentSeed) {
     } = seed;
     // Last-known neighbor residuals, aligned with `links`.
     let mut neighbor_e: Vec<f64> = vec![e; links.len()];
+    // One scratch for the agent's lifetime: rounds allocate nothing.
+    let mut scratch = NodeScratch::with_capacity(links.len());
     // Node-local barrier continuation, mirroring the reference run:
     // a boosted barrier accelerates the initial (and post-event)
     // redistribution, decaying back to the accurate weight. Transfers are
@@ -123,11 +125,15 @@ pub fn run_agent(seed: AgentSeed) {
                         eta: params.eta * boost,
                         ..params
                     };
-                    let action = node_action(&utility, p, e, &neighbor_e, &round_params);
-                    p += action.dp;
-                    e += action.own_residual_delta();
+                    let dp =
+                        node_action_into(&utility, p, e, &neighbor_e, &round_params, &mut scratch);
+                    // Same accounting (and summation order) as
+                    // `NodeAction::own_residual_delta`.
+                    let sent_total: f64 = scratch.transfers.iter().sum();
+                    p += dp;
+                    e += dp - sent_total;
                     // Send first (non-blocking), then collect.
-                    for (link, &t) in links.iter().zip(&action.transfers) {
+                    for (link, &t) in links.iter().zip(&scratch.transfers) {
                         // A send failure means the neighbor is gone: the
                         // transport reports the loss, so reclaim the
                         // transfer (no slack mass is silently destroyed);

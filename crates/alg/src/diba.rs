@@ -23,13 +23,12 @@
 //! paper describes: strict feasibility throughout, immediate reaction to
 //! budget changes, and local response to local perturbations.
 
-use crate::exec::{chunked_sum, ParallelEngine, SharedSlice};
+use crate::exec::{chunked_sum, Backend, Engine, SharedSlice, SpinBarrier, Threads};
 use crate::problem::{AlgError, Allocation, PowerBudgetProblem};
 use crate::telemetry::{RoundRecord, Telemetry, TelemetryConfig, MAX_TIMED_SHARDS};
 use dpc_models::units::Watts;
 use dpc_topology::Graph;
 use std::ops::Range;
-use std::sync::Barrier;
 use std::time::Instant;
 
 /// Tuning knobs for DiBA. The defaults are calibrated for the paper's
@@ -58,11 +57,16 @@ pub struct DibaConfig {
     /// Per-round multiplicative backstop decay of the boost, in `(0, 1]`
     /// (guarantees the boost eventually vanishes even without stagnation).
     pub eta_boost_decay: f64,
-    /// Worker threads for the round engine: `None` uses the machine's
-    /// available parallelism, `Some(1)` forces the inline serial path (no
-    /// threads spawned). Any count produces bitwise-identical `(p, e)`
+    /// Worker policy for the round engine: [`Threads::Auto`] (the default)
+    /// applies the measured serial↔parallel cutover per problem size and
+    /// host, `Threads::Fixed(1)` forces the inline serial path (no threads
+    /// spawned). Any policy produces bitwise-identical `(p, e)`
     /// trajectories — see the determinism notes in [`crate::exec`].
-    pub threads: Option<usize>,
+    pub threads: Threads,
+    /// Fan-out backend: the persistent [`Backend::Pooled`] worker pool (the
+    /// default) or spawn-per-batch [`Backend::Scoped`] threads (kept for
+    /// benchmarking the pool against). Bitwise-inert like `threads`.
+    pub backend: Backend,
     /// Round-level recording (off by default — the round loop then skips
     /// telemetry entirely). Recording never perturbs the trajectory.
     pub telemetry: TelemetryConfig,
@@ -76,14 +80,14 @@ impl DibaConfig {
     /// # Errors
     ///
     /// [`AlgError::InvalidConfig`] naming the offending knob: explicit
-    /// zero worker counts (`threads = Some(0)`), non-finite or
+    /// zero worker counts (`threads = Fixed(0)`), non-finite or
     /// non-positive steps / η, a negative or non-finite margin fraction,
     /// non-finite continuation knobs, or a zero telemetry capacity.
     pub fn validate(&self) -> Result<(), AlgError> {
         let bad = |what: String| Err(AlgError::InvalidConfig { what });
-        if self.threads == Some(0) {
+        if self.threads == Threads::Fixed(0) {
             return bad(
-                "threads = Some(0): the round engine needs at least one worker (use None for auto)"
+                "threads = Fixed(0): the round engine needs at least one worker (use Auto)"
                     .to_string(),
             );
         }
@@ -132,7 +136,8 @@ impl Default for DibaConfig {
             margin_frac: 1e-5,
             eta_boost: 30.0,
             eta_boost_decay: 0.995,
-            threads: None,
+            threads: Threads::Auto,
+            backend: Backend::Pooled,
             telemetry: TelemetryConfig::off(),
         }
     }
@@ -201,17 +206,27 @@ impl NodeScratch {
     }
 }
 
-/// The allocation-free kernel: computes `dp` and writes one transfer per
-/// neighbor into `transfers` (`transfers.len() == neighbor_e.len()`).
-fn node_action_kernel(
+/// The single source of the per-node math, generic over how the neighbors'
+/// residuals are fetched: the sharded round engine reads the global `e`
+/// array in place (fused — no staging copy), while the message-passing
+/// engines pass a staged slice. Monomorphized and inlined per call site, so
+/// genericity costs nothing; because every engine runs *this* code over the
+/// same values in the same order, they agree bitwise.
+///
+/// Computes `dp` and writes one transfer per neighbor into `transfers`
+/// (`transfers.len() == degree`); `neighbor_e(k)` must yield the residual
+/// of the `k`-th neighbor for `k < degree`.
+#[inline(always)]
+fn node_action_generic<G: Fn(usize) -> f64>(
     u: &dpc_models::QuadraticUtility,
     p: f64,
     e: f64,
-    neighbor_e: &[f64],
+    degree: usize,
+    neighbor_e: G,
     params: &NodeParams,
     transfers: &mut [f64],
 ) -> f64 {
-    debug_assert_eq!(transfers.len(), neighbor_e.len());
+    debug_assert_eq!(transfers.len(), degree);
     let inv = 1.0 / e.min(-params.margin);
 
     // Power gradient of Rᵢ with a diagonal preconditioner (utility
@@ -224,11 +239,15 @@ fn node_action_kernel(
     dp = (p + dp).clamp(u.p_min().0, u.p_max().0) - p;
 
     // Slack transfers: donate toward neighbors with less slack (consensus
-    // diffusion, one-directional per Algorithm 4).
-    let degree = neighbor_e.len();
+    // diffusion, one-directional per Algorithm 4). The usize→f64 degree
+    // conversion is exact, so hoisting it out of the loop is bitwise-inert;
+    // the division itself must stay (a precomputed reciprocal would round
+    // differently and change the trajectory).
+    let degree_f = degree.max(1) as f64;
     let mut sent_total = 0.0;
-    for (t, &e_j) in transfers.iter_mut().zip(neighbor_e) {
-        *t = (params.step_transfer * (e - e_j) / degree.max(1) as f64 * 0.5).min(0.0);
+    for (k, t) in transfers.iter_mut().enumerate() {
+        let e_j = neighbor_e(k);
+        *t = (params.step_transfer * (e - e_j) / degree_f * 0.5).min(0.0);
         sent_total += *t;
     }
 
@@ -263,6 +282,29 @@ fn node_action_kernel(
         *t *= scale;
     }
     dp_shed
+}
+
+/// The allocation-free kernel over a staged neighbor-residual slice:
+/// computes `dp` and writes one transfer per neighbor into `transfers`
+/// (`transfers.len() == neighbor_e.len()`). Thin monomorphization of
+/// [`node_action_generic`].
+fn node_action_kernel(
+    u: &dpc_models::QuadraticUtility,
+    p: f64,
+    e: f64,
+    neighbor_e: &[f64],
+    params: &NodeParams,
+    transfers: &mut [f64],
+) -> f64 {
+    node_action_generic(
+        u,
+        p,
+        e,
+        neighbor_e.len(),
+        |k| neighbor_e[k],
+        params,
+        transfers,
+    )
 }
 
 /// Computes one node's DiBA action into reusable scratch buffers and
@@ -365,8 +407,6 @@ struct RoundScratch {
     /// (only written when timed telemetry is on; always allocated — it is
     /// one word per worker).
     phase_nanos: Vec<u64>,
-    /// Per-worker kernel staging buffers.
-    node: Vec<NodeScratch>,
 }
 
 impl RoundScratch {
@@ -378,9 +418,6 @@ impl RoundScratch {
             cuts: graph.shard_offsets(workers),
             worker_max: vec![0.0; workers],
             phase_nanos: vec![0; workers],
-            node: (0..workers)
-                .map(|_| NodeScratch::with_capacity(graph.max_degree()))
-                .collect(),
         }
     }
 }
@@ -405,7 +442,7 @@ pub struct DibaRun {
     e: Vec<f64>,
     iterations: usize,
     last_max_step: f64,
-    engine: ParallelEngine,
+    engine: Engine,
     scratch: RoundScratch,
     /// Round recorder; `None` (the default) skips recording entirely.
     /// Boxed so the disabled path costs one pointer on the run.
@@ -467,7 +504,7 @@ impl DibaRun {
             target * mean_slope.max(1e-9)
         });
 
-        let engine = ParallelEngine::new(config.threads);
+        let engine = Engine::with_backend(config.backend, config.threads.resolve(n));
         let scratch = RoundScratch::for_graph(&graph, engine.workers_for(n));
         let telemetry = if config.telemetry.enabled {
             let mut t = Telemetry::new(config.telemetry);
@@ -500,12 +537,15 @@ impl DibaRun {
         })
     }
 
-    /// Re-targets the round engine at a different worker count (`None` =
-    /// available parallelism). The trajectory is unaffected: every worker
-    /// count produces bitwise-identical rounds.
-    pub fn set_threads(&mut self, threads: Option<usize>) {
-        self.engine = ParallelEngine::new(threads);
-        let workers = self.engine.workers_for(self.p.len());
+    /// Re-targets the round engine at a different worker policy. The
+    /// trajectory is unaffected: every policy produces bitwise-identical
+    /// rounds. When the resolved count is unchanged the existing engine
+    /// (and its parked pool threads) is kept.
+    pub fn set_threads(&mut self, threads: Threads) {
+        let workers = threads.resolve(self.p.len());
+        if workers != self.engine.workers() {
+            self.engine = Engine::with_backend(self.engine.backend(), workers);
+        }
         if workers != self.scratch.cuts.len() - 1 {
             self.scratch = RoundScratch::for_graph(&self.graph, workers);
             if let Some(t) = self.telemetry.as_mut() {
@@ -600,10 +640,19 @@ impl DibaRun {
         self.step_batch(1);
     }
 
-    /// Runs `rounds` synchronous rounds. In parallel mode the whole batch
-    /// executes inside one thread scope (threads are spawned once per call,
-    /// not once per round).
+    /// Runs `rounds` synchronous rounds. Alias of [`DibaRun::step_many`].
     pub fn run(&mut self, rounds: usize) {
+        self.step_batch(rounds);
+    }
+
+    /// Runs `rounds` synchronous rounds as one batch: one engine dispatch,
+    /// with convergence bookkeeping and telemetry flushed at round
+    /// boundaries *inside* the batch (worker 0, between barriers) rather
+    /// than returning to the caller each round. The recorded
+    /// [`RoundRecord`] stream and the `(p, e)` trajectory are bitwise
+    /// identical to `rounds` single [`DibaRun::step`] calls — batching
+    /// only removes dispatch overhead.
+    pub fn step_many(&mut self, rounds: usize) {
         self.step_batch(rounds);
     }
 
@@ -654,19 +703,15 @@ impl DibaRun {
             let p_hat = SharedSlice::new(&mut self.scratch.p_hat);
             let transfers = SharedSlice::new(&mut self.scratch.transfers);
             let worker_max = SharedSlice::new(&mut self.scratch.worker_max);
-            let node_scratch = SharedSlice::new(&mut self.scratch.node);
             let ctl_cell = SharedSlice::new(std::slice::from_mut(&mut ctl));
             let nanos = SharedSlice::new(&mut self.scratch.phase_nanos);
             let tel_cell = SharedSlice::new(std::slice::from_mut(&mut self.telemetry));
             let budget = problem.budget().0;
             let msgs_per_round = graph.flat_neighbors().len() as u64;
-            let barrier = Barrier::new(workers);
+            let barrier = SpinBarrier::new(workers);
 
             self.engine.run_workers(workers, |w| {
                 let range = cuts[w]..cuts[w + 1];
-                // SAFETY: worker index w is unique, so this NodeScratch is
-                // exclusively ours for the whole batch.
-                let scratch = unsafe { &mut node_scratch.slice_mut(w..w + 1)[0] };
                 for _ in 0..rounds {
                     // Control state is stable here: worker 0's update last
                     // round was sealed by the round-end barrier.
@@ -682,7 +727,6 @@ impl DibaRun {
                         range.clone(),
                         &p_hat,
                         &transfers,
-                        scratch,
                     );
                     if let Some(t0) = t0 {
                         // SAFETY: slot w is ours alone.
@@ -871,6 +915,12 @@ impl DibaRun {
 /// Phase A of a round over one shard: kernel every node in `range` against
 /// the previous round's state, writing `p_hat[i]` and the node's own
 /// CSR-aligned `transfers` slots. Returns the shard's max `|dp|`.
+///
+/// Fused: the kernel reads each neighbor's residual straight out of the
+/// global `e` array through its CSR row (split-slice, no bounds checks in
+/// the hot loop) instead of staging a per-node copy first — one pass over
+/// the shard, no scratch traffic. Reading the same `f64`s from a different
+/// place is bitwise-inert, so the fusion cannot move the trajectory.
 #[allow(clippy::too_many_arguments)] // the shard worker's full working set
 fn phase_a(
     problem: &PowerBudgetProblem,
@@ -881,25 +931,30 @@ fn phase_a(
     range: Range<usize>,
     p_hat: &SharedSlice<'_, f64>,
     transfers: &SharedSlice<'_, f64>,
-    scratch: &mut NodeScratch,
 ) -> f64 {
     let offsets = graph.offsets();
     let flat = graph.flat_neighbors();
     let mut local_max = 0.0_f64;
     for i in range {
         let (lo, hi) = (offsets[i], offsets[i + 1]);
-        scratch.neighbor_e.clear();
-        // SAFETY: nobody writes `e` during phase A; the previous round's
-        // writes are sealed by its round-end barrier.
-        scratch
-            .neighbor_e
-            .extend(flat[lo..hi].iter().map(|&j| unsafe { e.read(j) }));
+        let row = &flat[lo..hi];
         // SAFETY: element i is in this worker's own shard.
         let (pi, ei) = unsafe { (p.read(i), e.read(i)) };
         // SAFETY: slots lo..hi belong to node i alone (CSR rows are
         // disjoint) and i is in this worker's shard.
         let out = unsafe { transfers.slice_mut(lo..hi) };
-        let dp = node_action_kernel(problem.utility(i), pi, ei, &scratch.neighbor_e, rp, out);
+        let dp = node_action_generic(
+            problem.utility(i),
+            pi,
+            ei,
+            row.len(),
+            // SAFETY: k < row.len() by the kernel's loop bound; nobody
+            // writes `e` during phase A — the previous round's writes are
+            // sealed by its round-end barrier.
+            |k| unsafe { e.read(*row.get_unchecked(k)) },
+            rp,
+            out,
+        );
         // SAFETY: element i is in this worker's own shard.
         unsafe { p_hat.write(i, dp) };
         local_max = local_max.max(dp.abs());
@@ -962,7 +1017,7 @@ mod tests {
         // a typed error at construction.
         let p = problem(10, 1700.0, 1);
         let config = DibaConfig {
-            threads: Some(0),
+            threads: Threads::Fixed(0),
             ..DibaConfig::default()
         };
         let err = DibaRun::new(p, Graph::ring(10), config).unwrap_err();

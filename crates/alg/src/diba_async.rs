@@ -26,7 +26,7 @@
 //! neighbors — see [`AsyncDibaRun::conservation_drift`] for the exact
 //! accounting identity, which the tests pin at zero through every fault.
 
-use crate::diba::{node_action, DibaConfig, DibaRun, NodeParams};
+use crate::diba::{node_action_into, DibaConfig, DibaRun, NodeParams, NodeScratch};
 use crate::exec::chunked_sum;
 use crate::faults::{FaultPlan, FaultSampler, NodeFaultKind, NodeHealth};
 use crate::problem::{AlgError, Allocation, PowerBudgetProblem};
@@ -85,7 +85,7 @@ struct InFlight {
 /// Asynchronous DiBA run over a fixed barrier weight.
 ///
 /// Runs the identical per-node program as the synchronous reference
-/// ([`node_action`]); only the scheduling, delivery, and fault handling
+/// ([`node_action_into`]); only the scheduling, delivery, and fault handling
 /// differ. Built fault-free by [`AsyncDibaRun::new`] or with an injected
 /// [`FaultPlan`] by [`AsyncDibaRun::with_faults`]; under the benign plan
 /// ([`FaultPlan::none`]) both paths are trajectory-identical bit for bit
@@ -137,6 +137,13 @@ pub struct AsyncDibaRun {
     round_dropped: u64,
     round_duplicated: u64,
     round_bounced: u64,
+    /// Reusable per-node working memory: steady-state rounds allocate
+    /// nothing (the transfer buffer lives here, not in a fresh `Vec`).
+    scratch: NodeScratch,
+    /// Staging for the live-link residuals of a node with pruned links.
+    pruned_e: Vec<f64>,
+    /// Neighbor-slot indices matching `pruned_e`.
+    pruned_slots: Vec<usize>,
 }
 
 impl AsyncDibaRun {
@@ -222,6 +229,7 @@ impl AsyncDibaRun {
             .map(|i| vec![0usize; graph.neighbors(i).len()])
             .collect();
         let sampler = FaultSampler::new(&faults);
+        let max_degree = (0..n).map(|i| graph.neighbors(i).len()).max().unwrap_or(0);
         Ok(AsyncDibaRun {
             problem,
             graph,
@@ -248,6 +256,9 @@ impl AsyncDibaRun {
             round_dropped: 0,
             round_duplicated: 0,
             round_bounced: 0,
+            scratch: NodeScratch::with_capacity(max_degree),
+            pruned_e: Vec::new(),
+            pruned_slots: Vec::new(),
         })
     }
 
@@ -496,6 +507,14 @@ impl AsyncDibaRun {
         for _ in 0..rounds {
             self.step();
         }
+    }
+
+    /// Runs `rounds` rounds as one batch. Bitwise identical to `rounds`
+    /// [`AsyncDibaRun::step`] calls — state, RNG streams, and telemetry
+    /// records included; provided for API symmetry with
+    /// [`DibaRun::step_many`].
+    pub fn step_many(&mut self, rounds: usize) {
+        self.run(rounds);
     }
 
     /// Runs until feasible and within `rel_tol` of `reference_utility`;
@@ -808,11 +827,11 @@ impl AsyncDibaRun {
     }
 
     /// The acting phase: each live node activates with probability
-    /// `activation`, runs [`node_action`] over its live links, and sends
-    /// one message per live link, subject to delay and link faults.
+    /// `activation`, runs [`node_action_into`] over its live links (reusing
+    /// the run's persistent scratch, so steady-state rounds never touch the
+    /// allocator), and sends one message per live link, subject to delay
+    /// and link faults.
     fn act_nodes(&mut self) {
-        let mut pruned_e: Vec<f64> = Vec::new();
-        let mut pruned_slots: Vec<usize> = Vec::new();
         for i in 0..self.p.len() {
             if self.health[i] != NodeHealth::Alive {
                 continue;
@@ -822,38 +841,49 @@ impl AsyncDibaRun {
             }
             let degree = self.graph.neighbors(i).len();
             let all_links_up = self.link_alive[i].iter().all(|&l| l);
-            let action = if all_links_up {
-                node_action(
+            let dp = if all_links_up {
+                node_action_into(
                     self.problem.utility(i),
                     self.p[i],
                     self.e[i],
                     &self.last_heard[i],
                     &self.params,
+                    &mut self.scratch,
                 )
             } else {
                 // Pruned links drop out of the local program entirely: the
                 // node re-estimates against its live neighborhood only, so
                 // slack diffusion renormalizes to the surviving degree.
-                pruned_e.clear();
-                pruned_slots.clear();
+                self.pruned_e.clear();
+                self.pruned_slots.clear();
                 for slot in 0..degree {
                     if self.link_alive[i][slot] {
-                        pruned_slots.push(slot);
-                        pruned_e.push(self.last_heard[i][slot]);
+                        self.pruned_slots.push(slot);
+                        self.pruned_e.push(self.last_heard[i][slot]);
                     }
                 }
-                node_action(
+                node_action_into(
                     self.problem.utility(i),
                     self.p[i],
                     self.e[i],
-                    &pruned_e,
+                    &self.pruned_e,
                     &self.params,
+                    &mut self.scratch,
                 )
             };
-            self.p[i] += action.dp;
-            self.e[i] += action.own_residual_delta();
-            for (k, &t) in action.transfers.iter().enumerate() {
-                let slot = if all_links_up { k } else { pruned_slots[k] };
+            // Same accounting as `NodeAction::own_residual_delta`, same
+            // summation order, so the trajectory is bit-identical to the
+            // allocating path it replaces.
+            let sent_total: f64 = self.scratch.transfers.iter().sum();
+            self.p[i] += dp;
+            self.e[i] += dp - sent_total;
+            for k in 0..self.scratch.transfers.len() {
+                let t = self.scratch.transfers[k];
+                let slot = if all_links_up {
+                    k
+                } else {
+                    self.pruned_slots[k]
+                };
                 let j = self.graph.neighbors(i)[slot];
                 let mut delay = 1usize;
                 while delay < self.net.max_delay

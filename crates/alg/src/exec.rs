@@ -5,10 +5,20 @@
 //! embarrassingly parallel map over node ranges plus a small reduction. This
 //! module provides the one harness they all share:
 //!
-//! * [`ParallelEngine`] — runs a worker function on `W` scoped threads
-//!   (`std::thread::scope`; no extra crates, no persistent pool), with the
-//!   `W == 1` case executing inline on the caller's thread so the serial
-//!   path spawns nothing and allocates nothing;
+//! * [`Threads`] — the execution policy knob (`Auto` picks serial or
+//!   pooled-parallel per problem size via [`auto_workers`]; `Fixed` forces
+//!   a count);
+//! * [`WorkerPool`] — a *persistent* pool: threads are spawned once per
+//!   run, park on a channel between dispatches, and are fed borrowed jobs
+//!   through a raw-pointer handoff sealed by a completion handshake;
+//! * [`ParallelEngine`] — the scoped-spawn fan-out (`std::thread::scope`,
+//!   threads spawned per call), kept as the comparison baseline the
+//!   benchmarks measure the pool against;
+//! * [`Engine`] — one of the two above behind a single `run_workers` call,
+//!   selected by [`Backend`];
+//! * [`SpinBarrier`] — the reusable two-phase round barrier (atomics with
+//!   bounded spinning, falling back to a condvar park when the worker
+//!   count oversubscribes the host);
 //! * [`SharedSlice`] — an unsafe-but-audited shared view of a `&mut [T]`
 //!   for the disjoint-range writes and barrier-ordered cross-phase reads
 //!   the round structure needs;
@@ -28,10 +38,109 @@
 //! any worker count, including 1, produces identical bits. Max-reductions
 //! (`f64::max` over per-worker maxima) are exactly associative for the
 //! NaN-free values used here and need no chunking.
+//!
+//! Execution-policy choices (serial vs pooled vs scoped, any worker count)
+//! therefore never change results; [`Threads::Auto`] is free to chase
+//! throughput alone.
 
 use std::marker::PhantomData;
 use std::num::NonZeroUsize;
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// The host's available parallelism (1 when it cannot be determined).
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Cluster size below which [`Threads::Auto`] runs serial. Measured on the
+/// pooled engine: a round over `n` nodes costs ≈14–16 ns/node, while a
+/// pooled dispatch plus its three round barriers costs a few microseconds,
+/// so splitting fewer than ~8 k nodes buys less than the synchronization
+/// spends (see DESIGN.md, "Performance engineering", for the cutover
+/// measurements behind both constants).
+pub const AUTO_SERIAL_CUTOVER: usize = 8_192;
+
+/// Minimum nodes per worker before [`Threads::Auto`] adds another one, so
+/// every shard amortizes its share of the barrier cost.
+pub const AUTO_NODES_PER_WORKER: usize = 4_096;
+
+/// The measured adaptive policy: worker count for `items` work items on a
+/// host with `host` hardware threads. Serial below [`AUTO_SERIAL_CUTOVER`];
+/// above it, one worker per [`AUTO_NODES_PER_WORKER`] items, capped at the
+/// host's parallelism (oversubscription only ever loses).
+pub fn auto_workers(items: usize, host: usize) -> usize {
+    if host <= 1 || items < AUTO_SERIAL_CUTOVER {
+        return 1;
+    }
+    host.min(items / AUTO_NODES_PER_WORKER).max(1)
+}
+
+/// Worker-thread policy for the round engines.
+///
+/// `Auto` (the default) applies the measured serial↔parallel cutover of
+/// [`auto_workers`] — small problems run inline on the caller's thread,
+/// large ones shard across the persistent pool. `Fixed(w)` forces exactly
+/// `w` workers. Either way the trajectory is bitwise identical (see the
+/// module docs); the policy only moves wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Threads {
+    /// Pick serial or pooled-parallel per problem size and host.
+    #[default]
+    Auto,
+    /// Force this many workers (0 is rejected by config validation).
+    Fixed(usize),
+}
+
+impl Threads {
+    /// Resolves the policy to a worker count for `items` work items —
+    /// never more workers than items.
+    pub fn resolve(self, items: usize) -> usize {
+        let w = match self {
+            Threads::Auto => auto_workers(items, host_parallelism()),
+            Threads::Fixed(w) => w.max(1),
+        };
+        w.min(items.max(1))
+    }
+
+    /// The forced count, when fixed.
+    pub fn fixed(self) -> Option<usize> {
+        match self {
+            Threads::Auto => None,
+            Threads::Fixed(w) => Some(w),
+        }
+    }
+}
+
+impl std::fmt::Display for Threads {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Threads::Auto => f.write_str("auto"),
+            Threads::Fixed(w) => write!(f, "{w}"),
+        }
+    }
+}
+
+impl std::str::FromStr for Threads {
+    type Err = String;
+
+    /// Parses `auto` or a positive worker count.
+    fn from_str(s: &str) -> Result<Threads, String> {
+        match s.trim() {
+            "auto" => Ok(Threads::Auto),
+            other => match other.parse::<usize>() {
+                Ok(0) => Err("thread count must be positive (or `auto`)".to_string()),
+                Ok(w) => Ok(Threads::Fixed(w)),
+                Err(_) => Err(format!(
+                    "expected `auto` or a positive integer, got `{other}`"
+                )),
+            },
+        }
+    }
+}
 
 /// Fixed reduction-chunk width (elements). Shard boundaries produced by
 /// [`shard_bounds_aligned`] fall on multiples of this, so a chunk is never
@@ -94,6 +203,321 @@ impl ParallelEngine {
             }
             f(0);
         });
+    }
+}
+
+/// Which fan-out mechanism an [`Engine`] uses.
+///
+/// `Pooled` is the production default; `Scoped` (spawn-per-call) is kept so
+/// benchmarks can measure exactly what the pool buys. Both produce bitwise
+/// identical results for any worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Persistent [`WorkerPool`]: threads spawned once, parked between
+    /// dispatches.
+    #[default]
+    Pooled,
+    /// [`ParallelEngine`]: scoped threads spawned per `run_workers` call.
+    Scoped,
+}
+
+/// A reusable two-phase barrier for round-structured kernels.
+///
+/// Sense-reversing with a generation counter: the last arriver resets the
+/// count and bumps the generation; everyone else waits for the generation
+/// to move. Unlike `std::sync::Barrier` there is no mutex on the arrival
+/// fast path, so a round's three barrier crossings cost a handful of atomic
+/// operations when the workers fit the host.
+///
+/// Waiting strategy is chosen at construction: when `parties` exceeds the
+/// host's parallelism (oversubscribed — e.g. determinism tests running 7
+/// workers on 1 core) waiters park on a condvar, because spinning would
+/// just steal the time slice the straggler needs. Otherwise waiters spin
+/// briefly, then yield.
+pub struct SpinBarrier {
+    parties: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+    park: bool,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl std::fmt::Debug for SpinBarrier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpinBarrier")
+            .field("parties", &self.parties)
+            .field("park", &self.park)
+            .finish()
+    }
+}
+
+impl SpinBarrier {
+    /// Rounds of pure spinning before a waiter starts yielding.
+    const SPIN_LIMIT: u32 = 128;
+
+    /// A barrier for `parties` workers (must be positive).
+    pub fn new(parties: usize) -> SpinBarrier {
+        assert!(parties > 0, "barrier needs at least one party");
+        SpinBarrier {
+            parties,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            park: parties > host_parallelism(),
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Number of workers the barrier synchronizes.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Blocks until all `parties` workers have called `wait` for the
+    /// current generation. `AcqRel` on the arrival counter and `Release`/
+    /// `Acquire` on the generation bump order every write before the
+    /// barrier ahead of every read after it, which is the memory contract
+    /// [`SharedSlice`] users rely on.
+    pub fn wait(&self) {
+        if self.parties == 1 {
+            return;
+        }
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            // Last arriver: reset the count *before* releasing the
+            // generation, so a worker racing into the next wait() never
+            // observes a stale count.
+            self.count.store(0, Ordering::Relaxed);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
+            if self.park {
+                let _guard = self.lock.lock().unwrap();
+                self.cond.notify_all();
+            }
+            return;
+        }
+        if self.park {
+            let mut guard = self.lock.lock().unwrap();
+            while self.generation.load(Ordering::Acquire) == gen {
+                guard = self.cond.wait(guard).unwrap();
+            }
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                if spins < Self::SPIN_LIMIT {
+                    std::hint::spin_loop();
+                    spins += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// A borrowed job crossing into pool workers: a type-erased pointer to the
+/// caller's `Fn(usize)` plus the shim that invokes it. The completion
+/// handshake in [`WorkerPool::run`] guarantees the pointee outlives every
+/// use, which is what makes shipping the raw pointer sound.
+#[derive(Clone, Copy)]
+struct Job {
+    call: unsafe fn(*const (), usize),
+    data: *const (),
+}
+
+// SAFETY: the pointee is a `Fn(usize) + Sync` closure borrowed by
+// `WorkerPool::run`, which blocks until every worker reports completion, so
+// the pointer never outlives the borrow and the closure is safe to call
+// from other threads.
+unsafe impl Send for Job {}
+
+/// A persistent worker pool for round execution.
+///
+/// `workers − 1` threads (named `dpc-round-N`) are spawned at construction
+/// and park on per-worker channels; worker 0 is always the calling thread.
+/// Each [`WorkerPool::run`] sends one borrowed job per active worker
+/// and blocks on a completion handshake, so the dispatched closure may
+/// freely borrow the caller's stack. Between runs the pool costs nothing
+/// but idle parked threads. Dropping the pool closes the channels and
+/// joins every thread.
+pub struct WorkerPool {
+    senders: Vec<crossbeam_channel::Sender<Job>>,
+    done_rx: crossbeam_channel::Receiver<bool>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `workers` total workers (`workers − 1` threads;
+    /// worker 0 runs inline in [`WorkerPool::run`]). Clamped to at least 1.
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let (done_tx, done_rx) = crossbeam_channel::unbounded::<bool>();
+        let mut senders = Vec::with_capacity(workers.saturating_sub(1));
+        let mut handles = Vec::with_capacity(workers.saturating_sub(1));
+        for w in 1..workers {
+            let (tx, rx) = crossbeam_channel::unbounded::<Job>();
+            let done = done_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("dpc-round-{w}"))
+                .spawn(move || {
+                    // Park on the channel; a closed channel is shutdown.
+                    while let Ok(job) = rx.recv() {
+                        let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            // SAFETY: `run` keeps the closure alive until
+                            // this worker's completion send is received.
+                            unsafe { (job.call)(job.data, w) };
+                        }))
+                        .is_ok();
+                        // A receiver-less send only happens during teardown
+                        // races; nothing to do about it here.
+                        let _ = done.send(ok);
+                    }
+                })
+                .expect("spawning a pool worker thread");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        WorkerPool {
+            senders,
+            done_rx,
+            handles,
+            workers,
+        }
+    }
+
+    /// Total worker count (including the inline worker 0).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f(0), …, f(active−1)` concurrently — worker 0 inline on the
+    /// calling thread, the rest on parked pool threads — and returns when
+    /// all are done. `active` is clamped to the pool size; with
+    /// `active <= 1` nothing is dispatched and `f(0)` runs inline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dispatched worker panicked (after all completions have
+    /// been collected, so the borrow stays sound).
+    pub fn run<F>(&self, active: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let active = active.clamp(1, self.workers);
+        if active == 1 {
+            f(0);
+            return;
+        }
+        unsafe fn shim<F: Fn(usize) + Sync>(data: *const (), w: usize) {
+            // SAFETY: `data` was erased from `&F` in this very call frame
+            // and `run` outlives every worker's use of it.
+            let f = unsafe { &*(data as *const F) };
+            f(w);
+        }
+        let job = Job {
+            call: shim::<F>,
+            data: &f as *const F as *const (),
+        };
+        for tx in &self.senders[..active - 1] {
+            tx.send(job).expect("pool worker hung up");
+        }
+        f(0);
+        let mut all_ok = true;
+        for _ in 1..active {
+            all_ok &= self.done_rx.recv().expect("pool worker hung up");
+        }
+        assert!(all_ok, "a pool worker panicked during a dispatched round");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channels wakes every parked worker with Err.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A round-execution engine: a resolved worker count behind one of the two
+/// fan-out [`Backend`]s.
+///
+/// Cloning rebuilds an equivalent engine (fresh pool threads for the pooled
+/// backend); equality and `Debug` reflect backend and worker count only.
+pub enum Engine {
+    /// Scoped spawn-per-call fan-out.
+    Scoped(ParallelEngine),
+    /// Persistent parked worker pool.
+    Pooled(WorkerPool),
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Engine::Scoped(e) => f.debug_tuple("Engine::Scoped").field(&e.workers()).finish(),
+            Engine::Pooled(p) => f.debug_tuple("Engine::Pooled").field(&p.workers()).finish(),
+        }
+    }
+}
+
+impl Clone for Engine {
+    fn clone(&self) -> Engine {
+        Engine::with_backend(self.backend(), self.workers())
+    }
+}
+
+impl Engine {
+    /// Builds an engine with `workers` total workers on the given backend.
+    pub fn with_backend(backend: Backend, workers: usize) -> Engine {
+        match backend {
+            Backend::Scoped => Engine::Scoped(ParallelEngine::new(Some(workers))),
+            Backend::Pooled => Engine::Pooled(WorkerPool::new(workers)),
+        }
+    }
+
+    /// The backend this engine fans out on.
+    pub fn backend(&self) -> Backend {
+        match self {
+            Engine::Scoped(_) => Backend::Scoped,
+            Engine::Pooled(_) => Backend::Pooled,
+        }
+    }
+
+    /// Total worker count.
+    pub fn workers(&self) -> usize {
+        match self {
+            Engine::Scoped(e) => e.workers(),
+            Engine::Pooled(p) => p.workers(),
+        }
+    }
+
+    /// The worker count to actually use for `items` work items — never
+    /// more workers than items.
+    pub fn workers_for(&self, items: usize) -> usize {
+        self.workers().min(items.max(1))
+    }
+
+    /// Runs `f(0), …, f(active−1)` concurrently and returns when all are
+    /// done; worker 0 always runs on the calling thread.
+    pub fn run_workers<F>(&self, active: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        match self {
+            Engine::Scoped(e) => e.run_workers(active, f),
+            Engine::Pooled(p) => p.run(active, f),
+        }
     }
 }
 
@@ -328,6 +752,131 @@ mod tests {
             });
             let total = partials.iter().fold(0.0, |a, &b| a + b);
             assert_eq!(total.to_bits(), reference.to_bits(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn threads_policy_parses_and_resolves() {
+        assert_eq!("auto".parse::<Threads>(), Ok(Threads::Auto));
+        assert_eq!(" 3 ".parse::<Threads>(), Ok(Threads::Fixed(3)));
+        assert!("0".parse::<Threads>().is_err());
+        assert!("many".parse::<Threads>().is_err());
+        assert_eq!(Threads::default(), Threads::Auto);
+        assert_eq!(Threads::Fixed(4).resolve(2), 2); // never more workers than items
+        assert_eq!(Threads::Fixed(4).resolve(1_000_000), 4);
+        assert_eq!(Threads::Auto.resolve(10), 1); // below cutover: serial
+        assert_eq!(format!("{}", Threads::Auto), "auto");
+        assert_eq!(format!("{}", Threads::Fixed(7)), "7");
+    }
+
+    #[test]
+    fn auto_policy_respects_cutover_and_host() {
+        assert_eq!(auto_workers(100, 8), 1, "tiny problems stay serial");
+        assert_eq!(auto_workers(AUTO_SERIAL_CUTOVER - 1, 8), 1);
+        assert_eq!(auto_workers(100_000, 1), 1, "1-core hosts stay serial");
+        assert_eq!(auto_workers(100_000, 4), 4, "big problems take the host");
+        assert_eq!(
+            auto_workers(AUTO_SERIAL_CUTOVER, 64),
+            AUTO_SERIAL_CUTOVER / AUTO_NODES_PER_WORKER,
+            "worker count is bounded by nodes-per-worker"
+        );
+    }
+
+    #[test]
+    fn spin_barrier_orders_phases() {
+        for parties in [2usize, 3, 7] {
+            let barrier = SpinBarrier::new(parties);
+            let mut phase_a = vec![0usize; parties];
+            let mut phase_b = vec![0usize; parties];
+            let a = SharedSlice::new(&mut phase_a);
+            let b = SharedSlice::new(&mut phase_b);
+            let engine = ParallelEngine::new(Some(parties));
+            engine.run_workers(parties, |w| {
+                // SAFETY: each worker writes only its own index; the
+                // barrier orders phase-A writes before phase-B reads.
+                unsafe { a.write(w, w + 1) };
+                barrier.wait();
+                let total = (0..parties).map(|i| unsafe { a.read(i) }).sum::<usize>();
+                unsafe { b.write(w, total) };
+                barrier.wait();
+            });
+            let expect = parties * (parties + 1) / 2;
+            assert!(phase_b.iter().all(|&v| v == expect), "parties={parties}");
+        }
+    }
+
+    #[test]
+    fn spin_barrier_is_reusable_across_generations() {
+        let parties = 4;
+        let barrier = SpinBarrier::new(parties);
+        let counter = AtomicUsize::new(0);
+        let engine = ParallelEngine::new(Some(parties));
+        engine.run_workers(parties, |_| {
+            for round in 0..50 {
+                counter.fetch_add(1, Ordering::SeqCst);
+                barrier.wait();
+                // After the barrier every worker must see all arrivals of
+                // this generation.
+                assert!(counter.load(Ordering::SeqCst) >= (round + 1) * parties);
+                barrier.wait();
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 50 * parties);
+    }
+
+    #[test]
+    fn worker_pool_visits_every_index_once() {
+        let pool = WorkerPool::new(5);
+        let hits: Vec<AtomicUsize> = (0..5).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(5, |w| {
+            hits[w].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn worker_pool_is_reusable_and_borrows_caller_stack() {
+        let pool = WorkerPool::new(3);
+        let mut acc = vec![0usize; 3];
+        for round in 1..=20 {
+            let shared = SharedSlice::new(&mut acc);
+            pool.run(3, |w| {
+                // SAFETY: disjoint per-worker indices.
+                let v = unsafe { shared.read(w) };
+                unsafe { shared.write(w, v + round) };
+            });
+        }
+        let expect = (1..=20).sum::<usize>();
+        assert!(acc.iter().all(|&v| v == expect));
+    }
+
+    #[test]
+    fn worker_pool_partial_dispatch_leaves_idle_workers_parked() {
+        let pool = WorkerPool::new(6);
+        let hits: Vec<AtomicUsize> = (0..6).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(2, |w| {
+            hits[w].fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits[0].load(Ordering::SeqCst), 1);
+        assert_eq!(hits[1].load(Ordering::SeqCst), 1);
+        assert!(hits[2..].iter().all(|h| h.load(Ordering::SeqCst) == 0));
+    }
+
+    #[test]
+    fn engine_backends_agree() {
+        for backend in [Backend::Scoped, Backend::Pooled] {
+            let engine = Engine::with_backend(backend, 4);
+            assert_eq!(engine.backend(), backend);
+            assert_eq!(engine.workers(), 4);
+            assert_eq!(engine.workers_for(2), 2);
+            let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+            engine.run_workers(4, |w| {
+                hits[w].fetch_add(1, Ordering::SeqCst);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+            let copy = engine.clone();
+            assert_eq!(copy.backend(), backend);
+            assert_eq!(copy.workers(), 4);
         }
     }
 

@@ -7,7 +7,9 @@
 //! the coordinator — the communication bottleneck Table 4.2 quantifies.
 
 use crate::centralized;
-use crate::exec::{chunk_count, shard_bounds_aligned, ParallelEngine, SharedSlice, REDUCE_CHUNK};
+use crate::exec::{
+    chunk_count, shard_bounds_aligned, Backend, Engine, SharedSlice, Threads, REDUCE_CHUNK,
+};
 use crate::problem::{Allocation, PowerBudgetProblem};
 use dpc_models::units::Watts;
 
@@ -23,11 +25,12 @@ pub struct PrimalDualConfig {
     /// utility is within this relative gap of the centralized optimum
     /// (the paper uses 1 %, Eq. 4.11).
     pub rel_tol: f64,
-    /// Worker threads for the per-node primal responses: `None` uses the
-    /// machine's available parallelism, `Some(1)` forces the inline serial
-    /// path. Results are bitwise identical for every worker count (the
-    /// reductions are fixed-chunk — see [`crate::exec`]).
-    pub threads: Option<usize>,
+    /// Worker policy for the per-node primal responses: [`Threads::Auto`]
+    /// (the default) applies the measured serial↔parallel cutover,
+    /// `Threads::Fixed(1)` forces the inline serial path. Results are
+    /// bitwise identical for every worker count (the reductions are
+    /// fixed-chunk — see [`crate::exec`]).
+    pub threads: Threads,
 }
 
 impl Default for PrimalDualConfig {
@@ -36,7 +39,7 @@ impl Default for PrimalDualConfig {
             step: None,
             max_iterations: 500,
             rel_tol: 0.01,
-            threads: None,
+            threads: Threads::Auto,
         }
     }
 }
@@ -119,7 +122,10 @@ pub fn solve_with_reference(
     // sums are folded per fixed-size chunk in ascending order so the totals
     // are bitwise identical for every worker count.
     let n = problem.len();
-    let engine = ParallelEngine::new(config.threads);
+    // One persistent pool serves every iteration of the solve: the per-
+    // iteration primal responses dispatch to already-parked workers
+    // instead of spawning a fresh thread scope each time.
+    let engine = Engine::with_backend(Backend::Pooled, config.threads.resolve(n));
     let workers = engine.workers_for(chunk_count(n));
     let cuts = shard_bounds_aligned(n, workers, REDUCE_CHUNK);
     let mut scratch = ResponseScratch {
@@ -227,7 +233,7 @@ impl ResponseScratch {
 fn primal_response(
     problem: &PowerBudgetProblem,
     lambda: f64,
-    engine: &ParallelEngine,
+    engine: &Engine,
     cuts: &[usize],
     scratch: &mut ResponseScratch,
 ) -> (Watts, f64) {
@@ -334,13 +340,13 @@ mod tests {
         let base = solve(
             &p,
             &PrimalDualConfig {
-                threads: Some(1),
+                threads: Threads::Fixed(1),
                 ..Default::default()
             },
         );
         for threads in [2, 3, 7] {
             let cfg = PrimalDualConfig {
-                threads: Some(threads),
+                threads: Threads::Fixed(threads),
                 ..Default::default()
             };
             let r = solve(&p, &cfg);
@@ -363,7 +369,7 @@ mod tests {
             step: Some(1e-15),
             max_iterations: 10,
             rel_tol: 0.01,
-            threads: None,
+            threads: Threads::Auto,
         };
         let r = solve(&p, &cfg);
         assert!(!r.converged);

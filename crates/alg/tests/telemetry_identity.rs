@@ -14,6 +14,7 @@
 
 use dpc_alg::diba::{DibaConfig, DibaRun};
 use dpc_alg::diba_async::{AsyncConfig, AsyncDibaRun};
+use dpc_alg::exec::Threads;
 use dpc_alg::faults::{FaultPlan, LinkFaults, NodeFaultKind};
 use dpc_alg::problem::PowerBudgetProblem;
 use dpc_alg::telemetry::TelemetryConfig;
@@ -22,7 +23,7 @@ use dpc_models::workload::ClusterBuilder;
 use dpc_topology::Graph;
 use proptest::prelude::*;
 
-fn sync_run(n: usize, seed: u64, threads: Option<usize>, telemetry: TelemetryConfig) -> DibaRun {
+fn sync_run(n: usize, seed: u64, threads: Threads, telemetry: TelemetryConfig) -> DibaRun {
     let cluster = ClusterBuilder::new(n).seed(seed).build();
     let problem = PowerBudgetProblem::new(cluster.utilities(), Watts(171.0 * n as f64)).unwrap();
     let graph = Graph::ring_with_chords(n, 2);
@@ -69,8 +70,8 @@ proptest! {
         n in 8usize..48,
         rounds in 20usize..120,
     ) {
-        let mut silent = sync_run(n, seed, Some(1), TelemetryConfig::off());
-        let mut watched = sync_run(n, seed, Some(1), TelemetryConfig::with_capacity(rounds));
+        let mut silent = sync_run(n, seed, Threads::Fixed(1), TelemetryConfig::off());
+        let mut watched = sync_run(n, seed, Threads::Fixed(1), TelemetryConfig::with_capacity(rounds));
         silent.run(rounds);
         watched.run(rounds);
         prop_assert_eq!(silent.residuals(), watched.residuals());
@@ -89,9 +90,9 @@ proptest! {
         rounds in 20usize..80,
     ) {
         let telemetry = TelemetryConfig::with_capacity(rounds);
-        let mut silent2 = sync_run(n, seed, Some(2), TelemetryConfig::off());
-        let mut watched2 = sync_run(n, seed, Some(2), telemetry);
-        let mut watched7 = sync_run(n, seed, Some(7), telemetry);
+        let mut silent2 = sync_run(n, seed, Threads::Fixed(2), TelemetryConfig::off());
+        let mut watched2 = sync_run(n, seed, Threads::Fixed(2), telemetry);
+        let mut watched7 = sync_run(n, seed, Threads::Fixed(7), telemetry);
         silent2.run(rounds);
         watched2.run(rounds);
         watched7.run(rounds);

@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpc_alg::diba::{DibaConfig, DibaRun};
+use dpc_alg::exec::{host_parallelism, Backend, Threads};
 use dpc_alg::knapsack;
 use dpc_alg::primal_dual::{self, PrimalDualConfig};
 use dpc_alg::problem::PowerBudgetProblem;
@@ -56,7 +57,7 @@ fn bench_diba_round(c: &mut Criterion) {
     for n in SIZES {
         let p = problem(n);
         let cfg = DibaConfig {
-            threads: Some(1),
+            threads: Threads::Fixed(1),
             ..DibaConfig::default()
         };
         let mut run = DibaRun::new(p, Graph::ring(n), cfg).unwrap();
@@ -86,6 +87,39 @@ fn bench_diba_round_parallel(c: &mut Criterion) {
                 black_box(run.last_max_step())
             })
         });
+    }
+    g.finish();
+}
+
+/// Serial vs scoped-spawn vs persistent-pool dispatch on the same round,
+/// at N ∈ {1k, 10k, 100k}. The pool's advantage is exactly the per-round
+/// spawn + shard-recompute + scratch-alloc cost the scoped engine pays.
+fn bench_diba_round_pooled(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diba_round_pooled");
+    g.sample_size(20);
+    let workers = host_parallelism();
+    let variants: [(&str, Threads, Backend); 3] = [
+        ("serial", Threads::Fixed(1), Backend::Pooled),
+        ("scoped", Threads::Fixed(workers), Backend::Scoped),
+        ("pooled", Threads::Fixed(workers), Backend::Pooled),
+    ];
+    for n in [1_000usize, 10_000, 100_000] {
+        let p = problem(n);
+        for (name, threads, backend) in variants {
+            let cfg = DibaConfig {
+                threads,
+                backend,
+                ..DibaConfig::default()
+            };
+            let mut run = DibaRun::new(p.clone(), Graph::ring(n), cfg).unwrap();
+            run.run(50); // past the initial transient
+            g.bench_with_input(BenchmarkId::new(name, n), &(), |b, _| {
+                b.iter(|| {
+                    run.step();
+                    black_box(run.last_max_step())
+                })
+            });
+        }
     }
     g.finish();
 }
@@ -141,6 +175,7 @@ criterion_group!(
     bench_primal_dual,
     bench_diba_round,
     bench_diba_round_parallel,
+    bench_diba_round_pooled,
     bench_uniform,
     bench_knapsack,
     bench_coordinator_queue,

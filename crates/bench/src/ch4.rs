@@ -318,7 +318,7 @@ pub fn fig4_4(n: usize, minutes: usize) -> String {
         churn_mean: None,
         phase_mean: None,
         record_allocations: false,
-        threads: None,
+        threads: dpc_alg::exec::Threads::Auto,
         faults: None,
         telemetry: dpc_alg::telemetry::TelemetryConfig::off(),
     };
@@ -419,7 +419,7 @@ pub fn fig4_7(n: usize, minutes: usize) -> String {
         churn_mean: Some(Seconds(120.0)),
         phase_mean: None,
         record_allocations: false,
-        threads: None,
+        threads: dpc_alg::exec::Threads::Auto,
         faults: None,
         telemetry: dpc_alg::telemetry::TelemetryConfig::off(),
     };

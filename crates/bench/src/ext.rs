@@ -343,7 +343,7 @@ pub fn ext_phases(n: usize) -> String {
             churn_mean: None,
             phase_mean: dwell.is_finite().then_some(Seconds(dwell)),
             record_allocations: false,
-            threads: None,
+            threads: dpc_alg::exec::Threads::Auto,
             faults: None,
             telemetry: dpc_alg::telemetry::TelemetryConfig::off(),
         };

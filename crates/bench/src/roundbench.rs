@@ -1,15 +1,18 @@
 //! Round-engine throughput benchmark (`dpc bench`).
 //!
-//! Times DiBA gossip rounds per second with the serial and the parallel
-//! execution engine at several cluster sizes, checks that both produce
-//! bitwise-identical trajectories, and renders the measurements as a JSON
-//! report (written to `BENCH_round_engine.json` by the CLI).
+//! Times DiBA gossip rounds per second with the serial engine, the
+//! spawn-per-batch scoped engine, and the persistent worker pool at several
+//! cluster sizes, checks that all three produce bitwise-identical
+//! trajectories, and renders the measurements as a JSON report (written to
+//! `BENCH_round_engine.json` by the CLI).
 //!
-//! The speedup column only shows parallel gains on a multi-core host; the
-//! report records the measured thread counts so a single-core result is
-//! not mistaken for an engine regression.
+//! The speedup columns only show parallel gains on a multi-core host; the
+//! report records the measured thread counts — and a named
+//! [`BenchWarning`] when the requested count exceeds the host — so a
+//! single-core result is not mistaken for an engine regression.
 
 use dpc_alg::diba::{DibaConfig, DibaRun};
+use dpc_alg::exec::{host_parallelism, Backend, Threads};
 use dpc_alg::problem::PowerBudgetProblem;
 use dpc_alg::telemetry::{Telemetry, TelemetryConfig};
 use dpc_models::units::Watts;
@@ -20,6 +23,42 @@ use std::time::Instant;
 /// Default cluster sizes exercised by `dpc bench`.
 pub const DEFAULT_SIZES: [usize; 3] = [1_000, 10_000, 100_000];
 
+/// A named condition detected while benchmarking that explains (rather
+/// than invalidates) the numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchWarning {
+    /// The requested worker count exceeds the host's available
+    /// parallelism, so the "parallel" engines time-slice one another and
+    /// speedups near or below 1.0 are expected.
+    ThreadsExceedHost {
+        /// Workers requested on the command line (or resolved by `auto`).
+        requested: usize,
+        /// The host's available parallelism.
+        host: usize,
+    },
+}
+
+impl std::fmt::Display for BenchWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchWarning::ThreadsExceedHost { requested, host } => write!(
+                f,
+                "threads_exceed_host: {requested} workers requested but the host \
+                 offers {host}; parallel speedups will be oversubscription-bound"
+            ),
+        }
+    }
+}
+
+impl BenchWarning {
+    /// Stable machine-readable name (the JSON `kind` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            BenchWarning::ThreadsExceedHost { .. } => "threads_exceed_host",
+        }
+    }
+}
+
 /// One cluster size's measurements.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SizeResult {
@@ -29,9 +68,12 @@ pub struct SizeResult {
     pub rounds: usize,
     /// Wall-clock for the serial engine.
     pub serial_secs: f64,
-    /// Wall-clock for the parallel engine.
-    pub parallel_secs: f64,
-    /// Whether the two engines produced bitwise-identical `(p, e)` states.
+    /// Wall-clock for the scoped (spawn-per-batch) parallel engine.
+    pub scoped_secs: f64,
+    /// Wall-clock for the persistent-pool parallel engine.
+    pub pooled_secs: f64,
+    /// Whether all three engines produced bitwise-identical `(p, e)`
+    /// states.
     pub bitwise_identical: bool,
 }
 
@@ -41,24 +83,36 @@ impl SizeResult {
         self.rounds as f64 / self.serial_secs.max(1e-12)
     }
 
-    /// Parallel throughput in rounds per second.
-    pub fn parallel_rounds_per_sec(&self) -> f64 {
-        self.rounds as f64 / self.parallel_secs.max(1e-12)
+    /// Scoped-engine throughput in rounds per second.
+    pub fn scoped_rounds_per_sec(&self) -> f64 {
+        self.rounds as f64 / self.scoped_secs.max(1e-12)
     }
 
-    /// Parallel speedup over serial (> 1 is faster).
-    pub fn speedup(&self) -> f64 {
-        self.serial_secs / self.parallel_secs.max(1e-12)
+    /// Pooled-engine throughput in rounds per second.
+    pub fn pooled_rounds_per_sec(&self) -> f64 {
+        self.rounds as f64 / self.pooled_secs.max(1e-12)
+    }
+
+    /// Scoped-engine speedup over serial (> 1 is faster).
+    pub fn scoped_speedup(&self) -> f64 {
+        self.serial_secs / self.scoped_secs.max(1e-12)
+    }
+
+    /// Pooled-engine speedup over serial (> 1 is faster).
+    pub fn pooled_speedup(&self) -> f64 {
+        self.serial_secs / self.pooled_secs.max(1e-12)
     }
 }
 
 /// The full `dpc bench` report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RoundBenchReport {
-    /// Worker threads used by the parallel engine.
+    /// Worker threads used by the parallel engines.
     pub threads: usize,
     /// The host's available parallelism (1 explains a speedup near 1).
     pub host_parallelism: usize,
+    /// Named conditions that explain the numbers (e.g. oversubscription).
+    pub warnings: Vec<BenchWarning>,
     /// Per-size measurements.
     pub results: Vec<SizeResult>,
 }
@@ -74,20 +128,38 @@ impl RoundBenchReport {
             "  \"host_parallelism\": {},\n",
             self.host_parallelism
         ));
+        out.push_str("  \"warnings\": [");
+        for (k, w) in self.warnings.iter().enumerate() {
+            if k > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"kind\": \"{}\", \"detail\": \"{}\"}}",
+                w.kind(),
+                w
+            ));
+        }
+        out.push_str("],\n");
         out.push_str("  \"results\": [\n");
         for (k, r) in self.results.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"n\": {}, \"rounds\": {}, \"serial_secs\": {:.6}, \
-                 \"parallel_secs\": {:.6}, \"serial_rounds_per_sec\": {:.1}, \
-                 \"parallel_rounds_per_sec\": {:.1}, \"speedup\": {:.3}, \
+                 \"scoped_secs\": {:.6}, \"pooled_secs\": {:.6}, \
+                 \"serial_rounds_per_sec\": {:.1}, \
+                 \"scoped_rounds_per_sec\": {:.1}, \
+                 \"pooled_rounds_per_sec\": {:.1}, \
+                 \"scoped_speedup\": {:.3}, \"pooled_speedup\": {:.3}, \
                  \"bitwise_identical\": {}}}{}\n",
                 r.n,
                 r.rounds,
                 r.serial_secs,
-                r.parallel_secs,
+                r.scoped_secs,
+                r.pooled_secs,
                 r.serial_rounds_per_sec(),
-                r.parallel_rounds_per_sec(),
-                r.speedup(),
+                r.scoped_rounds_per_sec(),
+                r.pooled_rounds_per_sec(),
+                r.scoped_speedup(),
+                r.pooled_speedup(),
                 r.bitwise_identical,
                 if k + 1 < self.results.len() { "," } else { "" },
             ));
@@ -99,24 +171,26 @@ impl RoundBenchReport {
     /// Renders a human-readable table.
     pub fn to_table(&self) -> String {
         let mut out = format!(
-            "round engine: {} worker threads ({} available on this host)\n\n\
-             {:>8}  {:>7}  {:>12}  {:>12}  {:>8}  bitwise\n",
-            self.threads,
-            self.host_parallelism,
-            "n",
-            "rounds",
-            "serial r/s",
-            "parallel r/s",
-            "speedup",
+            "round engine: {} worker threads ({} available on this host)\n",
+            self.threads, self.host_parallelism,
         );
+        for w in &self.warnings {
+            out.push_str(&format!("warning: {w}\n"));
+        }
+        out.push_str(&format!(
+            "\n{:>8}  {:>7}  {:>12}  {:>12}  {:>12}  {:>8}  {:>8}  bitwise\n",
+            "n", "rounds", "serial r/s", "scoped r/s", "pooled r/s", "scoped", "pooled",
+        ));
         for r in &self.results {
             out.push_str(&format!(
-                "{:>8}  {:>7}  {:>12.1}  {:>12.1}  {:>7.2}x  {}\n",
+                "{:>8}  {:>7}  {:>12.1}  {:>12.1}  {:>12.1}  {:>7.2}x  {:>7.2}x  {}\n",
                 r.n,
                 r.rounds,
                 r.serial_rounds_per_sec(),
-                r.parallel_rounds_per_sec(),
-                r.speedup(),
+                r.scoped_rounds_per_sec(),
+                r.pooled_rounds_per_sec(),
+                r.scoped_speedup(),
+                r.pooled_speedup(),
                 if r.bitwise_identical {
                     "ok"
                 } else {
@@ -128,12 +202,13 @@ impl RoundBenchReport {
     }
 }
 
-fn run_for(n: usize, threads: Option<usize>, rounds: usize) -> DibaRun {
+fn run_for(n: usize, threads: Threads, backend: Backend, rounds: usize) -> DibaRun {
     let cluster = ClusterBuilder::new(n).seed(0).build();
     let problem = PowerBudgetProblem::new(cluster.utilities(), Watts(172.0 * n as f64))
         .expect("172 W/server is feasible for every generated cluster");
     let config = DibaConfig {
         threads,
+        backend,
         ..DibaConfig::default()
     };
     let mut run = DibaRun::new(problem, Graph::ring_with_chords(n, (n / 64).max(2)), config)
@@ -147,7 +222,7 @@ fn run_for(n: usize, threads: Option<usize>, rounds: usize) -> DibaRun {
 /// attached and returns the captured telemetry. This is the `--trace`
 /// path of `dpc bench`: same cluster, topology, and config as the timed
 /// benchmark, so the trace describes exactly the run being measured.
-pub fn traced_run(n: usize, rounds: usize, threads: Option<usize>) -> Telemetry {
+pub fn traced_run(n: usize, rounds: usize, threads: Threads) -> Telemetry {
     let cluster = ClusterBuilder::new(n).seed(0).build();
     let problem = PowerBudgetProblem::new(cluster.utilities(), Watts(172.0 * n as f64))
         .expect("172 W/server is feasible for every generated cluster");
@@ -164,30 +239,39 @@ pub fn traced_run(n: usize, rounds: usize, threads: Option<usize>) -> Telemetry 
         .clone()
 }
 
-/// Times `rounds` gossip rounds at size `n` with the serial and the
-/// parallel engine, and verifies their trajectories agree bitwise.
-pub fn measure(n: usize, rounds: usize, threads: Option<usize>) -> SizeResult {
-    let mut serial = run_for(n, Some(1), rounds);
+/// Times `rounds` gossip rounds at size `n` on all three engines — serial,
+/// scoped-parallel, and pooled-parallel — and verifies their trajectories
+/// agree bitwise.
+pub fn measure(n: usize, rounds: usize, threads: Threads) -> SizeResult {
+    let mut serial = run_for(n, Threads::Fixed(1), Backend::Pooled, rounds);
     let start = Instant::now();
     serial.run(rounds);
     let serial_secs = start.elapsed().as_secs_f64();
 
-    let mut parallel = run_for(n, threads, rounds);
+    let mut scoped = run_for(n, threads, Backend::Scoped, rounds);
     let start = Instant::now();
-    parallel.run(rounds);
-    let parallel_secs = start.elapsed().as_secs_f64();
+    scoped.run(rounds);
+    let scoped_secs = start.elapsed().as_secs_f64();
 
-    let bitwise_identical = serial
-        .allocation()
-        .powers()
-        .iter()
-        .zip(parallel.allocation().powers())
-        .all(|(a, b)| a.0.to_bits() == b.0.to_bits());
+    let mut pooled = run_for(n, threads, Backend::Pooled, rounds);
+    let start = Instant::now();
+    pooled.run(rounds);
+    let pooled_secs = start.elapsed().as_secs_f64();
+
+    let agree = |a: &DibaRun, b: &DibaRun| {
+        a.allocation()
+            .powers()
+            .iter()
+            .zip(b.allocation().powers())
+            .all(|(x, y)| x.0.to_bits() == y.0.to_bits())
+    };
+    let bitwise_identical = agree(&serial, &scoped) && agree(&serial, &pooled);
     SizeResult {
         n,
         rounds,
         serial_secs,
-        parallel_secs,
+        scoped_secs,
+        pooled_secs,
         bitwise_identical,
     }
 }
@@ -198,26 +282,32 @@ pub fn rounds_for(n: usize) -> usize {
     (2_000_000 / n.max(1)).clamp(20, 2_000)
 }
 
-/// Runs the full benchmark over `sizes` with `threads` parallel workers.
+/// Runs the full benchmark over `sizes` under the `threads` policy.
 /// `rounds` overrides the per-size default from [`rounds_for`].
 pub fn run_round_bench(
     sizes: &[usize],
-    threads: Option<usize>,
+    threads: Threads,
     rounds: Option<usize>,
 ) -> RoundBenchReport {
-    let host_parallelism = std::thread::available_parallelism()
-        .map(usize::from)
-        .unwrap_or(1);
+    let host = host_parallelism();
     let mut results = Vec::with_capacity(sizes.len());
     let mut effective_threads = 1;
     for &n in sizes {
         let r = measure(n, rounds.unwrap_or_else(|| rounds_for(n)), threads);
-        effective_threads = run_for(n, threads, 0).threads().max(effective_threads);
+        effective_threads = threads.resolve(n).max(effective_threads);
         results.push(r);
+    }
+    let mut warnings = Vec::new();
+    if effective_threads > host {
+        warnings.push(BenchWarning::ThreadsExceedHost {
+            requested: effective_threads,
+            host,
+        });
     }
     RoundBenchReport {
         threads: effective_threads,
-        host_parallelism,
+        host_parallelism: host,
+        warnings,
         results,
     }
 }
@@ -228,9 +318,9 @@ mod tests {
 
     #[test]
     fn measure_reports_identical_trajectories() {
-        let r = measure(600, 40, Some(3));
+        let r = measure(600, 40, Threads::Fixed(3));
         assert!(r.bitwise_identical);
-        assert!(r.serial_secs > 0.0 && r.parallel_secs > 0.0);
+        assert!(r.serial_secs > 0.0 && r.scoped_secs > 0.0 && r.pooled_secs > 0.0);
         assert!(r.serial_rounds_per_sec() > 0.0);
     }
 
@@ -239,26 +329,62 @@ mod tests {
         let report = RoundBenchReport {
             threads: 4,
             host_parallelism: 8,
+            warnings: vec![],
             results: vec![SizeResult {
                 n: 1000,
                 rounds: 100,
                 serial_secs: 0.5,
-                parallel_secs: 0.2,
+                scoped_secs: 0.4,
+                pooled_secs: 0.2,
                 bitwise_identical: true,
             }],
         };
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"round_engine\""));
         assert!(json.contains("\"threads\": 4"));
-        assert!(json.contains("\"speedup\": 2.500"));
+        assert!(json.contains("\"warnings\": []"));
+        assert!(json.contains("\"scoped_speedup\": 1.250"));
+        assert!(json.contains("\"pooled_speedup\": 2.500"));
         assert!(json.contains("\"bitwise_identical\": true"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(report.to_table().contains("2.50x"));
     }
 
     #[test]
+    fn oversubscription_warning_is_named_and_serialized() {
+        let report = RoundBenchReport {
+            threads: 8,
+            host_parallelism: 2,
+            warnings: vec![BenchWarning::ThreadsExceedHost {
+                requested: 8,
+                host: 2,
+            }],
+            results: vec![],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"kind\": \"threads_exceed_host\""));
+        assert!(json.contains("8 workers requested"));
+        assert!(report.to_table().contains("warning: threads_exceed_host"));
+    }
+
+    #[test]
+    fn bench_warns_exactly_when_threads_exceed_host() {
+        let host = host_parallelism();
+        let over = run_round_bench(&[64], Threads::Fixed(host + 1), Some(5));
+        assert_eq!(
+            over.warnings,
+            vec![BenchWarning::ThreadsExceedHost {
+                requested: host + 1,
+                host
+            }]
+        );
+        let fits = run_round_bench(&[64], Threads::Fixed(1), Some(5));
+        assert!(fits.warnings.is_empty());
+    }
+
+    #[test]
     fn traced_run_captures_every_round() {
-        let t = traced_run(400, 25, Some(2));
+        let t = traced_run(400, 25, Threads::Fixed(2));
         assert_eq!(t.rounds_recorded(), 25);
         let last = t.latest().expect("25 rounds were recorded");
         assert_eq!(last.round, 25);

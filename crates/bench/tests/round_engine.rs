@@ -1,6 +1,7 @@
 //! Integration checks of the parallel round engine at benchmark scale.
 
 use dpc_alg::diba::{DibaConfig, DibaRun};
+use dpc_alg::exec::Threads;
 use dpc_alg::problem::PowerBudgetProblem;
 use dpc_models::units::Watts;
 use dpc_models::workload::ClusterBuilder;
@@ -17,7 +18,7 @@ fn parallel_round_preserves_the_residual_invariant_at_6400() {
     let cluster = ClusterBuilder::new(n).seed(0).build();
     let problem = PowerBudgetProblem::new(cluster.utilities(), budget).unwrap();
     let config = DibaConfig {
-        threads: Some(4),
+        threads: Threads::Fixed(4),
         ..DibaConfig::default()
     };
     let mut run = DibaRun::new(problem, Graph::ring_with_chords(n, 100), config).unwrap();

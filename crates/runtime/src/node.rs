@@ -23,7 +23,7 @@
 use crate::error::RuntimeError;
 use crate::transport::{Delivery, Incoming, Transport};
 use crate::wire::WireMsg;
-use dpc_alg::diba::{node_action, NodeParams};
+use dpc_alg::diba::{node_action_into, NodeParams, NodeScratch};
 use dpc_alg::message::RoundMsg;
 use dpc_models::QuadraticUtility;
 use std::time::Duration;
@@ -160,6 +160,9 @@ pub fn run_node<T: Transport>(
 
     let mut live_slots: Vec<usize> = Vec::with_capacity(degree);
     let mut neigh_e: Vec<f64> = Vec::with_capacity(degree);
+    // One scratch for the whole agent lifetime: steady-state rounds
+    // allocate nothing.
+    let mut scratch = NodeScratch::with_capacity(degree);
 
     while rounds < spec.max_rounds {
         rounds += 1;
@@ -178,10 +181,13 @@ pub fn run_node<T: Transport>(
             eta: spec.params.eta * boost,
             ..spec.params
         };
-        let action = node_action(&spec.utility, p, e, &neigh_e, &round_params);
-        p += action.dp;
-        e += action.own_residual_delta();
-        streak = if action.dp.abs() < spec.settle_tol {
+        let dp = node_action_into(&spec.utility, p, e, &neigh_e, &round_params, &mut scratch);
+        // Same accounting (and summation order) as
+        // `NodeAction::own_residual_delta`, without the per-round `Vec`.
+        let sent_total: f64 = scratch.transfers.iter().sum();
+        p += dp;
+        e += dp - sent_total;
+        streak = if dp.abs() < spec.settle_tol {
             streak + 1
         } else {
             0
@@ -191,7 +197,7 @@ pub fn run_node<T: Transport>(
         // Send pass: one frame per live link; reclaim the transfer when
         // the link turns out to be gone so no slack mass is destroyed.
         for (k, &slot) in live_slots.iter().enumerate() {
-            let transfer = action.transfers[k];
+            let transfer = scratch.transfers[k];
             let redundant = settled && transfer == 0.0 && e == links[slot].sent_e;
             let msg = if redundant {
                 WireMsg::Heartbeat {

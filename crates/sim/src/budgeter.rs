@@ -9,6 +9,7 @@
 use dpc_alg::centralized;
 use dpc_alg::diba::{DibaConfig, DibaRun};
 use dpc_alg::diba_async::{AsyncConfig, AsyncDibaRun};
+use dpc_alg::exec::Threads;
 use dpc_alg::faults::FaultPlan;
 use dpc_alg::problem::{AlgError, Allocation, PowerBudgetProblem};
 use dpc_alg::telemetry::{Telemetry, TelemetryConfig};
@@ -41,10 +42,10 @@ pub trait Budgeter {
     /// The current allocation.
     fn allocation(&self) -> Allocation;
 
-    /// Sets the worker-thread count for schemes with a parallel round
-    /// engine (`None` = available parallelism). Results never depend on
-    /// the worker count, so the default is a no-op.
-    fn set_threads(&mut self, _threads: Option<usize>) {}
+    /// Sets the worker policy for schemes with a parallel round engine.
+    /// Results never depend on the worker count, so the default is a
+    /// no-op.
+    fn set_threads(&mut self, _threads: Threads) {}
 
     /// Installs a fault-injection plan before the run starts. Only
     /// budgeters with a fault-capable engine (the asynchronous DiBA run)
@@ -124,7 +125,7 @@ impl Budgeter for DibaBudgeter {
         self.run.allocation()
     }
 
-    fn set_threads(&mut self, threads: Option<usize>) {
+    fn set_threads(&mut self, threads: Threads) {
         self.run.set_threads(threads);
     }
 
@@ -374,7 +375,7 @@ impl Budgeter for PrimalDualBudgeter {
         self.cached.clone()
     }
 
-    fn set_threads(&mut self, threads: Option<usize>) {
+    fn set_threads(&mut self, threads: Threads) {
         self.config.threads = threads;
     }
 }

@@ -10,7 +10,7 @@ use crate::budgeter::Budgeter;
 use crate::schedule::BudgetSchedule;
 use crate::series::{TimePoint, TimeSeries};
 use dpc_alg::centralized;
-use dpc_alg::exec::{shard_bounds, ParallelEngine, SharedSlice};
+use dpc_alg::exec::{shard_bounds, Backend, Engine, SharedSlice, Threads};
 use dpc_alg::faults::{FaultPlan, LinkFaults, NodeFaultKind};
 use dpc_alg::problem::{AlgError, Allocation, PowerBudgetProblem};
 use dpc_alg::telemetry::TelemetryConfig;
@@ -77,11 +77,12 @@ pub struct SimConfig {
     pub phase_mean: Option<Seconds>,
     /// Record per-server allocations at every sample (memory-heavy).
     pub record_allocations: bool,
-    /// Worker threads for per-node stepping (phase advancement and any
-    /// thread-aware budgeter): `None` uses the machine's available
-    /// parallelism, `Some(1)` forces the inline serial path. Simulation
-    /// results are identical for every worker count.
-    pub threads: Option<usize>,
+    /// Worker policy for per-node stepping (phase advancement and any
+    /// thread-aware budgeter): [`Threads::Auto`] (the default) applies the
+    /// measured serial↔parallel cutover, `Threads::Fixed(1)` forces the
+    /// inline serial path. Simulation results are identical for every
+    /// worker count.
+    pub threads: Threads,
     /// Fault injection (lossy links, node crash/departure); `None` runs the
     /// cluster fault-free.
     pub faults: Option<SimFaults>,
@@ -101,7 +102,7 @@ impl SimConfig {
             churn_mean: None,
             phase_mean: None,
             record_allocations: false,
-            threads: None,
+            threads: Threads::Auto,
             faults: None,
             telemetry: TelemetryConfig::off(),
         }
@@ -115,7 +116,7 @@ impl SimConfig {
     ///
     /// [`AlgError::InvalidConfig`] naming the offending knob: a non-finite
     /// or non-positive sample interval, a non-finite or negative duration,
-    /// `threads = Some(0)`, non-positive churn/phase means, a zero
+    /// `threads = Fixed(0)`, non-positive churn/phase means, a zero
     /// telemetry capacity, or a non-finite/negative fault time.
     pub fn validate(&self) -> Result<(), AlgError> {
         let bad = |what: String| Err(AlgError::InvalidConfig { what });
@@ -131,10 +132,9 @@ impl SimConfig {
                 self.duration.0
             ));
         }
-        if self.threads == Some(0) {
+        if self.threads == Threads::Fixed(0) {
             return bad(
-                "threads = Some(0): the engine needs at least one worker (use None for auto)"
-                    .to_string(),
+                "threads = Fixed(0): the engine needs at least one worker (use Auto)".to_string(),
             );
         }
         if let Some(mean) = self.churn_mean {
@@ -180,7 +180,7 @@ pub struct DynamicSim<B: Budgeter> {
     /// Scratch: which servers changed phase in the current sample.
     phase_changed: Vec<bool>,
     /// Shared round-execution engine for per-node stepping.
-    engine: ParallelEngine,
+    engine: Engine,
 }
 
 impl<B: Budgeter> DynamicSim<B> {
@@ -201,7 +201,7 @@ impl<B: Budgeter> DynamicSim<B> {
             cluster.len(),
             "budgeter and cluster sizes differ"
         );
-        let engine = ParallelEngine::new(config.threads);
+        let engine = Engine::with_backend(Backend::Pooled, config.threads.resolve(cluster.len()));
         DynamicSim {
             cluster,
             budgeter,
@@ -469,7 +469,7 @@ mod tests {
             churn_mean: None,
             phase_mean: None,
             record_allocations: false,
-            threads: None,
+            threads: Threads::Auto,
             faults: None,
             telemetry: TelemetryConfig::off(),
         }
@@ -505,7 +505,7 @@ mod tests {
     fn bad_engine_knobs_are_typed_errors() {
         type Poison = Box<dyn Fn(&mut SimConfig)>;
         let cases: Vec<(&str, Poison)> = vec![
-            ("zero threads", Box::new(|c| c.threads = Some(0))),
+            ("zero threads", Box::new(|c| c.threads = Threads::Fixed(0))),
             (
                 "zero interval",
                 Box::new(|c| c.sample_interval = Seconds(0.0)),

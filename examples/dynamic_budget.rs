@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         churn_mean: None,
         phase_mean: None,
         record_allocations: false,
-        threads: None,
+        threads: dpc::alg::exec::Threads::Auto,
         faults: None,
         telemetry: dpc_alg::telemetry::TelemetryConfig::off(),
     };

@@ -6,6 +6,7 @@
 //! as a `String` so the logic is unit-testable without spawning processes.
 
 use crate::alg::diba::{DibaConfig, DibaRun};
+use crate::alg::exec::Threads;
 use crate::alg::primal_dual::{self, PrimalDualConfig};
 use crate::alg::problem::PowerBudgetProblem;
 use crate::alg::{baselines, centralized};
@@ -116,9 +117,11 @@ COMMANDS:
              --utilization U (1.0)  --iterations K (40000)  --seed S (0)
   fxplore    firmware sub-cluster exploration over the HPC workload catalog
              --k K (4)  --objective runtime|energy (runtime)  --seed S (0)
-  bench      time the DiBA round engine, serial vs parallel, and write JSON
-             --sizes N,N,... (1000,10000,100000)  --threads T (auto)
+  bench      time the DiBA round engine, serial vs scoped vs pooled, write JSON
+             --sizes N,N,... (1000,10000,100000)  --threads T|auto (auto)
              --rounds R (scaled per size)  --out FILE (BENCH_round_engine.json)
+             --min-speedup X (fail if pooled/serial drops below X; skipped with
+             a logged reason on single-core hosts)
              --trace FILE (also record a JSONL round trace at the smallest size)
   faults     sweep message drop rate x node churn, check recovery, write JSON
              --servers N (48)  --rounds R (1500)  --seed S (0)
@@ -128,7 +131,7 @@ COMMANDS:
   trace      run one solver with the round recorder attached, write a trace
              --solver diba|async|primal-dual (diba)  --servers N (64)
              --budget-watts W (170·N)  --seed S (0)  --rounds R (600)
-             --topology ring|chords|grid (ring)  --threads T (auto)
+             --topology ring|chords|grid (ring)  --threads T|auto (auto)
              --format jsonl|csv|prom (jsonl)  --capacity C (rounds)
              --drop P (0, async only)  --crash-round R (async only)
              --out FILE (TRACE.jsonl)
@@ -273,7 +276,7 @@ pub fn cmd_simulate(opts: &Options) -> Result<String, CliError> {
         churn_mean: churn.map(Seconds),
         phase_mean: phases.map(Seconds),
         record_allocations: false,
-        threads: None,
+        threads: Threads::Auto,
         faults: None,
         telemetry: dpc_alg::telemetry::TelemetryConfig::off(),
     };
@@ -450,14 +453,12 @@ pub fn cmd_bench(opts: &Options) -> Result<String, CliError> {
     if sizes.is_empty() || sizes.contains(&0) {
         return Err(CliError("--sizes needs positive cluster sizes".into()));
     }
-    let threads: Option<usize> = opts.get("threads")?;
-    if threads == Some(0) {
-        return Err(CliError("--threads must be positive".into()));
-    }
+    let threads: Threads = opts.get_or("threads", Threads::Auto)?;
     let rounds: Option<usize> = opts.get("rounds")?;
     if rounds == Some(0) {
         return Err(CliError("--rounds must be positive".into()));
     }
+    let min_speedup: Option<f64> = opts.get("min-speedup")?;
     let out_path = opts.string("out").unwrap_or("BENCH_round_engine.json");
 
     let report = run_round_bench(&sizes, threads, rounds);
@@ -468,6 +469,39 @@ pub fn cmd_bench(opts: &Options) -> Result<String, CliError> {
     }
     write_output(out_path, &report.to_json())?;
     let mut out = format!("{}\nreport written to {out_path}\n", report.to_table());
+    if let Some(min) = min_speedup {
+        if report.host_parallelism <= 1 {
+            out.push_str(&format!(
+                "min-speedup {min} skipped: host_parallelism is {} — pooled workers \
+                 share one core, so a speedup floor would only measure scheduler noise\n",
+                report.host_parallelism
+            ));
+        } else if report.threads <= 1 {
+            out.push_str(&format!(
+                "min-speedup {min} skipped: the bench resolved to {} worker — pooled \
+                 and serial are the same execution\n",
+                report.threads
+            ));
+        } else if let Some(worst) = report
+            .results
+            .iter()
+            .min_by(|a, b| a.pooled_speedup().total_cmp(&b.pooled_speedup()))
+        {
+            if worst.pooled_speedup() < min {
+                return Err(CliError(format!(
+                    "pooled round engine regressed: speedup {:.3} at n={} is below \
+                     the --min-speedup floor {min}",
+                    worst.pooled_speedup(),
+                    worst.n
+                )));
+            }
+            out.push_str(&format!(
+                "min-speedup {min} satisfied: worst pooled speedup {:.3} at n={}\n",
+                worst.pooled_speedup(),
+                worst.n
+            ));
+        }
+    }
     if let Some(trace_path) = opts.string("trace") {
         let n = *sizes.iter().min().expect("sizes is non-empty");
         let t = traced_run(n, rounds.unwrap_or_else(|| rounds_for(n)), threads);
@@ -557,10 +591,7 @@ pub fn cmd_trace(opts: &Options) -> Result<String, CliError> {
         return Err(CliError("--capacity must be positive".into()));
     }
     let budget = Watts(opts.get_or("budget-watts", 170.0 * n as f64)?);
-    let threads: Option<usize> = opts.get("threads")?;
-    if threads == Some(0) {
-        return Err(CliError("--threads must be positive".into()));
-    }
+    let threads: Threads = opts.get_or("threads", Threads::Auto)?;
     let drop: f64 = opts.get_or("drop", 0.0)?;
     if !(0.0..1.0).contains(&drop) {
         return Err(CliError("--drop needs a probability in [0, 1)".into()));
