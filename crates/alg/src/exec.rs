@@ -17,8 +17,8 @@
 //! * [`Engine`] — one of the two above behind a single `run_workers` call,
 //!   selected by [`Backend`];
 //! * [`SpinBarrier`] — the reusable two-phase round barrier (atomics with
-//!   bounded spinning, falling back to a condvar park when the worker
-//!   count oversubscribes the host);
+//!   bounded spin-then-yield, parking on a condvar when the wait runs
+//!   long or the worker count oversubscribes the host);
 //! * [`SharedSlice`] — an unsafe-but-audited shared view of a `&mut [T]`
 //!   for the disjoint-range writes and barrier-ordered cross-phase reads
 //!   the round structure needs;
@@ -229,16 +229,22 @@ pub enum Backend {
 /// fast path, so a round's three barrier crossings cost a handful of atomic
 /// operations when the workers fit the host.
 ///
-/// Waiting strategy is chosen at construction: when `parties` exceeds the
-/// host's parallelism (oversubscribed — e.g. determinism tests running 7
-/// workers on 1 core) waiters park on a condvar, because spinning would
-/// just steal the time slice the straggler needs. Otherwise waiters spin
-/// briefly, then yield.
+/// Waiting strategy: every waiter spins briefly, yields for a bounded
+/// budget, then parks on a condvar — so short inter-barrier windows stay
+/// on the atomic fast path while long ones (e.g. worker 0's O(n) telemetry
+/// aggregation between barriers) release the core instead of burning it.
+/// When `parties` exceeds the host's parallelism (oversubscribed — e.g.
+/// determinism tests running 7 workers on 1 core) waiters skip straight to
+/// parking, because spinning would just steal the time slice the straggler
+/// needs. The releaser only takes the lock when a sleeper count says
+/// someone is actually parked; a seq-cst handshake on the generation store
+/// and sleeper count makes the notify race-free.
 pub struct SpinBarrier {
     parties: usize,
     count: AtomicUsize,
     generation: AtomicUsize,
-    park: bool,
+    park_immediately: bool,
+    sleepers: AtomicUsize,
     lock: Mutex<()>,
     cond: Condvar,
 }
@@ -247,7 +253,7 @@ impl std::fmt::Debug for SpinBarrier {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SpinBarrier")
             .field("parties", &self.parties)
-            .field("park", &self.park)
+            .field("park_immediately", &self.park_immediately)
             .finish()
     }
 }
@@ -256,6 +262,9 @@ impl SpinBarrier {
     /// Rounds of pure spinning before a waiter starts yielding.
     const SPIN_LIMIT: u32 = 128;
 
+    /// Yields after the spin budget before a waiter parks on the condvar.
+    const YIELD_LIMIT: u32 = 64;
+
     /// A barrier for `parties` workers (must be positive).
     pub fn new(parties: usize) -> SpinBarrier {
         assert!(parties > 0, "barrier needs at least one party");
@@ -263,7 +272,8 @@ impl SpinBarrier {
             parties,
             count: AtomicUsize::new(0),
             generation: AtomicUsize::new(0),
-            park: parties > host_parallelism(),
+            park_immediately: parties > host_parallelism(),
+            sleepers: AtomicUsize::new(0),
             lock: Mutex::new(()),
             cond: Condvar::new(),
         }
@@ -287,32 +297,46 @@ impl SpinBarrier {
         if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
             // Last arriver: reset the count *before* releasing the
             // generation, so a worker racing into the next wait() never
-            // observes a stale count.
+            // observes a stale count. The generation store and the sleeper
+            // load are both seq-cst, pairing with the waiter's seq-cst
+            // sleeper increment / generation re-check: either this load
+            // sees the sleeper (and notifies under the lock), or the
+            // waiter's re-check sees the new generation (and never parks).
             self.count.store(0, Ordering::Relaxed);
-            self.generation
-                .store(gen.wrapping_add(1), Ordering::Release);
-            if self.park {
+            self.generation.store(gen.wrapping_add(1), Ordering::SeqCst);
+            if self.sleepers.load(Ordering::SeqCst) > 0 {
                 let _guard = self.lock.lock().unwrap();
                 self.cond.notify_all();
             }
             return;
         }
-        if self.park {
-            let mut guard = self.lock.lock().unwrap();
+        if !self.park_immediately {
+            // Fast path: spin, then yield for a bounded budget. Most
+            // inter-barrier windows resolve here; only genuinely long ones
+            // (a straggling shard, worker 0's telemetry aggregation) fall
+            // through to the condvar below instead of burning the core.
+            let mut tries = 0u32;
             while self.generation.load(Ordering::Acquire) == gen {
-                guard = self.cond.wait(guard).unwrap();
-            }
-        } else {
-            let mut spins = 0u32;
-            while self.generation.load(Ordering::Acquire) == gen {
-                if spins < Self::SPIN_LIMIT {
+                if tries >= Self::SPIN_LIMIT + Self::YIELD_LIMIT {
+                    break;
+                }
+                if tries < Self::SPIN_LIMIT {
                     std::hint::spin_loop();
-                    spins += 1;
                 } else {
                     std::thread::yield_now();
                 }
+                tries += 1;
+            }
+            if self.generation.load(Ordering::Acquire) != gen {
+                return;
             }
         }
+        let mut guard = self.lock.lock().unwrap();
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        while self.generation.load(Ordering::SeqCst) == gen {
+            guard = self.cond.wait(guard).unwrap();
+        }
+        self.sleepers.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -327,10 +351,35 @@ struct Job {
 }
 
 // SAFETY: the pointee is a `Fn(usize) + Sync` closure borrowed by
-// `WorkerPool::run`, which blocks until every worker reports completion, so
-// the pointer never outlives the borrow and the closure is safe to call
-// from other threads.
+// `WorkerPool::run`, which — on the normal path and on unwind (via
+// `DrainGuard`) — does not return until every dispatched worker reports
+// completion, so the pointer never outlives the borrow and the closure is
+// safe to call from other threads.
 unsafe impl Send for Job {}
+
+/// Blocks until every outstanding completion for the current dispatch has
+/// been received, *even when the dispatching frame unwinds*. Without this,
+/// a panic in the inline worker (`f(0)`) would destroy `run`'s stack frame
+/// while pool threads still execute the borrowed closure — a use-after-free
+/// — and leave stale completions to corrupt the next dispatch. Mirrors the
+/// join-on-unwind guarantee of `std::thread::scope`.
+struct DrainGuard<'p> {
+    done_rx: &'p crossbeam_channel::Receiver<bool>,
+    pending: usize,
+}
+
+impl Drop for DrainGuard<'_> {
+    fn drop(&mut self) {
+        for _ in 0..self.pending {
+            if self.done_rx.recv().is_err() {
+                // The done channel can only die if pool workers are gone
+                // mid-dispatch; we can no longer prove the borrowed job is
+                // quiescent, so freeing the frame would be unsound.
+                std::process::abort();
+            }
+        }
+    }
+}
 
 /// A persistent worker pool for round execution.
 ///
@@ -405,11 +454,20 @@ impl WorkerPool {
     /// all are done. `active` is clamped to the pool size; with
     /// `active <= 1` nothing is dispatched and `f(0)` runs inline.
     ///
+    /// Takes `&mut self` deliberately: dispatch and completion collection
+    /// share the per-worker channels and the single `done_rx`, so two
+    /// overlapping `run` calls would cross-mix completions and let one call
+    /// return while the other's borrowed closure is still executing. The
+    /// exclusive receiver makes that unrepresentable in safe code.
+    ///
     /// # Panics
     ///
     /// Panics if a dispatched worker panicked (after all completions have
-    /// been collected, so the borrow stays sound).
-    pub fn run<F>(&self, active: usize, f: F)
+    /// been collected, so the borrow stays sound). If the *inline* worker
+    /// panics, the remaining completions are drained on unwind before the
+    /// frame is destroyed, so the pool stays usable and the borrow stays
+    /// sound there too.
+    pub fn run<F>(&mut self, active: usize, f: F)
     where
         F: Fn(usize) + Sync,
     {
@@ -428,13 +486,23 @@ impl WorkerPool {
             call: shim::<F>,
             data: &f as *const F as *const (),
         };
+        // Armed before the first send: from here on, every dispatched job
+        // is accounted for even if a later send, `f(0)`, or a completion
+        // assert unwinds this frame.
+        let mut guard = DrainGuard {
+            done_rx: &self.done_rx,
+            pending: 0,
+        };
         for tx in &self.senders[..active - 1] {
             tx.send(job).expect("pool worker hung up");
+            guard.pending += 1;
         }
         f(0);
         let mut all_ok = true;
-        for _ in 1..active {
-            all_ok &= self.done_rx.recv().expect("pool worker hung up");
+        while guard.pending > 0 {
+            let ok = guard.done_rx.recv().expect("pool worker hung up");
+            guard.pending -= 1;
+            all_ok &= ok;
         }
         assert!(all_ok, "a pool worker panicked during a dispatched round");
     }
@@ -509,8 +577,10 @@ impl Engine {
     }
 
     /// Runs `f(0), …, f(active−1)` concurrently and returns when all are
-    /// done; worker 0 always runs on the calling thread.
-    pub fn run_workers<F>(&self, active: usize, f: F)
+    /// done; worker 0 always runs on the calling thread. `&mut` because the
+    /// pooled backend's dispatch channels require exclusive access (see
+    /// [`WorkerPool::run`]).
+    pub fn run_workers<F>(&mut self, active: usize, f: F)
     where
         F: Fn(usize) + Sync,
     {
@@ -826,7 +896,7 @@ mod tests {
 
     #[test]
     fn worker_pool_visits_every_index_once() {
-        let pool = WorkerPool::new(5);
+        let mut pool = WorkerPool::new(5);
         let hits: Vec<AtomicUsize> = (0..5).map(|_| AtomicUsize::new(0)).collect();
         pool.run(5, |w| {
             hits[w].fetch_add(1, Ordering::SeqCst);
@@ -836,7 +906,7 @@ mod tests {
 
     #[test]
     fn worker_pool_is_reusable_and_borrows_caller_stack() {
-        let pool = WorkerPool::new(3);
+        let mut pool = WorkerPool::new(3);
         let mut acc = vec![0usize; 3];
         for round in 1..=20 {
             let shared = SharedSlice::new(&mut acc);
@@ -852,7 +922,7 @@ mod tests {
 
     #[test]
     fn worker_pool_partial_dispatch_leaves_idle_workers_parked() {
-        let pool = WorkerPool::new(6);
+        let mut pool = WorkerPool::new(6);
         let hits: Vec<AtomicUsize> = (0..6).map(|_| AtomicUsize::new(0)).collect();
         pool.run(2, |w| {
             hits[w].fetch_add(1, Ordering::SeqCst);
@@ -863,9 +933,53 @@ mod tests {
     }
 
     #[test]
+    fn worker_pool_drains_completions_when_inline_worker_panics() {
+        let mut pool = WorkerPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(4, |w| {
+                hits[w].fetch_add(1, Ordering::SeqCst);
+                if w == 0 {
+                    panic!("inline worker dies mid-dispatch");
+                }
+            });
+        }));
+        assert!(unwound.is_err());
+        // The unwind must have drained all three pool-worker completions:
+        // a clean follow-up dispatch sees exactly its own handshakes and
+        // every worker fires exactly once more.
+        pool.run(4, |w| {
+            hits[w].fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits[0].load(Ordering::SeqCst), 2);
+        assert!(hits[1..].iter().all(|h| h.load(Ordering::SeqCst) == 2));
+    }
+
+    #[test]
+    fn worker_pool_reports_pool_worker_panic_and_stays_usable() {
+        let mut pool = WorkerPool::new(3);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(3, |w| {
+                if w == 2 {
+                    panic!("pool worker dies");
+                }
+            });
+        }));
+        assert!(
+            unwound.is_err(),
+            "a worker panic must surface to the caller"
+        );
+        let hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(3, |w| {
+            hits[w].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
     fn engine_backends_agree() {
         for backend in [Backend::Scoped, Backend::Pooled] {
-            let engine = Engine::with_backend(backend, 4);
+            let mut engine = Engine::with_backend(backend, 4);
             assert_eq!(engine.backend(), backend);
             assert_eq!(engine.workers(), 4);
             assert_eq!(engine.workers_for(2), 2);

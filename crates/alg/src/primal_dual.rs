@@ -125,7 +125,7 @@ pub fn solve_with_reference(
     // One persistent pool serves every iteration of the solve: the per-
     // iteration primal responses dispatch to already-parked workers
     // instead of spawning a fresh thread scope each time.
-    let engine = Engine::with_backend(Backend::Pooled, config.threads.resolve(n));
+    let mut engine = Engine::with_backend(Backend::Pooled, config.threads.resolve(n));
     let workers = engine.workers_for(chunk_count(n));
     let cuts = shard_bounds_aligned(n, workers, REDUCE_CHUNK);
     let mut scratch = ResponseScratch {
@@ -148,7 +148,7 @@ pub fn solve_with_reference(
     for iter in 1..=config.max_iterations {
         // Primal response at the current price (Eq. 4.6), computed locally
         // by every server.
-        let (total, utility) = primal_response(problem, lambda, &engine, &cuts, &mut scratch);
+        let (total, utility) = primal_response(problem, lambda, &mut engine, &cuts, &mut scratch);
         history.push(PrimalDualTrace {
             lambda,
             total_power: total,
@@ -190,7 +190,7 @@ pub fn solve_with_reference(
         Some((l, _)) => {
             // The primal response is a pure function of the price, so the
             // best feasible iterate is recovered by re-evaluating it.
-            primal_response(problem, l, &engine, &cuts, &mut scratch);
+            primal_response(problem, l, &mut engine, &cuts, &mut scratch);
             (l, scratch.allocation())
         }
         None => {
@@ -233,7 +233,7 @@ impl ResponseScratch {
 fn primal_response(
     problem: &PowerBudgetProblem,
     lambda: f64,
-    engine: &Engine,
+    engine: &mut Engine,
     cuts: &[usize],
     scratch: &mut ResponseScratch,
 ) -> (Watts, f64) {

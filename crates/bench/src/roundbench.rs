@@ -239,24 +239,39 @@ pub fn traced_run(n: usize, rounds: usize, threads: Threads) -> Telemetry {
         .clone()
 }
 
+/// Timed repetitions per engine in [`measure`]; the fastest is reported.
+/// One rep is at the mercy of a single scheduler hiccup on a shared
+/// runner, which matters because CI gates on the resulting speedup ratio;
+/// the minimum of three is a far lower-variance estimator of the
+/// noise-free cost and keeps the `--min-speedup` gate honest.
+pub const TIMING_REPS: usize = 3;
+
+/// Times [`TIMING_REPS`] batches of `rounds` on an already-warmed run and
+/// returns the fastest batch. Every round does the same per-node work (the
+/// batch loop never exits early on convergence), so later batches measure
+/// the same workload and continuing the trajectory across reps is fair.
+fn best_of_reps(run: &mut DibaRun, rounds: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..TIMING_REPS {
+        let start = Instant::now();
+        run.run(rounds);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
 /// Times `rounds` gossip rounds at size `n` on all three engines — serial,
-/// scoped-parallel, and pooled-parallel — and verifies their trajectories
-/// agree bitwise.
+/// scoped-parallel, and pooled-parallel (best of [`TIMING_REPS`] batches
+/// each) — and verifies their trajectories agree bitwise.
 pub fn measure(n: usize, rounds: usize, threads: Threads) -> SizeResult {
     let mut serial = run_for(n, Threads::Fixed(1), Backend::Pooled, rounds);
-    let start = Instant::now();
-    serial.run(rounds);
-    let serial_secs = start.elapsed().as_secs_f64();
+    let serial_secs = best_of_reps(&mut serial, rounds);
 
     let mut scoped = run_for(n, threads, Backend::Scoped, rounds);
-    let start = Instant::now();
-    scoped.run(rounds);
-    let scoped_secs = start.elapsed().as_secs_f64();
+    let scoped_secs = best_of_reps(&mut scoped, rounds);
 
     let mut pooled = run_for(n, threads, Backend::Pooled, rounds);
-    let start = Instant::now();
-    pooled.run(rounds);
-    let pooled_secs = start.elapsed().as_secs_f64();
+    let pooled_secs = best_of_reps(&mut pooled, rounds);
 
     let agree = |a: &DibaRun, b: &DibaRun| {
         a.allocation()
