@@ -23,7 +23,8 @@
 //! paper describes: strict feasibility throughout, immediate reaction to
 //! budget changes, and local response to local perturbations.
 
-use crate::exec::{chunked_sum, Backend, Engine, SharedSlice, SpinBarrier, Threads};
+use crate::exec::{chunked_sum, Backend, Engine, Precision, SharedSlice, SpinBarrier, Threads};
+use crate::fast::{phase_a_fast, phase_b_fast, FastRoundParams, FastState};
 use crate::problem::{AlgError, Allocation, PowerBudgetProblem};
 use crate::telemetry::{RoundRecord, Telemetry, TelemetryConfig, MAX_TIMED_SHARDS};
 use dpc_models::units::Watts;
@@ -67,6 +68,21 @@ pub struct DibaConfig {
     /// default) or spawn-per-batch [`Backend::Scoped`] threads (kept for
     /// benchmarking the pool against). Bitwise-inert like `threads`.
     pub backend: Backend,
+    /// Numerical tier of the round kernel: [`Precision::Reference`] (the
+    /// default) keeps the bitwise-deterministic scalar kernel;
+    /// [`Precision::Fast`] runs the SoA/4-wide kernel of [`crate::fast`],
+    /// which is deterministic per input but differs from the reference by
+    /// accumulated rounding, bounded by the equivalence knobs below.
+    pub precision: Precision,
+    /// Numeric-equivalence tolerance ε (watts): how far any node's final
+    /// allocation under `Precision::Fast` may sit from the reference
+    /// run's. Enforced by the `precision_equivalence` proptest suite and
+    /// the `dpc bench --precision fast` equivalence check, not by the
+    /// run itself.
+    pub equiv_eps_watts: f64,
+    /// Numeric-equivalence round slack k: how many rounds the fast tier's
+    /// convergence round may differ from the reference tier's.
+    pub equiv_rounds: usize,
     /// Round-level recording (off by default — the round loop then skips
     /// telemetry entirely). Recording never perturbs the trajectory.
     pub telemetry: TelemetryConfig,
@@ -123,6 +139,19 @@ impl DibaConfig {
                 self.eta_boost_decay
             ));
         }
+        if !self.equiv_eps_watts.is_finite() || self.equiv_eps_watts <= 0.0 {
+            return bad(format!(
+                "equiv_eps_watts = {} must be finite and positive",
+                self.equiv_eps_watts
+            ));
+        }
+        if self.equiv_rounds == 0 {
+            return bad(
+                "equiv_rounds = 0: the fast tier needs at least one round of \
+                 convergence slack"
+                    .to_string(),
+            );
+        }
         self.telemetry.validate()
     }
 }
@@ -138,6 +167,9 @@ impl Default for DibaConfig {
             eta_boost_decay: 0.995,
             threads: Threads::Auto,
             backend: Backend::Pooled,
+            precision: Precision::Reference,
+            equiv_eps_watts: 0.05,
+            equiv_rounds: 10,
             telemetry: TelemetryConfig::off(),
         }
     }
@@ -395,6 +427,15 @@ struct RoundScratch {
     /// Per-directed-slot transfer of the round in flight, CSR-aligned with
     /// the graph's adjacency array.
     transfers: Vec<f64>,
+    /// Per-node accumulated residual delta of the fast tier — phase A
+    /// materializes `d[i] = Σ(incoming − outgoing)` over the ring
+    /// directly instead of buffering transfers; empty under
+    /// `Precision::Reference`.
+    fast_deltas: Vec<f64>,
+    /// Chord-transfer slots of the fast tier (one per directed non-ring
+    /// edge, grouped by sender) — the only transfers the fast tier
+    /// buffers; empty under `Precision::Reference` or on a pure ring.
+    fast_extras: Vec<f64>,
     /// Reverse-slot map: `transfers[rev[s]]` is what the neighbor sent back
     /// over the edge whose outgoing slot is `s`.
     rev: Vec<usize>,
@@ -414,6 +455,8 @@ impl RoundScratch {
         RoundScratch {
             p_hat: vec![0.0; graph.len()],
             transfers: vec![0.0; graph.flat_neighbors().len()],
+            fast_deltas: Vec::new(),
+            fast_extras: Vec::new(),
             rev: graph.reverse_slots(),
             cuts: graph.shard_offsets(workers),
             worker_max: vec![0.0; workers],
@@ -444,6 +487,12 @@ pub struct DibaRun {
     last_max_step: f64,
     engine: Engine,
     scratch: RoundScratch,
+    /// Kernel tier of the round engine; `Reference` is bitwise, `Fast`
+    /// runs the SoA kernel held in `fast`.
+    precision: Precision,
+    /// SoA mirror of the curves for the fast kernel; populated exactly
+    /// when `precision == Fast`, so the reference path costs one pointer.
+    fast: Option<Box<FastState>>,
     /// Round recorder; `None` (the default) skips recording entirely.
     /// Boxed so the disabled path costs one pointer on the run.
     telemetry: Option<Box<Telemetry>>,
@@ -505,7 +554,17 @@ impl DibaRun {
         });
 
         let engine = Engine::with_backend(config.backend, config.threads.resolve(n));
-        let scratch = RoundScratch::for_graph(&graph, engine.workers_for(n));
+        let mut scratch = RoundScratch::for_graph(&graph, engine.workers_for(n));
+        let fast = match config.precision {
+            Precision::Reference => None,
+            Precision::Fast => Some(Box::new(FastState::new(
+                problem.utilities(),
+                &graph,
+                config.step_transfer,
+            ))),
+        };
+        scratch.fast_deltas = vec![0.0; fast.as_ref().map_or(0, |st| st.len())];
+        scratch.fast_extras = vec![0.0; fast.as_ref().map_or(0, |st| st.extras_len())];
         let telemetry = if config.telemetry.enabled {
             let mut t = Telemetry::new(config.telemetry);
             t.set_shard_work(graph.shard_work(&scratch.cuts));
@@ -533,8 +592,37 @@ impl DibaRun {
             last_max_step: f64::INFINITY,
             engine,
             scratch,
+            precision: config.precision,
+            fast,
             telemetry,
         })
+    }
+
+    /// Switches the kernel tier. `Reference` restores the bitwise scalar
+    /// kernel (and drops the SoA mirror); `Fast` builds the SoA state and
+    /// runs the vectorized kernel from the next round on. Switching mid-run
+    /// is sound — both tiers maintain the same invariants over the same
+    /// `(p, e)` state — but the trajectory from here on follows the new
+    /// tier's rounding.
+    pub fn set_precision(&mut self, precision: Precision) {
+        if precision == self.precision {
+            return;
+        }
+        self.precision = precision;
+        self.fast = match precision {
+            Precision::Reference => None,
+            Precision::Fast => Some(Box::new(FastState::new(
+                self.problem.utilities(),
+                &self.graph,
+                self.params.step_transfer,
+            ))),
+        };
+        self.sync_fast_scratch();
+    }
+
+    /// The kernel tier in effect.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Re-targets the round engine at a different worker policy. The
@@ -548,9 +636,24 @@ impl DibaRun {
         }
         if workers != self.scratch.cuts.len() - 1 {
             self.scratch = RoundScratch::for_graph(&self.graph, workers);
+            self.sync_fast_scratch();
             if let Some(t) = self.telemetry.as_mut() {
                 t.set_shard_work(self.graph.shard_work(&self.scratch.cuts));
             }
+        }
+    }
+
+    /// Re-sizes the fast-tier delta and extras buffers to match the
+    /// current kernel tier (empty under `Reference`; one slot per node
+    /// and per directed chord edge otherwise).
+    fn sync_fast_scratch(&mut self) {
+        let len = self.fast.as_ref().map_or(0, |st| st.len());
+        if self.scratch.fast_deltas.len() != len {
+            self.scratch.fast_deltas = vec![0.0; len];
+        }
+        let xlen = self.fast.as_ref().map_or(0, |st| st.extras_len());
+        if self.scratch.fast_extras.len() != xlen {
+            self.scratch.fast_extras = vec![0.0; xlen];
         }
     }
 
@@ -659,12 +762,16 @@ impl DibaRun {
     /// The round engine. Each round is receiver-centric and two-phase:
     ///
     /// * **Phase A** — every node computes its kernel from the previous
-    ///   round's state, writing its power move into `p_hat[i]` and its
-    ///   final (backtracked) per-neighbor transfers into the CSR-aligned
-    ///   `transfers` slots it owns.
-    /// * **Phase B** — every node folds its residual delta from its own
-    ///   slot range in ascending order — `Σ (incoming − outgoing)` via the
-    ///   reverse-slot map — and applies `p[i] += p̂ᵢ`, `e[i] += p̂ᵢ + d`.
+    ///   round's state, writing its power move into `p_hat[i]` and, on
+    ///   the reference tier, its final (backtracked) per-neighbor
+    ///   transfers into its CSR-aligned `transfers` slots; the fast tier
+    ///   materializes the already-folded residual delta `d[i]` instead
+    ///   (transfers are pure functions of sealed state, so both edge
+    ///   endpoints recompute them bitwise rather than buffering them).
+    /// * **Phase B** — every node folds its residual delta in a fixed
+    ///   order — `Σ (incoming − outgoing)` via the reverse-slot map
+    ///   (reference) or the materialized `d[i]` (fast) — and applies
+    ///   `p[i] += p̂ᵢ`, `e[i] += p̂ᵢ + d`.
     ///
     /// Every array element is written by exactly one node in a fixed
     /// fold order, so the trajectory is a pure function of the previous
@@ -696,12 +803,18 @@ impl DibaRun {
         {
             let problem = &self.problem;
             let graph = &self.graph;
+            // Kernel tier, hoisted: `None` runs the bitwise reference
+            // kernel, `Some` the SoA fast kernel — one branch per round
+            // per worker, nothing per node.
+            let fast = self.fast.as_deref();
             let rev = &self.scratch.rev;
             let cuts = &self.scratch.cuts;
             let p = SharedSlice::new(&mut self.p);
             let e = SharedSlice::new(&mut self.e);
             let p_hat = SharedSlice::new(&mut self.scratch.p_hat);
             let transfers = SharedSlice::new(&mut self.scratch.transfers);
+            let fast_deltas = SharedSlice::new(&mut self.scratch.fast_deltas);
+            let fast_extras = SharedSlice::new(&mut self.scratch.fast_extras);
             let worker_max = SharedSlice::new(&mut self.scratch.worker_max);
             let ctl_cell = SharedSlice::new(std::slice::from_mut(&mut ctl));
             let nanos = SharedSlice::new(&mut self.scratch.phase_nanos);
@@ -718,24 +831,60 @@ impl DibaRun {
                     // SAFETY: read-only access between barriers.
                     let rp = unsafe { ctl_cell.slice(0..1) }[0].round_params();
                     let t0 = if time_on { Some(Instant::now()) } else { None };
-                    let local_max = phase_a(
-                        problem,
-                        graph,
-                        &rp,
-                        &p,
-                        &e,
-                        range.clone(),
-                        &p_hat,
-                        &transfers,
-                    );
+                    let local_max = match fast {
+                        None => phase_a(
+                            problem,
+                            graph,
+                            &rp,
+                            &p,
+                            &e,
+                            range.clone(),
+                            &p_hat,
+                            &transfers,
+                        ),
+                        Some(st) => {
+                            phase_a_fast(
+                                st,
+                                &FastRoundParams {
+                                    eta: rp.eta,
+                                    margin: rp.margin,
+                                    step_power: rp.step_power,
+                                },
+                                &p,
+                                &e,
+                                range.clone(),
+                                &p_hat,
+                                &fast_deltas,
+                                &fast_extras,
+                            );
+                            // The fast tier folds max |dp| in phase B
+                            // (which streams p_hat anyway).
+                            0.0
+                        }
+                    };
                     if let Some(t0) = t0 {
                         // SAFETY: slot w is ours alone.
                         unsafe { nanos.write(w, t0.elapsed().as_nanos() as u64) };
                     }
-                    // SAFETY: slot w is ours alone.
-                    unsafe { worker_max.write(w, local_max) };
                     barrier.wait(); // all transfers + p_hat written
-                    phase_b(graph, rev, range.clone(), &p, &e, &p_hat, &transfers);
+                    let local_max = match fast {
+                        None => {
+                            phase_b(graph, rev, range.clone(), &p, &e, &p_hat, &transfers);
+                            local_max
+                        }
+                        Some(st) => phase_b_fast(
+                            st,
+                            range.clone(),
+                            &p,
+                            &e,
+                            &p_hat,
+                            &fast_deltas,
+                            &fast_extras,
+                        ),
+                    };
+                    // SAFETY: slot w is ours alone; worker 0 only folds the
+                    // maxima after the next barrier seals them.
+                    unsafe { worker_max.write(w, local_max) };
                     barrier.wait(); // all (p, e) updated, worker maxima in
                     if w == 0 {
                         // f64::max is exactly associative on these NaN-free
@@ -896,6 +1045,9 @@ impl DibaRun {
         self.problem = PowerBudgetProblem::new(utilities, budget)
             .expect("replacing one utility keeps the problem non-empty");
         let u = self.problem.utility(i);
+        if let Some(fast) = self.fast.as_mut() {
+            fast.replace_utility(i, u);
+        }
         let clamped = self.p[i].clamp(u.p_min().0, u.p_max().0);
         self.e[i] += clamped - self.p[i];
         self.p[i] = clamped;
@@ -1049,6 +1201,18 @@ mod tests {
                 ..DibaConfig::default()
             },
             DibaConfig {
+                equiv_eps_watts: f64::NAN,
+                ..DibaConfig::default()
+            },
+            DibaConfig {
+                equiv_eps_watts: -0.5,
+                ..DibaConfig::default()
+            },
+            DibaConfig {
+                equiv_rounds: 0,
+                ..DibaConfig::default()
+            },
+            DibaConfig {
                 telemetry: crate::telemetry::TelemetryConfig {
                     enabled: true,
                     capacity: 0,
@@ -1089,6 +1253,69 @@ mod tests {
                                         // Sharding metadata is attached; timings stay zero unless opted in.
         assert!(!tel.shard_work().is_empty());
         assert!(last.shard_nanos.iter().all(|&ns| ns == 0));
+    }
+
+    #[test]
+    fn fast_tier_converges_feasibly_and_conserves() {
+        let p = problem(100, 16_600.0, 3);
+        let opt = p.total_utility(&centralized::solve(&p).allocation);
+        let config = DibaConfig {
+            precision: Precision::Fast,
+            ..DibaConfig::default()
+        };
+        let mut run = DibaRun::new(p.clone(), Graph::ring(100), config).unwrap();
+        assert_eq!(run.precision(), Precision::Fast);
+        let rounds = run.run_until_within(opt, 0.01, 5_000);
+        assert!(rounds.is_some(), "fast tier never converged");
+        assert!(run.total_power() <= p.budget() + Watts(1e-6));
+        assert!(run.invariant_drift() < 1e-6, "fast tier leaks Σe");
+        for (u, &pw) in p.utilities().iter().zip(run.allocation().powers()) {
+            assert!(pw >= u.p_min() - Watts(1e-9) && pw <= u.p_max() + Watts(1e-9));
+        }
+    }
+
+    #[test]
+    fn set_precision_switches_tier_mid_run() {
+        let (p, mut run) = run_on_ring(60, 10_000.0, 2);
+        run.run(50);
+        run.set_precision(Precision::Fast);
+        assert_eq!(run.precision(), Precision::Fast);
+        run.run(200);
+        assert!(run.total_power() <= p.budget() + Watts(1e-6));
+        assert!(run.invariant_drift() < 1e-6);
+        run.set_precision(Precision::Reference);
+        assert_eq!(run.precision(), Precision::Reference);
+        run.run(50);
+        assert!(run.invariant_drift() < 1e-6);
+    }
+
+    #[test]
+    fn fast_tier_tracks_workload_changes() {
+        // `replace_utility` must re-mirror the SoA row, or the fast
+        // kernel keeps optimizing the stale curve.
+        use dpc_models::throughput::CurveParams;
+        let config = DibaConfig {
+            precision: Precision::Fast,
+            ..DibaConfig::default()
+        };
+        let p = problem(40, 6_800.0, 10);
+        let mut run = DibaRun::new(p, Graph::ring(40), config).unwrap();
+        run.run(300);
+        let u = *run.problem().utility(20);
+        let steep = CurveParams::for_memory_boundedness(0.0).utility(u.p_min(), u.p_max());
+        run.replace_utility(20, steep);
+        run.run(400);
+        // The steepest curve in the cluster should now hold above-average
+        // power; with a stale mirror it would sit where the old curve did.
+        let total = run.total_power().0;
+        let mean = total / 40.0;
+        assert!(
+            run.allocation().power(20).0 > mean,
+            "changed node not re-optimized: {} vs mean {}",
+            run.allocation().power(20).0,
+            mean
+        );
+        assert!(run.invariant_drift() < 1e-6);
     }
 
     #[test]

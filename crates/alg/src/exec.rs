@@ -221,6 +221,55 @@ pub enum Backend {
     Scoped,
 }
 
+/// Numerical contract of the round kernels.
+///
+/// `Reference` (the default) is the bitwise tier: strict program order,
+/// scalar f64, no reassociation — every engine, worker count, and batch
+/// size reproduces the exact same `(p, e)` bits, which is what the
+/// determinism proptests and the checked-in reference trace pin.
+///
+/// `Fast` trades byte equality for throughput: the kernel runs over an
+/// SoA copy of the curve coefficients, processes nodes in 4-wide unrolled
+/// lanes, hoists the per-transfer division into a precomputed per-node
+/// reciprocal, and reassociates shard-local reductions. It is *still*
+/// deterministic — the same input always produces the same bits, for any
+/// worker count — but those bits differ from `Reference` by accumulated
+/// rounding. The contract it honors instead is **numeric equivalence**:
+/// final allocations within the configured ε of the reference run and the
+/// convergence round within ±k (see `DibaConfig::{equiv_eps_watts,
+/// equiv_rounds}`), enforced by the `precision_equivalence` proptest
+/// suite and the `dpc bench --precision fast` CI gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Bitwise-deterministic scalar kernels (the reference tier).
+    #[default]
+    Reference,
+    /// Vectorized, reassociated kernels gated by numeric equivalence.
+    Fast,
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Precision::Reference => f.write_str("reference"),
+            Precision::Fast => f.write_str("fast"),
+        }
+    }
+}
+
+impl std::str::FromStr for Precision {
+    type Err = String;
+
+    /// Parses `reference` or `fast`; the error names the offending value.
+    fn from_str(s: &str) -> Result<Precision, String> {
+        match s.trim() {
+            "reference" => Ok(Precision::Reference),
+            "fast" => Ok(Precision::Fast),
+            other => Err(format!("expected `reference` or `fast`, got `{other}`")),
+        }
+    }
+}
+
 /// A reusable two-phase barrier for round-structured kernels.
 ///
 /// Sense-reversing with a generation counter: the last arriver resets the
@@ -837,6 +886,19 @@ mod tests {
         assert_eq!(Threads::Auto.resolve(10), 1); // below cutover: serial
         assert_eq!(format!("{}", Threads::Auto), "auto");
         assert_eq!(format!("{}", Threads::Fixed(7)), "7");
+    }
+
+    #[test]
+    fn precision_parses_and_displays() {
+        assert_eq!("reference".parse::<Precision>(), Ok(Precision::Reference));
+        assert_eq!(" fast ".parse::<Precision>(), Ok(Precision::Fast));
+        assert_eq!(Precision::default(), Precision::Reference);
+        assert_eq!(format!("{}", Precision::Reference), "reference");
+        assert_eq!(format!("{}", Precision::Fast), "fast");
+        // The parse error names the bad value.
+        let err = "turbo".parse::<Precision>().unwrap_err();
+        assert!(err.contains("`turbo`"), "{err}");
+        assert!(err.contains("reference") && err.contains("fast"), "{err}");
     }
 
     #[test]

@@ -14,7 +14,13 @@
 //!   execution substrate (threads, simulator, wire runtime);
 //! * [`problem`] — the shared problem/allocation types;
 //! * [`telemetry`] — round-level recording (residuals, messages, fault
-//!   events, shard timings) with JSONL/CSV/Prometheus sinks.
+//!   events, shard timings) with JSONL/CSV/Prometheus sinks;
+//! * [`exec`] — the deterministic sharded round engine (worker pool,
+//!   barriers, chunked reductions, the [`exec::Threads`] /
+//!   [`exec::Precision`] policy knobs);
+//! * [`fast`] — the `Precision::Fast` kernel tier: SoA curve layout,
+//!   4-wide unrolled lanes, precomputed reciprocals, gated by numeric
+//!   equivalence instead of byte equality.
 //!
 //! ```
 //! use dpc_alg::{centralized, diba::{DibaConfig, DibaRun}, problem::PowerBudgetProblem};
@@ -39,6 +45,7 @@ pub mod centralized;
 pub mod diba;
 pub mod diba_async;
 pub mod exec;
+pub mod fast;
 pub mod faults;
 pub mod hierarchy;
 pub mod knapsack;

@@ -8,7 +8,8 @@
 
 use crate::centralized;
 use crate::exec::{
-    chunk_count, shard_bounds_aligned, Backend, Engine, SharedSlice, Threads, REDUCE_CHUNK,
+    chunk_count, shard_bounds_aligned, Backend, Engine, Precision, SharedSlice, Threads,
+    REDUCE_CHUNK,
 };
 use crate::problem::{Allocation, PowerBudgetProblem};
 use dpc_models::units::Watts;
@@ -31,6 +32,13 @@ pub struct PrimalDualConfig {
     /// bitwise identical for every worker count (the reductions are
     /// fixed-chunk — see [`crate::exec`]).
     pub threads: Threads,
+    /// Numerical tier of the primal response: [`Precision::Reference`]
+    /// (the default) sums each reduction chunk in strict program order;
+    /// [`Precision::Fast`] accumulates each chunk over 4 independent
+    /// lanes (vectorizable, still a fixed reassociation — results remain
+    /// identical for every worker count, they just differ from the
+    /// reference tier by rounding).
+    pub precision: Precision,
 }
 
 impl Default for PrimalDualConfig {
@@ -40,6 +48,7 @@ impl Default for PrimalDualConfig {
             max_iterations: 500,
             rel_tol: 0.01,
             threads: Threads::Auto,
+            precision: Precision::Reference,
         }
     }
 }
@@ -148,7 +157,14 @@ pub fn solve_with_reference(
     for iter in 1..=config.max_iterations {
         // Primal response at the current price (Eq. 4.6), computed locally
         // by every server.
-        let (total, utility) = primal_response(problem, lambda, &mut engine, &cuts, &mut scratch);
+        let (total, utility) = primal_response(
+            problem,
+            lambda,
+            config.precision,
+            &mut engine,
+            &cuts,
+            &mut scratch,
+        );
         history.push(PrimalDualTrace {
             lambda,
             total_power: total,
@@ -190,7 +206,14 @@ pub fn solve_with_reference(
         Some((l, _)) => {
             // The primal response is a pure function of the price, so the
             // best feasible iterate is recovered by re-evaluating it.
-            primal_response(problem, l, &mut engine, &cuts, &mut scratch);
+            primal_response(
+                problem,
+                l,
+                config.precision,
+                &mut engine,
+                &cuts,
+                &mut scratch,
+            );
             (l, scratch.allocation())
         }
         None => {
@@ -229,10 +252,15 @@ impl ResponseScratch {
 /// The node loop is sharded over `engine`'s workers along the chunk-aligned
 /// `cuts`; each worker writes only its own slice of `powers` and its own
 /// per-chunk partial sums, which are then folded in ascending chunk order.
-/// The result is therefore bitwise identical for any worker count.
+/// Under [`Precision::Reference`] each chunk accumulates in strict program
+/// order; under [`Precision::Fast`] each chunk accumulates over 4
+/// independent lanes folded in a fixed lane order. Either way the chunk
+/// layout — and hence the result — is bitwise identical for any worker
+/// count; only the tiers differ from each other, by rounding.
 fn primal_response(
     problem: &PowerBudgetProblem,
     lambda: f64,
+    precision: Precision,
     engine: &mut Engine,
     cuts: &[usize],
     scratch: &mut ResponseScratch,
@@ -247,18 +275,13 @@ fn primal_response(
             let mut start = range.start;
             while start < range.end {
                 let end = (start + REDUCE_CHUNK).min(range.end);
-                let mut power_sum = 0.0;
-                let mut utility_sum = 0.0;
-                for i in start..end {
-                    let u = problem.utility(i);
-                    let p = u.argmax_minus_price(lambda);
-                    // SAFETY: shards are disjoint and chunk-aligned, so
-                    // node `i` and chunk `start / REDUCE_CHUNK` are owned
-                    // exclusively by this worker.
-                    unsafe { powers.write(i, p.0) };
-                    power_sum += p.0;
-                    utility_sum += u.value(p);
-                }
+                let (power_sum, utility_sum) = match precision {
+                    Precision::Reference => response_chunk(problem, lambda, start, end, &powers),
+                    Precision::Fast => response_chunk_fast(problem, lambda, start, end, &powers),
+                };
+                // SAFETY: shards are chunk-aligned, so chunk
+                // `start / REDUCE_CHUNK` is owned exclusively by this
+                // worker.
                 unsafe {
                     power_partials.write(start / REDUCE_CHUNK, power_sum);
                     utility_partials.write(start / REDUCE_CHUNK, utility_sum);
@@ -270,6 +293,73 @@ fn primal_response(
     let total: f64 = scratch.power_partials.iter().sum();
     let utility: f64 = scratch.utility_partials.iter().sum();
     (Watts(total), utility)
+}
+
+/// One reduction chunk of the primal response, summed in strict program
+/// order (the bitwise reference tier).
+fn response_chunk(
+    problem: &PowerBudgetProblem,
+    lambda: f64,
+    start: usize,
+    end: usize,
+    powers: &SharedSlice<'_, f64>,
+) -> (f64, f64) {
+    let mut power_sum = 0.0;
+    let mut utility_sum = 0.0;
+    for i in start..end {
+        let u = problem.utility(i);
+        let p = u.argmax_minus_price(lambda);
+        // SAFETY: shards are disjoint and chunk-aligned, so node `i` is
+        // owned exclusively by this worker.
+        unsafe { powers.write(i, p.0) };
+        power_sum += p.0;
+        utility_sum += u.value(p);
+    }
+    (power_sum, utility_sum)
+}
+
+/// One reduction chunk of the primal response, accumulated over 4
+/// independent lanes folded pairwise — a fixed reassociation the fast
+/// tier is allowed, which breaks the loop-carried dependency chain and
+/// lets the adds pipeline/vectorize.
+fn response_chunk_fast(
+    problem: &PowerBudgetProblem,
+    lambda: f64,
+    start: usize,
+    end: usize,
+    powers: &SharedSlice<'_, f64>,
+) -> (f64, f64) {
+    const LANES: usize = 4;
+    let mut pow = [0.0_f64; LANES];
+    let mut util = [0.0_f64; LANES];
+    let len = end - start;
+    let main = len - len % LANES;
+    let mut k = 0;
+    while k < main {
+        for l in 0..LANES {
+            let i = start + k + l;
+            let u = problem.utility(i);
+            let p = u.argmax_minus_price(lambda);
+            // SAFETY: shards are disjoint and chunk-aligned, so node `i`
+            // is owned exclusively by this worker.
+            unsafe { powers.write(i, p.0) };
+            pow[l] += p.0;
+            util[l] += u.value(p);
+        }
+        k += LANES;
+    }
+    for i in start + main..end {
+        let u = problem.utility(i);
+        let p = u.argmax_minus_price(lambda);
+        // SAFETY: as above.
+        unsafe { powers.write(i, p.0) };
+        pow[0] += p.0;
+        util[0] += u.value(p);
+    }
+    (
+        (pow[0] + pow[1]) + (pow[2] + pow[3]),
+        (util[0] + util[1]) + (util[2] + util[3]),
+    )
 }
 
 #[cfg(test)]
@@ -363,13 +453,57 @@ mod tests {
     }
 
     #[test]
+    fn fast_precision_agrees_with_reference_and_stays_thread_invariant() {
+        // Spans several reduction chunks so the fast lanes genuinely run.
+        let p = problem(10_000, 1_650_000.0, 7);
+        let reference = solve(&p, &PrimalDualConfig::default());
+        let fast_cfg = PrimalDualConfig {
+            precision: Precision::Fast,
+            threads: Threads::Fixed(1),
+            ..Default::default()
+        };
+        let fast = solve(&p, &fast_cfg);
+        assert!(fast.converged);
+        // Numeric equivalence: same λ and allocation to far below a watt.
+        assert!(
+            (fast.lambda - reference.lambda).abs() / reference.lambda.max(1e-12) < 1e-6,
+            "λ {} vs {}",
+            fast.lambda,
+            reference.lambda
+        );
+        for (a, b) in fast
+            .allocation
+            .powers()
+            .iter()
+            .zip(reference.allocation.powers())
+        {
+            assert!((a.0 - b.0).abs() < 1e-3, "{a} vs {b}");
+        }
+        // The fast tier keeps worker-count invariance (fixed chunk
+        // reassociation): every thread count reproduces the same bits.
+        for threads in [2, 3, 7] {
+            let r = solve(
+                &p,
+                &PrimalDualConfig {
+                    threads: Threads::Fixed(threads),
+                    ..fast_cfg
+                },
+            );
+            assert_eq!(r.lambda.to_bits(), fast.lambda.to_bits(), "{threads}");
+            for (a, b) in r.allocation.powers().iter().zip(fast.allocation.powers()) {
+                assert_eq!(a.0.to_bits(), b.0.to_bits(), "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
     fn tiny_step_hits_iteration_budget_without_panicking() {
         let p = problem(30, 4_900.0, 6);
         let cfg = PrimalDualConfig {
             step: Some(1e-15),
             max_iterations: 10,
             rel_tol: 0.01,
-            threads: Threads::Auto,
+            ..Default::default()
         };
         let r = solve(&p, &cfg);
         assert!(!r.converged);

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpc_alg::diba::{DibaConfig, DibaRun};
-use dpc_alg::exec::{host_parallelism, Backend, Threads};
+use dpc_alg::exec::{host_parallelism, Backend, Precision, Threads};
 use dpc_alg::knapsack;
 use dpc_alg::primal_dual::{self, PrimalDualConfig};
 use dpc_alg::problem::PowerBudgetProblem;
@@ -124,6 +124,47 @@ fn bench_diba_round_pooled(c: &mut Criterion) {
     g.finish();
 }
 
+/// Reference vs fast kernel tier on the serial and pooled engines, at
+/// N ∈ {1k, 10k, 100k}. The fast tier's advantage is the SoA layout, the
+/// 4-wide unrolled kernel lanes, and the hoisted per-node reciprocal; the
+/// reference tier keeps the bitwise-reproducible trajectory. Compare
+/// `serial-fast` against `serial-reference` for the thread-independent
+/// kernel speedup.
+fn bench_diba_round_fast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diba_round_fast");
+    g.sample_size(20);
+    let workers = host_parallelism();
+    let variants: [(&str, Threads, Precision); 4] = [
+        ("serial-reference", Threads::Fixed(1), Precision::Reference),
+        ("serial-fast", Threads::Fixed(1), Precision::Fast),
+        (
+            "pooled-reference",
+            Threads::Fixed(workers),
+            Precision::Reference,
+        ),
+        ("pooled-fast", Threads::Fixed(workers), Precision::Fast),
+    ];
+    for n in [1_000usize, 10_000, 100_000] {
+        let p = problem(n);
+        for (name, threads, precision) in variants {
+            let cfg = DibaConfig {
+                threads,
+                precision,
+                ..DibaConfig::default()
+            };
+            let mut run = DibaRun::new(p.clone(), Graph::ring(n), cfg).unwrap();
+            run.run(50); // past the initial transient
+            g.bench_with_input(BenchmarkId::new(name, n), &(), |b, _| {
+                b.iter(|| {
+                    run.step();
+                    black_box(run.last_max_step())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
 /// The uniform baseline (the re-allocation cost every budget change pays).
 fn bench_uniform(c: &mut Criterion) {
     let mut g = c.benchmark_group("uniform_allocation");
@@ -176,6 +217,7 @@ criterion_group!(
     bench_diba_round,
     bench_diba_round_parallel,
     bench_diba_round_pooled,
+    bench_diba_round_fast,
     bench_uniform,
     bench_knapsack,
     bench_coordinator_queue,

@@ -319,6 +319,7 @@ pub fn fig4_4(n: usize, minutes: usize) -> String {
         phase_mean: None,
         record_allocations: false,
         threads: dpc_alg::exec::Threads::Auto,
+        precision: dpc_alg::exec::Precision::Reference,
         faults: None,
         telemetry: dpc_alg::telemetry::TelemetryConfig::off(),
     };
@@ -420,6 +421,7 @@ pub fn fig4_7(n: usize, minutes: usize) -> String {
         phase_mean: None,
         record_allocations: false,
         threads: dpc_alg::exec::Threads::Auto,
+        precision: dpc_alg::exec::Precision::Reference,
         faults: None,
         telemetry: dpc_alg::telemetry::TelemetryConfig::off(),
     };

@@ -1,18 +1,21 @@
 //! Round-engine throughput benchmark (`dpc bench`).
 //!
 //! Times DiBA gossip rounds per second with the serial engine, the
-//! spawn-per-batch scoped engine, and the persistent worker pool at several
-//! cluster sizes, checks that all three produce bitwise-identical
-//! trajectories, and renders the measurements as a JSON report (written to
+//! spawn-per-batch scoped engine, the persistent worker pool, and the
+//! serial `Precision::Fast` kernel tier at several cluster sizes, checks
+//! that the three reference engines produce bitwise-identical
+//! trajectories and the fast tier lands within the numeric-equivalence
+//! budget, and renders the measurements as a JSON report (written to
 //! `BENCH_round_engine.json` by the CLI).
 //!
-//! The speedup columns only show parallel gains on a multi-core host; the
+//! The parallel speedup columns only show gains on a multi-core host; the
 //! report records the measured thread counts — and a named
 //! [`BenchWarning`] when the requested count exceeds the host — so a
-//! single-core result is not mistaken for an engine regression.
+//! single-core result is not mistaken for an engine regression. The fast
+//! column compares two serial runs, so it is meaningful on any host.
 
 use dpc_alg::diba::{DibaConfig, DibaRun};
-use dpc_alg::exec::{host_parallelism, Backend, Threads};
+use dpc_alg::exec::{host_parallelism, Backend, Precision, Threads};
 use dpc_alg::problem::PowerBudgetProblem;
 use dpc_alg::telemetry::{Telemetry, TelemetryConfig};
 use dpc_models::units::Watts;
@@ -72,9 +75,14 @@ pub struct SizeResult {
     pub scoped_secs: f64,
     /// Wall-clock for the persistent-pool parallel engine.
     pub pooled_secs: f64,
-    /// Whether all three engines produced bitwise-identical `(p, e)`
-    /// states.
+    /// Wall-clock for the serial `Precision::Fast` kernel tier.
+    pub fast_secs: f64,
+    /// Whether all three reference engines produced bitwise-identical
+    /// `(p, e)` states.
     pub bitwise_identical: bool,
+    /// Largest per-node allocation difference (W) between the fast tier
+    /// and the serial reference after the same number of rounds.
+    pub fast_max_dev_watts: f64,
 }
 
 impl SizeResult {
@@ -102,6 +110,24 @@ impl SizeResult {
     pub fn pooled_speedup(&self) -> f64 {
         self.serial_secs / self.pooled_secs.max(1e-12)
     }
+
+    /// Fast-tier throughput in rounds per second.
+    pub fn fast_rounds_per_sec(&self) -> f64 {
+        self.rounds as f64 / self.fast_secs.max(1e-12)
+    }
+
+    /// Fast-tier speedup over the serial reference (> 1 is faster). Both
+    /// runs are single-threaded, so this ratio is meaningful even on a
+    /// single-core host.
+    pub fn fast_speedup(&self) -> f64 {
+        self.serial_secs / self.fast_secs.max(1e-12)
+    }
+
+    /// Whether the fast tier stayed within the numeric-equivalence budget
+    /// `eps` (watts, per node) of the serial reference.
+    pub fn fast_within_eps(&self, eps: f64) -> bool {
+        self.fast_max_dev_watts <= eps
+    }
 }
 
 /// The full `dpc bench` report.
@@ -111,6 +137,8 @@ pub struct RoundBenchReport {
     pub threads: usize,
     /// The host's available parallelism (1 explains a speedup near 1).
     pub host_parallelism: usize,
+    /// Numeric-equivalence budget (W, per node) the fast tier is held to.
+    pub equiv_eps_watts: f64,
     /// Named conditions that explain the numbers (e.g. oversubscription).
     pub warnings: Vec<BenchWarning>,
     /// Per-size measurements.
@@ -128,6 +156,10 @@ impl RoundBenchReport {
             "  \"host_parallelism\": {},\n",
             self.host_parallelism
         ));
+        out.push_str(&format!(
+            "  \"equiv_eps_watts\": {},\n",
+            self.equiv_eps_watts
+        ));
         out.push_str("  \"warnings\": [");
         for (k, w) in self.warnings.iter().enumerate() {
             if k > 0 {
@@ -143,23 +175,37 @@ impl RoundBenchReport {
         out.push_str("  \"results\": [\n");
         for (k, r) in self.results.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"n\": {}, \"rounds\": {}, \"serial_secs\": {:.6}, \
+                "    {{\"n\": {}, \"rounds\": {}, \"host_parallelism\": {}, \
+                 \"serial_secs\": {:.6}, \
                  \"scoped_secs\": {:.6}, \"pooled_secs\": {:.6}, \
+                 \"fast_secs\": {:.6}, \
                  \"serial_rounds_per_sec\": {:.1}, \
                  \"scoped_rounds_per_sec\": {:.1}, \
                  \"pooled_rounds_per_sec\": {:.1}, \
+                 \"fast_rounds_per_sec\": {:.1}, \
                  \"scoped_speedup\": {:.3}, \"pooled_speedup\": {:.3}, \
+                 \"fast_speedup\": {:.3}, \
+                 \"serial_precision\": \"{}\", \"fast_precision\": \"{}\", \
+                 \"fast_max_dev_watts\": {:.3e}, \"fast_within_eps\": {}, \
                  \"bitwise_identical\": {}}}{}\n",
                 r.n,
                 r.rounds,
+                self.host_parallelism,
                 r.serial_secs,
                 r.scoped_secs,
                 r.pooled_secs,
+                r.fast_secs,
                 r.serial_rounds_per_sec(),
                 r.scoped_rounds_per_sec(),
                 r.pooled_rounds_per_sec(),
+                r.fast_rounds_per_sec(),
                 r.scoped_speedup(),
                 r.pooled_speedup(),
+                r.fast_speedup(),
+                Precision::Reference,
+                Precision::Fast,
+                r.fast_max_dev_watts,
+                r.fast_within_eps(self.equiv_eps_watts),
                 r.bitwise_identical,
                 if k + 1 < self.results.len() { "," } else { "" },
             ));
@@ -178,23 +224,30 @@ impl RoundBenchReport {
             out.push_str(&format!("warning: {w}\n"));
         }
         out.push_str(&format!(
-            "\n{:>8}  {:>7}  {:>12}  {:>12}  {:>12}  {:>8}  {:>8}  bitwise\n",
-            "n", "rounds", "serial r/s", "scoped r/s", "pooled r/s", "scoped", "pooled",
+            "\n{:>8}  {:>7}  {:>12}  {:>12}  {:>12}  {:>12}  {:>8}  {:>8}  {:>8}  bitwise  fast-dev\n",
+            "n", "rounds", "serial r/s", "scoped r/s", "pooled r/s", "fast r/s", "scoped", "pooled", "fast",
         ));
         for r in &self.results {
             out.push_str(&format!(
-                "{:>8}  {:>7}  {:>12.1}  {:>12.1}  {:>12.1}  {:>7.2}x  {:>7.2}x  {}\n",
+                "{:>8}  {:>7}  {:>12.1}  {:>12.1}  {:>12.1}  {:>12.1}  {:>7.2}x  {:>7.2}x  {:>7.2}x  {:>7}  {}\n",
                 r.n,
                 r.rounds,
                 r.serial_rounds_per_sec(),
                 r.scoped_rounds_per_sec(),
                 r.pooled_rounds_per_sec(),
+                r.fast_rounds_per_sec(),
                 r.scoped_speedup(),
                 r.pooled_speedup(),
+                r.fast_speedup(),
                 if r.bitwise_identical {
                     "ok"
                 } else {
                     "MISMATCH"
+                },
+                if r.fast_within_eps(self.equiv_eps_watts) {
+                    format!("{:.1e} W ok", r.fast_max_dev_watts)
+                } else {
+                    format!("{:.1e} W EXCEEDS {} W", r.fast_max_dev_watts, self.equiv_eps_watts)
                 },
             ));
         }
@@ -202,13 +255,20 @@ impl RoundBenchReport {
     }
 }
 
-fn run_for(n: usize, threads: Threads, backend: Backend, rounds: usize) -> DibaRun {
+fn run_for(
+    n: usize,
+    threads: Threads,
+    backend: Backend,
+    precision: Precision,
+    rounds: usize,
+) -> DibaRun {
     let cluster = ClusterBuilder::new(n).seed(0).build();
     let problem = PowerBudgetProblem::new(cluster.utilities(), Watts(172.0 * n as f64))
         .expect("172 W/server is feasible for every generated cluster");
     let config = DibaConfig {
         threads,
         backend,
+        precision,
         ..DibaConfig::default()
     };
     let mut run = DibaRun::new(problem, Graph::ring_with_chords(n, (n / 64).max(2)), config)
@@ -260,18 +320,37 @@ fn best_of_reps(run: &mut DibaRun, rounds: usize) -> f64 {
     best
 }
 
-/// Times `rounds` gossip rounds at size `n` on all three engines — serial,
-/// scoped-parallel, and pooled-parallel (best of [`TIMING_REPS`] batches
-/// each) — and verifies their trajectories agree bitwise.
+/// Times `rounds` gossip rounds at size `n` on all four engines — serial,
+/// scoped-parallel, pooled-parallel, and the serial fast tier (best of
+/// [`TIMING_REPS`] batches each) — verifies the three reference
+/// trajectories agree bitwise, and records how far the fast tier's final
+/// allocation drifts from the serial reference. Every run executes the
+/// same warm-up plus `TIMING_REPS × rounds` schedule, so the final states
+/// are directly comparable.
 pub fn measure(n: usize, rounds: usize, threads: Threads) -> SizeResult {
-    let mut serial = run_for(n, Threads::Fixed(1), Backend::Pooled, rounds);
+    let mut serial = run_for(
+        n,
+        Threads::Fixed(1),
+        Backend::Pooled,
+        Precision::Reference,
+        rounds,
+    );
     let serial_secs = best_of_reps(&mut serial, rounds);
 
-    let mut scoped = run_for(n, threads, Backend::Scoped, rounds);
+    let mut scoped = run_for(n, threads, Backend::Scoped, Precision::Reference, rounds);
     let scoped_secs = best_of_reps(&mut scoped, rounds);
 
-    let mut pooled = run_for(n, threads, Backend::Pooled, rounds);
+    let mut pooled = run_for(n, threads, Backend::Pooled, Precision::Reference, rounds);
     let pooled_secs = best_of_reps(&mut pooled, rounds);
+
+    let mut fast = run_for(
+        n,
+        Threads::Fixed(1),
+        Backend::Pooled,
+        Precision::Fast,
+        rounds,
+    );
+    let fast_secs = best_of_reps(&mut fast, rounds);
 
     let agree = |a: &DibaRun, b: &DibaRun| {
         a.allocation()
@@ -281,13 +360,22 @@ pub fn measure(n: usize, rounds: usize, threads: Threads) -> SizeResult {
             .all(|(x, y)| x.0.to_bits() == y.0.to_bits())
     };
     let bitwise_identical = agree(&serial, &scoped) && agree(&serial, &pooled);
+    let fast_max_dev_watts = serial
+        .allocation()
+        .powers()
+        .iter()
+        .zip(fast.allocation().powers())
+        .map(|(x, y)| (x.0 - y.0).abs())
+        .fold(0.0, f64::max);
     SizeResult {
         n,
         rounds,
         serial_secs,
         scoped_secs,
         pooled_secs,
+        fast_secs,
         bitwise_identical,
+        fast_max_dev_watts,
     }
 }
 
@@ -322,6 +410,7 @@ pub fn run_round_bench(
     RoundBenchReport {
         threads: effective_threads,
         host_parallelism: host,
+        equiv_eps_watts: DibaConfig::default().equiv_eps_watts,
         warnings,
         results,
     }
@@ -336,7 +425,14 @@ mod tests {
         let r = measure(600, 40, Threads::Fixed(3));
         assert!(r.bitwise_identical);
         assert!(r.serial_secs > 0.0 && r.scoped_secs > 0.0 && r.pooled_secs > 0.0);
+        assert!(r.fast_secs > 0.0);
         assert!(r.serial_rounds_per_sec() > 0.0);
+        // The fast tier must land within the default equivalence budget.
+        assert!(
+            r.fast_within_eps(DibaConfig::default().equiv_eps_watts),
+            "fast tier deviated {} W",
+            r.fast_max_dev_watts
+        );
     }
 
     #[test]
@@ -344,6 +440,7 @@ mod tests {
         let report = RoundBenchReport {
             threads: 4,
             host_parallelism: 8,
+            equiv_eps_watts: 0.05,
             warnings: vec![],
             results: vec![SizeResult {
                 n: 1000,
@@ -351,7 +448,9 @@ mod tests {
                 serial_secs: 0.5,
                 scoped_secs: 0.4,
                 pooled_secs: 0.2,
+                fast_secs: 0.25,
                 bitwise_identical: true,
+                fast_max_dev_watts: 1e-3,
             }],
         };
         let json = report.to_json();
@@ -360,9 +459,38 @@ mod tests {
         assert!(json.contains("\"warnings\": []"));
         assert!(json.contains("\"scoped_speedup\": 1.250"));
         assert!(json.contains("\"pooled_speedup\": 2.500"));
+        assert!(json.contains("\"fast_speedup\": 2.000"));
+        assert!(json.contains("\"host_parallelism\": 8,"));
+        assert!(json.contains("\"serial_precision\": \"reference\""));
+        assert!(json.contains("\"fast_precision\": \"fast\""));
+        assert!(json.contains("\"fast_within_eps\": true"));
         assert!(json.contains("\"bitwise_identical\": true"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(report.to_table().contains("2.50x"));
+        assert!(report.to_table().contains("2.00x"));
+    }
+
+    #[test]
+    fn fast_equivalence_breach_is_visible_in_the_report() {
+        let report = RoundBenchReport {
+            threads: 1,
+            host_parallelism: 1,
+            equiv_eps_watts: 0.05,
+            warnings: vec![],
+            results: vec![SizeResult {
+                n: 100,
+                rounds: 10,
+                serial_secs: 0.1,
+                scoped_secs: 0.1,
+                pooled_secs: 0.1,
+                fast_secs: 0.05,
+                bitwise_identical: true,
+                fast_max_dev_watts: 0.5,
+            }],
+        };
+        assert!(!report.results[0].fast_within_eps(report.equiv_eps_watts));
+        assert!(report.to_json().contains("\"fast_within_eps\": false"));
+        assert!(report.to_table().contains("EXCEEDS"));
     }
 
     #[test]
@@ -370,6 +498,7 @@ mod tests {
         let report = RoundBenchReport {
             threads: 8,
             host_parallelism: 2,
+            equiv_eps_watts: 0.05,
             warnings: vec![BenchWarning::ThreadsExceedHost {
                 requested: 8,
                 host: 2,

@@ -10,7 +10,7 @@ use crate::budgeter::Budgeter;
 use crate::schedule::BudgetSchedule;
 use crate::series::{TimePoint, TimeSeries};
 use dpc_alg::centralized;
-use dpc_alg::exec::{shard_bounds, Backend, Engine, SharedSlice, Threads};
+use dpc_alg::exec::{shard_bounds, Backend, Engine, Precision, SharedSlice, Threads};
 use dpc_alg::faults::{FaultPlan, LinkFaults, NodeFaultKind};
 use dpc_alg::problem::{AlgError, Allocation, PowerBudgetProblem};
 use dpc_alg::telemetry::TelemetryConfig;
@@ -83,6 +83,11 @@ pub struct SimConfig {
     /// inline serial path. Simulation results are identical for every
     /// worker count.
     pub threads: Threads,
+    /// Kernel tier for precision-aware budgeters: [`Precision::Reference`]
+    /// (the default) keeps the bitwise-reproducible kernels,
+    /// [`Precision::Fast`] selects the vectorized tier gated by numeric
+    /// equivalence. Budgeters without a fast tier ignore it.
+    pub precision: Precision,
     /// Fault injection (lossy links, node crash/departure); `None` runs the
     /// cluster fault-free.
     pub faults: Option<SimFaults>,
@@ -103,6 +108,7 @@ impl SimConfig {
             phase_mean: None,
             record_allocations: false,
             threads: Threads::Auto,
+            precision: Precision::Reference,
             faults: None,
             telemetry: TelemetryConfig::off(),
         }
@@ -255,6 +261,7 @@ impl<B: Budgeter> DynamicSim<B> {
             self.phase_changed = vec![false; self.phased.len()];
         }
         self.budgeter.set_threads(self.config.threads);
+        self.budgeter.set_precision(self.config.precision);
         if self.config.telemetry.enabled {
             self.budgeter.set_telemetry(self.config.telemetry);
         }
@@ -470,6 +477,7 @@ mod tests {
             phase_mean: None,
             record_allocations: false,
             threads: Threads::Auto,
+            precision: Precision::Reference,
             faults: None,
             telemetry: TelemetryConfig::off(),
         }
@@ -555,6 +563,25 @@ mod tests {
         // 5 samples × 40 rounds each.
         assert_eq!(tel.rounds_recorded(), 200);
         assert!(tel.latest().unwrap().conservation_drift() < 1e-6);
+    }
+
+    #[test]
+    fn fast_precision_sim_stays_feasible_and_tracks_optimal() {
+        let c = cluster(20, 2);
+        let p = PowerBudgetProblem::new(c.utilities(), Watts(3_400.0)).unwrap();
+        let b = DibaBudgeter::new(p, Graph::ring(20), DibaConfig::default()).unwrap();
+        let mut cfg = config(10.0);
+        cfg.precision = Precision::Fast;
+        let mut sim = DynamicSim::new(c, b, BudgetSchedule::constant(Watts(3_400.0)), cfg);
+        let series = sim.run().unwrap();
+        assert!(series.budget_respected(Watts(1e-6)));
+        assert!(
+            series.mean_optimality() > 0.95,
+            "{}",
+            series.mean_optimality()
+        );
+        // The budgeter really switched tiers (not a silently ignored knob).
+        assert_eq!(sim.budgeter().run().precision(), Precision::Fast);
     }
 
     #[test]

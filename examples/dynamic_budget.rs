@@ -40,6 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         phase_mean: None,
         record_allocations: false,
         threads: dpc::alg::exec::Threads::Auto,
+        precision: dpc::alg::exec::Precision::Reference,
         faults: None,
         telemetry: dpc_alg::telemetry::TelemetryConfig::off(),
     };

@@ -6,7 +6,7 @@
 //! as a `String` so the logic is unit-testable without spawning processes.
 
 use crate::alg::diba::{DibaConfig, DibaRun};
-use crate::alg::exec::Threads;
+use crate::alg::exec::{Precision, Threads};
 use crate::alg::primal_dual::{self, PrimalDualConfig};
 use crate::alg::problem::PowerBudgetProblem;
 use crate::alg::{baselines, centralized};
@@ -111,17 +111,21 @@ COMMANDS:
   simulate   run a dynamic DiBA simulation
              --servers N (100)  --budget-watts W (176·N)  --seconds T (60)
              --churn-secs S     --phase-secs S            --seed S (0)
+             --precision reference|fast (reference)
   split      self-consistent computing/cooling split of a facility budget
              --total-mw X (0.66)
   plan       thermal-aware rack layout for the heterogeneous paper room
              --utilization U (1.0)  --iterations K (40000)  --seed S (0)
   fxplore    firmware sub-cluster exploration over the HPC workload catalog
              --k K (4)  --objective runtime|energy (runtime)  --seed S (0)
-  bench      time the DiBA round engine, serial vs scoped vs pooled, write JSON
+  bench      time the DiBA round engine, serial vs scoped vs pooled vs fast
+             tier, write JSON
              --sizes N,N,... (1000,10000,100000)  --threads T|auto (auto)
              --rounds R (scaled per size)  --out FILE (BENCH_round_engine.json)
-             --min-speedup X (fail if pooled/serial drops below X; skipped with
-             a logged reason on single-core hosts)
+             --precision reference|fast (reference; selects which speedup
+             --min-speedup gates: pooled/serial or fast/serial)
+             --min-speedup X (fail if the gated speedup drops below X; skipped
+             with a logged reason on single-core hosts)
              --trace FILE (also record a JSONL round trace at the smallest size)
   faults     sweep message drop rate x node churn, check recovery, write JSON
              --servers N (48)  --rounds R (1500)  --seed S (0)
@@ -264,6 +268,7 @@ pub fn cmd_simulate(opts: &Options) -> Result<String, CliError> {
     let seconds: f64 = opts.get_or("seconds", 60.0)?;
     let churn: Option<f64> = opts.get("churn-secs")?;
     let phases: Option<f64> = opts.get("phase-secs")?;
+    let precision: Precision = opts.get_or("precision", Precision::Reference)?;
 
     let problem = PowerBudgetProblem::new(cluster.utilities(), budget)
         .map_err(|e| CliError(format!("infeasible problem: {e}")))?;
@@ -277,6 +282,7 @@ pub fn cmd_simulate(opts: &Options) -> Result<String, CliError> {
         phase_mean: phases.map(Seconds),
         record_allocations: false,
         threads: Threads::Auto,
+        precision,
         faults: None,
         telemetry: dpc_alg::telemetry::TelemetryConfig::off(),
     };
@@ -437,7 +443,9 @@ mean runtime improvement over all-enabled: {:.1}%
 
 /// `dpc bench`.
 pub fn cmd_bench(opts: &Options) -> Result<String, CliError> {
-    use dpc_bench::roundbench::{rounds_for, run_round_bench, traced_run, DEFAULT_SIZES};
+    use dpc_bench::roundbench::{
+        rounds_for, run_round_bench, traced_run, SizeResult, DEFAULT_SIZES,
+    };
 
     let sizes: Vec<usize> = match opts.string("sizes") {
         None => DEFAULT_SIZES.to_vec(),
@@ -459,6 +467,7 @@ pub fn cmd_bench(opts: &Options) -> Result<String, CliError> {
         return Err(CliError("--rounds must be positive".into()));
     }
     let min_speedup: Option<f64> = opts.get("min-speedup")?;
+    let precision: Precision = opts.get_or("precision", Precision::Reference)?;
     let out_path = opts.string("out").unwrap_or("BENCH_round_engine.json");
 
     let report = run_round_bench(&sizes, threads, rounds);
@@ -467,39 +476,61 @@ pub fn cmd_bench(opts: &Options) -> Result<String, CliError> {
             "serial and parallel trajectories diverged — round engine bug".into(),
         ));
     }
+    if let Some(bad) = report
+        .results
+        .iter()
+        .find(|r| !r.fast_within_eps(report.equiv_eps_watts))
+    {
+        return Err(CliError(format!(
+            "fast tier diverged from the serial reference: max deviation {:.3e} W at \
+             n={} exceeds the {} W equivalence budget — fast kernel bug",
+            bad.fast_max_dev_watts, bad.n, report.equiv_eps_watts
+        )));
+    }
     write_output(out_path, &report.to_json())?;
     let mut out = format!("{}\nreport written to {out_path}\n", report.to_table());
     if let Some(min) = min_speedup {
         if report.host_parallelism <= 1 {
             out.push_str(&format!(
-                "min-speedup {min} skipped: host_parallelism is {} — pooled workers \
-                 share one core, so a speedup floor would only measure scheduler noise\n",
+                "min-speedup {min} ({precision}) skipped: host_parallelism is {} — the \
+                 timed runs share one core, so a speedup floor would only measure \
+                 scheduler noise\n",
                 report.host_parallelism
             ));
-        } else if report.threads <= 1 {
+        } else if precision == Precision::Reference && report.threads <= 1 {
             out.push_str(&format!(
                 "min-speedup {min} skipped: the bench resolved to {} worker — pooled \
                  and serial are the same execution\n",
                 report.threads
             ));
-        } else if let Some(worst) = report
-            .results
-            .iter()
-            .min_by(|a, b| a.pooled_speedup().total_cmp(&b.pooled_speedup()))
-        {
-            if worst.pooled_speedup() < min {
-                return Err(CliError(format!(
-                    "pooled round engine regressed: speedup {:.3} at n={} is below \
-                     the --min-speedup floor {min}",
-                    worst.pooled_speedup(),
+        } else {
+            // Which speedup the floor gates follows --precision: the
+            // reference gate guards the pooled engine against parallel
+            // regressions, the fast gate guards the vectorized kernel tier
+            // against losing its edge over the reference kernel.
+            let (speedup, label): (fn(&SizeResult) -> f64, &str) = match precision {
+                Precision::Reference => (SizeResult::pooled_speedup, "pooled"),
+                Precision::Fast => (SizeResult::fast_speedup, "fast"),
+            };
+            if let Some(worst) = report
+                .results
+                .iter()
+                .min_by(|a, b| speedup(a).total_cmp(&speedup(b)))
+            {
+                if speedup(worst) < min {
+                    return Err(CliError(format!(
+                        "{label} round engine regressed: speedup {:.3} at n={} is below \
+                         the --min-speedup floor {min}",
+                        speedup(worst),
+                        worst.n
+                    )));
+                }
+                out.push_str(&format!(
+                    "min-speedup {min} satisfied: worst {label} speedup {:.3} at n={}\n",
+                    speedup(worst),
                     worst.n
-                )));
+                ));
             }
-            out.push_str(&format!(
-                "min-speedup {min} satisfied: worst pooled speedup {:.3} at n={}\n",
-                worst.pooled_speedup(),
-                worst.n
-            ));
         }
     }
     if let Some(trace_path) = opts.string("trace") {
@@ -1111,6 +1142,59 @@ mod tests {
         assert!(json.contains("\"bitwise_identical\": true"), "{json}");
         assert!(run(&args(&["bench", "--sizes", "0"])).is_err());
         assert!(run(&args(&["bench", "--threads", "0"])).is_err());
+    }
+
+    #[test]
+    fn bench_gates_the_fast_tier_and_names_bad_precision_values() {
+        let dir = std::env::temp_dir().join("dpc-cli-bench-fast-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round_engine_fast.json");
+        // A 0.01 floor always holds when the gate runs; on a single-core
+        // host the gate is skipped with a logged reason instead. Either
+        // way the run must succeed and the report must carry the fast
+        // column.
+        let out = run(&args(&[
+            "bench",
+            "--sizes",
+            "200",
+            "--rounds",
+            "30",
+            "--precision",
+            "fast",
+            "--min-speedup",
+            "0.01",
+            "--out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("worst fast speedup") || out.contains("skipped: host_parallelism"),
+            "{out}"
+        );
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"fast_speedup\":"), "{json}");
+        assert!(json.contains("\"fast_within_eps\": true"), "{json}");
+
+        let err = run(&args(&["bench", "--precision", "sloppy"])).unwrap_err();
+        assert!(err.0.contains("--precision"), "{err}");
+        assert!(err.0.contains("sloppy"), "{err}");
+        assert!(err.0.contains("expected `reference` or `fast`"), "{err}");
+    }
+
+    #[test]
+    fn simulate_accepts_the_fast_precision_tier() {
+        let out = run(&args(&[
+            "simulate",
+            "--servers",
+            "12",
+            "--seconds",
+            "6",
+            "--precision",
+            "fast",
+        ]))
+        .unwrap();
+        assert!(out.contains("budget respected: true"), "{out}");
+        assert!(run(&args(&["simulate", "--precision", "quick"])).is_err());
     }
 
     #[test]

@@ -150,6 +150,7 @@ fn dynamic_sim_tracks_schedule_and_churn_together() {
         phase_mean: None,
         record_allocations: false,
         threads: dpc::alg::exec::Threads::Auto,
+        precision: dpc::alg::exec::Precision::Reference,
         faults: None,
         telemetry: dpc_alg::telemetry::TelemetryConfig::off(),
     };
