@@ -26,7 +26,9 @@
 use crate::exec::{chunked_sum, Backend, Engine, Precision, SharedSlice, SpinBarrier, Threads};
 use crate::fast::{phase_a_fast, phase_b_fast, FastRoundParams, FastState};
 use crate::problem::{AlgError, Allocation, PowerBudgetProblem};
-use crate::telemetry::{RoundRecord, Telemetry, TelemetryConfig, MAX_TIMED_SHARDS};
+use crate::telemetry::{
+    FaultEvent, FaultEventKind, RoundRecord, Telemetry, TelemetryConfig, MAX_TIMED_SHARDS,
+};
 use dpc_models::units::Watts;
 use dpc_topology::Graph;
 use std::ops::Range;
@@ -465,6 +467,57 @@ impl RoundScratch {
     }
 }
 
+/// The strictly feasible start point of a cold run: the uniform allocation
+/// backed off toward each box's lower bound by 0.5 %.
+fn backed_off_start(problem: &PowerBudgetProblem) -> Vec<f64> {
+    let uniform = crate::baselines::uniform(problem);
+    problem
+        .utilities()
+        .iter()
+        .zip(uniform.powers())
+        .map(|(u, &pw)| {
+            let backed = u.p_min().0 + (pw.0 - u.p_min().0) * 0.995;
+            backed.clamp(u.p_min().0, u.p_max().0)
+        })
+        .collect()
+}
+
+/// Auto-tuned barrier weight η as a *pure function of the problem*: the
+/// equilibrium slack target (0.4 % of the per-node budget) times the mean
+/// marginal utility at the canonical cold-start point.
+///
+/// Purity is what makes warm starting sound: a warm run that re-tunes η
+/// after a mutation lands on the *same* barrier weight a cold run on the
+/// mutated instance would auto-tune, so both runs share one equilibrium
+/// and the warm trajectory converges to the cold answer (the
+/// `warm_equivalence` property tests pin this).
+pub fn auto_eta(problem: &PowerBudgetProblem) -> f64 {
+    let n = problem.len();
+    let budget = problem.budget().0;
+    let p = backed_off_start(problem);
+    let target = 0.004 * (budget / n as f64).abs().max(1.0);
+    let mean_slope = problem
+        .utilities()
+        .iter()
+        .zip(&p)
+        .map(|(u, &pw)| u.slope(Watts(pw)).max(0.0))
+        .sum::<f64>()
+        / n as f64;
+    target * mean_slope.max(1e-9)
+}
+
+/// The hard slack margin for a problem (watts): `margin_frac` of the
+/// per-node budget. Pure in the problem, like [`auto_eta`].
+fn margin_for(problem: &PowerBudgetProblem, margin_frac: f64) -> f64 {
+    (problem.budget().0 / problem.len() as f64).abs().max(1.0) * margin_frac
+}
+
+/// The continuation stagnation tolerance for a problem (watts). Pure in
+/// the problem, like [`auto_eta`].
+fn stage_tol_for(problem: &PowerBudgetProblem) -> f64 {
+    0.002 * (problem.budget().0 / problem.len() as f64).abs().max(1.0)
+}
+
 /// A running DiBA instance: the synchronous-round reference implementation
 /// (the thread-per-node prototype lives in `dpc-agents`).
 #[derive(Debug, Clone)]
@@ -472,6 +525,13 @@ pub struct DibaRun {
     problem: PowerBudgetProblem,
     graph: Graph,
     params: NodeParams,
+    /// The explicit η from the config, when one was given. Warm-start
+    /// mutations re-tune η from the mutated problem ([`auto_eta`]) only
+    /// when this is `None` — a pinned η stays pinned.
+    eta_override: Option<f64>,
+    /// The configured margin fraction, kept so warm-start mutations can
+    /// re-derive the margin for the mutated problem.
+    margin_frac: f64,
     /// Barrier continuation: current multiplicative boost on η (≥ 1).
     boost: f64,
     boost_decay: f64,
@@ -525,33 +585,12 @@ impl DibaRun {
 
         // Strictly feasible start: back the uniform allocation off toward
         // the boxes' lower bounds by 0.5 %.
-        let uniform = crate::baselines::uniform(&problem);
-        let p: Vec<f64> = problem
-            .utilities()
-            .iter()
-            .zip(uniform.powers())
-            .map(|(u, &pw)| {
-                let backed = u.p_min().0 + (pw.0 - u.p_min().0) * 0.995;
-                backed.clamp(u.p_min().0, u.p_max().0)
-            })
-            .collect();
+        let p = backed_off_start(&problem);
         let residual = p.iter().sum::<f64>() - budget;
         let e = vec![residual / n as f64; n];
 
-        let margin = (budget / n as f64).abs().max(1.0) * config.margin_frac;
-        let eta = config.eta.unwrap_or_else(|| {
-            // Equilibrium slack target: 0.4 % of the per-node budget;
-            // price estimate: mean marginal utility at the start point.
-            let target = 0.004 * (budget / n as f64).abs().max(1.0);
-            let mean_slope = problem
-                .utilities()
-                .iter()
-                .zip(&p)
-                .map(|(u, &pw)| u.slope(Watts(pw)).max(0.0))
-                .sum::<f64>()
-                / n as f64;
-            target * mean_slope.max(1e-9)
-        });
+        let margin = margin_for(&problem, config.margin_frac);
+        let eta = config.eta.unwrap_or_else(|| auto_eta(&problem));
 
         let engine = Engine::with_backend(config.backend, config.threads.resolve(n));
         let mut scratch = RoundScratch::for_graph(&graph, engine.workers_for(n));
@@ -572,6 +611,7 @@ impl DibaRun {
         } else {
             None
         };
+        let stage_tol = stage_tol_for(&problem);
         Ok(DibaRun {
             problem,
             graph,
@@ -581,10 +621,12 @@ impl DibaRun {
                 step_power: config.step_power,
                 step_transfer: config.step_transfer,
             },
+            eta_override: config.eta,
+            margin_frac: config.margin_frac,
             boost: config.eta_boost.max(1.0),
             boost_decay: config.eta_boost_decay.clamp(0.0, 1.0),
             reboost: config.eta_boost.max(1.0),
-            stage_tol: 0.002 * (budget / n as f64).abs().max(1.0),
+            stage_tol,
             stage_rounds: 0,
             p,
             e,
@@ -1010,14 +1052,32 @@ impl DibaRun {
         None
     }
 
+    /// Re-derives η, the slack margin, and the stagnation tolerance from
+    /// the (mutated) problem, exactly as a cold run on that problem would.
+    /// An explicit `eta` from the config stays pinned.
+    fn retune(&mut self) {
+        self.params.eta = self.eta_override.unwrap_or_else(|| auto_eta(&self.problem));
+        self.params.margin = margin_for(&self.problem, self.margin_frac);
+        self.stage_tol = stage_tol_for(&self.problem);
+    }
+
     /// Announces a new total budget `P′`. Each node shifts its residual by
     /// `(P − P′)/n`, which keeps `Σe = Σp − P′` exact; the barrier then
     /// drives the power response (sharp drop on a cut, gradual fill on a
     /// raise), reproducing the step responses of Figs. 4.5/4.6.
     ///
+    /// This is a *warm-start* entry point: power and residual state carry
+    /// over, η/margin are re-tuned to what a cold run on the new budget
+    /// would use, and the barrier continuation is re-armed *in proportion
+    /// to the event magnitude* — a budget move of ≥ 5 % re-arms the full
+    /// continuation (the redistribution really is global), while a small
+    /// trim re-arms only a fraction of it, so the run re-settles in far
+    /// fewer rounds than a cold start (see `BENCH_dynamic.json`).
+    ///
     /// # Errors
     ///
     /// [`AlgError::InfeasibleBudget`] when `P′` cannot cover idle power.
+    /// The run is unchanged on error.
     pub fn set_budget(&mut self, budget: Watts) -> Result<(), AlgError> {
         let old = self.problem.budget();
         self.problem = self.problem.with_budget(budget)?;
@@ -1025,9 +1085,25 @@ impl DibaRun {
         for e in &mut self.e {
             *e += shift;
         }
-        // Re-arm the barrier continuation: the new budget needs another
-        // fast-redistribution phase.
-        self.boost = self.boost.max(self.reboost);
+        self.retune();
+        // Re-arm the barrier continuation proportionally to the event:
+        // the new budget needs another redistribution phase, but only a
+        // large move needs the full cold-start continuation ladder.
+        let rel = ((budget.0 - old.0).abs() / old.0.abs().max(1.0)).min(1.0);
+        let target = if rel >= 0.05 {
+            self.reboost
+        } else {
+            self.reboost.powf(rel / 0.05)
+        };
+        self.boost = self.boost.max(target);
+        self.stage_rounds = 0;
+        let round = self.iterations as u64;
+        self.record_event(FaultEvent {
+            round,
+            node: 0,
+            kind: FaultEventKind::Budget,
+            mass: budget.0 - old.0,
+        });
         Ok(())
     }
 
@@ -1037,23 +1113,84 @@ impl DibaRun {
     ///
     /// # Panics
     ///
-    /// Panics if `i` is out of range.
+    /// Panics if `i` is out of range. [`DibaRun::replace_utilities`] is the
+    /// typed-error (and batched) form.
     pub fn replace_utility(&mut self, i: usize, utility: dpc_models::QuadraticUtility) {
+        assert!(i < self.p.len(), "node {i} out of range");
+        self.replace_utilities(&[(i, utility)])
+            .expect("index checked above");
+    }
+
+    /// Replaces several nodes' utilities at once (VM churn, workload phase
+    /// changes) — the warm-start entry point of the replay driver. For each
+    /// `(i, u)` the node's power is clamped into the new box and its
+    /// residual adjusted by exactly the clamp, so `Σe = Σp − P` is
+    /// preserved by construction; the rest of the cluster's state carries
+    /// over untouched. η/margin are re-tuned to what a cold run on the
+    /// mutated instance would auto-tune (unless η was pinned in the
+    /// config), and a mild continuation phase (√ of the full boost) is
+    /// re-armed so slack can flow toward or away from the changed nodes.
+    ///
+    /// When the same node appears more than once, the last entry wins.
+    ///
+    /// # Errors
+    ///
+    /// [`AlgError::UnknownNode`] naming the first out-of-range index; the
+    /// run is unchanged on error.
+    pub fn replace_utilities(
+        &mut self,
+        changes: &[(usize, dpc_models::QuadraticUtility)],
+    ) -> Result<(), AlgError> {
+        let n = self.p.len();
+        if let Some(&(bad, _)) = changes.iter().find(|(i, _)| *i >= n) {
+            return Err(AlgError::UnknownNode {
+                node: bad,
+                nodes: n,
+            });
+        }
+        if changes.is_empty() {
+            return Ok(());
+        }
         let mut utilities = self.problem.utilities().to_vec();
-        utilities[i] = utility;
+        for (i, u) in changes {
+            utilities[*i] = *u;
+        }
         let budget = self.problem.budget();
         self.problem = PowerBudgetProblem::new(utilities, budget)
-            .expect("replacing one utility keeps the problem non-empty");
-        let u = self.problem.utility(i);
-        if let Some(fast) = self.fast.as_mut() {
-            fast.replace_utility(i, u);
+            .expect("replacing utilities keeps the problem non-empty");
+        let round = self.iterations as u64;
+        for &(i, _) in changes {
+            let u = self.problem.utility(i);
+            if let Some(fast) = self.fast.as_mut() {
+                fast.replace_utility(i, u);
+            }
+            let clamped = self.p[i].clamp(u.p_min().0, u.p_max().0);
+            let clamp_delta = clamped - self.p[i];
+            self.e[i] += clamp_delta;
+            self.p[i] = clamped;
+            self.record_event(FaultEvent {
+                round,
+                node: i,
+                kind: FaultEventKind::Workload,
+                mass: clamp_delta,
+            });
         }
-        let clamped = self.p[i].clamp(u.p_min().0, u.p_max().0);
-        self.e[i] += clamped - self.p[i];
-        self.p[i] = clamped;
-        // A single-node change re-arms a mild continuation phase so slack
-        // can flow toward (or away from) the changed node quickly.
-        self.boost = self.boost.max((self.reboost).sqrt());
+        self.retune();
+        // A local change re-arms a mild continuation phase so slack can
+        // flow toward (or away from) the changed nodes quickly.
+        self.boost = self.boost.max(self.reboost.sqrt());
+        self.stage_rounds = 0;
+        Ok(())
+    }
+
+    /// Appends a discrete event marker to the attached round recorder
+    /// (no-op when telemetry is off). Like all recording, this never
+    /// perturbs the trajectory — the replay driver uses it to mark
+    /// re-convergence boundaries in the JSONL stream.
+    pub fn record_event(&mut self, event: FaultEvent) {
+        if let Some(t) = self.telemetry.as_mut() {
+            t.record_event(event);
+        }
     }
 
     /// Verifies the residual invariant `Σe = Σp − P` (watts of drift).
@@ -1512,5 +1649,121 @@ mod tests {
         // After rest, further steps barely move.
         run.step();
         assert!(run.last_max_step() < 2e-2);
+    }
+
+    #[test]
+    fn warm_budget_trim_beats_cold_restart() {
+        // The tentpole claim in miniature: after a small budget event, the
+        // warm run (carried residual state, proportional re-arm) re-settles
+        // in fewer rounds than a cold start on the mutated instance.
+        let (_, mut warm) = run_on_ring(200, 33_000.0, 12);
+        warm.run_to_rest(1e-2, 10, 100_000).expect("initial settle");
+        let trimmed = Watts(33_000.0 * 0.99);
+        warm.set_budget(trimmed).unwrap();
+        let warm_rounds = warm.run_to_rest(1e-2, 10, 100_000).expect("warm re-settle");
+
+        let cold_problem = warm.problem().clone();
+        let mut cold = DibaRun::new(cold_problem, Graph::ring(200), DibaConfig::default()).unwrap();
+        let cold_rounds = cold.run_to_rest(1e-2, 10, 100_000).expect("cold settle");
+        assert!(
+            warm_rounds < cold_rounds,
+            "warm {warm_rounds} rounds vs cold {cold_rounds}"
+        );
+        assert!(warm.invariant_drift() < 1e-6);
+    }
+
+    #[test]
+    fn warm_retune_matches_cold_eta_exactly() {
+        // Warm mutations re-tune η from the mutated problem with the same
+        // pure function a cold run auto-tunes with, so warm and cold share
+        // one barrier equilibrium. Pinned η stays pinned.
+        let (_, mut warm) = run_on_ring(60, 10_000.0, 13);
+        warm.run(100);
+        warm.set_budget(Watts(9_700.0)).unwrap();
+        let u = *warm.problem().utility(7);
+        warm.replace_utilities(&[(
+            7,
+            dpc_models::throughput::CurveParams::for_memory_boundedness(0.9)
+                .utility(u.p_min(), u.p_max()),
+        )])
+        .unwrap();
+        let cold = DibaRun::new(
+            warm.problem().clone(),
+            Graph::ring(60),
+            DibaConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(warm.eta().to_bits(), cold.eta().to_bits());
+        assert_eq!(
+            warm.params().margin.to_bits(),
+            cold.params().margin.to_bits()
+        );
+
+        let pinned_cfg = DibaConfig {
+            eta: Some(0.25),
+            ..DibaConfig::default()
+        };
+        let p = problem(20, 3_400.0, 13);
+        let mut pinned = DibaRun::new(p, Graph::ring(20), pinned_cfg).unwrap();
+        pinned.set_budget(Watts(3_300.0)).unwrap();
+        assert_eq!(pinned.eta(), 0.25);
+    }
+
+    #[test]
+    fn replace_utilities_rejects_unknown_node_and_leaves_state_intact() {
+        let (_, mut run) = run_on_ring(10, 1_700.0, 14);
+        run.run(50);
+        let before = run.node_states();
+        let eta_before = run.eta();
+        let u = *run.problem().utility(0);
+        let err = run.replace_utilities(&[(0, u), (10, u)]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AlgError::UnknownNode {
+                    node: 10,
+                    nodes: 10
+                }
+            ),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("unknown node 10"), "{err}");
+        assert_eq!(run.node_states(), before, "state mutated on error");
+        assert_eq!(run.eta(), eta_before);
+    }
+
+    #[test]
+    fn batched_replace_conserves_and_marks_telemetry() {
+        use crate::telemetry::TelemetryConfig;
+        use dpc_models::throughput::CurveParams;
+        let p = problem(30, 5_100.0, 15);
+        let config = DibaConfig {
+            telemetry: TelemetryConfig::on(),
+            ..DibaConfig::default()
+        };
+        let mut run = DibaRun::new(p, Graph::ring(30), config).unwrap();
+        run.run(200);
+        let changes: Vec<(usize, dpc_models::QuadraticUtility)> = [3usize, 11, 22]
+            .iter()
+            .map(|&i| {
+                let u = *run.problem().utility(i);
+                (
+                    i,
+                    CurveParams::for_memory_boundedness(0.8).utility(u.p_min(), u.p_max()),
+                )
+            })
+            .collect();
+        run.set_budget(Watts(5_000.0)).unwrap();
+        run.replace_utilities(&changes).unwrap();
+        assert!(run.invariant_drift() < 1e-6, "{}", run.invariant_drift());
+        let events: Vec<_> = run.telemetry().unwrap().events().collect();
+        assert_eq!(events.len(), 4, "{events:?}");
+        assert_eq!(events[0].kind, FaultEventKind::Budget);
+        assert!((events[0].mass - (-100.0)).abs() < 1e-9);
+        assert!(events[1..]
+            .iter()
+            .all(|e| e.kind == FaultEventKind::Workload));
+        run.run(200);
+        assert!(run.total_power() <= Watts(5_000.0) + Watts(1e-6));
     }
 }

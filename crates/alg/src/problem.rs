@@ -33,12 +33,20 @@ pub enum AlgError {
         iterations: usize,
     },
     /// A configuration knob holds a value the engines cannot honor (for
-    /// example `threads = Some(0)`, a non-finite step size, or a negative
+    /// example `threads = Fixed(0)`, a non-finite step size, or a negative
     /// fault time). Caught at construction so it cannot surface later as a
     /// panic deep inside a run.
     InvalidConfig {
         /// Human-readable description of the offending knob and value.
         what: String,
+    },
+    /// An operation addressed a node index the cluster does not have (for
+    /// example a scenario event naming server 12 in an 8-server replay).
+    UnknownNode {
+        /// The offending node index.
+        node: usize,
+        /// The cluster size it was checked against.
+        nodes: usize,
     },
 }
 
@@ -61,6 +69,9 @@ impl fmt::Display for AlgError {
             }
             AlgError::InvalidConfig { what } => {
                 write!(f, "invalid configuration: {what}")
+            }
+            AlgError::UnknownNode { node, nodes } => {
+                write!(f, "unknown node {node}: the cluster has {nodes} nodes")
             }
         }
     }

@@ -186,6 +186,15 @@ pub enum FaultEventKind {
     Detect,
     /// A dead node's escrow was re-absorbed by its live neighbors.
     Settle,
+    /// The total budget changed mid-run (warm re-solve); `mass` is the
+    /// signed budget delta in watts, `node` is 0 (cluster-wide).
+    Budget,
+    /// A node's fitted utility curve was replaced mid-run (VM churn or a
+    /// workload phase change); `mass` is the box-clamp power adjustment.
+    Workload,
+    /// A warm re-solve after a mutation reached rest; `mass` is the number
+    /// of rounds the re-convergence took, `node` is 0 (cluster-wide).
+    Reconverged,
 }
 
 impl FaultEventKind {
@@ -197,6 +206,9 @@ impl FaultEventKind {
             FaultEventKind::Restart => "restart",
             FaultEventKind::Detect => "detect",
             FaultEventKind::Settle => "settle",
+            FaultEventKind::Budget => "budget",
+            FaultEventKind::Workload => "workload",
+            FaultEventKind::Reconverged => "reconverged",
         }
     }
 }

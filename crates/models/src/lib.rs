@@ -14,6 +14,8 @@
 //! * [`capping`] — the DVFS feedback power-cap controller (Fig. 2.1).
 //! * [`characterization`] — the synthetic measure-and-fit pipeline.
 //! * [`workload`] — cluster assembly: N servers with learned utilities.
+//! * [`vm`] — VM-churn load composition: a server's curve re-fitted from
+//!   its resident VM set (the online-dynamics substrate).
 //! * [`pmc`] — synthetic performance-counter signatures.
 //! * [`metrics`] — ANP / SNP / slowdown / unfairness.
 //!
@@ -48,6 +50,7 @@ pub mod power;
 pub mod throughput;
 pub mod traces;
 pub mod units;
+pub mod vm;
 pub mod workload;
 
 pub use benchmark::{Benchmark, WorkloadClass, WorkloadSpec};

@@ -29,6 +29,7 @@
 pub mod budgeter;
 pub mod enforcement;
 pub mod engine;
+pub mod replay;
 pub mod schedule;
 pub mod series;
 pub mod step;
@@ -38,5 +39,8 @@ pub use budgeter::{
 };
 pub use enforcement::EnforcedCluster;
 pub use engine::{DynamicSim, SimConfig, SimFaults};
+pub use replay::{
+    replay, ReplayConfig, ReplayOutcome, ReplayReport, Scenario, ScenarioEvent, SettleCriterion,
+};
 pub use schedule::BudgetSchedule;
 pub use series::{TimePoint, TimeSeries};

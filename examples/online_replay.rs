@@ -1,0 +1,43 @@
+//! Online dynamics: replay a scenario timeline (budget moves, VM churn, a
+//! maintenance drain) against a *warm-started* DiBA and compare the rounds
+//! each event needs to re-converge with a cold restart on the identical
+//! mutated instance.
+//!
+//! ```text
+//! cargo run --release --example online_replay
+//! ```
+//!
+//! The same scenario drives the CLI:
+//!
+//! ```text
+//! cargo run --release -- replay --scenario examples/scenarios/ramp_8node.txt
+//! ```
+
+use dpc::sim::replay::{replay, ReplayConfig, Scenario};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string("examples/scenarios/ramp_8node.txt")?;
+    let scenario = Scenario::parse(&text)?;
+    let outcome = replay(&scenario, &ReplayConfig::default())?;
+
+    print!("{}", outcome.report.to_table());
+    println!(
+        "\nfinal power {:.1} W under budget {:.1} W; ledger drift {:.2e} W",
+        outcome.run.total_power().0,
+        outcome.run.problem().budget().0,
+        outcome.run.invariant_drift(),
+    );
+
+    let (warm, cold): (Vec<_>, Vec<_>) = outcome
+        .report
+        .events
+        .iter()
+        .map(|e| (e.warm_rounds.unwrap_or(0), e.cold_rounds.unwrap_or(0)))
+        .unzip();
+    println!(
+        "warm rounds total {} vs cold {} — state carried across events pays for itself",
+        warm.iter().sum::<usize>(),
+        cold.iter().sum::<usize>(),
+    );
+    Ok(())
+}

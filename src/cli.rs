@@ -132,6 +132,15 @@ COMMANDS:
              --drops P,P,... (0,0.05,0.1,0.2)
              --out FILE (BENCH_fault_resilience.json)
              --trace FILE (also record a JSONL crash+restart round trace)
+  replay     drive a scenario timeline against a warm-started DiBA
+             --scenario FILE (the scenario text format; see README)
+             --cold on|off (on; also measure a cold start per event group)
+             --threads T|auto (auto)  --precision reference|fast (reference)
+             --tol W (1e-2)  --stable-rounds R (10)  --max-rounds R (200000)
+             --out FILE (also write the per-event JSON report)
+             --bench [FILE]  run the warm-vs-cold dynamic sweep instead and
+             write BENCH_dynamic.json (or FILE); --sizes N,N,... (1000,10000)
+             --seed S (0)
   trace      run one solver with the round recorder attached, write a trace
              --solver diba|async|primal-dual (diba)  --servers N (64)
              --budget-watts W (170·N)  --seed S (0)  --rounds R (600)
@@ -599,6 +608,93 @@ pub fn cmd_faults(opts: &Options) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `dpc replay`: drives a scenario event timeline against a warm-started
+/// DiBA and reports per-event re-convergence (optionally vs a cold start
+/// on the identical mutated instance), or — with `--bench` — runs the
+/// warm-vs-cold dynamic sweep and writes `BENCH_dynamic.json`.
+///
+/// Scenario-mode output is deterministic: the report carries round counts
+/// and allocations only, never wall-clock, so `--out` files are
+/// byte-identical across reruns (the CI replay smoke step relies on this).
+/// Bench mode reports `events_per_sec` and `host_parallelism`, which are
+/// host-dependent by design.
+pub fn cmd_replay(opts: &Options) -> Result<String, CliError> {
+    use crate::sim::replay::{replay, ReplayConfig, Scenario, SettleCriterion};
+
+    if let Some(bench_out) = opts.string("bench") {
+        let seed: u64 = opts.get_or("seed", 0)?;
+        let sizes: Vec<usize> = match opts.string("sizes") {
+            None => vec![1_000, 10_000],
+            Some(spec) => spec
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .map_err(|e| CliError(format!("bad value in --sizes: `{s}`: {e}")))
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        if sizes.is_empty() || sizes.iter().any(|&n| n < 16) {
+            return Err(CliError(
+                "--sizes needs cluster sizes of at least 16".into(),
+            ));
+        }
+        let report = dpc_bench::replaybench::run(&sizes, seed);
+        if !report.warm_beats_cold() {
+            return Err(CliError(format!(
+                "warm start failed to beat cold restart on small events:\n{}",
+                report.to_table()
+            )));
+        }
+        write_output(bench_out, &report.to_json())?;
+        return Ok(format!(
+            "{}\nreport written to {bench_out}\n",
+            report.to_table()
+        ));
+    }
+
+    let path = opts
+        .string("scenario")
+        .ok_or_else(|| CliError("replay needs --scenario FILE or --bench".into()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read --scenario {path}: {e}")))?;
+    let scenario = Scenario::parse(&text).map_err(|e| CliError(format!("{path}: {e}")))?;
+    let compare_cold = match opts.string("cold").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => return Err(CliError(format!("--cold must be on|off, got `{other}`"))),
+    };
+    let settle = SettleCriterion {
+        tol_watts: opts.get_or("tol", 1e-2)?,
+        stable_rounds: opts.get_or("stable-rounds", 10)?,
+        max_rounds: opts.get_or("max-rounds", 200_000)?,
+    };
+    let config = ReplayConfig {
+        diba: DibaConfig {
+            threads: opts.get_or("threads", Threads::Auto)?,
+            precision: opts.get_or("precision", Precision::Reference)?,
+            ..DibaConfig::default()
+        },
+        settle,
+        compare_cold,
+    };
+    let outcome = replay(&scenario, &config).map_err(|e| CliError(format!("{path}: {e}")))?;
+    let report = &outcome.report;
+    if let Some(out_path) = opts.string("out") {
+        write_output(out_path, &report.to_json())?;
+    }
+    let mut out = report.to_table();
+    if !report.all_settled() {
+        return Err(CliError(format!(
+            "an event group failed to re-settle within --max-rounds:\n{out}"
+        )));
+    }
+    if let Some(out_path) = opts.string("out") {
+        out.push_str(&format!("report written to {out_path}\n"));
+    }
+    Ok(out)
+}
+
 /// `dpc trace`: runs one solver with the round recorder attached and
 /// writes the captured telemetry in the requested sink format. The
 /// recorded trajectory is bitwise identical to an untraced run, and the
@@ -972,11 +1068,11 @@ pub fn cmd_node(opts: &Options) -> Result<String, CliError> {
     ))
 }
 
-/// `dpc cluster` accepts `--bench` both bare (report to the conventional
-/// `BENCH_runtime.json`) and with an explicit file value; the general
-/// parser wants every flag to carry a value, so a bare `--bench` gets the
-/// default path spliced in before parsing.
-fn normalize_cluster_args(rest: &[String]) -> Vec<String> {
+/// `dpc cluster` and `dpc replay` accept `--bench` both bare (report to
+/// the command's conventional JSON path) and with an explicit file value;
+/// the general parser wants every flag to carry a value, so a bare
+/// `--bench` gets the default path spliced in before parsing.
+fn normalize_bench_arg(rest: &[String], default_out: &str) -> Vec<String> {
     let mut out = Vec::with_capacity(rest.len() + 1);
     let mut it = rest.iter().peekable();
     while let Some(a) = it.next() {
@@ -984,7 +1080,7 @@ fn normalize_cluster_args(rest: &[String]) -> Vec<String> {
         if a == "--bench" {
             match it.peek() {
                 Some(v) if !v.starts_with("--") => {}
-                _ => out.push("BENCH_runtime.json".to_string()),
+                _ => out.push(default_out.to_string()),
             }
         }
     }
@@ -1000,10 +1096,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let Some((cmd, rest)) = args.split_first() else {
         return Ok(usage());
     };
-    let rest = if cmd == "cluster" {
-        normalize_cluster_args(rest)
-    } else {
-        rest.to_vec()
+    let rest = match cmd.as_str() {
+        "cluster" => normalize_bench_arg(rest, "BENCH_runtime.json"),
+        "replay" => normalize_bench_arg(rest, "BENCH_dynamic.json"),
+        _ => rest.to_vec(),
     };
     let opts = Options::parse(&rest)?;
     match cmd.as_str() {
@@ -1014,6 +1110,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "fxplore" => cmd_fxplore(&opts),
         "bench" => cmd_bench(&opts),
         "faults" => cmd_faults(&opts),
+        "replay" => cmd_replay(&opts),
         "trace" => cmd_trace(&opts),
         "cluster" => cmd_cluster(&opts),
         "node" => cmd_node(&opts),
@@ -1229,6 +1326,66 @@ mod tests {
         assert!(json.contains("\"all_recovered\": true"), "{json}");
         assert!(run(&args(&["faults", "--servers", "2"])).is_err());
         assert!(run(&args(&["faults", "--drops", "1.5"])).is_err());
+    }
+
+    #[test]
+    fn replay_report_is_byte_identical_and_errors_name_the_file() {
+        let dir = std::env::temp_dir().join("dpc-cli-replay-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let scenario = dir.join("ramp.txt");
+        std::fs::write(
+            &scenario,
+            "servers 8\nseed 3\nbudget 1400\n\
+             at 1 budget 1386\nat 2 vm-arrive node 4 share 0.5 mem 0.3\n\
+             at 3 vm-depart node 4\n",
+        )
+        .unwrap();
+        let run_once = |name: &str| {
+            let path = dir.join(name);
+            let out = run(&args(&[
+                "replay",
+                "--scenario",
+                scenario.to_str().unwrap(),
+                "--out",
+                path.to_str().unwrap(),
+            ]))
+            .unwrap();
+            assert!(out.contains("report written"), "{out}");
+            assert!(out.contains("budget 1386.0"), "{out}");
+            std::fs::read(path).unwrap()
+        };
+        let first = run_once("a.json");
+        let second = run_once("b.json");
+        assert_eq!(first, second, "replay report not byte-identical");
+        let json = String::from_utf8(first).unwrap();
+        assert!(json.contains("\"report\": \"replay\""), "{json}");
+        assert!(json.contains("\"all_settled\": true"), "{json}");
+
+        // Error paths: missing inputs and malformed scenarios name the
+        // offending file (and line) instead of panicking.
+        assert!(run(&args(&["replay"])).is_err());
+        let bad = dir.join("bad.txt");
+        std::fs::write(&bad, "servers 8\nbudget 1400\nat 1 phase node 99 mem 0.5\n").unwrap();
+        let err = run(&args(&["replay", "--scenario", bad.to_str().unwrap()])).unwrap_err();
+        assert!(err.0.contains("bad.txt"), "{err}");
+        assert!(err.0.contains("unknown node 99"), "{err}");
+        std::fs::write(
+            &bad,
+            "servers 8\nbudget 1400\nat 2 budget 90\nat 1 budget 95\n",
+        )
+        .unwrap();
+        let err = run(&args(&["replay", "--scenario", bad.to_str().unwrap()])).unwrap_err();
+        assert!(err.0.contains("line 4"), "{err}");
+        let err = run(&args(&[
+            "replay",
+            "--scenario",
+            scenario.to_str().unwrap(),
+            "--cold",
+            "maybe",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("--cold"), "{err}");
+        assert!(run(&args(&["replay", "--bench", "--sizes", "4"])).is_err());
     }
 
     #[test]
@@ -1453,17 +1610,20 @@ mod tests {
 
     #[test]
     fn bare_bench_flag_gets_the_conventional_path() {
-        let normalized = normalize_cluster_args(&args(&["--bench", "--sizes", "8"]));
+        let normalized =
+            normalize_bench_arg(&args(&["--bench", "--sizes", "8"]), "BENCH_runtime.json");
         assert_eq!(
             normalized,
             args(&["--bench", "BENCH_runtime.json", "--sizes", "8"])
         );
-        let normalized = normalize_cluster_args(&args(&["--sizes", "8", "--bench"]));
+        let normalized =
+            normalize_bench_arg(&args(&["--sizes", "8", "--bench"]), "BENCH_runtime.json");
         assert_eq!(
             normalized,
             args(&["--sizes", "8", "--bench", "BENCH_runtime.json"])
         );
-        let untouched = normalize_cluster_args(&args(&["--bench", "custom.json"]));
+        let untouched =
+            normalize_bench_arg(&args(&["--bench", "custom.json"]), "BENCH_runtime.json");
         assert_eq!(untouched, args(&["--bench", "custom.json"]));
     }
 

@@ -172,4 +172,95 @@ proptest! {
         let expected: Allocation = perm.iter().map(|&i| base.power(i)).collect();
         prop_assert!(permuted.max_abs_diff(&expected) < Watts(1e-6));
     }
+
+    #[test]
+    fn zero_event_replay_is_bitwise_identical_to_a_plain_run(
+        servers in 8usize..32,
+        seed in 0u64..500,
+    ) {
+        // A replay with no events is exactly the initial settle — the
+        // driver must add nothing to the trajectory, serial or pooled.
+        use dpc::alg::exec::{Backend, Threads};
+        use dpc::sim::replay::{replay, ReplayConfig, Scenario, SettleCriterion};
+        let scenario = Scenario {
+            servers,
+            seed,
+            topology: "ring".to_string(),
+            budget: Watts(170.0 * servers as f64),
+            events: Vec::new(),
+        };
+        let settle = SettleCriterion {
+            tol_watts: 1e-2,
+            stable_rounds: 5,
+            max_rounds: 50_000,
+        };
+        for threads in [Threads::Fixed(1), Threads::Fixed(4)] {
+            let diba = DibaConfig {
+                threads,
+                backend: Backend::Pooled,
+                ..DibaConfig::default()
+            };
+            let out = replay(&scenario, &ReplayConfig { diba, settle, compare_cold: false })
+                .unwrap();
+            prop_assert!(out.report.events.is_empty());
+            let mut plain = DibaRun::new(
+                scenario.initial_problem().unwrap(),
+                scenario.graph().unwrap(),
+                diba,
+            )
+            .unwrap();
+            let rounds =
+                plain.run_to_rest(settle.tol_watts, settle.stable_rounds, settle.max_rounds);
+            prop_assert_eq!(out.report.initial_rounds, rounds);
+            let (replayed, direct) = (out.run.allocation(), plain.allocation());
+            prop_assert_eq!(replayed.powers(), direct.powers());
+        }
+    }
+
+    #[test]
+    fn warm_resolve_matches_cold_solve_within_eps(
+        p in problem_strategy(),
+        trim in 0.97f64..1.0,
+        mb in 0.05f64..0.95,
+    ) {
+        // A warm re-solve after a mutation and a cold solve on the mutated
+        // instance share their equilibrium (η is re-derived from the
+        // problem alone), so their resting allocations must agree within
+        // the workspace's numeric-equivalence budget.
+        let n = p.len();
+        let mut run = DibaRun::new(p.clone(), Graph::ring(n), DibaConfig::default()).unwrap();
+        prop_assume!(run.run_to_rest(1e-4, 20, 200_000).is_some());
+        let floor = p.min_total();
+        let target = (p.budget() * trim).max(floor + Watts(1.0));
+        run.set_budget(target).unwrap();
+        let u0 = run.problem().utility(0);
+        let new_u = CurveParams::for_memory_boundedness(mb).utility(u0.p_min(), u0.p_max());
+        run.replace_utilities(&[(0, new_u)]).unwrap();
+        prop_assume!(run.run_to_rest(1e-4, 20, 200_000).is_some());
+
+        let mut cold =
+            DibaRun::new(run.problem().clone(), Graph::ring(n), DibaConfig::default()).unwrap();
+        prop_assume!(cold.run_to_rest(1e-4, 20, 200_000).is_some());
+
+        // Rest can be declared while the barrier continuation is still
+        // dissipating, and the two runs re-arm it differently. A fixed
+        // post-rest polish lets both finish the decay and close in on the
+        // shared equilibrium before the ε comparison.
+        run.run(30_000);
+        cold.run(30_000);
+
+        let eps = DibaConfig::default().equiv_eps_watts;
+        let (warm_alloc, cold_alloc) = (run.allocation(), cold.allocation());
+        for (i, (w, c)) in warm_alloc
+            .powers()
+            .iter()
+            .zip(cold_alloc.powers())
+            .enumerate()
+        {
+            prop_assert!(
+                (*w - *c).abs() <= Watts(eps),
+                "node {i}: warm {w} vs cold {c} beyond ε = {eps} W"
+            );
+        }
+    }
 }
