@@ -1,21 +1,8 @@
-//! Hierarchical decentralized budgeting — the dissertation's future-work
-//! direction of structuring very large facilities as groups (rooms, pods,
-//! rack rows), each running its own decentralized allocation.
-//!
-//! Two timescales:
-//!
-//! * **fast, fully decentralized**: every group runs DiBA on its own small
-//!   communication graph against its group budget — short rings, fast
-//!   mixing, and a failure domain bounded by the group;
-//! * **slow, facility level**: group budgets are periodically rebalanced
-//!   toward equal marginal utility using only one scalar per group (its
-//!   current *demand price*, the mean marginal utility of its members) —
-//!   O(#groups) communication instead of O(N).
-//!
-//! At the joint fixed point all groups share one price, which is the global
-//! KKT condition: the hierarchy converges to the same optimum as flat DiBA
-//! while each ring is a fraction of the size.
+//! The two-timescale facility of flat groups (the seed-era prototype, with
+//! its feasibility bugs fixed): fast per-group DiBA rings plus a slow
+//! facility-level price rebalance.
 
+use super::spread_residue;
 use crate::diba::{DibaConfig, DibaRun};
 use crate::problem::{AlgError, Allocation, PowerBudgetProblem};
 use dpc_models::throughput::QuadraticUtility;
@@ -35,14 +22,16 @@ pub struct HierarchicalRun {
 
 impl HierarchicalRun {
     /// Partitions `utilities` into `group_of[i]` groups (ids `0..g`), gives
-    /// each group a budget proportional to its member count, and starts a
-    /// DiBA ring inside every group.
+    /// each group its aggregate idle floor plus a share of the remaining
+    /// slack proportional to its headroom (`Σ p_max − Σ p_min`), and starts
+    /// a DiBA ring inside every group. The headroom-proportional split
+    /// guarantees every group is feasible whenever the facility total is.
     ///
     /// # Errors
     ///
     /// [`AlgError::DimensionMismatch`] on length mismatch or an empty
-    /// group; [`AlgError::InfeasibleBudget`] when some group's share cannot
-    /// cover its idle floor.
+    /// group; [`AlgError::InfeasibleBudget`] when the total budget cannot
+    /// cover the facility's aggregate idle floor.
     pub fn new(
         utilities: Vec<QuadraticUtility>,
         group_of: &[usize],
@@ -70,12 +59,37 @@ impl HierarchicalRun {
             });
         }
 
-        let n = utilities.len();
+        let floors: Vec<f64> = members
+            .iter()
+            .map(|m| m.iter().map(|&i| utilities[i].p_min().0).sum())
+            .collect();
+        let headrooms: Vec<f64> = members
+            .iter()
+            .map(|m| {
+                m.iter()
+                    .map(|&i| (utilities[i].p_max() - utilities[i].p_min()).0)
+                    .sum()
+            })
+            .collect();
+        let floor_sum: f64 = floors.iter().sum();
+        if total_budget.0 < floor_sum {
+            return Err(AlgError::InfeasibleBudget {
+                budget: total_budget,
+                min_required: Watts(floor_sum),
+            });
+        }
+        let slack = total_budget.0 - floor_sum;
+        let head_sum: f64 = headrooms.iter().sum();
+
         let mut groups = Vec::with_capacity(group_count);
-        for m in &members {
-            let share = total_budget * (m.len() as f64 / n as f64);
+        for ((m, &floor), &head) in members.iter().zip(&floors).zip(&headrooms) {
+            let share = if head_sum > 0.0 {
+                floor + slack * head / head_sum
+            } else {
+                floor + slack / group_count as f64
+            };
             let group_utilities: Vec<QuadraticUtility> = m.iter().map(|&i| utilities[i]).collect();
-            let problem = PowerBudgetProblem::new(group_utilities, share)?;
+            let problem = PowerBudgetProblem::new(group_utilities, Watts(share))?;
             groups.push(DibaRun::new(problem, Graph::ring(m.len()), config)?);
         }
         Ok(HierarchicalRun {
@@ -101,6 +115,13 @@ impl HierarchicalRun {
         self.groups.iter().map(|g| g.problem().budget()).collect()
     }
 
+    /// Sets the fraction of the inter-group price gap closed per rebalance
+    /// (clamped into `[0.001, 4]`); the property tests sweep this to check
+    /// feasibility under aggressive steps.
+    pub fn set_rebalance_step(&mut self, step: f64) {
+        self.rebalance_step = step.clamp(1e-3, 4.0);
+    }
+
     /// Runs `rounds` DiBA rounds inside every group (groups are fully
     /// independent — in deployment they run in parallel).
     pub fn step_local(&mut self, rounds: usize) {
@@ -111,27 +132,31 @@ impl HierarchicalRun {
 
     /// The facility-level rebalance: each group reports its demand price
     /// (mean marginal utility of its members at their current power); the
-    /// facility shifts budget from below-average-price groups to
-    /// above-average ones. Conserves the total exactly and respects every
-    /// group's feasibility floor/ceiling.
+    /// facility shifts budget from below-price groups to above-price ones.
+    ///
+    /// The reference price is the *member-count-weighted* mean, so the raw
+    /// price-gap steps sum to zero by construction instead of biasing the
+    /// fixed point toward small groups; each post-step budget is clamped
+    /// into the group's aggregate `[Σ p_min, Σ p_max]` box and the clamped
+    /// residue is redistributed proportionally to remaining room, so the
+    /// facility total is conserved exactly and every group stays feasible.
     pub fn rebalance(&mut self) {
         let prices: Vec<f64> = self.groups.iter().map(Self::demand_price).collect();
-        let budgets = self.group_budgets();
-        let mean_price = prices.iter().sum::<f64>() / prices.len() as f64;
-        // Scale price gaps into watts: use each group's size as the lever
-        // arm (a one-price-unit gap over a g-member group is worth g·κ W).
-        let mut desired: Vec<f64> = budgets
+        let sizes: Vec<f64> = self.members.iter().map(|m| m.len() as f64).collect();
+        let n_total: f64 = sizes.iter().sum();
+        let mean_price = prices.iter().zip(&sizes).map(|(p, s)| p * s).sum::<f64>() / n_total;
+        // Scale price gaps into watts with a per-member lever arm: a group's
+        // shift is κ · n_g · (price_g − mean), so Σ shifts = 0 under the
+        // weighted mean.
+        let per_member = self.total_budget.0 / n_total;
+        let gain = 0.1 * self.rebalance_step * per_member / mean_price.max(1e-12);
+        let mut desired: Vec<f64> = self
+            .group_budgets()
             .iter()
             .zip(&prices)
-            .zip(&self.members)
-            .map(|((b, &pr), m)| {
-                let lever = m.len() as f64 * self.rebalance_step;
-                b.0 + lever * (pr - mean_price) / mean_price.max(1e-12)
-                    * (b.0 / m.len() as f64)
-                    * 0.1
-            })
+            .zip(&sizes)
+            .map(|((b, &pr), &s)| b.0 + gain * s * (pr - mean_price))
             .collect();
-        // Clamp to group feasibility and renormalize to the exact total.
         let floors: Vec<f64> = self
             .groups
             .iter()
@@ -142,27 +167,12 @@ impl HierarchicalRun {
             .iter()
             .map(|g| g.problem().max_total().0)
             .collect();
-        for ((d, &lo), &hi) in desired.iter_mut().zip(&floors).zip(&ceils) {
-            *d = d.clamp(lo * 1.001, hi);
-        }
-        let sum: f64 = desired.iter().sum();
-        let total = self.total_budget.0;
-        if sum > 0.0 {
-            // Proportional renormalization of the *slack above floors*.
-            let floor_sum: f64 = floors.iter().map(|f| f * 1.001).sum();
-            let slack_desired = sum - floor_sum;
-            let slack_avail = total - floor_sum;
-            if slack_desired > 1e-9 && slack_avail > 0.0 {
-                let k = slack_avail / slack_desired;
-                for (d, &lo) in desired.iter_mut().zip(&floors) {
-                    let fl = lo * 1.001;
-                    *d = fl + (*d - fl) * k;
-                }
-            }
-        }
+        spread_residue(&mut desired, &floors, &ceils, self.total_budget.0);
         for (g, &b) in self.groups.iter_mut().zip(&desired) {
-            // Infeasible shares were clamped above; ignore rounding noise.
-            let _ = g.set_budget(Watts(b));
+            if (b - g.problem().budget().0).abs() > 1e-12 {
+                g.set_budget(Watts(b))
+                    .expect("budget was clamped into the group's feasible box");
+            }
         }
     }
 

@@ -1,0 +1,88 @@
+//! Per-tenant power caps that cut across the physical domain tree.
+//!
+//! A tenant is a set of servers (possibly spanning racks and rows) with its
+//! own budget `Σ_{i∈t} p_i ≤ C_t`. The tree solves these with one dual
+//! multiplier μ_t per tenant: a tenant member responds to the effective
+//! price `λ_domain + μ_t`, and the tree runs projected dual ascent on μ
+//! until every cap is respected with complementary slackness (μ_t > 0 only
+//! when the cap binds).
+
+use crate::problem::AlgError;
+use dpc_models::throughput::QuadraticUtility;
+use dpc_models::units::Watts;
+
+/// A cross-cutting tenant budget: `Σ p_i ≤ cap` over `members`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantCap {
+    /// Tenant name (reporting only).
+    pub name: String,
+    /// Server indices owned by the tenant (into the facility-wide utility
+    /// vector). A server belongs to at most one tenant.
+    pub members: Vec<usize>,
+    /// The tenant's power budget.
+    pub cap: Watts,
+}
+
+impl TenantCap {
+    /// Builds a tenant cap.
+    pub fn new(name: impl Into<String>, members: Vec<usize>, cap: Watts) -> TenantCap {
+        TenantCap {
+            name: name.into(),
+            members,
+            cap,
+        }
+    }
+}
+
+/// Solved state of one tenant cap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub name: String,
+    /// The configured cap.
+    pub cap: Watts,
+    /// Power the tenant's servers actually drew at the optimum.
+    pub usage: Watts,
+    /// The tenant's dual multiplier μ (0 when the cap is slack).
+    pub price: f64,
+    /// `true` when the cap binds (usage at the cap and μ > 0).
+    pub binding: bool,
+}
+
+/// Validates tenant caps against the facility: member indices in range,
+/// no server owned by two tenants, every cap above its members' aggregate
+/// idle floor. Returns `tenant_of[i] = Some(t)` ownership.
+pub(super) fn validate(
+    tenants: &[TenantCap],
+    utilities: &[QuadraticUtility],
+) -> Result<Vec<Option<usize>>, AlgError> {
+    let n = utilities.len();
+    let mut tenant_of: Vec<Option<usize>> = vec![None; n];
+    for (t, tenant) in tenants.iter().enumerate() {
+        if tenant.members.is_empty() {
+            return Err(AlgError::EmptyProblem);
+        }
+        let mut floor = Watts::ZERO;
+        for &i in &tenant.members {
+            if i >= n {
+                return Err(AlgError::UnknownNode { node: i, nodes: n });
+            }
+            if tenant_of[i].is_some() {
+                // Overlapping tenants: server i claimed twice.
+                return Err(AlgError::DimensionMismatch {
+                    expected: 1,
+                    got: i,
+                });
+            }
+            tenant_of[i] = Some(t);
+            floor += utilities[i].p_min();
+        }
+        if tenant.cap < floor {
+            return Err(AlgError::InfeasibleBudget {
+                budget: tenant.cap,
+                min_required: floor,
+            });
+        }
+    }
+    Ok(tenant_of)
+}

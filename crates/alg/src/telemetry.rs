@@ -227,6 +227,56 @@ pub struct FaultEvent {
     pub mass: f64,
 }
 
+/// One solved budget domain of a hierarchical run, flattened for sinks.
+/// Built from [`crate::hierarchy::DomainReport`] rows; kept separate so the
+/// telemetry layer does not depend on the tree solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainRecord {
+    /// Slash-joined path from the root domain.
+    pub path: String,
+    /// Distance from the root (root = 0).
+    pub depth: usize,
+    /// Servers in the subtree.
+    pub servers: usize,
+    /// Budget the parent assigned (watts).
+    pub budget_w: f64,
+    /// Hard cap, if configured (watts; NaN-free: `None` serializes as null).
+    pub cap_w: Option<f64>,
+    /// Power the subtree drew (watts).
+    pub power_w: f64,
+    /// The domain's demand price λ.
+    pub price: f64,
+    /// DiBA rounds the leaf used (0 for internal nodes and oracle leaves).
+    pub rounds: u64,
+}
+
+/// Renders per-domain records as JSON Lines, one object per domain in
+/// preorder. Byte-reproducible: every field is a pure function of the
+/// problem and configuration.
+pub fn domains_to_jsonl(domains: &[DomainRecord]) -> String {
+    let mut out = String::new();
+    for d in domains {
+        let _ = write!(
+            out,
+            "{{\"type\":\"domain\",\"path\":\"{}\",\"depth\":{},\"servers\":{},\
+             \"budget_w\":{},\"cap_w\":",
+            d.path, d.depth, d.servers, d.budget_w,
+        );
+        match d.cap_w {
+            Some(c) => {
+                let _ = write!(out, "{c}");
+            }
+            None => out.push_str("null"),
+        }
+        let _ = writeln!(
+            out,
+            ",\"power_w\":{},\"price\":{},\"rounds\":{}}}",
+            d.power_w, d.price, d.rounds,
+        );
+    }
+    out
+}
+
 /// Fixed-capacity overwrite-oldest ring buffer with a single writer. The
 /// backing storage is reserved once at construction; `push` never
 /// allocates, so a recorder in the hot round loop is allocation-free.
@@ -755,6 +805,38 @@ mod tests {
         assert!(prom.contains("dpc_sum_p_watts 95"));
         assert!(prom.contains("dpc_shard_work{shard=\"1\"} 11"));
         assert_eq!(t.message_totals(), (50, 5, 0, 0));
+    }
+
+    #[test]
+    fn domain_records_serialize_in_preorder_with_null_caps() {
+        let domains = vec![
+            DomainRecord {
+                path: "dc".to_string(),
+                depth: 0,
+                servers: 8,
+                budget_w: 1400.0,
+                cap_w: None,
+                power_w: 1399.5,
+                price: 0.002,
+                rounds: 0,
+            },
+            DomainRecord {
+                path: "dc/rack0".to_string(),
+                depth: 1,
+                servers: 4,
+                budget_w: 700.0,
+                cap_w: Some(650.0),
+                power_w: 650.0,
+                price: 0.004,
+                rounds: 120,
+            },
+        ];
+        let jsonl = domains_to_jsonl(&domains);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"path\":\"dc\"") && lines[0].contains("\"cap_w\":null"));
+        assert!(lines[1].contains("\"cap_w\":650") && lines[1].contains("\"rounds\":120"));
+        assert_eq!(jsonl, domains_to_jsonl(&domains));
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Equivalence and safety properties of the hierarchical budget tree and
+//! the flat two-timescale facility.
+//!
+//! The bitwise tests pin the trivial-tree contract: a chain of domains
+//! around a single leaf must reproduce the flat DiBA run exactly — same
+//! budget, same ring, same engine — under both the serial and the pooled
+//! thread policy. The property tests then cover what a fixed example
+//! cannot: tenant caps binding at arbitrary fractions of the uncapped
+//! draw, and the flat facility's rebalance staying conservative and
+//! feasible for any legal `rebalance_step`.
+
+use dpc_alg::centralized;
+use dpc_alg::diba::{DibaConfig, DibaRun};
+use dpc_alg::exec::Threads;
+use dpc_alg::hierarchy::{BudgetTree, DomainSpec, HierarchicalRun, LeafSolver, TenantCap};
+use dpc_alg::problem::PowerBudgetProblem;
+use dpc_models::units::Watts;
+use dpc_models::workload::ClusterBuilder;
+use dpc_topology::Graph;
+use proptest::prelude::*;
+
+fn cluster(n: usize, seed: u64) -> Vec<dpc_models::QuadraticUtility> {
+    ClusterBuilder::new(n).seed(seed).build().utilities()
+}
+
+/// A dc → row → rack chain holding every server in the one leaf.
+fn trivial_tree(n: usize) -> DomainSpec {
+    DomainSpec::internal(
+        "dc",
+        vec![DomainSpec::internal(
+            "row",
+            vec![DomainSpec::leaf("rack", (0..n).collect())],
+        )],
+    )
+}
+
+/// Runs the trivial tree and the flat DiBA side by side and asserts the
+/// allocations are bitwise identical.
+fn assert_trivial_tree_matches_flat(threads: Threads) {
+    let n = 40;
+    let u = cluster(n, 13);
+    let budget = Watts(168.0 * n as f64);
+    let config = DibaConfig {
+        threads,
+        ..DibaConfig::default()
+    };
+    let rel_tol = 0.01;
+    let max_rounds = 60_000;
+
+    let problem = PowerBudgetProblem::new(u.clone(), budget).unwrap();
+    let reference = problem.total_utility(&centralized::solve(&problem).allocation);
+    let mut flat = DibaRun::new(problem, Graph::ring(n), config).unwrap();
+    flat.run_until_within(reference, rel_tol, max_rounds)
+        .expect("flat run converges");
+    let flat_alloc = flat.allocation();
+
+    let mut tree = BudgetTree::new(u, &trivial_tree(n), budget, vec![]).unwrap();
+    let sol = tree
+        .solve(&LeafSolver::Diba {
+            config,
+            rel_tol,
+            max_rounds,
+        })
+        .unwrap();
+
+    for i in 0..n {
+        assert_eq!(
+            sol.allocation.power(i).0.to_bits(),
+            flat_alloc.power(i).0.to_bits(),
+            "server {i} diverged under {threads:?}"
+        );
+    }
+}
+
+#[test]
+fn trivial_tree_is_bitwise_the_flat_diba_run_serial() {
+    assert_trivial_tree_matches_flat(Threads::Fixed(1));
+}
+
+#[test]
+fn trivial_tree_is_bitwise_the_flat_diba_run_pooled() {
+    assert_trivial_tree_matches_flat(Threads::Auto);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A tenant capped anywhere below its uncapped draw ends up exactly at
+    /// (or under) the cap, with the nested chain and the facility budget
+    /// still respected.
+    #[test]
+    fn binding_tenant_caps_are_always_respected(
+        seed in 0u64..64,
+        frac in 0.55f64..0.95,
+        stride in 3usize..6,
+    ) {
+        let n = 36;
+        let u = cluster(n, seed);
+        let budget = Watts(185.0 * n as f64);
+        let spec = DomainSpec::uniform(n, 3, 1);
+        let members: Vec<usize> = (0..n).step_by(stride).collect();
+
+        let uncapped = {
+            let mut tree = BudgetTree::new(u.clone(), &spec, budget, vec![]).unwrap();
+            let sol = tree.solve(&LeafSolver::Oracle).unwrap();
+            members.iter().map(|&i| sol.allocation.power(i).0).sum::<f64>()
+        };
+        let floor: f64 = members.iter().map(|&i| u[i].p_min().0).sum();
+        let cap = (frac * uncapped).max(floor * (1.0 + 1e-6));
+        prop_assume!(cap < uncapped * 0.999);
+
+        let tenants = vec![TenantCap::new("t", members.clone(), Watts(cap))];
+        let mut tree = BudgetTree::new(u, &spec, budget, tenants).unwrap();
+        let sol = tree.solve(&LeafSolver::Oracle).unwrap();
+
+        let usage: f64 = members.iter().map(|&i| sol.allocation.power(i).0).sum();
+        prop_assert!(
+            usage <= cap * (1.0 + 1e-6),
+            "usage {usage} exceeds cap {cap}"
+        );
+        prop_assert!(sol.tenants[0].price > 0.0, "cap below draw must price in");
+        prop_assert!(sol.total_power <= budget + Watts(1e-6));
+        prop_assert!(tree.nested_feasible(Watts(1e-6)));
+    }
+
+    /// For any legal `rebalance_step`, the flat facility's rebalance
+    /// conserves the total budget exactly and keeps every group's budget
+    /// inside its aggregate `[Σ p_min, Σ p_max]` box.
+    #[test]
+    fn rebalance_conserves_and_stays_feasible_for_any_step(
+        seed in 0u64..64,
+        step in 0.01f64..4.0,
+        groups in 2usize..5,
+        per_server in 140.0f64..200.0,
+    ) {
+        let n = 24;
+        let u = cluster(n, seed);
+        let group_of: Vec<usize> = (0..n).map(|i| i % groups).collect();
+        let total = Watts(per_server * n as f64);
+        let floor: f64 = u.iter().map(|q| q.p_min().0).sum();
+        prop_assume!(total.0 >= floor);
+
+        let floors: Vec<f64> = (0..groups)
+            .map(|g| {
+                group_of
+                    .iter()
+                    .zip(&u)
+                    .filter(|(&og, _)| og == g)
+                    .map(|(_, q)| q.p_min().0)
+                    .sum()
+            })
+            .collect();
+        let ceils: Vec<f64> = (0..groups)
+            .map(|g| {
+                group_of
+                    .iter()
+                    .zip(&u)
+                    .filter(|(&og, _)| og == g)
+                    .map(|(_, q)| q.p_max().0)
+                    .sum()
+            })
+            .collect();
+
+        let mut run = HierarchicalRun::new(u, &group_of, total, DibaConfig::default()).unwrap();
+        run.set_rebalance_step(step);
+        for _ in 0..12 {
+            run.step_local(25);
+            run.rebalance();
+            let budgets = run.group_budgets();
+            let sum: f64 = budgets.iter().map(|b| b.0).sum();
+            prop_assert!(
+                (sum - total.0).abs() <= 1e-6 * total.0,
+                "budget not conserved: {sum} vs {total}"
+            );
+            for ((b, &lo), &hi) in budgets.iter().zip(&floors).zip(&ceils) {
+                prop_assert!(
+                    b.0 >= lo - 1e-9 && b.0 <= hi + 1e-9,
+                    "group budget {b} outside [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+}

@@ -14,6 +14,7 @@ pub mod ch3;
 pub mod ch4;
 pub mod ext;
 pub mod faultbench;
+pub mod hierbench;
 pub mod replaybench;
 pub mod report;
 pub mod roundbench;

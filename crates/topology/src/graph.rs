@@ -37,6 +37,12 @@ pub enum GraphError {
         /// Attempts made.
         attempts: usize,
     },
+    /// A node was listed in more than one partition cell (or twice in one)
+    /// of a partition-based construction.
+    DuplicateMember {
+        /// The node listed twice.
+        node: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -51,6 +57,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::ConnectivityNotReached { attempts } => {
                 write!(f, "no connected graph found in {attempts} attempts")
+            }
+            GraphError::DuplicateMember { node } => {
+                write!(f, "node {node} appears in more than one partition cell")
             }
         }
     }

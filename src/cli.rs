@@ -141,6 +141,17 @@ COMMANDS:
              --bench [FILE]  run the warm-vs-cold dynamic sweep instead and
              write BENCH_dynamic.json (or FILE); --sizes N,N,... (1000,10000)
              --seed S (0)
+  hier       solve a hierarchical multi-tenant budget tree
+             --servers N (96)  --budget-watts W (170·N)  --seed S (0)
+             --fanout F (4)  --depth D (1)  --leaf oracle|diba (oracle)
+             --tenants K (0, striped caps at 90% of tenant peak)
+             --tol X (0.015)  --max-rounds R (200000)
+             --threads T|auto (auto)  --precision reference|fast (reference)
+             --domains FILE (also write per-domain JSONL records)
+             --bench [FILE]  run the fanout × depth sweep instead and write
+             BENCH_hierarchy.json (or FILE); --fanouts F,F,... (2,4)
+             --depths D,D,... (1,2)  --big N (0; adds the ≥100k two-level
+             DiBA row when positive)
   trace      run one solver with the round recorder attached, write a trace
              --solver diba|async|primal-dual (diba)  --servers N (64)
              --budget-watts W (170·N)  --seed S (0)  --rounds R (600)
@@ -695,6 +706,159 @@ pub fn cmd_replay(opts: &Options) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn parse_list(opts: &Options, key: &str, default: &[usize]) -> Result<Vec<usize>, CliError> {
+    match opts.string(key) {
+        None => Ok(default.to_vec()),
+        Some(spec) => spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|e| CliError(format!("bad value in --{key}: `{s}`: {e}")))
+            })
+            .collect(),
+    }
+}
+
+/// `dpc hier`: solves one hierarchical budget tree (or, with `--bench`,
+/// runs the fanout × depth sweep and writes `BENCH_hierarchy.json`).
+pub fn cmd_hier(opts: &Options) -> Result<String, CliError> {
+    use crate::alg::hierarchy::{BudgetTree, DomainSpec, LeafSolver};
+    use crate::alg::telemetry::{domains_to_jsonl, DomainRecord};
+
+    let seed: u64 = opts.get_or("seed", 0)?;
+
+    if let Some(bench_out) = opts.string("bench") {
+        let servers: usize = opts.get_or("servers", 96)?;
+        if servers < 8 {
+            return Err(CliError("--servers must be at least 8".into()));
+        }
+        let fanouts = parse_list(opts, "fanouts", &[2, 4])?;
+        let depths = parse_list(opts, "depths", &[1, 2])?;
+        if fanouts.iter().any(|&f| f < 2) || depths.contains(&0) {
+            return Err(CliError(
+                "--fanouts need values of at least 2 and --depths of at least 1".into(),
+            ));
+        }
+        let tenants: usize = opts.get_or("tenants", 2)?;
+        let big: usize = opts.get_or("big", 0)?;
+        if big > 0 && big < 100_000 {
+            return Err(CliError(
+                "--big is the ≥100k scalability row; use 0 to skip it".into(),
+            ));
+        }
+        let report = dpc_bench::hierbench::run(
+            servers,
+            &fanouts,
+            &depths,
+            seed,
+            tenants,
+            (big > 0).then_some(big),
+        );
+        if !report.gates_pass() {
+            return Err(CliError(format!(
+                "a sweep cell failed its gate:\n{}",
+                report.to_table()
+            )));
+        }
+        write_output(bench_out, &report.to_json())?;
+        return Ok(format!(
+            "{}\nreport written to {bench_out}\n",
+            report.to_table()
+        ));
+    }
+
+    let n: usize = opts.get_or("servers", 96)?;
+    if n < 2 {
+        return Err(CliError("--servers must be at least 2".into()));
+    }
+    let budget = Watts(opts.get_or("budget-watts", 170.0 * n as f64)?);
+    let fanout: usize = opts.get_or("fanout", 4)?;
+    let depth: usize = opts.get_or("depth", 1)?;
+    if fanout < 2 {
+        return Err(CliError("--fanout must be at least 2".into()));
+    }
+    let tenants: usize = opts.get_or("tenants", 0)?;
+    let utilities = ClusterBuilder::new(n).seed(seed).build().utilities();
+    let caps = dpc_bench::hierbench::striped_tenants(&utilities, tenants);
+    let leaf = match opts.string("leaf").unwrap_or("oracle") {
+        "oracle" => LeafSolver::Oracle,
+        "diba" => LeafSolver::Diba {
+            config: DibaConfig {
+                threads: opts.get_or("threads", Threads::Auto)?,
+                precision: opts.get_or("precision", Precision::Reference)?,
+                ..DibaConfig::default()
+            },
+            rel_tol: opts.get_or("tol", 0.015)?,
+            max_rounds: opts.get_or("max-rounds", 200_000)?,
+        },
+        other => {
+            return Err(CliError(format!(
+                "--leaf must be oracle|diba, got `{other}`"
+            )))
+        }
+    };
+    let spec = DomainSpec::uniform(n, fanout, depth);
+    let mut tree = BudgetTree::new(utilities, &spec, budget, caps)
+        .map_err(|e| CliError(format!("infeasible tree: {e}")))?;
+    let sol = tree
+        .solve(&leaf)
+        .map_err(|e| CliError(format!("tree solve failed: {e}")))?;
+
+    let reports = tree.domain_reports();
+    if let Some(path) = opts.string("domains") {
+        let records: Vec<DomainRecord> = reports
+            .iter()
+            .map(|r| DomainRecord {
+                path: r.path.clone(),
+                depth: r.depth,
+                servers: r.servers,
+                budget_w: r.budget.0,
+                cap_w: r.cap.map(|c| c.0),
+                power_w: r.power.0,
+                price: r.price,
+                rounds: r.rounds,
+            })
+            .collect();
+        write_output(path, &domains_to_jsonl(&records))?;
+    }
+
+    let mut out = format!(
+        "hierarchical budget tree: {n} servers, fanout {fanout}, depth {depth}\n\n\
+         {:>5}  {:>7}  {:>12}  {:>12}  {:>12}  {:>9}  path\n",
+        "depth", "servers", "budget (W)", "power (W)", "price", "rounds",
+    );
+    for r in &reports {
+        out.push_str(&format!(
+            "{:>5}  {:>7}  {:>12.2}  {:>12.2}  {:>12.6}  {:>9}  {}\n",
+            r.depth, r.servers, r.budget.0, r.power.0, r.price, r.rounds, r.path,
+        ));
+    }
+    out.push_str(&format!(
+        "\ntotal power {:.2} W of {:.2} W budget, utility {:.4}, largest ring {} servers\n",
+        sol.total_power.0, budget.0, sol.total_utility, sol.max_leaf_servers,
+    ));
+    for t in &sol.tenants {
+        out.push_str(&format!(
+            "tenant {:>8}: usage {:>10.2} W of cap {:>10.2} W, price {:.6}{}\n",
+            t.name,
+            t.usage.0,
+            t.cap.0,
+            t.price,
+            if t.binding { " (binding)" } else { "" },
+        ));
+    }
+    if !tree.nested_feasible(Watts(1e-9 * budget.0.max(1.0))) {
+        return Err(CliError(format!(
+            "nested-constraint chain violated:\n{out}"
+        )));
+    }
+    if let Some(path) = opts.string("domains") {
+        out.push_str(&format!("domain records written to {path}\n"));
+    }
+    Ok(out)
+}
+
 /// `dpc trace`: runs one solver with the round recorder attached and
 /// writes the captured telemetry in the requested sink format. The
 /// recorded trajectory is bitwise identical to an untraced run, and the
@@ -1099,6 +1263,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let rest = match cmd.as_str() {
         "cluster" => normalize_bench_arg(rest, "BENCH_runtime.json"),
         "replay" => normalize_bench_arg(rest, "BENCH_dynamic.json"),
+        "hier" => normalize_bench_arg(rest, "BENCH_hierarchy.json"),
         _ => rest.to_vec(),
     };
     let opts = Options::parse(&rest)?;
@@ -1111,6 +1276,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "bench" => cmd_bench(&opts),
         "faults" => cmd_faults(&opts),
         "replay" => cmd_replay(&opts),
+        "hier" => cmd_hier(&opts),
         "trace" => cmd_trace(&opts),
         "cluster" => cmd_cluster(&opts),
         "node" => cmd_node(&opts),
@@ -1386,6 +1552,68 @@ mod tests {
         .unwrap_err();
         assert!(err.0.contains("--cold"), "{err}");
         assert!(run(&args(&["replay", "--bench", "--sizes", "4"])).is_err());
+    }
+
+    #[test]
+    fn hier_solves_a_tree_and_writes_domain_records() {
+        let dir = std::env::temp_dir().join("dpc-cli-hier-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let domains = dir.join("domains.jsonl");
+        let out = run(&args(&[
+            "hier",
+            "--servers",
+            "48",
+            "--fanout",
+            "4",
+            "--depth",
+            "1",
+            "--tenants",
+            "2",
+            "--domains",
+            domains.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("largest ring 12 servers"), "{out}");
+        assert!(out.contains("tenant  tenant0"), "{out}");
+        let jsonl = std::fs::read_to_string(&domains).unwrap();
+        assert_eq!(jsonl.lines().count(), 5, "{jsonl}");
+        assert!(jsonl.contains("\"path\":\"dc/dc.0\""), "{jsonl}");
+
+        assert!(run(&args(&["hier", "--servers", "1"])).is_err());
+        assert!(run(&args(&["hier", "--fanout", "1"])).is_err());
+        assert!(run(&args(&["hier", "--leaf", "magic"])).is_err());
+        assert!(run(&args(&["hier", "--bench", "--big", "5"])).is_err());
+    }
+
+    #[test]
+    fn hier_bench_report_is_byte_identical_across_reruns() {
+        let dir = std::env::temp_dir().join("dpc-cli-hier-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run_once = |name: &str| {
+            let path = dir.join(name);
+            let out = run(&args(&[
+                "hier",
+                "--bench",
+                path.to_str().unwrap(),
+                "--servers",
+                "64",
+                "--fanouts",
+                "2,4",
+                "--depths",
+                "1",
+                "--tenants",
+                "2",
+            ]))
+            .unwrap();
+            assert!(out.contains("report written"), "{out}");
+            std::fs::read(path).unwrap()
+        };
+        let first = run_once("a.json");
+        let second = run_once("b.json");
+        assert_eq!(first, second, "hier report not byte-identical");
+        let json = String::from_utf8(first).unwrap();
+        assert!(json.contains("\"bench\": \"hierarchy\""), "{json}");
+        assert!(json.contains("\"gates_pass\": true"), "{json}");
     }
 
     #[test]
