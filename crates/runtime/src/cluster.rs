@@ -10,7 +10,9 @@
 
 use crate::channel;
 use crate::error::RuntimeError;
+use crate::lockstep;
 use crate::node::{run_node, NodeReport, NodeSpec};
+use crate::reactor;
 use crate::tcp::{RetryPolicy, TcpTransport};
 use crate::transport::{HandshakeContext, Transport};
 use dpc_alg::diba::{DibaConfig, DibaRun};
@@ -28,6 +30,11 @@ pub enum TransportKind {
     InProcess,
     /// Real TCP sockets on 127.0.0.1.
     Tcp,
+    /// The serial lockstep executor: whole cluster on one thread, no
+    /// sockets — the cheap deterministic reference at any N.
+    Lockstep,
+    /// The sharded epoll reactor: thousands of agents per poller thread.
+    Reactor,
 }
 
 impl TransportKind {
@@ -36,6 +43,8 @@ impl TransportKind {
         match self {
             TransportKind::InProcess => "inproc",
             TransportKind::Tcp => "tcp",
+            TransportKind::Lockstep => "lockstep",
+            TransportKind::Reactor => "reactor",
         }
     }
 }
@@ -64,6 +73,9 @@ pub struct RuntimeConfig {
     pub handshake_timeout: Duration,
     /// Merge a telemetry record every this many rounds (0 = none).
     pub sample_every: usize,
+    /// Poller shards for the reactor transport (0 = auto-size from the
+    /// host's available parallelism); other transports ignore it.
+    pub shards: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -77,6 +89,7 @@ impl Default for RuntimeConfig {
             round_timeout: Duration::from_secs(2),
             handshake_timeout: Duration::from_secs(10),
             sample_every: 0,
+            shards: 0,
         }
     }
 }
@@ -105,6 +118,13 @@ pub struct ClusterOutcome {
     pub drift: f64,
     /// Merged round telemetry (when `sample_every > 0`).
     pub telemetry: Option<Telemetry>,
+    /// Peak process thread count observed during the run (reactor
+    /// transport only — the number the O(shards)-not-O(agents) claim is
+    /// checked against).
+    pub peak_threads: Option<u32>,
+    /// Peak resident set size in KiB observed during the run (reactor
+    /// transport only).
+    pub peak_rss_kb: Option<u64>,
 }
 
 impl ClusterOutcome {
@@ -269,9 +289,18 @@ pub fn run_cluster(
 ) -> Result<ClusterOutcome, RuntimeError> {
     let specs = node_specs(&problem, &graph, config, rt)?;
     let hash = graph.topology_hash();
+    let mut peak_threads = None;
+    let mut peak_rss_kb = None;
     let reports = match rt.transport {
         TransportKind::InProcess => {
             spawn_nodes(specs, channel::mesh(&graph), hash, rt.handshake_timeout)?
+        }
+        TransportKind::Lockstep => lockstep::run_lockstep(specs, &graph)?,
+        TransportKind::Reactor => {
+            let run = reactor::run_reactor_cluster(specs, &graph, rt)?;
+            peak_threads = Some(run.peak_threads);
+            peak_rss_kb = run.peak_rss_kb;
+            run.reports
         }
         TransportKind::Tcp => {
             let n = graph.len();
@@ -324,6 +353,8 @@ pub fn run_cluster(
         heartbeats: reports.iter().map(|r| r.heartbeats_sent).sum(),
         drift: (sum_e - (sum_p - budget.0)).abs(),
         telemetry,
+        peak_threads,
+        peak_rss_kb,
         reports,
     })
 }

@@ -39,10 +39,13 @@
 
 #![warn(missing_docs)]
 
+pub mod agent;
 pub mod channel;
 pub mod cluster;
 pub mod error;
+pub mod lockstep;
 pub mod node;
+pub mod reactor;
 pub mod tcp;
 pub mod transport;
 pub mod wire;

@@ -20,11 +20,11 @@
 //!   link first, so neighbors account the departure instead of burning
 //!   `detect_after` rounds on silence.
 
+use crate::agent::AgentCore;
 use crate::error::RuntimeError;
 use crate::transport::{Delivery, Incoming, Transport};
 use crate::wire::WireMsg;
-use dpc_alg::diba::{node_action_into, NodeParams, NodeScratch};
-use dpc_alg::message::RoundMsg;
+use dpc_alg::diba::NodeParams;
 use dpc_models::QuadraticUtility;
 use std::time::Duration;
 
@@ -105,22 +105,16 @@ pub struct NodeReport {
     pub trace: Vec<NodeSample>,
 }
 
-/// Per-slot link bookkeeping.
-struct LinkBook {
-    alive: bool,
-    /// Peer said goodbye (graceful) as opposed to being pruned/broken.
-    graceful: bool,
-    peer_settled: bool,
-    silent: usize,
-    /// Last residual heard from the peer.
-    heard_e: f64,
-    /// Last residual we successfully sent in a `Data` frame (NaN until the
-    /// first send, so the first round always sends `Data`).
-    sent_e: f64,
-}
-
 /// Runs one node actor to completion over an established transport.
 /// [`Transport::handshake`] must have succeeded already.
+///
+/// The protocol arithmetic lives in [`AgentCore`]; this function is the
+/// blocking driver — it moves frames between the core and the transport in
+/// the canonical phase order (send pass, receive pass in slot order,
+/// quorum goodbyes, slot-sequential lame-duck drain). The serial lockstep
+/// executor and the reactor shards drive the identical core through the
+/// identical phases, which is what makes cross-substrate runs bitwise
+/// comparable.
 ///
 /// # Errors
 ///
@@ -133,106 +127,28 @@ pub fn run_node<T: Transport>(
     transport: &mut T,
 ) -> Result<NodeReport, RuntimeError> {
     let degree = transport.degree();
-    let mut p = spec.p;
-    let mut e = spec.e;
-    let mut links: Vec<LinkBook> = (0..degree)
-        .map(|_| LinkBook {
-            alive: true,
-            graceful: false,
-            peer_settled: false,
-            silent: 0,
-            heard_e: spec.e,
-            sent_e: f64::NAN,
-        })
-        .collect();
+    let peers: Vec<usize> = (0..degree).map(|slot| transport.peer(slot)).collect();
+    let mut core = AgentCore::new(spec.clone(), &peers);
 
-    let reboost = spec.eta_boost.max(1.0);
-    let decay = spec.boost_decay.clamp(0.0, 1.0);
-    let mut boost = reboost;
-    let mut streak = 0usize;
-    let mut rounds = 0usize;
-    let mut converged = false;
-    let mut msgs_sent = 0u64;
-    let mut msgs_received = 0u64;
-    let mut heartbeats_sent = 0u64;
-    let mut pruned = Vec::new();
-    let mut trace = Vec::new();
+    while core.rounds_remaining() {
+        core.begin_round();
 
-    let mut live_slots: Vec<usize> = Vec::with_capacity(degree);
-    let mut neigh_e: Vec<f64> = Vec::with_capacity(degree);
-    // One scratch for the whole agent lifetime: steady-state rounds
-    // allocate nothing.
-    let mut scratch = NodeScratch::with_capacity(degree);
-
-    while rounds < spec.max_rounds {
-        rounds += 1;
-        let round = rounds as u32;
-
-        live_slots.clear();
-        neigh_e.clear();
-        for (slot, link) in links.iter().enumerate() {
-            if link.alive {
-                live_slots.push(slot);
-                neigh_e.push(link.heard_e);
-            }
-        }
-
-        let round_params = NodeParams {
-            eta: spec.params.eta * boost,
-            ..spec.params
-        };
-        let dp = node_action_into(&spec.utility, p, e, &neigh_e, &round_params, &mut scratch);
-        // Same accounting (and summation order) as
-        // `NodeAction::own_residual_delta`, without the per-round `Vec`.
-        let sent_total: f64 = scratch.transfers.iter().sum();
-        p += dp;
-        e += dp - sent_total;
-        streak = if dp.abs() < spec.settle_tol {
-            streak + 1
-        } else {
-            0
-        };
-        let settled = streak >= spec.stable_rounds;
-
-        // Send pass: one frame per live link; reclaim the transfer when
-        // the link turns out to be gone so no slack mass is destroyed.
-        for (k, &slot) in live_slots.iter().enumerate() {
-            let transfer = scratch.transfers[k];
-            let redundant = settled && transfer == 0.0 && e == links[slot].sent_e;
-            let msg = if redundant {
-                WireMsg::Heartbeat {
-                    round,
-                    settled: true,
-                }
-            } else {
-                WireMsg::Data {
-                    round,
-                    msg: RoundMsg { e, transfer },
-                    settled,
-                }
-            };
+        // Send pass: one frame per live link; the core reclaims the
+        // transfer when the link turns out to be gone so no slack mass is
+        // destroyed.
+        for k in 0..core.outbound_len() {
+            let out = core.outbound(k);
+            let (slot, msg) = (out.slot, out.msg);
             match transport.send(slot, &msg) {
-                Delivery::Sent => {
-                    msgs_sent += 1;
-                    if redundant {
-                        heartbeats_sent += 1;
-                    } else {
-                        links[slot].sent_e = e;
-                    }
-                }
-                Delivery::Closed => {
-                    e += transfer;
-                    links[slot].alive = false;
-                    if !links[slot].graceful {
-                        pruned.push(transport.peer(slot));
-                    }
-                }
+                Delivery::Sent => core.note_sent(k),
+                Delivery::Closed => core.note_send_closed(k),
             }
         }
 
         // Receive pass: one frame per (still) live link, slot order.
-        for &slot in &live_slots {
-            if !links[slot].alive {
+        let slots: Vec<usize> = core.round_slots().to_vec();
+        for &slot in &slots {
+            if !core.is_alive(slot) {
                 continue;
             }
             match transport.recv(slot, spec.round_timeout)? {
@@ -240,71 +156,31 @@ pub fn run_node<T: Transport>(
                     msg,
                     settled: peer_settled,
                     ..
-                }) => {
-                    links[slot].heard_e = msg.e;
-                    e += msg.transfer;
-                    links[slot].peer_settled = peer_settled;
-                    links[slot].silent = 0;
-                    msgs_received += 1;
-                }
+                }) => core.on_data(slot, msg, peer_settled),
                 Incoming::Msg(WireMsg::Heartbeat {
                     settled: peer_settled,
                     ..
-                }) => {
-                    links[slot].peer_settled = peer_settled;
-                    links[slot].silent = 0;
-                    msgs_received += 1;
-                }
-                Incoming::Msg(WireMsg::Goodbye { msg }) => {
-                    e += msg.transfer;
-                    links[slot].alive = false;
-                    links[slot].graceful = true;
-                    links[slot].peer_settled = true;
-                    msgs_received += 1;
-                }
+                }) => core.on_heartbeat(slot, peer_settled),
+                Incoming::Msg(WireMsg::Goodbye { msg }) => core.on_goodbye(slot, msg),
                 Incoming::Msg(other) => {
                     return Err(RuntimeError::Protocol {
                         peer: transport.peer_label(slot),
                         got: other.kind(),
                     })
                 }
-                Incoming::Timeout => {
-                    links[slot].silent += 1;
-                    if links[slot].silent >= spec.detect_after {
-                        links[slot].alive = false;
-                        pruned.push(transport.peer(slot));
-                    }
-                }
-                Incoming::Closed => {
-                    links[slot].alive = false;
-                    if !links[slot].graceful {
-                        pruned.push(transport.peer(slot));
-                    }
-                }
+                Incoming::Timeout => core.on_timeout(slot),
+                Incoming::Closed => core.on_closed(slot),
             }
-        }
-
-        boost = (boost * decay).max(1.0);
-
-        if spec.sample_every > 0 && rounds.is_multiple_of(spec.sample_every) {
-            trace.push(NodeSample {
-                round: rounds,
-                p,
-                e,
-                msgs_sent,
-            });
         }
 
         // Convergence quorum: we are settled and every neighbor is either
         // settled or gone.
-        if settled && links.iter().all(|l| !l.alive || l.peer_settled) {
-            for (slot, link) in links.iter().enumerate() {
-                if link.alive {
-                    let bye = WireMsg::Goodbye {
-                        msg: RoundMsg { e, transfer: 0.0 },
-                    };
+        if core.end_round() {
+            for slot in 0..degree {
+                if core.is_alive(slot) {
+                    let bye = core.goodbye();
                     if transport.send(slot, &bye) == Delivery::Sent {
-                        msgs_sent += 1;
+                        core.note_goodbye_sent();
                     }
                 }
             }
@@ -313,22 +189,20 @@ pub fn run_node<T: Transport>(
             // mass still in flight so the residual invariant survives the
             // shutdown, then leave at the first silence/close per link.
             let drain_timeout = spec.round_timeout.min(Duration::from_millis(100));
-            for (slot, link) in links.iter_mut().enumerate() {
-                if !link.alive {
+            for slot in 0..degree {
+                if !core.is_alive(slot) {
                     continue;
                 }
                 loop {
                     match transport.recv(slot, drain_timeout) {
                         Ok(Incoming::Msg(WireMsg::Data { msg, .. })) => {
-                            e += msg.transfer;
-                            msgs_received += 1;
+                            core.stage_drain_mass(slot, msg.transfer);
                         }
                         Ok(Incoming::Msg(WireMsg::Heartbeat { .. })) => {
-                            msgs_received += 1;
+                            core.stage_drain_heartbeat(slot);
                         }
                         Ok(Incoming::Msg(WireMsg::Goodbye { msg })) => {
-                            e += msg.transfer;
-                            msgs_received += 1;
+                            core.stage_drain_mass(slot, msg.transfer);
                             break;
                         }
                         // Anything else — silence, closure, a handshake
@@ -338,21 +212,11 @@ pub fn run_node<T: Transport>(
                     }
                 }
             }
-            converged = true;
+            core.finish_drain();
+            core.mark_converged();
             break;
         }
     }
 
-    Ok(NodeReport {
-        node: spec.id,
-        p,
-        e,
-        rounds,
-        converged,
-        msgs_sent,
-        msgs_received,
-        heartbeats_sent,
-        pruned,
-        trace,
-    })
+    Ok(core.into_report())
 }

@@ -1,0 +1,162 @@
+//! Per-link state for the reactor: in-memory byte pipes, nonblocking
+//! socket connections, and the handshake→data link state machine driven
+//! by the shard loop.
+//!
+//! Both link flavors carry the *identical* byte stream — length-prefixed
+//! frames from [`crate::wire::encode_frame`], reassembled by
+//! [`Reassembly`] — so wire fidelity does not depend on whether an edge
+//! crosses a shard boundary. A mem pipe is just a mutex-guarded byte
+//! buffer plus the receiving shard's eventfd; a sock link is a
+//! nonblocking loopback `TcpStream` with an outbound staging buffer
+//! flushed on `EPOLLOUT`.
+
+use super::sys::EventFd;
+use crate::wire::{Reassembly, WireMsg};
+use std::collections::VecDeque;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+#[derive(Default)]
+struct PipeBuf {
+    bytes: Vec<u8>,
+    closed: bool,
+}
+
+/// One direction of an in-memory edge: sender appends encoded frames,
+/// receiver takes the accumulated bytes into its reassembly buffer.
+pub struct MemPipe {
+    buf: Mutex<PipeBuf>,
+    dirty: AtomicBool,
+    /// The receiving shard's wakeup, present only when the pipe crosses a
+    /// shard boundary (fd-budget spill); intra-shard pipes are pumped by
+    /// the owning loop itself.
+    signal: Option<Arc<EventFd>>,
+}
+
+impl MemPipe {
+    /// A fresh pipe; `signal` is the *receiving* shard's eventfd for
+    /// cross-shard pipes, `None` for intra-shard ones.
+    pub fn new(signal: Option<Arc<EventFd>>) -> Arc<MemPipe> {
+        Arc::new(MemPipe {
+            buf: Mutex::new(PipeBuf::default()),
+            dirty: AtomicBool::new(false),
+            signal,
+        })
+    }
+
+    /// Appends one encoded frame. Returns `false` if the receiver closed
+    /// the pipe (the mem analogue of a dead socket).
+    pub fn send(&self, frame: &[u8]) -> bool {
+        {
+            let mut buf = self.buf.lock().expect("pipe lock");
+            if buf.closed {
+                return false;
+            }
+            buf.bytes.extend_from_slice(frame);
+        }
+        self.dirty.store(true, Ordering::Release);
+        if let Some(signal) = &self.signal {
+            signal.signal();
+        }
+        true
+    }
+
+    /// Marks the pipe closed (either side; frames already in flight stay
+    /// readable) and wakes the receiver so it notices.
+    pub fn close(&self) {
+        self.buf.lock().expect("pipe lock").closed = true;
+        self.dirty.store(true, Ordering::Release);
+        if let Some(signal) = &self.signal {
+            signal.signal();
+        }
+    }
+
+    /// Cheap pre-check for the receiver's sweep.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty.load(Ordering::Acquire)
+    }
+
+    /// Takes all buffered bytes into `into` and clears the dirty flag.
+    /// Returns `true` once the pipe is closed (no more bytes will ever
+    /// arrive after these).
+    pub fn take(&self, into: &mut Vec<u8>) -> bool {
+        self.dirty.store(false, Ordering::Release);
+        let mut buf = self.buf.lock().expect("pipe lock");
+        into.extend_from_slice(&buf.bytes);
+        buf.bytes.clear();
+        buf.closed
+    }
+}
+
+/// A nonblocking socket endpoint owned by one shard. The stream is
+/// registered in the shard's epoll under this connection's index.
+pub struct SockConn {
+    /// The nonblocking loopback stream.
+    pub stream: TcpStream,
+    /// Outbound bytes not yet accepted by the kernel.
+    pub out: Vec<u8>,
+    /// Consumed prefix of `out`.
+    pub out_pos: usize,
+    /// Registered for `EPOLLOUT` (pending flush).
+    pub want_write: bool,
+    /// Read side reached EOF or the connection failed.
+    pub closed: bool,
+    /// Write side shut down (agent finished; flush then FIN).
+    pub closing: bool,
+    /// Shard-local index of the [`Link`] this connection feeds.
+    pub link: u32,
+}
+
+/// Handshake progress of one link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkState {
+    /// Acceptor side: waiting for the dialer's `Hello`.
+    AwaitHello,
+    /// Dialer side: `Hello` sent, waiting for `HelloAck`.
+    AwaitAck,
+    /// Handshake complete; round frames flow.
+    Data,
+}
+
+/// How a link moves bytes.
+pub enum LinkEnd {
+    /// Socket edge: index into the shard's connection slab.
+    Sock(u32),
+    /// In-memory edge: receive and transmit pipes.
+    Mem {
+        /// Frames arriving here.
+        rx: Arc<MemPipe>,
+        /// Frames leaving here.
+        tx: Arc<MemPipe>,
+    },
+}
+
+/// One agent↔neighbor attachment: transport end, reassembly buffer,
+/// decoded-frame inbox, and handshake state.
+pub struct Link {
+    /// Shard-local index of the owning agent.
+    pub agent: u32,
+    /// Neighbor node id (for labels and hello validation).
+    pub peer: usize,
+    /// Transport end.
+    pub end: LinkEnd,
+    /// Handshake progress.
+    pub state: LinkState,
+    /// Partial-frame reassembly for the inbound byte stream.
+    pub reasm: Reassembly,
+    /// Decoded round frames awaiting the agent's receive pass.
+    pub inbox: VecDeque<WireMsg>,
+    /// Inbound side is exhausted: the peer closed and every buffered
+    /// frame has been routed.
+    pub eof: bool,
+    /// Lazy-cancellation sequence for the handshake deadline.
+    pub hs_seq: u32,
+}
+
+impl Link {
+    /// Label used in errors, matching the other transports' convention.
+    pub fn peer_label(&self) -> String {
+        format!("node {}", self.peer)
+    }
+}

@@ -1,0 +1,324 @@
+//! The scale-out reactor runtime: a sharded, epoll-backed readiness loop
+//! that hosts thousands of DiBA agents per poller thread.
+//!
+//! The blocking substrates ([`crate::channel`], [`crate::tcp`]) spend one
+//! OS thread per node, which tops out around a thousand agents per
+//! process. The reactor inverts that: a handful of *poller shards* (one
+//! thread each, sized from the host's parallelism or `--shards`) own
+//! contiguous node ranges cut by [`dpc_topology::Graph::shard_offsets`],
+//! and every agent is a state machine stepped when its inputs are ready —
+//! memory and threads are O(agents) and O(shards) respectively, never
+//! O(agents) threads.
+//!
+//! Edges are carried by a hybrid link layer chosen per edge at bring-up:
+//!
+//! * **cross-shard** edges get a real nonblocking loopback TCP socket
+//!   driven by the shard's epoll — until the process's file-descriptor
+//!   budget (`RLIMIT_NOFILE` minus a reserve) runs out, after which the
+//!   remainder spill to in-memory pipes that wake the receiving shard
+//!   through its eventfd;
+//! * **intra-shard** edges always use in-memory pipes, pumped by the
+//!   owning loop itself.
+//!
+//! Both flavors carry the *identical* byte stream — length-prefixed
+//! frames from [`crate::wire::encode_frame`] reassembled by
+//! [`crate::wire::Reassembly`] — and agents consume exactly one frame per
+//! live slot per round in slot order, so the arithmetic is
+//! bitwise-identical to the in-process and lockstep substrates at equal
+//! seeds (pinned by the transport-equivalence tests).
+
+mod conn;
+mod shard;
+mod sys;
+mod wheel;
+
+use conn::{Link, LinkEnd, LinkState, MemPipe, SockConn};
+use shard::{run_shard, AgentSlot, Shard};
+use sys::{nofile_limit, Epoll, EventFd};
+
+use crate::agent::AgentCore;
+use crate::cluster::RuntimeConfig;
+use crate::error::RuntimeError;
+use crate::node::{NodeReport, NodeSpec};
+use crate::wire::{ClusterIdentity, Reassembly};
+use dpc_topology::Graph;
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// What a reactor deployment produced, beyond the reports themselves.
+pub struct ReactorRun {
+    /// Per-node reports, ordered by node id.
+    pub reports: Vec<NodeReport>,
+    /// Peak process thread count observed during the run — the number
+    /// that substantiates the O(shards)-not-O(agents) claim.
+    pub peak_threads: u32,
+    /// Peak resident set size (KiB) from `/proc/self/status` (`VmHWM`),
+    /// when the platform exposes it.
+    pub peak_rss_kb: Option<u64>,
+}
+
+/// File descriptors held back from the socket budget: listener, epoll
+/// and eventfd per shard, stdio, and whatever the test harness has open.
+const FD_RESERVE: u64 = 128;
+
+fn shard_count(requested: usize, n: usize) -> usize {
+    let auto = thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .clamp(1, 8);
+    let picked = if requested > 0 { requested } else { auto };
+    picked.clamp(1, n.max(1))
+}
+
+fn shard_of(cuts: &[usize], node: usize) -> usize {
+    cuts.partition_point(|&c| c <= node) - 1
+}
+
+/// Shared byte carrier for one undirected edge, consumed by both
+/// endpoint links during shard assembly.
+enum EdgeRes {
+    Mem {
+        /// Low→high pipe.
+        uv: Arc<MemPipe>,
+        /// High→low pipe.
+        vu: Arc<MemPipe>,
+    },
+    Sock {
+        /// Low endpoint's (dialer's) stream, `take`n once.
+        u: Option<TcpStream>,
+        /// High endpoint's (acceptor's) stream, `take`n once.
+        v: Option<TcpStream>,
+    },
+}
+
+fn bringup_io(source: io::Error) -> RuntimeError {
+    RuntimeError::Io {
+        peer: "reactor bring-up".to_string(),
+        source,
+    }
+}
+
+fn proc_status_value(key: &str) -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix(key) {
+            if let Some(rest) = rest.strip_prefix(':') {
+                return rest.split_whitespace().next()?.parse().ok();
+            }
+        }
+    }
+    None
+}
+
+/// Runs a full cluster on the reactor substrate and waits for every
+/// agent's report.
+///
+/// # Errors
+///
+/// Bring-up failures (socket bind/connect, epoll/eventfd creation) and
+/// the first protocol/handshake/decode error any shard hits; every
+/// error names the peer it happened against.
+///
+/// # Panics
+///
+/// Panics if `specs` does not hold exactly one spec per graph node, or
+/// if a shard thread itself panics (a bug, not an environmental failure).
+pub fn run_reactor_cluster(
+    specs: Vec<NodeSpec>,
+    graph: &Graph,
+    rt: &RuntimeConfig,
+) -> Result<ReactorRun, RuntimeError> {
+    let n = graph.len();
+    assert_eq!(specs.len(), n, "one node spec per graph node");
+    let shards = shard_count(rt.shards, n);
+    let cuts = graph.shard_offsets(shards);
+    let identity = ClusterIdentity {
+        n_nodes: n as u32,
+        topology_hash: graph.topology_hash(),
+    };
+
+    // Shard wakeups first: cross-shard mem pipes signal the receiver's
+    // eventfd, so the fds must exist before any edge is wired.
+    let mut wakes = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        wakes.push(Arc::new(EventFd::new().map_err(bringup_io)?));
+    }
+
+    // Classify every edge and create its carrier. Cross-shard edges take
+    // real loopback sockets while the fd budget lasts (2 fds per edge),
+    // then spill to signalled mem pipes — in deterministic (sorted) edge
+    // order, so two runs always make identical choices.
+    let mut sock_quota = (nofile_limit().unwrap_or(1024).saturating_sub(FD_RESERVE) / 2) as usize;
+    let mut listener: Option<TcpListener> = None;
+    let mut carriers: HashMap<(usize, usize), EdgeRes> = HashMap::new();
+    for (u, v) in graph.edges() {
+        let (su, sv) = (shard_of(&cuts, u), shard_of(&cuts, v));
+        if su != sv && sock_quota > 0 {
+            sock_quota -= 1;
+            if listener.is_none() {
+                listener = Some(TcpListener::bind(("127.0.0.1", 0)).map_err(|source| {
+                    RuntimeError::Bind {
+                        addr: "127.0.0.1:0".to_string(),
+                        source,
+                    }
+                })?);
+            }
+            let l = listener.as_ref().expect("listener just bound");
+            let addr = l.local_addr().map_err(bringup_io)?;
+            // Sequential connect-then-accept on loopback: the accepted
+            // stream is always the one just dialed.
+            let dial = TcpStream::connect(addr).map_err(|source| RuntimeError::Connect {
+                peer: addr.to_string(),
+                source,
+            })?;
+            let (acc, _) = l.accept().map_err(bringup_io)?;
+            for s in [&dial, &acc] {
+                s.set_nodelay(true).map_err(bringup_io)?;
+                s.set_nonblocking(true).map_err(bringup_io)?;
+            }
+            carriers.insert(
+                (u, v),
+                EdgeRes::Sock {
+                    u: Some(dial),
+                    v: Some(acc),
+                },
+            );
+        } else {
+            let cross = su != sv;
+            carriers.insert(
+                (u, v),
+                EdgeRes::Mem {
+                    uv: MemPipe::new(cross.then(|| Arc::clone(&wakes[sv]))),
+                    vu: MemPipe::new(cross.then(|| Arc::clone(&wakes[su]))),
+                },
+            );
+        }
+    }
+
+    // Assemble each shard: its agents, their links (slot order), and the
+    // socket slab backing the sock links.
+    let abort = Arc::new(AtomicBool::new(false));
+    let mut specs_by_node: Vec<Option<NodeSpec>> = specs.into_iter().map(Some).collect();
+    let mut shard_structs = Vec::with_capacity(shards);
+    for s in 0..shards {
+        let epoll = Epoll::new().map_err(bringup_io)?;
+        let mut agents = Vec::with_capacity(cuts[s + 1] - cuts[s]);
+        let mut links: Vec<Link> = Vec::new();
+        let mut conns: Vec<SockConn> = Vec::new();
+        let mut mem_links: Vec<u32> = Vec::new();
+        #[allow(clippy::needless_range_loop)] // `node` is a graph id, not just an index
+        for node in cuts[s]..cuts[s + 1] {
+            let spec = specs_by_node[node].take().expect("spec consumed once");
+            let round_timeout = spec.round_timeout;
+            let neighbors = graph.neighbors(node);
+            let core = AgentCore::new(spec, neighbors);
+            let agent_idx = agents.len() as u32;
+            let mut link_of_slot = Vec::with_capacity(neighbors.len());
+            for &peer in neighbors {
+                let key = (node.min(peer), node.max(peer));
+                let link_idx = links.len() as u32;
+                let end = match carriers.get_mut(&key).expect("edge carrier exists") {
+                    EdgeRes::Mem { uv, vu } => {
+                        mem_links.push(link_idx);
+                        if node < peer {
+                            LinkEnd::Mem {
+                                rx: Arc::clone(vu),
+                                tx: Arc::clone(uv),
+                            }
+                        } else {
+                            LinkEnd::Mem {
+                                rx: Arc::clone(uv),
+                                tx: Arc::clone(vu),
+                            }
+                        }
+                    }
+                    EdgeRes::Sock { u, v } => {
+                        let stream = if node < peer { u.take() } else { v.take() }
+                            .expect("socket endpoint consumed once");
+                        let conn_idx = conns.len() as u32;
+                        conns.push(SockConn {
+                            stream,
+                            out: Vec::new(),
+                            out_pos: 0,
+                            want_write: false,
+                            closed: false,
+                            closing: false,
+                            link: link_idx,
+                        });
+                        LinkEnd::Sock(conn_idx)
+                    }
+                };
+                links.push(Link {
+                    agent: agent_idx,
+                    peer,
+                    end,
+                    state: LinkState::AwaitHello,
+                    reasm: Reassembly::new(),
+                    inbox: VecDeque::new(),
+                    eof: false,
+                    hs_seq: 0,
+                });
+                link_of_slot.push(link_idx);
+            }
+            agents.push(AgentSlot::new(node, core, link_of_slot, round_timeout));
+        }
+        shard_structs.push(Shard {
+            id: s,
+            epoll,
+            wake: Arc::clone(&wakes[s]),
+            agents,
+            links,
+            conns,
+            mem_links,
+            identity,
+            handshake_timeout: rt.handshake_timeout,
+            abort: Arc::clone(&abort),
+        });
+    }
+
+    let handles: Vec<_> = shard_structs
+        .into_iter()
+        .map(|sh| {
+            thread::Builder::new()
+                .name(format!("dpc-reactor-{}", sh.id))
+                .spawn(move || run_shard(sh))
+                .expect("spawning a reactor shard thread")
+        })
+        .collect();
+
+    // The main thread doubles as the resource monitor while shards run.
+    let mut peak_threads = proc_status_value("Threads").unwrap_or(0) as u32;
+    while handles.iter().any(|h| !h.is_finished()) {
+        if let Some(t) = proc_status_value("Threads") {
+            peak_threads = peak_threads.max(t as u32);
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    let peak_rss_kb = proc_status_value("VmHWM");
+
+    let mut tagged: Vec<(usize, NodeReport)> = Vec::with_capacity(n);
+    let mut first_err = None;
+    for handle in handles {
+        match handle.join().expect("reactor shard panicked") {
+            Ok(part) => tagged.extend(part),
+            Err(e) if first_err.is_none() => first_err = Some(e),
+            Err(_) => {}
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    assert_eq!(tagged.len(), n, "every agent reports exactly once");
+    tagged.sort_by_key(|(node, _)| *node);
+    Ok(ReactorRun {
+        reports: tagged.into_iter().map(|(_, r)| r).collect(),
+        // The sampler can miss a short-lived peak; the floor is exact.
+        peak_threads: peak_threads.max(shards as u32 + 1),
+        peak_rss_kb,
+    })
+}

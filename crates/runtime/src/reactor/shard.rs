@@ -1,0 +1,938 @@
+//! One poller shard: an epoll loop owning a contiguous range of agents,
+//! their links, and a deadline wheel.
+//!
+//! The loop body is: wait (bounded by the wheel's next deadline) → ingest
+//! socket bytes and mem-pipe bytes into per-link reassembly buffers →
+//! route complete frames through each link's handshake state machine into
+//! its inbox → step every agent whose round inputs are satisfied → fire
+//! expired timers. An agent steps round `r` only when every live slot has
+//! a buffered frame (or a closed link), and its receive pass consumes
+//! them in slot order — so the values computed are independent of the
+//! order bytes happened to arrive in, which is what makes reactor runs
+//! bitwise-identical to the inproc and lockstep substrates.
+
+use super::conn::{Link, LinkEnd, LinkState, SockConn};
+use super::sys::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use super::wheel::{TimerKey, TimerKind, Wheel};
+use crate::agent::AgentCore;
+use crate::error::{HandshakeFailure, RuntimeError};
+use crate::node::NodeReport;
+use crate::wire::{encode_frame, ClusterIdentity, WireMsg, PROTOCOL_VERSION};
+use std::io::{Read, Write};
+use std::net::Shutdown;
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Epoll token reserved for the shard's wakeup eventfd.
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Where an agent is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Links still handshaking; rounds not started.
+    Handshaking,
+    /// Ready to compute and send the next round.
+    NeedSend,
+    /// Round sent; waiting for every live slot's frame.
+    AwaitFrames,
+    /// Goodbyes sent; absorbing in-flight frames.
+    Draining,
+    /// Report folded.
+    Done,
+}
+
+/// One agent hosted by this shard.
+pub struct AgentSlot {
+    /// Global node id.
+    pub node: usize,
+    /// The protocol core (taken when the report folds).
+    pub core: Option<AgentCore>,
+    /// Shard-local link index per slot.
+    pub link_of_slot: Vec<u32>,
+    /// Per-link receive deadline (from the node spec).
+    pub round_timeout: Duration,
+    phase: Phase,
+    pending_handshakes: usize,
+    /// When this agent entered its current frame-starved wait.
+    stall_since: Option<Instant>,
+    round_seq: u32,
+    drain_seq: u32,
+    drain_open: Vec<bool>,
+}
+
+impl AgentSlot {
+    /// A freshly wired agent, not yet handshaken.
+    pub fn new(
+        node: usize,
+        core: AgentCore,
+        link_of_slot: Vec<u32>,
+        round_timeout: Duration,
+    ) -> AgentSlot {
+        let pending = link_of_slot.len();
+        AgentSlot {
+            node,
+            core: Some(core),
+            link_of_slot,
+            round_timeout,
+            phase: Phase::Handshaking,
+            pending_handshakes: pending,
+            stall_since: None,
+            round_seq: 0,
+            drain_seq: 0,
+            drain_open: Vec::new(),
+        }
+    }
+}
+
+/// Everything one shard thread owns.
+pub struct Shard {
+    /// Shard index (thread name, diagnostics).
+    pub id: usize,
+    /// This shard's epoll instance.
+    pub epoll: Epoll,
+    /// Wakeup eventfd (registered under [`WAKE_TOKEN`]).
+    pub wake: Arc<EventFd>,
+    /// Hosted agents.
+    pub agents: Vec<AgentSlot>,
+    /// All links of hosted agents.
+    pub links: Vec<Link>,
+    /// Socket connections backing `LinkEnd::Sock` links.
+    pub conns: Vec<SockConn>,
+    /// Indices of links with mem-pipe ends (the sweep list).
+    pub mem_links: Vec<u32>,
+    /// Cluster identity validated in handshakes.
+    pub identity: ClusterIdentity,
+    /// Handshake deadline.
+    pub handshake_timeout: Duration,
+    /// Set by any shard (or the driver) to abandon the run.
+    pub abort: Arc<AtomicBool>,
+}
+
+/// The shard loop's working state.
+struct Loop {
+    wheel: Wheel,
+    dirty: Vec<u32>,
+    dirty_flag: Vec<bool>,
+    done: usize,
+    reports: Vec<(usize, NodeReport)>,
+    scratch: Vec<u8>,
+    round_check_armed: bool,
+    min_round_timeout: Duration,
+}
+
+/// Runs the shard to completion: every hosted agent reports, a protocol
+/// error aborts the whole run, or the abort flag stops the loop early
+/// (another shard failed).
+///
+/// # Errors
+///
+/// First [`RuntimeError`] hit by any hosted link or agent.
+pub fn run_shard(mut shard: Shard) -> Result<Vec<(usize, NodeReport)>, RuntimeError> {
+    let n_agents = shard.agents.len();
+    let origin = Instant::now();
+    let mut lp = Loop {
+        wheel: Wheel::new(Duration::from_millis(8), 1024, origin),
+        dirty: Vec::with_capacity(n_agents),
+        dirty_flag: vec![false; n_agents],
+        done: 0,
+        reports: Vec::with_capacity(n_agents),
+        scratch: vec![0u8; 64 * 1024],
+        round_check_armed: false,
+        min_round_timeout: shard
+            .agents
+            .iter()
+            .map(|a| a.round_timeout)
+            .min()
+            .unwrap_or(Duration::from_secs(2)),
+    };
+
+    let result = drive(&mut shard, &mut lp, n_agents);
+    if result.is_err() {
+        shard.abort.store(true, Ordering::Release);
+        // Tear down so peer shards observe closed links instead of
+        // waiting out their failure detectors.
+        for link_idx in 0..shard.links.len() {
+            close_link_outbound(&mut shard, link_idx as u32);
+        }
+    }
+    result.map(|()| lp.reports)
+}
+
+fn drive(shard: &mut Shard, lp: &mut Loop, n_agents: usize) -> Result<(), RuntimeError> {
+    // Register every socket and the wake eventfd.
+    for (idx, conn) in shard.conns.iter().enumerate() {
+        shard
+            .epoll
+            .add(conn.stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, idx as u64)
+            .map_err(|source| RuntimeError::Io {
+                peer: shard.links[conn.link as usize].peer_label(),
+                source,
+            })?;
+    }
+    shard
+        .epoll
+        .add(shard.wake.raw(), EPOLLIN, WAKE_TOKEN)
+        .map_err(|source| RuntimeError::Io {
+            peer: format!("shard {}", shard.id),
+            source,
+        })?;
+
+    // Kick off handshakes: dial-low sends Hello, accept-high waits.
+    let now = Instant::now();
+    for link_idx in 0..shard.links.len() {
+        let me = shard.agents[shard.links[link_idx].agent as usize].node;
+        let peer = shard.links[link_idx].peer;
+        if me < peer {
+            let hello = WireMsg::Hello {
+                version: PROTOCOL_VERSION,
+                node: me as u32,
+                n_nodes: shard.identity.n_nodes,
+                topology_hash: shard.identity.topology_hash,
+            };
+            shard.links[link_idx].state = LinkState::AwaitAck;
+            send_on_link(shard, link_idx as u32, &hello);
+        } else {
+            shard.links[link_idx].state = LinkState::AwaitHello;
+        }
+        lp.wheel.arm(
+            now + shard.handshake_timeout,
+            TimerKey {
+                kind: TimerKind::Handshake,
+                idx: link_idx as u32,
+                seq: shard.links[link_idx].hs_seq,
+            },
+        );
+    }
+    // Degree-zero agents have nothing to shake hands over.
+    for a in 0..n_agents {
+        if shard.agents[a].pending_handshakes == 0 && shard.agents[a].phase == Phase::Handshaking {
+            shard.agents[a].phase = Phase::NeedSend;
+            mark_dirty(lp, a as u32);
+        }
+    }
+
+    let mut events = vec![EpollEvent::default(); 512];
+    loop {
+        pump(shard, lp)?;
+        if lp.done == n_agents {
+            return Ok(());
+        }
+        if shard.abort.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        arm_round_check(shard, lp);
+
+        let now = Instant::now();
+        let timeout_ms = match lp.wheel.next_wake(now) {
+            Some(wake) => wake
+                .saturating_duration_since(now)
+                .as_millis()
+                .clamp(1, 100) as i32,
+            None => 100,
+        };
+        let n = shard
+            .epoll
+            .wait(&mut events, timeout_ms)
+            .map_err(|source| RuntimeError::Io {
+                peer: format!("shard {}", shard.id),
+                source,
+            })?;
+        for ev in events.iter().take(n).copied() {
+            let token = ev.data;
+            if token == WAKE_TOKEN {
+                shard.wake.drain();
+                continue;
+            }
+            handle_conn_event(shard, lp, token as usize, ev.events)?;
+        }
+        fire_timers(shard, lp)?;
+    }
+}
+
+/// Routes, steps, routes again — until no frames move and no agent can
+/// advance. Intra-shard traffic completes entire rounds inside one pump.
+fn pump(shard: &mut Shard, lp: &mut Loop) -> Result<(), RuntimeError> {
+    loop {
+        let routed = sweep_mem(shard, lp)?;
+        if lp.dirty.is_empty() && !routed {
+            return Ok(());
+        }
+        while let Some(a) = lp.dirty.pop() {
+            lp.dirty_flag[a as usize] = false;
+            step_agent(shard, lp, a)?;
+        }
+    }
+}
+
+fn mark_dirty(lp: &mut Loop, agent: u32) {
+    if !lp.dirty_flag[agent as usize] {
+        lp.dirty_flag[agent as usize] = true;
+        lp.dirty.push(agent);
+    }
+}
+
+/// Takes pending bytes out of every dirty mem pipe into its link.
+fn sweep_mem(shard: &mut Shard, lp: &mut Loop) -> Result<bool, RuntimeError> {
+    let mut routed = false;
+    for i in 0..shard.mem_links.len() {
+        let link_idx = shard.mem_links[i];
+        let link = &mut shard.links[link_idx as usize];
+        if link.eof {
+            continue;
+        }
+        let rx = match &link.end {
+            LinkEnd::Mem { rx, .. } => Arc::clone(rx),
+            LinkEnd::Sock(_) => continue,
+        };
+        if !rx.is_dirty() {
+            continue;
+        }
+        let mut bytes = Vec::new();
+        let closed = rx.take(&mut bytes);
+        if !bytes.is_empty() {
+            shard.links[link_idx as usize].reasm.push(&bytes);
+            routed |= route_link(shard, lp, link_idx)?;
+        }
+        if closed {
+            let link = &mut shard.links[link_idx as usize];
+            if !link.eof {
+                link.eof = true;
+                let agent = link.agent;
+                mark_dirty(lp, agent);
+                routed = true;
+            }
+        }
+    }
+    Ok(routed)
+}
+
+/// Pops every complete frame out of a link's reassembly buffer and runs
+/// it through the handshake state machine / inbox.
+fn route_link(shard: &mut Shard, lp: &mut Loop, link_idx: u32) -> Result<bool, RuntimeError> {
+    let mut any = false;
+    loop {
+        let frame = {
+            let link = &mut shard.links[link_idx as usize];
+            match link.reasm.next_frame() {
+                Ok(Some(msg)) => msg,
+                Ok(None) => return Ok(any),
+                Err(source) => {
+                    return Err(RuntimeError::Decode {
+                        peer: link.peer_label(),
+                        source,
+                    })
+                }
+            }
+        };
+        any = true;
+        let state = shard.links[link_idx as usize].state;
+        match state {
+            LinkState::AwaitHello => accept_hello(shard, lp, link_idx, frame)?,
+            LinkState::AwaitAck => accept_ack(shard, lp, link_idx, frame)?,
+            LinkState::Data => match frame {
+                WireMsg::Data { .. } | WireMsg::Heartbeat { .. } | WireMsg::Goodbye { .. } => {
+                    let link = &mut shard.links[link_idx as usize];
+                    link.inbox.push_back(frame);
+                    let agent = link.agent;
+                    mark_dirty(lp, agent);
+                }
+                other => {
+                    return Err(RuntimeError::Protocol {
+                        peer: shard.links[link_idx as usize].peer_label(),
+                        got: other.kind(),
+                    })
+                }
+            },
+        }
+    }
+}
+
+fn handshake_fail(shard: &Shard, link_idx: u32, reason: HandshakeFailure) -> RuntimeError {
+    RuntimeError::Handshake {
+        peer: shard.links[link_idx as usize].peer_label(),
+        reason,
+    }
+}
+
+fn accept_hello(
+    shard: &mut Shard,
+    lp: &mut Loop,
+    link_idx: u32,
+    frame: WireMsg,
+) -> Result<(), RuntimeError> {
+    let (peer, me) = {
+        let link = &shard.links[link_idx as usize];
+        (link.peer, shard.agents[link.agent as usize].node)
+    };
+    match frame {
+        WireMsg::Hello {
+            version,
+            node,
+            n_nodes,
+            topology_hash,
+        } => {
+            if node as usize != peer {
+                return Err(handshake_fail(
+                    shard,
+                    link_idx,
+                    HandshakeFailure::UnexpectedPeer {
+                        expected: Some(peer),
+                        got: node as usize,
+                    },
+                ));
+            }
+            if let Err(reason) = shard
+                .identity
+                .validate_hello(version, n_nodes, topology_hash)
+            {
+                send_on_link(shard, link_idx, &WireMsg::Reject { reason });
+                return Err(handshake_fail(
+                    shard,
+                    link_idx,
+                    HandshakeFailure::RejectedPeer { node, reason },
+                ));
+            }
+            let ack = WireMsg::HelloAck {
+                version: PROTOCOL_VERSION,
+                node: me as u32,
+            };
+            send_on_link(shard, link_idx, &ack);
+            link_established(shard, lp, link_idx);
+            Ok(())
+        }
+        other => Err(handshake_fail(
+            shard,
+            link_idx,
+            HandshakeFailure::UnexpectedMessage { got: other.kind() },
+        )),
+    }
+}
+
+fn accept_ack(
+    shard: &mut Shard,
+    lp: &mut Loop,
+    link_idx: u32,
+    frame: WireMsg,
+) -> Result<(), RuntimeError> {
+    let peer = shard.links[link_idx as usize].peer;
+    match frame {
+        WireMsg::HelloAck { version, node } => {
+            if version != PROTOCOL_VERSION {
+                return Err(handshake_fail(
+                    shard,
+                    link_idx,
+                    HandshakeFailure::VersionMismatch {
+                        ours: PROTOCOL_VERSION,
+                        theirs: version,
+                    },
+                ));
+            }
+            if node as usize != peer {
+                return Err(handshake_fail(
+                    shard,
+                    link_idx,
+                    HandshakeFailure::UnexpectedPeer {
+                        expected: Some(peer),
+                        got: node as usize,
+                    },
+                ));
+            }
+            link_established(shard, lp, link_idx);
+            Ok(())
+        }
+        WireMsg::Reject { reason } => Err(handshake_fail(
+            shard,
+            link_idx,
+            HandshakeFailure::Rejected(reason),
+        )),
+        other => Err(handshake_fail(
+            shard,
+            link_idx,
+            HandshakeFailure::UnexpectedMessage { got: other.kind() },
+        )),
+    }
+}
+
+fn link_established(shard: &mut Shard, lp: &mut Loop, link_idx: u32) {
+    let link = &mut shard.links[link_idx as usize];
+    link.state = LinkState::Data;
+    link.hs_seq = link.hs_seq.wrapping_add(1);
+    let agent = link.agent as usize;
+    let slot_agent = &mut shard.agents[agent];
+    slot_agent.pending_handshakes -= 1;
+    if slot_agent.pending_handshakes == 0 && slot_agent.phase == Phase::Handshaking {
+        slot_agent.phase = Phase::NeedSend;
+        mark_dirty(lp, agent as u32);
+    }
+}
+
+/// Writes one frame down a link. Returns `false` when the link is
+/// provably dead (the blocking transports' `Delivery::Closed`); a
+/// buffered socket write counts as delivered, exactly like blocking TCP.
+fn send_on_link(shard: &mut Shard, link_idx: u32, msg: &WireMsg) -> bool {
+    let frame = encode_frame(msg);
+    match &shard.links[link_idx as usize].end {
+        LinkEnd::Mem { tx, .. } => tx.send(&frame),
+        LinkEnd::Sock(conn_idx) => {
+            let conn_idx = *conn_idx as usize;
+            let conn = &mut shard.conns[conn_idx];
+            if conn.closed || conn.closing {
+                return false;
+            }
+            conn.out.extend_from_slice(&frame);
+            flush_conn(shard, conn_idx);
+            !shard.conns[conn_idx].closed
+        }
+    }
+}
+
+/// Pushes buffered outbound bytes into the kernel; arms `EPOLLOUT` on
+/// `WouldBlock`, completes a pending graceful close once drained.
+fn flush_conn(shard: &mut Shard, conn_idx: usize) {
+    let conn = &mut shard.conns[conn_idx];
+    while conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => {
+                conn.closed = true;
+                break;
+            }
+            Ok(n) => conn.out_pos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.closed = true;
+                break;
+            }
+        }
+    }
+    if conn.out_pos == conn.out.len() {
+        conn.out.clear();
+        conn.out_pos = 0;
+    }
+    let flushed = conn.out.is_empty();
+    let want = !flushed && !conn.closed;
+    if want != conn.want_write {
+        conn.want_write = want;
+        let interest = if want {
+            EPOLLIN | EPOLLRDHUP | EPOLLOUT
+        } else {
+            EPOLLIN | EPOLLRDHUP
+        };
+        let _ = shard
+            .epoll
+            .modify(conn.stream.as_raw_fd(), interest, conn_idx as u64);
+    }
+    if flushed && conn.closing && !conn.closed {
+        let _ = conn.stream.shutdown(Shutdown::Write);
+        conn.closing = false;
+    }
+}
+
+fn handle_conn_event(
+    shard: &mut Shard,
+    lp: &mut Loop,
+    conn_idx: usize,
+    events: u32,
+) -> Result<(), RuntimeError> {
+    if conn_idx >= shard.conns.len() {
+        return Ok(());
+    }
+    if events & EPOLLOUT != 0 {
+        flush_conn(shard, conn_idx);
+    }
+    if events & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0 {
+        let link_idx = shard.conns[conn_idx].link;
+        let mut saw_eof = events & (EPOLLERR | EPOLLHUP) != 0;
+        loop {
+            let conn = &mut shard.conns[conn_idx];
+            if conn.closed {
+                break;
+            }
+            match conn.stream.read(&mut lp.scratch) {
+                Ok(0) => {
+                    saw_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    shard.links[link_idx as usize].reasm.push(&lp.scratch[..n]);
+                    route_link(shard, lp, link_idx)?;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    saw_eof = true;
+                    break;
+                }
+            }
+        }
+        if saw_eof {
+            let conn = &mut shard.conns[conn_idx];
+            if !conn.closed {
+                conn.closed = true;
+                let _ = shard.epoll.delete(conn.stream.as_raw_fd());
+            }
+            let link = &mut shard.links[link_idx as usize];
+            if !link.eof {
+                link.eof = true;
+                let agent = link.agent;
+                mark_dirty(lp, agent);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Is every live slot of this agent's round satisfiable right now?
+fn round_ready(shard: &Shard, a: u32) -> bool {
+    let agent = &shard.agents[a as usize];
+    let core = agent.core.as_ref().expect("live core");
+    for &slot in core.round_slots() {
+        if !core.is_alive(slot) {
+            continue;
+        }
+        let link = &shard.links[agent.link_of_slot[slot] as usize];
+        if link.inbox.is_empty() && !link.eof {
+            return false;
+        }
+    }
+    true
+}
+
+/// Advances one agent as far as buffered input allows.
+fn step_agent(shard: &mut Shard, lp: &mut Loop, a: u32) -> Result<(), RuntimeError> {
+    loop {
+        match shard.agents[a as usize].phase {
+            Phase::Handshaking | Phase::Done => return Ok(()),
+            Phase::NeedSend => {
+                if !shard.agents[a as usize]
+                    .core
+                    .as_ref()
+                    .expect("live core")
+                    .rounds_remaining()
+                {
+                    finish_agent(shard, lp, a, false);
+                    return Ok(());
+                }
+                send_round(shard, a);
+                shard.agents[a as usize].phase = Phase::AwaitFrames;
+            }
+            Phase::AwaitFrames => {
+                if !round_ready(shard, a) {
+                    if shard.agents[a as usize].stall_since.is_none() {
+                        shard.agents[a as usize].stall_since = Some(Instant::now());
+                    }
+                    return Ok(());
+                }
+                shard.agents[a as usize].stall_since = None;
+                receive_round(shard, lp, a, false)?;
+            }
+            Phase::Draining => {
+                absorb_drain(shard, lp, a);
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn send_round(shard: &mut Shard, a: u32) {
+    let agent = &mut shard.agents[a as usize];
+    let core = agent.core.as_mut().expect("live core");
+    core.begin_round();
+    agent.round_seq = agent.round_seq.wrapping_add(1);
+    for k in 0..shard.agents[a as usize]
+        .core
+        .as_ref()
+        .expect("live core")
+        .outbound_len()
+    {
+        let (slot, msg) = {
+            let out = shard.agents[a as usize]
+                .core
+                .as_ref()
+                .expect("live core")
+                .outbound(k);
+            (out.slot, out.msg)
+        };
+        let link_idx = shard.agents[a as usize].link_of_slot[slot];
+        let delivered = send_on_link(shard, link_idx, &msg);
+        let core = shard.agents[a as usize].core.as_mut().expect("live core");
+        if delivered {
+            core.note_sent(k);
+        } else {
+            core.note_send_closed(k);
+        }
+    }
+}
+
+/// The slot-ordered receive pass; `force` substitutes a timeout for every
+/// missing frame (the round-deadline path — never taken in healthy runs).
+fn receive_round(
+    shard: &mut Shard,
+    lp: &mut Loop,
+    a: u32,
+    force: bool,
+) -> Result<(), RuntimeError> {
+    let slots = shard.agents[a as usize]
+        .core
+        .as_ref()
+        .expect("live core")
+        .round_slots()
+        .to_vec();
+    for &slot in &slots {
+        let (alive, link_idx) = {
+            let agent = &shard.agents[a as usize];
+            let core = agent.core.as_ref().expect("live core");
+            (core.is_alive(slot), agent.link_of_slot[slot])
+        };
+        if !alive {
+            continue;
+        }
+        let popped = shard.links[link_idx as usize].inbox.pop_front();
+        let eof = shard.links[link_idx as usize].eof;
+        let core = shard.agents[a as usize].core.as_mut().expect("live core");
+        match popped {
+            Some(WireMsg::Data {
+                msg,
+                settled: peer_settled,
+                ..
+            }) => core.on_data(slot, msg, peer_settled),
+            Some(WireMsg::Heartbeat {
+                settled: peer_settled,
+                ..
+            }) => core.on_heartbeat(slot, peer_settled),
+            Some(WireMsg::Goodbye { msg }) => core.on_goodbye(slot, msg),
+            Some(other) => {
+                return Err(RuntimeError::Protocol {
+                    peer: shard.links[link_idx as usize].peer_label(),
+                    got: other.kind(),
+                })
+            }
+            None if eof => core.on_closed(slot),
+            None => {
+                debug_assert!(force, "receive pass ran without a full round buffered");
+                core.on_timeout(slot);
+            }
+        }
+    }
+    let agent = &mut shard.agents[a as usize];
+    let core = agent.core.as_mut().expect("live core");
+    if core.end_round() {
+        let degree = core.degree();
+        for slot in 0..degree {
+            let (alive, link_idx, bye) = {
+                let agent = &shard.agents[a as usize];
+                let core = agent.core.as_ref().expect("live core");
+                (
+                    core.is_alive(slot),
+                    agent.link_of_slot[slot],
+                    core.goodbye(),
+                )
+            };
+            if !alive {
+                continue;
+            }
+            if send_on_link(shard, link_idx, &bye) {
+                shard.agents[a as usize]
+                    .core
+                    .as_mut()
+                    .expect("live core")
+                    .note_goodbye_sent();
+            }
+        }
+        let agent = &mut shard.agents[a as usize];
+        let core = agent.core.as_ref().expect("live core");
+        agent.drain_open = (0..core.degree()).map(|s| core.is_alive(s)).collect();
+        agent.phase = Phase::Draining;
+        arm_drain_timer(shard, lp, a);
+        absorb_drain(shard, lp, a);
+    } else {
+        agent.phase = Phase::NeedSend;
+    }
+    Ok(())
+}
+
+fn drain_timeout(agent: &AgentSlot) -> Duration {
+    agent.round_timeout.min(Duration::from_millis(100))
+}
+
+fn arm_drain_timer(shard: &mut Shard, lp: &mut Loop, a: u32) {
+    let agent = &mut shard.agents[a as usize];
+    agent.drain_seq = agent.drain_seq.wrapping_add(1);
+    let deadline = Instant::now() + drain_timeout(agent);
+    lp.wheel.arm(
+        deadline,
+        TimerKey {
+            kind: TimerKind::Drain,
+            idx: a,
+            seq: agent.drain_seq,
+        },
+    );
+}
+
+/// Stages buffered lame-duck frames per slot, closing slots on `Goodbye`
+/// or input EOF; folds the report once every slot is closed.
+fn absorb_drain(shard: &mut Shard, lp: &mut Loop, a: u32) {
+    let degree = shard.agents[a as usize].drain_open.len();
+    let mut absorbed = false;
+    for slot in 0..degree {
+        if !shard.agents[a as usize].drain_open[slot] {
+            continue;
+        }
+        let link_idx = shard.agents[a as usize].link_of_slot[slot];
+        loop {
+            let popped = shard.links[link_idx as usize].inbox.pop_front();
+            let agent = &mut shard.agents[a as usize];
+            let core = agent.core.as_mut().expect("draining core");
+            match popped {
+                Some(WireMsg::Data { msg, .. }) => {
+                    core.stage_drain_mass(slot, msg.transfer);
+                    absorbed = true;
+                }
+                Some(WireMsg::Heartbeat { .. }) => {
+                    core.stage_drain_heartbeat(slot);
+                    absorbed = true;
+                }
+                Some(WireMsg::Goodbye { msg }) => {
+                    core.stage_drain_mass(slot, msg.transfer);
+                    agent.drain_open[slot] = false;
+                    absorbed = true;
+                    break;
+                }
+                // The blocking drain leaves on anything else; nothing ever
+                // follows a goodbye, so nothing is left unread.
+                Some(_) => {
+                    agent.drain_open[slot] = false;
+                    break;
+                }
+                None => break,
+            }
+        }
+        if shard.agents[a as usize].drain_open[slot] && shard.links[link_idx as usize].eof {
+            shard.agents[a as usize].drain_open[slot] = false;
+        }
+    }
+    if absorbed {
+        // A frame restarts the quiet period, like the blocking drain's
+        // per-recv timeout.
+        arm_drain_timer(shard, lp, a);
+    }
+    if shard.agents[a as usize].drain_open.iter().all(|&o| !o) {
+        let core = shard.agents[a as usize]
+            .core
+            .as_mut()
+            .expect("draining core");
+        core.finish_drain();
+        core.mark_converged();
+        finish_agent(shard, lp, a, true);
+    }
+}
+
+/// Folds the report and tears down the agent's endpoints.
+fn finish_agent(shard: &mut Shard, lp: &mut Loop, a: u32, _converged: bool) {
+    let agent = &mut shard.agents[a as usize];
+    agent.phase = Phase::Done;
+    let core = agent.core.take().expect("core present at finish");
+    let node = agent.node;
+    lp.reports.push((node, core.into_report()));
+    lp.done += 1;
+    let links: Vec<u32> = shard.agents[a as usize].link_of_slot.clone();
+    for link_idx in links {
+        close_link_outbound(shard, link_idx);
+    }
+}
+
+/// Closes the outbound side of a link so the peer sees EOF after the
+/// frames already in flight (mem: closed flag; sock: flush then FIN).
+fn close_link_outbound(shard: &mut Shard, link_idx: u32) {
+    match &shard.links[link_idx as usize].end {
+        LinkEnd::Mem { tx, .. } => tx.close(),
+        LinkEnd::Sock(conn_idx) => {
+            let conn_idx = *conn_idx as usize;
+            if shard.conns[conn_idx].closed || shard.conns[conn_idx].closing {
+                return;
+            }
+            shard.conns[conn_idx].closing = true;
+            flush_conn(shard, conn_idx);
+            // `flush_conn` performs the shutdown once the buffer drains;
+            // if bytes remain, EPOLLOUT completes it.
+        }
+    }
+}
+
+/// One shard-level wheel entry covers every stalled agent: per-agent
+/// entries would arm thousands of timers per sweep for no benefit, since
+/// the deadline only matters on the (rare) faulty path.
+fn arm_round_check(shard: &mut Shard, lp: &mut Loop) {
+    if lp.round_check_armed {
+        return;
+    }
+    if shard
+        .agents
+        .iter()
+        .any(|ag| ag.phase == Phase::AwaitFrames && ag.stall_since.is_some())
+    {
+        lp.round_check_armed = true;
+        lp.wheel.arm(
+            Instant::now() + lp.min_round_timeout,
+            TimerKey {
+                kind: TimerKind::Round,
+                idx: u32::MAX,
+                seq: 0,
+            },
+        );
+    }
+}
+
+fn fire_timers(shard: &mut Shard, lp: &mut Loop) -> Result<(), RuntimeError> {
+    if lp.wheel.armed() == 0 {
+        return Ok(());
+    }
+    let now = Instant::now();
+    let mut expired = Vec::new();
+    lp.wheel.expired(now, &mut expired);
+    for key in expired {
+        match key.kind {
+            TimerKind::Handshake => {
+                let link = &shard.links[key.idx as usize];
+                if link.hs_seq == key.seq && link.state != LinkState::Data {
+                    return Err(handshake_fail(shard, key.idx, HandshakeFailure::Timeout));
+                }
+            }
+            TimerKind::Round => {
+                lp.round_check_armed = false;
+                for a in 0..shard.agents.len() as u32 {
+                    let agent = &shard.agents[a as usize];
+                    if agent.phase != Phase::AwaitFrames {
+                        continue;
+                    }
+                    let Some(since) = agent.stall_since else {
+                        continue;
+                    };
+                    if now.saturating_duration_since(since) >= agent.round_timeout {
+                        shard.agents[a as usize].stall_since = None;
+                        receive_round(shard, lp, a, true)?;
+                        mark_dirty(lp, a);
+                    }
+                }
+                pump(shard, lp)?;
+                arm_round_check(shard, lp);
+            }
+            TimerKind::Drain => {
+                let agent = &mut shard.agents[key.idx as usize];
+                if agent.phase == Phase::Draining && agent.drain_seq == key.seq {
+                    // Quiet period elapsed: close every slot still open.
+                    for open in agent.drain_open.iter_mut() {
+                        *open = false;
+                    }
+                    let core = agent.core.as_mut().expect("draining core");
+                    core.finish_drain();
+                    core.mark_converged();
+                    finish_agent(shard, lp, key.idx, true);
+                }
+            }
+        }
+    }
+    pump(shard, lp)
+}

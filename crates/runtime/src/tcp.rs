@@ -20,9 +20,38 @@ use crate::wire::{
     read_frame, write_frame, ClusterIdentity, FrameError, WireError, WireMsg, PROTOCOL_VERSION,
 };
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError};
-use std::io;
+use std::io::{self, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::time::{Duration, Instant};
+
+/// A socket read view that enforces an *absolute* deadline across every
+/// `read` call, by shrinking the stream's read timeout to the time left
+/// before each one.
+///
+/// `set_read_timeout` alone is not enough for handshakes: it is a
+/// per-`read` budget, and a frame read takes several reads — so a peer
+/// that connects and then drips one byte per timeout window holds the
+/// handshake (and with it the whole cluster bring-up) open indefinitely
+/// while never being "silent long enough" to trip the timer. Wrapping the
+/// stream in a `DeadlineReader` makes every byte count against one clock.
+struct DeadlineReader<'a> {
+    stream: &'a mut TcpStream,
+    deadline: Instant,
+}
+
+impl Read for DeadlineReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let remaining = self.deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "handshake deadline elapsed",
+            ));
+        }
+        self.stream.set_read_timeout(Some(remaining))?;
+        self.stream.read(buf)
+    }
+}
 
 /// How dials behave while a peer's listener may still be coming up.
 #[derive(Debug, Clone, Copy)]
@@ -160,8 +189,13 @@ impl TcpTransport {
         }
     }
 
-    fn read_handshake_frame(stream: &mut TcpStream, label: &str) -> Result<WireMsg, RuntimeError> {
-        match read_frame(stream) {
+    fn read_handshake_frame(
+        stream: &mut TcpStream,
+        label: &str,
+        deadline: Instant,
+    ) -> Result<WireMsg, RuntimeError> {
+        let mut reader = DeadlineReader { stream, deadline };
+        match read_frame(&mut reader) {
             Ok(msg) => Ok(msg),
             Err(FrameError::Closed) => Err(RuntimeError::Handshake {
                 peer: label.to_string(),
@@ -293,9 +327,12 @@ impl Transport for TcpTransport {
                 match listener.accept() {
                     Ok((mut stream, remote)) => {
                         let _ = stream.set_nodelay(true);
-                        let _ = stream.set_read_timeout(Some(ctx.timeout));
                         let label = remote.to_string();
-                        let msg = Self::read_handshake_frame(&mut stream, &label)?;
+                        // The same deadline that bounds the accept loop
+                        // bounds this peer's hello bytes: connecting and
+                        // then stalling (or dripping bytes) cannot hold
+                        // bring-up open past it.
+                        let msg = Self::read_handshake_frame(&mut stream, &label, deadline)?;
                         let (version, their_node, n_nodes, topology_hash) = match msg {
                             WireMsg::Hello {
                                 version,
@@ -378,12 +415,13 @@ impl Transport for TcpTransport {
         }
         self.listener = None;
 
-        // Phase 3 — collect HelloAck/Reject on every dialed link.
+        // Phase 3 — collect HelloAck/Reject on every dialed link, all under
+        // one further deadline.
+        let ack_deadline = Instant::now() + ctx.timeout;
         for (peer, mut stream) in dialed {
             let slot = self.slot_of(peer).expect("dialed an existing slot");
             let label = self.links[slot].label.clone();
-            let _ = stream.set_read_timeout(Some(ctx.timeout));
-            match Self::read_handshake_frame(&mut stream, &label)? {
+            match Self::read_handshake_frame(&mut stream, &label, ack_deadline)? {
                 WireMsg::HelloAck {
                     version,
                     node: their_node,

@@ -144,6 +144,138 @@ fn headline_three_way_equivalence_inproc_tcp_simulator() {
     );
 }
 
+fn reactor_config(shards: usize) -> RuntimeConfig {
+    RuntimeConfig {
+        transport: TransportKind::Reactor,
+        shards,
+        ..RuntimeConfig::default()
+    }
+}
+
+fn allocation_of(outcome: &ClusterOutcome) -> Vec<f64> {
+    outcome.allocation.powers().iter().map(|w| w.0).collect()
+}
+
+#[test]
+fn lockstep_and_reactor_match_inproc_bitwise() {
+    let n = 8;
+    let problem = seeded_problem(n, 42, 170.0 * n as f64);
+    let graph = Graph::ring(n);
+
+    let inproc = run_cluster(
+        problem.clone(),
+        graph.clone(),
+        DibaConfig::default(),
+        &runtime_config(TransportKind::InProcess),
+    )
+    .unwrap();
+    let lockstep = run_cluster(
+        problem.clone(),
+        graph.clone(),
+        DibaConfig::default(),
+        &runtime_config(TransportKind::Lockstep),
+    )
+    .unwrap();
+    // Three shards on an 8-ring force cross-shard edges, so real epoll
+    // sockets carry part of the mesh.
+    let reactor = run_cluster(
+        problem.clone(),
+        graph.clone(),
+        DibaConfig::default(),
+        &reactor_config(3),
+    )
+    .unwrap();
+    check_outcome(&inproc, &problem, 1e-6);
+    check_outcome(&lockstep, &problem, 1e-6);
+    check_outcome(&reactor, &problem, 1e-6);
+
+    // All four substrates execute the identical per-round program over
+    // round-aligned FIFO delivery: the trajectories agree bitwise.
+    let base = allocation_of(&inproc);
+    assert_eq!(
+        base,
+        allocation_of(&lockstep),
+        "lockstep executor diverged from the in-process mesh"
+    );
+    assert_eq!(
+        base,
+        allocation_of(&reactor),
+        "reactor substrate diverged from the in-process mesh"
+    );
+    assert_eq!(inproc.rounds, lockstep.rounds);
+    assert_eq!(inproc.rounds, reactor.rounds);
+    assert_eq!(inproc.msgs_sent, lockstep.msgs_sent);
+    assert_eq!(inproc.msgs_sent, reactor.msgs_sent);
+
+    let threads = reactor.peak_threads.expect("reactor reports peak threads");
+    assert!(
+        threads < n as u32,
+        "reactor used {threads} threads for {n} agents — thread-per-node leak"
+    );
+}
+
+#[test]
+fn reactor_allocation_is_invariant_to_shard_count() {
+    let n = 12;
+    let problem = seeded_problem(n, 9, 168.0 * n as f64);
+    let graph = Graph::ring_with_chords(n, 2);
+
+    let mut baseline: Option<Vec<f64>> = None;
+    for shards in [1, 2, 4] {
+        let outcome = run_cluster(
+            problem.clone(),
+            graph.clone(),
+            DibaConfig::default(),
+            &reactor_config(shards),
+        )
+        .unwrap();
+        check_outcome(&outcome, &problem, 1e-6);
+        let alloc = allocation_of(&outcome);
+        match &baseline {
+            None => baseline = Some(alloc),
+            Some(base) => assert_eq!(
+                base, &alloc,
+                "reactor allocation changed between shard counts (shards={shards})"
+            ),
+        }
+    }
+}
+
+/// The scale acceptance check: one process hosts a 10k-agent reactor
+/// cluster, thread count stays O(shards), and the allocation is bitwise
+/// the lockstep reference. Minutes of wall clock — run explicitly with
+/// `cargo test --release -- --ignored ten_thousand`.
+#[test]
+#[ignore = "10k-agent scale check; run with --ignored"]
+fn reactor_hosts_ten_thousand_agents_bitwise_equal_to_lockstep() {
+    let n = 10_000;
+    let problem = seeded_problem(n, 1, 170.0 * n as f64);
+    let graph = Graph::torus(100, 100).unwrap();
+    let config = DibaConfig::default();
+    let rt_lockstep = RuntimeConfig {
+        max_rounds: 6_000,
+        ..runtime_config(TransportKind::Lockstep)
+    };
+    let rt_reactor = RuntimeConfig {
+        max_rounds: 6_000,
+        ..reactor_config(4)
+    };
+
+    let lockstep = run_cluster(problem.clone(), graph.clone(), config, &rt_lockstep).unwrap();
+    let reactor = run_cluster(problem.clone(), graph.clone(), config, &rt_reactor).unwrap();
+
+    assert_eq!(
+        allocation_of(&lockstep),
+        allocation_of(&reactor),
+        "10k-agent reactor diverged from the lockstep reference"
+    );
+    let threads = reactor.peak_threads.expect("reactor reports peak threads");
+    assert!(
+        threads < 64,
+        "10k agents took {threads} threads — not a readiness runtime"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 

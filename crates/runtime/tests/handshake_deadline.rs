@@ -1,0 +1,148 @@
+//! Handshake liveness: a peer that connects but never *completes* its
+//! handshake must not stall cluster bring-up.
+//!
+//! The regression these tests pin down: a per-read socket timeout resets
+//! on every `read`, so a peer dripping one byte per timeout window keeps
+//! the handshake "live" indefinitely. The transport now enforces an
+//! absolute deadline across all handshake reads on a connection.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use dpc_runtime::error::{HandshakeFailure, RuntimeError};
+use dpc_runtime::tcp::{RetryPolicy, TcpTransport};
+use dpc_runtime::transport::{HandshakeContext, Transport};
+use dpc_runtime::wire::{encode_frame, WireMsg, PROTOCOL_VERSION};
+
+const TOPOLOGY_HASH: u64 = 0x5eed;
+
+/// Node 1 in a 2-node cluster: accepts a connection from node 0.
+fn accepting_node() -> (TcpTransport, std::net::SocketAddr) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let transport =
+        TcpTransport::new(1, listener, &[0], &[], RetryPolicy::default()).expect("transport");
+    let addr = transport.local_addr().expect("local addr");
+    (transport, addr)
+}
+
+fn ctx(timeout: Duration) -> HandshakeContext {
+    HandshakeContext {
+        node: 1,
+        n_nodes: 2,
+        topology_hash: TOPOLOGY_HASH,
+        timeout,
+    }
+}
+
+fn expect_timeout(result: Result<(), RuntimeError>, elapsed: Duration, budget: Duration) {
+    match result {
+        Err(RuntimeError::Handshake {
+            reason: HandshakeFailure::Timeout,
+            peer,
+        }) => {
+            assert!(!peer.is_empty(), "timeout error must name the peer");
+        }
+        other => panic!("expected a handshake timeout, got {other:?}"),
+    }
+    assert!(
+        elapsed < budget,
+        "handshake took {elapsed:?} to fail — deadline did not bound bring-up"
+    );
+}
+
+/// A peer that drips a *valid* Hello one byte at a time, each gap well
+/// inside the handshake timeout. Under a per-read timeout this peer holds
+/// bring-up open for frame_len × gap; under an absolute deadline it is cut
+/// off at the deadline.
+#[test]
+fn drip_fed_hello_cannot_outlive_the_handshake_deadline() {
+    let (mut transport, addr) = accepting_node();
+    let timeout = Duration::from_millis(300);
+
+    let peer = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let frame = encode_frame(&WireMsg::Hello {
+            version: PROTOCOL_VERSION,
+            node: 0,
+            n_nodes: 2,
+            topology_hash: TOPOLOGY_HASH,
+        });
+        for byte in frame {
+            if stream.write_all(&[byte]).is_err() {
+                return; // accepting side gave up — exactly what we want
+            }
+            std::thread::sleep(Duration::from_millis(60));
+        }
+        // Keep the socket open so EOF never rescues the reader.
+        std::thread::sleep(Duration::from_secs(2));
+    });
+
+    let start = Instant::now();
+    let result = transport.handshake(&ctx(timeout));
+    let elapsed = start.elapsed();
+    expect_timeout(result, elapsed, Duration::from_millis(1_200));
+    drop(transport);
+    let _ = peer.join();
+}
+
+/// A peer that connects and then goes silent: the original symptom — the
+/// accept loop gets its connection, then blocks reading a Hello that never
+/// arrives.
+#[test]
+fn silent_peer_times_out_instead_of_stalling_bring_up() {
+    let (mut transport, addr) = accepting_node();
+    let timeout = Duration::from_millis(200);
+
+    let peer = std::thread::spawn(move || {
+        let stream = TcpStream::connect(addr).expect("connect");
+        std::thread::sleep(Duration::from_secs(2));
+        drop(stream);
+    });
+
+    let start = Instant::now();
+    let result = transport.handshake(&ctx(timeout));
+    let elapsed = start.elapsed();
+    expect_timeout(result, elapsed, Duration::from_millis(1_000));
+    drop(transport);
+    let _ = peer.join();
+}
+
+/// The dial side has the same obligation: a listener that accepts node 0's
+/// connection and swallows its Hello without ever acking must not wedge
+/// the dialer.
+#[test]
+fn unacked_dial_times_out_under_the_deadline() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind peer listener");
+    let peer_addr = listener.local_addr().expect("peer addr");
+    let own_listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    // Node 0 in a 2-node cluster dials node 1 and waits for HelloAck.
+    let mut transport = TcpTransport::new(
+        0,
+        own_listener,
+        &[1],
+        &[(1, peer_addr)],
+        RetryPolicy::default(),
+    )
+    .expect("transport");
+    let timeout = Duration::from_millis(200);
+
+    let peer = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        // Read nothing, ack nothing; just sit on the connection.
+        std::thread::sleep(Duration::from_secs(2));
+        drop(stream);
+    });
+
+    let start = Instant::now();
+    let result = transport.handshake(&HandshakeContext {
+        node: 0,
+        n_nodes: 2,
+        topology_hash: TOPOLOGY_HASH,
+        timeout,
+    });
+    let elapsed = start.elapsed();
+    expect_timeout(result, elapsed, Duration::from_millis(1_000));
+    drop(transport);
+    let _ = peer.join();
+}

@@ -8,8 +8,8 @@
 
 use dpc_alg::message::RoundMsg;
 use dpc_runtime::wire::{
-    decode_payload, encode_frame, encode_payload, read_frame, FrameError, RejectReason, WireError,
-    WireMsg, MAX_PAYLOAD_LEN,
+    decode_payload, encode_frame, encode_payload, read_frame, FrameError, Reassembly, RejectReason,
+    WireError, WireMsg, MAX_PAYLOAD_LEN, PROTOCOL_VERSION,
 };
 use proptest::prelude::*;
 
@@ -183,6 +183,165 @@ proptest! {
             other => prop_assert!(false, "cut at {cut} gave {other:?}"),
         }
     }
+}
+
+/// Drains every complete frame currently buffered.
+fn drain(reasm: &mut Reassembly) -> Result<Vec<WireMsg>, WireError> {
+    let mut out = Vec::new();
+    while let Some(msg) = reasm.next_frame()? {
+        out.push(msg);
+    }
+    Ok(out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The reactor-path invariant: a frame stream fed one byte at a time —
+    /// crossing *every* internal byte boundary of every frame — reassembles
+    /// to the identical message sequence as one contiguous read.
+    #[test]
+    fn reassembly_is_invariant_to_byte_at_a_time_delivery(
+        kinds in collection::vec(0u8..6, 1..5),
+        a in 0u32..=u32::MAX,
+        hash in 0u64..=u64::MAX,
+        e in -1e9f64..1e9,
+    ) {
+        let msgs: Vec<WireMsg> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                build_msg(k, a.wrapping_add(i as u32), hash, e, e / 3.0, i % 2 == 0)
+            })
+            .collect();
+        let stream: Vec<u8> = msgs.iter().flat_map(encode_frame).collect();
+
+        // Contiguous reference.
+        let mut whole = Reassembly::new();
+        whole.push(&stream);
+        prop_assert_eq!(drain(&mut whole), Ok(msgs.clone()));
+        prop_assert_eq!(whole.buffered(), 0);
+
+        // Byte-at-a-time delivery.
+        let mut drip = Reassembly::new();
+        let mut got = Vec::new();
+        for &byte in &stream {
+            drip.push(&[byte]);
+            match drain(&mut drip) {
+                Ok(batch) => got.extend(batch),
+                Err(err) => prop_assert!(false, "drip decode failed: {err}"),
+            }
+        }
+        prop_assert_eq!(got, msgs);
+        prop_assert_eq!(drip.buffered(), 0);
+    }
+
+    /// Arbitrary fixed-size chunking (the realistic socket case: reads cut
+    /// frames wherever the kernel buffer happened to fill) decodes the same
+    /// sequence too.
+    #[test]
+    fn reassembly_is_invariant_to_chunk_size(
+        kinds in collection::vec(0u8..6, 1..6),
+        chunk in 1usize..9,
+        a in 0u32..=u32::MAX,
+        e in -1e9f64..1e9,
+    ) {
+        let msgs: Vec<WireMsg> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| build_msg(k, a ^ i as u32, 23, e, -e, i % 2 == 1))
+            .collect();
+        let stream: Vec<u8> = msgs.iter().flat_map(encode_frame).collect();
+
+        let mut reasm = Reassembly::new();
+        let mut got = Vec::new();
+        for piece in stream.chunks(chunk) {
+            reasm.push(piece);
+            match drain(&mut reasm) {
+                Ok(batch) => got.extend(batch),
+                Err(err) => prop_assert!(false, "chunked decode failed: {err}"),
+            }
+        }
+        prop_assert_eq!(got, msgs);
+        prop_assert_eq!(reasm.buffered(), 0);
+    }
+
+    /// Total reassembler: arbitrary byte chunks never panic — every push
+    /// either yields frames, waits for more bytes, or reports the same
+    /// typed [`WireError`] the blocking reader would.
+    #[test]
+    fn reassembly_byte_soup_never_panics(
+        chunks in collection::vec(collection::vec(0u8..=255, 0..12), 0..12),
+    ) {
+        let mut reasm = Reassembly::new();
+        'feed: for chunk in &chunks {
+            reasm.push(chunk);
+            loop {
+                match reasm.next_frame() {
+                    Ok(Some(msg)) => {
+                        // Anything that decodes must be canonical, exactly
+                        // as on the payload path.
+                        let mut reencoded = Vec::new();
+                        encode_payload(&msg, &mut reencoded);
+                        prop_assert_eq!(decode_payload(&reencoded), Ok(msg));
+                    }
+                    Ok(None) => continue 'feed,
+                    // Framing is lost for good — the connection would be
+                    // torn down; stop feeding.
+                    Err(_) => break 'feed,
+                }
+            }
+        }
+    }
+}
+
+/// Exhaustive two-way split: a fixed multi-message stream cut into a
+/// prefix/suffix pair at *every* position reassembles identically.
+#[test]
+fn every_two_way_split_of_a_frame_stream_reassembles() {
+    let msgs = [
+        WireMsg::Hello {
+            version: PROTOCOL_VERSION,
+            node: 3,
+            n_nodes: 64,
+            topology_hash: 0xfeed_beef,
+        },
+        WireMsg::Data {
+            round: 41,
+            msg: RoundMsg {
+                e: -0.0,
+                transfer: 13.25,
+            },
+            settled: true,
+        },
+        WireMsg::Goodbye {
+            msg: RoundMsg {
+                e: 1e-300,
+                transfer: -7.5,
+            },
+        },
+    ];
+    let stream: Vec<u8> = msgs.iter().flat_map(encode_frame).collect();
+
+    for cut in 0..=stream.len() {
+        let mut reasm = Reassembly::new();
+        reasm.push(&stream[..cut]);
+        let mut got = drain(&mut reasm).expect("prefix decodes cleanly");
+        reasm.push(&stream[cut..]);
+        got.extend(drain(&mut reasm).expect("suffix completes the stream"));
+        assert_eq!(got, msgs, "split at byte {cut} changed the decode");
+        assert_eq!(reasm.buffered(), 0, "split at byte {cut} left residue");
+    }
+}
+
+/// An oversized length prefix is rejected as soon as the prefix is
+/// complete — the reassembler never waits for (or allocates) a bogus
+/// multi-gigabyte frame.
+#[test]
+fn oversized_length_prefix_is_rejected_at_the_prefix() {
+    let mut reasm = Reassembly::new();
+    reasm.push(&u32::MAX.to_le_bytes());
+    assert_eq!(reasm.next_frame(), Err(WireError::OversizedFrame(u32::MAX)));
 }
 
 #[test]

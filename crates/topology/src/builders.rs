@@ -177,6 +177,128 @@ impl Graph {
         }
         Ok(sample_tree_augmented(n, m, rng))
     }
+
+    /// 2-D torus of `rows × cols` nodes: the grid with wraparound edges, so
+    /// every node has exactly 4 neighbors (when both dimensions are ≥ 3).
+    /// The natural scale-out topology: constant degree like the ring, but
+    /// diameter `(rows + cols)/2` instead of `n/2`, which multiplies the
+    /// consensus spectral gap and cuts rounds-to-converge accordingly.
+    ///
+    /// Degenerate dimensions degrade gracefully: a wrap edge that would
+    /// duplicate a grid edge (dimension 2) collapses, and one that would
+    /// self-loop (dimension 1) is dropped, so `torus(1, n)` is `ring(n)`.
+    ///
+    /// # Errors
+    ///
+    /// None today — the signature is fallible to match the other
+    /// parameterized builders and leave room for size validation.
+    pub fn torus(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+        let id = |r: usize, c: usize| r * cols + c;
+        let mut edges = Vec::with_capacity(2 * rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let right = id(r, (c + 1) % cols);
+                let down = id((r + 1) % rows, c);
+                if id(r, c) != right {
+                    edges.push((id(r, c), right));
+                }
+                if id(r, c) != down {
+                    edges.push((id(r, c), down));
+                }
+            }
+        }
+        Graph::from_edges(rows * cols, &edges)
+    }
+
+    /// Boolean hypercube of dimension `dim`: `2^dim` nodes, node `i`
+    /// adjacent to `i ^ (1 << b)` for every bit `b`. Logarithmic degree
+    /// *and* logarithmic diameter — the high-connectivity endpoint of the
+    /// topology sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` exceeds the machine word (`dim ≥ usize::BITS`).
+    pub fn hypercube(dim: u32) -> Graph {
+        assert!(dim < usize::BITS, "hypercube dimension too large");
+        let n = 1usize << dim;
+        let mut edges = Vec::with_capacity(n / 2 * dim as usize);
+        for u in 0..n {
+            for b in 0..dim {
+                let v = u ^ (1 << b);
+                if u < v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        Graph::from_edges(n, &edges).expect("hypercube edges are valid")
+    }
+
+    /// Random simple `d`-regular graph on `n` nodes via the configuration
+    /// model with local pair retries (Steger–Wormald style): each step
+    /// draws two random unmatched stubs and accepts the pair unless it
+    /// would self-loop or duplicate an edge; a stuck pairing restarts from
+    /// scratch. A naive shuffle-and-pair attempt is simple only with
+    /// probability `≈ e^{−(d²−1)/4}` — hopeless already at `d = 6` — while
+    /// local retries succeed essentially always. The sample is kept only
+    /// if connected, which for `d ≥ 3` is almost sure.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::BadRegularity`] when no simple `d`-regular graph
+    /// exists (`n·d` odd, or `d ≥ n`);
+    /// [`GraphError::ConnectivityNotReached`] when `max_attempts` pairings
+    /// all got stuck or produced a disconnected sample (expected only for
+    /// `d ≤ 2`, where connectivity is not almost-sure).
+    pub fn random_regular<R: Rng + ?Sized>(
+        n: usize,
+        d: usize,
+        rng: &mut R,
+        max_attempts: usize,
+    ) -> Result<Graph, GraphError> {
+        if d == 0 || n == 0 {
+            return Graph::from_edges(n, &[]);
+        }
+        if d >= n || !(n * d).is_multiple_of(2) {
+            return Err(GraphError::BadRegularity { n, d });
+        }
+        let attempts = max_attempts.max(1);
+        'attempt: for _ in 0..attempts {
+            let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+            let mut set = std::collections::HashSet::with_capacity(n * d / 2);
+            while !stubs.is_empty() {
+                let mut paired = false;
+                // Toward the end of a pairing only a few stubs remain and
+                // most draws collide; a bounded number of redraws before
+                // declaring the pairing stuck keeps the loop total-time
+                // linear in n·d with overwhelming probability.
+                for _ in 0..64 {
+                    let i = rng.gen_range(0..stubs.len());
+                    let j = rng.gen_range(0..stubs.len());
+                    let (u, v) = (stubs[i], stubs[j]);
+                    if i == j || u == v {
+                        continue;
+                    }
+                    if !set.insert(if u < v { (u, v) } else { (v, u) }) {
+                        continue;
+                    }
+                    let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+                    stubs.swap_remove(hi);
+                    stubs.swap_remove(lo);
+                    paired = true;
+                    break;
+                }
+                if !paired {
+                    continue 'attempt;
+                }
+            }
+            let edges: Vec<_> = set.into_iter().collect();
+            let g = Graph::from_edges(n, &edges).expect("paired edges are valid");
+            if g.is_connected() {
+                return Ok(g);
+            }
+        }
+        Err(GraphError::ConnectivityNotReached { attempts })
+    }
 }
 
 /// Uniform random spanning tree (via a random Prüfer sequence) plus
@@ -373,5 +495,92 @@ mod tests {
         let a = Graph::erdos_renyi_connected(50, 100, &mut rng, 100).unwrap();
         let b = Graph::erdos_renyi_connected(50, 100, &mut rng, 100).unwrap();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn torus_is_4_regular_connected_and_beats_the_ring_diameter() {
+        let g = Graph::torus(6, 8).unwrap();
+        assert_eq!(g.len(), 48);
+        assert_eq!(g.num_edges(), 2 * 48);
+        assert!((0..48).all(|v| g.degree(v) == 4));
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), Some(3 + 4));
+        assert!(g.diameter().unwrap() < Graph::ring(48).diameter().unwrap());
+    }
+
+    #[test]
+    fn degenerate_torus_dimensions_collapse_cleanly() {
+        // A 1×n torus is exactly the ring.
+        assert_eq!(Graph::torus(1, 5).unwrap(), Graph::ring(5));
+        // A 2×n torus: wrap edges between the two rows collapse onto the
+        // grid edges, leaving degree 3 per node.
+        let g = Graph::torus(2, 4).unwrap();
+        assert!((0..8).all(|v| g.degree(v) == 3));
+        assert!(g.is_connected());
+        assert!(Graph::torus(0, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = Graph::hypercube(4);
+        assert_eq!(g.len(), 16);
+        assert_eq!(g.num_edges(), 16 * 4 / 2);
+        assert!((0..16).all(|v| g.degree(v) == 4));
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), Some(4));
+        assert_eq!(Graph::hypercube(0).len(), 1);
+        assert_eq!(Graph::hypercube(1).num_edges(), 1);
+    }
+
+    #[test]
+    fn random_regular_is_regular_connected_and_seed_stable() {
+        for &(n, d) in &[(20usize, 3usize), (50, 4), (101, 6)] {
+            let mut rng = StdRng::seed_from_u64(11);
+            let g = Graph::random_regular(n, d, &mut rng, 200).unwrap();
+            assert_eq!(g.len(), n);
+            assert_eq!(g.num_edges(), n * d / 2);
+            assert!((0..n).all(|v| g.degree(v) == d), "not {d}-regular");
+            assert!(g.is_connected());
+            // Same seed, same sample: topology_hash (and thus the handshake
+            // identity every node validates) is reproducible.
+            let mut rng2 = StdRng::seed_from_u64(11);
+            let g2 = Graph::random_regular(n, d, &mut rng2, 200).unwrap();
+            assert_eq!(g.topology_hash(), g2.topology_hash());
+            assert_eq!(g, g2);
+        }
+    }
+
+    #[test]
+    fn random_regular_rejects_impossible_requests() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // n·d odd.
+        assert!(matches!(
+            Graph::random_regular(5, 3, &mut rng, 10),
+            Err(GraphError::BadRegularity { n: 5, d: 3 })
+        ));
+        // d ≥ n.
+        assert!(matches!(
+            Graph::random_regular(4, 4, &mut rng, 10),
+            Err(GraphError::BadRegularity { n: 4, d: 4 })
+        ));
+        // Degree 0 is the empty graph, not an error.
+        assert_eq!(
+            Graph::random_regular(3, 0, &mut rng, 10)
+                .unwrap()
+                .num_edges(),
+            0
+        );
+    }
+
+    #[test]
+    fn new_builders_hash_distinctly() {
+        // The handshake's topology_hash must tell these apart even at equal
+        // node counts.
+        let torus = Graph::torus(4, 4).unwrap();
+        let cube = Graph::hypercube(4);
+        let ring = Graph::ring(16);
+        assert_ne!(torus.topology_hash(), cube.topology_hash());
+        assert_ne!(torus.topology_hash(), ring.topology_hash());
+        assert_ne!(cube.topology_hash(), ring.topology_hash());
     }
 }

@@ -43,6 +43,14 @@ pub enum GraphError {
         /// The node listed twice.
         node: usize,
     },
+    /// No simple `d`-regular graph on `n` nodes exists (`n·d` odd, or
+    /// `d ≥ n`).
+    BadRegularity {
+        /// Number of nodes requested.
+        n: usize,
+        /// Degree requested.
+        d: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -60,6 +68,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::DuplicateMember { node } => {
                 write!(f, "node {node} appears in more than one partition cell")
+            }
+            GraphError::BadRegularity { n, d } => {
+                write!(f, "no simple {d}-regular graph on {n} nodes exists")
             }
         }
     }

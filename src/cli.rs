@@ -107,7 +107,7 @@ USAGE: dpc <command> [--flag value ...]
 COMMANDS:
   solve      allocate a budget once and report every scheme
              --servers N (100)  --budget-watts W (172·N)  --seed S (0)
-             --topology ring|chords|grid (ring)  --trace FILE.csv
+             --topology ring|chords|grid|torus|hypercube|random-regular (ring)  --trace FILE.csv
   simulate   run a dynamic DiBA simulation
              --servers N (100)  --budget-watts W (176·N)  --seconds T (60)
              --churn-secs S     --phase-secs S            --seed S (0)
@@ -155,22 +155,27 @@ COMMANDS:
   trace      run one solver with the round recorder attached, write a trace
              --solver diba|async|primal-dual (diba)  --servers N (64)
              --budget-watts W (170·N)  --seed S (0)  --rounds R (600)
-             --topology ring|chords|grid (ring)  --threads T|auto (auto)
+             --topology ring|chords|grid|torus|hypercube|random-regular (ring)  --threads T|auto (auto)
              --format jsonl|csv|prom (jsonl)  --capacity C (rounds)
              --drop P (0, async only)  --crash-round R (async only)
              --out FILE (TRACE.jsonl)
   cluster    deploy N DiBA node agents locally and report the allocation
-             --servers N (8)  --transport inproc|tcp (inproc)
+             --servers N (8)  --transport inproc|tcp|lockstep|reactor (inproc)
              --budget-watts W (170·N)  --seed S (0)
-             --topology ring|chords|grid (ring)  --tol W (1e-4)
+             --topology ring|chords|grid|torus|hypercube|random-regular (ring)
+             --shards K (0 = auto; reactor poller shards, each one thread)
+             --tol W (1e-4)
              --max-rounds R (20000)  --sample-every K (0, merge telemetry)
-             --bench [FILE]  run the inproc-vs-tcp throughput sweep instead
+             --bench [FILE]  run the transport throughput sweep (plus the
+             reactor scale rows and the topology convergence table) instead
              over --sizes N,N,... (8,64); FILE defaults to BENCH_runtime.json
+             --scale on|off (on; off skips the 1k/10k rows and the table)
   node       run ONE DiBA agent over TCP (one process per server)
              --id I (required)  --servers N (4)  --listen IP:PORT (127.0.0.1:0)
              --peers j=ip:port,... (dial addresses of the HIGHER-id neighbors;
              lower-id neighbors dial this node's --listen address)
-             --budget-watts W (170·N)  --seed S (0)  --topology ring|chords|grid
+             --budget-watts W (170·N)  --seed S (0)
+             --topology ring|chords|grid|torus|hypercube|random-regular
              --tol W (1e-4)  --max-rounds R (20000)  --timeout-secs T (10)
   help       this text
 "
@@ -208,20 +213,52 @@ fn load_utilities(opts: &Options, n: usize, seed: u64) -> Result<Vec<QuadraticUt
     }
 }
 
-fn graph_for(name: &str, n: usize) -> Result<Graph, CliError> {
+/// The most-square `rows × cols = n` factorization, for the wrap-around
+/// families that want a rectangle.
+fn rect_dims(n: usize, flag: &str) -> Result<(usize, usize), CliError> {
+    let mut side = (n as f64).sqrt().floor() as usize;
+    while side > 1 && !n.is_multiple_of(side) {
+        side -= 1;
+    }
+    if side < 1 || side * (n / side) != n {
+        return Err(CliError(format!(
+            "--topology {flag} needs a rectangular n, got {n}"
+        )));
+    }
+    Ok((side, n / side))
+}
+
+fn graph_for(name: &str, n: usize, seed: u64) -> Result<Graph, CliError> {
     match name {
         "ring" => Ok(Graph::ring(n)),
         "chords" => Ok(Graph::ring_with_chords(n, (n / 8).max(2))),
         "grid" => {
-            let side = (n as f64).sqrt().floor() as usize;
-            if side < 1 || side * (n / side) != n {
+            let (rows, cols) = rect_dims(n, "grid")?;
+            Ok(Graph::grid(rows, cols))
+        }
+        "torus" => {
+            let (rows, cols) = rect_dims(n, "torus")?;
+            Graph::torus(rows, cols).map_err(|e| CliError(format!("--topology torus: {e}")))
+        }
+        "hypercube" => {
+            if !n.is_power_of_two() {
                 return Err(CliError(format!(
-                    "--topology grid needs a rectangular n, got {n}"
+                    "--topology hypercube needs a power-of-two n, got {n}"
                 )));
             }
-            Ok(Graph::grid(side, n / side))
+            Ok(Graph::hypercube(n.trailing_zeros()))
         }
-        other => Err(CliError(format!("unknown topology `{other}`"))),
+        "random-regular" => {
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+            let mut rng = StdRng::seed_from_u64(seed);
+            Graph::random_regular(n, 4, &mut rng, 200)
+                .map_err(|e| CliError(format!("--topology random-regular: {e}")))
+        }
+        other => Err(CliError(format!(
+            "unknown topology `{other}`; expected ring, chords, grid, torus, \
+             hypercube or random-regular"
+        ))),
     }
 }
 
@@ -237,7 +274,7 @@ pub fn cmd_solve(opts: &Options) -> Result<String, CliError> {
     let budget = Watts(opts.get_or("budget-watts", 172.0 * n as f64)?);
     let problem = PowerBudgetProblem::new(utilities, budget)
         .map_err(|e| CliError(format!("infeasible problem: {e}")))?;
-    let graph = graph_for(opts.string("topology").unwrap_or("ring"), n)?;
+    let graph = graph_for(opts.string("topology").unwrap_or("ring"), n, seed)?;
 
     let oracle = centralized::solve(&problem);
     let opt_util = problem.total_utility(&oracle.allocation);
@@ -895,7 +932,7 @@ pub fn cmd_trace(opts: &Options) -> Result<String, CliError> {
     let utilities = ClusterBuilder::new(n).seed(seed).build().utilities();
     let problem = PowerBudgetProblem::new(utilities, budget)
         .map_err(|e| CliError(format!("infeasible problem: {e}")))?;
-    let graph = graph_for(opts.string("topology").unwrap_or("ring"), n)?;
+    let graph = graph_for(opts.string("topology").unwrap_or("ring"), n, seed)?;
     let telemetry = TelemetryConfig::with_capacity(capacity);
 
     let recorder: Telemetry = match solver {
@@ -992,8 +1029,10 @@ fn parse_transport(name: &str) -> Result<crate::runtime::TransportKind, CliError
     match name {
         "inproc" => Ok(crate::runtime::TransportKind::InProcess),
         "tcp" => Ok(crate::runtime::TransportKind::Tcp),
+        "lockstep" => Ok(crate::runtime::TransportKind::Lockstep),
+        "reactor" => Ok(crate::runtime::TransportKind::Reactor),
         other => Err(CliError(format!(
-            "unknown transport `{other}`; expected inproc or tcp"
+            "unknown transport `{other}`; expected inproc, tcp, lockstep or reactor"
         ))),
     }
 }
@@ -1018,7 +1057,7 @@ fn deployment_for(
     let utilities = ClusterBuilder::new(n).seed(seed).build().utilities();
     let problem = PowerBudgetProblem::new(utilities, budget)
         .map_err(|e| CliError(format!("infeasible problem: {e}")))?;
-    let graph = graph_for(opts.string("topology").unwrap_or("ring"), n)?;
+    let graph = graph_for(opts.string("topology").unwrap_or("ring"), n, seed)?;
     let tol: f64 = opts.get_or("tol", 1e-4)?;
     if !tol.is_finite() || tol <= 0.0 {
         return Err(CliError("--tol must be positive".into()));
@@ -1036,6 +1075,7 @@ fn deployment_for(
         max_rounds,
         handshake_timeout: std::time::Duration::from_secs_f64(timeout_secs),
         sample_every: opts.get_or("sample-every", 0)?,
+        shards: opts.get_or("shards", 0)?,
         ..crate::runtime::cluster::RuntimeConfig::default()
     };
     Ok((problem, graph, rt))
@@ -1045,7 +1085,7 @@ fn deployment_for(
 /// loopback sockets) and report the converged allocation, or run the
 /// transport throughput sweep with `--bench`.
 pub fn cmd_cluster(opts: &Options) -> Result<String, CliError> {
-    use dpc_bench::runtimebench::{run_runtime_bench, DEFAULT_SIZES};
+    use dpc_bench::runtimebench::{run_runtime_bench, run_runtime_bench_full, DEFAULT_SIZES};
 
     if let Some(bench_path) = opts.string("bench") {
         let sizes: Vec<usize> = match opts.string("sizes") {
@@ -1063,7 +1103,15 @@ pub fn cmd_cluster(opts: &Options) -> Result<String, CliError> {
             return Err(CliError("--sizes needs cluster sizes of at least 3".into()));
         }
         let seed: u64 = opts.get_or("seed", 0)?;
-        let report = run_runtime_bench(&sizes, seed);
+        let report = match opts.string("scale").unwrap_or("on") {
+            "on" => run_runtime_bench_full(&sizes, seed),
+            "off" => run_runtime_bench(&sizes, seed),
+            other => {
+                return Err(CliError(format!(
+                    "--scale must be on or off, got `{other}`"
+                )))
+            }
+        };
         if !report.all_converged() {
             return Err(CliError(format!(
                 "a bench cell failed to reach convergence quorum:\n{}",
@@ -1086,12 +1134,28 @@ pub fn cmd_cluster(opts: &Options) -> Result<String, CliError> {
     let (problem, graph, rt) = deployment_for(opts, n, seed)?;
     let rt = crate::runtime::cluster::RuntimeConfig { transport, ..rt };
 
+    let topology_name = opts.string("topology").unwrap_or("ring");
+    let spectrum = crate::topology::spectral::consensus_spectrum(&graph, 200);
+    let min_degree = (0..graph.len())
+        .map(|i| graph.neighbors(i).len())
+        .min()
+        .unwrap_or(0);
+    let topology_line = format!(
+        "topology {topology_name} (hash {:#018x}): degree {}..{}, spectral gap {:.4}, \
+         mixing ~{:.0} rounds\n",
+        graph.topology_hash(),
+        min_degree,
+        graph.max_degree(),
+        spectrum.gap,
+        spectrum.mixing_time,
+    );
+
     let outcome = crate::runtime::run_cluster(problem, graph, DibaConfig::default(), &rt)
         .map_err(runtime_err)?;
 
     let budget = outcome.budget;
     let mut out = format!(
-        "cluster: {n} nodes on {} transport, budget {:.2} kW\n{} in {} rounds, \
+        "cluster: {n} nodes on {} transport, budget {:.2} kW\n{topology_line}{} in {} rounds, \
          residual drift {:.3e} W\nmessages: {} sent ({} heartbeats), {} received\n\n\
          node   cap (W)    residual (W)  rounds   msgs\n",
         rt.transport.key(),
@@ -1132,6 +1196,15 @@ pub fn cmd_cluster(opts: &Options) -> Result<String, CliError> {
             "VIOLATED"
         },
     ));
+    if let Some(threads) = outcome.peak_threads {
+        out.push_str(&format!("runtime: peak {threads} threads\n"));
+    }
+    // Wall-clock-adjacent and host-dependent, so it lives on its own line
+    // (containing "rss") that reproducibility comparisons strip — same
+    // convention as the bench reports' `per_sec`/`secs` lines.
+    if let Some(kb) = outcome.peak_rss_kb {
+        out.push_str(&format!("runtime: peak rss {:.1} MB\n", kb as f64 / 1024.0));
+    }
     Ok(out)
 }
 
@@ -1811,6 +1884,8 @@ mod tests {
                 "6",
                 "--seed",
                 "7",
+                "--scale",
+                "off",
             ]))
             .unwrap();
             assert!(out.contains("report written"), "{out}");
