@@ -49,6 +49,19 @@ impl TransportKind {
     }
 }
 
+/// How many poller shards the reactor deploys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardCount {
+    /// Load-driven auto-tune: sized from total round work (Σ degree+4),
+    /// host parallelism, and the measured per-shard round cost (see
+    /// [`crate::reactor::resolve_shard_count`]). The CLI spelling is
+    /// `--shards auto`.
+    #[default]
+    Auto,
+    /// Exactly this many shards (clamped to `[1, n]`).
+    Fixed(usize),
+}
+
 /// Runtime knobs for a cluster run (the algorithm knobs live in
 /// [`DibaConfig`]).
 #[derive(Debug, Clone, Copy)]
@@ -73,9 +86,14 @@ pub struct RuntimeConfig {
     pub handshake_timeout: Duration,
     /// Merge a telemetry record every this many rounds (0 = none).
     pub sample_every: usize,
-    /// Poller shards for the reactor transport (0 = auto-size from the
-    /// host's available parallelism); other transports ignore it.
-    pub shards: usize,
+    /// Poller shards for the reactor transport; other transports ignore
+    /// it.
+    pub shards: ShardCount,
+    /// Coalesce reactor round traffic into multi-entry `DataBatch`
+    /// frames (the default). `false` seals one single-entry frame per
+    /// message — the per-message framing mode the runtime bench's
+    /// `--min-msgs-speedup` gate compares against.
+    pub coalesce: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -89,7 +107,8 @@ impl Default for RuntimeConfig {
             round_timeout: Duration::from_secs(2),
             handshake_timeout: Duration::from_secs(10),
             sample_every: 0,
-            shards: 0,
+            shards: ShardCount::Auto,
+            coalesce: true,
         }
     }
 }
@@ -125,6 +144,9 @@ pub struct ClusterOutcome {
     /// Peak resident set size in KiB observed during the run (reactor
     /// transport only).
     pub peak_rss_kb: Option<u64>,
+    /// Poller shards actually deployed (reactor transport only) — the
+    /// auto-tune's pick, re-reported in the cluster header.
+    pub shards_used: Option<usize>,
 }
 
 impl ClusterOutcome {
@@ -291,6 +313,7 @@ pub fn run_cluster(
     let hash = graph.topology_hash();
     let mut peak_threads = None;
     let mut peak_rss_kb = None;
+    let mut shards_used = None;
     let reports = match rt.transport {
         TransportKind::InProcess => {
             spawn_nodes(specs, channel::mesh(&graph), hash, rt.handshake_timeout)?
@@ -300,6 +323,7 @@ pub fn run_cluster(
             let run = reactor::run_reactor_cluster(specs, &graph, rt)?;
             peak_threads = Some(run.peak_threads);
             peak_rss_kb = run.peak_rss_kb;
+            shards_used = Some(run.shards);
             run.reports
         }
         TransportKind::Tcp => {
@@ -355,6 +379,7 @@ pub fn run_cluster(
         telemetry,
         peak_threads,
         peak_rss_kb,
+        shards_used,
         reports,
     })
 }

@@ -1,21 +1,125 @@
-//! Per-link state for the reactor: in-memory byte pipes, nonblocking
-//! socket connections, and the handshake→data link state machine driven
-//! by the shard loop.
+//! Carrier and link state for the reactor: one byte *carrier* per pair of
+//! shards (plus a self carrier per shard), and one lightweight *link* per
+//! agent↔neighbor attachment riding whichever carrier connects the two
+//! owning shards.
 //!
-//! Both link flavors carry the *identical* byte stream — length-prefixed
-//! frames from [`crate::wire::encode_frame`], reassembled by
-//! [`Reassembly`] — so wire fidelity does not depend on whether an edge
-//! crosses a shard boundary. A mem pipe is just a mutex-guarded byte
-//! buffer plus the receiving shard's eventfd; a sock link is a
-//! nonblocking loopback `TcpStream` with an outbound staging buffer
-//! flushed on `EPOLLOUT`.
+//! Every carrier moves the identical length-prefixed byte stream:
+//! handshake frames are scalar [`crate::wire::WireMsg`]s, round traffic is
+//! coalesced into [`crate::wire::DataBatch`] frames whose entries are
+//! addressed by the *receiving* shard's link index. The shard loop encodes
+//! entries straight into the carrier's persistent staging buffer (via
+//! [`crate::wire::BatchWriter`]), so the steady-state send path allocates
+//! nothing; socket carriers stage flushed bytes in a [`RingBuf`] and hand
+//! them to the kernel with vectored writes when the ring wraps.
 
 use super::sys::EventFd;
-use crate::wire::{Reassembly, WireMsg};
+use crate::wire::{BatchEntry, BatchWriter, Reassembly};
 use std::collections::VecDeque;
+use std::io::{IoSlice, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// A growable circular byte buffer: the persistent write-side staging of a
+/// socket carrier. Bytes go in at the tail (wrapping), come out at the
+/// head, and the readable region is exposed as at most two slices so the
+/// flush path can hand both to one vectored write. Capacity only ever
+/// grows (doubling), so after warm-up the steady state allocates nothing.
+#[derive(Default)]
+pub struct RingBuf {
+    buf: Vec<u8>,
+    head: usize,
+    len: usize,
+}
+
+impl RingBuf {
+    /// An empty ring; no allocation until the first write.
+    pub fn new() -> RingBuf {
+        RingBuf::default()
+    }
+
+    /// Buffered byte count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends `bytes`, wrapping at the capacity edge; grows (and
+    /// linearizes) only when the ring is full.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        let needed = self.len + bytes.len();
+        if needed > self.buf.len() {
+            self.grow(needed);
+        }
+        let cap = self.buf.len();
+        let tail = (self.head + self.len) % cap;
+        let first = bytes.len().min(cap - tail);
+        self.buf[tail..tail + first].copy_from_slice(&bytes[..first]);
+        self.buf[..bytes.len() - first].copy_from_slice(&bytes[first..]);
+        self.len += bytes.len();
+    }
+
+    fn grow(&mut self, needed: usize) {
+        let cap = needed.next_power_of_two().max(4096);
+        let mut fresh = vec![0u8; cap];
+        let (a, b) = self.as_slices();
+        fresh[..a.len()].copy_from_slice(a);
+        fresh[a.len()..a.len() + b.len()].copy_from_slice(b);
+        self.head = 0;
+        self.buf = fresh;
+    }
+
+    /// The readable region: one contiguous slice, or two when the data
+    /// wraps the capacity edge (second slice empty otherwise).
+    pub fn as_slices(&self) -> (&[u8], &[u8]) {
+        if self.len == 0 {
+            return (&[], &[]);
+        }
+        let cap = self.buf.len();
+        let first = self.len.min(cap - self.head);
+        (
+            &self.buf[self.head..self.head + first],
+            &self.buf[..self.len - first],
+        )
+    }
+
+    /// Drops `n` consumed bytes from the head (a successful write's byte
+    /// count); resets to the buffer start once drained so refills are
+    /// contiguous.
+    pub fn consume(&mut self, n: usize) {
+        debug_assert!(n <= self.len, "consumed more than buffered");
+        self.len -= n;
+        if self.len == 0 {
+            self.head = 0;
+        } else {
+            self.head = (self.head + n) % self.buf.len();
+        }
+    }
+
+    /// Writes as much buffered data as the stream accepts, using one
+    /// vectored write when the ring wraps. Returns the bytes accepted.
+    ///
+    /// # Errors
+    ///
+    /// The stream's own write error (`WouldBlock` included).
+    pub fn write_to(&mut self, stream: &mut TcpStream) -> std::io::Result<usize> {
+        let (a, b) = self.as_slices();
+        let n = if b.is_empty() {
+            stream.write(a)?
+        } else {
+            stream.write_vectored(&[IoSlice::new(a), IoSlice::new(b)])?
+        };
+        self.consume(n);
+        Ok(n)
+    }
+}
 
 #[derive(Default)]
 struct PipeBuf {
@@ -23,20 +127,18 @@ struct PipeBuf {
     closed: bool,
 }
 
-/// One direction of an in-memory edge: sender appends encoded frames,
-/// receiver takes the accumulated bytes into its reassembly buffer.
+/// One direction of a cross-shard in-memory carrier: the sender appends a
+/// whole flush's worth of encoded frames under a single lock, the receiver
+/// takes the accumulated bytes into its reassembly buffer.
 pub struct MemPipe {
     buf: Mutex<PipeBuf>,
     dirty: AtomicBool,
-    /// The receiving shard's wakeup, present only when the pipe crosses a
-    /// shard boundary (fd-budget spill); intra-shard pipes are pumped by
-    /// the owning loop itself.
+    /// The receiving shard's wakeup eventfd.
     signal: Option<Arc<EventFd>>,
 }
 
 impl MemPipe {
-    /// A fresh pipe; `signal` is the *receiving* shard's eventfd for
-    /// cross-shard pipes, `None` for intra-shard ones.
+    /// A fresh pipe; `signal` is the *receiving* shard's eventfd.
     pub fn new(signal: Option<Arc<EventFd>>) -> Arc<MemPipe> {
         Arc::new(MemPipe {
             buf: Mutex::new(PipeBuf::default()),
@@ -45,15 +147,15 @@ impl MemPipe {
         })
     }
 
-    /// Appends one encoded frame. Returns `false` if the receiver closed
+    /// Appends one flush's bytes. Returns `false` if the receiver closed
     /// the pipe (the mem analogue of a dead socket).
-    pub fn send(&self, frame: &[u8]) -> bool {
+    pub fn send(&self, bytes: &[u8]) -> bool {
         {
             let mut buf = self.buf.lock().expect("pipe lock");
             if buf.closed {
                 return false;
             }
-            buf.bytes.extend_from_slice(frame);
+            buf.bytes.extend_from_slice(bytes);
         }
         self.dirty.store(true, Ordering::Release);
         if let Some(signal) = &self.signal {
@@ -62,8 +164,8 @@ impl MemPipe {
         true
     }
 
-    /// Marks the pipe closed (either side; frames already in flight stay
-    /// readable) and wakes the receiver so it notices.
+    /// Marks the pipe closed (bytes already in flight stay readable) and
+    /// wakes the receiver so it notices.
     pub fn close(&self) {
         self.buf.lock().expect("pipe lock").closed = true;
         self.dirty.store(true, Ordering::Release);
@@ -77,9 +179,8 @@ impl MemPipe {
         self.dirty.load(Ordering::Acquire)
     }
 
-    /// Takes all buffered bytes into `into` and clears the dirty flag.
-    /// Returns `true` once the pipe is closed (no more bytes will ever
-    /// arrive after these).
+    /// Takes all buffered bytes into `into` (appended) and clears the
+    /// dirty flag. Returns `true` once the pipe is closed.
     pub fn take(&self, into: &mut Vec<u8>) -> bool {
         self.dirty.store(false, Ordering::Release);
         let mut buf = self.buf.lock().expect("pipe lock");
@@ -89,74 +190,156 @@ impl MemPipe {
     }
 }
 
-/// A nonblocking socket endpoint owned by one shard. The stream is
-/// registered in the shard's epoll under this connection's index.
+/// A nonblocking socket endpoint backing one cross-shard carrier,
+/// registered in the owning shard's epoll under its slab index.
 pub struct SockConn {
     /// The nonblocking loopback stream.
     pub stream: TcpStream,
     /// Outbound bytes not yet accepted by the kernel.
-    pub out: Vec<u8>,
-    /// Consumed prefix of `out`.
-    pub out_pos: usize,
+    pub out: RingBuf,
     /// Registered for `EPOLLOUT` (pending flush).
     pub want_write: bool,
     /// Read side reached EOF or the connection failed.
     pub closed: bool,
-    /// Write side shut down (agent finished; flush then FIN).
+    /// Write side shut down (shard finished; flush then FIN).
     pub closing: bool,
-    /// Shard-local index of the [`Link`] this connection feeds.
-    pub link: u32,
+    /// Index of the [`Carrier`] this connection feeds.
+    pub carrier: u32,
 }
 
-/// Handshake progress of one link.
+/// Handshake progress of one carrier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LinkState {
+pub enum CarrierState {
     /// Acceptor side: waiting for the dialer's `Hello`.
     AwaitHello,
     /// Dialer side: `Hello` sent, waiting for `HelloAck`.
     AwaitAck,
-    /// Handshake complete; round frames flow.
+    /// Handshake complete; batched round frames flow.
     Data,
 }
 
-/// How a link moves bytes.
-pub enum LinkEnd {
-    /// Socket edge: index into the shard's connection slab.
-    Sock(u32),
-    /// In-memory edge: receive and transmit pipes.
+/// How a carrier moves bytes.
+pub enum CarrierEnd {
+    /// Intra-shard: flushed staging bytes feed this carrier's own
+    /// reassembly buffer directly, inside the pump loop.
+    SelfLoop,
+    /// Cross-shard in-memory pipes (fd-budget spill).
     Mem {
-        /// Frames arriving here.
+        /// Bytes arriving here.
         rx: Arc<MemPipe>,
-        /// Frames leaving here.
+        /// Bytes leaving here.
         tx: Arc<MemPipe>,
     },
+    /// Cross-shard socket: index into the shard's connection slab.
+    Sock(u32),
 }
 
-/// One agent↔neighbor attachment: transport end, reassembly buffer,
-/// decoded-frame inbox, and handshake state.
+/// One shard↔shard byte stream. All round traffic between the two shards'
+/// agents is coalesced onto this single stream as batch entries, so the
+/// per-round flush cost is O(carriers) — a handful — rather than
+/// O(messages).
+pub struct Carrier {
+    /// Peer shard id (handshake validation, labels).
+    pub peer_shard: usize,
+    /// Transport end.
+    pub end: CarrierEnd,
+    /// Handshake progress (self carriers are born established).
+    pub state: CarrierState,
+    /// Partial-frame reassembly for the inbound byte stream.
+    pub reasm: Reassembly,
+    /// Outbound frames under construction, reused every flush.
+    pub staging: Vec<u8>,
+    /// Incremental batch encoder over `staging`.
+    pub writer: BatchWriter,
+    /// Inbound stream exhausted (peer shard finished or failed).
+    pub eof: bool,
+    /// Outbound side shut; sends are refused.
+    pub closed_out: bool,
+    /// Lazy-cancellation sequence for the handshake deadline.
+    pub hs_seq: u32,
+    /// Shard-local links whose inbound rides this carrier (stream-EOF
+    /// fan-out on the abort path).
+    pub fed_links: Vec<u32>,
+}
+
+impl Carrier {
+    /// A fresh carrier in the given handshake state.
+    pub fn new(peer_shard: usize, end: CarrierEnd, state: CarrierState) -> Carrier {
+        Carrier {
+            peer_shard,
+            end,
+            state,
+            reasm: Reassembly::new(),
+            staging: Vec::new(),
+            writer: BatchWriter::new(),
+            eof: false,
+            closed_out: false,
+            hs_seq: 0,
+            fed_links: Vec::new(),
+        }
+    }
+
+    /// Label used in errors, matching the other transports' convention.
+    pub fn peer_label(&self) -> String {
+        format!("shard {}", self.peer_shard)
+    }
+}
+
+/// One agent↔neighbor attachment. Links no longer own byte streams: their
+/// traffic rides the carrier connecting the two owning shards, and the
+/// inbox holds already-decoded batch entries awaiting the agent's
+/// slot-ordered receive pass.
 pub struct Link {
     /// Shard-local index of the owning agent.
     pub agent: u32,
-    /// Neighbor node id (for labels and hello validation).
-    pub peer: usize,
-    /// Transport end.
-    pub end: LinkEnd,
-    /// Handshake progress.
-    pub state: LinkState,
-    /// Partial-frame reassembly for the inbound byte stream.
-    pub reasm: Reassembly,
-    /// Decoded round frames awaiting the agent's receive pass.
-    pub inbox: VecDeque<WireMsg>,
-    /// Inbound side is exhausted: the peer closed and every buffered
-    /// frame has been routed.
+    /// Shard-local index of the carrier this link's traffic rides.
+    pub carrier: u32,
+    /// The *receiving* shard's index for the reverse link: outgoing
+    /// entries are tagged with it so the peer shard routes them without
+    /// any lookup.
+    pub peer_slot: u32,
+    /// Decoded round entries awaiting the agent's receive pass.
+    pub inbox: VecDeque<BatchEntry>,
+    /// Inbound side exhausted: the peer sent its EOF entry (or the whole
+    /// carrier stream ended).
     pub eof: bool,
-    /// Lazy-cancellation sequence for the handshake deadline.
-    pub hs_seq: u32,
 }
 
-impl Link {
-    /// Label used in errors, matching the other transports' convention.
-    pub fn peer_label(&self) -> String {
-        format!("node {}", self.peer)
+#[cfg(test)]
+mod tests {
+    use super::RingBuf;
+
+    #[test]
+    fn ring_wraps_and_exposes_two_slices() {
+        let mut r = RingBuf::new();
+        r.extend_from_slice(&[1u8; 3000]);
+        r.consume(2500);
+        r.extend_from_slice(&[2u8; 3000]);
+        assert_eq!(r.len(), 3500);
+        let (a, b) = r.as_slices();
+        assert_eq!(a.len() + b.len(), 3500);
+        assert!(!b.is_empty(), "3500 live bytes in a 4096 ring must wrap");
+        let mut flat: Vec<u8> = a.to_vec();
+        flat.extend_from_slice(b);
+        assert_eq!(&flat[..500], &[1u8; 500][..]);
+        assert_eq!(&flat[500..], &[2u8; 3000][..]);
+    }
+
+    #[test]
+    fn ring_grows_preserving_order() {
+        let mut r = RingBuf::new();
+        r.extend_from_slice(&[7u8; 4000]);
+        r.consume(3900);
+        r.extend_from_slice(&[8u8; 200]);
+        // 300 live bytes wrapped; force growth and check linearization.
+        let big = vec![9u8; 8000];
+        r.extend_from_slice(&big);
+        let (a, b) = r.as_slices();
+        let mut flat: Vec<u8> = a.to_vec();
+        flat.extend_from_slice(b);
+        assert_eq!(flat.len(), 100 + 200 + 8000);
+        assert_eq!(&flat[..100], &[7u8; 100][..]);
+        assert_eq!(&flat[100..300], &[8u8; 200][..]);
+        assert_eq!(&flat[300..], &big[..]);
     }
 }

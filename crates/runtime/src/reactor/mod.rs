@@ -4,45 +4,48 @@
 //! The blocking substrates ([`crate::channel`], [`crate::tcp`]) spend one
 //! OS thread per node, which tops out around a thousand agents per
 //! process. The reactor inverts that: a handful of *poller shards* (one
-//! thread each, sized from the host's parallelism or `--shards`) own
+//! thread each, sized by the load-driven auto-tune or `--shards K`) own
 //! contiguous node ranges cut by [`dpc_topology::Graph::shard_offsets`],
 //! and every agent is a state machine stepped when its inputs are ready —
 //! memory and threads are O(agents) and O(shards) respectively, never
 //! O(agents) threads.
 //!
-//! Edges are carried by a hybrid link layer chosen per edge at bring-up:
+//! Traffic is coalesced onto **carriers**, one byte stream per pair of
+//! shards (plus a self carrier for intra-shard edges), chosen at bring-up:
 //!
-//! * **cross-shard** edges get a real nonblocking loopback TCP socket
-//!   driven by the shard's epoll — until the process's file-descriptor
-//!   budget (`RLIMIT_NOFILE` minus a reserve) runs out, after which the
-//!   remainder spill to in-memory pipes that wake the receiving shard
-//!   through its eventfd;
-//! * **intra-shard** edges always use in-memory pipes, pumped by the
-//!   owning loop itself.
+//! * **cross-shard** carriers get a real nonblocking loopback TCP socket
+//!   driven by the shard's epoll — at most `shards·(shards−1)/2` sockets
+//!   total, with an in-memory spill (signalled through the receiving
+//!   shard's eventfd) if the file-descriptor budget is ever that tight;
+//! * **intra-shard** edges ride the shard's self carrier, whose staged
+//!   bytes loop straight back into its own reassembly buffer.
 //!
-//! Both flavors carry the *identical* byte stream — length-prefixed
-//! frames from [`crate::wire::encode_frame`] reassembled by
-//! [`crate::wire::Reassembly`] — and agents consume exactly one frame per
-//! live slot per round in slot order, so the arithmetic is
-//! bitwise-identical to the in-process and lockstep substrates at equal
-//! seeds (pinned by the transport-equivalence tests).
+//! Every carrier moves the identical length-prefixed byte stream: one
+//! handshake per carrier, then round traffic packed into
+//! [`crate::wire::DataBatch`] frames whose entries are addressed by the
+//! *receiving* shard's link index (computed here, centrally, so routing
+//! needs no lookups). Agents still consume exactly one entry per live
+//! slot per round in slot order, so the arithmetic is bitwise-identical
+//! to the in-process and lockstep substrates at equal seeds (pinned by
+//! the transport-equivalence tests) — coalescing changes how bytes move,
+//! never what they say.
 
 mod conn;
 mod shard;
 mod sys;
 mod wheel;
 
-use conn::{Link, LinkEnd, LinkState, MemPipe, SockConn};
+use conn::{Carrier, CarrierEnd, CarrierState, Link, MemPipe, SockConn};
 use shard::{run_shard, AgentSlot, Shard};
 use sys::{nofile_limit, Epoll, EventFd};
 
 use crate::agent::AgentCore;
-use crate::cluster::RuntimeConfig;
+use crate::cluster::{RuntimeConfig, ShardCount};
 use crate::error::RuntimeError;
 use crate::node::{NodeReport, NodeSpec};
-use crate::wire::{ClusterIdentity, Reassembly};
+use crate::wire::ClusterIdentity;
 use dpc_topology::Graph;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::AtomicBool;
@@ -60,39 +63,65 @@ pub struct ReactorRun {
     /// Peak resident set size (KiB) from `/proc/self/status` (`VmHWM`),
     /// when the platform exposes it.
     pub peak_rss_kb: Option<u64>,
+    /// Poller shards actually deployed (the auto-tune's pick, or the
+    /// clamped fixed request) — re-reported in the cluster header.
+    pub shards: usize,
 }
 
 /// File descriptors held back from the socket budget: listener, epoll
 /// and eventfd per shard, stdio, and whatever the test harness has open.
 const FD_RESERVE: u64 = 128;
 
-fn shard_count(requested: usize, n: usize) -> usize {
-    let auto = thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .clamp(1, 8);
-    let picked = if requested > 0 { requested } else { auto };
-    picked.clamp(1, n.max(1))
+/// Auto-tune target: per-round work units (Σ degree+4 over hosted nodes,
+/// the same cost model [`Graph::shard_offsets`] balances) one shard can
+/// carry before splitting pays. Calibrated from the runtime bench's
+/// measured per-shard round cost — below this, cross-shard carrier
+/// latency eats what parallelism buys (see DESIGN.md, "Auto-sharding").
+const AUTO_WORK_PER_SHARD: usize = 16_384;
+
+/// Most shards the auto-tune will deploy, matching the previous flag's
+/// clamp; fixed `--shards K` may exceed it explicitly.
+const AUTO_MAX_SHARDS: usize = 8;
+
+/// Resolves the configured shard count against the actual load: a fixed
+/// request is clamped to `[1, n]`, while [`ShardCount::Auto`] sizes from
+/// total round work, host parallelism, and [`AUTO_WORK_PER_SHARD`].
+pub fn resolve_shard_count(requested: ShardCount, graph: &Graph) -> usize {
+    let n = graph.len();
+    match requested {
+        ShardCount::Fixed(k) => k.clamp(1, n.max(1)),
+        ShardCount::Auto => {
+            let cores = thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .clamp(1, AUTO_MAX_SHARDS);
+            let total_work: usize = (0..n).map(|v| graph.neighbors(v).len() + 4).sum();
+            total_work
+                .div_ceil(AUTO_WORK_PER_SHARD)
+                .clamp(1, cores)
+                .clamp(1, n.max(1))
+        }
+    }
 }
 
 fn shard_of(cuts: &[usize], node: usize) -> usize {
     cuts.partition_point(|&c| c <= node) - 1
 }
 
-/// Shared byte carrier for one undirected edge, consumed by both
-/// endpoint links during shard assembly.
-enum EdgeRes {
+/// Byte carrier for one unordered shard pair, consumed by both endpoint
+/// shards during assembly.
+enum PairRes {
     Mem {
         /// Low→high pipe.
-        uv: Arc<MemPipe>,
+        ab: Arc<MemPipe>,
         /// High→low pipe.
-        vu: Arc<MemPipe>,
+        ba: Arc<MemPipe>,
     },
     Sock {
-        /// Low endpoint's (dialer's) stream, `take`n once.
-        u: Option<TcpStream>,
-        /// High endpoint's (acceptor's) stream, `take`n once.
-        v: Option<TcpStream>,
+        /// Low shard's stream, `take`n once.
+        a: Option<TcpStream>,
+        /// High shard's stream, `take`n once.
+        b: Option<TcpStream>,
     },
 }
 
@@ -135,30 +164,42 @@ pub fn run_reactor_cluster(
 ) -> Result<ReactorRun, RuntimeError> {
     let n = graph.len();
     assert_eq!(specs.len(), n, "one node spec per graph node");
-    let shards = shard_count(rt.shards, n);
+    let shards = resolve_shard_count(rt.shards, graph);
     let cuts = graph.shard_offsets(shards);
     let identity = ClusterIdentity {
         n_nodes: n as u32,
         topology_hash: graph.topology_hash(),
     };
 
-    // Shard wakeups first: cross-shard mem pipes signal the receiver's
-    // eventfd, so the fds must exist before any edge is wired.
+    // Shard wakeups first: cross-shard mem carriers signal the receiver's
+    // eventfd, so the fds must exist before any carrier is wired.
     let mut wakes = Vec::with_capacity(shards);
     for _ in 0..shards {
         wakes.push(Arc::new(EventFd::new().map_err(bringup_io)?));
     }
 
-    // Classify every edge and create its carrier. Cross-shard edges take
-    // real loopback sockets while the fd budget lasts (2 fds per edge),
-    // then spill to signalled mem pipes — in deterministic (sorted) edge
+    // Classify every edge into its carrier: which shard pairs exchange
+    // traffic, and which shards have intra-shard edges.
+    let mut pair_set: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut intra = vec![false; shards];
+    for (u, v) in graph.edges() {
+        let (su, sv) = (shard_of(&cuts, u), shard_of(&cuts, v));
+        if su == sv {
+            intra[su] = true;
+        } else {
+            pair_set.insert((su.min(sv), su.max(sv)));
+        }
+    }
+
+    // One socket pair per cross-shard carrier while the fd budget lasts
+    // (it essentially always does: carriers are O(shards²), not O(edges)),
+    // then spill to signalled mem pipes — in deterministic (sorted) pair
     // order, so two runs always make identical choices.
     let mut sock_quota = (nofile_limit().unwrap_or(1024).saturating_sub(FD_RESERVE) / 2) as usize;
     let mut listener: Option<TcpListener> = None;
-    let mut carriers: HashMap<(usize, usize), EdgeRes> = HashMap::new();
-    for (u, v) in graph.edges() {
-        let (su, sv) = (shard_of(&cuts, u), shard_of(&cuts, v));
-        if su != sv && sock_quota > 0 {
+    let mut pairs: HashMap<(usize, usize), PairRes> = HashMap::new();
+    for &(a, b) in &pair_set {
+        if sock_quota > 0 {
             sock_quota -= 1;
             if listener.is_none() {
                 listener = Some(TcpListener::bind(("127.0.0.1", 0)).map_err(|source| {
@@ -181,36 +222,87 @@ pub fn run_reactor_cluster(
                 s.set_nodelay(true).map_err(bringup_io)?;
                 s.set_nonblocking(true).map_err(bringup_io)?;
             }
-            carriers.insert(
-                (u, v),
-                EdgeRes::Sock {
-                    u: Some(dial),
-                    v: Some(acc),
+            pairs.insert(
+                (a, b),
+                PairRes::Sock {
+                    a: Some(dial),
+                    b: Some(acc),
                 },
             );
         } else {
-            let cross = su != sv;
-            carriers.insert(
-                (u, v),
-                EdgeRes::Mem {
-                    uv: MemPipe::new(cross.then(|| Arc::clone(&wakes[sv]))),
-                    vu: MemPipe::new(cross.then(|| Arc::clone(&wakes[su]))),
+            pairs.insert(
+                (a, b),
+                PairRes::Mem {
+                    ab: MemPipe::new(Some(Arc::clone(&wakes[b]))),
+                    ba: MemPipe::new(Some(Arc::clone(&wakes[a]))),
                 },
             );
         }
     }
 
-    // Assemble each shard: its agents, their links (slot order), and the
-    // socket slab backing the sock links.
+    // Pass 1: assign every link its shard-local index, in the exact order
+    // pass 2 creates them (nodes ascending, neighbor slots in order), so
+    // outgoing entries can be tagged with the *receiver's* index.
+    let mut link_index: HashMap<(usize, usize), u32> = HashMap::new();
+    for s in 0..shards {
+        let mut counter = 0u32;
+        for node in cuts[s]..cuts[s + 1] {
+            for &peer in graph.neighbors(node) {
+                link_index.insert((node, peer), counter);
+                counter += 1;
+            }
+        }
+    }
+
+    // Pass 2: assemble each shard — carriers in deterministic order (self
+    // first, then peer shards ascending), agents, and their links.
     let abort = Arc::new(AtomicBool::new(false));
     let mut specs_by_node: Vec<Option<NodeSpec>> = specs.into_iter().map(Some).collect();
     let mut shard_structs = Vec::with_capacity(shards);
     for s in 0..shards {
         let epoll = Epoll::new().map_err(bringup_io)?;
+        let mut carriers: Vec<Carrier> = Vec::new();
+        let mut conns: Vec<SockConn> = Vec::new();
+        let mut carrier_of_peer: HashMap<usize, u32> = HashMap::new();
+        if intra[s] {
+            carrier_of_peer.insert(s, carriers.len() as u32);
+            carriers.push(Carrier::new(s, CarrierEnd::SelfLoop, CarrierState::Data));
+        }
+        for &(a, b) in &pair_set {
+            if a != s && b != s {
+                continue;
+            }
+            let peer_shard = if a == s { b } else { a };
+            let end = match pairs.get_mut(&(a, b)).expect("pair carrier exists") {
+                PairRes::Mem { ab, ba } => {
+                    let (rx, tx) = if s == a {
+                        (Arc::clone(ba), Arc::clone(ab))
+                    } else {
+                        (Arc::clone(ab), Arc::clone(ba))
+                    };
+                    CarrierEnd::Mem { rx, tx }
+                }
+                PairRes::Sock { a: sa, b: sb } => {
+                    let stream = if s == a { sa.take() } else { sb.take() }
+                        .expect("socket endpoint consumed once");
+                    let conn_idx = conns.len() as u32;
+                    conns.push(SockConn {
+                        stream,
+                        out: conn::RingBuf::new(),
+                        want_write: false,
+                        closed: false,
+                        closing: false,
+                        carrier: carriers.len() as u32,
+                    });
+                    CarrierEnd::Sock(conn_idx)
+                }
+            };
+            carrier_of_peer.insert(peer_shard, carriers.len() as u32);
+            carriers.push(Carrier::new(peer_shard, end, CarrierState::AwaitHello));
+        }
+
         let mut agents = Vec::with_capacity(cuts[s + 1] - cuts[s]);
         let mut links: Vec<Link> = Vec::new();
-        let mut conns: Vec<SockConn> = Vec::new();
-        let mut mem_links: Vec<u32> = Vec::new();
         #[allow(clippy::needless_range_loop)] // `node` is a graph id, not just an index
         for node in cuts[s]..cuts[s + 1] {
             let spec = specs_by_node[node].take().expect("spec consumed once");
@@ -220,49 +312,20 @@ pub fn run_reactor_cluster(
             let agent_idx = agents.len() as u32;
             let mut link_of_slot = Vec::with_capacity(neighbors.len());
             for &peer in neighbors {
-                let key = (node.min(peer), node.max(peer));
+                let peer_shard = shard_of(&cuts, peer);
+                let ci = *carrier_of_peer
+                    .get(&peer_shard)
+                    .expect("carrier exists for every edge's shard pair");
                 let link_idx = links.len() as u32;
-                let end = match carriers.get_mut(&key).expect("edge carrier exists") {
-                    EdgeRes::Mem { uv, vu } => {
-                        mem_links.push(link_idx);
-                        if node < peer {
-                            LinkEnd::Mem {
-                                rx: Arc::clone(vu),
-                                tx: Arc::clone(uv),
-                            }
-                        } else {
-                            LinkEnd::Mem {
-                                rx: Arc::clone(uv),
-                                tx: Arc::clone(vu),
-                            }
-                        }
-                    }
-                    EdgeRes::Sock { u, v } => {
-                        let stream = if node < peer { u.take() } else { v.take() }
-                            .expect("socket endpoint consumed once");
-                        let conn_idx = conns.len() as u32;
-                        conns.push(SockConn {
-                            stream,
-                            out: Vec::new(),
-                            out_pos: 0,
-                            want_write: false,
-                            closed: false,
-                            closing: false,
-                            link: link_idx,
-                        });
-                        LinkEnd::Sock(conn_idx)
-                    }
-                };
+                debug_assert_eq!(link_index[&(node, peer)], link_idx, "pass 1 order matches");
                 links.push(Link {
                     agent: agent_idx,
-                    peer,
-                    end,
-                    state: LinkState::AwaitHello,
-                    reasm: Reassembly::new(),
+                    carrier: ci,
+                    peer_slot: link_index[&(peer, node)],
                     inbox: VecDeque::new(),
                     eof: false,
-                    hs_seq: 0,
                 });
+                carriers[ci as usize].fed_links.push(link_idx);
                 link_of_slot.push(link_idx);
             }
             agents.push(AgentSlot::new(node, core, link_of_slot, round_timeout));
@@ -273,10 +336,11 @@ pub fn run_reactor_cluster(
             wake: Arc::clone(&wakes[s]),
             agents,
             links,
+            carriers,
             conns,
-            mem_links,
             identity,
             handshake_timeout: rt.handshake_timeout,
+            coalesce: rt.coalesce,
             abort: Arc::clone(&abort),
         });
     }
@@ -320,5 +384,6 @@ pub fn run_reactor_cluster(
         // The sampler can miss a short-lived peak; the floor is exact.
         peak_threads: peak_threads.max(shards as u32 + 1),
         peak_rss_kb,
+        shards,
     })
 }

@@ -1,27 +1,33 @@
 //! One poller shard: an epoll loop owning a contiguous range of agents,
-//! their links, and a deadline wheel.
+//! their links, the carriers those links ride, and a deadline wheel.
 //!
 //! The loop body is: wait (bounded by the wheel's next deadline) → ingest
-//! socket bytes and mem-pipe bytes into per-link reassembly buffers →
-//! route complete frames through each link's handshake state machine into
-//! its inbox → step every agent whose round inputs are satisfied → fire
+//! carrier bytes into per-carrier reassembly buffers → route decoded batch
+//! entries into per-link inboxes → step every agent whose round inputs are
+//! satisfied → flush staged outbound bytes, one write per carrier → fire
 //! expired timers. An agent steps round `r` only when every live slot has
-//! a buffered frame (or a closed link), and its receive pass consumes
+//! a buffered entry (or a link-level EOF), and its receive pass consumes
 //! them in slot order — so the values computed are independent of the
 //! order bytes happened to arrive in, which is what makes reactor runs
 //! bitwise-identical to the inproc and lockstep substrates.
+//!
+//! The hot path allocates nothing: entries encode straight into each
+//! carrier's persistent staging buffer through a [`BatchWriter`], inbound
+//! batches decode into one reused [`DataBatch`] scratch, and the receive
+//! pass borrows a reused slot list instead of cloning the round's slots.
 
-use super::conn::{Link, LinkEnd, LinkState, SockConn};
+use super::conn::{Carrier, CarrierEnd, CarrierState, Link, SockConn};
 use super::sys::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use super::wheel::{TimerKey, TimerKind, Wheel};
 use crate::agent::AgentCore;
 use crate::error::{HandshakeFailure, RuntimeError};
 use crate::node::NodeReport;
-use crate::wire::{encode_frame, ClusterIdentity, WireMsg, PROTOCOL_VERSION};
-use std::io::{Read, Write};
+use crate::wire::{
+    encode_frame_into, BatchEntry, DataBatch, EntryKind, FrameKind, WireMsg, PROTOCOL_VERSION,
+};
 use std::net::Shutdown;
 use std::os::fd::AsRawFd;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -31,13 +37,13 @@ const WAKE_TOKEN: u64 = u64::MAX;
 /// Where an agent is in its lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
-    /// Links still handshaking; rounds not started.
+    /// Carriers still handshaking; rounds not started.
     Handshaking,
     /// Ready to compute and send the next round.
     NeedSend,
-    /// Round sent; waiting for every live slot's frame.
+    /// Round sent; waiting for every live slot's entry.
     AwaitFrames,
-    /// Goodbyes sent; absorbing in-flight frames.
+    /// Goodbyes sent; absorbing in-flight entries.
     Draining,
     /// Report folded.
     Done,
@@ -54,30 +60,28 @@ pub struct AgentSlot {
     /// Per-link receive deadline (from the node spec).
     pub round_timeout: Duration,
     phase: Phase,
-    pending_handshakes: usize,
     /// When this agent entered its current frame-starved wait.
     stall_since: Option<Instant>,
+    /// Rounds sent so far; stamps outgoing batch entries.
     round_seq: u32,
     drain_seq: u32,
     drain_open: Vec<bool>,
 }
 
 impl AgentSlot {
-    /// A freshly wired agent, not yet handshaken.
+    /// A freshly wired agent, not yet released by the carrier handshakes.
     pub fn new(
         node: usize,
         core: AgentCore,
         link_of_slot: Vec<u32>,
         round_timeout: Duration,
     ) -> AgentSlot {
-        let pending = link_of_slot.len();
         AgentSlot {
             node,
             core: Some(core),
             link_of_slot,
             round_timeout,
             phase: Phase::Handshaking,
-            pending_handshakes: pending,
             stall_since: None,
             round_seq: 0,
             drain_seq: 0,
@@ -88,7 +92,7 @@ impl AgentSlot {
 
 /// Everything one shard thread owns.
 pub struct Shard {
-    /// Shard index (thread name, diagnostics).
+    /// Shard index (thread name, handshake identity, diagnostics).
     pub id: usize,
     /// This shard's epoll instance.
     pub epoll: Epoll,
@@ -98,16 +102,20 @@ pub struct Shard {
     pub agents: Vec<AgentSlot>,
     /// All links of hosted agents.
     pub links: Vec<Link>,
-    /// Socket connections backing `LinkEnd::Sock` links.
+    /// Byte carriers: one per peer shard this shard exchanges traffic
+    /// with, plus the self carrier for intra-shard edges.
+    pub carriers: Vec<Carrier>,
+    /// Socket connections backing [`CarrierEnd::Sock`] carriers.
     pub conns: Vec<SockConn>,
-    /// Indices of links with mem-pipe ends (the sweep list).
-    pub mem_links: Vec<u32>,
-    /// Cluster identity validated in handshakes.
-    pub identity: ClusterIdentity,
+    /// Cluster identity validated in carrier handshakes.
+    pub identity: crate::wire::ClusterIdentity,
     /// Handshake deadline.
     pub handshake_timeout: Duration,
+    /// Coalesce round traffic into multi-entry batches (`false` seals a
+    /// single-entry frame per message — the bench comparison mode).
+    pub coalesce: bool,
     /// Set by any shard (or the driver) to abandon the run.
-    pub abort: Arc<AtomicBool>,
+    pub abort: Arc<std::sync::atomic::AtomicBool>,
 }
 
 /// The shard loop's working state.
@@ -117,7 +125,16 @@ struct Loop {
     dirty_flag: Vec<bool>,
     done: usize,
     reports: Vec<(usize, NodeReport)>,
+    /// Socket read buffer.
     scratch: Vec<u8>,
+    /// Mem-pipe take buffer.
+    mem_scratch: Vec<u8>,
+    /// Receive-pass slot list (avoids cloning `round_slots` per round).
+    slot_scratch: Vec<usize>,
+    /// Inbound batch decode scratch, reused across every frame.
+    batch: DataBatch,
+    /// Carriers whose handshake has not completed.
+    hs_pending: usize,
     round_check_armed: bool,
     min_round_timeout: Duration,
 }
@@ -128,7 +145,7 @@ struct Loop {
 ///
 /// # Errors
 ///
-/// First [`RuntimeError`] hit by any hosted link or agent.
+/// First [`RuntimeError`] hit by any hosted carrier or agent.
 pub fn run_shard(mut shard: Shard) -> Result<Vec<(usize, NodeReport)>, RuntimeError> {
     let n_agents = shard.agents.len();
     let origin = Instant::now();
@@ -139,6 +156,14 @@ pub fn run_shard(mut shard: Shard) -> Result<Vec<(usize, NodeReport)>, RuntimeEr
         done: 0,
         reports: Vec::with_capacity(n_agents),
         scratch: vec![0u8; 64 * 1024],
+        mem_scratch: Vec::new(),
+        slot_scratch: Vec::new(),
+        batch: DataBatch::default(),
+        hs_pending: shard
+            .carriers
+            .iter()
+            .filter(|c| !matches!(c.end, CarrierEnd::SelfLoop))
+            .count(),
         round_check_armed: false,
         min_round_timeout: shard
             .agents
@@ -151,12 +176,12 @@ pub fn run_shard(mut shard: Shard) -> Result<Vec<(usize, NodeReport)>, RuntimeEr
     let result = drive(&mut shard, &mut lp, n_agents);
     if result.is_err() {
         shard.abort.store(true, Ordering::Release);
-        // Tear down so peer shards observe closed links instead of
-        // waiting out their failure detectors.
-        for link_idx in 0..shard.links.len() {
-            close_link_outbound(&mut shard, link_idx as u32);
-        }
     }
+    // Seal, flush, and close every outbound carrier — on success so peers
+    // see orderly EOF after the in-flight frames, on failure so peer
+    // shards observe closed streams instead of waiting out their failure
+    // detectors.
+    teardown(&mut shard);
     result.map(|()| lp.reports)
 }
 
@@ -167,7 +192,7 @@ fn drive(shard: &mut Shard, lp: &mut Loop, n_agents: usize) -> Result<(), Runtim
             .epoll
             .add(conn.stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, idx as u64)
             .map_err(|source| RuntimeError::Io {
-                peer: shard.links[conn.link as usize].peer_label(),
+                peer: shard.carriers[conn.carrier as usize].peer_label(),
                 source,
             })?;
     }
@@ -179,38 +204,37 @@ fn drive(shard: &mut Shard, lp: &mut Loop, n_agents: usize) -> Result<(), Runtim
             source,
         })?;
 
-    // Kick off handshakes: dial-low sends Hello, accept-high waits.
+    // Kick off carrier handshakes: the lower shard id sends Hello, the
+    // higher waits and acks. One handshake per carrier — not per link —
+    // so bring-up cost is O(shard pairs).
     let now = Instant::now();
-    for link_idx in 0..shard.links.len() {
-        let me = shard.agents[shard.links[link_idx].agent as usize].node;
-        let peer = shard.links[link_idx].peer;
-        if me < peer {
+    for ci in 0..shard.carriers.len() {
+        if matches!(shard.carriers[ci].end, CarrierEnd::SelfLoop) {
+            continue;
+        }
+        if shard.id < shard.carriers[ci].peer_shard {
             let hello = WireMsg::Hello {
                 version: PROTOCOL_VERSION,
-                node: me as u32,
+                node: shard.id as u32,
                 n_nodes: shard.identity.n_nodes,
                 topology_hash: shard.identity.topology_hash,
             };
-            shard.links[link_idx].state = LinkState::AwaitAck;
-            send_on_link(shard, link_idx as u32, &hello);
+            shard.carriers[ci].state = CarrierState::AwaitAck;
+            stage_msg(shard, ci, &hello);
         } else {
-            shard.links[link_idx].state = LinkState::AwaitHello;
+            shard.carriers[ci].state = CarrierState::AwaitHello;
         }
         lp.wheel.arm(
             now + shard.handshake_timeout,
             TimerKey {
                 kind: TimerKind::Handshake,
-                idx: link_idx as u32,
-                seq: shard.links[link_idx].hs_seq,
+                idx: ci as u32,
+                seq: shard.carriers[ci].hs_seq,
             },
         );
     }
-    // Degree-zero agents have nothing to shake hands over.
-    for a in 0..n_agents {
-        if shard.agents[a].pending_handshakes == 0 && shard.agents[a].phase == Phase::Handshaking {
-            shard.agents[a].phase = Phase::NeedSend;
-            mark_dirty(lp, a as u32);
-        }
+    if lp.hs_pending == 0 {
+        release_agents(shard, lp);
     }
 
     let mut events = vec![EpollEvent::default(); 512];
@@ -251,19 +275,34 @@ fn drive(shard: &mut Shard, lp: &mut Loop, n_agents: usize) -> Result<(), Runtim
     }
 }
 
-/// Routes, steps, routes again — until no frames move and no agent can
-/// advance. Intra-shard traffic completes entire rounds inside one pump.
+/// Every carrier established: move handshake-gated agents into the round
+/// machine.
+fn release_agents(shard: &mut Shard, lp: &mut Loop) {
+    for a in 0..shard.agents.len() {
+        if shard.agents[a].phase == Phase::Handshaking {
+            shard.agents[a].phase = Phase::NeedSend;
+            mark_dirty(lp, a as u32);
+        }
+    }
+}
+
+/// Ingests, steps, ingests again — until no entries move and no agent can
+/// advance — then flushes every cross-shard carrier in one write each.
+/// Intra-shard traffic completes entire rounds inside one pump.
 fn pump(shard: &mut Shard, lp: &mut Loop) -> Result<(), RuntimeError> {
     loop {
-        let routed = sweep_mem(shard, lp)?;
-        if lp.dirty.is_empty() && !routed {
-            return Ok(());
+        let mut moved = sweep_mem(shard, lp)?;
+        moved |= ingest_self(shard, lp)?;
+        if lp.dirty.is_empty() && !moved {
+            break;
         }
         while let Some(a) = lp.dirty.pop() {
             lp.dirty_flag[a as usize] = false;
             step_agent(shard, lp, a)?;
         }
     }
+    flush_cross(shard);
+    Ok(())
 }
 
 fn mark_dirty(lp: &mut Loop, agent: u32) {
@@ -273,85 +312,148 @@ fn mark_dirty(lp: &mut Loop, agent: u32) {
     }
 }
 
-/// Takes pending bytes out of every dirty mem pipe into its link.
+/// Takes pending bytes out of every dirty cross-shard mem carrier into
+/// its reassembly buffer and routes the complete frames.
 fn sweep_mem(shard: &mut Shard, lp: &mut Loop) -> Result<bool, RuntimeError> {
-    let mut routed = false;
-    for i in 0..shard.mem_links.len() {
-        let link_idx = shard.mem_links[i];
-        let link = &mut shard.links[link_idx as usize];
-        if link.eof {
-            continue;
-        }
-        let rx = match &link.end {
-            LinkEnd::Mem { rx, .. } => Arc::clone(rx),
-            LinkEnd::Sock(_) => continue,
+    let mut moved = false;
+    for ci in 0..shard.carriers.len() {
+        let rx = match &shard.carriers[ci].end {
+            CarrierEnd::Mem { rx, .. } => Arc::clone(rx),
+            _ => continue,
         };
-        if !rx.is_dirty() {
+        if shard.carriers[ci].eof || !rx.is_dirty() {
             continue;
         }
-        let mut bytes = Vec::new();
-        let closed = rx.take(&mut bytes);
-        if !bytes.is_empty() {
-            shard.links[link_idx as usize].reasm.push(&bytes);
-            routed |= route_link(shard, lp, link_idx)?;
+        lp.mem_scratch.clear();
+        let closed = rx.take(&mut lp.mem_scratch);
+        if !lp.mem_scratch.is_empty() {
+            shard.carriers[ci].reasm.push(&lp.mem_scratch);
+            moved |= route_carrier(shard, lp, ci)?;
         }
         if closed {
-            let link = &mut shard.links[link_idx as usize];
-            if !link.eof {
-                link.eof = true;
-                let agent = link.agent;
-                mark_dirty(lp, agent);
-                routed = true;
-            }
+            carrier_stream_eof(shard, lp, ci);
+            moved = true;
         }
     }
-    Ok(routed)
+    Ok(moved)
 }
 
-/// Pops every complete frame out of a link's reassembly buffer and runs
-/// it through the handshake state machine / inbox.
-fn route_link(shard: &mut Shard, lp: &mut Loop, link_idx: u32) -> Result<bool, RuntimeError> {
+/// Seals and loops each self carrier's staged bytes back into its own
+/// reassembly buffer — intra-shard edges ride the identical byte stream
+/// as cross-shard ones, just without a kernel in the middle.
+fn ingest_self(shard: &mut Shard, lp: &mut Loop) -> Result<bool, RuntimeError> {
+    let mut moved = false;
+    for ci in 0..shard.carriers.len() {
+        if !matches!(shard.carriers[ci].end, CarrierEnd::SelfLoop) {
+            continue;
+        }
+        let c = &mut shard.carriers[ci];
+        c.writer.seal(&mut c.staging);
+        if c.staging.is_empty() {
+            continue;
+        }
+        c.reasm.push(&c.staging);
+        c.staging.clear();
+        moved |= route_carrier(shard, lp, ci)?;
+    }
+    Ok(moved)
+}
+
+/// Pops every complete frame out of a carrier's reassembly buffer,
+/// running scalar frames through the handshake state machine and batch
+/// entries into their links' inboxes.
+fn route_carrier(shard: &mut Shard, lp: &mut Loop, ci: usize) -> Result<bool, RuntimeError> {
     let mut any = false;
     loop {
-        let frame = {
-            let link = &mut shard.links[link_idx as usize];
-            match link.reasm.next_frame() {
-                Ok(Some(msg)) => msg,
-                Ok(None) => return Ok(any),
-                Err(source) => {
-                    return Err(RuntimeError::Decode {
-                        peer: link.peer_label(),
-                        source,
-                    })
+        let mut batch = std::mem::take(&mut lp.batch);
+        let next = shard.carriers[ci].reasm.next_frame_into(&mut batch);
+        lp.batch = batch;
+        match next {
+            Ok(None) => return Ok(any),
+            Err(source) => {
+                return Err(RuntimeError::Decode {
+                    peer: shard.carriers[ci].peer_label(),
+                    source,
+                })
+            }
+            Ok(Some(FrameKind::Batch)) => {
+                any = true;
+                if shard.carriers[ci].state != CarrierState::Data {
+                    return Err(RuntimeError::Protocol {
+                        peer: shard.carriers[ci].peer_label(),
+                        got: "data-batch",
+                    });
+                }
+                for k in 0..lp.batch.entries.len() {
+                    let entry = lp.batch.entries[k];
+                    route_entry(shard, lp, ci, entry)?;
                 }
             }
-        };
-        any = true;
-        let state = shard.links[link_idx as usize].state;
-        match state {
-            LinkState::AwaitHello => accept_hello(shard, lp, link_idx, frame)?,
-            LinkState::AwaitAck => accept_ack(shard, lp, link_idx, frame)?,
-            LinkState::Data => match frame {
-                WireMsg::Data { .. } | WireMsg::Heartbeat { .. } | WireMsg::Goodbye { .. } => {
-                    let link = &mut shard.links[link_idx as usize];
-                    link.inbox.push_back(frame);
-                    let agent = link.agent;
-                    mark_dirty(lp, agent);
+            Ok(Some(FrameKind::Msg(msg))) => {
+                any = true;
+                match shard.carriers[ci].state {
+                    CarrierState::AwaitHello => accept_hello(shard, lp, ci, msg)?,
+                    CarrierState::AwaitAck => accept_ack(shard, lp, ci, msg)?,
+                    CarrierState::Data => {
+                        return Err(RuntimeError::Protocol {
+                            peer: shard.carriers[ci].peer_label(),
+                            got: msg.kind(),
+                        })
+                    }
                 }
-                other => {
-                    return Err(RuntimeError::Protocol {
-                        peer: shard.links[link_idx as usize].peer_label(),
-                        got: other.kind(),
-                    })
-                }
-            },
+            }
         }
     }
 }
 
-fn handshake_fail(shard: &Shard, link_idx: u32, reason: HandshakeFailure) -> RuntimeError {
+/// Delivers one decoded entry to the link it addresses.
+fn route_entry(
+    shard: &mut Shard,
+    lp: &mut Loop,
+    ci: usize,
+    entry: BatchEntry,
+) -> Result<(), RuntimeError> {
+    let slot = entry.slot as usize;
+    if slot >= shard.links.len() || shard.links[slot].carrier as usize != ci {
+        return Err(RuntimeError::Protocol {
+            peer: shard.carriers[ci].peer_label(),
+            got: "misrouted-batch-entry",
+        });
+    }
+    let link = &mut shard.links[slot];
+    let agent = link.agent;
+    if entry.kind == EntryKind::Eof {
+        if !link.eof {
+            link.eof = true;
+            mark_dirty(lp, agent);
+        }
+    } else {
+        link.inbox.push_back(entry);
+        mark_dirty(lp, agent);
+    }
+    Ok(())
+}
+
+/// The whole inbound stream of a carrier ended (peer shard finished or
+/// died): every link riding it is at EOF.
+fn carrier_stream_eof(shard: &mut Shard, lp: &mut Loop, ci: usize) {
+    if shard.carriers[ci].eof {
+        return;
+    }
+    shard.carriers[ci].eof = true;
+    for i in 0..shard.carriers[ci].fed_links.len() {
+        let link_idx = shard.carriers[ci].fed_links[i] as usize;
+        let link = &mut shard.links[link_idx];
+        if !link.eof {
+            link.eof = true;
+            mark_dirty(lp, link.agent);
+        }
+    }
+}
+
+fn handshake_fail(shard: &Shard, ci: usize, reason: HandshakeFailure) -> RuntimeError {
     RuntimeError::Handshake {
-        peer: shard.links[link_idx as usize].peer_label(),
+        peer: shard.carriers[ci].peer_label(),
         reason,
     }
 }
@@ -359,26 +461,23 @@ fn handshake_fail(shard: &Shard, link_idx: u32, reason: HandshakeFailure) -> Run
 fn accept_hello(
     shard: &mut Shard,
     lp: &mut Loop,
-    link_idx: u32,
-    frame: WireMsg,
+    ci: usize,
+    msg: WireMsg,
 ) -> Result<(), RuntimeError> {
-    let (peer, me) = {
-        let link = &shard.links[link_idx as usize];
-        (link.peer, shard.agents[link.agent as usize].node)
-    };
-    match frame {
+    let peer_shard = shard.carriers[ci].peer_shard;
+    match msg {
         WireMsg::Hello {
             version,
             node,
             n_nodes,
             topology_hash,
         } => {
-            if node as usize != peer {
+            if node as usize != peer_shard {
                 return Err(handshake_fail(
                     shard,
-                    link_idx,
+                    ci,
                     HandshakeFailure::UnexpectedPeer {
-                        expected: Some(peer),
+                        expected: Some(peer_shard),
                         got: node as usize,
                     },
                 ));
@@ -387,24 +486,25 @@ fn accept_hello(
                 .identity
                 .validate_hello(version, n_nodes, topology_hash)
             {
-                send_on_link(shard, link_idx, &WireMsg::Reject { reason });
+                // Staged now, flushed by the error-path teardown.
+                stage_msg(shard, ci, &WireMsg::Reject { reason });
                 return Err(handshake_fail(
                     shard,
-                    link_idx,
+                    ci,
                     HandshakeFailure::RejectedPeer { node, reason },
                 ));
             }
             let ack = WireMsg::HelloAck {
                 version: PROTOCOL_VERSION,
-                node: me as u32,
+                node: shard.id as u32,
             };
-            send_on_link(shard, link_idx, &ack);
-            link_established(shard, lp, link_idx);
+            stage_msg(shard, ci, &ack);
+            carrier_established(shard, lp, ci);
             Ok(())
         }
         other => Err(handshake_fail(
             shard,
-            link_idx,
+            ci,
             HandshakeFailure::UnexpectedMessage { got: other.kind() },
         )),
     }
@@ -413,103 +513,140 @@ fn accept_hello(
 fn accept_ack(
     shard: &mut Shard,
     lp: &mut Loop,
-    link_idx: u32,
-    frame: WireMsg,
+    ci: usize,
+    msg: WireMsg,
 ) -> Result<(), RuntimeError> {
-    let peer = shard.links[link_idx as usize].peer;
-    match frame {
+    let peer_shard = shard.carriers[ci].peer_shard;
+    match msg {
         WireMsg::HelloAck { version, node } => {
             if version != PROTOCOL_VERSION {
                 return Err(handshake_fail(
                     shard,
-                    link_idx,
+                    ci,
                     HandshakeFailure::VersionMismatch {
                         ours: PROTOCOL_VERSION,
                         theirs: version,
                     },
                 ));
             }
-            if node as usize != peer {
+            if node as usize != peer_shard {
                 return Err(handshake_fail(
                     shard,
-                    link_idx,
+                    ci,
                     HandshakeFailure::UnexpectedPeer {
-                        expected: Some(peer),
+                        expected: Some(peer_shard),
                         got: node as usize,
                     },
                 ));
             }
-            link_established(shard, lp, link_idx);
+            carrier_established(shard, lp, ci);
             Ok(())
         }
         WireMsg::Reject { reason } => Err(handshake_fail(
             shard,
-            link_idx,
+            ci,
             HandshakeFailure::Rejected(reason),
         )),
         other => Err(handshake_fail(
             shard,
-            link_idx,
+            ci,
             HandshakeFailure::UnexpectedMessage { got: other.kind() },
         )),
     }
 }
 
-fn link_established(shard: &mut Shard, lp: &mut Loop, link_idx: u32) {
-    let link = &mut shard.links[link_idx as usize];
-    link.state = LinkState::Data;
-    link.hs_seq = link.hs_seq.wrapping_add(1);
-    let agent = link.agent as usize;
-    let slot_agent = &mut shard.agents[agent];
-    slot_agent.pending_handshakes -= 1;
-    if slot_agent.pending_handshakes == 0 && slot_agent.phase == Phase::Handshaking {
-        slot_agent.phase = Phase::NeedSend;
-        mark_dirty(lp, agent as u32);
+fn carrier_established(shard: &mut Shard, lp: &mut Loop, ci: usize) {
+    let c = &mut shard.carriers[ci];
+    c.state = CarrierState::Data;
+    c.hs_seq = c.hs_seq.wrapping_add(1);
+    lp.hs_pending -= 1;
+    if lp.hs_pending == 0 {
+        release_agents(shard, lp);
     }
 }
 
-/// Writes one frame down a link. Returns `false` when the link is
-/// provably dead (the blocking transports' `Delivery::Closed`); a
-/// buffered socket write counts as delivered, exactly like blocking TCP.
-fn send_on_link(shard: &mut Shard, link_idx: u32, msg: &WireMsg) -> bool {
-    let frame = encode_frame(msg);
-    match &shard.links[link_idx as usize].end {
-        LinkEnd::Mem { tx, .. } => tx.send(&frame),
-        LinkEnd::Sock(conn_idx) => {
-            let conn_idx = *conn_idx as usize;
-            let conn = &mut shard.conns[conn_idx];
-            if conn.closed || conn.closing {
-                return false;
+/// Appends one scalar frame (handshake traffic) to a carrier's staging,
+/// sealing any open batch first.
+fn stage_msg(shard: &mut Shard, ci: usize, msg: &WireMsg) {
+    let c = &mut shard.carriers[ci];
+    if c.closed_out {
+        return;
+    }
+    c.writer.seal(&mut c.staging);
+    encode_frame_into(msg, &mut c.staging);
+}
+
+/// Stages one batch entry on a link. Returns `false` when the link is
+/// provably dead — the peer sent its EOF entry or the carrier's stream
+/// failed — mirroring the blocking transports' `Delivery::Closed`; a
+/// staged entry counts as delivered, exactly like buffered blocking TCP.
+fn send_entry(shard: &mut Shard, link_idx: u32, round: u32, entry: BatchEntry) -> bool {
+    let link = &shard.links[link_idx as usize];
+    if link.eof {
+        return false;
+    }
+    let ci = link.carrier as usize;
+    if shard.carriers[ci].closed_out {
+        return false;
+    }
+    if let CarrierEnd::Sock(conn_idx) = shard.carriers[ci].end {
+        if shard.conns[conn_idx as usize].closed {
+            return false;
+        }
+    }
+    let c = &mut shard.carriers[ci];
+    c.writer.push(&mut c.staging, round, entry, shard.coalesce);
+    true
+}
+
+/// Moves every non-self carrier's staged bytes to its transport: one
+/// mutex-guarded append per mem carrier, one (vectored) socket write per
+/// sock carrier. This — not per-message writes — is what makes the
+/// per-round wire cost O(carriers).
+fn flush_cross(shard: &mut Shard) {
+    for ci in 0..shard.carriers.len() {
+        if matches!(shard.carriers[ci].end, CarrierEnd::SelfLoop) {
+            continue;
+        }
+        let c = &mut shard.carriers[ci];
+        c.writer.seal(&mut c.staging);
+        if c.staging.is_empty() {
+            continue;
+        }
+        if c.closed_out {
+            c.staging.clear();
+            continue;
+        }
+        match &c.end {
+            CarrierEnd::Mem { tx, .. } => {
+                tx.send(&c.staging);
+                c.staging.clear();
             }
-            conn.out.extend_from_slice(&frame);
-            flush_conn(shard, conn_idx);
-            !shard.conns[conn_idx].closed
+            CarrierEnd::Sock(conn_idx) => {
+                let conn_idx = *conn_idx as usize;
+                let conn = &mut shard.conns[conn_idx];
+                conn.out.extend_from_slice(&c.staging);
+                c.staging.clear();
+                flush_conn(shard, conn_idx);
+            }
+            CarrierEnd::SelfLoop => unreachable!("filtered above"),
         }
     }
 }
 
-/// Pushes buffered outbound bytes into the kernel; arms `EPOLLOUT` on
-/// `WouldBlock`, completes a pending graceful close once drained.
+/// Pushes buffered outbound bytes into the kernel with vectored writes
+/// where the ring wraps; arms `EPOLLOUT` on `WouldBlock`, completes a
+/// pending graceful close once drained.
 fn flush_conn(shard: &mut Shard, conn_idx: usize) {
     let conn = &mut shard.conns[conn_idx];
-    while conn.out_pos < conn.out.len() {
-        match conn.stream.write(&conn.out[conn.out_pos..]) {
-            Ok(0) => {
-                conn.closed = true;
-                break;
-            }
-            Ok(n) => conn.out_pos += n,
+    while !conn.out.is_empty() && !conn.closed {
+        match conn.out.write_to(&mut conn.stream) {
+            Ok(0) => conn.closed = true,
+            Ok(_) => {}
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(_) => {
-                conn.closed = true;
-                break;
-            }
+            Err(_) => conn.closed = true,
         }
-    }
-    if conn.out_pos == conn.out.len() {
-        conn.out.clear();
-        conn.out_pos = 0;
     }
     let flushed = conn.out.is_empty();
     let want = !flushed && !conn.closed;
@@ -543,21 +680,21 @@ fn handle_conn_event(
         flush_conn(shard, conn_idx);
     }
     if events & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0 {
-        let link_idx = shard.conns[conn_idx].link;
+        let ci = shard.conns[conn_idx].carrier as usize;
         let mut saw_eof = events & (EPOLLERR | EPOLLHUP) != 0;
         loop {
             let conn = &mut shard.conns[conn_idx];
             if conn.closed {
                 break;
             }
-            match conn.stream.read(&mut lp.scratch) {
+            match std::io::Read::read(&mut conn.stream, &mut lp.scratch) {
                 Ok(0) => {
                     saw_eof = true;
                     break;
                 }
                 Ok(n) => {
-                    shard.links[link_idx as usize].reasm.push(&lp.scratch[..n]);
-                    route_link(shard, lp, link_idx)?;
+                    shard.carriers[ci].reasm.push(&lp.scratch[..n]);
+                    route_carrier(shard, lp, ci)?;
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -573,12 +710,7 @@ fn handle_conn_event(
                 conn.closed = true;
                 let _ = shard.epoll.delete(conn.stream.as_raw_fd());
             }
-            let link = &mut shard.links[link_idx as usize];
-            if !link.eof {
-                link.eof = true;
-                let agent = link.agent;
-                mark_dirty(lp, agent);
-            }
+            carrier_stream_eof(shard, lp, ci);
         }
     }
     Ok(())
@@ -636,6 +768,39 @@ fn step_agent(shard: &mut Shard, lp: &mut Loop, a: u32) -> Result<(), RuntimeErr
     }
 }
 
+/// Converts one outbound scalar message into its batch-entry form. The
+/// receiver reconstructs the identical `on_data`/`on_heartbeat` call, so
+/// the arithmetic cannot tell the framings apart.
+fn entry_of(msg: &WireMsg, peer_slot: u32) -> (u32, BatchEntry) {
+    match *msg {
+        WireMsg::Data {
+            round,
+            msg,
+            settled,
+        } => (
+            round,
+            BatchEntry {
+                slot: peer_slot,
+                e: msg.e,
+                transfer: msg.transfer,
+                settled,
+                kind: EntryKind::Data,
+            },
+        ),
+        WireMsg::Heartbeat { round, settled } => (
+            round,
+            BatchEntry {
+                slot: peer_slot,
+                e: 0.0,
+                transfer: 0.0,
+                settled,
+                kind: EntryKind::Heartbeat,
+            },
+        ),
+        ref other => unreachable!("outbound round message {}", other.kind()),
+    }
+}
+
 fn send_round(shard: &mut Shard, a: u32) {
     let agent = &mut shard.agents[a as usize];
     let core = agent.core.as_mut().expect("live core");
@@ -656,7 +821,8 @@ fn send_round(shard: &mut Shard, a: u32) {
             (out.slot, out.msg)
         };
         let link_idx = shard.agents[a as usize].link_of_slot[slot];
-        let delivered = send_on_link(shard, link_idx, &msg);
+        let (round, entry) = entry_of(&msg, shard.links[link_idx as usize].peer_slot);
+        let delivered = send_entry(shard, link_idx, round, entry);
         let core = shard.agents[a as usize].core.as_mut().expect("live core");
         if delivered {
             core.note_sent(k);
@@ -667,20 +833,23 @@ fn send_round(shard: &mut Shard, a: u32) {
 }
 
 /// The slot-ordered receive pass; `force` substitutes a timeout for every
-/// missing frame (the round-deadline path — never taken in healthy runs).
+/// missing entry (the round-deadline path — never taken in healthy runs).
 fn receive_round(
     shard: &mut Shard,
     lp: &mut Loop,
     a: u32,
     force: bool,
 ) -> Result<(), RuntimeError> {
-    let slots = shard.agents[a as usize]
-        .core
-        .as_ref()
-        .expect("live core")
-        .round_slots()
-        .to_vec();
-    for &slot in &slots {
+    lp.slot_scratch.clear();
+    lp.slot_scratch.extend_from_slice(
+        shard.agents[a as usize]
+            .core
+            .as_ref()
+            .expect("live core")
+            .round_slots(),
+    );
+    for i in 0..lp.slot_scratch.len() {
+        let slot = lp.slot_scratch[i];
         let (alive, link_idx) = {
             let agent = &shard.agents[a as usize];
             let core = agent.core.as_ref().expect("live core");
@@ -693,22 +862,25 @@ fn receive_round(
         let eof = shard.links[link_idx as usize].eof;
         let core = shard.agents[a as usize].core.as_mut().expect("live core");
         match popped {
-            Some(WireMsg::Data {
-                msg,
-                settled: peer_settled,
-                ..
-            }) => core.on_data(slot, msg, peer_settled),
-            Some(WireMsg::Heartbeat {
-                settled: peer_settled,
-                ..
-            }) => core.on_heartbeat(slot, peer_settled),
-            Some(WireMsg::Goodbye { msg }) => core.on_goodbye(slot, msg),
-            Some(other) => {
-                return Err(RuntimeError::Protocol {
-                    peer: shard.links[link_idx as usize].peer_label(),
-                    got: other.kind(),
-                })
-            }
+            Some(entry) => match entry.kind {
+                EntryKind::Data => core.on_data(
+                    slot,
+                    dpc_alg::message::RoundMsg {
+                        e: entry.e,
+                        transfer: entry.transfer,
+                    },
+                    entry.settled,
+                ),
+                EntryKind::Heartbeat => core.on_heartbeat(slot, entry.settled),
+                EntryKind::Goodbye => core.on_goodbye(
+                    slot,
+                    dpc_alg::message::RoundMsg {
+                        e: entry.e,
+                        transfer: entry.transfer,
+                    },
+                ),
+                EntryKind::Eof => unreachable!("EOF entries set link state, never enqueue"),
+            },
             None if eof => core.on_closed(slot),
             None => {
                 debug_assert!(force, "receive pass ran without a full round buffered");
@@ -733,7 +905,19 @@ fn receive_round(
             if !alive {
                 continue;
             }
-            if send_on_link(shard, link_idx, &bye) {
+            let round = shard.agents[a as usize].round_seq;
+            let (e, transfer) = match bye {
+                WireMsg::Goodbye { msg } => (msg.e, msg.transfer),
+                ref other => unreachable!("goodbye() returned {}", other.kind()),
+            };
+            let entry = BatchEntry {
+                slot: shard.links[link_idx as usize].peer_slot,
+                e,
+                transfer,
+                settled: false,
+                kind: EntryKind::Goodbye,
+            };
+            if send_entry(shard, link_idx, round, entry) {
                 shard.agents[a as usize]
                     .core
                     .as_mut()
@@ -771,8 +955,8 @@ fn arm_drain_timer(shard: &mut Shard, lp: &mut Loop, a: u32) {
     );
 }
 
-/// Stages buffered lame-duck frames per slot, closing slots on `Goodbye`
-/// or input EOF; folds the report once every slot is closed.
+/// Stages buffered lame-duck entries per slot, closing slots on `Goodbye`
+/// or link EOF; folds the report once every slot is closed.
 fn absorb_drain(shard: &mut Shard, lp: &mut Loop, a: u32) {
     let degree = shard.agents[a as usize].drain_open.len();
     let mut absorbed = false;
@@ -786,26 +970,23 @@ fn absorb_drain(shard: &mut Shard, lp: &mut Loop, a: u32) {
             let agent = &mut shard.agents[a as usize];
             let core = agent.core.as_mut().expect("draining core");
             match popped {
-                Some(WireMsg::Data { msg, .. }) => {
-                    core.stage_drain_mass(slot, msg.transfer);
-                    absorbed = true;
-                }
-                Some(WireMsg::Heartbeat { .. }) => {
-                    core.stage_drain_heartbeat(slot);
-                    absorbed = true;
-                }
-                Some(WireMsg::Goodbye { msg }) => {
-                    core.stage_drain_mass(slot, msg.transfer);
-                    agent.drain_open[slot] = false;
-                    absorbed = true;
-                    break;
-                }
-                // The blocking drain leaves on anything else; nothing ever
-                // follows a goodbye, so nothing is left unread.
-                Some(_) => {
-                    agent.drain_open[slot] = false;
-                    break;
-                }
+                Some(entry) => match entry.kind {
+                    EntryKind::Data => {
+                        core.stage_drain_mass(slot, entry.transfer);
+                        absorbed = true;
+                    }
+                    EntryKind::Heartbeat => {
+                        core.stage_drain_heartbeat(slot);
+                        absorbed = true;
+                    }
+                    EntryKind::Goodbye => {
+                        core.stage_drain_mass(slot, entry.transfer);
+                        agent.drain_open[slot] = false;
+                        absorbed = true;
+                        break;
+                    }
+                    EntryKind::Eof => unreachable!("EOF entries set link state, never enqueue"),
+                },
                 None => break,
             }
         }
@@ -814,7 +995,7 @@ fn absorb_drain(shard: &mut Shard, lp: &mut Loop, a: u32) {
         }
     }
     if absorbed {
-        // A frame restarts the quiet period, like the blocking drain's
+        // An entry restarts the quiet period, like the blocking drain's
         // per-recv timeout.
         arm_drain_timer(shard, lp, a);
     }
@@ -829,34 +1010,72 @@ fn absorb_drain(shard: &mut Shard, lp: &mut Loop, a: u32) {
     }
 }
 
-/// Folds the report and tears down the agent's endpoints.
+/// Folds the report and announces the agent's departure: one in-band EOF
+/// entry per link, so peers see a per-link FIN ordered after the frames
+/// already staged — the carrier itself stays open for its other agents.
 fn finish_agent(shard: &mut Shard, lp: &mut Loop, a: u32, _converged: bool) {
     let agent = &mut shard.agents[a as usize];
     agent.phase = Phase::Done;
+    let round = agent.round_seq;
     let core = agent.core.take().expect("core present at finish");
     let node = agent.node;
     lp.reports.push((node, core.into_report()));
     lp.done += 1;
-    let links: Vec<u32> = shard.agents[a as usize].link_of_slot.clone();
-    for link_idx in links {
-        close_link_outbound(shard, link_idx);
+    for s in 0..shard.agents[a as usize].link_of_slot.len() {
+        let link_idx = shard.agents[a as usize].link_of_slot[s];
+        let entry = BatchEntry {
+            slot: shard.links[link_idx as usize].peer_slot,
+            e: 0.0,
+            transfer: 0.0,
+            settled: false,
+            kind: EntryKind::Eof,
+        };
+        send_entry(shard, link_idx, round, entry);
     }
 }
 
-/// Closes the outbound side of a link so the peer sees EOF after the
-/// frames already in flight (mem: closed flag; sock: flush then FIN).
-fn close_link_outbound(shard: &mut Shard, link_idx: u32) {
-    match &shard.links[link_idx as usize].end {
-        LinkEnd::Mem { tx, .. } => tx.close(),
-        LinkEnd::Sock(conn_idx) => {
-            let conn_idx = *conn_idx as usize;
-            if shard.conns[conn_idx].closed || shard.conns[conn_idx].closing {
-                return;
+/// Seals and flushes every carrier's remaining bytes, then closes the
+/// outbound sides (mem: closed flag; sock: drain then FIN). Socket tails
+/// fall back to bounded blocking writes so goodbye/EOF frames are not
+/// lost when the loop is no longer around to answer `EPOLLOUT`.
+fn teardown(shard: &mut Shard) {
+    for ci in 0..shard.carriers.len() {
+        let c = &mut shard.carriers[ci];
+        c.writer.seal(&mut c.staging);
+        if c.closed_out {
+            c.staging.clear();
+            continue;
+        }
+        c.closed_out = true;
+        match &c.end {
+            CarrierEnd::SelfLoop => c.staging.clear(),
+            CarrierEnd::Mem { tx, .. } => {
+                if !c.staging.is_empty() {
+                    tx.send(&c.staging);
+                    c.staging.clear();
+                }
+                tx.close();
             }
-            shard.conns[conn_idx].closing = true;
-            flush_conn(shard, conn_idx);
-            // `flush_conn` performs the shutdown once the buffer drains;
-            // if bytes remain, EPOLLOUT completes it.
+            CarrierEnd::Sock(conn_idx) => {
+                let conn_idx = *conn_idx as usize;
+                let conn = &mut shard.conns[conn_idx];
+                conn.out.extend_from_slice(&c.staging);
+                c.staging.clear();
+                if conn.closed {
+                    continue;
+                }
+                let _ = conn.stream.set_nonblocking(false);
+                let _ = conn.stream.set_write_timeout(Some(Duration::from_secs(2)));
+                while !conn.out.is_empty() {
+                    match conn.out.write_to(&mut conn.stream) {
+                        Ok(0) => break,
+                        Ok(_) => {}
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(_) => break,
+                    }
+                }
+                let _ = conn.stream.shutdown(Shutdown::Write);
+            }
         }
     }
 }
@@ -895,9 +1114,13 @@ fn fire_timers(shard: &mut Shard, lp: &mut Loop) -> Result<(), RuntimeError> {
     for key in expired {
         match key.kind {
             TimerKind::Handshake => {
-                let link = &shard.links[key.idx as usize];
-                if link.hs_seq == key.seq && link.state != LinkState::Data {
-                    return Err(handshake_fail(shard, key.idx, HandshakeFailure::Timeout));
+                let c = &shard.carriers[key.idx as usize];
+                if c.hs_seq == key.seq && c.state != CarrierState::Data {
+                    return Err(handshake_fail(
+                        shard,
+                        key.idx as usize,
+                        HandshakeFailure::Timeout,
+                    ));
                 }
             }
             TimerKind::Round => {

@@ -17,10 +17,11 @@
 use crate::error::{HandshakeFailure, RuntimeError};
 use crate::transport::{Delivery, HandshakeContext, Incoming, Transport};
 use crate::wire::{
-    read_frame, write_frame, ClusterIdentity, FrameError, WireError, WireMsg, PROTOCOL_VERSION,
+    encode_frame_into, read_frame, write_frame, ClusterIdentity, FrameError, WireError, WireMsg,
+    PROTOCOL_VERSION,
 };
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError};
-use std::io::{self, Read};
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
@@ -98,6 +99,9 @@ pub struct TcpTransport {
     dial_addrs: Vec<(usize, SocketAddr)>,
     retry: RetryPolicy,
     links: Vec<TcpLink>,
+    /// Reused send-side encode buffer: the steady-state send path frames
+    /// every outgoing message here instead of allocating per message.
+    scratch: Vec<u8>,
 }
 
 impl TcpTransport {
@@ -145,6 +149,7 @@ impl TcpTransport {
             dial_addrs: dial_addrs.to_vec(),
             retry,
             links,
+            scratch: Vec::new(),
         })
     }
 
@@ -469,13 +474,19 @@ impl Transport for TcpTransport {
                 stream,
                 write_closed,
                 ..
-            } if !*write_closed => match write_frame(stream, msg) {
-                Ok(()) => Delivery::Sent,
-                Err(_) => {
-                    *write_closed = true;
-                    Delivery::Closed
+            } if !*write_closed => {
+                // Frame into the transport's reused scratch buffer — the
+                // steady-state send path performs no heap allocation.
+                self.scratch.clear();
+                encode_frame_into(msg, &mut self.scratch);
+                match stream.write_all(&self.scratch) {
+                    Ok(()) => Delivery::Sent,
+                    Err(_) => {
+                        *write_closed = true;
+                        Delivery::Closed
+                    }
                 }
-            },
+            }
             _ => Delivery::Closed,
         }
     }

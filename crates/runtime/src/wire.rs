@@ -16,23 +16,56 @@
 //! | 4   | `Data`      | `round: u32`, `e: f64`, `transfer: f64`, `flags: u8`        |
 //! | 5   | `Heartbeat` | `round: u32`, `flags: u8`                                   |
 //! | 6   | `Goodbye`   | `e: f64`, `farewell: f64`                                   |
+//! | 7   | `DataBatch` | `round: u32`, `count: u16`, then `count` packed entries     |
+//!
+//! A [`DataBatch`] entry is 21 bytes — `slot: u32`, `e: f64`,
+//! `transfer: f64`, `flags: u8` — and carries one per-link payload
+//! (data, heartbeat, goodbye, or end-of-stream, chosen by the flag bits)
+//! addressed to the *receiver's* link index `slot`. Coalescing many
+//! per-link payloads into one frame per carrier per round is what makes
+//! the reactor's wire cost O(links), not O(messages).
 //!
 //! The decoder is total: any byte sequence either decodes to exactly one
 //! message or returns a typed [`WireError`] — truncated frames, trailing
-//! bytes, unknown tags, reserved flag bits, and non-finite floats are all
-//! rejected, never panicked on (property-tested in `tests/wire_props.rs`).
+//! bytes, unknown tags, reserved flag bits, oversized batch counts, and
+//! non-finite floats are all rejected, never panicked on (property-tested
+//! in `tests/wire_props.rs`).
 
 use dpc_alg::message::RoundMsg;
 use std::io::{self, Read, Write};
 
 /// Protocol version spoken by this build. Bumped on any change to the
 /// frame layouts above; handshakes reject a peer with a different version.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// (v2 added the tag-7 `DataBatch` frame and widened the payload cap.)
+pub const PROTOCOL_VERSION: u16 = 2;
 
-/// Upper bound on an accepted payload length (bytes). Every real payload is
-/// under 32 bytes; the cap keeps a corrupted or hostile length prefix from
-/// turning into an attempted multi-gigabyte allocation.
-pub const MAX_PAYLOAD_LEN: u32 = 64;
+/// Tag byte of the coalesced [`DataBatch`] frame.
+pub const TAG_DATA_BATCH: u8 = 7;
+
+/// Bytes of one packed batch entry: `slot: u32`, `e: f64`,
+/// `transfer: f64`, `flags: u8`.
+pub const BATCH_ENTRY_LEN: usize = 21;
+
+/// Bytes of a batch payload before the entries: tag, `round: u32`,
+/// `count: u16`.
+pub const BATCH_HEADER_LEN: usize = 7;
+
+/// Most entries one [`DataBatch`] frame may carry; a busier carrier seals
+/// the frame and opens the next one ([`BatchWriter`] does this
+/// automatically).
+pub const MAX_BATCH_ENTRIES: u16 = 2048;
+
+/// Upper bound on an accepted payload length (bytes): a full
+/// [`DataBatch`] frame. Scalar payloads stay under 32 bytes; the cap
+/// keeps a corrupted or hostile length prefix from turning into an
+/// attempted multi-gigabyte allocation.
+pub const MAX_PAYLOAD_LEN: u32 =
+    (BATCH_HEADER_LEN + MAX_BATCH_ENTRIES as usize * BATCH_ENTRY_LEN) as u32;
+
+/// Consumed-prefix size at which [`Reassembly`] compacts its buffer.
+/// Decoupled from [`MAX_PAYLOAD_LEN`] (43 KB in v2) so a connection that
+/// only ever sees small frames never holds more than a few KB.
+const COMPACT_THRESHOLD: usize = 8192;
 
 /// Why a handshake peer was turned away, carried inside [`WireMsg::Reject`]
 /// so the dialer learns the named reason instead of a bare disconnect.
@@ -176,6 +209,115 @@ impl WireMsg {
     }
 }
 
+/// What one packed [`DataBatch`] entry means, carried in its flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    /// One round's residual/transfer payload (the scalar
+    /// [`WireMsg::Data`] equivalent).
+    Data,
+    /// Redundant-state keepalive ([`WireMsg::Heartbeat`]); the float
+    /// fields travel as `+0.0`.
+    Heartbeat,
+    /// Departure donating residual mass ([`WireMsg::Goodbye`]).
+    Goodbye,
+    /// Per-link end-of-stream: the sender will never write this link
+    /// again. Carriers are shared, so a link-level FIN has to travel
+    /// in-band instead of as a transport close.
+    Eof,
+}
+
+impl EntryKind {
+    fn bits(self) -> u8 {
+        match self {
+            EntryKind::Data => 0b000,
+            EntryKind::Heartbeat => 0b010,
+            EntryKind::Goodbye => 0b100,
+            EntryKind::Eof => 0b110,
+        }
+    }
+
+    fn from_bits(bits: u8) -> EntryKind {
+        match bits {
+            0b000 => EntryKind::Data,
+            0b010 => EntryKind::Heartbeat,
+            0b100 => EntryKind::Goodbye,
+            _ => EntryKind::Eof,
+        }
+    }
+}
+
+/// One packed payload inside a [`DataBatch`] frame, addressed to the
+/// receiving shard's link index `slot`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchEntry {
+    /// Receiver-side link index this payload routes to.
+    pub slot: u32,
+    /// Residual snapshot (`+0.0` for heartbeat/eof entries).
+    pub e: f64,
+    /// Slack transfer / farewell donation (`+0.0` for heartbeat/eof).
+    pub transfer: f64,
+    /// Sender considers itself settled (data/heartbeat only; must be
+    /// clear for goodbye/eof).
+    pub settled: bool,
+    /// What the entry means.
+    pub kind: EntryKind,
+}
+
+impl BatchEntry {
+    fn flags(&self) -> u8 {
+        debug_assert!(
+            !(self.settled && matches!(self.kind, EntryKind::Goodbye | EntryKind::Eof)),
+            "settled bit is undefined for goodbye/eof entries"
+        );
+        self.kind.bits() | u8::from(self.settled)
+    }
+}
+
+/// An owned, decoded tag-7 frame: one carrier's coalesced per-link
+/// payloads for `round`. The hot path decodes into a reused `entries`
+/// buffer via [`Reassembly::next_frame_into`]; this owned form exists for
+/// tests and one-shot decodes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DataBatch {
+    /// Sender's round counter for every entry in the frame (diagnostic,
+    /// like [`WireMsg::Data::round`] — links are FIFO).
+    pub round: u32,
+    /// The packed entries, in send order.
+    pub entries: Vec<BatchEntry>,
+}
+
+impl DataBatch {
+    /// Appends this batch as one full frame (length prefix included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch exceeds [`MAX_BATCH_ENTRIES`]; producers split
+    /// via [`BatchWriter`] instead of building oversized batches.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        encode_batch_into(self.round, &self.entries, buf)
+    }
+}
+
+/// Any decoded frame: a scalar message or a coalesced batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A scalar protocol message (tags 1–6).
+    Msg(WireMsg),
+    /// A coalesced tag-7 batch.
+    Batch(DataBatch),
+}
+
+/// The borrow-free result of [`Reassembly::next_frame_into`]: batch
+/// contents land in the caller's reused [`DataBatch`] scratch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FrameKind {
+    /// A scalar protocol message (tags 1–6).
+    Msg(WireMsg),
+    /// A batch frame; its header and entries were decoded into the
+    /// scratch argument.
+    Batch,
+}
+
 /// A typed decoding failure. Every variant is a *data* problem — the bytes
 /// themselves are wrong — as opposed to the I/O problems reported by
 /// [`FrameError::Io`].
@@ -208,6 +350,11 @@ pub enum WireError {
     },
     /// The frame's length prefix exceeds [`MAX_PAYLOAD_LEN`].
     OversizedFrame(u32),
+    /// A [`DataBatch`] count field exceeds [`MAX_BATCH_ENTRIES`].
+    OversizedBatch(u16),
+    /// A [`DataBatch`] frame arrived on a path that only speaks scalar
+    /// messages (the blocking per-edge transports).
+    UnexpectedBatch,
 }
 
 impl std::fmt::Display for WireError {
@@ -229,6 +376,11 @@ impl std::fmt::Display for WireError {
                 f,
                 "frame length {len} exceeds the {MAX_PAYLOAD_LEN}-byte payload cap"
             ),
+            WireError::OversizedBatch(count) => write!(
+                f,
+                "batch count {count} exceeds the {MAX_BATCH_ENTRIES}-entry cap"
+            ),
+            WireError::UnexpectedBatch => f.write_str("batch frame on a scalar-only path"),
         }
     }
 }
@@ -454,18 +606,182 @@ pub fn decode_payload(bytes: &[u8]) -> Result<WireMsg, WireError> {
                 },
             )
         }
+        TAG_DATA_BATCH => Err(WireError::UnexpectedBatch),
         other => Err(WireError::UnknownTag(other)),
     }
 }
 
-/// Encodes a full frame (length prefix + payload).
+/// Decodes a tag-7 payload's header and entries into `entries` (cleared
+/// first, capacity reused), returning the batch round. `bytes` is the
+/// whole payload including the tag byte.
+fn decode_batch_payload(bytes: &[u8], entries: &mut Vec<BatchEntry>) -> Result<u32, WireError> {
+    entries.clear();
+    let mut c = Cursor::new(bytes);
+    let tag = c.u8()?;
+    debug_assert_eq!(tag, TAG_DATA_BATCH, "caller dispatched on the tag");
+    let round = c.u32()?;
+    let count = c.u16()?;
+    if count > MAX_BATCH_ENTRIES {
+        return Err(WireError::OversizedBatch(count));
+    }
+    entries.reserve(count as usize);
+    for _ in 0..count {
+        let slot = c.u32()?;
+        let e = c.f64("e")?;
+        let transfer = c.f64("transfer")?;
+        let flags = c.u8()?;
+        if flags & !0b111 != 0 {
+            return Err(WireError::BadFlags(flags));
+        }
+        let settled = flags & FLAG_SETTLED != 0;
+        let kind = EntryKind::from_bits(flags & 0b110);
+        if settled && matches!(kind, EntryKind::Goodbye | EntryKind::Eof) {
+            return Err(WireError::BadFlags(flags));
+        }
+        entries.push(BatchEntry {
+            slot,
+            e,
+            transfer,
+            settled,
+            kind,
+        });
+    }
+    if c.pos < bytes.len() {
+        return Err(WireError::TrailingBytes {
+            tag: TAG_DATA_BATCH,
+            extra: bytes.len() - c.pos,
+        });
+    }
+    Ok(round)
+}
+
+/// Decodes one payload of *any* tag — scalar or batch — into an owned
+/// [`Frame`]. Total like [`decode_payload`]; the canonical-encoding
+/// property (decode ∘ encode = id) holds for every successful decode.
+///
+/// # Errors
+///
+/// A [`WireError`] naming exactly what is wrong with the bytes.
+pub fn decode_frame_payload(bytes: &[u8]) -> Result<Frame, WireError> {
+    if bytes.first() == Some(&TAG_DATA_BATCH) {
+        let mut batch = DataBatch::default();
+        batch.round = decode_batch_payload(bytes, &mut batch.entries)?;
+        Ok(Frame::Batch(batch))
+    } else {
+        decode_payload(bytes).map(Frame::Msg)
+    }
+}
+
+/// Appends a full frame (length prefix + payload) to `buf` without any
+/// intermediate allocation — the send-path workhorse. Callers keep one
+/// scratch/staging buffer per connection and reuse it forever.
+pub fn encode_frame_into(msg: &WireMsg, buf: &mut Vec<u8>) {
+    let at = buf.len();
+    buf.extend_from_slice(&[0u8; 4]);
+    encode_payload(msg, buf);
+    let len = (buf.len() - at - 4) as u32;
+    buf[at..at + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Encodes a full frame into a fresh `Vec` — a thin convenience wrapper
+/// over [`encode_frame_into`] for tests and one-shot handshake writes;
+/// steady-state paths must reuse a buffer instead.
 pub fn encode_frame(msg: &WireMsg) -> Vec<u8> {
-    let mut payload = Vec::with_capacity(32);
-    encode_payload(msg, &mut payload);
-    let mut frame = Vec::with_capacity(4 + payload.len());
-    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&payload);
+    let mut frame = Vec::with_capacity(32);
+    encode_frame_into(msg, &mut frame);
     frame
+}
+
+fn encode_entry(entry: &BatchEntry, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&entry.slot.to_le_bytes());
+    buf.extend_from_slice(&entry.e.to_le_bytes());
+    buf.extend_from_slice(&entry.transfer.to_le_bytes());
+    buf.push(entry.flags());
+}
+
+/// Appends one complete [`DataBatch`] frame (length prefix included).
+///
+/// # Panics
+///
+/// Panics if `entries.len()` exceeds [`MAX_BATCH_ENTRIES`] — producers
+/// with unbounded entry streams go through [`BatchWriter`], which seals
+/// and reopens frames at the cap.
+pub fn encode_batch_into(round: u32, entries: &[BatchEntry], buf: &mut Vec<u8>) {
+    assert!(
+        entries.len() <= MAX_BATCH_ENTRIES as usize,
+        "batch of {} entries exceeds the {MAX_BATCH_ENTRIES}-entry cap",
+        entries.len()
+    );
+    let payload = BATCH_HEADER_LEN + entries.len() * BATCH_ENTRY_LEN;
+    buf.reserve(4 + payload);
+    buf.extend_from_slice(&(payload as u32).to_le_bytes());
+    buf.push(TAG_DATA_BATCH);
+    buf.extend_from_slice(&round.to_le_bytes());
+    buf.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+    for entry in entries {
+        encode_entry(entry, buf);
+    }
+}
+
+/// Incremental [`DataBatch`] encoder writing straight into a carrier's
+/// persistent staging buffer: the first entry of a flush window opens a
+/// frame (length and count fields as placeholders), subsequent entries
+/// append in place, and [`BatchWriter::seal`] patches the header when the
+/// window closes. A round change or the [`MAX_BATCH_ENTRIES`] cap seals
+/// and reopens automatically, so entries from agents a round apart never
+/// share a header.
+///
+/// While a frame is open, nothing else may append to the buffer — callers
+/// seal before writing scalar frames.
+#[derive(Debug, Default)]
+pub struct BatchWriter {
+    /// Byte offset of the open frame's length prefix, if one is open.
+    open_at: Option<usize>,
+    round: u32,
+    count: u16,
+}
+
+impl BatchWriter {
+    /// A writer with no open frame.
+    pub fn new() -> BatchWriter {
+        BatchWriter::default()
+    }
+
+    /// Appends `entry` under `round`, opening/sealing frames as needed.
+    /// With `coalesce` false every entry is sealed into its own
+    /// single-entry frame — the per-message framing mode the bench gate
+    /// compares against.
+    pub fn push(&mut self, buf: &mut Vec<u8>, round: u32, entry: BatchEntry, coalesce: bool) {
+        if self.open_at.is_some() && (self.round != round || self.count == MAX_BATCH_ENTRIES) {
+            self.seal(buf);
+        }
+        if self.open_at.is_none() {
+            self.open_at = Some(buf.len());
+            buf.extend_from_slice(&[0u8; 4]);
+            buf.push(TAG_DATA_BATCH);
+            buf.extend_from_slice(&round.to_le_bytes());
+            buf.extend_from_slice(&[0u8; 2]);
+            self.round = round;
+            self.count = 0;
+        }
+        encode_entry(&entry, buf);
+        self.count += 1;
+        if !coalesce {
+            self.seal(buf);
+        }
+    }
+
+    /// Patches the open frame's length and count fields and closes it.
+    /// Idempotent; must be called before the buffer is flushed or a
+    /// scalar frame is appended.
+    pub fn seal(&mut self, buf: &mut [u8]) {
+        if let Some(at) = self.open_at.take() {
+            let payload = (buf.len() - at - 4) as u32;
+            buf[at..at + 4].copy_from_slice(&payload.to_le_bytes());
+            let count_at = at + 4 + 1 + 4;
+            buf[count_at..count_at + 2].copy_from_slice(&self.count.to_le_bytes());
+        }
+    }
 }
 
 /// Writes one frame to a byte stream.
@@ -546,7 +862,7 @@ impl Reassembly {
         if self.start > 0 && self.start == self.buf.len() {
             self.buf.clear();
             self.start = 0;
-        } else if self.start > MAX_PAYLOAD_LEN as usize + 4 {
+        } else if self.start > COMPACT_THRESHOLD {
             self.buf.drain(..self.start);
             self.start = 0;
         }
@@ -558,14 +874,39 @@ impl Reassembly {
         self.buf.len() - self.start
     }
 
-    /// Decodes the next complete frame, if one is fully buffered.
+    /// Decodes the next complete frame, if one is fully buffered, returning
+    /// an owned [`Frame`]. Allocates a fresh entry vector for batch frames;
+    /// hot paths that pop many batches should prefer
+    /// [`Reassembly::next_frame_into`], which reuses one.
     ///
     /// # Errors
     ///
     /// The same [`WireError`]s [`read_frame`] reports: an oversized length
     /// prefix or an invalid payload. The stream is unrecoverable after an
     /// error (framing is lost), matching TCP-path semantics.
-    pub fn next_frame(&mut self) -> Result<Option<WireMsg>, WireError> {
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let mut batch = DataBatch::default();
+        Ok(match self.next_frame_into(&mut batch)? {
+            None => None,
+            Some(FrameKind::Msg(msg)) => Some(Frame::Msg(msg)),
+            Some(FrameKind::Batch) => Some(Frame::Batch(batch)),
+        })
+    }
+
+    /// Decodes the next complete frame without allocating: scalar messages
+    /// come back inline in the returned [`FrameKind`], while batch payloads
+    /// are decoded into `batch` (cleared first, entry capacity reused) and
+    /// signalled by [`FrameKind::Batch`]. This is the steady-state receive
+    /// path — no intermediate copy of the payload is made; entries decode
+    /// straight out of the reassembly buffer.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`Reassembly::next_frame`].
+    pub fn next_frame_into(
+        &mut self,
+        batch: &mut DataBatch,
+    ) -> Result<Option<FrameKind>, WireError> {
         let avail = &self.buf[self.start..];
         if avail.len() < 4 {
             return Ok(None);
@@ -578,9 +919,15 @@ impl Reassembly {
         if avail.len() < total {
             return Ok(None);
         }
-        let msg = decode_payload(&avail[4..total])?;
+        let payload = &avail[4..total];
+        let kind = if payload.first() == Some(&TAG_DATA_BATCH) {
+            batch.round = decode_batch_payload(payload, &mut batch.entries)?;
+            FrameKind::Batch
+        } else {
+            FrameKind::Msg(decode_payload(payload)?)
+        };
         self.start += total;
-        Ok(Some(msg))
+        Ok(Some(kind))
     }
 }
 
@@ -731,6 +1078,141 @@ mod tests {
         assert_eq!(
             id.validate_hello(PROTOCOL_VERSION, 8, 98),
             Err(RejectReason::TopologyMismatch)
+        );
+    }
+
+    #[test]
+    fn batch_round_trip_preserves_entries() {
+        let batch = DataBatch {
+            round: 41,
+            entries: vec![
+                BatchEntry {
+                    slot: 0,
+                    e: -2.5,
+                    transfer: -0.5,
+                    settled: true,
+                    kind: EntryKind::Data,
+                },
+                BatchEntry {
+                    slot: 3,
+                    e: 0.0,
+                    transfer: 0.0,
+                    settled: false,
+                    kind: EntryKind::Heartbeat,
+                },
+                BatchEntry {
+                    slot: 7,
+                    e: -1.0,
+                    transfer: 0.25,
+                    settled: false,
+                    kind: EntryKind::Goodbye,
+                },
+                BatchEntry {
+                    slot: 9,
+                    e: 0.0,
+                    transfer: 0.0,
+                    settled: false,
+                    kind: EntryKind::Eof,
+                },
+            ],
+        };
+        let mut buf = Vec::new();
+        batch.encode_into(&mut buf);
+        assert_eq!(
+            buf.len(),
+            4 + BATCH_HEADER_LEN + batch.entries.len() * BATCH_ENTRY_LEN
+        );
+        let mut reasm = Reassembly::new();
+        reasm.push(&buf);
+        assert_eq!(reasm.next_frame().unwrap(), Some(Frame::Batch(batch)));
+        assert_eq!(reasm.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn batch_writer_coalesces_per_round_and_seals_on_round_change() {
+        let entry = |slot| BatchEntry {
+            slot,
+            e: -1.0,
+            transfer: 0.5,
+            settled: false,
+            kind: EntryKind::Data,
+        };
+        let mut buf = Vec::new();
+        let mut w = BatchWriter::new();
+        w.push(&mut buf, 5, entry(0), true);
+        w.push(&mut buf, 5, entry(1), true);
+        w.push(&mut buf, 6, entry(2), true);
+        w.seal(&mut buf);
+        let mut reasm = Reassembly::new();
+        reasm.push(&buf);
+        let first = reasm.next_frame().unwrap().unwrap();
+        let second = reasm.next_frame().unwrap().unwrap();
+        assert_eq!(reasm.next_frame().unwrap(), None);
+        match (first, second) {
+            (Frame::Batch(a), Frame::Batch(b)) => {
+                assert_eq!((a.round, a.entries.len()), (5, 2));
+                assert_eq!((b.round, b.entries.len()), (6, 1));
+            }
+            other => panic!("expected two batches, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uncoalesced_writer_emits_single_entry_frames() {
+        let entry = BatchEntry {
+            slot: 2,
+            e: -0.5,
+            transfer: 0.0,
+            settled: true,
+            kind: EntryKind::Data,
+        };
+        let mut buf = Vec::new();
+        let mut w = BatchWriter::new();
+        w.push(&mut buf, 9, entry, false);
+        w.push(&mut buf, 9, entry, false);
+        w.seal(&mut buf);
+        let mut reasm = Reassembly::new();
+        reasm.push(&buf);
+        for _ in 0..2 {
+            match reasm.next_frame().unwrap() {
+                Some(Frame::Batch(b)) => {
+                    assert_eq!((b.round, b.entries.len()), (9, 1));
+                }
+                other => panic!("expected a one-entry batch, got {other:?}"),
+            }
+        }
+        assert_eq!(reasm.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn batch_rejections_name_the_defect() {
+        // Count beyond the cap.
+        let mut payload = vec![TAG_DATA_BATCH];
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&(MAX_BATCH_ENTRIES + 1).to_le_bytes());
+        assert_eq!(
+            decode_frame_payload(&payload),
+            Err(WireError::OversizedBatch(MAX_BATCH_ENTRIES + 1))
+        );
+        // Batch tag on a scalar-only decode path.
+        assert_eq!(decode_payload(&payload), Err(WireError::UnexpectedBatch));
+        // Reserved flag bits.
+        let mut payload = vec![TAG_DATA_BATCH];
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&1u16.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        payload.extend_from_slice(&0f64.to_le_bytes());
+        payload.extend_from_slice(&0f64.to_le_bytes());
+        payload.push(0b1000);
+        assert_eq!(
+            decode_frame_payload(&payload),
+            Err(WireError::BadFlags(0b1000))
+        );
+        // Settled goodbye is contradictory.
+        *payload.last_mut().unwrap() = 0b101;
+        assert_eq!(
+            decode_frame_payload(&payload),
+            Err(WireError::BadFlags(0b101))
         );
     }
 }

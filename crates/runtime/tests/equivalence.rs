@@ -14,7 +14,7 @@ use dpc_alg::diba_async::{AsyncConfig, AsyncDibaRun};
 use dpc_alg::problem::PowerBudgetProblem;
 use dpc_models::units::Watts;
 use dpc_models::workload::ClusterBuilder;
-use dpc_runtime::cluster::{run_cluster, ClusterOutcome, RuntimeConfig, TransportKind};
+use dpc_runtime::cluster::{run_cluster, ClusterOutcome, RuntimeConfig, ShardCount, TransportKind};
 use dpc_topology::Graph;
 use proptest::prelude::*;
 
@@ -147,7 +147,7 @@ fn headline_three_way_equivalence_inproc_tcp_simulator() {
 fn reactor_config(shards: usize) -> RuntimeConfig {
     RuntimeConfig {
         transport: TransportKind::Reactor,
-        shards,
+        shards: ShardCount::Fixed(shards),
         ..RuntimeConfig::default()
     }
 }
@@ -241,16 +241,128 @@ fn reactor_allocation_is_invariant_to_shard_count() {
     }
 }
 
-/// The scale acceptance check: one process hosts a 10k-agent reactor
-/// cluster, thread count stays O(shards), and the allocation is bitwise
-/// the lockstep reference. Minutes of wall clock — run explicitly with
-/// `cargo test --release -- --ignored ten_thousand`.
+/// Mid-size pin of the coalesced wire path: at N = 256 the four shards
+/// exchange thousands of batch entries per round over every carrier
+/// flavor (self loops, mem pipes, sockets), and the allocation and the
+/// deterministic counters must still be bitwise the serial lockstep
+/// reference.
+#[test]
+fn coalesced_reactor_matches_lockstep_at_n256() {
+    let n = 256;
+    let problem = seeded_problem(n, 11, 170.0 * n as f64);
+    let graph = Graph::torus(16, 16).unwrap();
+
+    let lockstep = run_cluster(
+        problem.clone(),
+        graph.clone(),
+        DibaConfig::default(),
+        &runtime_config(TransportKind::Lockstep),
+    )
+    .unwrap();
+    let reactor = run_cluster(
+        problem.clone(),
+        graph.clone(),
+        DibaConfig::default(),
+        &reactor_config(4),
+    )
+    .unwrap();
+    check_outcome(&lockstep, &problem, 1e-6);
+    check_outcome(&reactor, &problem, 1e-6);
+    assert_eq!(
+        allocation_of(&lockstep),
+        allocation_of(&reactor),
+        "coalesced reactor diverged from the lockstep reference at N=256"
+    );
+    assert_eq!(lockstep.rounds, reactor.rounds);
+    assert_eq!(lockstep.msgs_sent, reactor.msgs_sent);
+    assert_eq!(lockstep.heartbeats, reactor.heartbeats);
+}
+
+/// The bench framing gate's comparison arm: with `coalesce` off every
+/// entry is sealed into its own single-entry frame. Framing is a wire
+/// packaging choice, so it must be invisible to the trajectory.
+#[test]
+fn per_message_framing_matches_coalesced_bitwise() {
+    let n = 8;
+    let problem = seeded_problem(n, 42, 170.0 * n as f64);
+    let graph = Graph::ring(n);
+
+    let coalesced = run_cluster(
+        problem.clone(),
+        graph.clone(),
+        DibaConfig::default(),
+        &reactor_config(3),
+    )
+    .unwrap();
+    let per_message = run_cluster(
+        problem.clone(),
+        graph.clone(),
+        DibaConfig::default(),
+        &RuntimeConfig {
+            coalesce: false,
+            ..reactor_config(3)
+        },
+    )
+    .unwrap();
+    check_outcome(&per_message, &problem, 1e-6);
+    assert_eq!(
+        allocation_of(&coalesced),
+        allocation_of(&per_message),
+        "frame packaging changed the trajectory"
+    );
+    assert_eq!(coalesced.rounds, per_message.rounds);
+    assert_eq!(coalesced.msgs_sent, per_message.msgs_sent);
+}
+
+/// `--shards auto` is a performance policy, not a semantic one: whatever
+/// shard count it picks must produce the same allocation as any pinned
+/// count (the shard-invariance test above covers the pinned side).
+#[test]
+fn auto_shard_count_picks_the_same_allocation_as_fixed() {
+    let n = 24;
+    let problem = seeded_problem(n, 13, 169.0 * n as f64);
+    let graph = Graph::ring_with_chords(n, 3);
+
+    let auto = run_cluster(
+        problem.clone(),
+        graph.clone(),
+        DibaConfig::default(),
+        &RuntimeConfig {
+            transport: TransportKind::Reactor,
+            shards: ShardCount::Auto,
+            ..RuntimeConfig::default()
+        },
+    )
+    .unwrap();
+    let fixed = run_cluster(
+        problem.clone(),
+        graph.clone(),
+        DibaConfig::default(),
+        &reactor_config(2),
+    )
+    .unwrap();
+    check_outcome(&auto, &problem, 1e-6);
+    let picked = auto.shards_used.expect("reactor reports its shard count");
+    assert!(picked >= 1);
+    assert_eq!(
+        allocation_of(&auto),
+        allocation_of(&fixed),
+        "auto-tuned shard count changed the allocation (picked {picked})"
+    );
+    assert_eq!(auto.rounds, fixed.rounds);
+    assert_eq!(auto.msgs_sent, fixed.msgs_sent);
+}
+
+/// The scale acceptance check: one process hosts the 10 240-agent bench
+/// torus on the reactor, thread count stays O(shards), and the allocation
+/// is bitwise the lockstep reference. Minutes of wall clock — run
+/// explicitly with `cargo test --release -- --ignored ten_thousand`.
 #[test]
 #[ignore = "10k-agent scale check; run with --ignored"]
 fn reactor_hosts_ten_thousand_agents_bitwise_equal_to_lockstep() {
-    let n = 10_000;
+    let n = 10_240;
     let problem = seeded_problem(n, 1, 170.0 * n as f64);
-    let graph = Graph::torus(100, 100).unwrap();
+    let graph = Graph::torus(80, 128).unwrap();
     let config = DibaConfig::default();
     let rt_lockstep = RuntimeConfig {
         max_rounds: 6_000,

@@ -8,8 +8,10 @@
 
 use dpc_alg::message::RoundMsg;
 use dpc_runtime::wire::{
-    decode_payload, encode_frame, encode_payload, read_frame, FrameError, Reassembly, RejectReason,
-    WireError, WireMsg, MAX_PAYLOAD_LEN, PROTOCOL_VERSION,
+    decode_frame_payload, decode_payload, encode_frame, encode_payload,
+    read_frame, BatchEntry, ClusterIdentity, DataBatch, EntryKind, Frame, FrameError, Reassembly,
+    RejectReason, WireError, WireMsg, MAX_BATCH_ENTRIES, MAX_PAYLOAD_LEN, PROTOCOL_VERSION,
+    TAG_DATA_BATCH,
 };
 use proptest::prelude::*;
 
@@ -185,11 +187,23 @@ proptest! {
     }
 }
 
-/// Drains every complete frame currently buffered.
+/// Drains every complete frame currently buffered, requiring scalars.
 fn drain(reasm: &mut Reassembly) -> Result<Vec<WireMsg>, WireError> {
     let mut out = Vec::new();
-    while let Some(msg) = reasm.next_frame()? {
-        out.push(msg);
+    while let Some(frame) = reasm.next_frame()? {
+        match frame {
+            Frame::Msg(msg) => out.push(msg),
+            Frame::Batch(batch) => panic!("scalar stream yielded a batch frame: {batch:?}"),
+        }
+    }
+    Ok(out)
+}
+
+/// Drains every complete frame, batches included.
+fn drain_frames(reasm: &mut Reassembly) -> Result<Vec<Frame>, WireError> {
+    let mut out = Vec::new();
+    while let Some(frame) = reasm.next_frame()? {
+        out.push(frame);
     }
     Ok(out)
 }
@@ -278,12 +292,24 @@ proptest! {
             reasm.push(chunk);
             loop {
                 match reasm.next_frame() {
-                    Ok(Some(msg)) => {
+                    Ok(Some(frame)) => {
                         // Anything that decodes must be canonical, exactly
-                        // as on the payload path.
-                        let mut reencoded = Vec::new();
-                        encode_payload(&msg, &mut reencoded);
-                        prop_assert_eq!(decode_payload(&reencoded), Ok(msg));
+                        // as on the payload path — batches included.
+                        match frame {
+                            Frame::Msg(msg) => {
+                                let mut reencoded = Vec::new();
+                                encode_payload(&msg, &mut reencoded);
+                                prop_assert_eq!(decode_payload(&reencoded), Ok(msg));
+                            }
+                            Frame::Batch(batch) => {
+                                let mut reframed = Vec::new();
+                                batch.encode_into(&mut reframed);
+                                prop_assert_eq!(
+                                    decode_frame_payload(&reframed[4..]),
+                                    Ok(Frame::Batch(batch))
+                                );
+                            }
+                        }
                     }
                     Ok(None) => continue 'feed,
                     // Framing is lost for good — the connection would be
@@ -346,15 +372,268 @@ fn oversized_length_prefix_is_rejected_at_the_prefix() {
 
 #[test]
 fn unknown_tags_and_reason_codes_are_named() {
-    for tag in [0u8, 7, 8, 42, 255] {
+    for tag in [0u8, 8, 42, 255] {
         assert_eq!(decode_payload(&[tag]), Err(WireError::UnknownTag(tag)));
     }
+    // Tag 7 is assigned (DataBatch) but scalar-only decoders must refuse
+    // it by name rather than mis-reading it as unknown.
+    assert_eq!(
+        decode_payload(&[TAG_DATA_BATCH]),
+        Err(WireError::UnexpectedBatch)
+    );
     for code in [0u8, 5, 9, 255] {
         assert_eq!(
             decode_payload(&[3, code]),
             Err(WireError::UnknownReason(code))
         );
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Byte-at-a-time reassembly over streams mixing scalar and batch
+    /// frames — the coalesced reactor's actual inbound shape. Crossing
+    /// every internal byte boundary must decode the identical sequence as
+    /// one contiguous read.
+    #[test]
+    fn batched_reassembly_is_invariant_to_byte_at_a_time_delivery(
+        batches in collection::vec(
+            (0u32..1000, collection::vec((0u8..4, 0u32..64, -1e6f64..1e6, 0u8..2), 0..5)),
+            1..4,
+        ),
+        e in -1e6f64..1e6,
+    ) {
+        let mut frames = Vec::new();
+        for (i, (round, specs)) in batches.iter().enumerate() {
+            frames.push(Frame::Batch(DataBatch {
+                round: *round,
+                entries: specs
+                    .iter()
+                    .map(|&(sel, slot, ev, settled)| {
+                        build_entry(sel, slot, ev, ev / 2.0, settled == 1)
+                    })
+                    .collect(),
+            }));
+            // Interleave a scalar frame so framing transitions both ways.
+            frames.push(Frame::Msg(WireMsg::Data {
+                round: *round,
+                msg: RoundMsg { e, transfer: -e },
+                settled: i % 2 == 0,
+            }));
+        }
+        let mut stream = Vec::new();
+        for frame in &frames {
+            match frame {
+                Frame::Msg(msg) => stream.extend_from_slice(&encode_frame(msg)),
+                Frame::Batch(batch) => batch.encode_into(&mut stream),
+            }
+        }
+
+        let mut whole = Reassembly::new();
+        whole.push(&stream);
+        prop_assert_eq!(drain_frames(&mut whole), Ok(frames.clone()));
+
+        let mut drip = Reassembly::new();
+        let mut got = Vec::new();
+        for &byte in &stream {
+            drip.push(&[byte]);
+            match drain_frames(&mut drip) {
+                Ok(batch) => got.extend(batch),
+                Err(err) => prop_assert!(false, "drip decode failed: {err}"),
+            }
+        }
+        prop_assert_eq!(got, frames);
+        prop_assert_eq!(drip.buffered(), 0);
+    }
+
+    /// Batch byte soup: arbitrary bytes behind the batch tag either decode
+    /// to a batch that re-encodes canonically or return a typed error —
+    /// never a panic.
+    #[test]
+    fn batch_byte_soup_never_panics_and_decodes_are_canonical(
+        bytes in collection::vec(0u8..=255, 0..64),
+    ) {
+        let mut payload = vec![TAG_DATA_BATCH];
+        payload.extend_from_slice(&bytes);
+        if let Ok(frame) = decode_frame_payload(&payload) {
+            let Frame::Batch(batch) = &frame else {
+                return Err(TestCaseError::fail("batch tag decoded to a scalar"));
+            };
+            let mut reframed = Vec::new();
+            batch.encode_into(&mut reframed);
+            prop_assert_eq!(&reframed[4..], &payload[..]);
+        }
+    }
+}
+
+/// A valid batch entry from a generated field pool; the settled bit is
+/// masked off for kinds whose encoding forbids it.
+fn build_entry(sel: u8, slot: u32, e: f64, transfer: f64, settled: bool) -> BatchEntry {
+    let kind = match sel % 4 {
+        0 => EntryKind::Data,
+        1 => EntryKind::Heartbeat,
+        2 => EntryKind::Goodbye,
+        _ => EntryKind::Eof,
+    };
+    BatchEntry {
+        slot,
+        e,
+        transfer,
+        settled: settled && matches!(kind, EntryKind::Data | EntryKind::Heartbeat),
+        kind,
+    }
+}
+
+/// A small deterministic mixed stream: scalar frames interleaved with
+/// batch frames of every entry kind.
+fn mixed_stream() -> (Vec<Frame>, Vec<u8>) {
+    let frames = vec![
+        Frame::Msg(WireMsg::Hello {
+            version: PROTOCOL_VERSION,
+            node: 2,
+            n_nodes: 16,
+            topology_hash: 0xabad_cafe,
+        }),
+        Frame::Batch(DataBatch {
+            round: 9,
+            entries: vec![
+                build_entry(0, 0, 1.5, -0.25, true),
+                build_entry(1, 3, 0.0, 0.0, false),
+                build_entry(2, 1, -2.0, 0.125, false),
+            ],
+        }),
+        Frame::Batch(DataBatch {
+            round: 10,
+            entries: vec![build_entry(3, 2, 0.0, 0.0, false)],
+        }),
+        Frame::Msg(WireMsg::Heartbeat {
+            round: 10,
+            settled: false,
+        }),
+    ];
+    let mut stream = Vec::new();
+    for frame in &frames {
+        match frame {
+            Frame::Msg(msg) => stream.extend_from_slice(&encode_frame(msg)),
+            Frame::Batch(batch) => batch.encode_into(&mut stream),
+        }
+    }
+    (frames, stream)
+}
+
+#[test]
+fn data_batch_round_trips_at_zero_one_and_max_count() {
+    for count in [0usize, 1, MAX_BATCH_ENTRIES as usize] {
+        let entries: Vec<BatchEntry> = (0..count)
+            .map(|i| build_entry(i as u8, i as u32, i as f64 * 0.5, -(i as f64), i % 2 == 0))
+            .collect();
+        let batch = DataBatch { round: 77, entries };
+        let mut stream = Vec::new();
+        batch.encode_into(&mut stream);
+        let mut reasm = Reassembly::new();
+        reasm.push(&stream);
+        assert_eq!(
+            drain_frames(&mut reasm).expect("batch decodes"),
+            vec![Frame::Batch(batch)],
+            "count {count} did not round-trip"
+        );
+        assert_eq!(reasm.buffered(), 0);
+    }
+}
+
+#[test]
+fn truncated_and_padded_batch_payloads_are_rejected() {
+    let batch = DataBatch {
+        round: 3,
+        entries: vec![
+            build_entry(0, 1, 2.0, -1.0, true),
+            build_entry(2, 0, 5.0, 0.5, false),
+        ],
+    };
+    let mut frame = Vec::new();
+    batch.encode_into(&mut frame);
+    let payload = &frame[4..];
+    // Every strict prefix is truncated: the layout is fixed-width given
+    // the count field.
+    for cut in 1..payload.len() {
+        match decode_frame_payload(&payload[..cut]) {
+            Err(WireError::Truncated { expected, got }) => {
+                assert_eq!(got, cut);
+                assert!(expected > cut);
+            }
+            other => panic!("batch prefix of {cut} bytes decoded to {other:?}"),
+        }
+    }
+    // Surplus bytes past the declared count are trailing garbage.
+    let mut padded = payload.to_vec();
+    padded.extend_from_slice(&[0u8; 3]);
+    assert_eq!(
+        decode_frame_payload(&padded),
+        Err(WireError::TrailingBytes {
+            tag: TAG_DATA_BATCH,
+            extra: 3
+        })
+    );
+}
+
+#[test]
+fn oversized_batch_count_is_rejected_by_name() {
+    let bogus = MAX_BATCH_ENTRIES + 1;
+    let mut payload = vec![TAG_DATA_BATCH];
+    payload.extend_from_slice(&5u32.to_le_bytes());
+    payload.extend_from_slice(&bogus.to_le_bytes());
+    assert_eq!(
+        decode_frame_payload(&payload),
+        Err(WireError::OversizedBatch(bogus))
+    );
+}
+
+#[test]
+fn every_two_way_split_of_a_batched_stream_reassembles() {
+    let (frames, stream) = mixed_stream();
+    for cut in 0..=stream.len() {
+        let mut reasm = Reassembly::new();
+        reasm.push(&stream[..cut]);
+        let mut got = drain_frames(&mut reasm).expect("prefix decodes cleanly");
+        reasm.push(&stream[cut..]);
+        got.extend(drain_frames(&mut reasm).expect("suffix completes the stream"));
+        assert_eq!(got, frames, "split at byte {cut} changed the decode");
+        assert_eq!(reasm.buffered(), 0, "split at byte {cut} left residue");
+    }
+}
+
+#[test]
+fn protocol_version_mismatch_rejects_by_name() {
+    let identity = ClusterIdentity {
+        n_nodes: 32,
+        topology_hash: 0x5eed,
+    };
+    // Every wrong version — including the previous protocol revision — is
+    // turned away as a version mismatch before anything else is checked.
+    for wrong in [0u16, PROTOCOL_VERSION - 1, PROTOCOL_VERSION + 1, u16::MAX] {
+        assert_eq!(
+            identity.validate_hello(wrong, 32, 0x5eed),
+            Err(RejectReason::VersionMismatch)
+        );
+        assert_eq!(
+            identity.validate_hello(wrong, 1, 0),
+            Err(RejectReason::VersionMismatch),
+            "version is checked first"
+        );
+    }
+    assert_eq!(
+        identity.validate_hello(PROTOCOL_VERSION, 32, 0x5eed),
+        Ok(())
+    );
+    assert_eq!(
+        identity.validate_hello(PROTOCOL_VERSION, 33, 0x5eed),
+        Err(RejectReason::ClusterSizeMismatch)
+    );
+    assert_eq!(
+        identity.validate_hello(PROTOCOL_VERSION, 32, 0),
+        Err(RejectReason::TopologyMismatch)
+    );
 }
 
 #[test]

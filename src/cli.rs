@@ -163,13 +163,18 @@ COMMANDS:
              --servers N (8)  --transport inproc|tcp|lockstep|reactor (inproc)
              --budget-watts W (170·N)  --seed S (0)
              --topology ring|chords|grid|torus|hypercube|random-regular (ring)
-             --shards K (0 = auto; reactor poller shards, each one thread)
+             --shards auto|K (auto; load-driven reactor shard count from
+             N, degree and host cores — the header reports the choice;
+             K pins it, 0 is a spelling of auto)
              --tol W (1e-4)
              --max-rounds R (20000)  --sample-every K (0, merge telemetry)
              --bench [FILE]  run the transport throughput sweep (plus the
              reactor scale rows and the topology convergence table) instead
              over --sizes N,N,... (8,64); FILE defaults to BENCH_runtime.json
              --scale on|off (on; off skips the 1k/10k rows and the table)
+             --min-msgs-speedup X (with --bench: also time batched vs
+             per-message framing at N=1024 and fail below X; skipped with a
+             note on single-core hosts)
   node       run ONE DiBA agent over TCP (one process per server)
              --id I (required)  --servers N (4)  --listen IP:PORT (127.0.0.1:0)
              --peers j=ip:port,... (dial addresses of the HIGHER-id neighbors;
@@ -1075,10 +1080,26 @@ fn deployment_for(
         max_rounds,
         handshake_timeout: std::time::Duration::from_secs_f64(timeout_secs),
         sample_every: opts.get_or("sample-every", 0)?,
-        shards: opts.get_or("shards", 0)?,
+        shards: parse_shards(opts.string("shards"))?,
         ..crate::runtime::cluster::RuntimeConfig::default()
     };
     Ok((problem, graph, rt))
+}
+
+/// Parses `--shards auto|K`. `0` is accepted as a spelling of `auto` for
+/// continuity with the old numeric-only flag.
+fn parse_shards(spec: Option<&str>) -> Result<crate::runtime::cluster::ShardCount, CliError> {
+    use crate::runtime::cluster::ShardCount;
+    match spec {
+        None | Some("auto") => Ok(ShardCount::Auto),
+        Some(s) => match s.parse::<usize>() {
+            Ok(0) => Ok(ShardCount::Auto),
+            Ok(k) => Ok(ShardCount::Fixed(k)),
+            Err(_) => Err(CliError(format!(
+                "--shards must be `auto` or a shard count, got `{s}`"
+            ))),
+        },
+    }
 }
 
 /// `dpc cluster`: spawn N node agents locally (in-process channels or TCP
@@ -1118,9 +1139,38 @@ pub fn cmd_cluster(opts: &Options) -> Result<String, CliError> {
                 report.to_table()
             )));
         }
+        // Optional framing gate: batched DataBatch frames must beat
+        // one-frame-per-message by the given factor. Timing two
+        // multi-shard reactors on a single core measures scheduler
+        // contention, not framing, so the gate skips there with a note.
+        let mut framing_note = String::new();
+        if let Some(spec) = opts.string("min-msgs-speedup") {
+            let min: f64 = spec
+                .parse()
+                .map_err(|e| CliError(format!("bad --min-msgs-speedup `{spec}`: {e}")))?;
+            let cores = std::thread::available_parallelism()
+                .map(|c| c.get())
+                .unwrap_or(1);
+            if cores < 2 {
+                framing_note = format!(
+                    "framing gate skipped: host reports {cores} core(s); batched-vs-per-message \
+                     timing on one core measures contention, not framing\n"
+                );
+            } else {
+                let cmp = dpc_bench::runtimebench::measure_framing_compare(seed);
+                framing_note = format!("{}\n", cmp.to_line());
+                if cmp.speedup() < min {
+                    return Err(CliError(format!(
+                        "framing speedup {:.2}x is below the --min-msgs-speedup gate {min}x\n{}",
+                        cmp.speedup(),
+                        cmp.to_line(),
+                    )));
+                }
+            }
+        }
         write_output(bench_path, &report.to_json())?;
         return Ok(format!(
-            "{}\nreport written to {bench_path}\n",
+            "{}\n{framing_note}report written to {bench_path}\n",
             report.to_table()
         ));
     }
@@ -1153,10 +1203,25 @@ pub fn cmd_cluster(opts: &Options) -> Result<String, CliError> {
     let outcome = crate::runtime::run_cluster(problem, graph, DibaConfig::default(), &rt)
         .map_err(runtime_err)?;
 
+    // The reactor reports the shard count it actually ran with — under
+    // `--shards auto` that is the load-driven choice, so the header is
+    // where the user learns what the policy picked.
+    let shards_line = match outcome.shards_used {
+        Some(shards) => format!(
+            "runtime: {shards} reactor shard{} ({})\n",
+            if shards == 1 { "" } else { "s" },
+            match rt.shards {
+                crate::runtime::cluster::ShardCount::Auto => "auto",
+                crate::runtime::cluster::ShardCount::Fixed(_) => "pinned",
+            },
+        ),
+        None => String::new(),
+    };
+
     let budget = outcome.budget;
     let mut out = format!(
-        "cluster: {n} nodes on {} transport, budget {:.2} kW\n{topology_line}{} in {} rounds, \
-         residual drift {:.3e} W\nmessages: {} sent ({} heartbeats), {} received\n\n\
+        "cluster: {n} nodes on {} transport, budget {:.2} kW\n{topology_line}{shards_line}{} \
+         in {} rounds, residual drift {:.3e} W\nmessages: {} sent ({} heartbeats), {} received\n\n\
          node   cap (W)    residual (W)  rounds   msgs\n",
         rt.transport.key(),
         budget.kilowatts(),
